@@ -1,0 +1,53 @@
+//! Criterion bench for the design-choice ablations DESIGN.md calls out:
+//! prefix+postfix vs postfix-only, adaptive vs fixed prefix, and the
+//! small-HTM retry budget (§3.4: one attempt performed best).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rh_bench::{run_cell, CellConfig};
+use rh_norec::{Algorithm, TmConfig};
+use tm_workloads::rbtree_bench::{RbTreeBench, RbTreeBenchConfig};
+
+fn rbtree_cell(alg: Algorithm, overrides: Option<fn(&mut TmConfig)>) -> u64 {
+    let config = CellConfig {
+        duration: Duration::from_millis(20),
+        heap_words: 1 << 20,
+        tm_overrides: overrides,
+        ..CellConfig::new(alg, 2, Duration::from_millis(20))
+    };
+    run_cell(
+        &|heap| {
+            Box::new(RbTreeBench::new(
+                heap,
+                RbTreeBenchConfig { initial_size: 256, mutation_pct: 10 },
+            ))
+        },
+        &config,
+    )
+    .ops
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    group.bench_function("rh_full", |b| b.iter(|| rbtree_cell(Algorithm::RhNorec, None)));
+    group.bench_function("rh_postfix_only", |b| {
+        b.iter(|| rbtree_cell(Algorithm::RhNorecPostfixOnly, None))
+    });
+    group.bench_function("rh_fixed_prefix", |b| {
+        b.iter(|| rbtree_cell(Algorithm::RhNorec, Some(|c| c.prefix.adaptive = false)))
+    });
+    group.bench_function("rh_small_htm_retries_4", |b| {
+        b.iter(|| rbtree_cell(Algorithm::RhNorec, Some(|c| c.retry.small_htm_retries = 4)))
+    });
+    group.bench_function("norec_eager", |b| b.iter(|| rbtree_cell(Algorithm::Norec, None)));
+    group.bench_function("norec_lazy", |b| b.iter(|| rbtree_cell(Algorithm::NorecLazy, None)));
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench regenerating Figure 4 cells (RBTree microbenchmark) at
+//! a CI-friendly scale. The full sweep lives in the `rh-bench` binary
+//! (`cargo run -p rh-bench --release -- fig4 --paper`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rh_bench::{run_cell, CellConfig};
+use rh_norec::Algorithm;
+use tm_workloads::rbtree_bench::{RbTreeBench, RbTreeBenchConfig};
+
+fn figure4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_rbtree");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for mutation_pct in [4u32, 10, 40] {
+        for alg in [Algorithm::HybridNorec, Algorithm::RhNorec] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.label(), format!("{mutation_pct}pct")),
+                &mutation_pct,
+                |b, &pct| {
+                    b.iter(|| {
+                        let config = CellConfig {
+                            duration: Duration::from_millis(20),
+                            heap_words: 1 << 20,
+                            ..CellConfig::new(alg, 2, Duration::from_millis(20))
+                        };
+                        run_cell(
+                            &|heap| {
+                                Box::new(RbTreeBench::new(
+                                    heap,
+                                    RbTreeBenchConfig { initial_size: 256, mutation_pct: pct },
+                                ))
+                            },
+                            &config,
+                        )
+                        .ops
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure4);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench regenerating Figure 5 cells (Vacation-Low, Intruder,
+//! Genome) at a CI-friendly scale.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rh_bench::{run_cell, CellConfig};
+use rh_norec::Algorithm;
+use sim_mem::Heap;
+use tm_workloads::stamp::{Genome, GenomeConfig, Intruder, IntruderConfig, Vacation, VacationConfig};
+use tm_workloads::Workload;
+
+fn figure5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5_stamp");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let apps: Vec<(&str, Box<dyn Fn(&Heap) -> Box<dyn Workload> + Sync>)> = vec![
+        (
+            "vacation_low",
+            Box::new(|heap: &Heap| {
+                Box::new(Vacation::new(heap, VacationConfig::low(128))) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "intruder",
+            Box::new(|heap: &Heap| {
+                Box::new(Intruder::new(heap, IntruderConfig::default())) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "genome",
+            Box::new(|heap: &Heap| {
+                Box::new(Genome::new(
+                    heap,
+                    GenomeConfig { genome_bases: 512, segment_bases: 10, segments: 2048, batch: 4 },
+                    7,
+                )) as Box<dyn Workload>
+            }),
+        ),
+    ];
+    for (name, build) in &apps {
+        for alg in [Algorithm::HybridNorec, Algorithm::RhNorec] {
+            group.bench_with_input(BenchmarkId::new(alg.label(), *name), name, |b, _| {
+                b.iter(|| {
+                    let config = CellConfig {
+                        duration: Duration::from_millis(20),
+                        heap_words: 1 << 20,
+                        ..CellConfig::new(alg, 2, Duration::from_millis(20))
+                    };
+                    run_cell(&**build, &config).ops
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure5);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench regenerating Figure 6 cells (Vacation-High, SSCA2,
+//! Yada) at a CI-friendly scale.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rh_bench::{run_cell, CellConfig};
+use rh_norec::Algorithm;
+use sim_mem::Heap;
+use tm_workloads::stamp::{Ssca2, Ssca2Config, Vacation, VacationConfig, Yada, YadaConfig};
+use tm_workloads::Workload;
+
+fn figure6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_stamp");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let apps: Vec<(&str, Box<dyn Fn(&Heap) -> Box<dyn Workload> + Sync>)> = vec![
+        (
+            "vacation_high",
+            Box::new(|heap: &Heap| {
+                Box::new(Vacation::new(heap, VacationConfig::high(128))) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "ssca2",
+            Box::new(|heap: &Heap| {
+                Box::new(Ssca2::new(
+                    heap,
+                    Ssca2Config { scale: 8, max_degree: 8, arcs: 4096 },
+                    8,
+                )) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "yada",
+            Box::new(|heap: &Heap| {
+                Box::new(Yada::new(
+                    heap,
+                    YadaConfig { grid: 6, min_angle_deg: 24.0 },
+                )) as Box<dyn Workload>
+            }),
+        ),
+    ];
+    for (name, build) in &apps {
+        for alg in [Algorithm::HybridNorec, Algorithm::RhNorec] {
+            group.bench_with_input(BenchmarkId::new(alg.label(), *name), name, |b, _| {
+                b.iter(|| {
+                    let config = CellConfig {
+                        duration: Duration::from_millis(20),
+                        heap_words: 1 << 20,
+                        ..CellConfig::new(alg, 2, Duration::from_millis(20))
+                    };
+                    run_cell(&**build, &config).ops
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure6);
+criterion_main!(benches);

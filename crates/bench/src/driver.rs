@@ -1,0 +1,226 @@
+//! Runs one benchmark cell: (workload, algorithm, thread count, duration).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rh_norec::{Algorithm, TmConfig, TmRuntime, TmThreadStats};
+use sim_htm::{Htm, HtmConfig, HtmThreadStats};
+use sim_mem::{Heap, HeapConfig};
+use tm_workloads::{Workload, WorkloadRng};
+
+/// Configuration of one measurement cell.
+#[derive(Clone, Debug)]
+pub struct CellConfig {
+    /// Algorithm under test.
+    pub algorithm: Algorithm,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Measurement interval (the paper runs 10 s; scaled runs use less).
+    pub duration: Duration,
+    /// Simulated machine.
+    pub htm: HtmConfig,
+    /// Heap size in words.
+    pub heap_words: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Run the workload's invariant check after measurement.
+    pub verify: bool,
+    /// Override the runtime configuration (prefix/retry ablations).
+    pub tm_overrides: Option<fn(&mut TmConfig)>,
+}
+
+impl CellConfig {
+    /// A cell with the paper's machine model and default knobs.
+    ///
+    /// A spurious-abort rate of 1e-4 per access is enabled by default: real machines
+    /// take interrupts and faults, and those occasional fallbacks are
+    /// what seed the slow-path activity whose coordination cost the
+    /// paper's figures measure.
+    pub fn new(algorithm: Algorithm, threads: usize, duration: Duration) -> Self {
+        CellConfig {
+            algorithm,
+            threads,
+            duration,
+            htm: HtmConfig {
+                spurious_abort_per_access: 1e-4,
+                ..HtmConfig::default()
+            },
+            heap_words: 1 << 23,
+            seed: 0x5eed,
+            verify: true,
+            tm_overrides: None,
+        }
+    }
+}
+
+/// Result of one measurement cell.
+#[derive(Clone, Copy, Debug)]
+pub struct CellResult {
+    /// Application operations completed inside the interval.
+    pub ops: u64,
+    /// Actual measured wall time.
+    pub elapsed: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Modeled throughput in operations per second: the sum over threads
+    /// of `ops_i / cycles_i`, converted at the model frequency — each
+    /// thread gets a dedicated modeled core (see [`rh_norec::cost`]).
+    pub modeled_ops_per_sec: f64,
+    /// Merged engine statistics.
+    pub tm: TmThreadStats,
+    /// Merged device statistics.
+    pub htm: HtmThreadStats,
+}
+
+impl CellResult {
+    /// Modeled N-core throughput in operations per second (see crate docs).
+    pub fn throughput(&self) -> f64 {
+        self.modeled_ops_per_sec
+    }
+
+    /// HTM conflict aborts per completed operation (figure row 2).
+    pub fn conflicts_per_op(&self) -> f64 {
+        ratio(self.tm.htm_conflict_aborts(), self.ops)
+    }
+
+    /// HTM capacity aborts per completed operation (figure row 2).
+    pub fn capacity_per_op(&self) -> f64 {
+        ratio(self.tm.htm_capacity_aborts(), self.ops)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Builds the simulated machine, sets up the workload single-threaded,
+/// runs `threads` workers for the interval, merges statistics, and
+/// verifies invariants.
+///
+/// # Panics
+///
+/// Panics if the workload's invariant check fails (a correctness bug is
+/// not a benchmark result).
+pub fn run_cell(build: &dyn Fn(&Heap) -> Box<dyn Workload>, config: &CellConfig) -> CellResult {
+    let heap = Arc::new(Heap::new(HeapConfig { words: config.heap_words }));
+    let htm = Htm::new(Arc::clone(&heap), config.htm);
+    let mut tm_config = TmConfig::new(config.algorithm);
+    // Measurement realism: interleave worker schedules so transactions
+    // overlap in time even when the host has fewer cores than workers.
+    tm_config.interleave_accesses = 2;
+    if let Some(f) = config.tm_overrides {
+        f(&mut tm_config);
+    }
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, tm_config);
+    let workload: Box<dyn Workload> = build(&heap);
+
+    {
+        let mut setup_worker = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(config.seed);
+        workload.setup(&mut setup_worker, &mut rng);
+    }
+
+    let barrier = Barrier::new(config.threads + 1);
+    let stop = AtomicBool::new(false);
+    let results: Mutex<Vec<(u64, TmThreadStats, HtmThreadStats)>> = Mutex::new(Vec::new());
+
+    let started = std::thread::scope(|s| {
+        for tid in 0..config.threads {
+            let rt = Arc::clone(&rt);
+            let workload = &workload;
+            let barrier = &barrier;
+            let stop = &stop;
+            let results = &results;
+            let seed = config.seed;
+            s.spawn(move || {
+                let mut worker = rt.register(tid);
+                let mut rng = WorkloadRng::seed_from_u64(seed ^ (tid as u64 + 1) * 0x9e37);
+                barrier.wait();
+                worker.reset_stats();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    workload.run_op(&mut worker, &mut rng);
+                    ops += 1;
+                }
+                let report = worker.report();
+                results.lock().unwrap().push((ops, report.tm, report.htm));
+            });
+        }
+        barrier.wait();
+        let started = Instant::now();
+        while started.elapsed() < config.duration {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+        started
+    });
+    let elapsed = started.elapsed();
+
+    let per_thread = results.into_inner().unwrap();
+    let mut ops = 0;
+    let mut tm = TmThreadStats::default();
+    let mut htm_stats = HtmThreadStats::default();
+    let mut modeled_ops_per_sec = 0.0;
+    for (thread_ops, thread_tm, thread_htm) in per_thread {
+        ops += thread_ops;
+        if thread_tm.cycles > 0 {
+            modeled_ops_per_sec +=
+                thread_ops as f64 / thread_tm.cycles as f64 * rh_norec::cost::MODEL_HZ;
+        }
+        tm = tm.merge(&thread_tm);
+        htm_stats = htm_stats.merge(&thread_htm);
+    }
+
+    if config.verify {
+        if let Err(e) = workload.verify(&heap) {
+            panic!(
+                "invariant violated after {} / {:?} x{}: {e}",
+                workload.name(),
+                config.algorithm,
+                config.threads
+            );
+        }
+    }
+
+    CellResult {
+        ops,
+        elapsed,
+        threads: config.threads,
+        modeled_ops_per_sec,
+        tm,
+        htm: htm_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_workloads::rbtree_bench::{RbTreeBench, RbTreeBenchConfig};
+
+    #[test]
+    fn a_cell_runs_and_verifies() {
+        let config = CellConfig {
+            duration: Duration::from_millis(50),
+            heap_words: 1 << 20,
+            ..CellConfig::new(Algorithm::RhNorec, 2, Duration::from_millis(50))
+        };
+        let result = run_cell(
+            &|heap| {
+                Box::new(RbTreeBench::new(
+                    heap,
+                    RbTreeBenchConfig { initial_size: 200, mutation_pct: 10 },
+                ))
+            },
+            &config,
+        );
+        assert!(result.ops > 0, "no operations completed");
+        assert_eq!(result.tm.commits > 0, true);
+        assert!(result.throughput() > 0.0);
+    }
+}

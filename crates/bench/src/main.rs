@@ -1,0 +1,88 @@
+//! The figure-regeneration binary.
+//!
+//! ```text
+//! cargo run -p rh-bench --release -- fig4            # Figure 4 (RBTree)
+//! cargo run -p rh-bench --release -- fig5 fig6       # the STAMP figures
+//! cargo run -p rh-bench --release -- summary         # headline ratios
+//! cargo run -p rh-bench --release -- ablate          # design ablations
+//! cargo run -p rh-bench --release -- all --paper     # everything, paper scale
+//! ```
+//!
+//! Flags: `--paper` (full workload sizes; default is a quick scale),
+//! `--csv` (machine-readable output), `--threads 1,4,16` (replace the
+//! sweep), `--duration-ms 500` (per-cell interval).
+
+use rh_bench::figures::{self, Overrides, Scale};
+use rh_norec::Algorithm;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    };
+    let csv = args.iter().any(|a| a == "--csv");
+    let mut overrides = Overrides::default();
+    let mut skip_next = false;
+    let mut targets: Vec<&str> = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--threads" => {
+                let list = args.get(i + 1).unwrap_or_else(|| usage("--threads needs a list"));
+                overrides.threads = Some(
+                    list.split(',')
+                        .map(|t| t.trim().parse().unwrap_or_else(|_| usage("bad thread count")))
+                        .collect(),
+                );
+                skip_next = true;
+            }
+            "--duration-ms" => {
+                let ms = args.get(i + 1).unwrap_or_else(|| usage("--duration-ms needs a value"));
+                let ms: u64 = ms.parse().unwrap_or_else(|_| usage("bad duration"));
+                overrides.duration = Some(std::time::Duration::from_millis(ms));
+                skip_next = true;
+            }
+            "--paper" | "--csv" => {}
+            a if a.starts_with("--") => usage(&format!("unknown flag {a}")),
+            a => targets.push(a),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all");
+    }
+    let algorithms = Algorithm::PAPER_SET;
+
+    for target in targets {
+        match target {
+            "fig4" => figures::run_figure("Figure 4", &figures::figure4(scale), &algorithms, scale, csv, &overrides),
+            "fig5" => figures::run_figure("Figure 5", &figures::figure5(scale), &algorithms, scale, csv, &overrides),
+            "fig6" => figures::run_figure("Figure 6", &figures::figure6(scale), &algorithms, scale, csv, &overrides),
+            "extras" => figures::run_figure("Extras", &figures::extras(scale), &algorithms, scale, csv, &overrides),
+            "ablate" => figures::run_ablations(scale),
+            "summary" => figures::run_summary(scale),
+            "all" => {
+                figures::run_figure("Figure 4", &figures::figure4(scale), &algorithms, scale, csv, &overrides);
+                figures::run_figure("Figure 5", &figures::figure5(scale), &algorithms, scale, csv, &overrides);
+                figures::run_figure("Figure 6", &figures::figure6(scale), &algorithms, scale, csv, &overrides);
+                figures::run_ablations(scale);
+                figures::run_summary(scale);
+            }
+            other => {
+                eprintln!("unknown target `{other}`; use fig4|fig5|fig6|extras|ablate|summary|all");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: rh-bench [fig4|fig5|fig6|extras|ablate|summary|all]... \
+       [--paper] [--csv] [--threads 1,2,4] [--duration-ms 500]");
+    std::process::exit(2);
+}

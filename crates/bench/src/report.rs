@@ -1,0 +1,132 @@
+//! Text and CSV rendering of figure grids.
+
+use rh_norec::Algorithm;
+
+use crate::driver::CellResult;
+
+/// Prints one sub-benchmark's five figure rows as aligned text tables.
+pub fn print_figure(
+    figure: &str,
+    label: &str,
+    threads: &[usize],
+    grid: &[(Algorithm, Vec<CellResult>)],
+) {
+    println!();
+    println!("== {figure} / {label} ==");
+
+    let header = |title: &str| {
+        println!();
+        println!("-- {title} --");
+        print!("{:<18}", "threads");
+        for n in threads {
+            print!("{n:>11}");
+        }
+        println!();
+    };
+
+    header("Throughput (modeled ops/s, dedicated core per thread)");
+    for (alg, row) in grid {
+        print!("{:<18}", alg.label());
+        for cell in row {
+            print!("{:>11.0}", cell.throughput());
+        }
+        println!();
+    }
+
+    let hybrid_rows: Vec<&(Algorithm, Vec<CellResult>)> = grid
+        .iter()
+        .filter(|(alg, _)| {
+            matches!(
+                alg,
+                Algorithm::HybridNorec | Algorithm::RhNorec | Algorithm::RhNorecPostfixOnly
+            )
+        })
+        .collect();
+    if hybrid_rows.is_empty() {
+        return;
+    }
+
+    header("HTM conflict aborts per operation");
+    for (alg, row) in &hybrid_rows {
+        print!("{:<18}", alg.label());
+        for cell in row {
+            print!("{:>11.4}", cell.conflicts_per_op());
+        }
+        println!();
+    }
+
+    header("HTM capacity aborts per operation");
+    for (alg, row) in &hybrid_rows {
+        print!("{:<18}", alg.label());
+        for cell in row {
+            print!("{:>11.4}", cell.capacity_per_op());
+        }
+        println!();
+    }
+
+    header("Slow-path restarts per slow-path txn");
+    for (alg, row) in &hybrid_rows {
+        print!("{:<18}", alg.label());
+        for cell in row {
+            print!("{:>11.3}", cell.tm.restarts_per_slow_path());
+        }
+        println!();
+    }
+
+    header("Slow-path execution ratio");
+    for (alg, row) in &hybrid_rows {
+        print!("{:<18}", alg.label());
+        for cell in row {
+            print!("{:>10.2}%", cell.tm.slow_path_ratio() * 100.0);
+        }
+        println!();
+    }
+
+    header("RH prefix / postfix success ratios");
+    for (alg, row) in &hybrid_rows {
+        if !matches!(alg, Algorithm::RhNorec | Algorithm::RhNorecPostfixOnly) {
+            continue;
+        }
+        print!("{:<18}", format!("{} prefix", alg.label()));
+        for cell in row {
+            print!("{:>10.0}%", cell.tm.prefix_success_ratio() * 100.0);
+        }
+        println!();
+        print!("{:<18}", format!("{} postfix", alg.label()));
+        for cell in row {
+            print!("{:>10.0}%", cell.tm.postfix_success_ratio() * 100.0);
+        }
+        println!();
+    }
+}
+
+/// Prints one sub-benchmark's grid as CSV rows (header once per call).
+pub fn print_csv(
+    figure: &str,
+    label: &str,
+    threads: &[usize],
+    grid: &[(Algorithm, Vec<CellResult>)],
+) {
+    println!(
+        "figure,workload,algorithm,threads,ops,elapsed_s,throughput,\
+         conflicts_per_op,capacity_per_op,restarts_per_slow_path,\
+         slow_path_ratio,prefix_success,postfix_success"
+    );
+    for (alg, row) in grid {
+        for (n, cell) in threads.iter().zip(row) {
+            println!(
+                "{figure},{label},{},{n},{},{:.4},{:.1},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+                alg.label(),
+                cell.ops,
+                cell.elapsed.as_secs_f64(),
+                cell.throughput(),
+                cell.conflicts_per_op(),
+                cell.capacity_per_op(),
+                cell.tm.restarts_per_slow_path(),
+                cell.tm.slow_path_ratio(),
+                cell.tm.prefix_success_ratio(),
+                cell.tm.postfix_success_ratio(),
+            );
+        }
+    }
+}

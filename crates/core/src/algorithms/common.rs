@@ -1,0 +1,213 @@
+//! Machinery shared by the algorithm implementations: the hardware
+//! fast-path context, the direct (serialized) context, abort
+//! classification, and the serial lock.
+
+use sim_htm::{AbortCode, HtmThread};
+use sim_mem::{Addr, Heap};
+
+use crate::cost;
+use crate::error::{TxResult, RESTART};
+use crate::stats::TmThreadStats;
+use crate::tx::{TxMem, TxOps};
+use crate::TxKind;
+
+/// Per-attempt cost accounting plus interleave pacing.
+///
+/// `tick` charges virtual cycles for one transactional access and, every
+/// `every` accesses, yields the host thread so concurrent transactions
+/// overlap in time the way they would on dedicated cores. `charge`
+/// accounts non-access events (begins, commits, global RMWs) without
+/// pacing.
+pub(crate) struct Meter {
+    pub(crate) cycles: u64,
+    accesses: u64,
+    every: u32,
+}
+
+impl Meter {
+    pub(crate) fn new(every: u32) -> Self {
+        Meter { cycles: 0, accesses: 0, every }
+    }
+
+    #[inline]
+    pub(crate) fn tick(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.accesses += 1;
+        if self.every != 0 && self.accesses % self.every as u64 == 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn charge(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+}
+
+/// Explicit-abort immediates used by the protocols (purely diagnostic; the
+/// retry policy only looks at the abort class).
+pub(crate) mod xabort {
+    /// The subscribed lock (global HTM lock, serial lock, or Lock Elision's
+    /// global lock) was held.
+    pub(crate) const LOCK_HELD: u8 = 1;
+    /// The NOrec global clock carried the writer lock bit.
+    pub(crate) const CLOCK_LOCKED: u8 = 2;
+}
+
+/// Transactional context for code running inside a hardware transaction
+/// (the fast path, and RH NOrec's prefix/postfix reuse the same access
+/// rules through [`HtmThread`] directly).
+///
+/// Reads and writes are uninstrumented in the algorithmic sense: they touch
+/// no software metadata, exactly like the GCC fast path the paper
+/// generates. After a hardware abort the context is dead and every
+/// subsequent operation reports a restart without touching the device.
+pub(crate) struct FastCtx<'a> {
+    pub(crate) htm: &'a mut HtmThread,
+    pub(crate) heap: &'a Heap,
+    pub(crate) mem: &'a mut TxMem,
+    pub(crate) tid: usize,
+    pub(crate) kind: TxKind,
+    pub(crate) wrote: bool,
+    pub(crate) dead: Option<AbortCode>,
+    pub(crate) meter: Meter,
+}
+
+impl<'a> FastCtx<'a> {
+    pub(crate) fn new(
+        htm: &'a mut HtmThread,
+        heap: &'a Heap,
+        mem: &'a mut TxMem,
+        tid: usize,
+        kind: TxKind,
+        interleave: u32,
+    ) -> Self {
+        FastCtx {
+            htm,
+            heap,
+            mem,
+            tid,
+            kind,
+            wrote: false,
+            dead: None,
+            meter: Meter::new(interleave),
+        }
+    }
+}
+
+impl TxOps for FastCtx<'_> {
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        if self.dead.is_some() {
+            return Err(RESTART);
+        }
+        self.meter.tick(cost::HTM_ACCESS);
+        self.htm.read(addr).map_err(|e| {
+            self.dead = Some(e.code);
+            RESTART
+        })
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+        assert!(
+            self.kind == TxKind::ReadWrite,
+            "write inside a transaction declared read-only"
+        );
+        if self.dead.is_some() {
+            return Err(RESTART);
+        }
+        self.wrote = true;
+        self.meter.tick(cost::HTM_ACCESS);
+        self.htm.write(addr, value).map_err(|e| {
+            self.dead = Some(e.code);
+            RESTART
+        })
+    }
+
+    fn alloc(&mut self, words: u64) -> TxResult<Addr> {
+        if self.dead.is_some() {
+            return Err(RESTART);
+        }
+        // Allocation is non-speculative (the allocator's pools are runtime
+        // state, not heap words) and touches no line metadata — pool
+        // blocks are pre-zeroed at free time — so it cannot conflict with
+        // this transaction. TxMem undoes it if the attempt aborts.
+        self.meter.charge(cost::ALLOC);
+        Ok(self.mem.alloc(self.heap, self.tid, words))
+    }
+
+    fn free(&mut self, addr: Addr) -> TxResult<()> {
+        if self.dead.is_some() {
+            return Err(RESTART);
+        }
+        self.meter.charge(cost::FREE);
+        self.mem.free(addr);
+        Ok(())
+    }
+}
+
+/// Context for fully serialized execution (Lock Elision's lock fallback):
+/// direct coherent loads and stores, no validation, cannot restart.
+pub(crate) struct DirectCtx<'a> {
+    pub(crate) heap: &'a Heap,
+    pub(crate) mem: &'a mut TxMem,
+    pub(crate) tid: usize,
+    pub(crate) kind: TxKind,
+    pub(crate) meter: Meter,
+}
+
+impl TxOps for DirectCtx<'_> {
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        self.meter.tick(cost::HTM_ACCESS);
+        Ok(self.heap.load(addr))
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+        assert!(
+            self.kind == TxKind::ReadWrite,
+            "write inside a transaction declared read-only"
+        );
+        self.meter.tick(cost::HTM_ACCESS);
+        self.heap.store(addr, value);
+        Ok(())
+    }
+
+    fn alloc(&mut self, words: u64) -> TxResult<Addr> {
+        self.meter.charge(cost::ALLOC);
+        Ok(self.mem.alloc(self.heap, self.tid, words))
+    }
+
+    fn free(&mut self, addr: Addr) -> TxResult<()> {
+        self.meter.charge(cost::FREE);
+        self.mem.free(addr);
+        Ok(())
+    }
+}
+
+/// Records a fast-path abort in the figure statistics.
+pub(crate) fn classify_fast_abort(stats: &mut TmThreadStats, code: AbortCode) {
+    match code {
+        AbortCode::Conflict => stats.fast_conflict_aborts += 1,
+        AbortCode::Capacity { .. } => stats.fast_capacity_aborts += 1,
+        _ => stats.fast_other_aborts += 1,
+    }
+}
+
+/// Spin-acquires a heap-word lock (0 → 1), charging the waiter's cycles.
+pub(crate) fn acquire_word_lock(heap: &Heap, lock: Addr, cycles: &mut u64) {
+    loop {
+        *cycles += cost::GLOBAL_RMW;
+        if heap.compare_exchange(lock, 0, 1).is_ok() {
+            return;
+        }
+        while heap.load(lock) != 0 {
+            *cycles += cost::SPIN_ITER;
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Releases a heap-word lock.
+pub(crate) fn release_word_lock(heap: &Heap, lock: Addr) {
+    debug_assert_eq!(heap.load(lock), 1, "releasing a lock not held");
+    heap.store(lock, 0);
+}

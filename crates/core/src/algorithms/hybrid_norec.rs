@@ -1,0 +1,330 @@
+//! Hybrid NOrec of Dalessandro et al. (§2.1, §3.1) — the state-of-the-art
+//! baseline the paper improves on.
+//!
+//! * **Fast path**: an uninstrumented hardware transaction that subscribes
+//!   to `global_htm_lock` *and to the global clock at its start*. The early
+//!   clock subscription is the scalability bottleneck: every slow-path
+//!   writer's clock update aborts every running fast path, related data or
+//!   not (the "false aborts" of Figure 1).
+//! * **Slow path**: the eager NOrec STM, raising `global_htm_lock` at its
+//!   first write so the direct in-place writes can never be half-seen by a
+//!   fast path.
+//! * Fast-path commits increment the clock only when `num_of_fallbacks`
+//!   says a slow path is running, and abort if the §3.3 serial lock is
+//!   held.
+
+use sim_htm::AbortCode;
+use sim_mem::Heap;
+
+use crate::algorithms::common::{
+    acquire_word_lock, classify_fast_abort, release_word_lock, xabort, FastCtx, Meter,
+};
+use crate::cost;
+use crate::algorithms::norec::{read_clock_unlocked, EagerCtx, LazyCtx};
+use crate::error::TxResult;
+use crate::globals::clock;
+use crate::runtime::TmThread;
+use crate::tx::Tx;
+use crate::TxKind;
+
+pub(crate) fn run<T>(
+    t: &mut TmThread,
+    kind: TxKind,
+    body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
+    lazy: bool,
+) -> T {
+    let retries = t.rt.config().retry.fast_path_retries;
+    let mut attempts = 0;
+    loop {
+        match try_fast(t, kind, body) {
+            Ok(value) => {
+                t.stats.fast_path_commits += 1;
+                return value;
+            }
+            Err(code) => {
+                if let Some(code) = code {
+                    classify_fast_abort(&mut t.stats, code);
+                    attempts += 1;
+                    if code.may_retry() && attempts < retries {
+                        // Backoff before retrying in hardware so the
+                        // conflicting transaction can finish (what
+                        // production elision runtimes do between xbegin
+                        // attempts); otherwise retries re-collide and
+                        // convoy into the fallback.
+                        if t.rt.config().interleave_accesses != 0 {
+                            for _ in 0..attempts {
+                                std::thread::yield_now();
+                            }
+                        }
+                        continue;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    if lazy {
+        slow_path_lazy(t, kind, body)
+    } else {
+        slow_path(t, kind, body)
+    }
+}
+
+/// One hardware fast-path attempt. `Err(None)` means HTM refused to begin.
+fn try_fast<T>(
+    t: &mut TmThread,
+    kind: TxKind,
+    body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> Result<T, Option<AbortCode>> {
+    let rt = t.rt.clone();
+    let heap: &Heap = rt.heap();
+    let g = rt.globals();
+
+    if t.htm_thread.begin().is_err() {
+        return Err(None);
+    }
+    t.stats.cycles += cost::HTM_BEGIN + 2 * cost::HTM_ACCESS;
+    // Subscribe to the HTM lock.
+    match t.htm_thread.read(g.global_htm_lock) {
+        Ok(0) => {}
+        Ok(_) => {
+            t.stats.cycles += cost::HTM_ABORT;
+            return Err(Some(t.htm_thread.abort(xabort::LOCK_HELD).code));
+        }
+        Err(e) => {
+            t.stats.cycles += cost::HTM_ABORT;
+            return Err(Some(e.code));
+        }
+    }
+    // Subscribe to the global clock AT START — Hybrid NOrec's defining
+    // (and costly) step: the clock stays in the tracking set for the whole
+    // transaction.
+    match t.htm_thread.read(g.global_clock) {
+        Ok(v) if !clock::is_locked(v) => {}
+        Ok(_) => {
+            t.stats.cycles += cost::HTM_ABORT;
+            return Err(Some(t.htm_thread.abort(xabort::CLOCK_LOCKED).code));
+        }
+        Err(e) => {
+            t.stats.cycles += cost::HTM_ABORT;
+            return Err(Some(e.code));
+        }
+    }
+
+    let interleave = t.rt.config().interleave_accesses;
+    let mut ctx = FastCtx::new(&mut t.htm_thread, heap, &mut t.mem, t.tid, kind, interleave);
+    let outcome = body(&mut Tx::new(&mut ctx));
+    let wrote = ctx.wrote;
+    let dead = ctx.dead;
+    t.stats.cycles += ctx.meter.cycles;
+
+    match outcome {
+        Ok(value) => {
+            if let Some(code) = dead {
+                t.stats.cycles += cost::HTM_ABORT;
+                t.mem.rollback(heap, t.tid);
+                return Err(Some(code));
+            }
+            // Commit protocol (notify slow paths when they exist).
+            if wrote && kind == TxKind::ReadWrite {
+                match fast_commit_clock_update(t, &rt) {
+                    Ok(()) => {}
+                    Err(code) => {
+                        t.stats.cycles += cost::HTM_ABORT;
+                        t.mem.rollback(heap, t.tid);
+                        return Err(Some(code));
+                    }
+                }
+            }
+            match t.htm_thread.commit() {
+                Ok(()) => {
+                    t.stats.cycles += cost::HTM_COMMIT;
+                    t.mem.commit(heap, t.tid);
+                    Ok(value)
+                }
+                Err(e) => {
+                    t.stats.cycles += cost::HTM_ABORT;
+                    t.mem.rollback(heap, t.tid);
+                    Err(Some(e.code))
+                }
+            }
+        }
+        Err(_) => {
+            let code = dead.expect("fast-path body restarted without an abort");
+            t.stats.cycles += cost::HTM_ABORT;
+            t.mem.rollback(heap, t.tid);
+            Err(Some(code))
+        }
+    }
+}
+
+/// Writer fast-path commit step: when slow paths exist, bump the clock (and
+/// honor the serial lock). Shared with RH NOrec, which runs the same step —
+/// but crucially only *here at commit*, not at start.
+pub(crate) fn fast_commit_clock_update(
+    t: &mut TmThread,
+    rt: &crate::runtime::TmRuntime,
+) -> Result<(), AbortCode> {
+    let g = rt.globals();
+    t.stats.cycles += 4 * cost::HTM_ACCESS;
+    let fallbacks = match t.htm_thread.read(g.num_of_fallbacks) {
+        Ok(v) => v,
+        Err(e) => return Err(e.code),
+    };
+    if fallbacks == 0 {
+        return Ok(());
+    }
+    match t.htm_thread.read(g.serial_lock) {
+        Ok(0) => {}
+        Ok(_) => return Err(t.htm_thread.abort(xabort::LOCK_HELD).code),
+        Err(e) => return Err(e.code),
+    }
+    let clk = match t.htm_thread.read(g.global_clock) {
+        Ok(v) => v,
+        Err(e) => return Err(e.code),
+    };
+    if clock::is_locked(clk) {
+        return Err(t.htm_thread.abort(xabort::CLOCK_LOCKED).code);
+    }
+    match t.htm_thread.write(g.global_clock, clk + 2) {
+        Ok(()) => Ok(()),
+        Err(e) => Err(e.code),
+    }
+}
+
+/// The lazy software slow path (§3.1's "lazy HyTM design"): classic NOrec
+/// with write-set buffering; the HTM lock is raised only around the
+/// commit write-back, so fast paths never see a partial publication.
+fn slow_path_lazy<T>(
+    t: &mut TmThread,
+    kind: TxKind,
+    body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> T {
+    let rt = t.rt.clone();
+    let heap: &Heap = rt.heap();
+    let globals = *rt.globals();
+    let restart_limit = rt.config().retry.slow_path_restart_limit;
+    let interleave = rt.config().interleave_accesses;
+
+    t.stats.slow_path_entries += 1;
+    t.stats.cycles += cost::GLOBAL_RMW;
+    heap.fetch_update(globals.num_of_fallbacks, |v| v + 1);
+    let mut restarts: u32 = 0;
+    let mut serial_held = false;
+
+    let value = loop {
+        if restarts > restart_limit && !serial_held {
+            acquire_word_lock(heap, globals.serial_lock, &mut t.stats.cycles);
+            serial_held = true;
+            t.stats.serial_lock_acquisitions += 1;
+        }
+        let mut spin = cost::STM_START;
+        let tx_version = read_clock_unlocked(heap, &globals, &mut spin);
+        let mut ctx = LazyCtx {
+            heap,
+            globals,
+            mem: &mut t.mem,
+            tid: t.tid,
+            kind,
+            tx_version,
+            read_log: Vec::new(),
+            write_set: Vec::new(),
+            dead: false,
+            set_htm_lock: true,
+            meter: crate::algorithms::common::Meter::new(interleave),
+        };
+        ctx.meter.charge(spin);
+        let outcome = body(&mut Tx::new(&mut ctx));
+        let committed = match outcome {
+            Ok(value) => ctx.commit().map(|()| value),
+            Err(e) => Err(e),
+        };
+        match committed {
+            Ok(value) => {
+                t.stats.cycles += ctx.meter.cycles;
+                t.mem.commit(heap, t.tid);
+                t.stats.slow_path_commits += 1;
+                break value;
+            }
+            Err(_) => {
+                t.stats.cycles += ctx.meter.cycles;
+                t.mem.rollback(heap, t.tid);
+                t.stats.slow_path_restarts += 1;
+                restarts += 1;
+            }
+        }
+    };
+    t.stats.cycles += cost::GLOBAL_RMW;
+    heap.fetch_update(globals.num_of_fallbacks, |v| v - 1);
+    if serial_held {
+        t.stats.cycles += cost::GLOBAL_STORE;
+        release_word_lock(heap, globals.serial_lock);
+    }
+    value
+}
+
+/// The software slow path: eager NOrec with hybrid coordination.
+fn slow_path<T>(
+    t: &mut TmThread,
+    kind: TxKind,
+    body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> T {
+    let rt = t.rt.clone();
+    let heap: &Heap = rt.heap();
+    let globals = *rt.globals();
+    let restart_limit = rt.config().retry.slow_path_restart_limit;
+
+    let interleave = rt.config().interleave_accesses;
+    t.stats.slow_path_entries += 1;
+    t.stats.cycles += cost::GLOBAL_RMW;
+    heap.fetch_update(globals.num_of_fallbacks, |v| v + 1);
+    let mut restarts: u32 = 0;
+    let mut serial_held = false;
+
+    let value = loop {
+        if restarts > restart_limit && !serial_held {
+            acquire_word_lock(heap, globals.serial_lock, &mut t.stats.cycles);
+            serial_held = true;
+            t.stats.serial_lock_acquisitions += 1;
+        }
+        let mut spin = cost::STM_START;
+        let tx_version = read_clock_unlocked(heap, &globals, &mut spin);
+        let mut ctx = EagerCtx {
+            heap,
+            globals,
+            mem: &mut t.mem,
+            tid: t.tid,
+            kind,
+            tx_version,
+            wrote: false,
+            dead: false,
+            set_htm_lock: true,
+            htm_lock_set: false,
+            meter: Meter::new(interleave),
+        };
+        ctx.meter.charge(spin);
+        let outcome = body(&mut Tx::new(&mut ctx));
+        match outcome {
+            Ok(value) => {
+                ctx.commit();
+                t.stats.cycles += ctx.meter.cycles;
+                t.mem.commit(heap, t.tid);
+                t.stats.slow_path_commits += 1;
+                break value;
+            }
+            Err(_) => {
+                t.stats.cycles += ctx.meter.cycles;
+                t.mem.rollback(heap, t.tid);
+                t.stats.slow_path_restarts += 1;
+                restarts += 1;
+            }
+        }
+    };
+    t.stats.cycles += cost::GLOBAL_RMW;
+    heap.fetch_update(globals.num_of_fallbacks, |v| v - 1);
+    if serial_held {
+        t.stats.cycles += cost::GLOBAL_STORE;
+        release_word_lock(heap, globals.serial_lock);
+    }
+    value
+}

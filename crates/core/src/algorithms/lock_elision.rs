@@ -1,0 +1,139 @@
+//! Lock Elision (§3.1): pure hardware transactions with a single global
+//! lock fallback.
+//!
+//! Every transaction first runs as an uninstrumented hardware transaction
+//! that *subscribes* to the global lock (reads it at start and aborts if
+//! held, putting it in the HTM tracking set). If the hardware repeatedly
+//! fails, the transaction acquires the lock — which, via the subscription,
+//! aborts every in-flight hardware transaction — and runs directly,
+//! serializing the system. Progress is guaranteed; scalability collapses
+//! as soon as fallbacks are frequent, which is the behaviour the paper's
+//! figures show above 8 threads.
+
+use crate::algorithms::common::{
+    acquire_word_lock, classify_fast_abort, release_word_lock, xabort, DirectCtx, FastCtx, Meter,
+};
+use crate::cost;
+use crate::error::TxResult;
+use crate::runtime::TmThread;
+use crate::tx::Tx;
+use crate::TxKind;
+
+pub(crate) fn run<T>(
+    t: &mut TmThread,
+    kind: TxKind,
+    body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> T {
+    let retries = t.rt.config().retry.fast_path_retries;
+    let mut attempts = 0;
+    loop {
+        match try_fast(t, kind, body) {
+            Ok(value) => {
+                t.stats.fast_path_commits += 1;
+                return value;
+            }
+            Err(code) => {
+                if let Some(code) = code {
+                    classify_fast_abort(&mut t.stats, code);
+                    attempts += 1;
+                    if code.may_retry() && attempts < retries {
+                        // Backoff before retrying in hardware so the
+                        // conflicting transaction can finish (what
+                        // production elision runtimes do between xbegin
+                        // attempts); otherwise retries re-collide and
+                        // convoy into the fallback.
+                        if t.rt.config().interleave_accesses != 0 {
+                            for _ in 0..attempts {
+                                std::thread::yield_now();
+                            }
+                        }
+                        continue;
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    // Lock fallback: serialize.
+    t.stats.slow_path_entries += 1;
+    let rt = t.rt.clone();
+    let heap = rt.heap();
+    let lock = rt.globals().serial_lock;
+    acquire_word_lock(heap, lock, &mut t.stats.cycles);
+    let mut ctx = DirectCtx {
+        heap,
+        mem: &mut t.mem,
+        tid: t.tid,
+        kind,
+        meter: Meter::new(rt.config().interleave_accesses),
+    };
+    let value = body(&mut Tx::new(&mut ctx))
+        .unwrap_or_else(|_| unreachable!("direct execution cannot restart"));
+    t.stats.cycles += ctx.meter.cycles + cost::GLOBAL_STORE;
+    release_word_lock(heap, lock);
+    t.mem.commit(heap, t.tid);
+    t.stats.serial_commits += 1;
+    value
+}
+
+/// One hardware attempt. `Err(None)` means the attempt could not begin.
+fn try_fast<T>(
+    t: &mut TmThread,
+    kind: TxKind,
+    body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> Result<T, Option<sim_htm::AbortCode>> {
+    let rt = t.rt.clone();
+    let heap = rt.heap();
+    let lock = rt.globals().serial_lock;
+
+    if t.htm_thread.begin().is_err() {
+        return Err(None);
+    }
+    t.stats.cycles += cost::HTM_BEGIN + cost::HTM_ACCESS;
+    // Subscribe to the global lock.
+    match t.htm_thread.read(lock) {
+        Ok(0) => {}
+        Ok(_) => {
+            t.stats.cycles += cost::HTM_ABORT;
+            return Err(Some(t.htm_thread.abort(xabort::LOCK_HELD).code));
+        }
+        Err(e) => {
+            t.stats.cycles += cost::HTM_ABORT;
+            return Err(Some(e.code));
+        }
+    }
+
+    let interleave = t.rt.config().interleave_accesses;
+    let mut ctx = FastCtx::new(&mut t.htm_thread, heap, &mut t.mem, t.tid, kind, interleave);
+    let outcome = body(&mut Tx::new(&mut ctx));
+    let dead = ctx.dead;
+    t.stats.cycles += ctx.meter.cycles;
+    match outcome {
+        Ok(value) => match dead {
+            Some(code) => {
+                t.stats.cycles += cost::HTM_ABORT;
+                t.mem.rollback(heap, t.tid);
+                Err(Some(code))
+            }
+            None => match t.htm_thread.commit() {
+                Ok(()) => {
+                    t.stats.cycles += cost::HTM_COMMIT;
+                    t.mem.commit(heap, t.tid);
+                    Ok(value)
+                }
+                Err(e) => {
+                    t.stats.cycles += cost::HTM_ABORT;
+                    t.mem.rollback(heap, t.tid);
+                    Err(Some(e.code))
+                }
+            },
+        },
+        Err(_) => {
+            let code = dead.expect("fast-path body restarted without an abort");
+            t.stats.cycles += cost::HTM_ABORT;
+            t.mem.rollback(heap, t.tid);
+            Err(Some(code))
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! The TM algorithms: the paper's contribution and its baselines.
+//!
+//! Each module implements one `run` entry point with the signature
+//! `fn(&mut TmThread, TxKind, &mut dyn FnMut(&mut Tx) -> TxResult<T>) -> T`;
+//! [`TmThread::execute`](crate::TmThread::execute) dispatches on the
+//! configured [`Algorithm`](crate::Algorithm).
+
+pub(crate) mod common;
+pub(crate) mod hybrid_norec;
+pub(crate) mod lock_elision;
+pub(crate) mod norec;
+pub(crate) mod rh_norec;
+pub(crate) mod tl2;

@@ -1,0 +1,385 @@
+//! The all-software NOrec STM of Dalessandro, Spear and Scott, in the two
+//! variants the paper evaluates (§3.1):
+//!
+//! * **eager** (the paper's default): no read- or write-set logging. A
+//!   transaction reads the global clock at start; every read re-checks the
+//!   clock and restarts if it moved; the first write locks the clock and
+//!   subsequent writes go straight to memory. "For the low concurrency in
+//!   our benchmarks, the eager NOrec design delivers better performance."
+//! * **lazy** (the classic NOrec, kept as an ablation): value-based
+//!   read-set revalidation instead of restarts, and a write set that is
+//!   published at commit under the clock lock.
+//!
+//! Both are also the software halves of the hybrid algorithms; the hybrid
+//! modules add their own coordination on top rather than reusing these
+//! entry points, keeping each algorithm readable on its own.
+
+use sim_mem::{Addr, Heap};
+
+use crate::algorithms::common::Meter;
+use crate::cost;
+use crate::error::{TxResult, RESTART};
+use crate::globals::{clock, Globals};
+use crate::runtime::TmThread;
+use crate::tx::{Tx, TxMem, TxOps};
+use crate::TxKind;
+
+pub(crate) fn run_eager<T>(
+    t: &mut TmThread,
+    kind: TxKind,
+    body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> T {
+    let rt = t.rt.clone();
+    let heap: &Heap = rt.heap();
+    let globals = *rt.globals();
+    let interleave = rt.config().interleave_accesses;
+    t.stats.slow_path_entries += 1;
+    loop {
+        let mut spin = cost::STM_START;
+        let tx_version = read_clock_unlocked(heap, &globals, &mut spin);
+        let mut ctx = EagerCtx {
+            heap,
+            globals,
+            mem: &mut t.mem,
+            tid: t.tid,
+            kind,
+            tx_version,
+            wrote: false,
+            dead: false,
+            set_htm_lock: false,
+            htm_lock_set: false,
+            meter: Meter::new(interleave),
+        };
+        ctx.meter.charge(spin);
+        let outcome = body(&mut Tx::new(&mut ctx));
+        match outcome {
+            Ok(value) => {
+                ctx.commit();
+                t.stats.cycles += ctx.meter.cycles;
+                t.mem.commit(heap, t.tid);
+                t.stats.slow_path_commits += 1;
+                return value;
+            }
+            Err(_) => {
+                debug_assert!(ctx.dead, "body restarted without a validation failure");
+                t.stats.cycles += ctx.meter.cycles;
+                t.mem.rollback(heap, t.tid);
+                t.stats.slow_path_restarts += 1;
+            }
+        }
+    }
+}
+
+/// Spins until the global clock is unlocked and returns its value,
+/// charging the waiter's cycles.
+pub(crate) fn read_clock_unlocked(heap: &Heap, globals: &Globals, cycles: &mut u64) -> u64 {
+    loop {
+        let v = heap.load(globals.global_clock);
+        if !clock::is_locked(v) {
+            return v;
+        }
+        *cycles += cost::SPIN_ITER;
+        std::thread::yield_now();
+    }
+}
+
+/// The eager NOrec transaction context. Shared with the hybrid slow paths
+/// via the `set_htm_lock` flag (Hybrid NOrec raises the global HTM lock at
+/// the first write; standalone NOrec has no hardware to notify).
+pub(crate) struct EagerCtx<'a> {
+    pub(crate) heap: &'a Heap,
+    pub(crate) globals: Globals,
+    pub(crate) mem: &'a mut TxMem,
+    pub(crate) tid: usize,
+    pub(crate) kind: TxKind,
+    pub(crate) tx_version: u64,
+    pub(crate) wrote: bool,
+    pub(crate) dead: bool,
+    /// Raise `global_htm_lock` around the write phase (hybrid slow paths).
+    pub(crate) set_htm_lock: bool,
+    pub(crate) htm_lock_set: bool,
+    pub(crate) meter: Meter,
+}
+
+impl EagerCtx<'_> {
+    /// First-write protocol: lock the global clock (CAS from our start
+    /// version), optionally raise the global HTM lock.
+    pub(crate) fn handle_first_write(&mut self) -> TxResult<()> {
+        debug_assert!(!self.wrote);
+        self.meter.charge(cost::GLOBAL_RMW);
+        if self
+            .heap
+            .compare_exchange(
+                self.globals.global_clock,
+                self.tx_version,
+                clock::set_lock_bit(self.tx_version),
+            )
+            .is_err()
+        {
+            self.dead = true;
+            return Err(RESTART);
+        }
+        self.tx_version = clock::set_lock_bit(self.tx_version);
+        self.wrote = true;
+        if self.set_htm_lock {
+            self.meter.charge(cost::GLOBAL_STORE);
+            self.heap.store(self.globals.global_htm_lock, 1);
+            self.htm_lock_set = true;
+        }
+        Ok(())
+    }
+
+    /// Commit: writers release the HTM lock (if raised) and publish a new
+    /// clock version; read-only transactions have nothing to do (every
+    /// read was individually validated against an unmoved clock).
+    pub(crate) fn commit(&mut self) {
+        if self.wrote {
+            if self.htm_lock_set {
+                self.meter.charge(cost::GLOBAL_STORE);
+                self.heap.store(self.globals.global_htm_lock, 0);
+                self.htm_lock_set = false;
+            }
+            self.meter.charge(cost::GLOBAL_STORE);
+            self.heap
+                .store(self.globals.global_clock, clock::next_version(self.tx_version));
+        }
+    }
+}
+
+impl TxOps for EagerCtx<'_> {
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        if self.dead {
+            return Err(RESTART);
+        }
+        self.meter.tick(cost::NOREC_READ);
+        let value = self.heap.load(addr);
+        // After the first write we hold the clock lock, so the check is
+        // trivially true and skipped.
+        if !self.wrote && self.heap.load(self.globals.global_clock) != self.tx_version {
+            self.dead = true;
+            return Err(RESTART);
+        }
+        Ok(value)
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+        assert!(
+            self.kind == TxKind::ReadWrite,
+            "write inside a transaction declared read-only"
+        );
+        if self.dead {
+            return Err(RESTART);
+        }
+        if !self.wrote {
+            self.handle_first_write()?;
+        }
+        self.meter.tick(cost::NOREC_WRITE);
+        self.heap.store(addr, value);
+        Ok(())
+    }
+
+    fn alloc(&mut self, words: u64) -> TxResult<Addr> {
+        if self.dead {
+            return Err(RESTART);
+        }
+        self.meter.charge(cost::ALLOC);
+        Ok(self.mem.alloc(self.heap, self.tid, words))
+    }
+
+    fn free(&mut self, addr: Addr) -> TxResult<()> {
+        if self.dead {
+            return Err(RESTART);
+        }
+        self.meter.charge(cost::FREE);
+        self.mem.free(addr);
+        Ok(())
+    }
+}
+
+pub(crate) fn run_lazy<T>(
+    t: &mut TmThread,
+    kind: TxKind,
+    body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> T {
+    let rt = t.rt.clone();
+    let heap: &Heap = rt.heap();
+    let globals = *rt.globals();
+    let interleave = rt.config().interleave_accesses;
+    t.stats.slow_path_entries += 1;
+    loop {
+        let mut spin = cost::STM_START;
+        let tx_version = read_clock_unlocked(heap, &globals, &mut spin);
+        let mut ctx = LazyCtx {
+            heap,
+            globals,
+            mem: &mut t.mem,
+            tid: t.tid,
+            kind,
+            tx_version,
+            read_log: Vec::new(),
+            write_set: Vec::new(),
+            dead: false,
+            set_htm_lock: false,
+            meter: Meter::new(interleave),
+        };
+        ctx.meter.charge(spin);
+        let outcome = body(&mut Tx::new(&mut ctx));
+        match outcome {
+            Ok(value) => {
+                if ctx.commit().is_ok() {
+                    t.stats.cycles += ctx.meter.cycles;
+                    t.mem.commit(heap, t.tid);
+                    t.stats.slow_path_commits += 1;
+                    return value;
+                }
+                t.stats.cycles += ctx.meter.cycles;
+                t.mem.rollback(heap, t.tid);
+                t.stats.slow_path_restarts += 1;
+            }
+            Err(_) => {
+                t.stats.cycles += ctx.meter.cycles;
+                t.mem.rollback(heap, t.tid);
+                t.stats.slow_path_restarts += 1;
+            }
+        }
+    }
+}
+
+/// The classic lazy NOrec context: value-logged reads, buffered writes.
+pub(crate) struct LazyCtx<'a> {
+    pub(crate) heap: &'a Heap,
+    pub(crate) globals: Globals,
+    pub(crate) mem: &'a mut TxMem,
+    pub(crate) tid: usize,
+    pub(crate) kind: TxKind,
+    pub(crate) tx_version: u64,
+    pub(crate) read_log: Vec<(Addr, u64)>,
+    pub(crate) write_set: Vec<(Addr, u64)>,
+    pub(crate) dead: bool,
+    /// Raise `global_htm_lock` around the commit write-back (hybrid lazy
+    /// slow path): hardware fast paths must never see a partial write-back.
+    pub(crate) set_htm_lock: bool,
+    pub(crate) meter: Meter,
+}
+
+impl LazyCtx<'_> {
+    /// NOrec's value-based revalidation: loop until the clock is stable
+    /// around a full re-read of the read log.
+    fn revalidate(&mut self) -> TxResult<()> {
+        loop {
+            let mut spin = 0;
+            let version = read_clock_unlocked(self.heap, &self.globals, &mut spin);
+            self.meter
+                .charge(spin + self.read_log.len() as u64 * cost::NOREC_REVALIDATE_ENTRY);
+            for &(addr, seen) in &self.read_log {
+                if self.heap.load(addr) != seen {
+                    self.dead = true;
+                    return Err(RESTART);
+                }
+            }
+            if self.heap.load(self.globals.global_clock) == version {
+                self.tx_version = version;
+                return Ok(());
+            }
+        }
+    }
+
+    fn lookup_write(&self, addr: Addr) -> Option<u64> {
+        self.write_set
+            .iter()
+            .rev()
+            .find(|&&(a, _)| a == addr)
+            .map(|&(_, v)| v)
+    }
+
+    pub(crate) fn commit(&mut self) -> TxResult<()> {
+        if self.write_set.is_empty() {
+            return Ok(());
+        }
+        // Lock the clock at our validated version, revalidating as needed.
+        loop {
+            self.meter.charge(cost::GLOBAL_RMW);
+            if self
+                .heap
+                .compare_exchange(
+                    self.globals.global_clock,
+                    self.tx_version,
+                    clock::set_lock_bit(self.tx_version),
+                )
+                .is_ok()
+            {
+                break;
+            }
+            self.revalidate()?;
+        }
+        self.meter.charge(
+            self.write_set.len() as u64 * cost::NOREC_WRITEBACK_ENTRY + cost::GLOBAL_STORE,
+        );
+        if self.set_htm_lock {
+            self.meter.charge(cost::GLOBAL_STORE);
+            self.heap.store(self.globals.global_htm_lock, 1);
+        }
+        for &(addr, value) in &self.write_set {
+            self.heap.store(addr, value);
+        }
+        if self.set_htm_lock {
+            self.meter.charge(cost::GLOBAL_STORE);
+            self.heap.store(self.globals.global_htm_lock, 0);
+        }
+        self.heap.store(
+            self.globals.global_clock,
+            clock::next_version(self.tx_version),
+        );
+        Ok(())
+    }
+}
+
+impl TxOps for LazyCtx<'_> {
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        if self.dead {
+            return Err(RESTART);
+        }
+        self.meter.tick(cost::NOREC_LAZY_READ);
+        if let Some(v) = self.lookup_write(addr) {
+            return Ok(v);
+        }
+        let mut value = self.heap.load(addr);
+        // Re-validate until the clock is quiescent around the read.
+        while self.heap.load(self.globals.global_clock) != self.tx_version {
+            self.revalidate()?;
+            value = self.heap.load(addr);
+        }
+        self.read_log.push((addr, value));
+        Ok(value)
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+        assert!(
+            self.kind == TxKind::ReadWrite,
+            "write inside a transaction declared read-only"
+        );
+        if self.dead {
+            return Err(RESTART);
+        }
+        self.meter.tick(cost::NOREC_LAZY_WRITE);
+        self.write_set.push((addr, value));
+        Ok(())
+    }
+
+    fn alloc(&mut self, words: u64) -> TxResult<Addr> {
+        if self.dead {
+            return Err(RESTART);
+        }
+        self.meter.charge(cost::ALLOC);
+        Ok(self.mem.alloc(self.heap, self.tid, words))
+    }
+
+    fn free(&mut self, addr: Addr) -> TxResult<()> {
+        if self.dead {
+            return Err(RESTART);
+        }
+        self.meter.charge(cost::FREE);
+        self.mem.free(addr);
+        Ok(())
+    }
+}

@@ -1,0 +1,658 @@
+//! **Reduced Hardware NOrec** — the paper's contribution (§2.2–§2.4).
+//!
+//! Two changes relative to Hybrid NOrec, both enabled by putting small
+//! hardware transactions *inside the software slow path* (making it a
+//! "mixed" slow path):
+//!
+//! * **HTM postfix** (Algorithm 2): the slow path's first write locks the
+//!   global clock and opens a small hardware transaction that carries every
+//!   subsequent access; all the writes publish atomically at its commit.
+//!   Fast paths therefore can never observe partial slow-path writes — so
+//!   the fast path reads the global clock only *at its commit point*
+//!   instead of at start, eliminating Hybrid NOrec's false-abort storm.
+//!   If the postfix cannot run, the slow path raises `global_htm_lock`
+//!   (aborting all fast paths) and writes in place, exactly like Hybrid
+//!   NOrec.
+//! * **HTM prefix** (Algorithm 3): the slow path *starts* inside a small
+//!   hardware transaction that covers as many initial reads as possible,
+//!   deferring the clock read to the prefix's commit. Until then the HTM's
+//!   own conflict detection replaces NOrec's per-read clock validation,
+//!   shrinking the window in which a concurrent writer forces a slow-path
+//!   restart. The prefix length adapts from abort feedback (§2.4); a
+//!   transaction that fits entirely inside the prefix commits pure-HTM.
+//!
+//! Starvation of the slow path is handled by the §3.3 serial lock, which
+//! writer fast paths subscribe to at commit.
+
+use sim_htm::AbortCode;
+use sim_mem::{Addr, Heap};
+
+use crate::algorithms::common::{
+    acquire_word_lock, classify_fast_abort, release_word_lock, xabort,
+};
+use crate::algorithms::hybrid_norec::fast_commit_clock_update;
+use crate::cost;
+use crate::algorithms::norec::read_clock_unlocked;
+use crate::error::{TxResult, RESTART};
+use crate::globals::{clock, Globals};
+use crate::runtime::TmThread;
+use crate::stats::TmThreadStats;
+use crate::tx::{Tx, TxMem, TxOps};
+use crate::{PrefixConfig, TxKind};
+
+pub(crate) fn run<T>(
+    t: &mut TmThread,
+    kind: TxKind,
+    body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
+    with_prefix: bool,
+) -> T {
+    let retries = t.rt.config().retry.fast_path_retries;
+    let mut attempts = 0;
+    loop {
+        match try_fast(t, kind, body) {
+            Ok(value) => {
+                t.stats.fast_path_commits += 1;
+                return value;
+            }
+            Err(code) => {
+                if let Some(code) = code {
+                    classify_fast_abort(&mut t.stats, code);
+                    attempts += 1;
+                    if code.may_retry() && attempts < retries {
+                        // Backoff before retrying in hardware so the
+                        // conflicting transaction can finish (what
+                        // production elision runtimes do between xbegin
+                        // attempts); otherwise retries re-collide and
+                        // convoy into the fallback.
+                        if t.rt.config().interleave_accesses != 0 {
+                            for _ in 0..attempts {
+                                std::thread::yield_now();
+                            }
+                        }
+                        continue;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    mixed_slow_path(t, kind, body, with_prefix)
+}
+
+/// The RH NOrec hardware fast path (Algorithm 1): subscribe only to
+/// `global_htm_lock`; touch the clock at commit, not at start.
+fn try_fast<T>(
+    t: &mut TmThread,
+    kind: TxKind,
+    body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
+) -> Result<T, Option<AbortCode>> {
+    let rt = t.rt.clone();
+    let heap: &Heap = rt.heap();
+    let g = rt.globals();
+
+    if t.htm_thread.begin().is_err() {
+        return Err(None);
+    }
+    t.stats.cycles += cost::HTM_BEGIN + cost::HTM_ACCESS;
+    match t.htm_thread.read(g.global_htm_lock) {
+        Ok(0) => {}
+        Ok(_) => {
+            t.stats.cycles += cost::HTM_ABORT;
+            return Err(Some(t.htm_thread.abort(xabort::LOCK_HELD).code));
+        }
+        Err(e) => {
+            t.stats.cycles += cost::HTM_ABORT;
+            return Err(Some(e.code));
+        }
+    }
+
+    let interleave = t.rt.config().interleave_accesses;
+    let mut ctx = crate::algorithms::common::FastCtx::new(
+        &mut t.htm_thread,
+        heap,
+        &mut t.mem,
+        t.tid,
+        kind,
+        interleave,
+    );
+    let outcome = body(&mut Tx::new(&mut ctx));
+    let wrote = ctx.wrote;
+    let dead = ctx.dead;
+    t.stats.cycles += ctx.meter.cycles;
+
+    match outcome {
+        Ok(value) => {
+            if let Some(code) = dead {
+                t.stats.cycles += cost::HTM_ABORT;
+                t.mem.rollback(heap, t.tid);
+                return Err(Some(code));
+            }
+            if wrote {
+                // The scalability win: the clock enters the tracking set
+                // only for this handful of instructions before commit.
+                if let Err(code) = fast_commit_clock_update(t, &rt) {
+                    t.stats.cycles += cost::HTM_ABORT;
+                    t.mem.rollback(heap, t.tid);
+                    return Err(Some(code));
+                }
+            }
+            match t.htm_thread.commit() {
+                Ok(()) => {
+                    t.stats.cycles += cost::HTM_COMMIT;
+                    t.mem.commit(heap, t.tid);
+                    Ok(value)
+                }
+                Err(e) => {
+                    t.stats.cycles += cost::HTM_ABORT;
+                    t.mem.rollback(heap, t.tid);
+                    Err(Some(e.code))
+                }
+            }
+        }
+        Err(_) => {
+            let code = dead.expect("fast-path body restarted without an abort");
+            t.stats.cycles += cost::HTM_ABORT;
+            t.mem.rollback(heap, t.tid);
+            Err(Some(code))
+        }
+    }
+}
+
+/// Which execution regime the mixed slow path is currently in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    /// Inside the HTM prefix: reads run in hardware, uninstrumented.
+    Prefix,
+    /// Plain eager-NOrec reads with per-read clock validation.
+    Software,
+    /// Inside the HTM postfix: the write phase runs in hardware.
+    Postfix,
+    /// The postfix could not run: `global_htm_lock` is raised and writes go
+    /// directly to memory (the Hybrid NOrec write phase).
+    SoftwareWriter,
+}
+
+fn mixed_slow_path<T>(
+    t: &mut TmThread,
+    kind: TxKind,
+    body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
+    with_prefix: bool,
+) -> T {
+    let rt = t.rt.clone();
+    let heap: &Heap = rt.heap();
+    let globals = *rt.globals();
+    let restart_limit = rt.config().retry.slow_path_restart_limit;
+    let small_retries = rt.config().retry.small_htm_retries;
+    let prefix_cfg = rt.config().prefix;
+
+    t.stats.slow_path_entries += 1;
+    let mut restarts: u32 = 0;
+    let mut serial_held = false;
+    let mut counted = false;
+    // A small hardware transaction that dies for a deterministic reason
+    // (capacity) — or keeps dying — is abandoned for the remainder of
+    // this transaction: the paper's "reverts back to the Hybrid NOrec
+    // full software slow-path counterpart".
+    let mut allow_prefix = with_prefix;
+    let mut allow_postfix = true;
+    let mut prefix_deaths = 0u32;
+    let mut postfix_deaths = 0u32;
+
+    let value = loop {
+        if restarts > restart_limit && !serial_held {
+            acquire_word_lock(heap, globals.serial_lock, &mut t.stats.cycles);
+            serial_held = true;
+            t.stats.serial_lock_acquisitions += 1;
+        }
+        let mut ctx = RhCtx {
+            heap,
+            globals,
+            mem: &mut t.mem,
+            tid: t.tid,
+            kind,
+            htm: &mut t.htm_thread,
+            stats: &mut t.stats,
+            prefix_len: &mut t.prefix_len,
+            prefix_cfg,
+            small_retries,
+            allow_postfix,
+            interleave: rt.config().interleave_accesses,
+            accesses: 0,
+            mode: Mode::Software,
+            tx_version: 0,
+            counted,
+            prefix_reads: 0,
+            prefix_budget: 0,
+            dead: false,
+            died_in_prefix: false,
+            died_in_postfix: false,
+            death_may_retry: true,
+        };
+        ctx.start(allow_prefix);
+        let outcome = body(&mut Tx::new(&mut ctx));
+        let committed = match outcome {
+            Ok(value) => ctx.commit().map(|()| value),
+            Err(_) => {
+                debug_assert!(ctx.dead, "slow-path body restarted without cause");
+                Err(RESTART)
+            }
+        };
+        counted = ctx.counted;
+        if ctx.died_in_prefix {
+            prefix_deaths += 1;
+            // Capacity deaths are handled by the adaptive controller
+            // (each retry runs a shorter prefix); ban outright only when
+            // the length cannot shrink, or as a last-resort bound.
+            let can_shrink = prefix_cfg.adaptive && *ctx.prefix_len > prefix_cfg.min_reads;
+            if (!ctx.death_may_retry && !can_shrink) || prefix_deaths >= 8 {
+                allow_prefix = false;
+            }
+        }
+        if ctx.died_in_postfix {
+            postfix_deaths += 1;
+            // The postfix has no length to adapt: a deterministic
+            // (capacity) death means it can never succeed this
+            // transaction.
+            if !ctx.death_may_retry || postfix_deaths >= 4 {
+                allow_postfix = false;
+            }
+        }
+        match committed {
+            Ok(value) => {
+                t.mem.commit(heap, t.tid);
+                t.stats.slow_path_commits += 1;
+                break value;
+            }
+            Err(_) => {
+                t.mem.rollback(heap, t.tid);
+                t.stats.slow_path_restarts += 1;
+                restarts += 1;
+            }
+        }
+    };
+    debug_assert!(!counted, "fallback count leaked");
+    if serial_held {
+        t.stats.cycles += cost::GLOBAL_STORE;
+        release_word_lock(heap, globals.serial_lock);
+    }
+    value
+}
+
+/// The mixed slow-path transaction context (Algorithms 2 and 3).
+struct RhCtx<'a> {
+    heap: &'a Heap,
+    globals: Globals,
+    mem: &'a mut TxMem,
+    tid: usize,
+    kind: TxKind,
+    htm: &'a mut sim_htm::HtmThread,
+    stats: &'a mut TmThreadStats,
+    /// Adaptive expected prefix length, persisted on the thread.
+    prefix_len: &'a mut u64,
+    prefix_cfg: PrefixConfig,
+    small_retries: u32,
+    /// Postfix permitted this attempt (cleared after deterministic death).
+    allow_postfix: bool,
+    interleave: u32,
+    accesses: u64,
+    mode: Mode,
+    /// Local copy of the global clock (locked value after first write).
+    tx_version: u64,
+    /// Whether this transaction currently holds a `num_of_fallbacks` unit.
+    counted: bool,
+    prefix_reads: u64,
+    prefix_budget: u64,
+    dead: bool,
+    /// Death diagnostics for the retry loop's ban policy.
+    died_in_prefix: bool,
+    died_in_postfix: bool,
+    death_may_retry: bool,
+}
+
+impl RhCtx<'_> {
+    /// Charges one transactional access and paces interleaving.
+    #[inline]
+    fn tick(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+        self.accesses += 1;
+        if self.interleave != 0 && self.accesses % self.interleave as u64 == 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// MIXED_SLOW_PATH_START: try the HTM prefix; otherwise the original
+    /// (Algorithm 2) software start.
+    fn start(&mut self, with_prefix: bool) {
+        if with_prefix && *self.prefix_len > 0 && self.start_prefix() {
+            return;
+        }
+        self.software_start();
+    }
+
+    fn software_start(&mut self) {
+        if !self.counted {
+            self.stats.cycles += cost::GLOBAL_RMW;
+            self.heap.fetch_update(self.globals.num_of_fallbacks, |v| v + 1);
+            self.counted = true;
+        }
+        let mut spin = cost::STM_START;
+        self.tx_version = read_clock_unlocked(self.heap, &self.globals, &mut spin);
+        self.stats.cycles += spin;
+        self.mode = Mode::Software;
+    }
+
+    /// START_RH_HTM_PREFIX (Algorithm 3 lines 9–26).
+    fn start_prefix(&mut self) -> bool {
+        for _ in 0..self.small_retries.max(1) {
+            self.stats.prefix_attempts += 1;
+            if self.htm.begin().is_err() {
+                continue;
+            }
+            self.stats.cycles += cost::HTM_BEGIN + cost::HTM_ACCESS;
+            // Subscribe to the HTM lock to preserve opacity against
+            // software-writer slow paths.
+            match self.htm.read(self.globals.global_htm_lock) {
+                Ok(0) => {
+                    self.mode = Mode::Prefix;
+                    self.prefix_reads = 0;
+                    self.prefix_budget = *self.prefix_len;
+                    return true;
+                }
+                Ok(_) => {
+                    let code = self.htm.abort(xabort::LOCK_HELD).code;
+                    self.note_prefix_abort(code);
+                }
+                Err(e) => self.note_prefix_abort(e.code),
+            }
+        }
+        false
+    }
+
+    fn note_prefix_abort(&mut self, code: AbortCode) {
+        self.stats.cycles += cost::HTM_ABORT;
+        match code {
+            AbortCode::Conflict => self.stats.prefix_conflict_aborts += 1,
+            AbortCode::Capacity { .. } => self.stats.prefix_capacity_aborts += 1,
+            _ => {}
+        }
+        if self.prefix_cfg.adaptive {
+            // Capacity means the length itself is wrong: shrink hard.
+            // Conflicts and external events are transient: back off
+            // gently, or repeated bad luck disables the prefix for good.
+            *self.prefix_len = match code {
+                AbortCode::Capacity { .. } => *self.prefix_len / 2,
+                _ => self.prefix_len.saturating_sub(8),
+            }
+            .max(self.prefix_cfg.min_reads);
+        }
+    }
+
+    fn note_prefix_commit(&mut self) {
+        self.stats.prefix_commits += 1;
+        if self.prefix_cfg.adaptive {
+            *self.prefix_len = (*self.prefix_len + 8).min(self.prefix_cfg.max_reads);
+        }
+    }
+
+    fn note_postfix_abort(&mut self, code: AbortCode) {
+        self.stats.cycles += cost::HTM_ABORT;
+        match code {
+            AbortCode::Conflict => self.stats.postfix_conflict_aborts += 1,
+            AbortCode::Capacity { .. } => self.stats.postfix_capacity_aborts += 1,
+            _ => {}
+        }
+    }
+
+    /// COMMIT_RH_HTM_PREFIX (Algorithm 3 lines 47–56): performed when the
+    /// prefix budget runs out, at the first write, or never (a transaction
+    /// that commits wholly inside the prefix).
+    ///
+    /// Transitions to `Software` mode on success; kills the attempt on
+    /// failure.
+    fn commit_prefix(&mut self) -> TxResult<()> {
+        debug_assert_eq!(self.mode, Mode::Prefix);
+        self.stats.cycles += 3 * cost::HTM_ACCESS + cost::HTM_COMMIT;
+        // Transactionally announce the fallback and snapshot the clock: the
+        // HTM validates both together with every prefix read.
+        if !self.counted {
+            let fb = match self.htm.read(self.globals.num_of_fallbacks) {
+                Ok(v) => v,
+                Err(e) => return self.prefix_died(e.code),
+            };
+            if let Err(e) = self.htm.write(self.globals.num_of_fallbacks, fb + 1) {
+                return self.prefix_died(e.code);
+            }
+        }
+        let tv = match self.htm.read(self.globals.global_clock) {
+            Ok(v) => v,
+            Err(e) => return self.prefix_died(e.code),
+        };
+        if clock::is_locked(tv) {
+            let code = self.htm.abort(xabort::CLOCK_LOCKED).code;
+            return self.prefix_died(code);
+        }
+        match self.htm.commit() {
+            Ok(()) => {
+                self.note_prefix_commit();
+                self.counted = true;
+                self.tx_version = tv;
+                self.mode = Mode::Software;
+                Ok(())
+            }
+            Err(e) => self.prefix_died(e.code),
+        }
+    }
+
+    fn prefix_died(&mut self, code: AbortCode) -> TxResult<()> {
+        self.note_prefix_abort(code);
+        self.died_in_prefix = true;
+        self.death_may_retry = code.may_retry();
+        self.dead = true;
+        Err(RESTART)
+    }
+
+    /// HANDLE_FIRST_WRITE (Algorithm 2 lines 25–31): lock the clock, then
+    /// open the HTM postfix; if it cannot start, raise the HTM lock and
+    /// fall back to direct writes.
+    fn handle_first_write(&mut self) -> TxResult<()> {
+        debug_assert_eq!(self.mode, Mode::Software);
+        debug_assert!(self.counted);
+        self.stats.cycles += cost::GLOBAL_RMW;
+        if self
+            .heap
+            .compare_exchange(
+                self.globals.global_clock,
+                self.tx_version,
+                clock::set_lock_bit(self.tx_version),
+            )
+            .is_err()
+        {
+            self.dead = true;
+            return Err(RESTART);
+        }
+        self.tx_version = clock::set_lock_bit(self.tx_version);
+
+        if self.allow_postfix {
+            for _ in 0..self.small_retries.max(1) {
+                self.stats.postfix_attempts += 1;
+                if self.htm.begin().is_ok() {
+                    self.stats.cycles += cost::HTM_BEGIN;
+                    self.mode = Mode::Postfix;
+                    return Ok(());
+                }
+            }
+        }
+        // Postfix refused: abort all fast paths and write in software.
+        self.stats.cycles += cost::GLOBAL_STORE;
+        self.heap.store(self.globals.global_htm_lock, 1);
+        self.mode = Mode::SoftwareWriter;
+        Ok(())
+    }
+
+    /// Postfix death: discard speculation, release the clock at its
+    /// pre-lock version (nothing was published), kill the attempt.
+    fn postfix_died(&mut self, code: AbortCode) -> TxResult<()> {
+        self.note_postfix_abort(code);
+        self.died_in_postfix = true;
+        self.death_may_retry = code.may_retry();
+        self.stats.cycles += cost::GLOBAL_STORE;
+        self.heap.store(
+            self.globals.global_clock,
+            clock::clear_lock_bit(self.tx_version),
+        );
+        self.dead = true;
+        Err(RESTART)
+    }
+
+    /// MIXED_SLOW_PATH_COMMIT (Algorithms 2 and 3).
+    fn commit(&mut self) -> TxResult<()> {
+        if self.dead {
+            return Err(RESTART);
+        }
+        match self.mode {
+            Mode::Prefix => {
+                // The whole transaction fit in the prefix.
+                self.stats.cycles += cost::HTM_COMMIT;
+                match self.htm.commit() {
+                    Ok(()) => {
+                        self.note_prefix_commit();
+                        if self.counted {
+                            self.stats.cycles += cost::GLOBAL_RMW;
+                            self.heap.fetch_update(self.globals.num_of_fallbacks, |v| v - 1);
+                            self.counted = false;
+                        }
+                        Ok(())
+                    }
+                    Err(e) => self.prefix_died(e.code),
+                }
+            }
+            Mode::Software => {
+                // Read-only (no write was encountered).
+                if self.counted {
+                    self.stats.cycles += cost::GLOBAL_RMW;
+                    self.heap.fetch_update(self.globals.num_of_fallbacks, |v| v - 1);
+                    self.counted = false;
+                }
+                Ok(())
+            }
+            Mode::Postfix => match self.htm.commit() {
+                Ok(()) => {
+                    self.stats.cycles +=
+                        cost::HTM_COMMIT + cost::GLOBAL_STORE + cost::GLOBAL_RMW;
+                    self.stats.postfix_commits += 1;
+                    self.heap.store(
+                        self.globals.global_clock,
+                        clock::next_version(self.tx_version),
+                    );
+                    self.heap.fetch_update(self.globals.num_of_fallbacks, |v| v - 1);
+                    self.counted = false;
+                    Ok(())
+                }
+                Err(e) => self.postfix_died(e.code),
+            },
+            Mode::SoftwareWriter => {
+                self.stats.cycles += 2 * cost::GLOBAL_STORE + cost::GLOBAL_RMW;
+                self.heap.store(self.globals.global_htm_lock, 0);
+                self.heap.store(
+                    self.globals.global_clock,
+                    clock::next_version(self.tx_version),
+                );
+                self.heap.fetch_update(self.globals.num_of_fallbacks, |v| v - 1);
+                self.counted = false;
+                Ok(())
+            }
+        }
+    }
+}
+
+impl TxOps for RhCtx<'_> {
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        if self.dead {
+            return Err(RESTART);
+        }
+        if self.mode == Mode::Prefix {
+            self.prefix_reads += 1;
+            if self.prefix_reads <= self.prefix_budget {
+                self.tick(cost::HTM_ACCESS);
+                return match self.htm.read(addr) {
+                    Ok(v) => Ok(v),
+                    Err(e) => self.prefix_died(e.code).map(|()| 0),
+                };
+            }
+            // Budget exhausted: close the prefix and continue in software.
+            self.commit_prefix()?;
+        }
+        match self.mode {
+            Mode::Software => {
+                self.tick(cost::NOREC_READ);
+                let value = self.heap.load(addr);
+                if self.heap.load(self.globals.global_clock) != self.tx_version {
+                    self.dead = true;
+                    return Err(RESTART);
+                }
+                Ok(value)
+            }
+            Mode::Postfix => {
+                self.tick(cost::HTM_ACCESS);
+                match self.htm.read(addr) {
+                    Ok(v) => Ok(v),
+                    Err(e) => self.postfix_died(e.code).map(|()| 0),
+                }
+            }
+            Mode::SoftwareWriter => {
+                self.tick(cost::NOREC_READ);
+                Ok(self.heap.load(addr))
+            }
+            Mode::Prefix => unreachable!("prefix handled above"),
+        }
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+        assert!(
+            self.kind == TxKind::ReadWrite,
+            "write inside a transaction declared read-only"
+        );
+        if self.dead {
+            return Err(RESTART);
+        }
+        if self.mode == Mode::Prefix {
+            // First write ends the prefix (Algorithm 3 lines 40–45).
+            self.commit_prefix()?;
+        }
+        if self.mode == Mode::Software {
+            self.handle_first_write()?;
+        }
+        match self.mode {
+            Mode::Postfix => {
+                self.tick(cost::HTM_ACCESS);
+                match self.htm.write(addr, value) {
+                    Ok(()) => Ok(()),
+                    Err(e) => self.postfix_died(e.code),
+                }
+            }
+            Mode::SoftwareWriter => {
+                self.tick(cost::NOREC_WRITE);
+                self.heap.store(addr, value);
+                Ok(())
+            }
+            Mode::Prefix | Mode::Software => unreachable!("write phase established above"),
+        }
+    }
+
+    fn alloc(&mut self, words: u64) -> TxResult<Addr> {
+        if self.dead {
+            return Err(RESTART);
+        }
+        self.stats.cycles += cost::ALLOC;
+        Ok(self.mem.alloc(self.heap, self.tid, words))
+    }
+
+    fn free(&mut self, addr: Addr) -> TxResult<()> {
+        if self.dead {
+            return Err(RESTART);
+        }
+        self.stats.cycles += cost::FREE;
+        self.mem.free(addr);
+        Ok(())
+    }
+}

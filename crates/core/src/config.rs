@@ -1,0 +1,228 @@
+//! TM runtime configuration: algorithm selection and retry policies.
+
+/// The TM algorithms evaluated in the paper (§3.1), plus the ablation
+/// variants this reproduction adds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Algorithm {
+    /// Pure hardware transactions with a single global lock as fallback.
+    /// The lock serializes everything, so it does not scale under fallback
+    /// pressure — the paper's motivating baseline.
+    LockElision,
+    /// The all-software NOrec STM with eager encounter-time writes (the
+    /// variant the paper found fastest at its concurrency levels).
+    Norec,
+    /// The classic lazy NOrec STM with read/write-set logging and
+    /// value-based revalidation. Ablation baseline (§3.1 mentions both).
+    NorecLazy,
+    /// The all-software TL2 STM with per-stripe versioned locks and eager
+    /// encounter-time writes.
+    Tl2,
+    /// Hybrid NOrec of Dalessandro et al.: HTM fast path that subscribes to
+    /// the global clock *at start*, with a NOrec software slow path.
+    HybridNorec,
+    /// Hybrid NOrec with the *lazy* NOrec slow path (write-set buffering,
+    /// value-based revalidation). The paper implemented both and found
+    /// "the eager HyTM design outperforms the lazy HyTM design for the low
+    /// concurrency levels available in our benchmarks" (§3.1). Ablation.
+    HybridNorecLazy,
+    /// **The paper's contribution**: Reduced Hardware NOrec — pure fast
+    /// path that touches the clock only at commit, and a mixed slow path
+    /// with an adaptive HTM prefix and an HTM postfix.
+    RhNorec,
+    /// RH NOrec restricted to the HTM postfix (the paper's Algorithm 2,
+    /// before §2.4 adds the prefix). Ablation.
+    RhNorecPostfixOnly,
+}
+
+impl Algorithm {
+    /// All algorithm variants, in the order the paper's figures list them.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::LockElision,
+        Algorithm::Norec,
+        Algorithm::NorecLazy,
+        Algorithm::Tl2,
+        Algorithm::HybridNorec,
+        Algorithm::HybridNorecLazy,
+        Algorithm::RhNorec,
+        Algorithm::RhNorecPostfixOnly,
+    ];
+
+    /// The five algorithms the paper's figures compare.
+    pub const PAPER_SET: [Algorithm; 5] = [
+        Algorithm::LockElision,
+        Algorithm::Norec,
+        Algorithm::Tl2,
+        Algorithm::HybridNorec,
+        Algorithm::RhNorec,
+    ];
+
+    /// Short label used in figure output (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::LockElision => "Lock Elision",
+            Algorithm::Norec => "NOrec",
+            Algorithm::NorecLazy => "NOrec-Lazy",
+            Algorithm::Tl2 => "TL2",
+            Algorithm::HybridNorec => "HY-NOrec",
+            Algorithm::HybridNorecLazy => "HY-NOrec-Lazy",
+            Algorithm::RhNorec => "RH-NOrec",
+            Algorithm::RhNorecPostfixOnly => "RH-NOrec-Postfix",
+        }
+    }
+
+    /// Whether the algorithm ever runs hardware transactions.
+    pub fn uses_htm(self) -> bool {
+        !matches!(self, Algorithm::Norec | Algorithm::NorecLazy | Algorithm::Tl2)
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Adaptive HTM-prefix length control (paper §2.4: "the length of the HTM
+/// prefix adjusts dynamically based on the HTM abort feedback").
+///
+/// The controller is multiplicative-decrease on prefix failure and
+/// additive-increase on success, clamped to `[min_reads, max_reads]`; a
+/// prefix that shrinks to zero is skipped entirely until successes grow it
+/// back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefixConfig {
+    /// Initial expected prefix length, in reads.
+    pub initial_reads: u64,
+    /// Lower clamp; 0 lets the controller disable the prefix.
+    pub min_reads: u64,
+    /// Upper clamp.
+    pub max_reads: u64,
+    /// When `false` the length is pinned at `initial_reads` (ablation).
+    pub adaptive: bool,
+}
+
+impl Default for PrefixConfig {
+    fn default() -> Self {
+        PrefixConfig {
+            initial_reads: 64,
+            // Keep probing with short prefixes even after a losing streak:
+            // a floor of 0 would disable the prefix permanently (success
+            // is the only way the length grows back, and a zero-length
+            // prefix is never attempted).
+            min_reads: 4,
+            max_reads: 4096,
+            adaptive: true,
+        }
+    }
+}
+
+/// Retry policy knobs (paper §3.3–3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum hardware restarts of the fast path before falling back
+    /// (paper: 10). Aborts without the retry hint fall back immediately.
+    pub fast_path_retries: u32,
+    /// Slow-path restarts before grabbing the serial lock (paper: 10).
+    pub slow_path_restart_limit: u32,
+    /// Attempts for each small hardware transaction (prefix/postfix) before
+    /// using its software counterpart (paper §3.4: exactly one).
+    pub small_htm_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            fast_path_retries: 10,
+            slow_path_restart_limit: 10,
+            small_htm_retries: 1,
+        }
+    }
+}
+
+/// Full configuration of a TM runtime.
+///
+/// # Examples
+///
+/// ```rust
+/// use rh_norec::{Algorithm, TmConfig};
+///
+/// let config = TmConfig::new(Algorithm::RhNorec);
+/// assert_eq!(config.retry.fast_path_retries, 10);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TmConfig {
+    /// Which algorithm to run.
+    pub algorithm: Algorithm,
+    /// Retry policy.
+    pub retry: RetryPolicy,
+    /// HTM-prefix length control (RH NOrec only).
+    pub prefix: PrefixConfig,
+    /// Yield the host thread every N transactional accesses (0 = never,
+    /// the default).
+    ///
+    /// On hosts with fewer cores than workers, threads timeshare and
+    /// transactions barely overlap in time, hiding the contention the
+    /// paper measures. The benchmark harness enables periodic yields to
+    /// restore realistic interleaving density; they do not affect
+    /// correctness, only scheduling.
+    pub interleave_accesses: u32,
+}
+
+impl TmConfig {
+    /// The paper's configuration for `algorithm`.
+    pub fn new(algorithm: Algorithm) -> Self {
+        TmConfig {
+            algorithm,
+            retry: RetryPolicy::default(),
+            prefix: PrefixConfig::default(),
+            interleave_accesses: 0,
+        }
+    }
+}
+
+/// Static transaction kind hint.
+///
+/// The paper's GCC integration uses compiler static analysis to tell the
+/// runtime a transaction is read-only (Algorithm 1 line 25: "Detected by
+/// compiler static analysis"); read-only fast paths skip the commit-time
+/// clock update. This enum is the call-site stand-in for that analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxKind {
+    /// The transaction may write.
+    ReadWrite,
+    /// The transaction is statically known never to write.
+    ///
+    /// Writing inside a `ReadOnly` transaction is a programming error and
+    /// panics, as miscompiled read-only hints would corrupt the protocol.
+    ReadOnly,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            Algorithm::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), Algorithm::ALL.len());
+    }
+
+    #[test]
+    fn stm_algorithms_do_not_use_htm() {
+        assert!(!Algorithm::Norec.uses_htm());
+        assert!(!Algorithm::Tl2.uses_htm());
+        assert!(Algorithm::RhNorec.uses_htm());
+        assert!(Algorithm::LockElision.uses_htm());
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = TmConfig::new(Algorithm::HybridNorec);
+        assert_eq!(c.retry.fast_path_retries, 10);
+        assert_eq!(c.retry.slow_path_restart_limit, 10);
+        assert_eq!(c.retry.small_htm_retries, 1);
+        assert!(c.prefix.adaptive);
+    }
+}

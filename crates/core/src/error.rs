@@ -1,0 +1,36 @@
+//! Transaction control-flow and error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Signal that the current transaction attempt must restart.
+///
+/// Returned by every [`Tx`](crate::Tx) operation when the attempt can no
+/// longer commit (validation failure, hardware abort, …). Transaction
+/// bodies simply propagate it with `?`; the engine's retry loop catches it
+/// and re-executes the body. User code cannot construct one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxRestart(pub(crate) ());
+
+impl fmt::Display for TxRestart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("transaction attempt must restart")
+    }
+}
+
+impl Error for TxRestart {}
+
+/// Convenience alias for the result of transactional operations.
+pub type TxResult<T> = Result<T, TxRestart>;
+
+pub(crate) const RESTART: TxRestart = TxRestart(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_displays() {
+        assert!(RESTART.to_string().contains("restart"));
+    }
+}

@@ -1,0 +1,117 @@
+//! The hybrid protocols' global coordination variables.
+//!
+//! The paper's protocols coordinate through three shared variables (§2.3)
+//! plus the retry policy's serial lock (§3.3). All four live in the
+//! simulated heap — one per cache line so that subscribing to one never
+//! tracks another — because the hardware fast paths must be able to read
+//! and write them transactionally.
+
+use sim_mem::{Addr, Heap, WORDS_PER_LINE};
+
+/// Version-clock encoding helpers (lock bit in bit 0, version above it) —
+/// the paper's `is_locked` / `set_lock_bit` / `clear_lock_bit`.
+pub mod clock {
+    /// Whether the clock value carries the writer lock bit.
+    #[inline]
+    pub const fn is_locked(value: u64) -> bool {
+        value & 1 == 1
+    }
+
+    /// The clock value with the lock bit set.
+    #[inline]
+    pub const fn set_lock_bit(value: u64) -> u64 {
+        value | 1
+    }
+
+    /// The clock value with the lock bit cleared.
+    #[inline]
+    pub const fn clear_lock_bit(value: u64) -> u64 {
+        value & !1
+    }
+
+    /// The unlocked clock value one version later.
+    #[inline]
+    pub const fn next_version(value: u64) -> u64 {
+        clear_lock_bit(value) + 2
+    }
+}
+
+/// Heap addresses of the protocol's global variables.
+#[derive(Clone, Copy, Debug)]
+pub struct Globals {
+    /// The NOrec global clock: version with writer lock bit.
+    pub global_clock: Addr,
+    /// Set to abort all hardware fast paths when a mixed slow path must run
+    /// its writes in software.
+    pub global_htm_lock: Addr,
+    /// Number of transactions currently on a software/mixed slow path.
+    pub num_of_fallbacks: Addr,
+    /// The starvation-avoidance serial lock (§3.3).
+    pub serial_lock: Addr,
+}
+
+impl Globals {
+    /// Allocates the globals, one per cache line, zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap cannot satisfy four line-sized allocations.
+    pub fn allocate(heap: &Heap) -> Globals {
+        let alloc = heap.allocator();
+        let slot = || {
+            alloc
+                .alloc(0, WORDS_PER_LINE)
+                .expect("heap too small for TM globals")
+        };
+        Globals {
+            global_clock: slot(),
+            global_htm_lock: slot(),
+            num_of_fallbacks: slot(),
+            serial_lock: slot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::{HeapConfig, LineId};
+
+    #[test]
+    fn clock_encoding_round_trips() {
+        let v = 42 << 1;
+        assert!(!clock::is_locked(v));
+        let locked = clock::set_lock_bit(v);
+        assert!(clock::is_locked(locked));
+        assert_eq!(clock::clear_lock_bit(locked), v);
+        assert_eq!(clock::next_version(locked), v + 2);
+        assert_eq!(clock::next_version(v), v + 2);
+    }
+
+    #[test]
+    fn globals_live_on_distinct_lines() {
+        let heap = Heap::new(HeapConfig { words: 1 << 12 });
+        let g = Globals::allocate(&heap);
+        let lines = [
+            LineId::containing(g.global_clock),
+            LineId::containing(g.global_htm_lock),
+            LineId::containing(g.num_of_fallbacks),
+            LineId::containing(g.serial_lock),
+        ];
+        for i in 0..lines.len() {
+            for j in i + 1..lines.len() {
+                assert_ne!(lines[i], lines[j], "globals share a cache line");
+            }
+        }
+    }
+
+    #[test]
+    fn globals_start_zeroed() {
+        let heap = Heap::new(HeapConfig { words: 1 << 12 });
+        let g = Globals::allocate(&heap);
+        assert_eq!(heap.load(g.global_clock), 0);
+        assert_eq!(heap.load(g.global_htm_lock), 0);
+        assert_eq!(heap.load(g.num_of_fallbacks), 0);
+        assert_eq!(heap.load(g.serial_lock), 0);
+    }
+}

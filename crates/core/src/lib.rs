@@ -1,0 +1,62 @@
+//! # rh-norec: Reduced Hardware NOrec and its baselines
+//!
+//! A faithful reproduction of the TM algorithms evaluated in *Reduced
+//! Hardware NOrec: A Safe and Scalable Hybrid Transactional Memory*
+//! (Matveev & Shavit, ASPLOS 2015), over the [`sim_htm`] simulated
+//! best-effort HTM and the [`sim_mem`] shared heap:
+//!
+//! * [`Algorithm::LockElision`] — HTM + global-lock fallback,
+//! * [`Algorithm::Norec`] / [`Algorithm::NorecLazy`] — the NOrec STM,
+//! * [`Algorithm::Tl2`] — the TL2 STM,
+//! * [`Algorithm::HybridNorec`] — Hybrid NOrec (Dalessandro et al.),
+//! * [`Algorithm::RhNorec`] — the paper's contribution, with its adaptive
+//!   HTM prefix and HTM postfix (plus a postfix-only ablation).
+//!
+//! All algorithms present one interface: build a [`TmRuntime`], register a
+//! [`TmThread`] per worker, and run closures with
+//! [`TmThread::execute`]. Every algorithm provides opacity and
+//! privatization — the same semantics as pure hardware transactions —
+//! which is the point of the paper.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use sim_mem::{Heap, HeapConfig};
+//! use sim_htm::{Htm, HtmConfig};
+//! use rh_norec::{Algorithm, TmConfig, TmRuntime, TxKind};
+//!
+//! let heap = Arc::new(Heap::new(HeapConfig::default()));
+//! let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+//! let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+//!
+//! let account = heap.allocator().alloc(0, 1)?;
+//! let mut worker = rt.register(0);
+//! let old = worker.execute(TxKind::ReadWrite, |tx| {
+//!     let v = tx.read(account)?;
+//!     tx.write(account, v + 100)?;
+//!     Ok(v)
+//! });
+//! assert_eq!(old, 0);
+//! assert_eq!(heap.load(account), 100);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod algorithms;
+mod config;
+pub mod cost;
+mod error;
+mod globals;
+mod runtime;
+mod stats;
+mod tx;
+
+pub use config::{Algorithm, PrefixConfig, RetryPolicy, TmConfig, TxKind};
+pub use error::{TxResult, TxRestart};
+pub use globals::{clock, Globals};
+pub use runtime::{TmRuntime, TmThread};
+pub use stats::{ThreadReport, TmThreadStats};
+pub use tx::Tx;

@@ -1,0 +1,224 @@
+//! The TM runtime: shared state plus per-thread execution handles.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sim_htm::{Htm, HtmThread};
+use sim_mem::Heap;
+
+use crate::algorithms::{self, tl2::Tl2Meta};
+use crate::error::TxResult;
+use crate::globals::Globals;
+use crate::stats::{ThreadReport, TmThreadStats};
+use crate::tx::{Tx, TxMem};
+use crate::{Algorithm, TmConfig, TxKind};
+
+/// Shared state of one TM instance: the algorithm configuration, the
+/// protocol's global variables, and algorithm-specific metadata (the TL2
+/// stripe-lock table).
+///
+/// Create one runtime per heap+HTM pair, then [`register`](TmRuntime::register)
+/// a [`TmThread`] per worker.
+pub struct TmRuntime {
+    heap: Arc<Heap>,
+    htm: Arc<Htm>,
+    config: TmConfig,
+    globals: Globals,
+    tl2: Tl2Meta,
+}
+
+impl TmRuntime {
+    /// Creates a runtime over `heap` and `htm`.
+    ///
+    /// Allocates the protocol's global variables from the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `htm` is not attached to `heap`.
+    pub fn new(heap: Arc<Heap>, htm: Arc<Htm>, config: TmConfig) -> Arc<Self> {
+        assert!(
+            Arc::ptr_eq(htm.heap(), &heap),
+            "the HTM device must be attached to the runtime's heap"
+        );
+        let globals = Globals::allocate(&heap);
+        Arc::new(TmRuntime {
+            heap,
+            htm,
+            config,
+            globals,
+            tl2: Tl2Meta::new(),
+        })
+    }
+
+    /// The heap transactions operate on.
+    #[inline]
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// The HTM device.
+    #[inline]
+    pub fn htm(&self) -> &Arc<Htm> {
+        &self.htm
+    }
+
+    /// The runtime configuration.
+    #[inline]
+    pub fn config(&self) -> &TmConfig {
+        &self.config
+    }
+
+    /// Heap addresses of the protocol's global variables (exposed for
+    /// white-box tests and diagnostics).
+    #[inline]
+    pub fn globals(&self) -> &Globals {
+        &self.globals
+    }
+
+    pub(crate) fn tl2(&self) -> &Tl2Meta {
+        &self.tl2
+    }
+
+    /// Registers worker `tid` and returns its execution handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range or already registered (see
+    /// [`Htm::register`]).
+    pub fn register(self: &Arc<Self>, tid: usize) -> TmThread {
+        TmThread {
+            htm_thread: self.htm.register(tid),
+            rt: Arc::clone(self),
+            tid,
+            stats: TmThreadStats::default(),
+            mem: TxMem::default(),
+            prefix_len: self.config.prefix.initial_reads,
+        }
+    }
+}
+
+impl fmt::Debug for TmRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TmRuntime")
+            .field("config", &self.config)
+            .field("globals", &self.globals)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A worker thread's handle for executing transactions.
+///
+/// Not `Sync`: each worker owns its handle. The handle owns the thread's
+/// [`HtmThread`], statistics, transactional memory log, and the adaptive
+/// HTM-prefix length state.
+///
+/// # Examples
+///
+/// ```rust
+/// use std::sync::Arc;
+/// use sim_mem::{Heap, HeapConfig};
+/// use sim_htm::{Htm, HtmConfig};
+/// use rh_norec::{Algorithm, TmConfig, TmRuntime, TxKind};
+///
+/// let heap = Arc::new(Heap::new(HeapConfig::default()));
+/// let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+/// let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+/// let counter = heap.allocator().alloc(0, 1)?;
+///
+/// let mut thread = rt.register(0);
+/// for _ in 0..10 {
+///     thread.execute(TxKind::ReadWrite, |tx| {
+///         let v = tx.read(counter)?;
+///         tx.write(counter, v + 1)
+///     });
+/// }
+/// assert_eq!(heap.load(counter), 10);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TmThread {
+    pub(crate) rt: Arc<TmRuntime>,
+    pub(crate) htm_thread: HtmThread,
+    pub(crate) tid: usize,
+    pub(crate) stats: TmThreadStats,
+    pub(crate) mem: TxMem,
+    /// Adaptive expected HTM-prefix length (reads), per §2.4.
+    pub(crate) prefix_len: u64,
+}
+
+impl TmThread {
+    /// Runs `body` as one atomic transaction and returns its result.
+    ///
+    /// The engine retries the body transparently until it commits: the body
+    /// must be safe to re-execute (no side effects other than through the
+    /// [`Tx`] handle) and must propagate every `Err` from `Tx` operations.
+    ///
+    /// `kind` is the static read-only hint (the stand-in for GCC's static
+    /// analysis); declaring [`TxKind::ReadOnly`] and then writing panics.
+    pub fn execute<T>(
+        &mut self,
+        kind: TxKind,
+        mut body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> T {
+        let value = match self.rt.config.algorithm {
+            Algorithm::LockElision => algorithms::lock_elision::run(self, kind, &mut body),
+            Algorithm::Norec => algorithms::norec::run_eager(self, kind, &mut body),
+            Algorithm::NorecLazy => algorithms::norec::run_lazy(self, kind, &mut body),
+            Algorithm::Tl2 => algorithms::tl2::run(self, kind, &mut body),
+            Algorithm::HybridNorec => algorithms::hybrid_norec::run(self, kind, &mut body, false),
+            Algorithm::HybridNorecLazy => algorithms::hybrid_norec::run(self, kind, &mut body, true),
+            Algorithm::RhNorec => algorithms::rh_norec::run(self, kind, &mut body, true),
+            Algorithm::RhNorecPostfixOnly => algorithms::rh_norec::run(self, kind, &mut body, false),
+        };
+        self.stats.commits += 1;
+        value
+    }
+
+    /// This worker's thread id.
+    #[inline]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The runtime this thread belongs to.
+    #[inline]
+    pub fn runtime(&self) -> &Arc<TmRuntime> {
+        &self.rt
+    }
+
+    /// Engine-level statistics for this thread.
+    #[inline]
+    pub fn stats(&self) -> TmThreadStats {
+        self.stats
+    }
+
+    /// Combined engine + raw HTM statistics.
+    pub fn report(&self) -> ThreadReport {
+        ThreadReport {
+            tm: self.stats,
+            htm: self.htm_thread.stats(),
+        }
+    }
+
+    /// Resets both engine and HTM statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = TmThreadStats::default();
+        self.htm_thread.reset_stats();
+    }
+
+    /// Current adaptive HTM-prefix length (reads), for diagnostics.
+    #[inline]
+    pub fn prefix_len(&self) -> u64 {
+        self.prefix_len
+    }
+}
+
+impl fmt::Debug for TmThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TmThread")
+            .field("tid", &self.tid)
+            .field("algorithm", &self.rt.config.algorithm)
+            .field("stats", &self.stats)
+            .field("prefix_len", &self.prefix_len)
+            .finish()
+    }
+}

@@ -1,0 +1,175 @@
+//! Execution statistics backing the paper's per-figure analysis rows.
+
+use sim_htm::HtmThreadStats;
+
+/// Per-thread TM execution counters.
+///
+/// These are exactly the quantities the paper plots under each throughput
+/// graph (Figures 4–6, rows 2–5): HTM conflict/capacity aborts per
+/// operation, slow-path restarts per slow-path transaction, the slow-path
+/// execution ratio, and the prefix/postfix success ratios.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct TmThreadStats {
+    /// Transactions completed (committed on any path).
+    pub commits: u64,
+    /// Commits on the hardware fast path.
+    pub fast_path_commits: u64,
+    /// Commits on the software / mixed slow path.
+    pub slow_path_commits: u64,
+    /// Commits while holding the serializing lock (Lock Elision fallback or
+    /// the §3.3 serial lock).
+    pub serial_commits: u64,
+    /// Hardware fast-path conflict aborts.
+    pub fast_conflict_aborts: u64,
+    /// Hardware fast-path capacity aborts.
+    pub fast_capacity_aborts: u64,
+    /// Hardware fast-path aborts of other kinds (explicit/spurious).
+    pub fast_other_aborts: u64,
+    /// Times a transaction fell back from the fast path to the slow path.
+    pub slow_path_entries: u64,
+    /// Restarts suffered while on the slow path.
+    pub slow_path_restarts: u64,
+    /// HTM-prefix attempts (RH NOrec mixed slow path).
+    pub prefix_attempts: u64,
+    /// HTM-prefix commits.
+    pub prefix_commits: u64,
+    /// Prefix conflict aborts (counted into the figures' HTM conflict row).
+    pub prefix_conflict_aborts: u64,
+    /// Prefix capacity aborts.
+    pub prefix_capacity_aborts: u64,
+    /// HTM-postfix attempts (RH NOrec mixed slow path).
+    pub postfix_attempts: u64,
+    /// HTM-postfix commits.
+    pub postfix_commits: u64,
+    /// Postfix conflict aborts.
+    pub postfix_conflict_aborts: u64,
+    /// Postfix capacity aborts.
+    pub postfix_capacity_aborts: u64,
+    /// Times the serial lock had to be taken for starvation avoidance.
+    pub serial_lock_acquisitions: u64,
+    /// Modeled execution cost in virtual cycles (see [`crate::cost`]).
+    pub cycles: u64,
+}
+
+impl TmThreadStats {
+    /// Total HTM conflict aborts across fast path and small transactions —
+    /// the paper's "HTM conflict aborts per operation" numerator.
+    pub fn htm_conflict_aborts(&self) -> u64 {
+        self.fast_conflict_aborts + self.prefix_conflict_aborts + self.postfix_conflict_aborts
+    }
+
+    /// Total HTM capacity aborts across fast path and small transactions.
+    pub fn htm_capacity_aborts(&self) -> u64 {
+        self.fast_capacity_aborts + self.prefix_capacity_aborts + self.postfix_capacity_aborts
+    }
+
+    /// Fraction of completed transactions that committed on the slow path
+    /// (the paper's "slow-path execution ratio").
+    pub fn slow_path_ratio(&self) -> f64 {
+        ratio(self.slow_path_commits + self.serial_commits, self.commits)
+    }
+
+    /// Slow-path restarts per slow-path transaction.
+    pub fn restarts_per_slow_path(&self) -> f64 {
+        ratio(self.slow_path_restarts, self.slow_path_entries)
+    }
+
+    /// HTM-prefix success ratio.
+    pub fn prefix_success_ratio(&self) -> f64 {
+        ratio(self.prefix_commits, self.prefix_attempts)
+    }
+
+    /// HTM-postfix success ratio.
+    pub fn postfix_success_ratio(&self) -> f64 {
+        ratio(self.postfix_commits, self.postfix_attempts)
+    }
+
+    /// Component-wise sum, for aggregating across threads.
+    pub fn merge(&self, other: &TmThreadStats) -> TmThreadStats {
+        TmThreadStats {
+            commits: self.commits + other.commits,
+            fast_path_commits: self.fast_path_commits + other.fast_path_commits,
+            slow_path_commits: self.slow_path_commits + other.slow_path_commits,
+            serial_commits: self.serial_commits + other.serial_commits,
+            fast_conflict_aborts: self.fast_conflict_aborts + other.fast_conflict_aborts,
+            fast_capacity_aborts: self.fast_capacity_aborts + other.fast_capacity_aborts,
+            fast_other_aborts: self.fast_other_aborts + other.fast_other_aborts,
+            slow_path_entries: self.slow_path_entries + other.slow_path_entries,
+            slow_path_restarts: self.slow_path_restarts + other.slow_path_restarts,
+            prefix_attempts: self.prefix_attempts + other.prefix_attempts,
+            prefix_commits: self.prefix_commits + other.prefix_commits,
+            prefix_conflict_aborts: self.prefix_conflict_aborts + other.prefix_conflict_aborts,
+            prefix_capacity_aborts: self.prefix_capacity_aborts + other.prefix_capacity_aborts,
+            postfix_attempts: self.postfix_attempts + other.postfix_attempts,
+            postfix_commits: self.postfix_commits + other.postfix_commits,
+            postfix_conflict_aborts: self.postfix_conflict_aborts + other.postfix_conflict_aborts,
+            postfix_capacity_aborts: self.postfix_capacity_aborts + other.postfix_capacity_aborts,
+            serial_lock_acquisitions: self.serial_lock_acquisitions + other.serial_lock_acquisitions,
+            cycles: self.cycles + other.cycles,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A thread's combined TM and raw-HTM counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadReport {
+    /// Engine-level counters.
+    pub tm: TmThreadStats,
+    /// Device-level counters (all hardware transactions the thread ran).
+    pub htm: HtmThreadStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_guard_division_by_zero() {
+        let s = TmThreadStats::default();
+        assert_eq!(s.slow_path_ratio(), 0.0);
+        assert_eq!(s.restarts_per_slow_path(), 0.0);
+        assert_eq!(s.prefix_success_ratio(), 0.0);
+    }
+
+    #[test]
+    fn derived_rows_compute() {
+        let s = TmThreadStats {
+            commits: 100,
+            fast_path_commits: 90,
+            slow_path_commits: 10,
+            slow_path_entries: 10,
+            slow_path_restarts: 5,
+            fast_conflict_aborts: 7,
+            prefix_conflict_aborts: 2,
+            postfix_conflict_aborts: 1,
+            prefix_attempts: 10,
+            prefix_commits: 8,
+            postfix_attempts: 10,
+            postfix_commits: 10,
+            ..Default::default()
+        };
+        assert_eq!(s.htm_conflict_aborts(), 10);
+        assert!((s.slow_path_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.restarts_per_slow_path() - 0.5).abs() < 1e-12);
+        assert!((s.prefix_success_ratio() - 0.8).abs() < 1e-12);
+        assert!((s.postfix_success_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let a = TmThreadStats { commits: 3, prefix_attempts: 2, ..Default::default() };
+        let b = TmThreadStats { commits: 4, prefix_attempts: 5, ..Default::default() };
+        let m = a.merge(&b);
+        assert_eq!(m.commits, 7);
+        assert_eq!(m.prefix_attempts, 7);
+    }
+}

@@ -1,0 +1,242 @@
+//! The transactional interface workloads are written against.
+
+use sim_mem::{Addr, Heap};
+
+use crate::error::TxResult;
+
+/// Engine-side operations backing a [`Tx`].
+///
+/// Each algorithm path (hardware fast path, software slow path, mixed slow
+/// path, serial section) implements this trait; workload code only ever
+/// sees [`Tx`]. The trait is crate-private by sealing: it is not
+/// implementable outside `rh-norec`.
+pub(crate) trait TxOps {
+    fn read(&mut self, addr: Addr) -> TxResult<u64>;
+    fn write(&mut self, addr: Addr, value: u64) -> TxResult<()>;
+    fn alloc(&mut self, words: u64) -> TxResult<Addr>;
+    fn free(&mut self, addr: Addr) -> TxResult<()>;
+}
+
+/// A live transaction, passed to the transaction body.
+///
+/// All shared-memory access inside a transaction goes through this handle;
+/// the engine behind it provides atomicity, opacity and privatization per
+/// the configured algorithm. Operations return [`TxResult`] — bodies
+/// propagate failures with `?`, and the engine restarts them transparently.
+///
+/// # Examples
+///
+/// Transaction bodies look like this (see [`TmThread::execute`] for the
+/// full setup):
+///
+/// ```rust,ignore
+/// thread.execute(TxKind::ReadWrite, |tx| {
+///     let v = tx.read(counter)?;
+///     tx.write(counter, v + 1)?;
+///     Ok(v)
+/// });
+/// ```
+///
+/// [`TmThread::execute`]: crate::TmThread::execute
+#[derive(Debug)]
+pub struct Tx<'a> {
+    ops: &'a mut dyn TxOps,
+}
+
+impl std::fmt::Debug for dyn TxOps + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TxOps")
+    }
+}
+
+impl<'a> Tx<'a> {
+    pub(crate) fn new(ops: &'a mut dyn TxOps) -> Self {
+        Tx { ops }
+    }
+
+    /// Transactionally reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxRestart`](crate::TxRestart) when the attempt must
+    /// restart; propagate it with `?`.
+    #[inline]
+    pub fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        self.ops.read(addr)
+    }
+
+    /// Transactionally writes `value` to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxRestart`](crate::TxRestart) when the attempt must
+    /// restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction was declared [`TxKind::ReadOnly`](crate::TxKind::ReadOnly).
+    #[inline]
+    pub fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+        self.ops.write(addr, value)
+    }
+
+    /// Allocates a zeroed block of `words` words, visible to this
+    /// transaction immediately and rolled back if it aborts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxRestart`](crate::TxRestart) when the attempt must
+    /// restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted (the workloads treat simulated OOM
+    /// as fatal, as STAMP does).
+    #[inline]
+    pub fn alloc(&mut self, words: u64) -> TxResult<Addr> {
+        self.ops.alloc(words)
+    }
+
+    /// Frees `addr`'s block. The free takes effect only if the transaction
+    /// commits (deferred reclamation keeps concurrent optimistic readers
+    /// safe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxRestart`](crate::TxRestart) when the attempt must
+    /// restart.
+    #[inline]
+    pub fn free(&mut self, addr: Addr) -> TxResult<()> {
+        self.ops.free(addr)
+    }
+
+    /// Reads a word and decodes it as a pointer.
+    #[inline]
+    pub fn read_addr(&mut self, addr: Addr) -> TxResult<Addr> {
+        Ok(Addr::from_word(self.read(addr)?))
+    }
+
+    /// Writes a pointer value.
+    #[inline]
+    pub fn write_addr(&mut self, addr: Addr, value: Addr) -> TxResult<()> {
+        self.write(addr, value.to_word())
+    }
+
+    /// Reads a word and reinterprets it as a signed integer.
+    #[inline]
+    pub fn read_i64(&mut self, addr: Addr) -> TxResult<i64> {
+        Ok(self.read(addr)? as i64)
+    }
+
+    /// Writes a signed integer.
+    #[inline]
+    pub fn write_i64(&mut self, addr: Addr, value: i64) -> TxResult<()> {
+        self.write(addr, value as u64)
+    }
+
+    /// Reads a word and reinterprets its bits as a float.
+    #[inline]
+    pub fn read_f64(&mut self, addr: Addr) -> TxResult<f64> {
+        Ok(f64::from_bits(self.read(addr)?))
+    }
+
+    /// Writes a float's bit pattern.
+    #[inline]
+    pub fn write_f64(&mut self, addr: Addr, value: f64) -> TxResult<()> {
+        self.write(addr, value.to_bits())
+    }
+}
+
+/// Transaction-scoped memory management: immediate allocation with
+/// abort-time undo, and commit-deferred frees.
+///
+/// Allocations become usable the moment they are made (the paper's
+/// workloads initialize freshly allocated nodes inside the transaction);
+/// if the attempt aborts they are returned to the pool. Frees are logged
+/// and only executed after a successful commit, so a concurrent optimistic
+/// reader can never have its memory recycled under it mid-attempt.
+#[derive(Debug, Default)]
+pub(crate) struct TxMem {
+    allocs: Vec<Addr>,
+    frees: Vec<Addr>,
+}
+
+impl TxMem {
+    pub(crate) fn alloc(&mut self, heap: &Heap, tid: usize, words: u64) -> Addr {
+        let addr = heap
+            .allocator()
+            .alloc(tid, words)
+            .expect("simulated heap exhausted");
+        self.allocs.push(addr);
+        addr
+    }
+
+    pub(crate) fn free(&mut self, addr: Addr) {
+        self.frees.push(addr);
+    }
+
+    /// Commit: execute deferred frees, keep allocations.
+    pub(crate) fn commit(&mut self, heap: &Heap, tid: usize) {
+        for addr in self.frees.drain(..) {
+            heap.allocator().free(tid, addr);
+        }
+        self.allocs.clear();
+    }
+
+    /// Abort: undo allocations, forget deferred frees.
+    pub(crate) fn rollback(&mut self, heap: &Heap, tid: usize) {
+        for addr in self.allocs.drain(..) {
+            heap.allocator().free(tid, addr);
+        }
+        self.frees.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::HeapConfig;
+
+    #[test]
+    fn rollback_returns_allocations() {
+        let heap = Heap::new(HeapConfig { words: 1 << 12 });
+        let mut mem = TxMem::default();
+        let a = mem.alloc(&heap, 0, 4);
+        mem.rollback(&heap, 0);
+        // The block is back in the pool: the next same-class alloc reuses it.
+        let b = mem.alloc(&heap, 0, 4);
+        assert_eq!(a, b);
+        mem.commit(&heap, 0);
+    }
+
+    #[test]
+    fn frees_are_deferred_to_commit() {
+        let heap = Heap::new(HeapConfig { words: 1 << 12 });
+        let mut mem = TxMem::default();
+        let a = mem.alloc(&heap, 0, 4);
+        mem.commit(&heap, 0);
+
+        mem.free(a);
+        // Before commit the block is still live: a fresh alloc must differ.
+        let b = mem.alloc(&heap, 0, 4);
+        assert_ne!(a, b);
+        mem.commit(&heap, 0);
+        // After commit the freed block is reusable.
+        let c = mem.alloc(&heap, 0, 4);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn rollback_cancels_frees() {
+        let heap = Heap::new(HeapConfig { words: 1 << 12 });
+        let mut mem = TxMem::default();
+        let a = mem.alloc(&heap, 0, 4);
+        mem.commit(&heap, 0);
+
+        mem.free(a);
+        mem.rollback(&heap, 0);
+        // The free never happened; `a` is still live.
+        let b = mem.alloc(&heap, 0, 4);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the TM engines: arbitrary transaction scripts give
+//! model-identical results on every algorithm, and concurrent random
+//! increments are never lost.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rh_norec::{Algorithm, TmConfig, TmRuntime, TxKind};
+use sim_htm::{Htm, HtmConfig};
+use sim_mem::{Heap, HeapConfig};
+
+const SLOTS: u64 = 24;
+
+#[derive(Clone, Debug)]
+enum TxOp {
+    Read(u64),
+    Write(u64, u64),
+    AllocFreePair(u64),
+}
+
+fn scripts() -> impl Strategy<Value = Vec<Vec<TxOp>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop_oneof![
+                (0..SLOTS).prop_map(TxOp::Read),
+                (0..SLOTS, any::<u64>()).prop_map(|(a, v)| TxOp::Write(a, v)),
+                (1u64..16).prop_map(TxOp::AllocFreePair),
+            ],
+            0..10,
+        ),
+        0..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Single-threaded scripts: every algorithm computes the same final
+    /// memory state and the same read results as a sequential model.
+    #[test]
+    fn all_algorithms_match_the_sequential_model(script in scripts()) {
+        for alg in Algorithm::ALL {
+            let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 14 }));
+            let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+            let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(alg));
+            let base = heap.allocator().alloc(0, SLOTS).unwrap();
+            let mut worker = rt.register(0);
+            let mut model: HashMap<u64, u64> = HashMap::new();
+
+            for tx_ops in &script {
+                let reads = worker.execute(TxKind::ReadWrite, |tx| {
+                    let mut reads = Vec::new();
+                    for op in tx_ops {
+                        match *op {
+                            TxOp::Read(a) => reads.push(tx.read(base.offset(a))?),
+                            TxOp::Write(a, v) => tx.write(base.offset(a), v)?,
+                            TxOp::AllocFreePair(words) => {
+                                let block = tx.alloc(words)?;
+                                tx.write(block, 1)?;
+                                tx.free(block)?;
+                            }
+                        }
+                    }
+                    Ok(reads)
+                });
+                // Check reads against the model, then apply writes.
+                let mut staged = model.clone();
+                let mut read_iter = reads.into_iter();
+                for op in tx_ops {
+                    match *op {
+                        TxOp::Read(a) => {
+                            let got = read_iter.next().unwrap();
+                            prop_assert_eq!(
+                                got,
+                                staged.get(&a).copied().unwrap_or(0),
+                                "{} read mismatch", alg.label()
+                            );
+                        }
+                        TxOp::Write(a, v) => { staged.insert(a, v); }
+                        TxOp::AllocFreePair(_) => {}
+                    }
+                }
+                model = staged;
+            }
+            for a in 0..SLOTS {
+                prop_assert_eq!(
+                    heap.load(base.offset(a)),
+                    model.get(&a).copied().unwrap_or(0),
+                    "{} final state mismatch", alg.label()
+                );
+            }
+        }
+    }
+
+    /// Concurrent increments over random slot subsets are never lost, on a
+    /// randomly chosen algorithm and HTM configuration.
+    #[test]
+    fn concurrent_random_increments_conserve_totals(
+        seed in any::<u64>(),
+        alg_idx in 0usize..Algorithm::ALL.len(),
+        disable_htm in any::<bool>(),
+    ) {
+        let alg = Algorithm::ALL[alg_idx];
+        let htm_config = if disable_htm { HtmConfig::disabled() } else { HtmConfig::default() };
+        let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 14 }));
+        let htm = Htm::new(Arc::clone(&heap), htm_config);
+        let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(alg));
+        let base = heap.allocator().alloc(0, SLOTS).unwrap();
+        let threads = 3usize;
+        let per = 120u64;
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let rt = Arc::clone(&rt);
+                s.spawn(move || {
+                    let mut worker = rt.register(tid);
+                    let mut rng = seed ^ (tid as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15) | 1;
+                    for _ in 0..per {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        let a = base.offset(rng % SLOTS);
+                        let b = base.offset((rng >> 13) % SLOTS);
+                        worker.execute(TxKind::ReadWrite, |tx| {
+                            if a == b {
+                                let va = tx.read(a)?;
+                                tx.write(a, va + 2)
+                            } else {
+                                let va = tx.read(a)?;
+                                tx.write(a, va + 1)?;
+                                let vb = tx.read(b)?;
+                                tx.write(b, vb + 1)
+                            }
+                        });
+                    }
+                });
+            }
+        });
+        let total: u64 = (0..SLOTS).map(|a| heap.load(base.offset(a))).sum();
+        prop_assert_eq!(total, threads as u64 * per * 2, "{} lost increments", alg.label());
+    }
+}

@@ -1,0 +1,141 @@
+//! Abort codes and the abort error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a simulated hardware transaction aborted.
+///
+/// Mirrors the RTM abort status word: the code classifies the event and
+/// [`AbortCode::may_retry`] reproduces the `_XABORT_RETRY` hint that the
+/// paper's retry policy keys on (§3.3: "capacity aborts immediately go to
+/// the software, while conflict aborts retry many times in the hardware").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AbortCode {
+    /// Another thread's commit or coherent store touched a line in this
+    /// transaction's tracking set.
+    Conflict,
+    /// The read or write set outgrew the simulated cache capacity.
+    Capacity {
+        /// `true` when the write set (L1) overflowed, `false` for the read
+        /// set (L2/bloom filter).
+        write_set: bool,
+    },
+    /// The program requested an abort (`HTM_Abort()` in the paper's
+    /// pseudo-code, `_xabort(imm)` on real RTM).
+    Explicit {
+        /// The 8-bit immediate passed to the abort instruction.
+        user_code: u8,
+    },
+    /// A simulated external event (interrupt, page fault, syscall).
+    Spurious,
+    /// The transaction could not even begin (HTM disabled in the
+    /// configuration — models a machine without RTM, for fallback testing).
+    NotSupported,
+}
+
+impl AbortCode {
+    /// Whether retrying the transaction in hardware may help, per the RTM
+    /// `_XABORT_RETRY` convention.
+    ///
+    /// Conflicts are transient, so they retry. Capacity overflow is
+    /// deterministic for a given footprint, so it does not. Explicit aborts
+    /// carry the retry hint because the paper's protocols use them for
+    /// transient conditions (lock subscription). Spurious events model
+    /// interrupts, which RTM reports without the retry hint.
+    #[inline]
+    pub fn may_retry(self) -> bool {
+        match self {
+            AbortCode::Conflict => true,
+            AbortCode::Capacity { .. } => false,
+            AbortCode::Explicit { .. } => true,
+            AbortCode::Spurious => false,
+            AbortCode::NotSupported => false,
+        }
+    }
+
+    /// Whether this is a conflict abort (for the figure statistics).
+    #[inline]
+    pub fn is_conflict(self) -> bool {
+        matches!(self, AbortCode::Conflict)
+    }
+
+    /// Whether this is a capacity abort (for the figure statistics).
+    #[inline]
+    pub fn is_capacity(self) -> bool {
+        matches!(self, AbortCode::Capacity { .. })
+    }
+}
+
+impl fmt::Display for AbortCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortCode::Conflict => write!(f, "conflict with another thread"),
+            AbortCode::Capacity { write_set: true } => write!(f, "write-set capacity exceeded"),
+            AbortCode::Capacity { write_set: false } => write!(f, "read-set capacity exceeded"),
+            AbortCode::Explicit { user_code } => write!(f, "explicit abort (code {user_code})"),
+            AbortCode::Spurious => write!(f, "spurious event"),
+            AbortCode::NotSupported => write!(f, "hardware transactions not supported"),
+        }
+    }
+}
+
+/// The error returned when a simulated hardware transaction aborts.
+///
+/// After an abort every speculative effect of the transaction has been
+/// discarded; the thread may immediately begin a new transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HtmAbort {
+    /// Classification of the abort.
+    pub code: AbortCode,
+}
+
+impl HtmAbort {
+    pub(crate) fn new(code: AbortCode) -> Self {
+        HtmAbort { code }
+    }
+
+    /// Shorthand for `self.code.may_retry()`.
+    #[inline]
+    pub fn may_retry(self) -> bool {
+        self.code.may_retry()
+    }
+}
+
+impl fmt::Display for HtmAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hardware transaction aborted: {}", self.code)
+    }
+}
+
+impl Error for HtmAbort {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_hints_match_rtm_convention() {
+        assert!(AbortCode::Conflict.may_retry());
+        assert!(!AbortCode::Capacity { write_set: true }.may_retry());
+        assert!(!AbortCode::Capacity { write_set: false }.may_retry());
+        assert!(AbortCode::Explicit { user_code: 0 }.may_retry());
+        assert!(!AbortCode::Spurious.may_retry());
+        assert!(!AbortCode::NotSupported.may_retry());
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(AbortCode::Conflict.is_conflict());
+        assert!(!AbortCode::Conflict.is_capacity());
+        assert!(AbortCode::Capacity { write_set: true }.is_capacity());
+        assert!(!AbortCode::Spurious.is_conflict());
+    }
+
+    #[test]
+    fn display_distinguishes_read_and_write_capacity() {
+        let w = AbortCode::Capacity { write_set: true }.to_string();
+        let r = AbortCode::Capacity { write_set: false }.to_string();
+        assert_ne!(w, r);
+    }
+}

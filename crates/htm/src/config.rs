@@ -1,0 +1,194 @@
+//! Simulated machine configuration.
+
+/// The simulated processor's core/SMT layout.
+///
+/// Thread `tid` runs on core `tid % cores`. When two registered threads
+/// share a core, each gets half the per-thread HTM capacity — the
+/// HyperThreading effect the paper calls out: "HyperThreading reduces the
+/// L1 cache capacity for HTM by a factor of 2 … in many benchmarks there
+/// are significant penalties above the limit of 8 threads" (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of physical cores.
+    pub cores: usize,
+    /// Hardware threads per core.
+    pub smt_ways: usize,
+}
+
+impl Topology {
+    /// The paper's testbed: Intel Core i7-5960X — 8 cores, 2-way SMT.
+    pub const fn haswell_i7_5960x() -> Self {
+        Topology { cores: 8, smt_ways: 2 }
+    }
+
+    /// A topology without SMT (no capacity halving at any thread count).
+    pub const fn no_smt(cores: usize) -> Self {
+        Topology { cores, smt_ways: 1 }
+    }
+
+    /// The core a thread id is pinned to.
+    #[inline]
+    pub const fn core_of(&self, tid: usize) -> usize {
+        tid % self.cores
+    }
+
+    /// Total hardware threads.
+    #[inline]
+    pub const fn hardware_threads(&self) -> usize {
+        self.cores * self.smt_ways
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::haswell_i7_5960x()
+    }
+}
+
+/// Set-associativity model for the transactional caches.
+///
+/// Real HTM capacity is not a flat line count: a transaction aborts as
+/// soon as any cache *set* overflows its ways, so mid-sized transactions
+/// abort stochastically when their lines collide in one set. SMT halves
+/// the ways available to each sibling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Associativity {
+    /// L1 (write-set) sets. Haswell: 64 (32 KiB / 8 ways / 64 B).
+    pub l1_sets: usize,
+    /// L1 ways.
+    pub l1_ways: usize,
+    /// L2-equivalent (read-set) sets. Haswell: 512.
+    pub l2_sets: usize,
+    /// L2 ways.
+    pub l2_ways: usize,
+}
+
+impl Associativity {
+    /// The paper's Haswell cache geometry.
+    pub const fn haswell() -> Self {
+        Associativity {
+            l1_sets: 64,
+            l1_ways: 8,
+            l2_sets: 512,
+            l2_ways: 8,
+        }
+    }
+}
+
+impl Default for Associativity {
+    fn default() -> Self {
+        Associativity::haswell()
+    }
+}
+
+/// Configuration of the simulated HTM.
+///
+/// # Examples
+///
+/// ```rust
+/// use sim_htm::HtmConfig;
+///
+/// let config = HtmConfig { max_write_lines: 8, ..HtmConfig::default() };
+/// assert_eq!(config.max_write_lines, 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HtmConfig {
+    /// Core/SMT layout.
+    pub topology: Topology,
+    /// Per-thread write-set capacity in cache lines (models the L1: 32 KiB
+    /// = 512 lines on Haswell), before SMT halving.
+    pub max_write_lines: usize,
+    /// Per-thread read-set capacity in cache lines (models the bloom-filter
+    /// extension into the L2: 256 KiB = 4096 lines), before SMT halving.
+    pub max_read_lines: usize,
+    /// Set-associativity model; `None` keeps only the flat line limits
+    /// (useful for tests that need deterministic capacity behaviour).
+    pub associativity: Option<Associativity>,
+    /// SMT sibling eviction pressure: when the core's other hardware
+    /// thread is active, each transactional access aborts with probability
+    /// `rate × tracked_lines / capacity` — the sibling's memory traffic
+    /// evicting speculative lines. This is the dominant source of the
+    /// >8-thread capacity-abort explosion the paper measures (§3.2); 0
+    /// disables it.
+    pub sibling_evict_per_access: f64,
+    /// Probability that any single transactional access aborts the
+    /// transaction for an external reason (interrupt, fault). `0.0`
+    /// disables spurious aborts (the default — the paper's runs are long
+    /// enough that interrupts are noise, not signal).
+    pub spurious_abort_per_access: f64,
+    /// When `false`, every `begin` fails with
+    /// [`AbortCode::NotSupported`](crate::AbortCode::NotSupported) — models
+    /// a machine without RTM so that software fallback paths can be
+    /// exercised alone.
+    pub enabled: bool,
+}
+
+impl Default for HtmConfig {
+    /// The paper's Haswell testbed.
+    fn default() -> Self {
+        HtmConfig {
+            topology: Topology::default(),
+            max_write_lines: 512,
+            max_read_lines: 4096,
+            associativity: Some(Associativity::haswell()),
+            sibling_evict_per_access: 0.1,
+            spurious_abort_per_access: 0.0,
+            enabled: true,
+        }
+    }
+}
+
+impl HtmConfig {
+    /// A configuration with HTM turned off entirely.
+    pub fn disabled() -> Self {
+        HtmConfig { enabled: false, ..Self::default() }
+    }
+
+    /// A configuration with tiny capacities, for exercising capacity aborts
+    /// in tests.
+    pub fn tiny_capacity() -> Self {
+        HtmConfig {
+            max_write_lines: 4,
+            max_read_lines: 8,
+            associativity: None,
+            sibling_evict_per_access: 0.0,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_topology_matches_paper() {
+        let t = Topology::haswell_i7_5960x();
+        assert_eq!(t.cores, 8);
+        assert_eq!(t.smt_ways, 2);
+        assert_eq!(t.hardware_threads(), 16);
+    }
+
+    #[test]
+    fn threads_wrap_onto_cores() {
+        let t = Topology::haswell_i7_5960x();
+        assert_eq!(t.core_of(0), 0);
+        assert_eq!(t.core_of(7), 7);
+        assert_eq!(t.core_of(8), 0);
+        assert_eq!(t.core_of(15), 7);
+    }
+
+    #[test]
+    fn default_config_is_enabled_haswell() {
+        let c = HtmConfig::default();
+        assert!(c.enabled);
+        assert_eq!(c.max_write_lines, 512);
+        assert_eq!(c.max_read_lines, 4096);
+        assert_eq!(c.spurious_abort_per_access, 0.0);
+    }
+
+    #[test]
+    fn disabled_config() {
+        assert!(!HtmConfig::disabled().enabled);
+    }
+}

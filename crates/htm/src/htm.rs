@@ -1,0 +1,147 @@
+//! The HTM device: configuration plus thread registration.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sim_mem::{Heap, MAX_THREADS};
+
+use crate::thread::HtmThread;
+use crate::HtmConfig;
+
+/// The simulated HTM device attached to a [`Heap`].
+///
+/// `Htm` itself is passive configuration plus a registry of which thread
+/// ids currently exist (the registry drives the SMT capacity-halving
+/// model). Per-thread transaction state lives in [`HtmThread`] handles
+/// obtained from [`Htm::register`].
+pub struct Htm {
+    heap: Arc<Heap>,
+    config: HtmConfig,
+    /// Bitmap of registered thread ids (bit `tid` set while a handle for
+    /// `tid` is alive). `MAX_THREADS` is 64, so one word suffices.
+    registered: AtomicU64,
+}
+
+impl Htm {
+    /// Creates an HTM device over `heap`.
+    pub fn new(heap: Arc<Heap>, config: HtmConfig) -> Arc<Self> {
+        Arc::new(Htm {
+            heap,
+            config,
+            registered: AtomicU64::new(0),
+        })
+    }
+
+    /// The device configuration.
+    #[inline]
+    pub fn config(&self) -> &HtmConfig {
+        &self.config
+    }
+
+    /// The heap this device is attached to.
+    #[inline]
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// Registers hardware thread `tid` and returns its transaction handle.
+    ///
+    /// Registration models a software thread being scheduled onto hardware
+    /// thread `tid` (core `tid % cores`); while two threads of the same
+    /// core are registered, both run at half HTM capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= MAX_THREADS` or `tid` is already registered.
+    pub fn register(self: &Arc<Self>, tid: usize) -> HtmThread {
+        assert!(tid < MAX_THREADS, "thread id {tid} exceeds MAX_THREADS ({MAX_THREADS})");
+        let bit = 1u64 << tid;
+        let prev = self.registered.fetch_or(bit, Ordering::AcqRel);
+        assert!(prev & bit == 0, "thread id {tid} registered twice");
+        HtmThread::new(Arc::clone(self), tid)
+    }
+
+    pub(crate) fn unregister(&self, tid: usize) {
+        self.registered.fetch_and(!(1u64 << tid), Ordering::AcqRel);
+    }
+
+    /// Whether another registered thread shares `tid`'s core.
+    pub(crate) fn has_active_sibling(&self, tid: usize) -> bool {
+        let topo = self.config.topology;
+        let map = self.registered.load(Ordering::Acquire);
+        let mut rest = map & !(1u64 << tid);
+        while rest != 0 {
+            let other = rest.trailing_zeros() as usize;
+            if topo.core_of(other) == topo.core_of(tid) {
+                return true;
+            }
+            rest &= rest - 1;
+        }
+        false
+    }
+
+    /// Number of currently registered threads.
+    pub fn registered_threads(&self) -> usize {
+        self.registered.load(Ordering::Acquire).count_ones() as usize
+    }
+}
+
+impl fmt::Debug for Htm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Htm")
+            .field("config", &self.config)
+            .field("registered_threads", &self.registered_threads())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::HeapConfig;
+
+    fn device() -> Arc<Htm> {
+        Htm::new(Arc::new(Heap::new(HeapConfig { words: 1 << 14 })), HtmConfig::default())
+    }
+
+    #[test]
+    fn registration_tracks_thread_count() {
+        let htm = device();
+        assert_eq!(htm.registered_threads(), 0);
+        let t0 = htm.register(0);
+        let t1 = htm.register(1);
+        assert_eq!(htm.registered_threads(), 2);
+        drop(t0);
+        assert_eq!(htm.registered_threads(), 1);
+        drop(t1);
+        assert_eq!(htm.registered_threads(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let htm = device();
+        let _a = htm.register(3);
+        let _b = htm.register(3);
+    }
+
+    #[test]
+    fn tid_is_reusable_after_drop() {
+        let htm = device();
+        drop(htm.register(5));
+        let _again = htm.register(5);
+    }
+
+    #[test]
+    fn sibling_detection_follows_topology() {
+        let htm = device(); // 8 cores, 2-way SMT
+        let _t0 = htm.register(0);
+        assert!(!htm.has_active_sibling(0), "alone on core 0");
+        let _t8 = htm.register(8); // also core 0
+        assert!(htm.has_active_sibling(0));
+        assert!(htm.has_active_sibling(8));
+        let _t1 = htm.register(1);
+        assert!(!htm.has_active_sibling(1), "core 1 has one thread");
+    }
+}

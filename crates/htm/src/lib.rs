@@ -1,0 +1,74 @@
+//! # sim-htm: a software-simulated best-effort hardware transactional memory
+//!
+//! This crate models the architecturally visible behaviour of Intel's
+//! Restricted Transactional Memory (RTM, Haswell) over the [`sim_mem`]
+//! shared heap, so that the hybrid TM algorithms of *Reduced Hardware
+//! NOrec* (Matveev & Shavit, ASPLOS 2015) can be built and evaluated
+//! without RTM hardware (which is fused off on modern parts).
+//!
+//! ## What is modeled
+//!
+//! * **Best effort, no progress guarantee.** A transaction may abort at any
+//!   point — conflict, capacity, or a spurious event — and the abort carries
+//!   an [`AbortCode`] with the RTM-style *may-retry* hint that drives the
+//!   paper's retry policies.
+//! * **Speculative buffering.** Writes go to a per-transaction buffer and
+//!   are published atomically at commit under the heap's line locks, so no
+//!   other thread — transactional or not — ever observes a partial commit.
+//! * **Cache-line conflict detection.** The read set records per-line
+//!   version snapshots; the transaction snoops the heap's coherence clock on
+//!   every access and revalidates when it moves. A conflicting commit or
+//!   coherent store therefore aborts the transaction before it can return an
+//!   inconsistent value — full opacity, as real HTM provides.
+//! * **Strong isolation.** Non-transactional coherent stores
+//!   ([`sim_mem::Heap::store`]) doom every transaction tracking the line.
+//! * **Capacity limits with an SMT model.** Write capacity models the L1
+//!   (512 lines by default), read capacity the bloom-filter/L2 mechanism
+//!   (4096 lines). When two registered threads share a core (HyperThreading)
+//!   each gets half — reproducing the >8-thread capacity knee in the paper's
+//!   figures.
+//!
+//! ## What is deliberately different
+//!
+//! Real RTM detects conflicts *eagerly* (the instant another core's request
+//! hits a tracked line) while this simulator detects them at the victim's
+//! next access or commit. No TM algorithm can observe the difference: in
+//! both cases the victim aborts before returning any value that could
+//! expose the conflict, and exactly one of two conflicting transactions
+//! survives.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use sim_mem::{Heap, HeapConfig};
+//! use sim_htm::{Htm, HtmConfig};
+//! use std::sync::Arc;
+//!
+//! let heap = Arc::new(Heap::new(HeapConfig::default()));
+//! let htm = Htm::new(heap.clone(), HtmConfig::default());
+//! let addr = heap.allocator().alloc(0, 1)?;
+//!
+//! let mut thread = htm.register(0);
+//! thread.begin()?;
+//! let v = thread.read(addr)?;
+//! thread.write(addr, v + 1)?;
+//! thread.commit()?;
+//! assert_eq!(heap.load(addr), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod abort;
+mod config;
+mod htm;
+mod rng;
+mod stats;
+mod thread;
+
+pub use abort::{AbortCode, HtmAbort};
+pub use config::{Associativity, HtmConfig, Topology};
+pub use htm::Htm;
+pub use stats::HtmThreadStats;
+pub use thread::HtmThread;

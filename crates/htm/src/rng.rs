@@ -1,0 +1,69 @@
+//! A tiny, dependency-free PRNG for spurious-abort injection.
+
+/// xorshift64* — statistically plenty for Bernoulli abort injection.
+#[derive(Clone, Debug)]
+pub(crate) struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    pub(crate) fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let mut rng = XorShift64::new(1);
+        assert!((0..10_000).all(|_| !rng.bernoulli(0.0)));
+    }
+
+    #[test]
+    fn unit_probability_always_fires() {
+        let mut rng = XorShift64::new(2);
+        assert!((0..100).all(|_| rng.bernoulli(1.0)));
+    }
+
+    #[test]
+    fn half_probability_is_roughly_half() {
+        let mut rng = XorShift64::new(3);
+        let hits = (0..100_000).filter(|_| rng.bernoulli(0.5)).count();
+        assert!((40_000..60_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn distinct_seeds_produce_distinct_streams() {
+        let mut a = XorShift64::new(10);
+        let mut b = XorShift64::new(11);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+}

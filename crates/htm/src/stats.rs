@@ -1,0 +1,92 @@
+//! Per-thread HTM activity counters.
+
+/// Counters describing one thread's simulated-HTM activity.
+///
+/// The TM engines in `rh-norec` read these to produce the per-figure
+/// analysis rows (HTM conflict/capacity aborts per operation, etc.).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct HtmThreadStats {
+    /// Transactions begun (successfully entered speculation).
+    pub begins: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Aborts classified as conflicts.
+    pub conflict_aborts: u64,
+    /// Aborts classified as capacity overflow.
+    pub capacity_aborts: u64,
+    /// Explicit (program-requested) aborts.
+    pub explicit_aborts: u64,
+    /// Spurious (external event) aborts.
+    pub spurious_aborts: u64,
+    /// `begin` refusals because HTM is disabled.
+    pub unsupported: u64,
+}
+
+impl HtmThreadStats {
+    /// Total aborts of every kind (excluding `begin` refusals).
+    pub fn total_aborts(&self) -> u64 {
+        self.conflict_aborts + self.capacity_aborts + self.explicit_aborts + self.spurious_aborts
+    }
+
+    /// Component-wise difference `self - earlier`, for interval measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not component-wise `<= self`.
+    pub fn since(&self, earlier: &HtmThreadStats) -> HtmThreadStats {
+        HtmThreadStats {
+            begins: self.begins - earlier.begins,
+            commits: self.commits - earlier.commits,
+            conflict_aborts: self.conflict_aborts - earlier.conflict_aborts,
+            capacity_aborts: self.capacity_aborts - earlier.capacity_aborts,
+            explicit_aborts: self.explicit_aborts - earlier.explicit_aborts,
+            spurious_aborts: self.spurious_aborts - earlier.spurious_aborts,
+            unsupported: self.unsupported - earlier.unsupported,
+        }
+    }
+
+    /// Component-wise sum, for aggregating across threads.
+    pub fn merge(&self, other: &HtmThreadStats) -> HtmThreadStats {
+        HtmThreadStats {
+            begins: self.begins + other.begins,
+            commits: self.commits + other.commits,
+            conflict_aborts: self.conflict_aborts + other.conflict_aborts,
+            capacity_aborts: self.capacity_aborts + other.capacity_aborts,
+            explicit_aborts: self.explicit_aborts + other.explicit_aborts,
+            spurious_aborts: self.spurious_aborts + other.spurious_aborts,
+            unsupported: self.unsupported + other.unsupported,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let a = HtmThreadStats {
+            begins: 10,
+            commits: 6,
+            conflict_aborts: 2,
+            capacity_aborts: 1,
+            explicit_aborts: 1,
+            spurious_aborts: 0,
+            unsupported: 0,
+        };
+        assert_eq!(a.total_aborts(), 4);
+        let b = a.merge(&a);
+        assert_eq!(b.begins, 20);
+        assert_eq!(b.total_aborts(), 8);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let early = HtmThreadStats { begins: 3, commits: 2, ..Default::default() };
+        let late = HtmThreadStats { begins: 10, commits: 9, ..Default::default() };
+        let d = late.since(&early);
+        assert_eq!(d.begins, 7);
+        assert_eq!(d.commits, 7);
+    }
+}

@@ -1,0 +1,717 @@
+//! Per-thread transaction execution.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use sim_mem::{Addr, LineId, LineSnapshot};
+
+use crate::rng::XorShift64;
+use crate::{AbortCode, Htm, HtmAbort, HtmThreadStats};
+
+/// A thread's handle to the simulated HTM, holding at most one active
+/// transaction.
+///
+/// The lifecycle mirrors RTM: [`begin`](HtmThread::begin), then any number
+/// of [`read`](HtmThread::read)/[`write`](HtmThread::write), then
+/// [`commit`](HtmThread::commit) — any of which may instead abort, which
+/// discards every speculative effect and deactivates the transaction.
+/// There is no nesting: beginning while active is a programming error.
+///
+/// Dropping the handle unregisters the thread; dropping it with an active
+/// transaction discards the transaction (like a context switch aborting an
+/// RTM region).
+pub struct HtmThread {
+    htm: Arc<Htm>,
+    tid: usize,
+    rng: XorShift64,
+    stats: HtmThreadStats,
+    active: bool,
+    seen_clock: u64,
+    max_read_lines: usize,
+    max_write_lines: usize,
+    /// Per-set way budget for this transaction (SMT-adjusted), when the
+    /// associativity model is on.
+    l1_ways: u8,
+    l2_ways: u8,
+    /// Whether an SMT sibling was active at begin (drives eviction
+    /// pressure).
+    sibling_active: bool,
+    read_set: HashMap<LineId, LineSnapshot>,
+    write_buf: HashMap<Addr, u64>,
+    write_lines: HashMap<LineId, ()>,
+    /// Occupancy per L2 set (read set) / L1 set (write set).
+    read_sets_occupancy: HashMap<u32, u8>,
+    write_sets_occupancy: HashMap<u32, u8>,
+}
+
+impl HtmThread {
+    pub(crate) fn new(htm: Arc<Htm>, tid: usize) -> Self {
+        HtmThread {
+            htm,
+            tid,
+            rng: XorShift64::new(tid as u64 + 0x5eed),
+            stats: HtmThreadStats::default(),
+            active: false,
+            seen_clock: 0,
+            max_read_lines: 0,
+            max_write_lines: 0,
+            l1_ways: 0,
+            l2_ways: 0,
+            sibling_active: false,
+            read_set: HashMap::new(),
+            write_buf: HashMap::new(),
+            write_lines: HashMap::new(),
+            read_sets_occupancy: HashMap::new(),
+            write_sets_occupancy: HashMap::new(),
+        }
+    }
+
+    /// This handle's hardware thread id.
+    #[inline]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Whether a transaction is currently active.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The HTM device this thread runs on.
+    #[inline]
+    pub fn htm(&self) -> &Arc<Htm> {
+        &self.htm
+    }
+
+    /// Snapshot of this thread's activity counters.
+    #[inline]
+    pub fn stats(&self) -> HtmThreadStats {
+        self.stats
+    }
+
+    /// Resets the activity counters to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = HtmThreadStats::default();
+    }
+
+    /// Number of distinct cache lines currently in the read set.
+    #[inline]
+    pub fn read_set_lines(&self) -> usize {
+        self.read_set.len()
+    }
+
+    /// Number of distinct cache lines currently in the write set.
+    #[inline]
+    pub fn write_set_lines(&self) -> usize {
+        self.write_lines.len()
+    }
+
+    fn rollback(&mut self, code: AbortCode) -> HtmAbort {
+        debug_assert!(self.active);
+        self.active = false;
+        self.read_set.clear();
+        self.write_buf.clear();
+        self.write_lines.clear();
+        self.read_sets_occupancy.clear();
+        self.write_sets_occupancy.clear();
+        match code {
+            AbortCode::Conflict => self.stats.conflict_aborts += 1,
+            AbortCode::Capacity { .. } => self.stats.capacity_aborts += 1,
+            AbortCode::Explicit { .. } => self.stats.explicit_aborts += 1,
+            AbortCode::Spurious => self.stats.spurious_aborts += 1,
+            AbortCode::NotSupported => unreachable!("NotSupported is a begin refusal"),
+        }
+        HtmAbort::new(code)
+    }
+
+    /// Begins a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`AbortCode::NotSupported`] when the device is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already active (no nesting).
+    pub fn begin(&mut self) -> Result<(), HtmAbort> {
+        assert!(!self.active, "nested hardware transactions are not supported");
+        if !self.htm.config().enabled {
+            self.stats.unsupported += 1;
+            return Err(HtmAbort::new(AbortCode::NotSupported));
+        }
+        self.sibling_active = self.htm.has_active_sibling(self.tid);
+        let halve = if self.sibling_active { 2 } else { 1 };
+        self.max_read_lines = (self.htm.config().max_read_lines / halve).max(1);
+        self.max_write_lines = (self.htm.config().max_write_lines / halve).max(1);
+        if let Some(assoc) = self.htm.config().associativity {
+            self.l1_ways = (assoc.l1_ways / halve).max(1) as u8;
+            self.l2_ways = (assoc.l2_ways / halve).max(1) as u8;
+        }
+        self.read_set.clear();
+        self.write_buf.clear();
+        self.write_lines.clear();
+        self.read_sets_occupancy.clear();
+        self.write_sets_occupancy.clear();
+        self.seen_clock = self.htm.heap().raw().commit_clock();
+        self.active = true;
+        self.stats.begins += 1;
+        Ok(())
+    }
+
+    fn maybe_spurious(&mut self) -> Result<(), HtmAbort> {
+        let p = self.htm.config().spurious_abort_per_access;
+        if p > 0.0 && self.rng.bernoulli(p) {
+            return Err(self.rollback(AbortCode::Spurious));
+        }
+        // SMT sibling eviction pressure: the co-resident hardware thread's
+        // memory traffic evicts speculative lines; the bigger this
+        // transaction's footprint, the likelier a tracked line goes.
+        let rate = self.htm.config().sibling_evict_per_access;
+        if self.sibling_active && rate > 0.0 {
+            let tracked = (self.read_set.len() + self.write_lines.len()) as f64;
+            let capacity = (self.max_read_lines + self.max_write_lines) as f64;
+            if tracked > 0.0 && self.rng.bernoulli(rate * tracked / capacity) {
+                return Err(self.rollback(AbortCode::Capacity { write_set: false }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Revalidates every read-set entry; aborts with `Conflict` on any
+    /// change.
+    fn revalidate(&mut self) -> Result<(), HtmAbort> {
+        let heap = Arc::clone(self.htm.heap());
+        let raw = heap.raw();
+        for (&line, &snap) in &self.read_set {
+            if !raw.meta(line).validate(snap) {
+                return Err(self.rollback(AbortCode::Conflict));
+            }
+        }
+        Ok(())
+    }
+
+    /// Snoops the coherence clock; when it moved since the last look,
+    /// revalidates the read set. This is the simulator's stand-in for eager
+    /// cache-coherence conflict detection, and is what guarantees opacity:
+    /// no read returns a value from a memory state inconsistent with the
+    /// transaction's earlier reads.
+    fn snoop(&mut self) -> Result<(), HtmAbort> {
+        let clock = self.htm.heap().raw().commit_clock();
+        if clock != self.seen_clock {
+            self.revalidate()?;
+            self.seen_clock = clock;
+        }
+        Ok(())
+    }
+
+    /// Transactional read.
+    ///
+    /// # Errors
+    ///
+    /// Aborts the transaction on conflict, read-set capacity overflow, or a
+    /// spurious event. After an error the transaction is no longer active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active or `addr` is invalid.
+    pub fn read(&mut self, addr: Addr) -> Result<u64, HtmAbort> {
+        assert!(self.active, "transactional read outside a transaction");
+        self.maybe_spurious()?;
+        if let Some(&buffered) = self.write_buf.get(&addr) {
+            return Ok(buffered);
+        }
+        let heap = Arc::clone(self.htm.heap());
+        let raw = heap.raw();
+        let (value, snap) = raw.read_validated(addr);
+        let line = LineId::containing(addr);
+        let occupancy = self.read_set.len();
+        match self.read_set.entry(line) {
+            Entry::Occupied(entry) => {
+                if *entry.get() != snap {
+                    // The line changed after we first read it.
+                    return Err(self.rollback(AbortCode::Conflict));
+                }
+            }
+            Entry::Vacant(entry) => {
+                if occupancy + 1 > self.max_read_lines {
+                    return Err(self.rollback(AbortCode::Capacity { write_set: false }));
+                }
+                entry.insert(snap);
+                if let Some(assoc) = self.htm.config().associativity {
+                    let set = cache_set(line, assoc.l2_sets);
+                    let slot = self.read_sets_occupancy.entry(set).or_insert(0);
+                    *slot += 1;
+                    if *slot > self.l2_ways {
+                        return Err(self.rollback(AbortCode::Capacity { write_set: false }));
+                    }
+                }
+            }
+        }
+        self.snoop()?;
+        Ok(value)
+    }
+
+    /// Transactional write (buffered until commit).
+    ///
+    /// # Errors
+    ///
+    /// Aborts the transaction on write-set capacity overflow or a spurious
+    /// event. After an error the transaction is no longer active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active or `addr` is invalid.
+    pub fn write(&mut self, addr: Addr, value: u64) -> Result<(), HtmAbort> {
+        assert!(self.active, "transactional write outside a transaction");
+        self.maybe_spurious()?;
+        // Bounds-check eagerly so a bad address fails at the write site.
+        let _ = self.htm.heap().raw().load_raw(addr);
+        let line = LineId::containing(addr);
+        if !self.write_lines.contains_key(&line) {
+            if self.write_lines.len() + 1 > self.max_write_lines {
+                return Err(self.rollback(AbortCode::Capacity { write_set: true }));
+            }
+            self.write_lines.insert(line, ());
+            if let Some(assoc) = self.htm.config().associativity {
+                let set = cache_set(line, assoc.l1_sets);
+                let slot = self.write_sets_occupancy.entry(set).or_insert(0);
+                *slot += 1;
+                if *slot > self.l1_ways {
+                    return Err(self.rollback(AbortCode::Capacity { write_set: true }));
+                }
+            }
+        }
+        self.write_buf.insert(addr, value);
+        Ok(())
+    }
+
+    /// Commits the transaction, publishing all buffered writes as one
+    /// atomic event.
+    ///
+    /// # Errors
+    ///
+    /// Aborts with [`AbortCode::Conflict`] if the read set fails final
+    /// validation or a write line is locked by a concurrent committer.
+    /// After an error the transaction is no longer active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn commit(&mut self) -> Result<(), HtmAbort> {
+        assert!(self.active, "commit outside a transaction");
+        let heap = Arc::clone(self.htm.heap());
+        let raw = heap.raw();
+
+        if self.write_buf.is_empty() {
+            // Read-only: the read set is a validated snapshot; re-check only
+            // if the world moved since the last validation.
+            self.snoop()?;
+            self.active = false;
+            self.read_set.clear();
+            self.stats.commits += 1;
+            return Ok(());
+        }
+
+        // Lock the write set in address order (no deadlock), remembering
+        // each line's pre-lock snapshot for read-set validation.
+        let mut lines: Vec<LineId> = self.write_lines.keys().copied().collect();
+        lines.sort_unstable();
+        let mut locked: Vec<(LineId, LineSnapshot)> = Vec::with_capacity(lines.len());
+        for &line in &lines {
+            match raw.meta(line).try_lock() {
+                Some(pre) => locked.push((line, pre)),
+                None => {
+                    for &(l, _) in &locked {
+                        raw.meta(l).unlock_unchanged();
+                    }
+                    return Err(self.rollback(AbortCode::Conflict));
+                }
+            }
+        }
+
+        // Validate the read set. Lines we hold locked are validated against
+        // their pre-lock snapshot; the rest against current metadata.
+        let mut valid = true;
+        'validate: for (&line, &snap) in &self.read_set {
+            if self.write_lines.contains_key(&line) {
+                let pre = locked
+                    .iter()
+                    .find(|(l, _)| *l == line)
+                    .map(|&(_, pre)| pre)
+                    .expect("write line missing from lock set");
+                if pre != snap {
+                    valid = false;
+                    break 'validate;
+                }
+            } else if !raw.meta(line).validate(snap) {
+                valid = false;
+                break 'validate;
+            }
+        }
+        if !valid {
+            for &(l, _) in &locked {
+                raw.meta(l).unlock_unchanged();
+            }
+            return Err(self.rollback(AbortCode::Conflict));
+        }
+
+        // Publish and release. Any coherent load of a written line between
+        // lock and unlock spins, so the whole write set becomes visible as
+        // one indivisible event.
+        for (&addr, &value) in &self.write_buf {
+            raw.store_raw(addr, value);
+        }
+        for &(l, _) in &locked {
+            raw.meta(l).unlock_bump();
+        }
+        raw.bump_commit_clock();
+
+        self.active = false;
+        self.read_set.clear();
+        self.write_buf.clear();
+        self.write_lines.clear();
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// Explicitly aborts the active transaction (the paper's `HTM_Abort()`),
+    /// discarding all speculative state.
+    ///
+    /// Returns the abort value so call sites can `return Err(tx.abort(c))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn abort(&mut self, user_code: u8) -> HtmAbort {
+        assert!(self.active, "explicit abort outside a transaction");
+        self.rollback(AbortCode::Explicit { user_code })
+    }
+}
+
+/// Physical cache-set index of a line (direct modulo, as caches do).
+#[inline]
+fn cache_set(line: LineId, sets: usize) -> u32 {
+    (line.index() % sets as u64) as u32
+}
+
+impl Drop for HtmThread {
+    fn drop(&mut self) {
+        if self.active {
+            // Model a context switch killing the speculative region.
+            let _ = self.rollback(AbortCode::Spurious);
+        }
+        self.htm.unregister(self.tid);
+    }
+}
+
+impl fmt::Debug for HtmThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HtmThread")
+            .field("tid", &self.tid)
+            .field("active", &self.active)
+            .field("read_set_lines", &self.read_set.len())
+            .field("write_set_lines", &self.write_lines.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HtmConfig;
+    use sim_mem::{Heap, HeapConfig};
+
+    fn setup(config: HtmConfig) -> (Arc<Heap>, Arc<Htm>) {
+        let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
+        let htm = Htm::new(Arc::clone(&heap), config);
+        (heap, htm)
+    }
+
+    #[test]
+    fn empty_transaction_commits() {
+        let (_, htm) = setup(HtmConfig::default());
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        t.commit().unwrap();
+        assert_eq!(t.stats().commits, 1);
+    }
+
+    #[test]
+    fn writes_are_invisible_until_commit() {
+        let (heap, htm) = setup(HtmConfig::default());
+        let a = heap.allocator().alloc(0, 1).unwrap();
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        t.write(a, 99).unwrap();
+        assert_eq!(heap.load(a), 0, "speculative store leaked");
+        assert_eq!(t.read(a).unwrap(), 99, "read-own-write failed");
+        t.commit().unwrap();
+        assert_eq!(heap.load(a), 99);
+    }
+
+    #[test]
+    fn explicit_abort_discards_writes() {
+        let (heap, htm) = setup(HtmConfig::default());
+        let a = heap.allocator().alloc(0, 1).unwrap();
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        t.write(a, 7).unwrap();
+        let abort = t.abort(42);
+        assert_eq!(abort.code, AbortCode::Explicit { user_code: 42 });
+        assert!(!t.is_active());
+        assert_eq!(heap.load(a), 0);
+        assert_eq!(t.stats().explicit_aborts, 1);
+    }
+
+    #[test]
+    fn coherent_store_dooms_reader() {
+        let (heap, htm) = setup(HtmConfig::default());
+        let a = heap.allocator().alloc(0, 1).unwrap();
+        let b = heap.allocator().alloc(0, 1).unwrap();
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        let _ = t.read(a).unwrap();
+        heap.store(a, 5); // strong isolation: non-transactional conflicting store
+        let err = t.read(b).unwrap_err();
+        assert_eq!(err.code, AbortCode::Conflict);
+        assert_eq!(t.stats().conflict_aborts, 1);
+    }
+
+    #[test]
+    fn commit_validates_read_set() {
+        let (heap, htm) = setup(HtmConfig::default());
+        let a = heap.allocator().alloc(0, 1).unwrap();
+        let b = heap.allocator().alloc(0, 1).unwrap();
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        let _ = t.read(a).unwrap();
+        t.write(b, 1).unwrap();
+        heap.store(a, 5);
+        let err = t.commit().unwrap_err();
+        assert_eq!(err.code, AbortCode::Conflict);
+        assert_eq!(heap.load(b), 0, "failed commit must not publish");
+    }
+
+    #[test]
+    fn read_write_of_same_line_commits() {
+        let (heap, htm) = setup(HtmConfig::default());
+        let a = heap.allocator().alloc(0, 1).unwrap();
+        heap.store(a, 10);
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        let v = t.read(a).unwrap();
+        t.write(a, v + 1).unwrap();
+        t.commit().unwrap();
+        assert_eq!(heap.load(a), 11);
+    }
+
+    #[test]
+    fn write_capacity_abort() {
+        let (heap, htm) = setup(HtmConfig::tiny_capacity()); // 4 write lines
+        let alloc = heap.allocator();
+        // 5 large blocks are guaranteed to span 5 distinct lines.
+        let blocks: Vec<_> = (0..5).map(|_| alloc.alloc(0, 8).unwrap()).collect();
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        let mut aborted = None;
+        for (i, &b) in blocks.iter().enumerate() {
+            if let Err(e) = t.write(b, i as u64) {
+                aborted = Some(e);
+                break;
+            }
+        }
+        let e = aborted.expect("expected a capacity abort");
+        assert_eq!(e.code, AbortCode::Capacity { write_set: true });
+        assert!(!e.may_retry());
+        for &b in &blocks {
+            assert_eq!(heap.load(b), 0);
+        }
+    }
+
+    #[test]
+    fn read_capacity_abort() {
+        let (heap, htm) = setup(HtmConfig::tiny_capacity()); // 8 read lines
+        let alloc = heap.allocator();
+        let blocks: Vec<_> = (0..9).map(|_| alloc.alloc(0, 8).unwrap()).collect();
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        let mut aborted = None;
+        for &b in &blocks {
+            if let Err(e) = t.read(b) {
+                aborted = Some(e);
+                break;
+            }
+        }
+        assert_eq!(aborted.expect("capacity abort").code, AbortCode::Capacity { write_set: false });
+    }
+
+    #[test]
+    fn smt_sibling_halves_capacity() {
+        let (heap, htm) = setup(HtmConfig::tiny_capacity()); // 4 write lines
+        let alloc = heap.allocator();
+        let blocks: Vec<_> = (0..3).map(|_| alloc.alloc(0, 8).unwrap()).collect();
+        // Register a sibling on the same core (tid 8 shares core 0 with tid 0).
+        let _sibling = htm.register(8);
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        t.write(blocks[0], 1).unwrap();
+        t.write(blocks[1], 1).unwrap(); // 2 lines = halved capacity
+        let e = t.write(blocks[2], 1).unwrap_err();
+        assert_eq!(e.code, AbortCode::Capacity { write_set: true });
+    }
+
+    #[test]
+    fn disabled_htm_refuses_begin() {
+        let (_, htm) = setup(HtmConfig::disabled());
+        let mut t = htm.register(0);
+        let e = t.begin().unwrap_err();
+        assert_eq!(e.code, AbortCode::NotSupported);
+        assert!(!t.is_active());
+        assert_eq!(t.stats().unsupported, 1);
+    }
+
+    #[test]
+    fn spurious_aborts_fire_at_configured_rate() {
+        let (heap, htm) = setup(HtmConfig {
+            spurious_abort_per_access: 1.0,
+            ..HtmConfig::default()
+        });
+        let a = heap.allocator().alloc(0, 1).unwrap();
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        let e = t.read(a).unwrap_err();
+        assert_eq!(e.code, AbortCode::Spurious);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested")]
+    fn nested_begin_panics() {
+        let (_, htm) = setup(HtmConfig::default());
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        let _ = t.begin();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a transaction")]
+    fn read_outside_transaction_panics() {
+        let (heap, htm) = setup(HtmConfig::default());
+        let a = heap.allocator().alloc(0, 1).unwrap();
+        let mut t = htm.register(0);
+        let _ = t.read(a);
+    }
+
+    #[test]
+    fn conflicting_committers_serialize() {
+        // Two transactions read-modify-write the same word; exactly one of
+        // any overlapping pair survives, so the final value equals the
+        // number of successful commits.
+        let (heap, htm) = setup(HtmConfig::default());
+        let a = heap.allocator().alloc(0, 1).unwrap();
+        let threads = 4;
+        let per = 2000;
+        let total_commits = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let htm = Arc::clone(&htm);
+                let total = &total_commits;
+                s.spawn(move || {
+                    let mut t = htm.register(tid);
+                    let mut commits = 0;
+                    for _ in 0..per {
+                        loop {
+                            if t.begin().is_err() {
+                                continue;
+                            }
+                            let run = (|| {
+                                let v = t.read(a)?;
+                                t.write(a, v + 1)?;
+                                t.commit()
+                            })();
+                            if run.is_ok() {
+                                commits += 1;
+                                break;
+                            }
+                        }
+                    }
+                    total.fetch_add(commits, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(
+            heap.load(a),
+            total_commits.load(std::sync::atomic::Ordering::Relaxed)
+        );
+        assert_eq!(heap.load(a), (threads * per) as u64);
+    }
+}
+
+#[cfg(test)]
+mod assoc_tests {
+    use super::*;
+    use crate::{Associativity, HtmConfig};
+    use sim_mem::{Heap, HeapConfig, WORDS_PER_LINE};
+
+    /// Lines that collide in one L1 set overflow at `ways`, long before the
+    /// flat line limit.
+    #[test]
+    fn set_conflicts_abort_before_flat_capacity() {
+        let config = HtmConfig {
+            associativity: Some(Associativity { l1_sets: 4, l1_ways: 2, l2_sets: 512, l2_ways: 8 }),
+            topology: crate::Topology::no_smt(8),
+            ..HtmConfig::default()
+        };
+        let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 14 }));
+        let htm = Htm::new(Arc::clone(&heap), config);
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        // Lines 0, 4, 8 all map to set 0 of a 4-set cache.
+        let addr = |line: u64| Addr::new(line * WORDS_PER_LINE + 1);
+        t.write(addr(8), 1).unwrap();
+        t.write(addr(12), 1).unwrap();
+        let e = t.write(addr(16), 1).unwrap_err();
+        assert_eq!(e.code, AbortCode::Capacity { write_set: true });
+    }
+
+    /// Lines in distinct sets use the full geometry.
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let config = HtmConfig {
+            associativity: Some(Associativity { l1_sets: 4, l1_ways: 2, l2_sets: 512, l2_ways: 8 }),
+            topology: crate::Topology::no_smt(8),
+            ..HtmConfig::default()
+        };
+        let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 14 }));
+        let htm = Htm::new(Arc::clone(&heap), config);
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        let addr = |line: u64| Addr::new(line * WORDS_PER_LINE + 1);
+        // 8 lines spread across 4 sets x 2 ways: exactly fits.
+        for line in 8..16 {
+            t.write(addr(line), 1).unwrap();
+        }
+        t.commit().unwrap();
+    }
+
+    /// An SMT sibling halves the ways.
+    #[test]
+    fn smt_halves_ways() {
+        let config = HtmConfig {
+            associativity: Some(Associativity { l1_sets: 4, l1_ways: 2, l2_sets: 512, l2_ways: 8 }),
+            ..HtmConfig::default()
+        };
+        let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 14 }));
+        let htm = Htm::new(Arc::clone(&heap), config);
+        let _sibling = htm.register(8); // shares core 0 with tid 0
+        let mut t = htm.register(0);
+        t.begin().unwrap();
+        let addr = |line: u64| Addr::new(line * WORDS_PER_LINE + 1);
+        t.write(addr(8), 1).unwrap(); // set 0, way 1 of 1
+        let e = t.write(addr(12), 1).unwrap_err(); // set 0 again
+        assert_eq!(e.code, AbortCode::Capacity { write_set: true });
+    }
+}

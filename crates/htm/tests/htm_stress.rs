@@ -1,0 +1,230 @@
+//! Concurrency stress tests for the simulated HTM: serializability,
+//! opacity, and strong isolation under real thread interleavings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sim_htm::{Htm, HtmConfig};
+use sim_mem::{Addr, Heap, HeapConfig};
+
+fn setup() -> (Arc<Heap>, Arc<Htm>) {
+    let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 18 }));
+    let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+    (heap, htm)
+}
+
+/// Bank accounts with transactional transfers: the total is conserved, and
+/// every transactional snapshot of the whole bank sees the exact total —
+/// serializability plus snapshot consistency.
+#[test]
+fn bank_transfers_conserve_total_and_snapshots_agree() {
+    let (heap, htm) = setup();
+    let accounts = 32u64;
+    let initial = 1000u64;
+    let alloc = heap.allocator();
+    let base = alloc.alloc(0, accounts).unwrap();
+    for i in 0..accounts {
+        heap.store(base.offset(i), initial);
+    }
+    let writers = 4usize;
+    let readers = 2usize;
+    let transfers_per_writer = 3000u64;
+
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let htm = Arc::clone(&htm);
+            s.spawn(move || {
+                let mut t = htm.register(w);
+                let mut rng = (w as u64 + 1) * 0x9e3779b97f4a7c15;
+                let mut done = 0;
+                while done < transfers_per_writer {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let from = rng % accounts;
+                    let to = (rng >> 8) % accounts;
+                    if from == to {
+                        continue;
+                    }
+                    if t.begin().is_err() {
+                        continue;
+                    }
+                    let moved = (|| {
+                        let f = t.read(base.offset(from))?;
+                        let g = t.read(base.offset(to))?;
+                        let amount = f.min(3);
+                        t.write(base.offset(from), f - amount)?;
+                        t.write(base.offset(to), g + amount)?;
+                        t.commit()
+                    })();
+                    if moved.is_ok() {
+                        done += 1;
+                    }
+                }
+            });
+        }
+        for r in 0..readers {
+            let htm = Arc::clone(&htm);
+            s.spawn(move || {
+                let mut t = htm.register(writers + r);
+                let mut snapshots = 0;
+                while snapshots < 300 {
+                    if t.begin().is_err() {
+                        continue;
+                    }
+                    let sum = (|| {
+                        let mut sum = 0u64;
+                        for i in 0..accounts {
+                            sum += t.read(base.offset(i))?;
+                        }
+                        t.commit()?;
+                        Ok::<u64, sim_htm::HtmAbort>(sum)
+                    })();
+                    if let Ok(sum) = sum {
+                        assert_eq!(sum, accounts * initial, "snapshot saw torn transfers");
+                        snapshots += 1;
+                    }
+                }
+            });
+        }
+    });
+
+    let total: u64 = (0..accounts).map(|i| heap.load(base.offset(i))).sum();
+    assert_eq!(total, accounts * initial);
+}
+
+/// Opacity: inside a transaction, two reads of an invariant pair can never
+/// observe a broken invariant, *even when the transaction later aborts*.
+/// A writer keeps x + y constant; readers assert the invariant between
+/// their two reads, before knowing whether they will commit.
+#[test]
+fn opacity_no_inconsistent_view_mid_transaction() {
+    let (heap, htm) = setup();
+    let alloc = heap.allocator();
+    // Force x and y onto different cache lines.
+    let x = alloc.alloc(0, 8).unwrap();
+    let y = alloc.alloc(0, 8).unwrap();
+    let c = 10_000u64;
+    heap.store(x, c);
+    heap.store(y, 0);
+    let stop = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        let htm_w = Arc::clone(&htm);
+        let stop_ref = &stop;
+        s.spawn(move || {
+            let mut t = htm_w.register(0);
+            for step in 0..20_000u64 {
+                loop {
+                    if t.begin().is_err() {
+                        continue;
+                    }
+                    let r = (|| {
+                        let vx = t.read(x)?;
+                        let vy = t.read(y)?;
+                        let delta = (step % 7) + 1;
+                        let delta = delta.min(vx);
+                        t.write(x, vx - delta)?;
+                        t.write(y, vy + delta)?;
+                        t.commit()
+                    })();
+                    if r.is_ok() {
+                        break;
+                    }
+                }
+            }
+            stop_ref.store(1, Ordering::Release);
+        });
+        for r in 0..3 {
+            let htm = Arc::clone(&htm);
+            let stop_ref = &stop;
+            s.spawn(move || {
+                let mut t = htm.register(1 + r);
+                while stop_ref.load(Ordering::Acquire) == 0 {
+                    if t.begin().is_err() {
+                        continue;
+                    }
+                    let _ = (|| {
+                        let vx = t.read(x)?;
+                        let vy = t.read(y)?;
+                        // The opacity assertion: holds for every pair of
+                        // returned reads, commit or no commit.
+                        assert_eq!(vx + vy, c, "opacity violated mid-transaction");
+                        t.commit()
+                    })();
+                }
+            });
+        }
+    });
+    assert_eq!(heap.load(x) + heap.load(y), c);
+}
+
+/// Strong isolation: non-transactional coherent stores interleave with
+/// transactional readers; a transaction reading the same word twice always
+/// sees the same value (the first read's line stays validated).
+#[test]
+fn strong_isolation_repeat_reads_are_stable() {
+    let (heap, htm) = setup();
+    let a = heap.allocator().alloc(0, 1).unwrap();
+    let stop = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        let heap_w = Arc::clone(&heap);
+        let stop_ref = &stop;
+        s.spawn(move || {
+            for i in 0..100_000u64 {
+                heap_w.store(a, i);
+            }
+            stop_ref.store(1, Ordering::Release);
+        });
+        let htm = Arc::clone(&htm);
+        let stop_ref = &stop;
+        s.spawn(move || {
+            let mut t = htm.register(1);
+            let mut committed = 0u64;
+            while stop_ref.load(Ordering::Acquire) == 0 || committed == 0 {
+                if t.begin().is_err() {
+                    continue;
+                }
+                let ok = (|| {
+                    let v1 = t.read(a)?;
+                    let v2 = t.read(a)?;
+                    assert_eq!(v1, v2, "repeat read changed inside a transaction");
+                    t.commit()
+                })();
+                if ok.is_ok() {
+                    committed += 1;
+                }
+            }
+        });
+    });
+}
+
+/// Counters disjoint per thread never conflict: parallel transactions on
+/// disjoint lines all commit without aborts (given no false sharing).
+#[test]
+fn disjoint_transactions_do_not_conflict() {
+    let (heap, htm) = setup();
+    let alloc = heap.allocator();
+    let threads = 8usize;
+    let slots: Vec<Addr> = (0..threads).map(|_| alloc.alloc(0, 8).unwrap()).collect();
+    let iters = 5_000u64;
+    std::thread::scope(|s| {
+        for (tid, &slot) in slots.iter().enumerate() {
+            let htm = Arc::clone(&htm);
+            s.spawn(move || {
+                let mut t = htm.register(tid);
+                for _ in 0..iters {
+                    t.begin().unwrap();
+                    let v = t.read(slot).unwrap();
+                    t.write(slot, v + 1).unwrap();
+                    t.commit().unwrap();
+                }
+                assert_eq!(t.stats().conflict_aborts, 0, "disjoint lines conflicted");
+            });
+        }
+    });
+    for &slot in &slots {
+        assert_eq!(heap.load(slot), iters);
+    }
+}

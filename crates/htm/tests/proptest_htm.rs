@@ -1,0 +1,154 @@
+//! Property tests for the simulated HTM: single-thread transactions agree
+//! with a sequential model, aborts leave no trace, and capacity accounting
+//! is exact.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sim_htm::{AbortCode, Htm, HtmConfig};
+use sim_mem::{Addr, Heap, HeapConfig, WORDS_PER_LINE};
+
+#[derive(Clone, Debug)]
+enum TxOp {
+    Read(u64),
+    Write(u64, u64),
+}
+
+#[derive(Clone, Debug)]
+enum Step {
+    /// A transaction made of the contained ops, then commit.
+    Tx(Vec<TxOp>),
+    /// A transaction that runs its ops and then explicitly aborts.
+    AbortedTx(Vec<TxOp>),
+    /// A coherent (non-transactional) store.
+    Store(u64, u64),
+}
+
+const SLOTS: u64 = 24;
+
+fn ops() -> impl Strategy<Value = Vec<TxOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..SLOTS).prop_map(TxOp::Read),
+            (0..SLOTS, any::<u64>()).prop_map(|(a, v)| TxOp::Write(a, v)),
+        ],
+        0..12,
+    )
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            ops().prop_map(Step::Tx),
+            ops().prop_map(Step::AbortedTx),
+            (0..SLOTS, any::<u64>()).prop_map(|(a, v)| Step::Store(a, v)),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Sequential execution of transactions, explicit aborts, and coherent
+    /// stores matches a plain map model: committed writes land, aborted
+    /// writes vanish, reads see the model.
+    #[test]
+    fn single_thread_matches_model(script in steps()) {
+        let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 12 }));
+        let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+        let base = heap.allocator().alloc(0, SLOTS).unwrap();
+        let slot = |i: u64| base.offset(i);
+        let mut thread = htm.register(0);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+
+        for step in script {
+            match step {
+                Step::Tx(ops) => {
+                    thread.begin().unwrap();
+                    let mut staged = model.clone();
+                    for op in &ops {
+                        match *op {
+                            TxOp::Read(a) => {
+                                let got = thread.read(slot(a)).unwrap();
+                                prop_assert_eq!(got, staged.get(&a).copied().unwrap_or(0));
+                            }
+                            TxOp::Write(a, v) => {
+                                thread.write(slot(a), v).unwrap();
+                                staged.insert(a, v);
+                            }
+                        }
+                    }
+                    thread.commit().unwrap();
+                    model = staged;
+                }
+                Step::AbortedTx(ops) => {
+                    thread.begin().unwrap();
+                    for op in &ops {
+                        match *op {
+                            TxOp::Read(a) => { thread.read(slot(a)).unwrap(); }
+                            TxOp::Write(a, v) => { thread.write(slot(a), v).unwrap(); }
+                        }
+                    }
+                    let abort = thread.abort(9);
+                    prop_assert_eq!(abort.code, AbortCode::Explicit { user_code: 9 });
+                }
+                Step::Store(a, v) => {
+                    heap.store(slot(a), v);
+                    model.insert(a, v);
+                }
+            }
+        }
+        for a in 0..SLOTS {
+            prop_assert_eq!(heap.load(slot(a)), model.get(&a).copied().unwrap_or(0));
+        }
+    }
+
+    /// Write-set capacity counts distinct lines exactly: a transaction
+    /// writing `k` distinct lines commits iff `k <= max_write_lines`.
+    #[test]
+    fn write_capacity_is_exact(lines in 1usize..12) {
+        let config = HtmConfig {
+            max_write_lines: 6,
+            topology: sim_htm::Topology::no_smt(8),
+            ..HtmConfig::default()
+        };
+        let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 12 }));
+        let htm = Htm::new(Arc::clone(&heap), config);
+        let base = heap.allocator().alloc(0, 16 * WORDS_PER_LINE).unwrap();
+        let mut thread = htm.register(0);
+        thread.begin().unwrap();
+        let mut failed = None;
+        for i in 0..lines {
+            // One word per line: distinct lines by construction.
+            if let Err(e) = thread.write(base.offset(i as u64 * WORDS_PER_LINE), 1) {
+                failed = Some(e);
+                break;
+            }
+        }
+        if lines <= 6 {
+            prop_assert!(failed.is_none());
+            thread.commit().unwrap();
+        } else {
+            let e = failed.expect("overflow must abort");
+            prop_assert_eq!(e.code, AbortCode::Capacity { write_set: true });
+        }
+    }
+
+    /// Two words written in one transaction are always observed together
+    /// by coherent loads, no matter where a reader samples.
+    #[test]
+    fn commits_publish_atomically(value in 1u64..1000) {
+        let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 12 }));
+        let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+        let a = heap.allocator().alloc(0, WORDS_PER_LINE).unwrap();
+        let b = heap.allocator().alloc(0, WORDS_PER_LINE).unwrap();
+        let mut thread = htm.register(0);
+        thread.begin().unwrap();
+        thread.write(a, value).unwrap();
+        thread.write(b, value).unwrap();
+        thread.commit().unwrap();
+        prop_assert_eq!(heap.load(a), heap.load(b));
+    }
+}

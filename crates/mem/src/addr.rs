@@ -1,0 +1,132 @@
+//! Word addresses into the simulated heap.
+
+use core::fmt;
+
+/// A word address in the simulated shared heap.
+///
+/// Addresses index 64-bit words, not bytes; address `0` is reserved as the
+/// null address so heap-resident data structures can store "no pointer" the
+/// way C code stores `NULL`.
+///
+/// `Addr` is a plain value: copying it copies the pointer, not the pointee.
+///
+/// # Examples
+///
+/// ```rust
+/// use sim_mem::Addr;
+///
+/// let a = Addr::new(16);
+/// assert_eq!(a.offset(3).index(), 19);
+/// assert!(Addr::NULL.is_null());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address. Never a valid target of a load or store.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw word index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        Addr(index)
+    }
+
+    /// The raw word index of this address.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the null address.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The address `words` words past `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the offset overflows `u64`.
+    #[inline]
+    pub const fn offset(self, words: u64) -> Self {
+        Addr(self.0 + words)
+    }
+
+    /// Encodes this address as a heap word, so pointers can be stored in
+    /// heap-resident records.
+    #[inline]
+    pub const fn to_word(self) -> u64 {
+        self.0
+    }
+
+    /// Decodes an address previously stored with [`Addr::to_word`].
+    #[inline]
+    pub const fn from_word(word: u64) -> Self {
+        Addr(word)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Addr(NULL)")
+        } else {
+            write!(f, "Addr({:#x})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> u64 {
+        a.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_zero_and_default() {
+        assert_eq!(Addr::NULL.index(), 0);
+        assert!(Addr::NULL.is_null());
+        assert_eq!(Addr::default(), Addr::NULL);
+    }
+
+    #[test]
+    fn offset_advances_word_index() {
+        let a = Addr::new(100);
+        assert_eq!(a.offset(0), a);
+        assert_eq!(a.offset(8).index(), 108);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let a = Addr::new(0xdead_beef);
+        assert_eq!(Addr::from_word(a.to_word()), a);
+    }
+
+    #[test]
+    fn debug_marks_null() {
+        assert_eq!(format!("{:?}", Addr::NULL), "Addr(NULL)");
+        assert_eq!(format!("{:?}", Addr::new(16)), "Addr(0x10)");
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", Addr::new(255)), "0xff");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Addr::new(1) < Addr::new(2));
+    }
+}

@@ -1,0 +1,38 @@
+//! Error types for the memory subsystem.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the simulated memory subsystem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// The heap's allocation region is exhausted.
+    OutOfMemory {
+        /// Payload size of the failed request, in words.
+        requested_words: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory { requested_words } => {
+                write!(f, "simulated heap exhausted while allocating {requested_words} words")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_request_size() {
+        let msg = MemError::OutOfMemory { requested_words: 33 }.to_string();
+        assert!(msg.contains("33"));
+    }
+}

@@ -1,0 +1,509 @@
+//! The simulated shared heap.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::alloc::AllocState;
+use crate::line::{LineId, LineMeta, LineSnapshot, WORDS_PER_LINE};
+use crate::{Addr, Allocator};
+
+/// Configuration for a [`Heap`].
+///
+/// # Examples
+///
+/// ```rust
+/// use sim_mem::{Heap, HeapConfig};
+///
+/// let heap = Heap::new(HeapConfig { words: 1 << 16 });
+/// assert!(heap.capacity_words() >= 1 << 16);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeapConfig {
+    /// Total number of 64-bit words of simulated memory.
+    pub words: u64,
+}
+
+impl Default for HeapConfig {
+    /// 32 MiB of simulated memory (`2^22` words) — enough for every
+    /// workload in the paper's evaluation at the default scales.
+    fn default() -> Self {
+        HeapConfig { words: 1 << 22 }
+    }
+}
+
+/// A word-addressable shared heap with a cache-line coherence model.
+///
+/// All transactional data in this repository lives in a `Heap`. Words are
+/// 64-bit; 8 consecutive words form a 64-byte cache line with one
+/// [`LineMeta`] version/lock word. See the crate docs for the coherence
+/// contract.
+///
+/// The heap is `Sync`: share it between threads with `&Heap` or `Arc<Heap>`.
+pub struct Heap {
+    words: Box<[AtomicU64]>,
+    meta: Box<[LineMeta]>,
+    /// Internal coherence clock: bumped once per simulated-HTM commit and
+    /// once per coherent (non-transactional) store burst. Simulated hardware
+    /// transactions snoop it to decide when to revalidate their read sets —
+    /// the stand-in for eager cache-coherence conflict detection.
+    commit_clock: AtomicU64,
+    alloc: AllocState,
+}
+
+impl Heap {
+    /// Creates a heap with the given configuration.
+    ///
+    /// Word 0 — in fact all of line 0 — is reserved so that [`Addr::NULL`]
+    /// never aliases live data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.words` is smaller than two cache lines.
+    pub fn new(config: HeapConfig) -> Self {
+        assert!(
+            config.words >= 2 * WORDS_PER_LINE,
+            "heap must hold at least two cache lines, got {} words",
+            config.words
+        );
+        let lines = config.words.div_ceil(WORDS_PER_LINE);
+        let words = (0..lines * WORDS_PER_LINE)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let meta = (0..lines)
+            .map(|_| LineMeta::new())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Heap {
+            words,
+            meta,
+            commit_clock: AtomicU64::new(0),
+            // Line 0 is reserved; allocation begins at the second line.
+            alloc: AllocState::new(WORDS_PER_LINE, lines * WORDS_PER_LINE),
+        }
+    }
+
+    /// Total capacity in words (rounded up to whole cache lines).
+    #[inline]
+    pub fn capacity_words(&self) -> u64 {
+        self.words.len() as u64
+    }
+
+    /// The allocator handle for this heap.
+    #[inline]
+    pub fn allocator(&self) -> Allocator<'_> {
+        Allocator::new(self)
+    }
+
+    #[inline]
+    fn check(&self, addr: Addr) {
+        assert!(
+            !addr.is_null() && addr.index() < self.words.len() as u64,
+            "address {addr:?} outside heap of {} words",
+            self.words.len()
+        );
+    }
+
+    #[inline]
+    fn word(&self, addr: Addr) -> &AtomicU64 {
+        self.check(addr);
+        &self.words[addr.index() as usize]
+    }
+
+    #[inline]
+    pub(crate) fn line_meta(&self, line: LineId) -> &LineMeta {
+        &self.meta[line.index() as usize]
+    }
+
+    /// Coherent load: returns a value that is never torn out of the middle
+    /// of an in-flight simulated-HTM commit.
+    ///
+    /// Spins (seqlock-style) while the containing line is write-locked.
+    /// This models what real hardware gives free of charge: a plain load
+    /// observes either the entire pre-commit or the entire post-commit
+    /// memory state of a hardware transaction, with all cores agreeing on a
+    /// single commit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is null or outside the heap.
+    pub fn load(&self, addr: Addr) -> u64 {
+        let word = self.word(addr);
+        let meta = self.line_meta(LineId::containing(addr));
+        let mut tries = 0u32;
+        loop {
+            let before = meta.snapshot();
+            if before.is_locked() {
+                tries += 1;
+                if tries < 16 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+                continue;
+            }
+            let value = word.load(Ordering::Acquire);
+            if meta.validate(before) {
+                return value;
+            }
+        }
+    }
+
+    /// Coherent store, visible as one indivisible event.
+    ///
+    /// Locks the line, writes, unlocks with a version bump, and advances the
+    /// coherence clock — so every simulated hardware transaction that has
+    /// the line in its tracking set observes a conflict, exactly as a
+    /// non-transactional store aborts conflicting transactions on real HTM
+    /// (strong isolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is null or outside the heap.
+    pub fn store(&self, addr: Addr, value: u64) {
+        let word = self.word(addr);
+        let meta = self.line_meta(LineId::containing(addr));
+        meta.lock();
+        word.store(value, Ordering::Release);
+        meta.unlock_bump();
+        self.commit_clock.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Coherent read-modify-write: stores `f(current)` and returns the
+    /// previous value, atomically with respect to all coherent accesses and
+    /// simulated-HTM commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is null or outside the heap.
+    pub fn fetch_update(&self, addr: Addr, f: impl FnOnce(u64) -> u64) -> u64 {
+        let word = self.word(addr);
+        let meta = self.line_meta(LineId::containing(addr));
+        meta.lock();
+        let prev = word.load(Ordering::Acquire);
+        word.store(f(prev), Ordering::Release);
+        meta.unlock_bump();
+        self.commit_clock.fetch_add(1, Ordering::AcqRel);
+        prev
+    }
+
+    /// Coherent compare-and-swap on one word.
+    ///
+    /// Returns `Ok(expected)` when the swap happened, `Err(actual)` when the
+    /// current value differed. On failure nothing is written and the line
+    /// version does not move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is null or outside the heap.
+    pub fn compare_exchange(&self, addr: Addr, expected: u64, new: u64) -> Result<u64, u64> {
+        let word = self.word(addr);
+        let meta = self.line_meta(LineId::containing(addr));
+        meta.lock();
+        let cur = word.load(Ordering::Acquire);
+        if cur == expected {
+            word.store(new, Ordering::Release);
+            meta.unlock_bump();
+            self.commit_clock.fetch_add(1, Ordering::AcqRel);
+            Ok(expected)
+        } else {
+            meta.unlock_unchanged();
+            Err(cur)
+        }
+    }
+
+    /// Fills `[addr, addr + count)` with `value` as one coherent burst: each
+    /// touched line is locked/bumped once and the coherence clock advances
+    /// once for the whole burst.
+    ///
+    /// Used by the allocator to scrub recycled blocks without paying one
+    /// clock bump per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any word of the range is null or outside the heap.
+    pub fn fill(&self, addr: Addr, count: u64, value: u64) {
+        if count == 0 {
+            return;
+        }
+        self.check(addr);
+        self.check(addr.offset(count - 1));
+        let mut w = addr.index();
+        let end = addr.index() + count;
+        while w < end {
+            let line = LineId::containing(Addr::new(w));
+            let line_end = (line.index() + 1) * WORDS_PER_LINE;
+            let burst_end = end.min(line_end);
+            let meta = self.line_meta(line);
+            meta.lock();
+            for i in w..burst_end {
+                self.words[i as usize].store(value, Ordering::Release);
+            }
+            meta.unlock_bump();
+            w = burst_end;
+        }
+        self.commit_clock.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Uninstrumented accessors for TM-runtime implementors.
+    #[inline]
+    pub fn raw(&self) -> RawHeap<'_> {
+        RawHeap { heap: self }
+    }
+
+    pub(crate) fn alloc_state(&self) -> &AllocState {
+        &self.alloc
+    }
+}
+
+impl fmt::Debug for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Heap")
+            .field("capacity_words", &self.words.len())
+            .field("lines", &self.meta.len())
+            .field("commit_clock", &self.commit_clock.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Uninstrumented access to a [`Heap`], for implementing TM runtimes.
+///
+/// `RawHeap` is how the `sim-htm` crate implements speculative execution:
+/// it reads line metadata to build read sets, locks lines to publish write
+/// sets, and snoops/bumps the coherence clock.
+///
+/// # Protocol
+///
+/// These methods do no locking of their own. Callers must uphold:
+///
+/// * [`RawHeap::store_raw`] only while holding the containing line's lock
+///   (via [`RawHeap::meta`] and [`LineMeta::try_lock`]).
+/// * After publishing stores and unlocking, bump the coherence clock with
+///   [`RawHeap::bump_commit_clock`] exactly once per atomic commit event.
+/// * [`RawHeap::load_raw`] is safe any time but may observe mid-commit
+///   state; pair it with snapshot validation ([`RawHeap::read_validated`])
+///   to obtain a coherent value.
+///
+/// No method here is `unsafe` in the Rust sense — violating the protocol
+/// cannot corrupt process memory, only the simulated machine's coherence.
+#[derive(Clone, Copy)]
+pub struct RawHeap<'h> {
+    heap: &'h Heap,
+}
+
+impl<'h> RawHeap<'h> {
+    /// Plain load with acquire ordering. May observe mid-commit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is null or outside the heap.
+    #[inline]
+    pub fn load_raw(&self, addr: Addr) -> u64 {
+        self.heap.word(addr).load(Ordering::Acquire)
+    }
+
+    /// Plain store with release ordering. Caller must hold the line lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is null or outside the heap.
+    #[inline]
+    pub fn store_raw(&self, addr: Addr, value: u64) {
+        self.heap.word(addr).store(value, Ordering::Release);
+    }
+
+    /// The metadata word of `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is outside the heap.
+    #[inline]
+    pub fn meta(&self, line: LineId) -> &'h LineMeta {
+        assert!(
+            line.index() < self.heap.meta.len() as u64,
+            "{line:?} outside heap of {} lines",
+            self.heap.meta.len()
+        );
+        self.heap.line_meta(line)
+    }
+
+    /// Loads a word together with a validated, unlocked snapshot of its
+    /// line: retries until the line is observed unlocked and unchanged
+    /// around the load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is null or outside the heap.
+    pub fn read_validated(&self, addr: Addr) -> (u64, LineSnapshot) {
+        let word = self.heap.word(addr);
+        let meta = self.heap.line_meta(LineId::containing(addr));
+        let mut tries = 0u32;
+        loop {
+            let before = meta.snapshot();
+            if before.is_locked() {
+                tries += 1;
+                if tries < 16 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+                continue;
+            }
+            let value = word.load(Ordering::Acquire);
+            if meta.validate(before) {
+                return (value, before);
+            }
+        }
+    }
+
+    /// Current value of the coherence clock.
+    #[inline]
+    pub fn commit_clock(&self) -> u64 {
+        self.heap.commit_clock.load(Ordering::Acquire)
+    }
+
+    /// Advances the coherence clock by one commit event; returns the new
+    /// value.
+    #[inline]
+    pub fn bump_commit_clock(&self) -> u64 {
+        self.heap.commit_clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The underlying heap (for bounds queries).
+    #[inline]
+    pub fn heap(&self) -> &'h Heap {
+        self.heap
+    }
+}
+
+impl fmt::Debug for RawHeap<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RawHeap").field("heap", self.heap).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_heap() -> Heap {
+        Heap::new(HeapConfig { words: 1 << 12 })
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let h = small_heap();
+        let a = Addr::new(WORDS_PER_LINE); // first non-reserved word
+        assert_eq!(h.load(a), 0);
+        h.store(a, 0xfeed);
+        assert_eq!(h.load(a), 0xfeed);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside heap")]
+    fn load_out_of_bounds_panics() {
+        let h = small_heap();
+        h.load(Addr::new(1 << 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside heap")]
+    fn null_load_panics() {
+        let h = small_heap();
+        h.load(Addr::NULL);
+    }
+
+    #[test]
+    fn store_bumps_line_version_and_clock() {
+        let h = small_heap();
+        let a = Addr::new(WORDS_PER_LINE);
+        let line = LineId::containing(a);
+        let v0 = h.raw().meta(line).snapshot().version();
+        let c0 = h.raw().commit_clock();
+        h.store(a, 1);
+        assert_eq!(h.raw().meta(line).snapshot().version(), v0 + 1);
+        assert_eq!(h.raw().commit_clock(), c0 + 1);
+    }
+
+    #[test]
+    fn fetch_update_returns_previous() {
+        let h = small_heap();
+        let a = Addr::new(WORDS_PER_LINE);
+        h.store(a, 7);
+        assert_eq!(h.fetch_update(a, |v| v + 1), 7);
+        assert_eq!(h.load(a), 8);
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure() {
+        let h = small_heap();
+        let a = Addr::new(WORDS_PER_LINE);
+        h.store(a, 5);
+        assert_eq!(h.compare_exchange(a, 5, 6), Ok(5));
+        assert_eq!(h.load(a), 6);
+        assert_eq!(h.compare_exchange(a, 5, 7), Err(6));
+        assert_eq!(h.load(a), 6);
+    }
+
+    #[test]
+    fn failed_compare_exchange_leaves_version_unchanged() {
+        let h = small_heap();
+        let a = Addr::new(WORDS_PER_LINE);
+        let line = LineId::containing(a);
+        h.store(a, 1);
+        let v = h.raw().meta(line).snapshot().version();
+        let _ = h.compare_exchange(a, 99, 100);
+        assert_eq!(h.raw().meta(line).snapshot().version(), v);
+    }
+
+    #[test]
+    fn fill_spans_lines_with_single_clock_bump() {
+        let h = small_heap();
+        let a = Addr::new(WORDS_PER_LINE + 3); // unaligned start
+        let c0 = h.raw().commit_clock();
+        h.fill(a, 20, 9);
+        for i in 0..20 {
+            assert_eq!(h.load(a.offset(i)), 9);
+        }
+        assert_eq!(h.raw().commit_clock(), c0 + 1);
+    }
+
+    #[test]
+    fn read_validated_returns_matching_snapshot() {
+        let h = small_heap();
+        let a = Addr::new(WORDS_PER_LINE);
+        h.store(a, 3);
+        let raw = h.raw();
+        let (v, snap) = raw.read_validated(a);
+        assert_eq!(v, 3);
+        assert!(raw.meta(LineId::containing(a)).validate(snap));
+        h.store(a, 4);
+        assert!(!raw.meta(LineId::containing(a)).validate(snap));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_lines() {
+        let h = Heap::new(HeapConfig { words: 17 });
+        assert_eq!(h.capacity_words() % WORDS_PER_LINE, 0);
+        assert!(h.capacity_words() >= 17);
+    }
+
+    #[test]
+    fn concurrent_coherent_stores_are_not_lost() {
+        let h = std::sync::Arc::new(small_heap());
+        let a = Addr::new(WORDS_PER_LINE);
+        let threads = 8;
+        let per = 1000;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..per {
+                        h.fetch_update(a, |v| v + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.load(a), threads * per);
+    }
+}

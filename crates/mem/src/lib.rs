@@ -1,0 +1,70 @@
+//! # sim-mem: simulated shared memory for transactional-memory research
+//!
+//! This crate provides the memory substrate on which the rest of the
+//! repository builds a reproduction of *Reduced Hardware NOrec* (Matveev &
+//! Shavit, ASPLOS 2015). It models the pieces of a real machine's memory
+//! system that hybrid transactional memory algorithms care about:
+//!
+//! * A **word-addressable shared heap** ([`Heap`]) of 64-bit words grouped
+//!   into 64-byte **cache lines** (8 words per line), shared between threads.
+//! * **Per-line version metadata** maintained seqlock-style, which is what
+//!   lets the companion `sim-htm` crate publish a hardware transaction's
+//!   write set *atomically* with respect to plain loads — the property the
+//!   NOrec hybrid protocols rely on for opacity.
+//! * A **scalable allocator** ([`Allocator`]) with per-thread pools, standing
+//!   in for the tcmalloc allocator the paper had to adopt so that memory
+//!   management would not induce spurious HTM conflicts (paper §3.2).
+//!
+//! Shared data lives at [`Addr`]esses rather than behind Rust references so
+//! that every access — transactional or not — can be interposed on by the
+//! simulated hardware. This mirrors how the STAMP benchmarks address memory
+//! in C.
+//!
+//! ## Coherence model
+//!
+//! Two access families are exposed:
+//!
+//! * [`Heap::load`] / [`Heap::store`]: *coherent* accesses. A load never
+//!   observes a value from the middle of an in-flight simulated-HTM commit;
+//!   a store immediately invalidates (dooms) any simulated hardware
+//!   transaction whose read or write set covers the line — the strong
+//!   isolation that real HTM provides to non-transactional code.
+//! * [`RawHeap`]: uninstrumented accessors for TM-runtime implementors (the
+//!   `sim-htm` crate). These bypass coherence bookkeeping and must only be
+//!   used under the line-locking protocol documented on [`RawHeap`].
+//!
+//! ## Example
+//!
+//! ```rust
+//! use sim_mem::{Heap, HeapConfig};
+//!
+//! let heap = Heap::new(HeapConfig::default());
+//! let alloc = heap.allocator();
+//! let a = alloc.alloc(0, 4).expect("allocation");
+//! heap.store(a, 42);
+//! assert_eq!(heap.load(a), 42);
+//! alloc.free(0, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod addr;
+mod alloc;
+mod error;
+mod heap;
+mod line;
+mod size_class;
+
+pub use addr::Addr;
+pub use alloc::{AllocStats, Allocator};
+pub use error::MemError;
+pub use heap::{Heap, HeapConfig, RawHeap};
+pub use line::{LineId, LineMeta, LineSnapshot, WORDS_PER_LINE};
+pub use size_class::{SizeClass, NUM_SIZE_CLASSES};
+
+/// Maximum number of worker threads any component of the simulator supports.
+///
+/// The paper's testbed is a 16-way (8-core, 2-way HyperThreaded) Haswell;
+/// we leave generous headroom for oversubscription experiments.
+pub const MAX_THREADS: usize = 64;

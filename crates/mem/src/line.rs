@@ -1,0 +1,257 @@
+//! Cache-line identity and per-line version metadata.
+//!
+//! The simulated machine groups heap words into 64-byte cache lines (8
+//! words). Each line carries one metadata word maintained seqlock-style:
+//!
+//! ```text
+//!   bit 0      : write lock (1 = a commit or coherent store is in flight)
+//!   bits 63..1 : version, incremented on every unlock
+//! ```
+//!
+//! This metadata is *not* visible to TM algorithms — it belongs to the
+//! simulated hardware. The HTM simulator records `LineSnapshot`s in its read
+//! set and revalidates them, which is how "another core wrote a line in my
+//! tracking set" manifests as a conflict abort.
+
+use core::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::Addr;
+
+/// Number of 64-bit words per simulated cache line (64 bytes).
+pub const WORDS_PER_LINE: u64 = 8;
+
+const LOCK_BIT: u64 = 1;
+const VERSION_STEP: u64 = 2;
+
+/// Identifies one simulated cache line.
+///
+/// # Examples
+///
+/// ```rust
+/// use sim_mem::{Addr, LineId};
+///
+/// assert_eq!(LineId::containing(Addr::new(0)), LineId::containing(Addr::new(7)));
+/// assert_ne!(LineId::containing(Addr::new(7)), LineId::containing(Addr::new(8)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineId(u64);
+
+impl LineId {
+    /// The line containing the given word address.
+    #[inline]
+    pub const fn containing(addr: Addr) -> Self {
+        LineId(addr.index() / WORDS_PER_LINE)
+    }
+
+    /// Raw line index (into the heap's metadata table).
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// First word address of this line.
+    #[inline]
+    pub const fn first_word(self) -> Addr {
+        Addr::new(self.0 * WORDS_PER_LINE)
+    }
+}
+
+impl fmt::Debug for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineId({:#x})", self.0)
+    }
+}
+
+/// An observation of a line's metadata at some instant: either "unlocked at
+/// version v" or "locked".
+///
+/// HTM read sets store unlocked snapshots; revalidation fails if the line
+/// has since been locked or its version moved.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LineSnapshot(u64);
+
+impl LineSnapshot {
+    /// Whether the line was write-locked when observed.
+    #[inline]
+    pub const fn is_locked(self) -> bool {
+        self.0 & LOCK_BIT != 0
+    }
+
+    /// The observed version (meaningful only when unlocked).
+    #[inline]
+    pub const fn version(self) -> u64 {
+        self.0 >> 1
+    }
+
+    /// Raw metadata word, for compact storage in read-set logs.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One cache line's version/lock word.
+///
+/// All transitions use the protocol documented at module level. The lock is
+/// a plain test-and-set spin bit: the simulator's critical sections are a
+/// handful of word stores, so spinning is appropriate (and matches what a
+/// directory-based coherence protocol would serialize anyway).
+#[derive(Debug, Default)]
+pub struct LineMeta(AtomicU64);
+
+impl LineMeta {
+    /// A fresh, unlocked line at version 0.
+    pub const fn new() -> Self {
+        LineMeta(AtomicU64::new(0))
+    }
+
+    /// Observes the current metadata.
+    #[inline]
+    pub fn snapshot(&self) -> LineSnapshot {
+        LineSnapshot(self.0.load(Ordering::Acquire))
+    }
+
+    /// Attempts to acquire the line's write lock.
+    ///
+    /// Returns the pre-lock snapshot on success; `None` if the line is
+    /// already locked by someone else.
+    #[inline]
+    pub fn try_lock(&self) -> Option<LineSnapshot> {
+        let cur = self.0.load(Ordering::Relaxed);
+        if cur & LOCK_BIT != 0 {
+            return None;
+        }
+        match self
+            .0
+            .compare_exchange(cur, cur | LOCK_BIT, Ordering::Acquire, Ordering::Relaxed)
+        {
+            Ok(_) => Some(LineSnapshot(cur)),
+            Err(_) => None,
+        }
+    }
+
+    /// Acquires the line's write lock, spinning until it is free.
+    #[inline]
+    pub fn lock(&self) -> LineSnapshot {
+        let mut tries = 0u32;
+        loop {
+            if let Some(snap) = self.try_lock() {
+                return snap;
+            }
+            tries += 1;
+            if tries < 16 {
+                std::hint::spin_loop();
+            } else {
+                // On an oversubscribed host the holder may be descheduled;
+                // yield so it can publish and release.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Releases the write lock, bumping the version so that every reader
+    /// snapshot taken before the lock was acquired is invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is not locked.
+    #[inline]
+    pub fn unlock_bump(&self) {
+        let cur = self.0.load(Ordering::Relaxed);
+        debug_assert!(cur & LOCK_BIT != 0, "unlock_bump on unlocked line");
+        self.0
+            .store((cur & !LOCK_BIT) + VERSION_STEP, Ordering::Release);
+    }
+
+    /// Releases the write lock *without* bumping the version.
+    ///
+    /// Used when a lock was taken but no word was modified (for example a
+    /// simulated-HTM commit that aborts after locking part of its write
+    /// set), so reader snapshots stay valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is not locked.
+    #[inline]
+    pub fn unlock_unchanged(&self) {
+        let cur = self.0.load(Ordering::Relaxed);
+        debug_assert!(cur & LOCK_BIT != 0, "unlock_unchanged on unlocked line");
+        self.0.store(cur & !LOCK_BIT, Ordering::Release);
+    }
+
+    /// Whether `snap` is still the current, unlocked state of this line.
+    #[inline]
+    pub fn validate(&self, snap: LineSnapshot) -> bool {
+        !snap.is_locked() && self.0.load(Ordering::Acquire) == snap.raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_partition_addresses() {
+        for w in 0..64 {
+            let line = LineId::containing(Addr::new(w));
+            assert_eq!(line.index(), w / WORDS_PER_LINE);
+            assert!(line.first_word().index() <= w);
+            assert!(w < line.first_word().index() + WORDS_PER_LINE);
+        }
+    }
+
+    #[test]
+    fn snapshot_starts_unlocked_version_zero() {
+        let m = LineMeta::new();
+        let s = m.snapshot();
+        assert!(!s.is_locked());
+        assert_eq!(s.version(), 0);
+        assert!(m.validate(s));
+    }
+
+    #[test]
+    fn lock_then_bump_invalidates_snapshot() {
+        let m = LineMeta::new();
+        let before = m.snapshot();
+        let held = m.lock();
+        assert_eq!(held, before);
+        assert!(m.snapshot().is_locked());
+        assert!(!m.validate(before), "locked line must fail validation");
+        m.unlock_bump();
+        let after = m.snapshot();
+        assert!(!after.is_locked());
+        assert_eq!(after.version(), before.version() + 1);
+        assert!(!m.validate(before));
+        assert!(m.validate(after));
+    }
+
+    #[test]
+    fn unlock_unchanged_preserves_snapshot_validity() {
+        let m = LineMeta::new();
+        let before = m.snapshot();
+        m.lock();
+        m.unlock_unchanged();
+        assert!(m.validate(before));
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let m = LineMeta::new();
+        assert!(m.try_lock().is_some());
+        assert!(m.try_lock().is_none());
+        m.unlock_bump();
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn locked_snapshot_never_validates() {
+        let m = LineMeta::new();
+        m.lock();
+        let locked = m.snapshot();
+        assert!(locked.is_locked());
+        assert!(!m.validate(locked));
+        m.unlock_bump();
+        assert!(!m.validate(locked));
+    }
+}

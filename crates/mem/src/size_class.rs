@@ -1,0 +1,123 @@
+//! Allocation size classes.
+//!
+//! The allocator rounds payload sizes up to a small set of classes, the same
+//! strategy tcmalloc uses to keep per-thread free lists short and refills
+//! batched. Classes are denominated in 64-bit words.
+
+/// Payload sizes (in words) of the small-object classes.
+///
+/// Anything larger goes through the large-object path.
+const CLASS_WORDS: [u64; 16] = [
+    1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256,
+];
+
+/// Number of small-object size classes.
+pub const NUM_SIZE_CLASSES: usize = CLASS_WORDS.len();
+
+/// A small-object size class.
+///
+/// # Examples
+///
+/// ```rust
+/// use sim_mem::SizeClass;
+///
+/// let class = SizeClass::for_payload(5).expect("5 words is a small object");
+/// assert_eq!(class.payload_words(), 6);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SizeClass(u8);
+
+impl SizeClass {
+    /// Largest payload (in words) served by the small-object classes.
+    pub const MAX_SMALL_WORDS: u64 = CLASS_WORDS[NUM_SIZE_CLASSES - 1];
+
+    /// The smallest class whose payload fits `words`, or `None` when the
+    /// request must take the large-object path.
+    pub fn for_payload(words: u64) -> Option<SizeClass> {
+        if words == 0 || words > Self::MAX_SMALL_WORDS {
+            return None;
+        }
+        let idx = CLASS_WORDS.partition_point(|&c| c < words);
+        Some(SizeClass(idx as u8))
+    }
+
+    /// Reconstructs a class from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_SIZE_CLASSES`.
+    pub fn from_index(index: usize) -> SizeClass {
+        assert!(index < NUM_SIZE_CLASSES, "size class index {index} out of range");
+        SizeClass(index as u8)
+    }
+
+    /// Index of this class (for free-list tables).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Payload capacity of blocks in this class, in words.
+    #[inline]
+    pub fn payload_words(self) -> u64 {
+        CLASS_WORDS[self.0 as usize]
+    }
+
+    /// How many blocks a pool refill grabs at once for this class: more for
+    /// tiny objects, fewer for big ones (tcmalloc's batching heuristic).
+    #[inline]
+    pub fn refill_batch(self) -> usize {
+        (256 / self.payload_words().max(1)).clamp(4, 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_strictly_increasing() {
+        for w in CLASS_WORDS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn for_payload_picks_smallest_fitting_class() {
+        for req in 1..=SizeClass::MAX_SMALL_WORDS {
+            let class = SizeClass::for_payload(req).unwrap();
+            assert!(class.payload_words() >= req);
+            if class.index() > 0 {
+                let below = SizeClass::from_index(class.index() - 1);
+                assert!(below.payload_words() < req, "class not minimal for {req}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_oversize_are_rejected() {
+        assert_eq!(SizeClass::for_payload(0), None);
+        assert_eq!(SizeClass::for_payload(SizeClass::MAX_SMALL_WORDS + 1), None);
+    }
+
+    #[test]
+    fn exact_class_sizes_map_to_themselves() {
+        for (i, &w) in CLASS_WORDS.iter().enumerate() {
+            assert_eq!(SizeClass::for_payload(w).unwrap().index(), i);
+        }
+    }
+
+    #[test]
+    fn refill_batches_are_bounded() {
+        for i in 0..NUM_SIZE_CLASSES {
+            let b = SizeClass::from_index(i).refill_batch();
+            assert!((4..=64).contains(&b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_out_of_range() {
+        SizeClass::from_index(NUM_SIZE_CLASSES);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the allocator: no block ever overlaps another live
+//! block, frees recycle, and recycled memory is always scrubbed.
+
+use proptest::prelude::*;
+use sim_mem::{Heap, HeapConfig};
+
+#[derive(Clone, Debug)]
+enum AllocOp {
+    /// Allocate `words` on thread `tid`.
+    Alloc { tid: usize, words: u64 },
+    /// Free the i-th live block (modulo), from thread `tid`.
+    Free { tid: usize, pick: usize },
+}
+
+fn ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..4, 1u64..400).prop_map(|(tid, words)| AllocOp::Alloc { tid, words }),
+            (0usize..4, any::<usize>()).prop_map(|(tid, pick)| AllocOp::Free { tid, pick }),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn blocks_never_overlap_and_recycle_scrubbed(script in ops()) {
+        let heap = Heap::new(HeapConfig { words: 1 << 18 });
+        let alloc = heap.allocator();
+        let mut live: Vec<(sim_mem::Addr, u64)> = Vec::new();
+
+        for op in script {
+            match op {
+                AllocOp::Alloc { tid, words } => {
+                    let addr = alloc.alloc(tid, words).unwrap();
+                    let capacity = alloc.block_words(addr);
+                    prop_assert!(capacity >= words);
+                    // Fresh or recycled: must be scrubbed.
+                    for i in 0..capacity {
+                        prop_assert_eq!(heap.load(addr.offset(i)), 0, "dirty block");
+                    }
+                    // Must not overlap any live block (including headers).
+                    let new_span = (addr.index() - 1, addr.index() + capacity);
+                    for &(other, other_cap) in &live {
+                        let span = (other.index() - 1, other.index() + other_cap);
+                        prop_assert!(
+                            new_span.1 <= span.0 || span.1 <= new_span.0,
+                            "overlap: {:?} vs {:?}", new_span, span
+                        );
+                    }
+                    // Stamp it so scrub-on-free is observable.
+                    for i in 0..capacity {
+                        heap.store(addr.offset(i), addr.index() ^ i);
+                    }
+                    live.push((addr, capacity));
+                }
+                AllocOp::Free { tid, pick } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (addr, _) = live.swap_remove(pick % live.len());
+                    alloc.free(tid, addr);
+                }
+            }
+        }
+        // Every surviving block still carries its stamp (no block was
+        // handed out twice).
+        for &(addr, capacity) in &live {
+            for i in 0..capacity {
+                prop_assert_eq!(heap.load(addr.offset(i)), addr.index() ^ i, "block stomped");
+            }
+        }
+        let stats = alloc.stats();
+        prop_assert!(stats.allocs + stats.large_allocs >= live.len() as u64);
+    }
+}

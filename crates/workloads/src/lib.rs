@@ -1,0 +1,45 @@
+//! # tm-workloads: the RH NOrec evaluation workloads
+//!
+//! Everything the paper's evaluation (§3.5–3.6) runs on top of the TM
+//! algorithms:
+//!
+//! * [`structures`] — transactional substrates: the java.util.TreeMap-style
+//!   red-black tree, a chained hash table, a sorted list, and a FIFO queue.
+//! * [`stamp`] — STAMP-style applications: Vacation (low/high contention),
+//!   Intruder, Genome, SSCA2, Yada, plus Kmeans and Labyrinth (which the
+//!   paper summarizes as behaving like SSCA2).
+//! * [`rbtree_bench`] — the paper's red-black tree microbenchmark
+//!   (10,000 nodes; 4%, 10%, 40% mutation ratios).
+//! * [`Workload`] — the common driver interface the benchmark harness and
+//!   the integration tests use.
+//!
+//! All workloads are deterministic given a seed (thread interleaving
+//! aside), take explicit size parameters, and provide post-run invariant
+//! checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod rbtree_bench;
+pub mod stamp;
+pub mod structures;
+mod workload;
+
+pub use workload::{Workload, WorkloadRng};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::Arc;
+
+    use rh_norec::{Algorithm, TmConfig, TmRuntime};
+    use sim_htm::{Htm, HtmConfig};
+    use sim_mem::{Heap, HeapConfig};
+
+    /// A heap + runtime pair for structure unit tests.
+    pub(crate) fn single_runtime(algorithm: Algorithm) -> (Arc<Heap>, Arc<TmRuntime>) {
+        let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 20 }));
+        let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+        let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(algorithm));
+        (heap, rt)
+    }
+}

@@ -1,0 +1,166 @@
+//! The paper's red-black tree microbenchmark (§3.5).
+//!
+//! "The red-black tree benchmark exposes a key-value pair interface of put,
+//! delete, and get operations, and allows to control the (1) tree size and
+//! the (2) mutation ratio (the fraction of write transactions)."
+//!
+//! Figure 4 uses a 10,000-node tree with 4%, 10% and 40% mutation ratios.
+
+use rand::Rng;
+use rh_norec::{TmThread, TxKind};
+use sim_mem::Heap;
+
+use crate::structures::RbTree;
+use crate::{Workload, WorkloadRng};
+
+/// Configuration of the RBTree microbenchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RbTreeBenchConfig {
+    /// Initial number of nodes (paper: 10,000).
+    pub initial_size: u64,
+    /// Percentage of operations that mutate (put or delete), 0–100.
+    pub mutation_pct: u32,
+}
+
+impl RbTreeBenchConfig {
+    /// The paper's Figure 4 configurations.
+    pub fn figure4(mutation_pct: u32) -> Self {
+        RbTreeBenchConfig {
+            initial_size: 10_000,
+            mutation_pct,
+        }
+    }
+}
+
+/// The RBTree microbenchmark workload.
+#[derive(Debug)]
+pub struct RbTreeBench {
+    tree: RbTree,
+    key_range: u64,
+    config: RbTreeBenchConfig,
+}
+
+impl RbTreeBench {
+    /// Creates the (empty) benchmark over `heap`; call
+    /// [`Workload::setup`] to populate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mutation_pct > 100` or `initial_size == 0`.
+    pub fn new(heap: &Heap, config: RbTreeBenchConfig) -> RbTreeBench {
+        assert!(config.mutation_pct <= 100, "mutation ratio is a percentage");
+        assert!(config.initial_size > 0, "empty tree benchmarks nothing");
+        RbTreeBench {
+            tree: RbTree::create(heap),
+            // Keys drawn from twice the size keeps the tree near its
+            // initial size under 50/50 put/delete mutations.
+            key_range: config.initial_size * 2,
+            config,
+        }
+    }
+
+    /// The underlying tree (for white-box assertions in tests).
+    pub fn tree(&self) -> &RbTree {
+        &self.tree
+    }
+}
+
+impl Workload for RbTreeBench {
+    fn name(&self) -> String {
+        format!(
+            "RBTree {} nodes, {}% mutations",
+            self.config.initial_size, self.config.mutation_pct
+        )
+    }
+
+    fn setup(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+        let mut inserted = 0;
+        while inserted < self.config.initial_size {
+            let key = rng.gen_range(0..self.key_range);
+            let fresh = worker
+                .execute(TxKind::ReadWrite, |tx| self.tree.put(tx, key, key))
+                .is_none();
+            if fresh {
+                inserted += 1;
+            }
+        }
+    }
+
+    fn run_op(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+        let key = rng.gen_range(0..self.key_range);
+        let roll = rng.gen_range(0..100);
+        if roll < self.config.mutation_pct {
+            if rng.gen_bool(0.5) {
+                worker.execute(TxKind::ReadWrite, |tx| self.tree.put(tx, key, key));
+            } else {
+                worker.execute(TxKind::ReadWrite, |tx| self.tree.remove(tx, key));
+            }
+        } else {
+            worker.execute(TxKind::ReadOnly, |tx| self.tree.get(tx, key));
+        }
+    }
+
+    fn verify(&self, heap: &Heap) -> Result<(), String> {
+        self.tree.check_invariants(heap)?;
+        for (k, v) in self.tree.collect(heap) {
+            if k != v {
+                return Err(format!("key {k} carries foreign value {v}"));
+            }
+            if k >= self.key_range {
+                return Err(format!("key {k} outside range {}", self.key_range));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::single_runtime;
+    use rand::SeedableRng;
+    use rh_norec::Algorithm;
+    use std::sync::Arc;
+
+    #[test]
+    fn setup_reaches_target_size() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let bench = RbTreeBench::new(
+            &heap,
+            RbTreeBenchConfig { initial_size: 500, mutation_pct: 10 },
+        );
+        let mut w = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(42);
+        bench.setup(&mut w, &mut rng);
+        assert_eq!(bench.tree().collect(&heap).len(), 500);
+        bench.verify(&heap).unwrap();
+    }
+
+    #[test]
+    fn concurrent_mixed_run_preserves_invariants() {
+        let (heap, rt) = single_runtime(Algorithm::RhNorec);
+        let bench = Arc::new(RbTreeBench::new(
+            &heap,
+            RbTreeBenchConfig { initial_size: 300, mutation_pct: 40 },
+        ));
+        {
+            let mut w = rt.register(0);
+            let mut rng = WorkloadRng::seed_from_u64(1);
+            bench.setup(&mut w, &mut rng);
+        }
+        std::thread::scope(|s| {
+            for tid in 0..4usize {
+                let rt = Arc::clone(&rt);
+                let bench = Arc::clone(&bench);
+                s.spawn(move || {
+                    let mut w = rt.register(tid);
+                    let mut rng = WorkloadRng::seed_from_u64(100 + tid as u64);
+                    for _ in 0..400 {
+                        bench.run_op(&mut w, &mut rng);
+                    }
+                });
+            }
+        });
+        bench.verify(&heap).unwrap();
+    }
+}

@@ -1,0 +1,235 @@
+//! Genome: DNA sequence reconstruction by string matching (STAMP).
+//!
+//! "Genome employs string matching to reconstruct a genome sequence from a
+//! set of DNA segments … mostly moderate transactions with a low to
+//! moderate contention level, but the instrumentation costs … are very
+//! high" (§3.6).
+//!
+//! A reference genome is sampled into fixed-length segments. Threads
+//! deduplicate segments into a shared hash set and link overlapping
+//! segments (suffix of one = prefix of another) into reconstruction
+//! chains — both hash-probe heavy, which is exactly where instrumentation
+//! cost shows.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::Rng;
+use rh_norec::{TmThread, TxKind};
+use sim_mem::Heap;
+
+use crate::structures::HashTable;
+use crate::{Workload, WorkloadRng};
+
+/// Configuration of the Genome workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenomeConfig {
+    /// Reference genome length in bases (STAMP `-g`).
+    pub genome_bases: u64,
+    /// Segment length in bases, ≤ 16 so a segment packs into a word
+    /// (STAMP `-s`).
+    pub segment_bases: u32,
+    /// Number of segments sampled from the genome (STAMP `-n`).
+    pub segments: u64,
+    /// Segments deduplicated per transaction (STAMP's threads process
+    /// their partition in chunks, giving moderate transaction sizes).
+    pub batch: u32,
+}
+
+impl Default for GenomeConfig {
+    fn default() -> Self {
+        GenomeConfig {
+            genome_bases: 4096,
+            segment_bases: 12,
+            segments: 16_384,
+            batch: 4,
+        }
+    }
+}
+
+/// The Genome workload.
+#[derive(Debug)]
+pub struct Genome {
+    config: GenomeConfig,
+    /// The reference genome, 2 bits per base (host-side, read-only input).
+    genome: Vec<u8>,
+    /// Sampled segment start positions (read-only input).
+    samples: Vec<u64>,
+    /// Dedup set: packed segment → first position seen.
+    unique: HashTable,
+    /// Overlap index: packed (segment_bases - 1)-base prefix → position.
+    by_prefix: HashTable,
+    /// Chain links: position → successor position (+1 to distinguish 0).
+    links: HashTable,
+    /// Next sample to process (host-side work distribution).
+    cursor: AtomicU64,
+}
+
+impl Genome {
+    /// Builds the reference genome and sampling plan.
+    pub fn new(heap: &Heap, config: GenomeConfig, seed: u64) -> Genome {
+        assert!(config.segment_bases >= 2 && config.segment_bases <= 16);
+        assert!(config.genome_bases > config.segment_bases as u64);
+        let mut rng = {
+            use rand::SeedableRng;
+            WorkloadRng::seed_from_u64(seed)
+        };
+        let genome: Vec<u8> = (0..config.genome_bases).map(|_| rng.gen_range(0..4)).collect();
+        let samples: Vec<u64> = (0..config.segments)
+            .map(|_| rng.gen_range(0..config.genome_bases - config.segment_bases as u64))
+            .collect();
+        Genome {
+            config,
+            genome,
+            samples,
+            unique: HashTable::create(heap, 4096),
+            by_prefix: HashTable::create(heap, 4096),
+            links: HashTable::create(heap, 4096),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Packs `bases` bases starting at `pos` into a word (2 bits each),
+    /// with a leading 1 so distinct lengths never collide.
+    fn pack(&self, pos: u64, bases: u32) -> u64 {
+        let mut word = 1u64;
+        for i in 0..bases as u64 {
+            word = (word << 2) | self.genome[(pos + i) as usize] as u64;
+        }
+        word
+    }
+
+    /// Processes a batch of sampled segments in one transaction: dedup,
+    /// then overlap-link (the shape of STAMP's chunked phase loops).
+    fn process_batch(&self, worker: &mut TmThread, positions: &[u64]) {
+        worker.execute(TxKind::ReadWrite, |tx| {
+            for &pos in positions {
+                let seg = self.pack(pos, self.config.segment_bases);
+                let prefix = self.pack(pos, self.config.segment_bases - 1);
+                let suffix = self.pack(pos + 1, self.config.segment_bases - 1);
+                // Phase-1 style dedup: only the first occurrence registers.
+                if !self.unique.insert(tx, seg, pos)? {
+                    continue;
+                }
+                self.by_prefix.insert(tx, prefix, pos)?;
+                // Phase-2 style matching: my suffix is someone's prefix →
+                // I precede them.
+                if let Some(next_pos) = self.by_prefix.get(tx, suffix)? {
+                    if next_pos != pos {
+                        self.links.insert(tx, pos, next_pos + 1)?;
+                    }
+                }
+            }
+            Ok(())
+        });
+    }
+}
+
+impl Workload for Genome {
+    fn name(&self) -> String {
+        format!(
+            "Genome (g={}, s={}, n={})",
+            self.config.genome_bases, self.config.segment_bases, self.config.segments
+        )
+    }
+
+    fn setup(&self, _worker: &mut TmThread, _rng: &mut WorkloadRng) {
+        // Inputs are host-side; shared tables start empty.
+    }
+
+    fn run_op(&self, worker: &mut TmThread, _rng: &mut WorkloadRng) {
+        let batch = self.config.batch.max(1) as u64;
+        let start = self.cursor.fetch_add(batch, Ordering::Relaxed);
+        let positions: Vec<u64> = (0..batch)
+            .map(|k| self.samples[((start + k) % self.samples.len() as u64) as usize])
+            .collect();
+        self.process_batch(worker, &positions);
+    }
+
+    fn verify(&self, heap: &Heap) -> Result<(), String> {
+        // Every registered segment must read back from the genome, and
+        // every link must be a genuine (len-1)-base overlap.
+        for (seg, pos) in self.unique.collect(heap) {
+            if self.pack(pos, self.config.segment_bases) != seg {
+                return Err(format!("segment at {pos} does not match its key"));
+            }
+        }
+        for (pos, next_plus_one) in self.links.collect(heap) {
+            let next = next_plus_one - 1;
+            let suffix = self.pack(pos + 1, self.config.segment_bases - 1);
+            let prefix = self.pack(next, self.config.segment_bases - 1);
+            if suffix != prefix {
+                return Err(format!("bogus overlap link {pos} -> {next}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::single_runtime;
+    use rand::SeedableRng;
+    use rh_norec::Algorithm;
+    use std::sync::Arc;
+
+    fn small() -> GenomeConfig {
+        GenomeConfig {
+            genome_bases: 256,
+            segment_bases: 8,
+            segments: 512,
+            batch: 4,
+        }
+    }
+
+    #[test]
+    fn packing_is_injective_per_length() {
+        let (heap, _rt) = single_runtime(Algorithm::Norec);
+        let g = Genome::new(&heap, small(), 1);
+        // Same position, different lengths must differ.
+        assert_ne!(g.pack(0, 8), g.pack(0, 7));
+        // Equal windows pack equally.
+        let a = g.pack(3, 8);
+        let b = g.pack(3, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sequential_processing_builds_valid_links() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let g = Genome::new(&heap, small(), 2);
+        let mut w = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            g.run_op(&mut w, &mut rng);
+        }
+        g.verify(&heap).unwrap();
+        assert!(g.unique.len(&heap) > 0, "dedup set stayed empty");
+    }
+
+    #[test]
+    fn concurrent_processing_stays_consistent() {
+        for alg in [Algorithm::RhNorec, Algorithm::HybridNorec] {
+            let (heap, rt) = single_runtime(alg);
+            let g = Arc::new(Genome::new(&heap, small(), 3));
+            std::thread::scope(|s| {
+                for tid in 0..3usize {
+                    let rt = Arc::clone(&rt);
+                    let g = Arc::clone(&g);
+                    s.spawn(move || {
+                        let mut w = rt.register(tid);
+                        let mut rng = WorkloadRng::seed_from_u64(tid as u64);
+                        for _ in 0..400 {
+                            g.run_op(&mut w, &mut rng);
+                        }
+                    });
+                }
+            });
+            g.verify(&heap).unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+            // Dedup really deduplicates: unique segments ≤ distinct samples.
+            let distinct: std::collections::HashSet<u64> =
+                g.samples.iter().copied().collect();
+            assert!(g.unique.len(&heap) <= distinct.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Intruder: a network packet analyzer (STAMP).
+//!
+//! "Intruder uses transactions to replace coarse-grained synchronization in
+//! a simulated network packet analyzer. This workload generates a large
+//! amount of short to moderate transactions with high contention" (§3.6).
+//!
+//! The three STAMP phases, faithfully: *capture* pops a fragment from the
+//! shared packet queue; the *decoder* reassembles flows in a shared
+//! fragment map (fragments arrive out of order, and attack signatures may
+//! straddle fragment boundaries — reassembly is not optional); the
+//! *detector* scans the reassembled byte stream for known signatures.
+//! Flow generation is folded into the op loop so the workload is
+//! self-sustaining.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::Rng;
+use rh_norec::{TmThread, Tx, TxKind, TxResult};
+use sim_mem::{Addr, Heap};
+
+use crate::structures::{HashTable, Queue, SortedList};
+use crate::{Workload, WorkloadRng};
+
+/// Fragment block layout:
+/// `[flow, index, n_frags, byte_len, payload_0..payload_3]` — up to 32
+/// payload bytes per fragment, packed little-endian into 4 words.
+const F_FLOW: u64 = 0;
+const F_INDEX: u64 = 1;
+const F_NFRAGS: u64 = 2;
+const F_LEN: u64 = 3;
+const F_PAYLOAD: u64 = 4;
+const PAYLOAD_WORDS: u64 = 4;
+const FRAG_WORDS: u64 = F_PAYLOAD + PAYLOAD_WORDS;
+const FRAG_BYTES: usize = (PAYLOAD_WORDS * 8) as usize;
+
+/// The attack signatures the detector scans for (STAMP uses a dictionary
+/// of known exploit strings).
+const SIGNATURES: [&[u8]; 3] = [b"0wn3d-you", b"GET /../../etc", b"\xde\xad\xbe\xef!!"];
+
+/// Configuration of the Intruder workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntruderConfig {
+    /// Maximum flow length in bytes.
+    pub max_flow_bytes: u32,
+    /// Percentage of flows carrying an attack signature (STAMP: 10).
+    pub attack_pct: u32,
+    /// Fragment-map buckets.
+    pub map_buckets: u64,
+}
+
+impl Default for IntruderConfig {
+    fn default() -> Self {
+        IntruderConfig {
+            max_flow_bytes: 160,
+            attack_pct: 10,
+            map_buckets: 256,
+        }
+    }
+}
+
+/// The Intruder workload.
+#[derive(Debug)]
+pub struct Intruder {
+    config: IntruderConfig,
+    packets: Queue,
+    /// flow id → fragment list head (fragment index → fragment block).
+    fragments: HashTable,
+    /// Heap counters: flows completed / attacks detected.
+    completed: Addr,
+    detected: Addr,
+    /// Host-side generation bookkeeping (not part of the simulated state).
+    next_flow: AtomicU64,
+    generated_flows: AtomicU64,
+    generated_attacks: AtomicU64,
+}
+
+impl Intruder {
+    /// Creates the analyzer's shared structures.
+    pub fn new(heap: &Heap, config: IntruderConfig) -> Intruder {
+        assert!(config.max_flow_bytes >= 32 && config.attack_pct <= 100);
+        let alloc = heap.allocator();
+        Intruder {
+            config,
+            packets: Queue::create(heap),
+            fragments: HashTable::create(heap, config.map_buckets),
+            completed: alloc.alloc(0, 8).expect("heap exhausted"),
+            detected: alloc.alloc(0, 8).expect("heap exhausted"),
+            next_flow: AtomicU64::new(1),
+            generated_flows: AtomicU64::new(0),
+            generated_attacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds one flow's byte stream; roughly 1-in-`attack_pct` carries a
+    /// signature at a random offset (often straddling fragments).
+    fn make_flow_bytes(&self, rng: &mut WorkloadRng) -> (Vec<u8>, bool) {
+        let len = rng.gen_range(32..=self.config.max_flow_bytes) as usize;
+        // Benign traffic avoids signature bytes entirely (lowercase
+        // alphanumerics), so false positives are impossible.
+        let mut bytes: Vec<u8> = (0..len).map(|_| b'a' + rng.gen_range(0..26)).collect();
+        let attack = rng.gen_range(0..100) < self.config.attack_pct;
+        if attack {
+            let sig = SIGNATURES[rng.gen_range(0..SIGNATURES.len())];
+            let at = rng.gen_range(0..=len - sig.len());
+            bytes[at..at + sig.len()].copy_from_slice(sig);
+        }
+        (bytes, attack)
+    }
+
+    /// Generates one flow and enqueues its fragments in shuffled order.
+    fn generate_flow(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+        let flow = self.next_flow.fetch_add(1, Ordering::Relaxed);
+        let (bytes, attack) = self.make_flow_bytes(rng);
+        if attack {
+            self.generated_attacks.fetch_add(1, Ordering::Relaxed);
+        }
+        self.generated_flows.fetch_add(1, Ordering::Relaxed);
+        let chunks: Vec<&[u8]> = bytes.chunks(FRAG_BYTES).collect();
+        let n = chunks.len() as u64;
+        let mut order: Vec<u64> = (0..n).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for &idx in &order {
+            let chunk = chunks[idx as usize];
+            let mut words = [0u64; PAYLOAD_WORDS as usize];
+            for (i, byte) in chunk.iter().enumerate() {
+                words[i / 8] |= (*byte as u64) << ((i % 8) * 8);
+            }
+            worker.execute(TxKind::ReadWrite, |tx| {
+                let frag = tx.alloc(FRAG_WORDS)?;
+                tx.write(frag.offset(F_FLOW), flow)?;
+                tx.write(frag.offset(F_INDEX), idx)?;
+                tx.write(frag.offset(F_NFRAGS), n)?;
+                tx.write(frag.offset(F_LEN), chunk.len() as u64)?;
+                for (w, word) in words.iter().enumerate() {
+                    tx.write(frag.offset(F_PAYLOAD + w as u64), *word)?;
+                }
+                self.packets.push(tx, frag.to_word())
+            });
+        }
+    }
+
+    /// Reads a fragment's payload bytes inside the transaction.
+    fn read_fragment_bytes(tx: &mut Tx<'_>, frag: Addr) -> TxResult<Vec<u8>> {
+        let len = tx.read(frag.offset(F_LEN))? as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for i in 0..len {
+            let word = tx.read(frag.offset(F_PAYLOAD + (i / 8) as u64))?;
+            bytes.push(((word >> ((i % 8) * 8)) & 0xff) as u8);
+        }
+        Ok(bytes)
+    }
+
+    /// Capture + decode: pop a packet, file its fragment, and reassemble
+    /// the flow if this completed it (one transaction, as in STAMP).
+    fn process_packet(&self, worker: &mut TmThread) -> Option<Vec<u8>> {
+        worker.execute(TxKind::ReadWrite, |tx| {
+            let Some(frag_word) = self.packets.pop(tx)? else {
+                return Ok(None);
+            };
+            let frag = Addr::from_word(frag_word);
+            let flow = tx.read(frag.offset(F_FLOW))?;
+            let index = tx.read(frag.offset(F_INDEX))?;
+            let n_frags = tx.read(frag.offset(F_NFRAGS))?;
+
+            let list = match self.fragments.get(tx, flow)? {
+                Some(head) => SortedList::from_head_addr(Addr::from_word(head)),
+                None => {
+                    let list = SortedList::create_tx(tx)?;
+                    self.fragments.insert(tx, flow, list.head_addr().to_word())?;
+                    list
+                }
+            };
+            list.insert(tx, index, frag.to_word())?;
+            if list.len_tx(tx)? < n_frags {
+                return Ok(None);
+            }
+            // Reassemble in fragment order and retire the flow.
+            let mut assembled = Vec::new();
+            while let Some((_, frag_word)) = list.pop_min(tx)? {
+                let frag = Addr::from_word(frag_word);
+                assembled.extend(Self::read_fragment_bytes(tx, frag)?);
+                tx.free(frag)?;
+            }
+            self.fragments.remove(tx, flow)?;
+            tx.free(list.head_addr())?;
+            let done = tx.read(self.completed)?;
+            tx.write(self.completed, done + 1)?;
+            Ok(Some(assembled))
+        })
+    }
+
+    /// The detector: scans a reassembled flow for any known signature.
+    fn detect(&self, worker: &mut TmThread, flow: &[u8]) {
+        let hit = SIGNATURES
+            .iter()
+            .any(|sig| flow.windows(sig.len()).any(|w| w == *sig));
+        if hit {
+            worker.execute(TxKind::ReadWrite, |tx| {
+                let d = tx.read(self.detected)?;
+                tx.write(self.detected, d + 1)
+            });
+        }
+    }
+
+    /// Processes packets until the queue is empty (test helper).
+    pub fn drain(&self, worker: &mut TmThread) {
+        loop {
+            let empty = worker.execute(TxKind::ReadOnly, |tx| self.packets.is_empty_tx(tx));
+            if empty {
+                break;
+            }
+            if let Some(flow) = self.process_packet(worker) {
+                self.detect(worker, &flow);
+            }
+        }
+    }
+
+    /// Attacks detected so far (quiescent heap).
+    pub fn attacks_detected(&self, heap: &Heap) -> u64 {
+        heap.load(self.detected)
+    }
+
+    /// Flows completed so far (quiescent heap).
+    pub fn flows_completed(&self, heap: &Heap) -> u64 {
+        heap.load(self.completed)
+    }
+
+    /// Attacks generated so far.
+    pub fn attacks_generated(&self) -> u64 {
+        self.generated_attacks.load(Ordering::Relaxed)
+    }
+
+    /// Flows generated so far.
+    pub fn flows_generated(&self) -> u64 {
+        self.generated_flows.load(Ordering::Relaxed)
+    }
+}
+
+impl Workload for Intruder {
+    fn name(&self) -> String {
+        "Intruder".into()
+    }
+
+    fn setup(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+        for _ in 0..64 {
+            self.generate_flow(worker, rng);
+        }
+    }
+
+    fn run_op(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+        // Mostly consume; produce occasionally to keep the stream alive.
+        if rng.gen_range(0..100) < 15 {
+            self.generate_flow(worker, rng);
+        }
+        if let Some(flow) = self.process_packet(worker) {
+            self.detect(worker, &flow);
+        }
+    }
+
+    fn verify(&self, heap: &Heap) -> Result<(), String> {
+        let completed = self.flows_completed(heap);
+        let detected = self.attacks_detected(heap);
+        let generated = self.flows_generated();
+        let attacks = self.attacks_generated();
+        if completed > generated {
+            return Err(format!("completed {completed} > generated {generated}"));
+        }
+        if detected > attacks {
+            return Err(format!("detected {detected} > generated attacks {attacks}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::single_runtime;
+    use rand::SeedableRng;
+    use rh_norec::Algorithm;
+    use std::sync::Arc;
+
+    #[test]
+    fn benign_bytes_never_contain_signatures() {
+        let (heap, _rt) = single_runtime(Algorithm::Norec);
+        let app = Intruder::new(&heap, IntruderConfig { attack_pct: 0, ..Default::default() });
+        let mut rng = WorkloadRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let (bytes, attack) = app.make_flow_bytes(&mut rng);
+            assert!(!attack);
+            for sig in SIGNATURES {
+                assert!(
+                    !bytes.windows(sig.len()).any(|w| w == sig),
+                    "benign flow contains a signature"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_survive_fragmentation_and_reordering() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let app = Intruder::new(&heap, IntruderConfig { attack_pct: 100, ..Default::default() });
+        let mut w = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(2);
+        for _ in 0..50 {
+            app.generate_flow(&mut w, &mut rng);
+        }
+        app.drain(&mut w);
+        assert_eq!(app.flows_completed(&heap), 50);
+        assert_eq!(
+            app.attacks_detected(&heap),
+            50,
+            "a signature was lost across fragment boundaries"
+        );
+    }
+
+    #[test]
+    fn draining_detects_every_attack_exactly_once() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let app = Intruder::new(&heap, IntruderConfig::default());
+        let mut w = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(9);
+        for _ in 0..100 {
+            app.generate_flow(&mut w, &mut rng);
+        }
+        app.drain(&mut w);
+        assert_eq!(app.flows_completed(&heap), app.flows_generated());
+        assert_eq!(app.attacks_detected(&heap), app.attacks_generated());
+        assert!(app.fragments.is_empty(&heap), "decoder map not drained");
+    }
+
+    #[test]
+    fn concurrent_analyzers_account_for_every_flow() {
+        let (heap, rt) = single_runtime(Algorithm::RhNorec);
+        let app = Arc::new(Intruder::new(&heap, IntruderConfig::default()));
+        {
+            let mut w = rt.register(0);
+            let mut rng = WorkloadRng::seed_from_u64(10);
+            app.setup(&mut w, &mut rng);
+        }
+        std::thread::scope(|s| {
+            for tid in 0..3usize {
+                let rt = Arc::clone(&rt);
+                let app = Arc::clone(&app);
+                s.spawn(move || {
+                    let mut w = rt.register(tid);
+                    let mut rng = WorkloadRng::seed_from_u64(20 + tid as u64);
+                    for _ in 0..300 {
+                        app.run_op(&mut w, &mut rng);
+                    }
+                });
+            }
+        });
+        app.verify(&heap).unwrap();
+        // Drain the remainder single-threaded: totals must reconcile.
+        let mut w = rt.register(0);
+        app.drain(&mut w);
+        assert_eq!(app.flows_completed(&heap), app.flows_generated());
+        assert_eq!(app.attacks_detected(&heap), app.attacks_generated());
+    }
+}

@@ -1,0 +1,299 @@
+//! Kmeans: iterative clustering (STAMP).
+//!
+//! The paper omits its plots "since they are similar to SSCA2" (§3.6):
+//! the hot transaction folds one point into a cluster's accumulator — a
+//! small, mostly uncontended read-modify-write. This implementation keeps
+//! the real algorithm's phase structure: points are assigned to the
+//! *current* centers (transactional reads), folded into per-cluster
+//! accumulators (small RMW transactions), and every pass a recompute
+//! transaction turns accumulators into new centers — so the centers
+//! actually converge toward the synthetic clusters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rh_norec::{TmThread, Tx, TxKind, TxResult};
+use sim_mem::{Addr, Heap};
+
+use crate::{Workload, WorkloadRng};
+
+/// Cluster record layout:
+/// `[count, center_0 .. center_{d-1}, sum_0 .. sum_{d-1}]`, line-padded.
+const C_COUNT: u64 = 0;
+const C_CENTER: u64 = 1;
+
+/// Configuration of the Kmeans workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KmeansConfig {
+    /// Number of clusters (STAMP `-c`); fewer means hotter accumulators.
+    pub clusters: u64,
+    /// Point dimensionality (STAMP `-d`).
+    pub dims: u64,
+    /// Number of synthetic points replayed per pass.
+    pub points: u64,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        KmeansConfig {
+            clusters: 16,
+            dims: 4,
+            points: 1 << 14,
+        }
+    }
+}
+
+/// The Kmeans workload.
+#[derive(Debug)]
+pub struct Kmeans {
+    config: KmeansConfig,
+    /// Cluster records, contiguous and line-padded.
+    clusters_base: Addr,
+    stride: u64,
+    /// Host-side input: integer point coordinates, grouped around
+    /// well-separated true centers.
+    points: Vec<Vec<u64>>,
+    /// True generating center of each point (for verification).
+    truth: Vec<u64>,
+    cursor: AtomicU64,
+    recomputes: AtomicU64,
+}
+
+impl Kmeans {
+    /// Allocates the cluster table and synthesizes points around
+    /// well-separated centers; initial centers are staggered so the
+    /// assignment phase has real work to do.
+    pub fn new(heap: &Heap, config: KmeansConfig, seed: u64) -> Kmeans {
+        assert!(config.clusters > 0 && config.dims > 0 && config.points > 0);
+        let stride = (C_CENTER + 2 * config.dims).div_ceil(8) * 8;
+        let clusters_base = heap
+            .allocator()
+            .alloc(0, config.clusters * stride)
+            .expect("heap exhausted allocating kmeans clusters");
+        let mut rng = {
+            use rand::SeedableRng;
+            WorkloadRng::seed_from_u64(seed)
+        };
+        use rand::Rng;
+        let mut points = Vec::with_capacity(config.points as usize);
+        let mut truth = Vec::with_capacity(config.points as usize);
+        for _ in 0..config.points {
+            let center = rng.gen_range(0..config.clusters);
+            truth.push(center);
+            points.push(
+                (0..config.dims)
+                    .map(|_| center * 1000 + rng.gen_range(0..100))
+                    .collect(),
+            );
+        }
+        let km = Kmeans {
+            config,
+            clusters_base,
+            stride,
+            points,
+            truth,
+            cursor: AtomicU64::new(0),
+            recomputes: AtomicU64::new(0),
+        };
+        // Initial centers: offset from the true ones so assignment and
+        // recomputation visibly converge.
+        for k in 0..config.clusters {
+            for d in 0..config.dims {
+                heap.store(km.cluster(k).offset(C_CENTER + d), k * 1000 + 500);
+            }
+        }
+        km
+    }
+
+    fn cluster(&self, i: u64) -> Addr {
+        self.clusters_base.offset(i * self.stride)
+    }
+
+    fn sums_offset(&self) -> u64 {
+        C_CENTER + self.config.dims
+    }
+
+    /// The assignment+fold transaction: read every cluster's current
+    /// center, pick the nearest, fold the point into its accumulator.
+    fn assign_and_fold(&self, tx: &mut Tx<'_>, point: &[u64]) -> TxResult<u64> {
+        let mut best = 0u64;
+        let mut best_dist = u64::MAX;
+        for k in 0..self.config.clusters {
+            let mut dist = 0u64;
+            for (d, &coord) in point.iter().enumerate() {
+                let center = tx.read(self.cluster(k).offset(C_CENTER + d as u64))?;
+                let delta = center.abs_diff(coord);
+                dist = dist.saturating_add(delta.saturating_mul(delta));
+            }
+            if dist < best_dist {
+                best_dist = dist;
+                best = k;
+            }
+        }
+        let cluster = self.cluster(best);
+        let count = tx.read(cluster.offset(C_COUNT))?;
+        tx.write(cluster.offset(C_COUNT), count + 1)?;
+        for (d, &coord) in point.iter().enumerate() {
+            let s = cluster.offset(self.sums_offset() + d as u64);
+            let sum = tx.read(s)?;
+            tx.write(s, sum + coord)?;
+        }
+        Ok(best)
+    }
+
+    /// The end-of-pass transaction: every cluster's accumulator becomes
+    /// its new center (a larger, rarer transaction).
+    fn recompute_centers(&self, tx: &mut Tx<'_>) -> TxResult<()> {
+        for k in 0..self.config.clusters {
+            let cluster = self.cluster(k);
+            let count = tx.read(cluster.offset(C_COUNT))?;
+            if count == 0 {
+                continue;
+            }
+            for d in 0..self.config.dims {
+                let sum = tx.read(cluster.offset(self.sums_offset() + d))?;
+                tx.write(cluster.offset(C_CENTER + d), sum / count)?;
+                tx.write(cluster.offset(self.sums_offset() + d), 0)?;
+            }
+            tx.write(cluster.offset(C_COUNT), 0)?;
+        }
+        Ok(())
+    }
+
+    /// Completed center-recomputation passes.
+    pub fn recomputes(&self) -> u64 {
+        self.recomputes.load(Ordering::Relaxed)
+    }
+}
+
+impl Workload for Kmeans {
+    fn name(&self) -> String {
+        format!("Kmeans (c={}, d={})", self.config.clusters, self.config.dims)
+    }
+
+    fn setup(&self, _worker: &mut TmThread, _rng: &mut WorkloadRng) {}
+
+    fn run_op(&self, worker: &mut TmThread, _rng: &mut WorkloadRng) {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let idx = (i % self.points.len() as u64) as usize;
+        // End of each pass over the input: recompute centers.
+        if idx == 0 && i > 0 {
+            worker.execute(TxKind::ReadWrite, |tx| self.recompute_centers(tx));
+            self.recomputes.fetch_add(1, Ordering::Relaxed);
+        }
+        let point = &self.points[idx];
+        worker.execute(TxKind::ReadWrite, |tx| {
+            self.assign_and_fold(tx, point).map(|_| ())
+        });
+    }
+
+    fn verify(&self, heap: &Heap) -> Result<(), String> {
+        // Every folded coordinate came from some band k*1000..k*1000+100,
+        // so each accumulator mean must lie inside the bands' convex hull,
+        // and a zero count must come with zero sums (no torn folds).
+        let max_coord = (self.config.clusters - 1) * 1000 + 100;
+        for k in 0..self.config.clusters {
+            let cluster = self.cluster(k);
+            let count = heap.load(cluster.offset(C_COUNT));
+            for d in 0..self.config.dims {
+                let sum = heap.load(cluster.offset(self.sums_offset() + d));
+                if count == 0 {
+                    if sum != 0 {
+                        return Err(format!("cluster {k} has a sum without points"));
+                    }
+                    continue;
+                }
+                let mean = sum / count;
+                if mean > max_coord {
+                    return Err(format!(
+                        "cluster {k} dim {d}: mean {mean} outside all bands (count {count})"
+                    ));
+                }
+            }
+            // Centers, once recomputed, are means too.
+            for d in 0..self.config.dims {
+                let center = heap.load(cluster.offset(C_CENTER + d));
+                if center > max_coord + 900 {
+                    return Err(format!("cluster {k} dim {d}: center {center} corrupt"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::single_runtime;
+    use rand::SeedableRng;
+    use rh_norec::Algorithm;
+    use std::sync::Arc;
+
+    fn small() -> KmeansConfig {
+        KmeansConfig { clusters: 4, dims: 3, points: 256 }
+    }
+
+    #[test]
+    fn centers_converge_to_the_true_bands() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let km = Kmeans::new(&heap, small(), 11);
+        let mut w = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(0);
+        // Three full passes.
+        for _ in 0..(3 * 256 + 1) {
+            km.run_op(&mut w, &mut rng);
+        }
+        km.verify(&heap).unwrap();
+        assert!(km.recomputes() >= 2);
+        // After convergence, every center sits inside its band.
+        for k in 0..4u64 {
+            let c = heap.load(km.cluster(k).offset(C_CENTER));
+            assert!(
+                c / 1000 < 4 && c % 1000 < 100,
+                "center {k} did not converge: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_picks_the_nearest_center() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let km = Kmeans::new(&heap, small(), 12);
+        // Pin centers exactly on the bands.
+        for k in 0..4u64 {
+            for d in 0..3u64 {
+                heap.store(km.cluster(k).offset(C_CENTER + d), k * 1000 + 50);
+            }
+        }
+        let mut w = rt.register(0);
+        for (idx, point) in km.points.iter().take(64).enumerate() {
+            let got = w.execute(TxKind::ReadWrite, |tx| km.assign_and_fold(tx, point));
+            assert_eq!(got, km.truth[idx], "point {idx} misassigned");
+        }
+    }
+
+    #[test]
+    fn concurrent_folding_loses_nothing() {
+        let (heap, rt) = single_runtime(Algorithm::RhNorec);
+        let km = Arc::new(Kmeans::new(&heap, small(), 12));
+        let per = 200u64;
+        std::thread::scope(|s| {
+            for tid in 0..3usize {
+                let rt = Arc::clone(&rt);
+                let km = Arc::clone(&km);
+                s.spawn(move || {
+                    let mut w = rt.register(tid);
+                    let mut rng = WorkloadRng::seed_from_u64(tid as u64);
+                    for _ in 0..per {
+                        km.run_op(&mut w, &mut rng);
+                    }
+                });
+            }
+        });
+        km.verify(&heap).unwrap();
+        // Counts plus already-recomputed points account for every op.
+        let folded: u64 = (0..4).map(|k| heap.load(km.cluster(k).offset(C_COUNT))).sum();
+        assert!(folded <= 3 * per);
+        assert!(folded > 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Labyrinth: transactional maze routing with Lee's algorithm (STAMP).
+//!
+//! The real STAMP application routes wires through a 3-D grid: each router
+//! transaction snapshots the grid region it needs, runs a breadth-first
+//! *expansion* from source to destination, *backtracks* the cheapest path,
+//! and claims every cell of that path — all atomically, so two routes can
+//! never share a cell. The transactions are large (the whole path is a
+//! write set), which is what makes Labyrinth the capacity-abort workload.
+//!
+//! This reproduction implements the full expand/backtrack structure on a
+//! 2-layer grid (STAMP's default uses z = 2 for over/under routing), with
+//! rip-up transactions recycling old routes so a duration-driven harness
+//! can run indefinitely.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::Rng;
+use rh_norec::{TmThread, Tx, TxKind, TxResult};
+use sim_mem::{Addr, Heap};
+
+use crate::structures::Queue;
+use crate::{Workload, WorkloadRng};
+
+/// Route record: `[len, cell_0, cell_1, ...]`.
+const ROUTE_LEN: u64 = 0;
+const ROUTE_CELLS: u64 = 1;
+
+/// Configuration of the Labyrinth workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabyrinthConfig {
+    /// Grid width (x).
+    pub width: u64,
+    /// Grid height (y).
+    pub height: u64,
+    /// Grid layers (z); STAMP routes over/under with 2.
+    pub layers: u64,
+}
+
+impl Default for LabyrinthConfig {
+    fn default() -> Self {
+        LabyrinthConfig { width: 32, height: 32, layers: 2 }
+    }
+}
+
+/// The Labyrinth maze-routing workload.
+#[derive(Debug)]
+pub struct Labyrinth {
+    config: LabyrinthConfig,
+    /// The grid: one word per cell, 0 = free, else the owning route id.
+    grid: Addr,
+    /// Committed routes awaiting rip-up (FIFO of route-record addresses).
+    routes: Queue,
+    next_route: AtomicU64,
+    routed: AtomicU64,
+    blocked: AtomicU64,
+}
+
+impl Labyrinth {
+    /// Allocates the grid.
+    pub fn new(heap: &Heap, config: LabyrinthConfig) -> Labyrinth {
+        assert!(config.width >= 4 && config.height >= 4 && config.layers >= 1);
+        let cells = config.width * config.height * config.layers;
+        let grid = heap
+            .allocator()
+            .alloc(0, cells)
+            .expect("heap exhausted allocating labyrinth grid");
+        Labyrinth {
+            config,
+            grid,
+            routes: Queue::create(heap),
+            next_route: AtomicU64::new(1),
+            routed: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
+        }
+    }
+
+    fn cells(&self) -> u64 {
+        self.config.width * self.config.height * self.config.layers
+    }
+
+    fn cell(&self, index: u64) -> Addr {
+        self.grid.offset(index)
+    }
+
+    fn index(&self, x: u64, y: u64, z: u64) -> u64 {
+        (z * self.config.height + y) * self.config.width + x
+    }
+
+    fn neighbors(&self, index: u64) -> impl Iterator<Item = u64> {
+        let w = self.config.width;
+        let h = self.config.height;
+        let l = self.config.layers;
+        let z = index / (w * h);
+        let y = (index / w) % h;
+        let x = index % w;
+        let mut out = Vec::with_capacity(6);
+        if x > 0 {
+            out.push(self.index(x - 1, y, z));
+        }
+        if x + 1 < w {
+            out.push(self.index(x + 1, y, z));
+        }
+        if y > 0 {
+            out.push(self.index(x, y - 1, z));
+        }
+        if y + 1 < h {
+            out.push(self.index(x, y + 1, z));
+        }
+        if z > 0 {
+            out.push(self.index(x, y, z - 1));
+        }
+        if z + 1 < l {
+            out.push(self.index(x, y, z + 1));
+        }
+        out.into_iter()
+    }
+
+    /// One routing transaction: Lee's algorithm.
+    ///
+    /// *Expansion*: BFS from `src`, transactionally reading each frontier
+    /// cell's occupancy, recording BFS distances in a transaction-private
+    /// map. *Backtrack*: walk from `dst` to `src` along decreasing
+    /// distance, then claim every path cell and commit the route record.
+    ///
+    /// Returns `false` when no free path exists.
+    fn route(&self, tx: &mut Tx<'_>, src: u64, dst: u64, id: u64) -> TxResult<bool> {
+        if tx.read(self.cell(src))? != 0 || tx.read(self.cell(dst))? != 0 {
+            return Ok(false);
+        }
+        // Expansion (the distances live in private memory, as in STAMP's
+        // per-thread local grid; the *reads* of occupancy are what the
+        // transaction tracks).
+        let mut distance: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let mut frontier = VecDeque::new();
+        distance.insert(src, 0);
+        frontier.push_back(src);
+        let mut found = false;
+        'expand: while let Some(cur) = frontier.pop_front() {
+            let d = distance[&cur];
+            for next in self.neighbors(cur) {
+                if distance.contains_key(&next) {
+                    continue;
+                }
+                if next == dst {
+                    distance.insert(next, d + 1);
+                    found = true;
+                    break 'expand;
+                }
+                if tx.read(self.cell(next))? == 0 {
+                    distance.insert(next, d + 1);
+                    frontier.push_back(next);
+                }
+            }
+        }
+        if !found {
+            return Ok(false);
+        }
+        // Backtrack: strictly decreasing distance from dst to src.
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            let d = distance[&cur];
+            let prev = self
+                .neighbors(cur)
+                .find(|n| distance.get(n) == Some(&(d - 1)))
+                .expect("BFS parent must exist");
+            path.push(prev);
+            cur = prev;
+        }
+        // Claim the path and record the route.
+        let record = tx.alloc(ROUTE_CELLS + path.len() as u64)?;
+        tx.write(record.offset(ROUTE_LEN), path.len() as u64)?;
+        for (i, &c) in path.iter().enumerate() {
+            tx.write(self.cell(c), id)?;
+            tx.write(record.offset(ROUTE_CELLS + i as u64), c)?;
+        }
+        self.routes.push(tx, record.to_word())?;
+        Ok(true)
+    }
+
+    /// One rip-up transaction: release the oldest route's cells.
+    fn rip_up(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        let Some(record_word) = self.routes.pop(tx)? else {
+            return Ok(false);
+        };
+        let record = Addr::from_word(record_word);
+        let len = tx.read(record.offset(ROUTE_LEN))?;
+        for i in 0..len {
+            let c = tx.read(record.offset(ROUTE_CELLS + i))?;
+            tx.write(self.cell(c), 0)?;
+        }
+        tx.free(record)?;
+        Ok(true)
+    }
+
+    /// Successfully routed paths so far.
+    pub fn routed(&self) -> u64 {
+        self.routed.load(Ordering::Relaxed)
+    }
+
+    /// Blocked routing attempts so far.
+    pub fn blocked(&self) -> u64 {
+        self.blocked.load(Ordering::Relaxed)
+    }
+}
+
+impl Workload for Labyrinth {
+    fn name(&self) -> String {
+        format!(
+            "Labyrinth ({}x{}x{})",
+            self.config.width, self.config.height, self.config.layers
+        )
+    }
+
+    fn setup(&self, _worker: &mut TmThread, _rng: &mut WorkloadRng) {}
+
+    fn run_op(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+        if rng.gen_bool(0.4) {
+            worker.execute(TxKind::ReadWrite, |tx| self.rip_up(tx).map(|_| ()));
+            return;
+        }
+        let src = rng.gen_range(0..self.cells());
+        let dst = rng.gen_range(0..self.cells());
+        if src == dst {
+            return;
+        }
+        let id = self.next_route.fetch_add(1, Ordering::Relaxed);
+        let ok = worker.execute(TxKind::ReadWrite, |tx| self.route(tx, src, dst, id));
+        if ok {
+            self.routed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.blocked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn verify(&self, heap: &Heap) -> Result<(), String> {
+        // Committed routes own exactly their claimed cells; every other
+        // cell is free; no two routes share a cell; every route is a
+        // connected path of adjacent cells.
+        let mut owned = std::collections::HashMap::new();
+        for record_word in self.routes.collect(heap) {
+            let record = Addr::from_word(record_word);
+            let len = heap.load(record.offset(ROUTE_LEN));
+            let mut prev: Option<u64> = None;
+            for i in 0..len {
+                let c = heap.load(record.offset(ROUTE_CELLS + i));
+                let id = heap.load(self.cell(c));
+                if id == 0 {
+                    return Err(format!("route cell {c} not claimed on grid"));
+                }
+                if let Some(other) = owned.insert(c, id) {
+                    return Err(format!("cell {c} claimed twice ({other} and {id})"));
+                }
+                if let Some(p) = prev {
+                    if !self.neighbors(p).any(|n| n == c) {
+                        return Err(format!("route hops from {p} to non-adjacent {c}"));
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        for c in 0..self.cells() {
+            let id = heap.load(self.cell(c));
+            if id != 0 && !owned.contains_key(&c) {
+                return Err(format!("cell {c} claimed by {id} but in no route record"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::single_runtime;
+    use rand::SeedableRng;
+    use rh_norec::Algorithm;
+    use std::sync::Arc;
+
+    fn small() -> LabyrinthConfig {
+        LabyrinthConfig { width: 8, height: 8, layers: 2 }
+    }
+
+    #[test]
+    fn neighbors_stay_in_bounds_and_are_symmetric() {
+        let (heap, _rt) = single_runtime(Algorithm::Norec);
+        let lab = Labyrinth::new(&heap, small());
+        for c in 0..lab.cells() {
+            for n in lab.neighbors(c) {
+                assert!(n < lab.cells(), "neighbor out of bounds");
+                assert!(lab.neighbors(n).any(|m| m == c), "asymmetric adjacency");
+            }
+        }
+    }
+
+    #[test]
+    fn routes_connect_endpoints_on_an_empty_grid() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let lab = Labyrinth::new(&heap, small());
+        let mut w = rt.register(0);
+        let src = lab.index(0, 0, 0);
+        let dst = lab.index(7, 7, 1);
+        let ok = w.execute(TxKind::ReadWrite, |tx| lab.route(tx, src, dst, 1));
+        assert!(ok, "empty grid must be routable");
+        lab.verify(&heap).unwrap();
+        assert_eq!(heap.load(lab.cell(src)), 1);
+        assert_eq!(heap.load(lab.cell(dst)), 1);
+    }
+
+    #[test]
+    fn blocked_routes_leave_no_trace() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let lab = Labyrinth::new(&heap, LabyrinthConfig { width: 4, height: 4, layers: 1 });
+        let mut w = rt.register(0);
+        // Wall off the middle columns on the single layer.
+        for y in 0..4 {
+            heap.store(lab.cell(lab.index(1, y, 0)), 99);
+            heap.store(lab.cell(lab.index(2, y, 0)), 99);
+        }
+        let free_before: Vec<u64> = (0..lab.cells()).map(|c| heap.load(lab.cell(c))).collect();
+        let ok = w.execute(TxKind::ReadWrite, |tx| {
+            lab.route(tx, lab.index(0, 0, 0), lab.index(3, 3, 0), 1)
+        });
+        assert!(!ok, "walled grid must block");
+        let after: Vec<u64> = (0..lab.cells()).map(|c| heap.load(lab.cell(c))).collect();
+        assert_eq!(free_before, after, "blocked route mutated the grid");
+    }
+
+    #[test]
+    fn routing_and_ripup_keep_grid_consistent() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let lab = Labyrinth::new(&heap, small());
+        let mut w = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(13);
+        for _ in 0..300 {
+            lab.run_op(&mut w, &mut rng);
+        }
+        lab.verify(&heap).unwrap();
+        assert!(lab.routed() > 0, "nothing ever routed");
+    }
+
+    #[test]
+    fn concurrent_routing_never_overlaps() {
+        let (heap, rt) = single_runtime(Algorithm::RhNorec);
+        let lab = Arc::new(Labyrinth::new(&heap, LabyrinthConfig { width: 16, height: 16, layers: 2 }));
+        std::thread::scope(|s| {
+            for tid in 0..3usize {
+                let rt = Arc::clone(&rt);
+                let lab = Arc::clone(&lab);
+                s.spawn(move || {
+                    let mut w = rt.register(tid);
+                    let mut rng = WorkloadRng::seed_from_u64(tid as u64);
+                    for _ in 0..150 {
+                        lab.run_op(&mut w, &mut rng);
+                    }
+                });
+            }
+        });
+        lab.verify(&heap).unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! STAMP-style applications (paper §3.6).
+//!
+//! These reimplement the transactional structure of the STAMP suite's
+//! applications — transaction lengths, read/write mixes, contention
+//! levels, and data-structure footprints — on the simulated heap. The
+//! paper evaluates Vacation (low and high contention), Intruder, Genome,
+//! SSCA2 and Yada, and reports that Kmeans and Labyrinth behave like
+//! SSCA2; all are included here.
+//!
+//! Unlike the original suite (fixed work, measured time-to-completion),
+//! these workloads are *self-sustaining*: each operation draws from
+//! regenerating work so a duration-driven harness can measure steady-state
+//! throughput, which is what the paper's figures plot.
+
+mod genome;
+mod intruder;
+mod kmeans;
+mod labyrinth;
+mod ssca2;
+mod vacation;
+mod yada;
+
+pub use genome::{Genome, GenomeConfig};
+pub use intruder::{Intruder, IntruderConfig};
+pub use kmeans::{Kmeans, KmeansConfig};
+pub use labyrinth::{Labyrinth, LabyrinthConfig};
+pub use ssca2::{Ssca2, Ssca2Config};
+pub use vacation::{Vacation, VacationConfig};
+pub use yada::{Yada, YadaConfig};

@@ -1,0 +1,376 @@
+//! Vacation: an online travel-reservation system (STAMP).
+//!
+//! "Vacation-Low simulates online transaction processing … moderately long
+//! transactions with low contention"; Vacation-High adds "heavier and
+//! slower transactions with moderate contention levels" (§3.6).
+//!
+//! Three resource relations (cars, flights, rooms) and a customer relation,
+//! all red-black trees. Client transactions make reservations, delete
+//! customers (billing them), or update the relations.
+
+use rand::Rng;
+use rh_norec::{TmThread, Tx, TxKind, TxResult};
+use sim_mem::{Addr, Heap};
+
+use crate::structures::{RbTree, SortedList};
+use crate::{Workload, WorkloadRng};
+
+/// Resource record layout: `[total, used, price]` (free = total - used).
+const R_TOTAL: u64 = 0;
+const R_USED: u64 = 1;
+const R_PRICE: u64 = 2;
+const RESOURCE_WORDS: u64 = 3;
+
+const RESOURCE_KINDS: u64 = 3;
+
+/// Configuration of the Vacation workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VacationConfig {
+    /// Entries per relation (STAMP `-r`).
+    pub relations: u64,
+    /// Number of customers.
+    pub customers: u64,
+    /// Queries per reservation transaction (STAMP `-n`).
+    pub queries_per_tx: u32,
+    /// Percentage of the id space a transaction may touch (STAMP `-q`);
+    /// lower values concentrate accesses and raise contention.
+    pub query_range_pct: u32,
+    /// Percentage of operations that are user reservations (STAMP `-u`);
+    /// the rest split between deletions and table updates.
+    pub user_pct: u32,
+}
+
+impl VacationConfig {
+    /// STAMP's `vacation-low` parameters (`-n2 -q90 -u98`), scaled.
+    pub fn low(relations: u64) -> Self {
+        VacationConfig {
+            relations,
+            customers: relations,
+            queries_per_tx: 2,
+            query_range_pct: 90,
+            user_pct: 98,
+        }
+    }
+
+    /// STAMP's `vacation-high` parameters (`-n4 -q60 -u90`), scaled.
+    pub fn high(relations: u64) -> Self {
+        VacationConfig {
+            relations,
+            customers: relations,
+            queries_per_tx: 4,
+            query_range_pct: 60,
+            user_pct: 90,
+        }
+    }
+}
+
+/// The Vacation workload.
+#[derive(Debug)]
+pub struct Vacation {
+    config: VacationConfig,
+    /// Resource relations indexed by kind (car/flight/room): id → record.
+    relations: [RbTree; RESOURCE_KINDS as usize],
+    /// Customer relation: customer id → reservation-list head.
+    customers: RbTree,
+}
+
+impl Vacation {
+    /// Creates the workload's empty relations.
+    pub fn new(heap: &Heap, config: VacationConfig) -> Vacation {
+        assert!(config.relations > 0 && config.customers > 0);
+        assert!(config.query_range_pct > 0 && config.query_range_pct <= 100);
+        assert!(config.user_pct <= 100);
+        Vacation {
+            config,
+            relations: [RbTree::create(heap), RbTree::create(heap), RbTree::create(heap)],
+            customers: RbTree::create(heap),
+        }
+    }
+
+    fn query_range(&self) -> u64 {
+        (self.config.relations * self.config.query_range_pct as u64 / 100).max(1)
+    }
+
+    /// Encodes a reservation key for the customer's list.
+    fn reservation_key(kind: u64, id: u64) -> u64 {
+        kind * (1 << 32) + id
+    }
+
+    /// One MakeReservation client transaction: query `n` random resources,
+    /// then reserve the highest-priced available one of each queried kind
+    /// for the customer.
+    fn make_reservation(&self, tx: &mut Tx<'_>, rng_draws: &[(u64, u64)], customer: u64) -> TxResult<()> {
+        let mut best: [Option<(u64, Addr, u64)>; RESOURCE_KINDS as usize] = [None, None, None];
+        for &(kind, id) in rng_draws {
+            if let Some(record_word) = self.relations[kind as usize].get(tx, id)? {
+                let record = Addr::from_word(record_word);
+                let total = tx.read(record.offset(R_TOTAL))?;
+                let used = tx.read(record.offset(R_USED))?;
+                let price = tx.read(record.offset(R_PRICE))?;
+                if used < total {
+                    let better = match best[kind as usize] {
+                        Some((p, _, _)) => price > p,
+                        None => true,
+                    };
+                    if better {
+                        best[kind as usize] = Some((price, record, id));
+                    }
+                }
+            }
+        }
+        if best.iter().all(|b| b.is_none()) {
+            return Ok(());
+        }
+        // Find or create the customer and their reservation list.
+        let list = match self.customers.get(tx, customer)? {
+            Some(head) => SortedList::from_head_addr(Addr::from_word(head)),
+            None => {
+                let list = SortedList::create_tx(tx)?;
+                self.customers.put(tx, customer, list.head_addr().to_word())?;
+                list
+            }
+        };
+        for (kind, slot) in best.iter().enumerate() {
+            if let Some((price, record, id)) = slot {
+                let key = Self::reservation_key(kind as u64, *id);
+                if list.insert(tx, key, *price)? {
+                    let used = tx.read(record.offset(R_USED))?;
+                    tx.write(record.offset(R_USED), used + 1)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// DeleteCustomer: bill the customer (sum reservation prices), release
+    /// every reservation, remove the customer.
+    fn delete_customer(&self, tx: &mut Tx<'_>, customer: u64) -> TxResult<u64> {
+        let head = match self.customers.get(tx, customer)? {
+            Some(head) => Addr::from_word(head),
+            None => return Ok(0),
+        };
+        let list = SortedList::from_head_addr(head);
+        let mut bill = 0;
+        while let Some((key, price)) = list.pop_min(tx)? {
+            bill += price;
+            let kind = key >> 32;
+            let id = key & 0xffff_ffff;
+            if let Some(record_word) = self.relations[kind as usize].get(tx, id)? {
+                let record = Addr::from_word(record_word);
+                let used = tx.read(record.offset(R_USED))?;
+                tx.write(record.offset(R_USED), used.saturating_sub(1))?;
+            }
+        }
+        self.customers.remove(tx, customer)?;
+        tx.free(head)?;
+        Ok(bill)
+    }
+
+    /// UpdateTables (the "manager" transaction): grow or reprice random
+    /// resources.
+    fn update_tables(&self, tx: &mut Tx<'_>, updates: &[(u64, u64, u64, bool)]) -> TxResult<()> {
+        for &(kind, id, price, grow) in updates {
+            match self.relations[kind as usize].get(tx, id)? {
+                Some(record_word) => {
+                    let record = Addr::from_word(record_word);
+                    if grow {
+                        let total = tx.read(record.offset(R_TOTAL))?;
+                        tx.write(record.offset(R_TOTAL), total + 10)?;
+                    }
+                    tx.write(record.offset(R_PRICE), price)?;
+                }
+                None => {
+                    let record = tx.alloc(RESOURCE_WORDS)?;
+                    tx.write(record.offset(R_TOTAL), 10)?;
+                    tx.write(record.offset(R_USED), 0)?;
+                    tx.write(record.offset(R_PRICE), price)?;
+                    self.relations[kind as usize].put(tx, id, record.to_word())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Workload for Vacation {
+    fn name(&self) -> String {
+        let flavor = if self.config.user_pct >= 95 { "Low" } else { "High" };
+        format!("Vacation-{flavor} (r={})", self.config.relations)
+    }
+
+    fn setup(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+        for kind in 0..RESOURCE_KINDS {
+            for id in 0..self.config.relations {
+                let price = 100 + rng.gen_range(0..400);
+                worker.execute(TxKind::ReadWrite, |tx| {
+                    let record = tx.alloc(RESOURCE_WORDS)?;
+                    tx.write(record.offset(R_TOTAL), 100)?;
+                    tx.write(record.offset(R_USED), 0)?;
+                    tx.write(record.offset(R_PRICE), price)?;
+                    self.relations[kind as usize].put(tx, id, record.to_word())?;
+                    Ok(())
+                });
+            }
+        }
+    }
+
+    fn run_op(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+        let roll = rng.gen_range(0..100);
+        let range = self.query_range();
+        if roll < self.config.user_pct {
+            let draws: Vec<(u64, u64)> = (0..self.config.queries_per_tx)
+                .map(|_| (rng.gen_range(0..RESOURCE_KINDS), rng.gen_range(0..range)))
+                .collect();
+            let customer = rng.gen_range(0..self.config.customers);
+            worker.execute(TxKind::ReadWrite, |tx| {
+                self.make_reservation(tx, &draws, customer)
+            });
+        } else if roll < self.config.user_pct + (100 - self.config.user_pct) / 2 {
+            let customer = rng.gen_range(0..self.config.customers);
+            worker.execute(TxKind::ReadWrite, |tx| {
+                self.delete_customer(tx, customer).map(|_| ())
+            });
+        } else {
+            let updates: Vec<(u64, u64, u64, bool)> = (0..self.config.queries_per_tx)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..RESOURCE_KINDS),
+                        rng.gen_range(0..range),
+                        100 + rng.gen_range(0..400),
+                        rng.gen_bool(0.5),
+                    )
+                })
+                .collect();
+            worker.execute(TxKind::ReadWrite, |tx| self.update_tables(tx, &updates));
+        }
+    }
+
+    fn verify(&self, heap: &Heap) -> Result<(), String> {
+        for (kind, relation) in self.relations.iter().enumerate() {
+            relation.check_invariants(heap)?;
+            for (id, record_word) in relation.collect(heap) {
+                let record = Addr::from_word(record_word);
+                let total = heap.load(record.offset(R_TOTAL));
+                let used = heap.load(record.offset(R_USED));
+                if used > total {
+                    return Err(format!(
+                        "relation {kind} resource {id}: used {used} > total {total}"
+                    ));
+                }
+            }
+        }
+        self.customers.check_invariants(heap)?;
+        // Every reservation must point at an existing resource, and the
+        // per-resource used counts must equal the reservations held.
+        let mut used_by_customers = std::collections::HashMap::new();
+        for (_cid, head) in self.customers.collect(heap) {
+            let list = SortedList::from_head_addr(Addr::from_word(head));
+            for (key, _price) in list.collect(heap) {
+                *used_by_customers.entry(key).or_insert(0u64) += 1;
+            }
+        }
+        for (kind, relation) in self.relations.iter().enumerate() {
+            for (id, record_word) in relation.collect(heap) {
+                let record = Addr::from_word(record_word);
+                let used = heap.load(record.offset(R_USED));
+                let key = Self::reservation_key(kind as u64, id);
+                let held = used_by_customers.remove(&key).unwrap_or(0);
+                if used != held {
+                    return Err(format!(
+                        "relation {kind} resource {id}: used {used} but {held} reservations held"
+                    ));
+                }
+            }
+        }
+        if !used_by_customers.is_empty() {
+            return Err(format!(
+                "{} reservations reference missing resources",
+                used_by_customers.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::single_runtime;
+    use rand::SeedableRng;
+    use rh_norec::Algorithm;
+    use std::sync::Arc;
+
+    fn small() -> VacationConfig {
+        VacationConfig {
+            relations: 32,
+            customers: 32,
+            queries_per_tx: 2,
+            query_range_pct: 90,
+            user_pct: 80,
+        }
+    }
+
+    #[test]
+    fn sequential_run_preserves_invariants() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let app = Vacation::new(&heap, small());
+        let mut w = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(3);
+        app.setup(&mut w, &mut rng);
+        app.verify(&heap).unwrap();
+        for _ in 0..500 {
+            app.run_op(&mut w, &mut rng);
+        }
+        app.verify(&heap).unwrap();
+    }
+
+    #[test]
+    fn concurrent_run_preserves_invariants() {
+        for alg in [Algorithm::RhNorec, Algorithm::HybridNorec, Algorithm::Tl2] {
+            let (heap, rt) = single_runtime(alg);
+            let app = Arc::new(Vacation::new(&heap, small()));
+            {
+                let mut w = rt.register(0);
+                let mut rng = WorkloadRng::seed_from_u64(4);
+                app.setup(&mut w, &mut rng);
+            }
+            std::thread::scope(|s| {
+                for tid in 0..3usize {
+                    let rt = Arc::clone(&rt);
+                    let app = Arc::clone(&app);
+                    s.spawn(move || {
+                        let mut w = rt.register(tid);
+                        let mut rng = WorkloadRng::seed_from_u64(50 + tid as u64);
+                        for _ in 0..200 {
+                            app.run_op(&mut w, &mut rng);
+                        }
+                    });
+                }
+            });
+            app.verify(&heap).unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deleting_a_customer_releases_their_reservations() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let app = Vacation::new(&heap, small());
+        let mut w = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(5);
+        app.setup(&mut w, &mut rng);
+        // Force one reservation deterministically.
+        w.execute(TxKind::ReadWrite, |tx| {
+            app.make_reservation(tx, &[(0, 1), (1, 2)], 7)
+        });
+        app.verify(&heap).unwrap();
+        let bill = w.execute(TxKind::ReadWrite, |tx| app.delete_customer(tx, 7));
+        assert!(bill > 0, "customer had reservations to bill");
+        app.verify(&heap).unwrap();
+        // All `used` counters must be back to zero.
+        for relation in &app.relations {
+            for (_, record_word) in relation.collect(&heap) {
+                assert_eq!(heap.load(Addr::from_word(record_word).offset(R_USED)), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,730 @@
+//! Yada: Delaunay mesh refinement (STAMP, Ruppert's algorithm).
+//!
+//! The real thing, in two dimensions: a Delaunay triangulation over a
+//! square region, a shared work heap of poor-quality triangles, and
+//! refinement transactions that pop a bad triangle, carve out the
+//! *cavity* of triangles whose circumcircles contain its circumcenter
+//! (Bowyer–Watson), and re-triangulate the cavity around the new point —
+//! the paper's heaviest transactions: long reads (cavity walk), many
+//! writes, and allocation.
+//!
+//! Quality is the radius–edge measure (equivalently the minimum angle);
+//! when the work heap drains, operations insert fresh random points,
+//! which creates new skinny triangles and keeps a duration-driven harness
+//! fed — exactly how STAMP's input phases keep the original busy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::Rng;
+use rh_norec::{TmThread, Tx, TxKind, TxResult};
+use sim_mem::{Addr, Heap};
+
+use crate::structures::{PairingHeap, RbTree};
+use crate::{Workload, WorkloadRng};
+
+/// Point record: `[x_bits, y_bits]`.
+const P_X: u64 = 0;
+const P_Y: u64 = 1;
+const POINT_WORDS: u64 = 2;
+
+/// Triangle record: `[v0, v1, v2, n0, n1, n2, alive, id]`.
+/// `n_i` is the neighbor across the edge *opposite* vertex `i`
+/// (edge `v_{i+1} v_{i+2}`), null at the region boundary.
+const T_V0: u64 = 0;
+const T_N0: u64 = 3;
+const T_ALIVE: u64 = 6;
+const T_ID: u64 = 7;
+const TRI_WORDS: u64 = 8;
+
+/// Configuration of the Yada workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct YadaConfig {
+    /// Initial mesh granularity: a `grid × grid` square mesh
+    /// (2·grid² triangles).
+    pub grid: u64,
+    /// Minimum acceptable angle in degrees; triangles below it are
+    /// refined. Ruppert terminates below ≈20.7°; larger bounds keep the
+    /// workload generating (the paper's yada uses 20–30°).
+    pub min_angle_deg: f64,
+}
+
+impl Default for YadaConfig {
+    fn default() -> Self {
+        YadaConfig { grid: 8, min_angle_deg: 24.0 }
+    }
+}
+
+/// The Yada mesh-refinement workload.
+#[derive(Debug)]
+pub struct Yada {
+    config: YadaConfig,
+    /// Region side length (points live in `[0, side] × [0, side]`).
+    side: f64,
+    /// Work heap: quality key (scaled min angle) → triangle address.
+    work: PairingHeap,
+    /// Registry of triangles ever created: id → record address (dead
+    /// triangles stay, flagged `alive = 0`, so stale work entries and the
+    /// verifier can inspect them; STAMP's yada also reclaims only at end).
+    registry: RbTree,
+    next_id: AtomicU64,
+    refined: AtomicU64,
+    inserted_points: AtomicU64,
+    stale_pops: AtomicU64,
+    /// Heap word stashing one initial-mesh triangle (the BFS root used by
+    /// `setup`; the mesh is connected, so everything is reachable).
+    root_stash: Addr,
+}
+
+/// Plain-old geometry on decoded points.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Pt {
+    x: f64,
+    y: f64,
+}
+
+fn orient(a: Pt, b: Pt, c: Pt) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Positive when `d` lies inside the circumcircle of CCW triangle `abc`.
+fn in_circle(a: Pt, b: Pt, c: Pt, d: Pt) -> f64 {
+    let (ax, ay) = (a.x - d.x, a.y - d.y);
+    let (bx, by) = (b.x - d.x, b.y - d.y);
+    let (cx, cy) = (c.x - d.x, c.y - d.y);
+    let a2 = ax * ax + ay * ay;
+    let b2 = bx * bx + by * by;
+    let c2 = cx * cx + cy * cy;
+    ax * (by * c2 - b2 * cy) - ay * (bx * c2 - b2 * cx) + a2 * (bx * cy - by * cx)
+}
+
+fn circumcenter(a: Pt, b: Pt, c: Pt) -> Option<Pt> {
+    let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+    if d.abs() < 1e-12 {
+        return None;
+    }
+    let a2 = a.x * a.x + a.y * a.y;
+    let b2 = b.x * b.x + b.y * b.y;
+    let c2 = c.x * c.x + c.y * c.y;
+    Some(Pt {
+        x: (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d,
+        y: (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d,
+    })
+}
+
+/// Minimum angle of triangle `abc`, in degrees.
+fn min_angle_deg(a: Pt, b: Pt, c: Pt) -> f64 {
+    let side = |p: Pt, q: Pt| ((p.x - q.x).powi(2) + (p.y - q.y).powi(2)).sqrt();
+    let (la, lb, lc) = (side(b, c), side(c, a), side(a, b));
+    let angle = |opp: f64, s1: f64, s2: f64| {
+        let cos = ((s1 * s1 + s2 * s2 - opp * opp) / (2.0 * s1 * s2)).clamp(-1.0, 1.0);
+        cos.acos().to_degrees()
+    };
+    angle(la, lb, lc)
+        .min(angle(lb, lc, la))
+        .min(angle(lc, la, lb))
+}
+
+impl Yada {
+    /// Builds the initial structured mesh non-transactionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted or `grid < 2`.
+    pub fn new(heap: &Heap, config: YadaConfig) -> Yada {
+        assert!(config.grid >= 2, "mesh needs at least a 2x2 grid");
+        assert!(config.min_angle_deg > 0.0 && config.min_angle_deg < 60.0);
+        let root_stash = heap
+            .allocator()
+            .alloc(0, 1)
+            .expect("heap exhausted allocating yada root stash");
+        let yada = Yada {
+            config,
+            side: config.grid as f64,
+            work: PairingHeap::create(heap),
+            registry: RbTree::create(heap),
+            next_id: AtomicU64::new(1),
+            refined: AtomicU64::new(0),
+            inserted_points: AtomicU64::new(0),
+            stale_pops: AtomicU64::new(0),
+            root_stash,
+        };
+        yada.build_initial_mesh(heap);
+        yada
+    }
+
+    fn alloc_point(heap: &Heap, p: Pt) -> Addr {
+        let a = heap.allocator().alloc(0, POINT_WORDS).expect("heap exhausted");
+        heap.store(a.offset(P_X), p.x.to_bits());
+        heap.store(a.offset(P_Y), p.y.to_bits());
+        a
+    }
+
+    fn build_initial_mesh(&self, heap: &Heap) {
+        let g = self.config.grid as usize;
+        // Grid points, jittered off the lattice so no four points are
+        // exactly cocircular (which would make in-circle tests ambiguous).
+        let mut pts = vec![vec![Addr::NULL; g + 1]; g + 1];
+        for (i, row) in pts.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                let jitter = |v: usize, w: usize| {
+                    if v == 0 || v == g {
+                        0.0
+                    } else {
+                        ((v * 31 + w * 17) % 13) as f64 * 0.019 - 0.12
+                    }
+                };
+                *slot = Self::alloc_point(
+                    heap,
+                    Pt {
+                        x: i as f64 + jitter(i, j),
+                        y: j as f64 + jitter(j, i),
+                    },
+                );
+            }
+        }
+        // Two CCW triangles per cell: lower (p00, p10, p11), upper
+        // (p00, p11, p01).
+        let mut lower = vec![vec![Addr::NULL; g]; g];
+        let mut upper = vec![vec![Addr::NULL; g]; g];
+        for i in 0..g {
+            for j in 0..g {
+                lower[i][j] = self.alloc_triangle_raw(
+                    heap,
+                    [pts[i][j], pts[i + 1][j], pts[i + 1][j + 1]],
+                );
+                upper[i][j] = self.alloc_triangle_raw(
+                    heap,
+                    [pts[i][j], pts[i + 1][j + 1], pts[i][j + 1]],
+                );
+            }
+        }
+        // Adjacency. Lower(i,j): edge v1v2 (right) → lower/upper of (i+1,j)?
+        // Work it out per edge: lower = (p00, p10, p11):
+        //   n0 (edge p10-p11, the right side)  → lower(i+1,j)'s left … is
+        //     upper(i+1,j) has edge p00-p01 = that column? Simpler: the
+        //     right edge x=i+1 between y=j and y=j+1 belongs to
+        //     upper(i+1,j) (edge p00-p01 of that cell).
+        //   n1 (edge p11-p00, the diagonal)    → upper(i,j)
+        //   n2 (edge p00-p10, the bottom)      → upper(i,j-1)
+        // upper = (p00, p11, p01):
+        //   n0 (edge p11-p01, the top)         → lower(i,j+1)
+        //   n1 (edge p01-p00, the left)        → lower(i-1,j)
+        //   n2 (edge p00-p11, the diagonal)    → lower(i,j)
+        let raw = heap.raw();
+        let set_n = |t: Addr, slot: u64, n: Addr| {
+            raw.store_raw(t.offset(T_N0 + slot), n.to_word());
+        };
+        for i in 0..g {
+            for j in 0..g {
+                set_n(lower[i][j], 0, if i + 1 < g { upper[i + 1][j] } else { Addr::NULL });
+                set_n(lower[i][j], 1, upper[i][j]);
+                set_n(lower[i][j], 2, if j > 0 { upper[i][j - 1] } else { Addr::NULL });
+                set_n(upper[i][j], 0, if j + 1 < g { lower[i][j + 1] } else { Addr::NULL });
+                set_n(upper[i][j], 1, if i > 0 { lower[i - 1][j] } else { Addr::NULL });
+                set_n(upper[i][j], 2, lower[i][j]);
+            }
+        }
+        heap.store(self.root_stash, lower[0][0].to_word());
+    }
+
+    fn alloc_triangle_raw(&self, heap: &Heap, vs: [Addr; 3]) -> Addr {
+        let t = heap.allocator().alloc(0, TRI_WORDS).expect("heap exhausted");
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        for (i, v) in vs.iter().enumerate() {
+            heap.store(t.offset(T_V0 + i as u64), v.to_word());
+        }
+        heap.store(t.offset(T_ALIVE), 1);
+        heap.store(t.offset(T_ID), id);
+        // Registry + work queue are populated in setup() transactions so
+        // their internal structure is built through the TM API; here we
+        // only stage records.
+        t
+    }
+
+    fn read_point(tx: &mut Tx<'_>, p: Addr) -> TxResult<Pt> {
+        Ok(Pt {
+            x: f64::from_bits(tx.read(p.offset(P_X))?),
+            y: f64::from_bits(tx.read(p.offset(P_Y))?),
+        })
+    }
+
+    fn read_vertices(tx: &mut Tx<'_>, t: Addr) -> TxResult<[Addr; 3]> {
+        Ok([
+            tx.read_addr(t.offset(T_V0))?,
+            tx.read_addr(t.offset(T_V0 + 1))?,
+            tx.read_addr(t.offset(T_V0 + 2))?,
+        ])
+    }
+
+    fn read_corners(tx: &mut Tx<'_>, t: Addr) -> TxResult<[Pt; 3]> {
+        let vs = Self::read_vertices(tx, t)?;
+        Ok([
+            Self::read_point(tx, vs[0])?,
+            Self::read_point(tx, vs[1])?,
+            Self::read_point(tx, vs[2])?,
+        ])
+    }
+
+    /// Quality key for the work heap: scaled minimum angle (pop smallest
+    /// = worst first).
+    fn quality_key(corners: [Pt; 3]) -> u64 {
+        (min_angle_deg(corners[0], corners[1], corners[2]) * 1000.0) as u64
+    }
+
+    fn is_bad(&self, corners: [Pt; 3]) -> bool {
+        min_angle_deg(corners[0], corners[1], corners[2]) < self.config.min_angle_deg
+    }
+
+    /// Registers a freshly created triangle: registry entry plus a work
+    /// entry when its quality is poor.
+    fn register_triangle(&self, tx: &mut Tx<'_>, t: Addr) -> TxResult<()> {
+        let id = tx.read(t.offset(T_ID))?;
+        self.registry.put(tx, id, t.to_word())?;
+        let corners = Self::read_corners(tx, t)?;
+        if self.is_bad(corners) {
+            self.work.push(tx, Self::quality_key(corners), t.to_word())?;
+        }
+        Ok(())
+    }
+
+    /// Creates a triangle inside a transaction (vertices CCW).
+    fn create_triangle(&self, tx: &mut Tx<'_>, vs: [Addr; 3]) -> TxResult<Addr> {
+        let t = tx.alloc(TRI_WORDS)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        for (i, v) in vs.iter().enumerate() {
+            tx.write_addr(t.offset(T_V0 + i as u64), *v)?;
+        }
+        tx.write(t.offset(T_ALIVE), 1)?;
+        tx.write(t.offset(T_ID), id)?;
+        Ok(t)
+    }
+
+    /// A random alive triangle, probed through the registry.
+    fn random_alive(&self, tx: &mut Tx<'_>, rng_key: u64) -> TxResult<Option<Addr>> {
+        let top = self.next_id.load(Ordering::Relaxed);
+        let mut probe = rng_key % top.max(1);
+        for _ in 0..32 {
+            let hit = match self.registry.ceiling(tx, probe)? {
+                Some((_, word)) => Addr::from_word(word),
+                None => match self.registry.ceiling(tx, 0)? {
+                    Some((_, word)) => Addr::from_word(word),
+                    None => return Ok(None),
+                },
+            };
+            if tx.read(hit.offset(T_ALIVE))? == 1 {
+                return Ok(Some(hit));
+            }
+            probe = tx.read(hit.offset(T_ID))? + 1;
+        }
+        Ok(None)
+    }
+
+    /// Bowyer–Watson insertion of `p`, starting the cavity search from a
+    /// triangle known to have `p` inside its circumcircle.
+    ///
+    /// Returns the number of new triangles, or `None` when the insertion
+    /// is rejected (degenerate geometry).
+    fn insert_point(&self, tx: &mut Tx<'_>, seed: Addr, p: Pt) -> TxResult<Option<usize>> {
+        // Cavity: BFS over alive triangles whose circumcircle contains p.
+        let mut cavity = vec![seed];
+        let mut queue = vec![seed];
+        let mut boundary: Vec<(Addr, Addr, Addr)> = Vec::new(); // (a, b, outside)
+        while let Some(t) = queue.pop() {
+            let vs = Self::read_vertices(tx, t)?;
+            for i in 0..3u64 {
+                let n = tx.read_addr(t.offset(T_N0 + i))?;
+                let a = vs[((i + 1) % 3) as usize];
+                let b = vs[((i + 2) % 3) as usize];
+                if n.is_null() {
+                    boundary.push((a, b, Addr::NULL));
+                    continue;
+                }
+                if cavity.contains(&n) {
+                    continue;
+                }
+                let c = Self::read_corners(tx, n)?;
+                if in_circle(c[0], c[1], c[2], p) > 0.0 {
+                    cavity.push(n);
+                    queue.push(n);
+                } else {
+                    boundary.push((a, b, n));
+                }
+            }
+        }
+        // Reject degenerate cavities (p nearly on an existing vertex).
+        for &(a, b, _) in &boundary {
+            let pa = Self::read_point(tx, a)?;
+            let pb = Self::read_point(tx, b)?;
+            if orient(pa, pb, p).abs() < 1e-9 {
+                return Ok(None);
+            }
+        }
+        // Kill the cavity.
+        for &t in &cavity {
+            tx.write(t.offset(T_ALIVE), 0)?;
+            let id = tx.read(t.offset(T_ID))?;
+            self.registry.remove(tx, id)?;
+        }
+        // New point + one new triangle per boundary edge.
+        let pv = tx.alloc(POINT_WORDS)?;
+        tx.write(pv.offset(P_X), p.x.to_bits())?;
+        tx.write(pv.offset(P_Y), p.y.to_bits())?;
+
+        let mut fresh: Vec<(Addr, Addr, Addr, Addr)> = Vec::new(); // (tri, a, b, outside)
+        for &(a, b, outside) in &boundary {
+            let pa = Self::read_point(tx, a)?;
+            let pb = Self::read_point(tx, b)?;
+            // Order CCW with the new point as v0: (p, a, b) must be CCW.
+            let (a, b, pa, pb) = if orient(p, pa, pb) > 0.0 {
+                (a, b, pa, pb)
+            } else {
+                (b, a, pb, pa)
+            };
+            let _ = (pa, pb);
+            let t = self.create_triangle(tx, [pv, a, b])?;
+            // n0 (edge a-b, opposite the new point) is the outside world.
+            tx.write_addr(t.offset(T_N0), outside)?;
+            fresh.push((t, a, b, outside));
+        }
+        // Rewire outside neighbors to the fresh triangles, and stitch the
+        // fresh fan: edge (p, a) of one triangle matches edge (p, b) of
+        // the one before it around the fan.
+        for &(t, a, b, outside) in &fresh {
+            if !outside.is_null() {
+                // Replace the outside triangle's dead neighbor with t —
+                // precisely the slot whose opposite edge is {a, b} (an
+                // outside triangle can border the cavity along several
+                // edges, each owed to a different fresh triangle).
+                let ovs = Self::read_vertices(tx, outside)?;
+                for i in 0..3u64 {
+                    let ea = ovs[((i + 1) % 3) as usize];
+                    let eb = ovs[((i + 2) % 3) as usize];
+                    if (ea == a && eb == b) || (ea == b && eb == a) {
+                        tx.write_addr(outside.offset(T_N0 + i), t)?;
+                    }
+                }
+            }
+            // Neighbor across edge (p, b) — slot n1 (opposite vertex a) —
+            // is the fresh triangle whose `a` equals our `b`; across
+            // (p, a) — slot n2 — the one whose `b` equals our `a`.
+            for &(u, ua, ub, _) in &fresh {
+                if u == t {
+                    continue;
+                }
+                if ua == b {
+                    tx.write_addr(t.offset(T_N0 + 1), u)?;
+                }
+                if ub == a {
+                    tx.write_addr(t.offset(T_N0 + 2), u)?;
+                }
+            }
+        }
+        for &(t, _, _, _) in &fresh {
+            self.register_triangle(tx, t)?;
+        }
+        Ok(Some(fresh.len()))
+    }
+
+    /// One refinement transaction: pop a bad triangle and insert its
+    /// circumcenter. Returns `false` when the work heap is empty.
+    fn refine_one(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        let Some((_key, t_word)) = self.work.pop_min(tx)? else {
+            return Ok(false);
+        };
+        let t = Addr::from_word(t_word);
+        if tx.read(t.offset(T_ALIVE))? == 0 {
+            // Removed by an earlier cavity; skip.
+            self.stale_pops.fetch_add(1, Ordering::Relaxed);
+            return Ok(true);
+        }
+        let corners = Self::read_corners(tx, t)?;
+        let Some(center) = circumcenter(corners[0], corners[1], corners[2]) else {
+            return Ok(true);
+        };
+        // Off-mesh circumcenters would need boundary-segment splitting
+        // (Ruppert's encroachment rule); we accept those triangles as-is.
+        if center.x <= 0.0 || center.y <= 0.0 || center.x >= self.side || center.y >= self.side {
+            return Ok(true);
+        }
+        // The circumcenter is, by definition, inside t's circumcircle.
+        self.insert_point(tx, t, center)?;
+        Ok(true)
+    }
+
+    /// Triangles refined so far.
+    pub fn refined(&self) -> u64 {
+        self.refined.load(Ordering::Relaxed)
+    }
+
+    /// Random points inserted to regenerate work.
+    pub fn inserted_points(&self) -> u64 {
+        self.inserted_points.load(Ordering::Relaxed)
+    }
+
+    /// Work-queue entries that pointed at already-refined triangles.
+    pub fn stale_pops(&self) -> u64 {
+        self.stale_pops.load(Ordering::Relaxed)
+    }
+
+    /// Drains the work heap (test helper; terminates for angle bounds
+    /// below Ruppert's 20.7°).
+    pub fn drain(&self, worker: &mut TmThread) {
+        while worker.execute(TxKind::ReadWrite, |tx| self.refine_one(tx)) {}
+    }
+
+    /// Point location: walk from `start` toward `p` by orientation tests;
+    /// returns the containing triangle if the walk converges.
+    fn locate(&self, tx: &mut Tx<'_>, start: Addr, p: Pt) -> TxResult<Option<Addr>> {
+        let mut t = start;
+        for _ in 0..256 {
+            let vs = Self::read_vertices(tx, t)?;
+            let c = [
+                Self::read_point(tx, vs[0])?,
+                Self::read_point(tx, vs[1])?,
+                Self::read_point(tx, vs[2])?,
+            ];
+            let mut moved = false;
+            for i in 0..3u64 {
+                let a = c[((i + 1) % 3) as usize];
+                let b = c[((i + 2) % 3) as usize];
+                if orient(a, b, p) < -1e-12 {
+                    let n = tx.read_addr(t.offset(T_N0 + i))?;
+                    if n.is_null() {
+                        return Ok(None);
+                    }
+                    t = n;
+                    moved = true;
+                    break;
+                }
+            }
+            if !moved {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Workload for Yada {
+    fn name(&self) -> String {
+        format!(
+            "Yada (grid={}, min-angle={}°)",
+            self.config.grid, self.config.min_angle_deg
+        )
+    }
+
+    fn setup(&self, worker: &mut TmThread, _rng: &mut WorkloadRng) {
+        // Register the staged triangles through the TM API: BFS over the
+        // adjacency links from the stashed root (the mesh is connected).
+        let heap = std::sync::Arc::clone(worker.runtime().heap());
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = vec![Addr::from_word(heap.load(self.root_stash))];
+        while let Some(t) = queue.pop() {
+            if t.is_null() || !seen.insert(t) {
+                continue;
+            }
+            worker.execute(TxKind::ReadWrite, |tx| self.register_triangle(tx, t));
+            for i in 0..3u64 {
+                queue.push(Addr::from_word(heap.load(t.offset(T_N0 + i))));
+            }
+        }
+    }
+
+    fn run_op(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+        let did = worker.execute(TxKind::ReadWrite, |tx| self.refine_one(tx));
+        if did {
+            self.refined.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Work drained: insert a random point to regenerate skinny
+        // triangles (a fresh input region arriving, as in STAMP's phases).
+        let p = Pt {
+            x: rng.gen_range(0.05..0.95) * self.side,
+            y: rng.gen_range(0.05..0.95) * self.side,
+        };
+        let probe = rng.gen::<u64>();
+        let inserted = worker.execute(TxKind::ReadWrite, |tx| {
+            let Some(start) = self.random_alive(tx, probe)? else {
+                return Ok(false);
+            };
+            let Some(container) = self.locate(tx, start, p)? else {
+                return Ok(false);
+            };
+            // The containing triangle's circumcircle contains p, so it
+            // seeds the cavity.
+            Ok(self.insert_point(tx, container, p)?.is_some())
+        });
+        if inserted {
+            self.inserted_points.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn verify(&self, heap: &Heap) -> Result<(), String> {
+        self.registry.check_invariants(heap)?;
+        let tris = self.registry.collect(heap);
+        let point = |p: Addr| Pt {
+            x: f64::from_bits(heap.load(p.offset(P_X))),
+            y: f64::from_bits(heap.load(p.offset(P_Y))),
+        };
+        for (id, t_word) in &tris {
+            let t = Addr::from_word(*t_word);
+            if heap.load(t.offset(T_ALIVE)) != 1 {
+                return Err(format!("registered triangle {id} is dead"));
+            }
+            let vs = [
+                Addr::from_word(heap.load(t.offset(T_V0))),
+                Addr::from_word(heap.load(t.offset(T_V0 + 1))),
+                Addr::from_word(heap.load(t.offset(T_V0 + 2))),
+            ];
+            let c = [point(vs[0]), point(vs[1]), point(vs[2])];
+            if orient(c[0], c[1], c[2]) <= 0.0 {
+                return Err(format!("triangle {id} is not CCW / degenerate"));
+            }
+            for i in 0..3u64 {
+                let n = Addr::from_word(heap.load(t.offset(T_N0 + i)));
+                if n.is_null() {
+                    continue;
+                }
+                if heap.load(n.offset(T_ALIVE)) != 1 {
+                    return Err(format!("triangle {id} has a dead neighbor"));
+                }
+                // Reciprocity: n must point back at t.
+                let back = (0..3u64).any(|j| {
+                    Addr::from_word(heap.load(n.offset(T_N0 + j))) == t
+                });
+                if !back {
+                    return Err(format!("triangle {id} neighbor link not reciprocal"));
+                }
+                // Shared edge: n must contain both endpoints of the edge
+                // opposite vertex i.
+                let a = vs[((i + 1) % 3) as usize];
+                let b = vs[((i + 2) % 3) as usize];
+                let nvs = [
+                    Addr::from_word(heap.load(n.offset(T_V0))),
+                    Addr::from_word(heap.load(n.offset(T_V0 + 1))),
+                    Addr::from_word(heap.load(n.offset(T_V0 + 2))),
+                ];
+                if !nvs.contains(&a) || !nvs.contains(&b) {
+                    return Err(format!("triangle {id} neighbor does not share its edge"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::single_runtime;
+    use rand::SeedableRng;
+    use rh_norec::Algorithm;
+    use std::sync::Arc;
+
+    #[test]
+    fn geometry_predicates() {
+        let a = Pt { x: 0.0, y: 0.0 };
+        let b = Pt { x: 1.0, y: 0.0 };
+        let c = Pt { x: 0.0, y: 1.0 };
+        assert!(orient(a, b, c) > 0.0, "CCW triangle");
+        assert!(in_circle(a, b, c, Pt { x: 0.3, y: 0.3 }) > 0.0, "inside");
+        assert!(in_circle(a, b, c, Pt { x: 2.0, y: 2.0 }) < 0.0, "outside");
+        let center = circumcenter(a, b, c).unwrap();
+        assert!((center.x - 0.5).abs() < 1e-12 && (center.y - 0.5).abs() < 1e-12);
+        let equilateral_angle = min_angle_deg(
+            Pt { x: 0.0, y: 0.0 },
+            Pt { x: 1.0, y: 0.0 },
+            Pt { x: 0.5, y: 0.866 },
+        );
+        assert!((equilateral_angle - 60.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn initial_mesh_is_consistent() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let yada = Yada::new(&heap, YadaConfig { grid: 4, min_angle_deg: 24.0 });
+        let mut w = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(1);
+        yada.setup(&mut w, &mut rng);
+        yada.verify(&heap).unwrap();
+        assert_eq!(yada.registry.collect(&heap).len(), 2 * 4 * 4);
+    }
+
+    #[test]
+    fn refinement_improves_the_mesh_and_keeps_it_consistent() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        // 18° terminates (below Ruppert's bound).
+        let yada = Yada::new(&heap, YadaConfig { grid: 4, min_angle_deg: 18.0 });
+        let mut w = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(2);
+        yada.setup(&mut w, &mut rng);
+        yada.drain(&mut w);
+        yada.verify(&heap).unwrap();
+        // Every surviving triangle whose circumcenter lies inside the
+        // region meets the angle bound.
+        for (_, t_word) in yada.registry.collect(&heap) {
+            let t = Addr::from_word(t_word);
+            let p = |k: u64| {
+                let v = Addr::from_word(heap.load(t.offset(T_V0 + k)));
+                Pt {
+                    x: f64::from_bits(heap.load(v.offset(P_X))),
+                    y: f64::from_bits(heap.load(v.offset(P_Y))),
+                }
+            };
+            let (a, b, c) = (p(0), p(1), p(2));
+            if let Some(center) = circumcenter(a, b, c) {
+                let inside = center.x > 0.0
+                    && center.y > 0.0
+                    && center.x < yada.side
+                    && center.y < yada.side;
+                if inside {
+                    assert!(
+                        min_angle_deg(a, b, c) >= 18.0 - 1e-9,
+                        "skinny triangle survived the drain"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_point_insertion_keeps_the_mesh_consistent() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let yada = Yada::new(&heap, YadaConfig { grid: 4, min_angle_deg: 18.0 });
+        let mut w = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(3);
+        yada.setup(&mut w, &mut rng);
+        for _ in 0..300 {
+            yada.run_op(&mut w, &mut rng);
+        }
+        yada.verify(&heap).unwrap();
+        assert!(yada.refined() > 0);
+    }
+
+    #[test]
+    fn concurrent_refinement_is_consistent() {
+        for alg in [Algorithm::RhNorec, Algorithm::Tl2] {
+            let (heap, rt) = single_runtime(alg);
+            let yada = Arc::new(Yada::new(&heap, YadaConfig { grid: 6, min_angle_deg: 24.0 }));
+            {
+                let mut w = rt.register(0);
+                let mut rng = WorkloadRng::seed_from_u64(4);
+                yada.setup(&mut w, &mut rng);
+            }
+            std::thread::scope(|s| {
+                for tid in 0..3usize {
+                    let rt = Arc::clone(&rt);
+                    let yada = Arc::clone(&yada);
+                    s.spawn(move || {
+                        let mut w = rt.register(tid);
+                        let mut rng = WorkloadRng::seed_from_u64(tid as u64);
+                        for _ in 0..150 {
+                            yada.run_op(&mut w, &mut rng);
+                        }
+                    });
+                }
+            });
+            yada.verify(&heap).unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+        }
+    }
+}

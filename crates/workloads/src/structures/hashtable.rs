@@ -1,0 +1,251 @@
+//! A transactional chained hash table (the STAMP `hashtable`/`map`
+//! substrate used by intruder, genome and vacation).
+//!
+//! Fixed bucket count, separate chaining. Bucket array is allocated at
+//! setup; chain node layout: `[next, key, value]`.
+
+use rh_norec::{Tx, TxResult};
+use sim_mem::{Addr, Heap};
+
+const NEXT: u64 = 0;
+const KEY: u64 = 1;
+const VALUE: u64 = 2;
+const NODE_WORDS: u64 = 3;
+
+/// A fixed-size chained hash table keyed by `u64`.
+#[derive(Clone, Copy, Debug)]
+pub struct HashTable {
+    buckets: Addr,
+    bucket_count: u64,
+}
+
+impl HashTable {
+    /// Allocates a table with `bucket_count` buckets (rounded up to a power
+    /// of two), non-transactionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_count` is 0 or the heap is exhausted.
+    pub fn create(heap: &Heap, bucket_count: u64) -> HashTable {
+        assert!(bucket_count > 0, "hash table needs at least one bucket");
+        let bucket_count = bucket_count.next_power_of_two();
+        let buckets = heap
+            .allocator()
+            .alloc(0, bucket_count)
+            .expect("heap exhausted allocating hash buckets");
+        HashTable { buckets, bucket_count }
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> Addr {
+        // Fibonacci hashing spreads adjacent keys across buckets.
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
+        self.buckets.offset(h & (self.bucket_count - 1))
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn get(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        let mut node = tx.read_addr(self.bucket(key))?;
+        while !node.is_null() {
+            if tx.read(node.offset(KEY))? == key {
+                return Ok(Some(tx.read(node.offset(VALUE))?));
+            }
+            node = tx.read_addr(node.offset(NEXT))?;
+        }
+        Ok(None)
+    }
+
+    /// Inserts `key` if absent. Returns `true` if inserted, `false` if the
+    /// key already existed (STAMP's `TMhashtable_insert` semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn insert(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<bool> {
+        let bucket = self.bucket(key);
+        let head = tx.read_addr(bucket)?;
+        let mut node = head;
+        while !node.is_null() {
+            if tx.read(node.offset(KEY))? == key {
+                return Ok(false);
+            }
+            node = tx.read_addr(node.offset(NEXT))?;
+        }
+        let new = tx.alloc(NODE_WORDS)?;
+        tx.write_addr(new.offset(NEXT), head)?;
+        tx.write(new.offset(KEY), key)?;
+        tx.write(new.offset(VALUE), value)?;
+        tx.write_addr(bucket, new)?;
+        Ok(true)
+    }
+
+    /// Inserts or updates `key`, returning the previous value if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn put(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<Option<u64>> {
+        let bucket = self.bucket(key);
+        let head = tx.read_addr(bucket)?;
+        let mut node = head;
+        while !node.is_null() {
+            if tx.read(node.offset(KEY))? == key {
+                let old = tx.read(node.offset(VALUE))?;
+                tx.write(node.offset(VALUE), value)?;
+                return Ok(Some(old));
+            }
+            node = tx.read_addr(node.offset(NEXT))?;
+        }
+        let new = tx.alloc(NODE_WORDS)?;
+        tx.write_addr(new.offset(NEXT), head)?;
+        tx.write(new.offset(KEY), key)?;
+        tx.write(new.offset(VALUE), value)?;
+        tx.write_addr(bucket, new)?;
+        Ok(None)
+    }
+
+    /// Removes `key`, returning its value if present. Frees the node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn remove(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        let bucket = self.bucket(key);
+        let mut prev = Addr::NULL;
+        let mut node = tx.read_addr(bucket)?;
+        while !node.is_null() {
+            let next = tx.read_addr(node.offset(NEXT))?;
+            if tx.read(node.offset(KEY))? == key {
+                let value = tx.read(node.offset(VALUE))?;
+                if prev.is_null() {
+                    tx.write_addr(bucket, next)?;
+                } else {
+                    tx.write_addr(prev.offset(NEXT), next)?;
+                }
+                tx.free(node)?;
+                return Ok(Some(value));
+            }
+            prev = node;
+            node = next;
+        }
+        Ok(None)
+    }
+
+    /// Counts all entries (quiescent heap only).
+    pub fn len(&self, heap: &Heap) -> u64 {
+        let mut count = 0;
+        for b in 0..self.bucket_count {
+            let mut node = Addr::from_word(heap.load(self.buckets.offset(b)));
+            while !node.is_null() {
+                count += 1;
+                node = Addr::from_word(heap.load(node.offset(NEXT)));
+            }
+        }
+        count
+    }
+
+    /// Whether the table is empty (quiescent heap only).
+    pub fn is_empty(&self, heap: &Heap) -> bool {
+        self.len(heap) == 0
+    }
+
+    /// Collects all `(key, value)` pairs in unspecified order (quiescent
+    /// heap only).
+    pub fn collect(&self, heap: &Heap) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for b in 0..self.bucket_count {
+            let mut node = Addr::from_word(heap.load(self.buckets.offset(b)));
+            while !node.is_null() {
+                out.push((heap.load(node.offset(KEY)), heap.load(node.offset(VALUE))));
+                node = Addr::from_word(heap.load(node.offset(NEXT)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::single_runtime;
+    use rh_norec::{Algorithm, TxKind};
+
+    #[test]
+    fn insert_get_remove() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let table = HashTable::create(&heap, 16);
+        let mut w = rt.register(0);
+        assert!(w.execute(TxKind::ReadWrite, |tx| table.insert(tx, 1, 10)));
+        assert!(!w.execute(TxKind::ReadWrite, |tx| table.insert(tx, 1, 11)));
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| table.get(tx, 1)), Some(10));
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| table.remove(tx, 1)), Some(10));
+        assert!(table.is_empty(&heap));
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let table = HashTable::create(&heap, 4);
+        let mut w = rt.register(0);
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| table.put(tx, 9, 1)), None);
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| table.put(tx, 9, 2)), Some(1));
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| table.get(tx, 9)), Some(2));
+    }
+
+    #[test]
+    fn collisions_chain_correctly() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let table = HashTable::create(&heap, 1); // everything collides
+        let mut w = rt.register(0);
+        for k in 0..50u64 {
+            assert!(w.execute(TxKind::ReadWrite, |tx| table.insert(tx, k, k * 2)));
+        }
+        assert_eq!(table.len(&heap), 50);
+        for k in 0..50u64 {
+            assert_eq!(w.execute(TxKind::ReadOnly, |tx| table.get(tx, k)), Some(k * 2));
+        }
+        // Remove from middle, head, and tail of the chain.
+        for k in [25u64, 49, 0] {
+            assert_eq!(w.execute(TxKind::ReadWrite, |tx| table.remove(tx, k)), Some(k * 2));
+        }
+        assert_eq!(table.len(&heap), 47);
+    }
+
+    #[test]
+    fn matches_model_under_random_ops() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let table = HashTable::create(&heap, 8);
+        let mut w = rt.register(0);
+        let mut model = std::collections::HashMap::new();
+        let mut rng = 7u64;
+        for _ in 0..2000 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let key = rng % 64;
+            match (rng >> 20) % 3 {
+                0 => {
+                    let mine = w.execute(TxKind::ReadWrite, |tx| table.put(tx, key, rng));
+                    assert_eq!(mine, model.insert(key, rng));
+                }
+                1 => {
+                    let mine = w.execute(TxKind::ReadWrite, |tx| table.remove(tx, key));
+                    assert_eq!(mine, model.remove(&key));
+                }
+                _ => {
+                    let mine = w.execute(TxKind::ReadOnly, |tx| table.get(tx, key));
+                    assert_eq!(mine, model.get(&key).copied());
+                }
+            }
+        }
+        let mut got = table.collect(&heap);
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = model.into_iter().collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,253 @@
+//! A transactional sorted singly-linked list (the STAMP `list` substrate:
+//! vacation's per-customer reservation lists, intruder's fragment lists).
+//!
+//! Node layout: `[next, key, value]`, kept sorted by key, duplicates
+//! rejected.
+
+use rh_norec::{Tx, TxResult};
+use sim_mem::{Addr, Heap};
+
+const NEXT: u64 = 0;
+const KEY: u64 = 1;
+const VALUE: u64 = 2;
+const NODE_WORDS: u64 = 3;
+
+/// A sorted linked list keyed by `u64`.
+#[derive(Clone, Copy, Debug)]
+pub struct SortedList {
+    head: Addr,
+}
+
+impl SortedList {
+    /// Allocates an empty list head (non-transactional, for setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn create(heap: &Heap) -> SortedList {
+        let head = heap
+            .allocator()
+            .alloc(0, 1)
+            .expect("heap exhausted allocating list head");
+        SortedList { head }
+    }
+
+    /// Allocates an empty list inside a transaction (vacation creates a
+    /// reservation list per customer transactionally).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn create_tx(tx: &mut Tx<'_>) -> TxResult<SortedList> {
+        let head = tx.alloc(1)?;
+        tx.write_addr(head, Addr::NULL)?;
+        Ok(SortedList { head })
+    }
+
+    /// Rebuilds a handle from a head-pointer address.
+    pub fn from_head_addr(head: Addr) -> SortedList {
+        SortedList { head }
+    }
+
+    /// The heap word holding the head pointer.
+    pub fn head_addr(&self) -> Addr {
+        self.head
+    }
+
+    /// Inserts `key`; returns `false` when already present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn insert(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<bool> {
+        let (prev, found) = self.locate(tx, key)?;
+        if found {
+            return Ok(false);
+        }
+        let next = if prev == self.head {
+            tx.read_addr(self.head)?
+        } else {
+            tx.read_addr(prev.offset(NEXT))?
+        };
+        let node = tx.alloc(NODE_WORDS)?;
+        tx.write_addr(node.offset(NEXT), next)?;
+        tx.write(node.offset(KEY), key)?;
+        tx.write(node.offset(VALUE), value)?;
+        if prev == self.head {
+            tx.write_addr(self.head, node)?;
+        } else {
+            tx.write_addr(prev.offset(NEXT), node)?;
+        }
+        Ok(true)
+    }
+
+    /// Removes `key`; returns its value if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn remove(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        let (prev, found) = self.locate(tx, key)?;
+        if !found {
+            return Ok(None);
+        }
+        let node = if prev == self.head {
+            tx.read_addr(self.head)?
+        } else {
+            tx.read_addr(prev.offset(NEXT))?
+        };
+        let value = tx.read(node.offset(VALUE))?;
+        let next = tx.read_addr(node.offset(NEXT))?;
+        if prev == self.head {
+            tx.write_addr(self.head, next)?;
+        } else {
+            tx.write_addr(prev.offset(NEXT), next)?;
+        }
+        tx.free(node)?;
+        Ok(Some(value))
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn get(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        let (prev, found) = self.locate(tx, key)?;
+        if !found {
+            return Ok(None);
+        }
+        let node = if prev == self.head {
+            tx.read_addr(self.head)?
+        } else {
+            tx.read_addr(prev.offset(NEXT))?
+        };
+        Ok(Some(tx.read(node.offset(VALUE))?))
+    }
+
+    /// Pops the smallest entry, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn pop_min(&self, tx: &mut Tx<'_>) -> TxResult<Option<(u64, u64)>> {
+        let node = tx.read_addr(self.head)?;
+        if node.is_null() {
+            return Ok(None);
+        }
+        let key = tx.read(node.offset(KEY))?;
+        let value = tx.read(node.offset(VALUE))?;
+        let next = tx.read_addr(node.offset(NEXT))?;
+        tx.write_addr(self.head, next)?;
+        tx.free(node)?;
+        Ok(Some((key, value)))
+    }
+
+    /// Counts entries transactionally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn len_tx(&self, tx: &mut Tx<'_>) -> TxResult<u64> {
+        let mut node = tx.read_addr(self.head)?;
+        let mut count = 0;
+        while !node.is_null() {
+            count += 1;
+            node = tx.read_addr(node.offset(NEXT))?;
+        }
+        Ok(count)
+    }
+
+    /// Finds the node *before* where `key` lives/would live. Returns
+    /// `(prev, found)`; `prev == head` means "insert at front".
+    fn locate(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<(Addr, bool)> {
+        let mut prev = self.head;
+        let mut node = tx.read_addr(self.head)?;
+        while !node.is_null() {
+            let k = tx.read(node.offset(KEY))?;
+            if k == key {
+                return Ok((prev, true));
+            }
+            if k > key {
+                break;
+            }
+            prev = node;
+            node = tx.read_addr(node.offset(NEXT))?;
+        }
+        Ok((prev, false))
+    }
+
+    /// Collects `(key, value)` pairs in order (quiescent heap only).
+    pub fn collect(&self, heap: &Heap) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut node = Addr::from_word(heap.load(self.head));
+        while !node.is_null() {
+            out.push((heap.load(node.offset(KEY)), heap.load(node.offset(VALUE))));
+            node = Addr::from_word(heap.load(node.offset(NEXT)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::single_runtime;
+    use rh_norec::{Algorithm, TxKind};
+
+    #[test]
+    fn stays_sorted_and_deduplicated() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let list = SortedList::create(&heap);
+        let mut w = rt.register(0);
+        for k in [5u64, 1, 9, 3, 7, 5, 1] {
+            w.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, k * 10).map(|_| ()));
+        }
+        let keys: Vec<u64> = list.collect(&heap).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn remove_front_middle_back() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let list = SortedList::create(&heap);
+        let mut w = rt.register(0);
+        for k in 1..=5u64 {
+            w.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, k).map(|_| ()));
+        }
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| list.remove(tx, 1)), Some(1));
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| list.remove(tx, 3)), Some(3));
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| list.remove(tx, 5)), Some(5));
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| list.remove(tx, 9)), None);
+        let keys: Vec<u64> = list.collect(&heap).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![2, 4]);
+    }
+
+    #[test]
+    fn pop_min_drains_in_order() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let list = SortedList::create(&heap);
+        let mut w = rt.register(0);
+        for k in [3u64, 1, 2] {
+            w.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, k).map(|_| ()));
+        }
+        let mut popped = Vec::new();
+        while let Some((k, _)) = w.execute(TxKind::ReadWrite, |tx| list.pop_min(tx)) {
+            popped.push(k);
+        }
+        assert_eq!(popped, vec![1, 2, 3]);
+        assert!(list.collect(&heap).is_empty());
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let list = SortedList::create(&heap);
+        let mut w = rt.register(0);
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| list.len_tx(tx)), 0);
+        for k in 0..10u64 {
+            w.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, k).map(|_| ()));
+        }
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| list.len_tx(tx)), 10);
+    }
+}

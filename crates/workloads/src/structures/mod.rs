@@ -1,0 +1,14 @@
+//! Transactional data structures: the substrates the RBTree microbenchmark
+//! and the STAMP applications are built from.
+
+mod hashtable;
+mod list;
+mod pairing_heap;
+mod queue;
+mod rbtree;
+
+pub use hashtable::HashTable;
+pub use list::SortedList;
+pub use pairing_heap::PairingHeap;
+pub use queue::Queue;
+pub use rbtree::RbTree;

@@ -1,0 +1,273 @@
+//! A transactional pairing heap (STAMP's `heap` substrate: yada's work
+//! queue of bad triangles).
+//!
+//! Min-heap keyed by `u64`. Node layout: `[key, value, child, sibling]`
+//! (left-child/right-sibling representation). All operations run through
+//! [`Tx`], with the classic two-pass merge on extraction.
+
+use rh_norec::{Tx, TxResult};
+use sim_mem::{Addr, Heap};
+
+const KEY: u64 = 0;
+const VALUE: u64 = 1;
+const CHILD: u64 = 2;
+const SIBLING: u64 = 3;
+const NODE_WORDS: u64 = 4;
+
+/// A transactional min pairing heap.
+#[derive(Clone, Copy, Debug)]
+pub struct PairingHeap {
+    /// Heap word holding the root pointer.
+    root: Addr,
+}
+
+impl PairingHeap {
+    /// Allocates an empty heap (non-transactional, for setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap is exhausted.
+    pub fn create(heap: &Heap) -> PairingHeap {
+        let root = heap
+            .allocator()
+            .alloc(0, 1)
+            .expect("heap exhausted allocating pairing heap");
+        PairingHeap { root }
+    }
+
+    /// Melds two subtree roots, returning the smaller-keyed one.
+    fn meld(tx: &mut Tx<'_>, a: Addr, b: Addr) -> TxResult<Addr> {
+        if a.is_null() {
+            return Ok(b);
+        }
+        if b.is_null() {
+            return Ok(a);
+        }
+        let ka = tx.read(a.offset(KEY))?;
+        let kb = tx.read(b.offset(KEY))?;
+        let (parent, child) = if ka <= kb { (a, b) } else { (b, a) };
+        let first = tx.read_addr(parent.offset(CHILD))?;
+        tx.write_addr(child.offset(SIBLING), first)?;
+        tx.write_addr(parent.offset(CHILD), child)?;
+        Ok(parent)
+    }
+
+    /// Inserts `(key, value)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn push(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<()> {
+        let node = tx.alloc(NODE_WORDS)?;
+        tx.write(node.offset(KEY), key)?;
+        tx.write(node.offset(VALUE), value)?;
+        tx.write_addr(node.offset(CHILD), Addr::NULL)?;
+        tx.write_addr(node.offset(SIBLING), Addr::NULL)?;
+        let root = tx.read_addr(self.root)?;
+        let merged = Self::meld(tx, root, node)?;
+        tx.write_addr(self.root, merged)
+    }
+
+    /// Smallest `(key, value)` without removing it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn peek(&self, tx: &mut Tx<'_>) -> TxResult<Option<(u64, u64)>> {
+        let root = tx.read_addr(self.root)?;
+        if root.is_null() {
+            return Ok(None);
+        }
+        Ok(Some((tx.read(root.offset(KEY))?, tx.read(root.offset(VALUE))?)))
+    }
+
+    /// Removes and returns the smallest `(key, value)`.
+    ///
+    /// Two-pass merge: pair up the children left-to-right, then fold the
+    /// pairs right-to-left.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn pop_min(&self, tx: &mut Tx<'_>) -> TxResult<Option<(u64, u64)>> {
+        let root = tx.read_addr(self.root)?;
+        if root.is_null() {
+            return Ok(None);
+        }
+        let key = tx.read(root.offset(KEY))?;
+        let value = tx.read(root.offset(VALUE))?;
+
+        // First pass: meld children pairwise.
+        let mut pairs = Vec::new();
+        let mut cur = tx.read_addr(root.offset(CHILD))?;
+        while !cur.is_null() {
+            let next = tx.read_addr(cur.offset(SIBLING))?;
+            tx.write_addr(cur.offset(SIBLING), Addr::NULL)?;
+            if next.is_null() {
+                pairs.push(cur);
+                break;
+            }
+            let after = tx.read_addr(next.offset(SIBLING))?;
+            tx.write_addr(next.offset(SIBLING), Addr::NULL)?;
+            pairs.push(Self::meld(tx, cur, next)?);
+            cur = after;
+        }
+        // Second pass: fold right-to-left.
+        let mut merged = Addr::NULL;
+        while let Some(tree) = pairs.pop() {
+            merged = Self::meld(tx, merged, tree)?;
+        }
+        tx.write_addr(self.root, merged)?;
+        tx.free(root)?;
+        Ok(Some((key, value)))
+    }
+
+    /// Whether the heap is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn is_empty_tx(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        Ok(tx.read_addr(self.root)?.is_null())
+    }
+
+    /// Collects all `(key, value)` pairs, unordered (quiescent heap only).
+    pub fn collect(&self, heap: &Heap) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut stack = vec![Addr::from_word(heap.load(self.root))];
+        while let Some(node) = stack.pop() {
+            if node.is_null() {
+                continue;
+            }
+            out.push((heap.load(node.offset(KEY)), heap.load(node.offset(VALUE))));
+            stack.push(Addr::from_word(heap.load(node.offset(CHILD))));
+            stack.push(Addr::from_word(heap.load(node.offset(SIBLING))));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::single_runtime;
+    use rh_norec::{Algorithm, TxKind};
+    use std::sync::Arc;
+
+    #[test]
+    fn pops_in_key_order() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let pq = PairingHeap::create(&heap);
+        let mut w = rt.register(0);
+        for k in [5u64, 3, 8, 1, 9, 2, 7, 4, 6, 0] {
+            w.execute(TxKind::ReadWrite, |tx| pq.push(tx, k, k * 100));
+        }
+        let mut popped = Vec::new();
+        while let Some((k, v)) = w.execute(TxKind::ReadWrite, |tx| pq.pop_min(tx)) {
+            assert_eq!(v, k * 100);
+            popped.push(k);
+        }
+        assert_eq!(popped, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn duplicates_and_peek() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let pq = PairingHeap::create(&heap);
+        let mut w = rt.register(0);
+        for _ in 0..3 {
+            w.execute(TxKind::ReadWrite, |tx| pq.push(tx, 7, 1));
+        }
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| pq.peek(tx)), Some((7, 1)));
+        for _ in 0..3 {
+            assert_eq!(
+                w.execute(TxKind::ReadWrite, |tx| pq.pop_min(tx)),
+                Some((7, 1))
+            );
+        }
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| pq.pop_min(tx)), None);
+        assert!(w.execute(TxKind::ReadOnly, |tx| pq.is_empty_tx(tx)));
+    }
+
+    #[test]
+    fn matches_binary_heap_model() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let pq = PairingHeap::create(&heap);
+        let mut w = rt.register(0);
+        let mut model = std::collections::BinaryHeap::new();
+        let mut rng = 0xabcdu64;
+        for _ in 0..2000 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            if rng % 3 != 0 {
+                let k = rng % 1000;
+                w.execute(TxKind::ReadWrite, |tx| pq.push(tx, k, 0));
+                model.push(std::cmp::Reverse(k));
+            } else {
+                let got = w.execute(TxKind::ReadWrite, |tx| pq.pop_min(tx)).map(|(k, _)| k);
+                let want = model.pop().map(|std::cmp::Reverse(k)| k);
+                assert_eq!(got, want);
+            }
+        }
+        let mut rest = Vec::new();
+        while let Some((k, _)) = w.execute(TxKind::ReadWrite, |tx| pq.pop_min(tx)) {
+            rest.push(k);
+        }
+        let mut want: Vec<u64> = model.into_iter().map(|std::cmp::Reverse(k)| k).collect();
+        want.sort_unstable();
+        assert_eq!(rest, want);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_items() {
+        let (heap, rt) = single_runtime(Algorithm::RhNorec);
+        let pq = Arc::new(PairingHeap::create(&heap));
+        let per = 200u64;
+        let popped = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for tid in 0..2usize {
+                let rt = Arc::clone(&rt);
+                let pq = Arc::clone(&pq);
+                s.spawn(move || {
+                    let mut w = rt.register(tid);
+                    for i in 0..per {
+                        let v = (tid as u64) << 32 | i;
+                        w.execute(TxKind::ReadWrite, |tx| pq.push(tx, i, v));
+                    }
+                });
+            }
+            {
+                let rt = Arc::clone(&rt);
+                let pq = Arc::clone(&pq);
+                let popped = &popped;
+                s.spawn(move || {
+                    let mut w = rt.register(2);
+                    let mut got = Vec::new();
+                    let mut misses = 0;
+                    while misses < 300 {
+                        match w.execute(TxKind::ReadWrite, |tx| pq.pop_min(tx)) {
+                            Some((_, v)) => {
+                                got.push(v);
+                                misses = 0;
+                            }
+                            None => {
+                                misses += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    popped.lock().unwrap().extend(got);
+                });
+            }
+        });
+        let mut all = popped.into_inner().unwrap();
+        all.extend(pq.collect(&heap).into_iter().map(|(_, v)| v));
+        all.sort_unstable();
+        let mut want: Vec<u64> = (0..2u64)
+            .flat_map(|t| (0..per).map(move |i| t << 32 | i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(all, want, "heap items lost or duplicated");
+    }
+}

@@ -1,0 +1,661 @@
+//! A transactional red-black tree.
+//!
+//! The paper's microbenchmark tree "is derived from the java.util.TreeMap
+//! implementation found in the Java 6.0 JDK" (§3.5); this is a port of
+//! that implementation (parent pointers, null as nil, CLRS-style fixups)
+//! onto the transactional heap. Every access goes through [`Tx`], so the
+//! same code runs on hardware fast paths, mixed slow paths, and STMs.
+//!
+//! Node layout (6 words): `[key, value, left, right, parent, color]`.
+
+use rh_norec::{Tx, TxResult};
+use sim_mem::{Addr, Heap};
+
+const KEY: u64 = 0;
+const VALUE: u64 = 1;
+const LEFT: u64 = 2;
+const RIGHT: u64 = 3;
+const PARENT: u64 = 4;
+const COLOR: u64 = 5;
+const NODE_WORDS: u64 = 6;
+
+const RED: u64 = 0;
+const BLACK: u64 = 1;
+
+/// A red-black tree rooted at a heap word.
+///
+/// The struct itself is a plain handle (the root-pointer address); clone it
+/// freely across threads. All mutation happens through transactions.
+///
+/// # Examples
+///
+/// ```rust
+/// # use std::sync::Arc;
+/// # use sim_mem::{Heap, HeapConfig};
+/// # use sim_htm::{Htm, HtmConfig};
+/// # use rh_norec::{Algorithm, TmConfig, TmRuntime, TxKind};
+/// use tm_workloads::structures::RbTree;
+///
+/// # let heap = Arc::new(Heap::new(HeapConfig::default()));
+/// # let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+/// # let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+/// let tree = RbTree::create(&heap);
+/// let mut worker = rt.register(0);
+/// worker.execute(TxKind::ReadWrite, |tx| tree.put(tx, 7, 700));
+/// let got = worker.execute(TxKind::ReadOnly, |tx| tree.get(tx, 7));
+/// assert_eq!(got, Some(700));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RbTree {
+    root: Addr,
+}
+
+impl RbTree {
+    /// Allocates an empty tree (non-transactionally; do this at setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn create(heap: &Heap) -> RbTree {
+        let root = heap
+            .allocator()
+            .alloc(0, 1)
+            .expect("heap exhausted allocating tree root");
+        RbTree { root }
+    }
+
+    /// Rebuilds a handle from [`RbTree::root_addr`].
+    pub fn from_root_addr(root: Addr) -> RbTree {
+        RbTree { root }
+    }
+
+    /// The heap word holding the root pointer.
+    pub fn root_addr(&self) -> Addr {
+        self.root
+    }
+
+    /// Looks up `key`, returning its value if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn get(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        let mut p = tx.read_addr(self.root)?;
+        while !p.is_null() {
+            let k = tx.read(p.offset(KEY))?;
+            if key == k {
+                return Ok(Some(tx.read(p.offset(VALUE))?));
+            }
+            p = if key < k {
+                tx.read_addr(p.offset(LEFT))?
+            } else {
+                tx.read_addr(p.offset(RIGHT))?
+            };
+        }
+        Ok(None)
+    }
+
+    /// Whether `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn contains(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<bool> {
+        Ok(self.get(tx, key)?.is_some())
+    }
+
+    /// Inserts or updates `key`, returning the previous value if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn put(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<Option<u64>> {
+        let mut t = tx.read_addr(self.root)?;
+        if t.is_null() {
+            let n = new_node(tx, key, value, Addr::NULL)?;
+            set_color(tx, n, BLACK)?;
+            tx.write_addr(self.root, n)?;
+            return Ok(None);
+        }
+        loop {
+            let k = tx.read(t.offset(KEY))?;
+            if key == k {
+                let old = tx.read(t.offset(VALUE))?;
+                tx.write(t.offset(VALUE), value)?;
+                return Ok(Some(old));
+            }
+            let side = if key < k { LEFT } else { RIGHT };
+            let child = tx.read_addr(t.offset(side))?;
+            if child.is_null() {
+                let n = new_node(tx, key, value, t)?;
+                tx.write_addr(t.offset(side), n)?;
+                self.fix_after_insertion(tx, n)?;
+                return Ok(None);
+            }
+            t = child;
+        }
+    }
+
+    /// Smallest entry with key ≥ `key` (a ceiling query), if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn ceiling(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<(u64, u64)>> {
+        let mut p = tx.read_addr(self.root)?;
+        let mut best = None;
+        while !p.is_null() {
+            let k = tx.read(p.offset(KEY))?;
+            if k == key {
+                return Ok(Some((k, tx.read(p.offset(VALUE))?)));
+            }
+            if k > key {
+                best = Some((k, tx.read(p.offset(VALUE))?));
+                p = tx.read_addr(p.offset(LEFT))?;
+            } else {
+                p = tx.read_addr(p.offset(RIGHT))?;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction restarts.
+    pub fn remove(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        let mut p = tx.read_addr(self.root)?;
+        while !p.is_null() {
+            let k = tx.read(p.offset(KEY))?;
+            if key == k {
+                let old = tx.read(p.offset(VALUE))?;
+                self.delete_entry(tx, p)?;
+                return Ok(Some(old));
+            }
+            p = if key < k {
+                tx.read_addr(p.offset(LEFT))?
+            } else {
+                tx.read_addr(p.offset(RIGHT))?
+            };
+        }
+        Ok(None)
+    }
+
+    fn rotate_left(&self, tx: &mut Tx<'_>, p: Addr) -> TxResult<()> {
+        if p.is_null() {
+            return Ok(());
+        }
+        let r = tx.read_addr(p.offset(RIGHT))?;
+        let rl = tx.read_addr(r.offset(LEFT))?;
+        tx.write_addr(p.offset(RIGHT), rl)?;
+        if !rl.is_null() {
+            tx.write_addr(rl.offset(PARENT), p)?;
+        }
+        let pp = tx.read_addr(p.offset(PARENT))?;
+        tx.write_addr(r.offset(PARENT), pp)?;
+        if pp.is_null() {
+            tx.write_addr(self.root, r)?;
+        } else if tx.read_addr(pp.offset(LEFT))? == p {
+            tx.write_addr(pp.offset(LEFT), r)?;
+        } else {
+            tx.write_addr(pp.offset(RIGHT), r)?;
+        }
+        tx.write_addr(r.offset(LEFT), p)?;
+        tx.write_addr(p.offset(PARENT), r)?;
+        Ok(())
+    }
+
+    fn rotate_right(&self, tx: &mut Tx<'_>, p: Addr) -> TxResult<()> {
+        if p.is_null() {
+            return Ok(());
+        }
+        let l = tx.read_addr(p.offset(LEFT))?;
+        let lr = tx.read_addr(l.offset(RIGHT))?;
+        tx.write_addr(p.offset(LEFT), lr)?;
+        if !lr.is_null() {
+            tx.write_addr(lr.offset(PARENT), p)?;
+        }
+        let pp = tx.read_addr(p.offset(PARENT))?;
+        tx.write_addr(l.offset(PARENT), pp)?;
+        if pp.is_null() {
+            tx.write_addr(self.root, l)?;
+        } else if tx.read_addr(pp.offset(RIGHT))? == p {
+            tx.write_addr(pp.offset(RIGHT), l)?;
+        } else {
+            tx.write_addr(pp.offset(LEFT), l)?;
+        }
+        tx.write_addr(l.offset(RIGHT), p)?;
+        tx.write_addr(p.offset(PARENT), l)?;
+        Ok(())
+    }
+
+    fn fix_after_insertion(&self, tx: &mut Tx<'_>, mut x: Addr) -> TxResult<()> {
+        set_color(tx, x, RED)?;
+        while !x.is_null() {
+            let xp = parent_of(tx, x)?;
+            if xp.is_null() || color_of(tx, xp)? != RED {
+                break;
+            }
+            let xpp = parent_of(tx, xp)?;
+            let xpp_left = left_of(tx, xpp)?;
+            if xp == xpp_left {
+                let y = right_of(tx, xpp)?;
+                if color_of(tx, y)? == RED {
+                    set_color(tx, xp, BLACK)?;
+                    set_color(tx, y, BLACK)?;
+                    set_color(tx, xpp, RED)?;
+                    x = xpp;
+                } else {
+                    if x == right_of(tx, xp)? {
+                        x = xp;
+                        self.rotate_left(tx, x)?;
+                    }
+                    let xp2 = parent_of(tx, x)?;
+                    set_color(tx, xp2, BLACK)?;
+                    let xpp2 = parent_of(tx, xp2)?;
+                    set_color(tx, xpp2, RED)?;
+                    self.rotate_right(tx, xpp2)?;
+                }
+            } else {
+                let y = xpp_left;
+                if color_of(tx, y)? == RED {
+                    set_color(tx, xp, BLACK)?;
+                    set_color(tx, y, BLACK)?;
+                    set_color(tx, xpp, RED)?;
+                    x = xpp;
+                } else {
+                    if x == left_of(tx, xp)? {
+                        x = xp;
+                        self.rotate_right(tx, x)?;
+                    }
+                    let xp2 = parent_of(tx, x)?;
+                    set_color(tx, xp2, BLACK)?;
+                    let xpp2 = parent_of(tx, xp2)?;
+                    set_color(tx, xpp2, RED)?;
+                    self.rotate_left(tx, xpp2)?;
+                }
+            }
+        }
+        let root = tx.read_addr(self.root)?;
+        set_color(tx, root, BLACK)?;
+        Ok(())
+    }
+
+    fn delete_entry(&self, tx: &mut Tx<'_>, mut p: Addr) -> TxResult<()> {
+        // Internal node: copy the successor's payload into p, delete the
+        // successor instead.
+        let pl = left_of(tx, p)?;
+        let pr = right_of(tx, p)?;
+        if !pl.is_null() && !pr.is_null() {
+            let s = successor(tx, p)?;
+            let sk = tx.read(s.offset(KEY))?;
+            let sv = tx.read(s.offset(VALUE))?;
+            tx.write(p.offset(KEY), sk)?;
+            tx.write(p.offset(VALUE), sv)?;
+            p = s;
+        }
+        let pl = left_of(tx, p)?;
+        let replacement = if !pl.is_null() { pl } else { right_of(tx, p)? };
+        let pp = parent_of(tx, p)?;
+        if !replacement.is_null() {
+            tx.write_addr(replacement.offset(PARENT), pp)?;
+            if pp.is_null() {
+                tx.write_addr(self.root, replacement)?;
+            } else if left_of(tx, pp)? == p {
+                tx.write_addr(pp.offset(LEFT), replacement)?;
+            } else {
+                tx.write_addr(pp.offset(RIGHT), replacement)?;
+            }
+            if color_of(tx, p)? == BLACK {
+                self.fix_after_deletion(tx, replacement)?;
+            }
+        } else if pp.is_null() {
+            tx.write_addr(self.root, Addr::NULL)?;
+        } else {
+            if color_of(tx, p)? == BLACK {
+                self.fix_after_deletion(tx, p)?;
+            }
+            let pp = parent_of(tx, p)?;
+            if !pp.is_null() {
+                if left_of(tx, pp)? == p {
+                    tx.write_addr(pp.offset(LEFT), Addr::NULL)?;
+                } else if right_of(tx, pp)? == p {
+                    tx.write_addr(pp.offset(RIGHT), Addr::NULL)?;
+                }
+            }
+        }
+        tx.free(p)?;
+        Ok(())
+    }
+
+    fn fix_after_deletion(&self, tx: &mut Tx<'_>, mut x: Addr) -> TxResult<()> {
+        loop {
+            let root = tx.read_addr(self.root)?;
+            if x == root || color_of(tx, x)? != BLACK {
+                break;
+            }
+            let xp = parent_of(tx, x)?;
+            if x == left_of(tx, xp)? {
+                let mut sib = right_of(tx, xp)?;
+                if color_of(tx, sib)? == RED {
+                    set_color(tx, sib, BLACK)?;
+                    set_color(tx, xp, RED)?;
+                    self.rotate_left(tx, xp)?;
+                    let xp2 = parent_of(tx, x)?;
+                    sib = right_of(tx, xp2)?;
+                }
+                let sl = left_of(tx, sib)?;
+                let sr = right_of(tx, sib)?;
+                if color_of(tx, sl)? == BLACK && color_of(tx, sr)? == BLACK {
+                    set_color(tx, sib, RED)?;
+                    x = parent_of(tx, x)?;
+                } else {
+                    if color_of(tx, sr)? == BLACK {
+                        set_color(tx, sl, BLACK)?;
+                        set_color(tx, sib, RED)?;
+                        self.rotate_right(tx, sib)?;
+                        let xp2 = parent_of(tx, x)?;
+                        sib = right_of(tx, xp2)?;
+                    }
+                    let xp = parent_of(tx, x)?;
+                    let xpc = color_of(tx, xp)?;
+                    set_color(tx, sib, xpc)?;
+                    set_color(tx, xp, BLACK)?;
+                    let sr2 = right_of(tx, sib)?;
+                    set_color(tx, sr2, BLACK)?;
+                    self.rotate_left(tx, xp)?;
+                    x = tx.read_addr(self.root)?;
+                }
+            } else {
+                let mut sib = left_of(tx, xp)?;
+                if color_of(tx, sib)? == RED {
+                    set_color(tx, sib, BLACK)?;
+                    set_color(tx, xp, RED)?;
+                    self.rotate_right(tx, xp)?;
+                    let xp2 = parent_of(tx, x)?;
+                    sib = left_of(tx, xp2)?;
+                }
+                let sr = right_of(tx, sib)?;
+                let sl = left_of(tx, sib)?;
+                if color_of(tx, sr)? == BLACK && color_of(tx, sl)? == BLACK {
+                    set_color(tx, sib, RED)?;
+                    x = parent_of(tx, x)?;
+                } else {
+                    if color_of(tx, sl)? == BLACK {
+                        set_color(tx, sr, BLACK)?;
+                        set_color(tx, sib, RED)?;
+                        self.rotate_left(tx, sib)?;
+                        let xp2 = parent_of(tx, x)?;
+                        sib = left_of(tx, xp2)?;
+                    }
+                    let xp = parent_of(tx, x)?;
+                    let xpc = color_of(tx, xp)?;
+                    set_color(tx, sib, xpc)?;
+                    set_color(tx, xp, BLACK)?;
+                    let sl2 = left_of(tx, sib)?;
+                    set_color(tx, sl2, BLACK)?;
+                    self.rotate_right(tx, xp)?;
+                    x = tx.read_addr(self.root)?;
+                }
+            }
+        }
+        set_color(tx, x, BLACK)?;
+        Ok(())
+    }
+
+    // ---- Non-transactional inspection (setup/verification only) ----
+
+    /// Collects the tree in key order (quiescent heap only).
+    pub fn collect(&self, heap: &Heap) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        collect_rec(heap, Addr::from_word(heap.load(self.root)), &mut out);
+        out
+    }
+
+    /// Checks the red-black invariants on a quiescent heap.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated invariant.
+    pub fn check_invariants(&self, heap: &Heap) -> Result<(), String> {
+        let root = Addr::from_word(heap.load(self.root));
+        if root.is_null() {
+            return Ok(());
+        }
+        if heap.load(root.offset(COLOR)) != BLACK {
+            return Err("root is not black".into());
+        }
+        check_rec(heap, root, None, None).map(|_| ())
+    }
+}
+
+fn new_node(tx: &mut Tx<'_>, key: u64, value: u64, parent: Addr) -> TxResult<Addr> {
+    let n = tx.alloc(NODE_WORDS)?;
+    tx.write(n.offset(KEY), key)?;
+    tx.write(n.offset(VALUE), value)?;
+    tx.write_addr(n.offset(LEFT), Addr::NULL)?;
+    tx.write_addr(n.offset(RIGHT), Addr::NULL)?;
+    tx.write_addr(n.offset(PARENT), parent)?;
+    tx.write(n.offset(COLOR), RED)?;
+    Ok(n)
+}
+
+fn color_of(tx: &mut Tx<'_>, n: Addr) -> TxResult<u64> {
+    if n.is_null() {
+        Ok(BLACK)
+    } else {
+        tx.read(n.offset(COLOR))
+    }
+}
+
+fn set_color(tx: &mut Tx<'_>, n: Addr, color: u64) -> TxResult<()> {
+    if n.is_null() {
+        return Ok(());
+    }
+    // Avoid turning read-mostly lookups into writers.
+    if tx.read(n.offset(COLOR))? != color {
+        tx.write(n.offset(COLOR), color)?;
+    }
+    Ok(())
+}
+
+fn parent_of(tx: &mut Tx<'_>, n: Addr) -> TxResult<Addr> {
+    if n.is_null() {
+        Ok(Addr::NULL)
+    } else {
+        tx.read_addr(n.offset(PARENT))
+    }
+}
+
+fn left_of(tx: &mut Tx<'_>, n: Addr) -> TxResult<Addr> {
+    if n.is_null() {
+        Ok(Addr::NULL)
+    } else {
+        tx.read_addr(n.offset(LEFT))
+    }
+}
+
+fn right_of(tx: &mut Tx<'_>, n: Addr) -> TxResult<Addr> {
+    if n.is_null() {
+        Ok(Addr::NULL)
+    } else {
+        tx.read_addr(n.offset(RIGHT))
+    }
+}
+
+/// In-order successor (assumes `p` has a right child in the delete path).
+fn successor(tx: &mut Tx<'_>, p: Addr) -> TxResult<Addr> {
+    let r = right_of(tx, p)?;
+    if !r.is_null() {
+        let mut s = r;
+        loop {
+            let l = left_of(tx, s)?;
+            if l.is_null() {
+                return Ok(s);
+            }
+            s = l;
+        }
+    }
+    let mut ch = p;
+    let mut par = parent_of(tx, p)?;
+    while !par.is_null() && right_of(tx, par)? == ch {
+        ch = par;
+        par = parent_of(tx, par)?;
+    }
+    Ok(par)
+}
+
+fn collect_rec(heap: &Heap, n: Addr, out: &mut Vec<(u64, u64)>) {
+    if n.is_null() {
+        return;
+    }
+    collect_rec(heap, Addr::from_word(heap.load(n.offset(LEFT))), out);
+    out.push((heap.load(n.offset(KEY)), heap.load(n.offset(VALUE))));
+    collect_rec(heap, Addr::from_word(heap.load(n.offset(RIGHT))), out);
+}
+
+/// Returns the black height; checks BST order, red-red, and parent links.
+fn check_rec(
+    heap: &Heap,
+    n: Addr,
+    lo: Option<u64>,
+    hi: Option<u64>,
+) -> Result<u64, String> {
+    if n.is_null() {
+        return Ok(1);
+    }
+    let key = heap.load(n.offset(KEY));
+    if let Some(lo) = lo {
+        if key <= lo {
+            return Err(format!("BST order violated at key {key}"));
+        }
+    }
+    if let Some(hi) = hi {
+        if key >= hi {
+            return Err(format!("BST order violated at key {key}"));
+        }
+    }
+    let color = heap.load(n.offset(COLOR));
+    let left = Addr::from_word(heap.load(n.offset(LEFT)));
+    let right = Addr::from_word(heap.load(n.offset(RIGHT)));
+    for child in [left, right] {
+        if !child.is_null() {
+            if Addr::from_word(heap.load(child.offset(PARENT))) != n {
+                return Err(format!("broken parent link under key {key}"));
+            }
+            if color == RED && heap.load(child.offset(COLOR)) == RED {
+                return Err(format!("red-red violation at key {key}"));
+            }
+        }
+    }
+    let lh = check_rec(heap, left, lo, Some(key))?;
+    let rh = check_rec(heap, right, Some(key), hi)?;
+    if lh != rh {
+        return Err(format!("black-height mismatch at key {key}: {lh} vs {rh}"));
+    }
+    Ok(lh + if color == BLACK { 1 } else { 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::single_runtime;
+    use rh_norec::{Algorithm, TxKind};
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let tree = RbTree::create(&heap);
+        let mut w = rt.register(0);
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.put(tx, 5, 50)), None);
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.put(tx, 5, 55)), Some(50));
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| tree.get(tx, 5)), Some(55));
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| tree.get(tx, 6)), None);
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.remove(tx, 5)), Some(55));
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| tree.get(tx, 5)), None);
+        tree.check_invariants(&heap).unwrap();
+    }
+
+    #[test]
+    fn sequential_matches_btreemap() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let tree = RbTree::create(&heap);
+        let mut w = rt.register(0);
+        let mut model = std::collections::BTreeMap::new();
+        let mut rng = 0xdecafbadu64;
+        for _ in 0..3000 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let key = rng % 200;
+            match (rng >> 32) % 3 {
+                0 => {
+                    let mine = w.execute(TxKind::ReadWrite, |tx| tree.put(tx, key, rng));
+                    assert_eq!(mine, model.insert(key, rng));
+                }
+                1 => {
+                    let mine = w.execute(TxKind::ReadWrite, |tx| tree.remove(tx, key));
+                    assert_eq!(mine, model.remove(&key));
+                }
+                _ => {
+                    let mine = w.execute(TxKind::ReadOnly, |tx| tree.get(tx, key));
+                    assert_eq!(mine, model.get(&key).copied());
+                }
+            }
+        }
+        tree.check_invariants(&heap).unwrap();
+        let collected = tree.collect(&heap);
+        let expected: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn ascending_and_descending_bulk_loads_stay_balanced() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let tree = RbTree::create(&heap);
+        let mut w = rt.register(0);
+        for k in 0..512u64 {
+            w.execute(TxKind::ReadWrite, |tx| tree.put(tx, k, k));
+        }
+        for k in (512..1024u64).rev() {
+            w.execute(TxKind::ReadWrite, |tx| tree.put(tx, k, k));
+        }
+        tree.check_invariants(&heap).unwrap();
+        assert_eq!(tree.collect(&heap).len(), 1024);
+        for k in 0..1024u64 {
+            w.execute(TxKind::ReadWrite, |tx| tree.remove(tx, k));
+            if k % 97 == 0 {
+                tree.check_invariants(&heap).unwrap();
+            }
+        }
+        assert!(tree.collect(&heap).is_empty());
+    }
+
+    #[test]
+    fn ceiling_finds_the_next_key() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let tree = RbTree::create(&heap);
+        let mut w = rt.register(0);
+        for k in [10u64, 20, 30] {
+            w.execute(TxKind::ReadWrite, |tx| tree.put(tx, k, k * 2));
+        }
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| tree.ceiling(tx, 0)), Some((10, 20)));
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| tree.ceiling(tx, 10)), Some((10, 20)));
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| tree.ceiling(tx, 11)), Some((20, 40)));
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| tree.ceiling(tx, 30)), Some((30, 60)));
+        assert_eq!(w.execute(TxKind::ReadOnly, |tx| tree.ceiling(tx, 31)), None);
+        let _ = heap;
+    }
+
+    #[test]
+    fn removing_absent_keys_is_a_noop() {
+        let (heap, rt) = single_runtime(Algorithm::Norec);
+        let tree = RbTree::create(&heap);
+        let mut w = rt.register(0);
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.remove(tx, 1)), None);
+        w.execute(TxKind::ReadWrite, |tx| tree.put(tx, 2, 2));
+        assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.remove(tx, 1)), None);
+        tree.check_invariants(&heap).unwrap();
+    }
+}

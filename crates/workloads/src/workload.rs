@@ -1,0 +1,35 @@
+//! The common driver interface between workloads and the benchmark
+//! harness.
+
+use rand::rngs::SmallRng;
+use rh_norec::TmThread;
+use sim_mem::Heap;
+
+/// The deterministic per-thread RNG workloads draw from.
+pub type WorkloadRng = SmallRng;
+
+/// A benchmarkable workload: the RBTree microbenchmark or one of the STAMP
+/// applications.
+///
+/// The harness drives it as the paper does: `setup` once on a quiescent
+/// system, then each worker thread calls `run_op` in a loop for the
+/// measurement interval, then `verify` checks application invariants on
+/// the quiescent heap.
+pub trait Workload: Send + Sync {
+    /// Display name (figure labels).
+    fn name(&self) -> String;
+
+    /// Populates initial state. Runs single-threaded before measurement,
+    /// using ordinary transactions on `worker`.
+    fn setup(&self, worker: &mut TmThread, rng: &mut WorkloadRng);
+
+    /// Executes one application operation (one or more transactions).
+    fn run_op(&self, worker: &mut TmThread, rng: &mut WorkloadRng);
+
+    /// Checks application invariants on a quiescent heap after a run.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated invariant.
+    fn verify(&self, heap: &Heap) -> Result<(), String>;
+}

@@ -1,0 +1,90 @@
+//! A concurrent key-value store on the transactional red-black tree — the
+//! paper's RBTree microbenchmark reshaped as an application.
+//!
+//! Compares the five TM algorithms on the same mixed workload and prints
+//! the execution-analysis numbers the paper plots under each figure.
+//!
+//! ```text
+//! cargo run --release --example kv_store
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rh_norec_repro::htm::{Htm, HtmConfig};
+use rh_norec_repro::mem::{Heap, HeapConfig};
+use rh_norec_repro::tm::{Algorithm, TmConfig, TmRuntime, TmThreadStats, TxKind};
+use rh_norec_repro::workloads::structures::RbTree;
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: usize = 20_000;
+const KEYS: u64 = 4_096;
+const MUTATION_PCT: u64 = 10;
+
+fn main() {
+    println!(
+        "{:<14} {:>9} {:>10} {:>10} {:>10} {:>9}",
+        "algorithm", "ms", "commits", "fast-path", "slow-path", "conf/op"
+    );
+    for alg in Algorithm::PAPER_SET {
+        let (elapsed_ms, stats) = run(alg);
+        println!(
+            "{:<14} {:>9} {:>10} {:>10} {:>10} {:>9.4}",
+            alg.label(),
+            elapsed_ms,
+            stats.commits,
+            stats.fast_path_commits,
+            stats.slow_path_commits + stats.serial_commits,
+            stats.htm_conflict_aborts() as f64 / stats.commits.max(1) as f64,
+        );
+    }
+}
+
+fn run(alg: Algorithm) -> (u128, TmThreadStats) {
+    let heap = Arc::new(Heap::new(HeapConfig::default()));
+    let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(alg));
+    let store = RbTree::create(&heap);
+
+    // Preload half the key space.
+    {
+        let mut w = rt.register(0);
+        for k in (0..KEYS).step_by(2) {
+            w.execute(TxKind::ReadWrite, |tx| store.put(tx, k, k * 10));
+        }
+    }
+
+    let start = Instant::now();
+    let merged = std::sync::Mutex::new(TmThreadStats::default());
+    std::thread::scope(|s| {
+        for tid in 0..THREADS {
+            let rt = Arc::clone(&rt);
+            let merged = &merged;
+            s.spawn(move || {
+                let mut w = rt.register(tid);
+                let mut rng = 0x1234_5678u64 ^ (tid as u64) << 32;
+                for _ in 0..OPS_PER_THREAD {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let key = rng % KEYS;
+                    if rng % 100 < MUTATION_PCT {
+                        if rng & 1 == 0 {
+                            w.execute(TxKind::ReadWrite, |tx| store.put(tx, key, rng));
+                        } else {
+                            w.execute(TxKind::ReadWrite, |tx| store.remove(tx, key));
+                        }
+                    } else {
+                        w.execute(TxKind::ReadOnly, |tx| store.get(tx, key));
+                    }
+                }
+                let stats = w.stats();
+                let mut m = merged.lock().unwrap();
+                *m = m.merge(&stats);
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_millis();
+    store.check_invariants(&heap).expect("tree invariants hold");
+    (elapsed, merged.into_inner().unwrap())
+}

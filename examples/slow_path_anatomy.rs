@@ -1,0 +1,81 @@
+//! Anatomy of the RH NOrec mixed slow path.
+//!
+//! Forces transactions off the hardware fast path (a read-capacity
+//! squeeze) and shows how the mixed slow path degrades gracefully through
+//! its stages — HTM prefix for the leading reads, HTM postfix for the
+//! write phase, and the full-software route when hardware is refused —
+//! by comparing three machines: healthy HTM, tiny HTM, and no HTM.
+//!
+//! ```text
+//! cargo run --release --example slow_path_anatomy
+//! ```
+
+use std::sync::Arc;
+
+use rh_norec_repro::htm::{Htm, HtmConfig};
+use rh_norec_repro::mem::{Addr, Heap, HeapConfig};
+use rh_norec_repro::tm::{Algorithm, TmConfig, TmRuntime, TmThreadStats, TxKind};
+
+const OPS: u64 = 5_000;
+const READ_SLOTS: u64 = 24;
+
+fn run(label: &str, htm_config: HtmConfig) -> TmThreadStats {
+    let heap = Arc::new(Heap::new(HeapConfig::default()));
+    let htm = Htm::new(Arc::clone(&heap), htm_config);
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+    let alloc = heap.allocator();
+    // Spread the read set across many cache lines.
+    let slots: Vec<Addr> = (0..READ_SLOTS).map(|_| alloc.alloc(0, 8).expect("alloc")).collect();
+    let mut worker = rt.register(0);
+    for round in 0..OPS {
+        let slots = slots.clone();
+        worker.execute(TxKind::ReadWrite, |tx| {
+            let mut sum = 0u64;
+            for &s in &slots {
+                sum = sum.wrapping_add(tx.read(s)?);
+            }
+            tx.write(slots[(round % READ_SLOTS) as usize], sum | 1)
+        });
+    }
+    let stats = worker.stats();
+    println!(
+        "{label:<18} fast={:<6} slow={:<6} prefix {:>4.0}% of {:<5} postfix {:>4.0}% of {:<5} final prefix len={}",
+        stats.fast_path_commits,
+        stats.slow_path_commits,
+        stats.prefix_success_ratio() * 100.0,
+        stats.prefix_attempts,
+        stats.postfix_success_ratio() * 100.0,
+        stats.postfix_attempts,
+        worker.prefix_len(),
+    );
+    stats
+}
+
+fn main() {
+    println!("RH NOrec mixed slow path under three machines ({OPS} identical transactions):\n");
+
+    let healthy = run("healthy HTM", HtmConfig::default());
+    assert_eq!(healthy.fast_path_commits, OPS, "healthy machine stays on the fast path");
+
+    // Read capacity below the transaction's footprint: every fast-path
+    // attempt dies of capacity, so everything runs on the mixed slow path
+    // — but the small prefix and postfix still fit, so the slow path
+    // remains mostly-hardware.
+    let squeezed = run(
+        "tiny read cap",
+        HtmConfig { max_read_lines: 8, associativity: None, ..HtmConfig::default() },
+    );
+    assert_eq!(squeezed.fast_path_commits, 0);
+    assert_eq!(squeezed.slow_path_commits, OPS);
+    assert!(squeezed.postfix_commits > 0, "write phase should run in hardware");
+
+    // No HTM at all: Algorithm 2's software route (global HTM lock) — the
+    // Hybrid NOrec slow path the paper falls back to.
+    let none = run("no HTM", HtmConfig::disabled());
+    assert_eq!(none.slow_path_commits, OPS);
+    assert_eq!(none.prefix_commits + none.postfix_commits, 0);
+
+    println!("\nThe same transaction code ran in all three modes — the engine degraded");
+    println!("from pure hardware, to a hardware-assisted slow path, to pure software,");
+    println!("preserving opacity and privatization throughout (paper §2.2-2.4).");
+}

@@ -1,0 +1,44 @@
+//! # Reduced Hardware NOrec — reproduction
+//!
+//! A full reproduction of *Reduced Hardware NOrec: A Safe and Scalable
+//! Hybrid Transactional Memory* (Matveev & Shavit, ASPLOS 2015) on a
+//! software-simulated best-effort HTM. This facade crate re-exports the
+//! workspace's layers:
+//!
+//! * [`mem`] — the simulated shared heap with its cache-line coherence
+//!   model and scalable allocator (`sim-mem`).
+//! * [`htm`] — the best-effort hardware-transactional-memory simulator
+//!   modeled on Intel RTM (`sim-htm`).
+//! * [`tm`] — the TM algorithms: RH NOrec and its baselines (`rh-norec`).
+//! * [`workloads`] — the evaluation workloads: the RBTree microbenchmark
+//!   and the STAMP-style applications (`tm-workloads`).
+//!
+//! See `README.md` for a walkthrough, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use rh_norec_repro::htm::{Htm, HtmConfig};
+//! use rh_norec_repro::mem::{Heap, HeapConfig};
+//! use rh_norec_repro::tm::{Algorithm, TmConfig, TmRuntime, TxKind};
+//!
+//! let heap = Arc::new(Heap::new(HeapConfig::default()));
+//! let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+//! let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+//! let cell = heap.allocator().alloc(0, 1)?;
+//!
+//! let mut worker = rt.register(0);
+//! worker.execute(TxKind::ReadWrite, |tx| tx.write(cell, 42));
+//! assert_eq!(heap.load(cell), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rh_norec as tm;
+pub use sim_htm as htm;
+pub use sim_mem as mem;
+pub use tm_workloads as workloads;

@@ -1,0 +1,171 @@
+//! Workspace-spanning integration tests: every evaluation workload runs on
+//! the hybrid algorithms over the simulated machine and keeps its
+//! invariants, exactly as the benchmark harness drives them.
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use rh_norec_repro::htm::{Htm, HtmConfig};
+use rh_norec_repro::mem::{Heap, HeapConfig};
+use rh_norec_repro::tm::{Algorithm, TmConfig, TmRuntime};
+use rh_norec_repro::workloads::rbtree_bench::{RbTreeBench, RbTreeBenchConfig};
+use rh_norec_repro::workloads::stamp::{
+    Genome, GenomeConfig, Intruder, IntruderConfig, Kmeans, KmeansConfig, Labyrinth,
+    LabyrinthConfig, Ssca2, Ssca2Config, Vacation, VacationConfig, Yada, YadaConfig,
+};
+use rh_norec_repro::workloads::{Workload, WorkloadRng};
+
+fn run_workload(build: &dyn Fn(&Heap) -> Box<dyn Workload>, algorithm: Algorithm, htm: HtmConfig) {
+    let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 21 }));
+    let device = Htm::new(Arc::clone(&heap), htm);
+    let rt = TmRuntime::new(Arc::clone(&heap), device, TmConfig::new(algorithm));
+    let workload = build(&heap);
+    {
+        let mut w = rt.register(0);
+        let mut rng = WorkloadRng::seed_from_u64(2026);
+        workload.setup(&mut w, &mut rng);
+    }
+    std::thread::scope(|s| {
+        for tid in 0..3usize {
+            let rt = Arc::clone(&rt);
+            let workload = &workload;
+            s.spawn(move || {
+                let mut w = rt.register(tid);
+                let mut rng = WorkloadRng::seed_from_u64(7 + tid as u64);
+                for _ in 0..150 {
+                    workload.run_op(&mut w, &mut rng);
+                }
+            });
+        }
+    });
+    workload
+        .verify(&heap)
+        .unwrap_or_else(|e| panic!("{} under {algorithm:?}: {e}", workload.name()));
+}
+
+fn workloads() -> Vec<(&'static str, Box<dyn Fn(&Heap) -> Box<dyn Workload>>)> {
+    vec![
+        (
+            "rbtree",
+            Box::new(|heap: &Heap| {
+                Box::new(RbTreeBench::new(
+                    heap,
+                    RbTreeBenchConfig { initial_size: 400, mutation_pct: 40 },
+                )) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "vacation_low",
+            Box::new(|heap: &Heap| {
+                Box::new(Vacation::new(heap, VacationConfig::low(64))) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "vacation_high",
+            Box::new(|heap: &Heap| {
+                Box::new(Vacation::new(heap, VacationConfig::high(64))) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "intruder",
+            Box::new(|heap: &Heap| {
+                Box::new(Intruder::new(heap, IntruderConfig::default())) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "genome",
+            Box::new(|heap: &Heap| {
+                Box::new(Genome::new(
+                    heap,
+                    GenomeConfig { genome_bases: 512, segment_bases: 10, segments: 1024, batch: 4 },
+                    5,
+                )) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "ssca2",
+            Box::new(|heap: &Heap| {
+                Box::new(Ssca2::new(
+                    heap,
+                    Ssca2Config { scale: 7, max_degree: 8, arcs: 2048 },
+                    6,
+                )) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "yada",
+            Box::new(|heap: &Heap| {
+                Box::new(Yada::new(
+                    heap,
+                    YadaConfig { grid: 6, min_angle_deg: 24.0 },
+                )) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "kmeans",
+            Box::new(|heap: &Heap| {
+                Box::new(Kmeans::new(
+                    heap,
+                    KmeansConfig { clusters: 8, dims: 4, points: 1024 },
+                    7,
+                )) as Box<dyn Workload>
+            }),
+        ),
+        (
+            "labyrinth",
+            Box::new(|heap: &Heap| {
+                Box::new(Labyrinth::new(heap, LabyrinthConfig { width: 24, height: 24, layers: 2 }))
+                    as Box<dyn Workload>
+            }),
+        ),
+    ]
+}
+
+#[test]
+fn every_workload_runs_on_rh_norec() {
+    for (name, build) in workloads() {
+        eprintln!("rh-norec: {name}");
+        run_workload(&*build, Algorithm::RhNorec, HtmConfig::default());
+    }
+}
+
+#[test]
+fn every_workload_runs_on_hybrid_norec() {
+    for (name, build) in workloads() {
+        eprintln!("hy-norec: {name}");
+        run_workload(&*build, Algorithm::HybridNorec, HtmConfig::default());
+    }
+}
+
+#[test]
+fn every_workload_survives_a_machine_without_htm() {
+    for (name, build) in workloads() {
+        eprintln!("no-htm: {name}");
+        run_workload(&*build, Algorithm::RhNorec, HtmConfig::disabled());
+    }
+}
+
+#[test]
+fn every_workload_survives_tiny_htm_capacity() {
+    for (name, build) in workloads() {
+        eprintln!("tiny: {name}");
+        run_workload(&*build, Algorithm::RhNorec, HtmConfig::tiny_capacity());
+    }
+}
+
+#[test]
+fn rbtree_runs_on_every_algorithm() {
+    for alg in Algorithm::ALL {
+        eprintln!("rbtree on {alg:?}");
+        run_workload(
+            &|heap: &Heap| {
+                Box::new(RbTreeBench::new(
+                    heap,
+                    RbTreeBenchConfig { initial_size: 300, mutation_pct: 20 },
+                )) as Box<dyn Workload>
+            },
+            alg,
+            HtmConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests: the transactional data structures agree with their
+//! `std` model under arbitrary operation sequences, on both an STM and the
+//! full RH NOrec stack (whose fast path exercises the simulated HTM).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rh_norec_repro::htm::{Htm, HtmConfig};
+use rh_norec_repro::mem::{Heap, HeapConfig};
+use rh_norec_repro::tm::{Algorithm, TmConfig, TmRuntime, TxKind};
+use rh_norec_repro::workloads::structures::{HashTable, Queue, RbTree, SortedList};
+
+#[derive(Clone, Debug)]
+enum MapOp {
+    Put(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..64, any::<u64>()).prop_map(|(k, v)| MapOp::Put(k, v)),
+            (0u64..64).prop_map(MapOp::Remove),
+            (0u64..64).prop_map(MapOp::Get),
+        ],
+        0..200,
+    )
+}
+
+fn runtime(algorithm: Algorithm) -> (Arc<Heap>, Arc<TmRuntime>) {
+    let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 18 }));
+    let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(algorithm));
+    (heap, rt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rbtree_matches_btreemap(ops in map_ops(), rh in any::<bool>()) {
+        let alg = if rh { Algorithm::RhNorec } else { Algorithm::Norec };
+        let (heap, rt) = runtime(alg);
+        let tree = RbTree::create(&heap);
+        let mut worker = rt.register(0);
+        let mut model = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Put(k, v) => {
+                    let got = worker.execute(TxKind::ReadWrite, |tx| tree.put(tx, k, v));
+                    prop_assert_eq!(got, model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    let got = worker.execute(TxKind::ReadWrite, |tx| tree.remove(tx, k));
+                    prop_assert_eq!(got, model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    let got = worker.execute(TxKind::ReadOnly, |tx| tree.get(tx, k));
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+            }
+        }
+        prop_assert!(tree.check_invariants(&heap).is_ok());
+        let collected = tree.collect(&heap);
+        let expected: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn hashtable_matches_hashmap(ops in map_ops()) {
+        let (heap, rt) = runtime(Algorithm::RhNorec);
+        let table = HashTable::create(&heap, 8);
+        let mut worker = rt.register(0);
+        let mut model = HashMap::new();
+        for op in ops {
+            match op {
+                MapOp::Put(k, v) => {
+                    let got = worker.execute(TxKind::ReadWrite, |tx| table.put(tx, k, v));
+                    prop_assert_eq!(got, model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    let got = worker.execute(TxKind::ReadWrite, |tx| table.remove(tx, k));
+                    prop_assert_eq!(got, model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    let got = worker.execute(TxKind::ReadOnly, |tx| table.get(tx, k));
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+            }
+        }
+        let mut got = table.collect(&heap);
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = model.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sorted_list_matches_btreemap(ops in map_ops()) {
+        let (heap, rt) = runtime(Algorithm::RhNorec);
+        let list = SortedList::create(&heap);
+        let mut worker = rt.register(0);
+        let mut model = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Put(k, v) => {
+                    let inserted = worker.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, v));
+                    if model.contains_key(&k) {
+                        prop_assert!(!inserted, "duplicate insert accepted");
+                    } else {
+                        prop_assert!(inserted);
+                        model.insert(k, v);
+                    }
+                }
+                MapOp::Remove(k) => {
+                    let got = worker.execute(TxKind::ReadWrite, |tx| list.remove(tx, k));
+                    prop_assert_eq!(got, model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    let got = worker.execute(TxKind::ReadOnly, |tx| list.get(tx, k));
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+            }
+        }
+        let collected = list.collect(&heap);
+        let expected: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn queue_matches_vecdeque(ops in prop::collection::vec(prop::option::of(any::<u64>()), 0..200)) {
+        let (heap, rt) = runtime(Algorithm::RhNorec);
+        let queue = Queue::create(&heap);
+        let mut worker = rt.register(0);
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    worker.execute(TxKind::ReadWrite, |tx| queue.push(tx, v));
+                    model.push_back(v);
+                }
+                None => {
+                    let got = worker.execute(TxKind::ReadWrite, |tx| queue.pop(tx));
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+        }
+        prop_assert_eq!(queue.collect(&heap), Vec::from(model));
+    }
+}
