@@ -1,0 +1,192 @@
+//! Seed-sweep CLI for the opacity checker.
+//!
+//! ```text
+//! sweep [--algorithm NAME]... [--htm default|disabled|tiny] \
+//!       [--seeds N | --seconds N] [--abort-injection P] \
+//!       [--mutant] [--replay SEED]
+//! ```
+//!
+//! With no arguments: every algorithm, the default HTM, a one-second
+//! budget per algorithm. Exits nonzero on the first failing schedule,
+//! printing the replay seed.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use rh_norec::Algorithm;
+use sim_htm::sched::SchedConfig;
+use sim_htm::HtmConfig;
+use tm_check::harness::{run_case, CaseConfig};
+
+const ALGORITHM_NAMES: &[(&str, Algorithm)] = &[
+    ("lock_elision", Algorithm::LockElision),
+    ("norec", Algorithm::Norec),
+    ("norec_lazy", Algorithm::NorecLazy),
+    ("tl2", Algorithm::Tl2),
+    ("hybrid_norec", Algorithm::HybridNorec),
+    ("hybrid_norec_lazy", Algorithm::HybridNorecLazy),
+    ("rh_norec", Algorithm::RhNorec),
+    ("rh_norec_postfix_only", Algorithm::RhNorecPostfixOnly),
+];
+
+/// The paper's five algorithms — the default sweep set.
+const DEFAULT_SET: &[Algorithm] = &[
+    Algorithm::LockElision,
+    Algorithm::Norec,
+    Algorithm::Tl2,
+    Algorithm::HybridNorec,
+    Algorithm::RhNorec,
+];
+
+struct Options {
+    algorithms: Vec<Algorithm>,
+    htm: HtmConfig,
+    htm_name: String,
+    seeds: Option<u64>,
+    budget: Duration,
+    abort_injection: f64,
+    mutant: bool,
+    replay: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--algorithm NAME]... [--htm default|disabled|tiny] \
+         [--seeds N | --seconds N] [--abort-injection P] [--mutant] [--replay SEED]"
+    );
+    eprintln!("algorithms: {}", ALGORITHM_NAMES.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", "));
+    std::process::exit(2);
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        algorithms: Vec::new(),
+        htm: HtmConfig::default(),
+        htm_name: "default".to_string(),
+        seeds: None,
+        budget: Duration::from_secs(1),
+        abort_injection: 0.0,
+        mutant: false,
+        replay: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--algorithm" | "-a" => {
+                let name = value();
+                match ALGORITHM_NAMES.iter().find(|(n, _)| *n == name) {
+                    Some(&(_, alg)) => opts.algorithms.push(alg),
+                    None => {
+                        eprintln!("unknown algorithm: {name}");
+                        usage();
+                    }
+                }
+            }
+            "--htm" => {
+                opts.htm_name = value();
+                opts.htm = match opts.htm_name.as_str() {
+                    "default" => HtmConfig::default(),
+                    "disabled" => HtmConfig::disabled(),
+                    "tiny" => HtmConfig::tiny_capacity(),
+                    other => {
+                        eprintln!("unknown htm config: {other}");
+                        usage();
+                    }
+                };
+            }
+            "--seeds" => opts.seeds = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--seconds" => {
+                opts.budget = Duration::from_secs_f64(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--abort-injection" => {
+                opts.abort_injection = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--mutant" => opts.mutant = true,
+            "--replay" => opts.replay = Some(parse_seed(&value()).unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    if opts.algorithms.is_empty() {
+        opts.algorithms = DEFAULT_SET.to_vec();
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_options();
+    let mut failed = false;
+
+    for &alg in &opts.algorithms {
+        let mut case = CaseConfig::contended(alg, opts.htm);
+        case.mutant = opts.mutant;
+
+        if let Some(seed) = opts.replay {
+            let mut cfg = SchedConfig::from_seed(seed);
+            cfg.abort_injection = opts.abort_injection;
+            match run_case(&case, &cfg) {
+                Ok(report) => println!(
+                    "{alg:?}/{}: seed {seed:#x} ok ({} events, {} commits, {} decisions)",
+                    opts.htm_name,
+                    report.history.len(),
+                    report.summary.commits,
+                    report.run.decisions.len()
+                ),
+                Err(failure) => {
+                    println!("{alg:?}/{}: {failure}", opts.htm_name);
+                    failed = true;
+                }
+            }
+            continue;
+        }
+
+        let start = Instant::now();
+        let mut seed = 0u64;
+        let mut runs = 0u64;
+        let mut events = 0usize;
+        let failure = loop {
+            match opts.seeds {
+                Some(n) if seed >= n => break None,
+                None if start.elapsed() >= opts.budget => break None,
+                _ => {}
+            }
+            let mut cfg = SchedConfig::from_seed(seed);
+            cfg.abort_injection = opts.abort_injection;
+            match run_case(&case, &cfg) {
+                Ok(report) => events += report.history.len(),
+                Err(failure) => break Some(failure),
+            }
+            runs += 1;
+            seed += 1;
+        };
+        match failure {
+            Some(failure) => {
+                println!("{alg:?}/{}: FAILED after {runs} clean seeds: {failure}", opts.htm_name);
+                failed = true;
+            }
+            None => println!(
+                "{alg:?}/{}: {runs} seeds opaque ({events} events checked) in {:?}",
+                opts.htm_name,
+                start.elapsed()
+            ),
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,77 @@
+//! Bounded exhaustive schedule exploration.
+//!
+//! A controlled run logs every scheduling decision that had more than one
+//! option ([`sched::Decision`](crate::sched::Decision)). The explorer
+//! turns that log into a search tree: after running one schedule, every
+//! decision within the depth bound that had untried alternatives spawns a
+//! new *guided prefix* — the choices made up to that point, with the next
+//! alternative substituted. Running all prefixes depth-first enumerates
+//! every interleaving whose first `depth` decisions differ, which is the
+//! standard stateless-model-checking bound: HyTM bugs need only a handful
+//! of ill-placed context switches, so a shallow bound with an exhaustive
+//! sweep beats deep random schedules at flushing them out.
+
+use sim_htm::sched::SchedConfig;
+
+use crate::harness::{run_case, CaseConfig, CaseFailure};
+
+/// What a completed exploration covered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct schedules executed.
+    pub schedules: usize,
+    /// Whether the `max_schedules` budget cut the enumeration short (the
+    /// depth bound alone does not set this: hitting it means the bounded
+    /// tree was fully enumerated).
+    pub truncated: bool,
+}
+
+/// Explores all schedules of `case` whose first `depth` decisions differ,
+/// checking every run for opacity, up to `max_schedules` runs.
+///
+/// `base` supplies the seed (which also fixes the workload scripts and
+/// the abort-injection stream) and the step cap; its `guided` field is
+/// overridden per schedule.
+///
+/// # Errors
+///
+/// The first failing schedule, carrying its guided choice list for
+/// replay.
+pub fn explore_case(
+    case: &CaseConfig,
+    base: &SchedConfig,
+    depth: usize,
+    max_schedules: usize,
+) -> Result<ExploreStats, CaseFailure> {
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut schedules = 0usize;
+
+    while let Some(prefix) = stack.pop() {
+        if schedules >= max_schedules {
+            return Ok(ExploreStats { schedules, truncated: true });
+        }
+        let prefix_len = prefix.len();
+        let cfg = SchedConfig { guided: Some(prefix), ..base.clone() };
+        let report = run_case(case, &cfg)?;
+        schedules += 1;
+
+        // Branch on every decision at or past the prefix (decisions
+        // inside the prefix were branched by an ancestor schedule). Push
+        // deepest-first so the traversal is depth-first.
+        let decisions = &report.run.decisions;
+        let horizon = depth.min(decisions.len());
+        for i in (prefix_len..horizon).rev() {
+            for alt in (0..decisions[i].options).rev() {
+                if alt == decisions[i].chosen {
+                    continue;
+                }
+                let mut next: Vec<usize> =
+                    decisions[..i].iter().map(|d| d.chosen).collect();
+                next.push(alt);
+                stack.push(next);
+            }
+        }
+    }
+
+    Ok(ExploreStats { schedules, truncated: false })
+}

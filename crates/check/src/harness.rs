@@ -1,0 +1,358 @@
+//! Seeded workload harness: one call runs a workload under a controlled
+//! schedule and checks the recorded history for opacity.
+//!
+//! The workload itself is derived from the schedule seed, so a single
+//! `u64` pins down *everything* about a run — the per-thread transaction
+//! scripts, the interleaving, and the injected hardware aborts. A failure
+//! report therefore needs to carry nothing but the seed (plus, for
+//! explored schedules, the guided choice list).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use rh_norec::trace::{self, TraceSink};
+use rh_norec::{Algorithm, TmConfig, TmRuntime, TxKind};
+use sim_htm::sched::{self, RunResult, SchedConfig};
+use sim_htm::{Htm, HtmConfig};
+use sim_mem::{Addr, Heap, HeapConfig};
+
+use crate::opacity::{self, Summary};
+use crate::Recorder;
+
+/// One checked workload: algorithm, machine, and workload shape.
+#[derive(Clone, Debug)]
+pub struct CaseConfig {
+    /// TM algorithm under test.
+    pub algorithm: Algorithm,
+    /// Simulated HTM configuration.
+    pub htm: HtmConfig,
+    /// Virtual threads.
+    pub threads: usize,
+    /// Shared heap slots the scripts operate on.
+    pub slots: usize,
+    /// Transactions per thread.
+    pub txs_per_thread: usize,
+    /// Operations per transaction.
+    pub ops_per_tx: usize,
+    /// Arms the deliberately broken RH NOrec first-write protocol
+    /// (`mutant-postfix-clock`), for the checker's mutation test.
+    pub mutant: bool,
+}
+
+impl CaseConfig {
+    /// A small contended workload: enough threads and few enough slots
+    /// that read-modify-write conflicts are the common case.
+    pub fn contended(algorithm: Algorithm, htm: HtmConfig) -> Self {
+        CaseConfig {
+            algorithm,
+            htm,
+            threads: 3,
+            slots: 2,
+            txs_per_thread: 4,
+            ops_per_tx: 3,
+            mutant: false,
+        }
+    }
+}
+
+/// A passing run: the full event history, the schedule's decision log
+/// (for exploration), and what the checker verified.
+#[derive(Debug)]
+pub struct CaseReport {
+    /// The recorded global event history.
+    pub history: Vec<trace::Event>,
+    /// Scheduler decisions and step count of the run.
+    pub run: RunResult,
+    /// Checker statistics.
+    pub summary: Summary,
+}
+
+/// A failing run, carrying everything needed to reproduce it.
+#[derive(Debug)]
+pub enum CaseFailure {
+    /// The history checker rejected the run.
+    Opacity {
+        /// The run's schedule seed.
+        seed: u64,
+        /// Guided choice list, when the schedule came from the explorer.
+        guided: Option<Vec<usize>>,
+        /// The checker's diagnosis.
+        violation: opacity::Violation,
+        /// The offending history, for inspection.
+        history: Vec<trace::Event>,
+    },
+    /// A virtual thread panicked (an assertion inside an algorithm, or a
+    /// workload invariant).
+    Panicked {
+        /// The run's schedule seed.
+        seed: u64,
+        /// Guided choice list, when the schedule came from the explorer.
+        guided: Option<Vec<usize>>,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl CaseFailure {
+    /// The schedule seed that reproduces this failure.
+    pub fn seed(&self) -> u64 {
+        match self {
+            CaseFailure::Opacity { seed, .. } | CaseFailure::Panicked { seed, .. } => *seed,
+        }
+    }
+}
+
+impl fmt::Display for CaseFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseFailure::Opacity { seed, guided, violation, history } => {
+                write!(
+                    f,
+                    "{violation} (history of {} events); replay with seed {seed:#x}",
+                    history.len()
+                )?;
+                if let Some(g) = guided {
+                    write!(f, " guided {g:?}")?;
+                }
+                Ok(())
+            }
+            CaseFailure::Panicked { seed, guided, message } => {
+                write!(f, "virtual thread panicked: {message}; replay with seed {seed:#x}")?;
+                if let Some(g) = guided {
+                    write!(f, " guided {g:?}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CaseFailure {}
+
+/// One transactional operation of a generated script.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Read slot `i`.
+    Read(usize),
+    /// Read-modify-write slot `i` (the lost-update probe).
+    Incr(usize),
+    /// Blind-write `value` to slot `i`.
+    Write(usize, u64),
+}
+
+/// SplitMix64 — independent of the scheduler's XorShift stream, so the
+/// workload and the interleaving don't correlate.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-thread transaction scripts for a case + seed. Public in
+/// spirit: regenerated identically on every retry of a transaction body,
+/// and identically across replays of the same seed.
+fn scripts(case: &CaseConfig, seed: u64) -> Vec<Vec<Vec<Op>>> {
+    (0..case.threads)
+        .map(|tid| {
+            let mut rng = seed ^ (tid as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+            (0..case.txs_per_thread)
+                .map(|_| {
+                    (0..case.ops_per_tx)
+                        .map(|_| {
+                            let r = splitmix(&mut rng);
+                            let slot = (r >> 8) as usize % case.slots;
+                            match r % 4 {
+                                0 => Op::Read(slot),
+                                1 => Op::Write(slot, (r >> 32) % 1000),
+                                _ => Op::Incr(slot),
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs one case under the given schedule and checks the history.
+///
+/// The same `(case, sched)` pair always produces the same event history,
+/// byte for byte; a [`CaseFailure`] prints the seed (and guided choices)
+/// that reproduce it.
+///
+/// # Errors
+///
+/// [`CaseFailure::Opacity`] when the checker rejects the history,
+/// [`CaseFailure::Panicked`] when a virtual thread panicked.
+pub fn run_case(case: &CaseConfig, sched_cfg: &SchedConfig) -> Result<CaseReport, CaseFailure> {
+    let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
+    let htm = Htm::new(Arc::clone(&heap), case.htm);
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(case.algorithm));
+    if case.mutant {
+        rt.set_postfix_clock_mutant(true);
+    }
+
+    let alloc = heap.allocator();
+    let slots: Vec<Addr> = (0..case.slots)
+        .map(|_| alloc.alloc(0, 8).expect("heap too small for case slots"))
+        .collect();
+    let initial: HashMap<u64, u64> = slots.iter().map(|s| (s.to_word(), heap.load(*s))).collect();
+
+    let recorder = Recorder::new();
+    let all_scripts = scripts(case, sched_cfg.seed);
+
+    let bodies: Vec<Box<dyn FnOnce() + Send>> = all_scripts
+        .into_iter()
+        .enumerate()
+        .map(|(tid, script)| {
+            let rt = Arc::clone(&rt);
+            let slots = slots.clone();
+            let sink: Arc<dyn TraceSink> = Arc::clone(&recorder) as Arc<dyn TraceSink>;
+            Box::new(move || {
+                trace::install(sink, tid);
+                let mut worker = rt.register(tid);
+                for ops in &script {
+                    let kind = if ops.iter().all(|o| matches!(o, Op::Read(_))) {
+                        TxKind::ReadOnly
+                    } else {
+                        TxKind::ReadWrite
+                    };
+                    worker.execute(kind, |tx| {
+                        for op in ops {
+                            match *op {
+                                Op::Read(i) => {
+                                    tx.read(slots[i])?;
+                                }
+                                Op::Incr(i) => {
+                                    let v = tx.read(slots[i])?;
+                                    tx.write(slots[i], v + 1)?;
+                                }
+                                Op::Write(i, value) => {
+                                    tx.write(slots[i], value)?;
+                                }
+                            }
+                        }
+                        Ok(())
+                    });
+                }
+                trace::uninstall();
+            }) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
+
+    let run = match catch_unwind(AssertUnwindSafe(|| sched::run_threads(sched_cfg, bodies))) {
+        Ok(run) => run,
+        Err(payload) => {
+            return Err(CaseFailure::Panicked {
+                seed: sched_cfg.seed,
+                guided: sched_cfg.guided.clone(),
+                message: panic_message(&payload),
+            })
+        }
+    };
+
+    let history = recorder.take();
+    match opacity::check(&initial, &history) {
+        Ok(summary) => Ok(CaseReport { history, run, summary }),
+        Err(violation) => Err(CaseFailure::Opacity {
+            seed: sched_cfg.seed,
+            guided: sched_cfg.guided.clone(),
+            violation,
+            history,
+        }),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The privatization idiom of `conformance.rs::privatization_is_safe`,
+/// under a controlled schedule: two writers increment a node while it is
+/// linked; a privatizer transactionally unlinks it and then accesses it
+/// non-transactionally. Any straggler transaction writing the private
+/// node after the unlink commit is a privatization violation.
+///
+/// # Errors
+///
+/// [`CaseFailure::Panicked`] carrying the replay seed when the idiom's
+/// invariant breaks (or an algorithm assertion fires).
+pub fn privatization_case(
+    algorithm: Algorithm,
+    htm: HtmConfig,
+    seed: u64,
+) -> Result<(), CaseFailure> {
+    let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
+    let htm_dev = Htm::new(Arc::clone(&heap), htm);
+    let rt = TmRuntime::new(Arc::clone(&heap), htm_dev, TmConfig::new(algorithm));
+
+    let alloc = heap.allocator();
+    let head = alloc.alloc(0, 8).expect("heap too small");
+    let node = alloc.alloc(0, 8).expect("heap too small");
+    heap.store(head, node.to_word());
+
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for tid in 0..2usize {
+        let rt = Arc::clone(&rt);
+        let done = Arc::clone(&done);
+        bodies.push(Box::new(move || {
+            let mut worker = rt.register(tid);
+            while !done.load(std::sync::atomic::Ordering::Acquire) {
+                worker.execute(TxKind::ReadWrite, |tx| {
+                    let target = tx.read_addr(head)?;
+                    if !target.is_null() {
+                        let v = tx.read(target)?;
+                        tx.write(target, v + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+        }));
+    }
+    {
+        let rt = Arc::clone(&rt);
+        let heap = Arc::clone(&heap);
+        let done = Arc::clone(&done);
+        bodies.push(Box::new(move || {
+            let mut worker = rt.register(2);
+            // Let the writers churn for a few scheduling quanta.
+            for _ in 0..32 {
+                sched::yield_point();
+            }
+            worker.execute(TxKind::ReadWrite, |tx| tx.write_addr(head, Addr::NULL));
+            // The node is now private: plain accesses must be stable
+            // against any straggler transaction.
+            heap.store(node, 777);
+            for _ in 0..64 {
+                sched::yield_point();
+                assert_eq!(
+                    heap.load(node),
+                    777,
+                    "{algorithm:?} privatization violated: a transaction wrote a private node"
+                );
+            }
+            done.store(true, std::sync::atomic::Ordering::Release);
+        }));
+    }
+
+    let cfg = SchedConfig::from_seed(seed);
+    match catch_unwind(AssertUnwindSafe(|| sched::run_threads(&cfg, bodies))) {
+        Ok(_) => Ok(()),
+        Err(payload) => Err(CaseFailure::Panicked {
+            seed,
+            guided: None,
+            message: panic_message(&payload),
+        }),
+    }
+}

@@ -1,0 +1,46 @@
+//! # tm-check: deterministic schedule exploration + opacity checking
+//!
+//! Correctness tooling for the TM algorithms of the Reduced Hardware
+//! NOrec reproduction. Three pieces compose:
+//!
+//! * the **deterministic scheduler** ([`sched`], re-exported from
+//!   [`sim_htm::sched`]): virtual threads interleave only at instrumented
+//!   yield points, and the whole interleaving — including injected
+//!   hardware aborts — is a pure function of a `u64` seed;
+//! * the **history recorder** ([`Recorder`]): every transactional begin,
+//!   read (with the value the body observed), write, commit and abort,
+//!   across all paths (hardware fast path, mixed slow path, software,
+//!   serial), lands in one global event log whose order is the real-time
+//!   order;
+//! * the **opacity checker** ([`opacity`]): replays the committed
+//!   transactions in commit order and verifies that a single sequential
+//!   history explains every read — including the reads of aborted
+//!   attempts, which is the part of opacity plain linearizability checks
+//!   miss, and exactly the property §4 of the paper proves for RH NOrec.
+//!
+//! [`harness`] glues the three together: seeded workloads over the five
+//! paper algorithms, a one-call [`harness::run_case`], and a bounded
+//! depth-first schedule explorer in [`explore`]. A failing case prints
+//! its replay seed; rerunning with the same seed reproduces the event
+//! history byte for byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod harness;
+pub mod opacity;
+
+mod recorder;
+
+pub use recorder::Recorder;
+
+/// Re-export of the deterministic scheduler driving controlled runs.
+pub mod sched {
+    pub use sim_htm::sched::*;
+}
+
+/// Re-export of the event vocabulary recorded by instrumented algorithms.
+pub mod trace {
+    pub use rh_norec::trace::*;
+}

@@ -1,0 +1,459 @@
+//! The opacity history checker.
+//!
+//! Opacity (Guerraoui & Kapałka) strengthens serializability in two ways
+//! that matter for TM: committed transactions must appear to execute
+//! atomically in a single sequential order *consistent with real time*,
+//! and even transactions that eventually **abort** must only ever observe
+//! consistent states — a zombie transaction reading a half-committed
+//! state is an opacity violation even though it commits nothing. This is
+//! the safety property §4 of the paper establishes for RH NOrec, and the
+//! one its Hybrid NOrec comparison hinges on.
+//!
+//! The checker consumes the global event history of a controlled run
+//! (see [`crate::Recorder`]). Because commits are recorded at their
+//! publication point with no yield in between, the order of `Commit`
+//! events is the serialization order; the checker exploits that instead
+//! of searching over permutations:
+//!
+//! * Committed **writers** must have every external read satisfied by
+//!   exactly the state produced by the writers committed before them
+//!   (their serialization point is their commit).
+//! * Committed **read-only** transactions and **aborted** attempts must
+//!   have all their external reads satisfied by *some* single state that
+//!   existed during their lifetime (their serialization point may float
+//!   inside their real-time window).
+//! * Reads covered by the attempt's own earlier writes must return the
+//!   written value (read-your-own-writes).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rh_norec::trace::{Event, EventKind, Path};
+
+/// Why a history is not opaque.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Virtual thread of the offending attempt.
+    pub vtid: usize,
+    /// Position of the attempt's `Begin` in the history.
+    pub begin_pos: usize,
+    /// Whether the offending attempt committed.
+    pub committed: bool,
+    /// Path the attempt ran on.
+    pub path: Path,
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "opacity violation: {} {:?}-path attempt of vthread {} (begin at event {}): {}",
+            if self.committed { "committed" } else { "aborted" },
+            self.path,
+            self.vtid,
+            self.begin_pos,
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// What a successful check verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Total attempts (committed + aborted) in the history.
+    pub attempts: usize,
+    /// Committed attempts.
+    pub commits: usize,
+    /// Committed attempts that wrote (these advance the state).
+    pub writer_commits: usize,
+    /// Aborted attempts whose reads were nevertheless checked.
+    pub aborts: usize,
+}
+
+#[derive(Debug)]
+struct Attempt {
+    vtid: usize,
+    path: Path,
+    begin_pos: usize,
+    /// Position of Commit/Abort; `history.len()` if never terminated.
+    end_pos: usize,
+    committed: bool,
+    /// (position, addr, value) of reads, in program order.
+    reads: Vec<(usize, u64, u64)>,
+    /// (position, addr, value) of writes, in program order.
+    writes: Vec<(usize, u64, u64)>,
+}
+
+/// Checks `history` for opacity against `initial` memory contents.
+///
+/// `initial` maps heap addresses (word form) to their contents at the
+/// start of the run; addresses absent from the map are taken to be zero
+/// (the simulated allocator hands out zeroed blocks).
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+pub fn check(initial: &HashMap<u64, u64>, history: &[Event]) -> Result<Summary, Violation> {
+    let attempts = collect_attempts(history)?;
+
+    // The committed writers in commit order define the state sequence:
+    // states[j] = initial ⊕ writers[0..j]. Addresses absent everywhere
+    // read as zero.
+    let mut writer_commit_positions: Vec<usize> = Vec::new();
+    let mut states: Vec<HashMap<u64, u64>> = vec![initial.clone()];
+    let mut ordered: Vec<&Attempt> = attempts
+        .iter()
+        .filter(|a| a.committed && !a.writes.is_empty())
+        .collect();
+    ordered.sort_by_key(|a| a.end_pos);
+    for writer in &ordered {
+        let mut next = states.last().expect("states never empty").clone();
+        for &(_, addr, value) in &writer.writes {
+            next.insert(addr, value);
+        }
+        states.push(next);
+        writer_commit_positions.push(writer.end_pos);
+    }
+    let writers_before = |pos: usize| writer_commit_positions.partition_point(|&p| p < pos);
+
+    for attempt in &attempts {
+        if attempt.committed && !attempt.writes.is_empty() {
+            // A committed writer serializes exactly at its commit event.
+            let m = writers_before(attempt.end_pos);
+            check_reads_against(attempt, &states[m], m)?;
+        } else {
+            // Committed read-only transactions and aborted attempts may
+            // serialize anywhere inside their real-time window.
+            let lo = writers_before(attempt.begin_pos);
+            let hi = writers_before(attempt.end_pos);
+            let mut last_err = None;
+            let mut satisfied = false;
+            for j in lo..=hi {
+                match check_reads_against(attempt, &states[j], j) {
+                    Ok(()) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if !satisfied {
+                let e = last_err.expect("lo..=hi is never empty");
+                return Err(Violation {
+                    detail: format!(
+                        "no state in its window (after {lo}..={hi} writer commits) \
+                         explains its reads; closest mismatch: {}",
+                        e.detail
+                    ),
+                    ..e
+                });
+            }
+        }
+    }
+
+    Ok(Summary {
+        attempts: attempts.len(),
+        commits: attempts.iter().filter(|a| a.committed).count(),
+        writer_commits: ordered.len(),
+        aborts: attempts.iter().filter(|a| !a.committed).count(),
+    })
+}
+
+/// Verifies every read of `attempt` against `state` (the history state
+/// after `j` writer commits), overlaying the attempt's own earlier
+/// writes in program order.
+fn check_reads_against(
+    attempt: &Attempt,
+    state: &HashMap<u64, u64>,
+    j: usize,
+) -> Result<(), Violation> {
+    let mut overlay: HashMap<u64, u64> = HashMap::new();
+    let mut writes = attempt.writes.iter().peekable();
+    for &(pos, addr, value) in &attempt.reads {
+        // Both lists are in program order; fold in every own write that
+        // precedes this read before judging it.
+        while let Some(&&(wpos, waddr, wvalue)) = writes.peek() {
+            if wpos > pos {
+                break;
+            }
+            overlay.insert(waddr, wvalue);
+            writes.next();
+        }
+        if let Some(&own) = overlay.get(&addr) {
+            if value != own {
+                return Err(violation(
+                    attempt,
+                    format!(
+                        "read of {addr:#x} returned {value}, but the attempt itself \
+                         last wrote {own} (read-your-own-writes broken)"
+                    ),
+                ));
+            }
+            continue;
+        }
+        let expected = state.get(&addr).copied().unwrap_or(0);
+        if value != expected {
+            return Err(violation(
+                attempt,
+                format!(
+                    "read of {addr:#x} returned {value}, but the state after \
+                     {j} writer commits holds {expected}"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn violation(attempt: &Attempt, detail: String) -> Violation {
+    Violation {
+        vtid: attempt.vtid,
+        begin_pos: attempt.begin_pos,
+        committed: attempt.committed,
+        path: attempt.path,
+        detail,
+    }
+}
+
+/// Splits the history into per-attempt records, enforcing that each
+/// thread's events form well-nested Begin … Commit/Abort attempts.
+fn collect_attempts(history: &[Event]) -> Result<Vec<Attempt>, Violation> {
+    let mut open: HashMap<usize, Attempt> = HashMap::new();
+    let mut done: Vec<Attempt> = Vec::new();
+    for (pos, event) in history.iter().enumerate() {
+        match event.kind {
+            EventKind::Begin { path } => {
+                if let Some(prev) = open.remove(&event.vtid) {
+                    return Err(Violation {
+                        vtid: event.vtid,
+                        begin_pos: prev.begin_pos,
+                        committed: false,
+                        path: prev.path,
+                        detail: format!(
+                            "attempt still open when a new attempt began at event {pos} \
+                             (instrumentation bug: missing Commit/Abort)"
+                        ),
+                    });
+                }
+                open.insert(
+                    event.vtid,
+                    Attempt {
+                        vtid: event.vtid,
+                        path,
+                        begin_pos: pos,
+                        end_pos: history.len(),
+                        committed: false,
+                        reads: Vec::new(),
+                        writes: Vec::new(),
+                    },
+                );
+            }
+            EventKind::Read { addr, value } => {
+                if let Some(a) = open.get_mut(&event.vtid) {
+                    a.reads.push((pos, addr, value));
+                }
+            }
+            EventKind::Write { addr, value } => {
+                if let Some(a) = open.get_mut(&event.vtid) {
+                    a.writes.push((pos, addr, value));
+                }
+            }
+            EventKind::Commit { path } => {
+                let Some(mut a) = open.remove(&event.vtid) else {
+                    return Err(stray(event.vtid, pos, "Commit"));
+                };
+                a.end_pos = pos;
+                a.committed = true;
+                a.path = path;
+                done.push(a);
+            }
+            EventKind::Abort => {
+                let Some(mut a) = open.remove(&event.vtid) else {
+                    return Err(stray(event.vtid, pos, "Abort"));
+                };
+                a.end_pos = pos;
+                done.push(a);
+            }
+        }
+    }
+    // Attempts cut off by the end of the run (e.g. a panicking thread)
+    // are treated as aborted with a window extending to the history end.
+    done.extend(open.into_values());
+    done.sort_by_key(|a| a.begin_pos);
+    Ok(done)
+}
+
+fn stray(vtid: usize, pos: usize, what: &str) -> Violation {
+    Violation {
+        vtid,
+        begin_pos: pos,
+        committed: false,
+        path: Path::Stm,
+        detail: format!("{what} at event {pos} without an open attempt (instrumentation bug)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_norec::trace::Path;
+
+    fn ev(vtid: usize, kind: EventKind) -> Event {
+        Event { vtid, kind }
+    }
+
+    fn begin(vtid: usize) -> Event {
+        ev(vtid, EventKind::Begin { path: Path::Stm })
+    }
+    fn read(vtid: usize, addr: u64, value: u64) -> Event {
+        ev(vtid, EventKind::Read { addr, value })
+    }
+    fn write(vtid: usize, addr: u64, value: u64) -> Event {
+        ev(vtid, EventKind::Write { addr, value })
+    }
+    fn commit(vtid: usize) -> Event {
+        ev(vtid, EventKind::Commit { path: Path::Stm })
+    }
+    fn abort(vtid: usize) -> Event {
+        ev(vtid, EventKind::Abort)
+    }
+
+    #[test]
+    fn serial_counter_increments_are_opaque() {
+        let h = vec![
+            begin(0),
+            read(0, 8, 0),
+            write(0, 8, 1),
+            commit(0),
+            begin(1),
+            read(1, 8, 1),
+            write(1, 8, 2),
+            commit(1),
+        ];
+        let s = check(&HashMap::new(), &h).unwrap();
+        assert_eq!(s.writer_commits, 2);
+        assert_eq!(s.attempts, 2);
+    }
+
+    #[test]
+    fn lost_update_is_flagged() {
+        // Both read 0, both commit +1: the second writer's read is stale.
+        let h = vec![
+            begin(0),
+            read(0, 8, 0),
+            begin(1),
+            read(1, 8, 0),
+            write(0, 8, 1),
+            commit(0),
+            write(1, 8, 1),
+            commit(1),
+        ];
+        let err = check(&HashMap::new(), &h).unwrap_err();
+        assert_eq!(err.vtid, 1);
+        assert!(err.committed);
+        assert!(err.detail.contains("read of 0x8"), "{}", err.detail);
+    }
+
+    #[test]
+    fn aborted_attempts_must_also_see_consistent_states() {
+        // The aborted attempt reads x and y across another writer's
+        // commit, observing a mix of old x and new y: a zombie read.
+        let h = vec![
+            begin(0),
+            read(0, 8, 0), // old x
+            begin(1),
+            write(1, 8, 7),
+            write(1, 16, 7),
+            commit(1),
+            read(0, 16, 7), // new y — inconsistent with old x
+            abort(0),
+        ];
+        let err = check(&HashMap::new(), &h).unwrap_err();
+        assert!(!err.committed);
+        assert_eq!(err.vtid, 0);
+    }
+
+    #[test]
+    fn aborted_attempt_with_consistent_snapshot_passes() {
+        let h = vec![
+            begin(0),
+            read(0, 8, 0),
+            read(0, 16, 0),
+            begin(1),
+            write(1, 8, 7),
+            write(1, 16, 7),
+            commit(1),
+            abort(0),
+        ];
+        check(&HashMap::new(), &h).unwrap();
+    }
+
+    #[test]
+    fn read_only_window_rule_allows_floating_serialization() {
+        // The read-only tx brackets a writer's commit but reads only
+        // untouched state: it may serialize before the writer.
+        let h = vec![
+            begin(0),
+            read(0, 8, 0),
+            begin(1),
+            write(1, 16, 9),
+            commit(1),
+            read(0, 24, 0),
+            commit(0),
+        ];
+        check(&HashMap::new(), &h).unwrap();
+    }
+
+    #[test]
+    fn committed_writer_cannot_serialize_before_an_observed_commit() {
+        // Writer 0 reads writer 1's value, so it must serialize after 1 —
+        // and its other read must then also be current. It is not.
+        let h = vec![
+            begin(1),
+            write(1, 8, 5),
+            write(1, 16, 5),
+            commit(1),
+            begin(0),
+            read(0, 8, 5),
+            read(0, 16, 0), // stale
+            write(0, 24, 1),
+            commit(0),
+        ];
+        let err = check(&HashMap::new(), &h).unwrap_err();
+        assert_eq!(err.vtid, 0);
+    }
+
+    #[test]
+    fn read_your_own_writes_is_enforced() {
+        let h = vec![
+            begin(0),
+            write(0, 8, 3),
+            read(0, 8, 4), // wrong: own write said 3
+            commit(0),
+        ];
+        let err = check(&HashMap::new(), &h).unwrap_err();
+        assert!(err.detail.contains("own"), "{}", err.detail);
+    }
+
+    #[test]
+    fn initial_state_is_honoured() {
+        let initial: HashMap<u64, u64> = [(8u64, 42u64)].into_iter().collect();
+        let ok = vec![begin(0), read(0, 8, 42), commit(0)];
+        check(&initial, &ok).unwrap();
+        let bad = vec![begin(0), read(0, 8, 0), commit(0)];
+        assert!(check(&initial, &bad).is_err());
+    }
+
+    #[test]
+    fn unterminated_attempts_are_checked_as_aborted() {
+        let h = vec![
+            begin(0),
+            read(0, 8, 1), // nothing ever wrote 1
+        ];
+        assert!(check(&HashMap::new(), &h).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! The global history recorder.
+
+use std::sync::{Arc, Mutex};
+
+use rh_norec::trace::{Event, TraceSink};
+
+/// Collects the global, totally ordered event history of a controlled
+/// run.
+///
+/// One `Recorder` is shared by every virtual thread of a run (each
+/// thread installs it via [`rh_norec::trace::install`] with its own
+/// vtid). Under the deterministic scheduler only one thread runs at a
+/// time and every event is recorded before the next yield point, so the
+/// push order *is* the real-time order of the run.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Recorder {
+    /// A fresh, shareable recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Drains and returns the recorded history.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock().unwrap())
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for Recorder {
+    fn record(&self, event: Event) {
+        self.events.lock().unwrap().push(event);
+    }
+}

@@ -195,12 +195,14 @@ pub(crate) fn classify_fast_abort(stats: &mut TmThreadStats, code: AbortCode) {
 /// Spin-acquires a heap-word lock (0 → 1), charging the waiter's cycles.
 pub(crate) fn acquire_word_lock(heap: &Heap, lock: Addr, cycles: &mut u64) {
     loop {
+        sim_htm::sched::yield_point();
         *cycles += cost::GLOBAL_RMW;
         if heap.compare_exchange(lock, 0, 1).is_ok() {
             return;
         }
         while heap.load(lock) != 0 {
             *cycles += cost::SPIN_ITER;
+            sim_htm::sched::yield_point();
             std::thread::yield_now();
         }
     }

@@ -24,6 +24,7 @@ use crate::algorithms::norec::{read_clock_unlocked, EagerCtx, LazyCtx};
 use crate::error::TxResult;
 use crate::globals::clock;
 use crate::runtime::TmThread;
+use crate::trace;
 use crate::tx::Tx;
 use crate::TxKind;
 
@@ -36,12 +37,15 @@ pub(crate) fn run<T>(
     let retries = t.rt.config().retry.fast_path_retries;
     let mut attempts = 0;
     loop {
+        trace::begin(trace::Path::Fast);
         match try_fast(t, kind, body) {
             Ok(value) => {
+                trace::commit(trace::Path::Fast);
                 t.stats.fast_path_commits += 1;
                 return value;
             }
             Err(code) => {
+                trace::abort();
                 if let Some(code) = code {
                     classify_fast_abort(&mut t.stats, code);
                     attempts += 1;
@@ -51,6 +55,7 @@ pub(crate) fn run<T>(
                         // production elision runtimes do between xbegin
                         // attempts); otherwise retries re-collide and
                         // convoy into the fallback.
+                        sim_htm::sched::yield_point();
                         if t.rt.config().interleave_accesses != 0 {
                             for _ in 0..attempts {
                                 std::thread::yield_now();
@@ -218,6 +223,7 @@ fn slow_path_lazy<T>(
             serial_held = true;
             t.stats.serial_lock_acquisitions += 1;
         }
+        trace::begin(trace::Path::Stm);
         let mut spin = cost::STM_START;
         let tx_version = read_clock_unlocked(heap, &globals, &mut spin);
         let mut ctx = LazyCtx {
@@ -241,12 +247,14 @@ fn slow_path_lazy<T>(
         };
         match committed {
             Ok(value) => {
+                trace::commit(trace::Path::Stm);
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.commit(heap, t.tid);
                 t.stats.slow_path_commits += 1;
                 break value;
             }
             Err(_) => {
+                trace::abort();
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.rollback(heap, t.tid);
                 t.stats.slow_path_restarts += 1;
@@ -287,6 +295,7 @@ fn slow_path<T>(
             serial_held = true;
             t.stats.serial_lock_acquisitions += 1;
         }
+        trace::begin(trace::Path::Stm);
         let mut spin = cost::STM_START;
         let tx_version = read_clock_unlocked(heap, &globals, &mut spin);
         let mut ctx = EagerCtx {
@@ -307,12 +316,14 @@ fn slow_path<T>(
         match outcome {
             Ok(value) => {
                 ctx.commit();
+                trace::commit(trace::Path::Stm);
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.commit(heap, t.tid);
                 t.stats.slow_path_commits += 1;
                 break value;
             }
             Err(_) => {
+                trace::abort();
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.rollback(heap, t.tid);
                 t.stats.slow_path_restarts += 1;

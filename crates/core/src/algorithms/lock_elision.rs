@@ -16,6 +16,7 @@ use crate::algorithms::common::{
 use crate::cost;
 use crate::error::TxResult;
 use crate::runtime::TmThread;
+use crate::trace;
 use crate::tx::Tx;
 use crate::TxKind;
 
@@ -27,12 +28,15 @@ pub(crate) fn run<T>(
     let retries = t.rt.config().retry.fast_path_retries;
     let mut attempts = 0;
     loop {
+        trace::begin(trace::Path::Fast);
         match try_fast(t, kind, body) {
             Ok(value) => {
+                trace::commit(trace::Path::Fast);
                 t.stats.fast_path_commits += 1;
                 return value;
             }
             Err(code) => {
+                trace::abort();
                 if let Some(code) = code {
                     classify_fast_abort(&mut t.stats, code);
                     attempts += 1;
@@ -42,6 +46,7 @@ pub(crate) fn run<T>(
                         // production elision runtimes do between xbegin
                         // attempts); otherwise retries re-collide and
                         // convoy into the fallback.
+                        sim_htm::sched::yield_point();
                         if t.rt.config().interleave_accesses != 0 {
                             for _ in 0..attempts {
                                 std::thread::yield_now();
@@ -60,6 +65,7 @@ pub(crate) fn run<T>(
     let rt = t.rt.clone();
     let heap = rt.heap();
     let lock = rt.globals().serial_lock;
+    trace::begin(trace::Path::Serial);
     acquire_word_lock(heap, lock, &mut t.stats.cycles);
     let mut ctx = DirectCtx {
         heap,
@@ -71,7 +77,10 @@ pub(crate) fn run<T>(
     let value = body(&mut Tx::new(&mut ctx))
         .unwrap_or_else(|_| unreachable!("direct execution cannot restart"));
     t.stats.cycles += ctx.meter.cycles + cost::GLOBAL_STORE;
+    // The release is the publication point to hardware transactions (they
+    // subscribe to the lock); no yield point before the commit record.
     release_word_lock(heap, lock);
+    trace::commit(trace::Path::Serial);
     t.mem.commit(heap, t.tid);
     t.stats.serial_commits += 1;
     value

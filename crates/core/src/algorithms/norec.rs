@@ -21,6 +21,7 @@ use crate::cost;
 use crate::error::{TxResult, RESTART};
 use crate::globals::{clock, Globals};
 use crate::runtime::TmThread;
+use crate::trace;
 use crate::tx::{Tx, TxMem, TxOps};
 use crate::TxKind;
 
@@ -35,6 +36,7 @@ pub(crate) fn run_eager<T>(
     let interleave = rt.config().interleave_accesses;
     t.stats.slow_path_entries += 1;
     loop {
+        trace::begin(trace::Path::Stm);
         let mut spin = cost::STM_START;
         let tx_version = read_clock_unlocked(heap, &globals, &mut spin);
         let mut ctx = EagerCtx {
@@ -55,6 +57,7 @@ pub(crate) fn run_eager<T>(
         match outcome {
             Ok(value) => {
                 ctx.commit();
+                trace::commit(trace::Path::Stm);
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.commit(heap, t.tid);
                 t.stats.slow_path_commits += 1;
@@ -62,6 +65,7 @@ pub(crate) fn run_eager<T>(
             }
             Err(_) => {
                 debug_assert!(ctx.dead, "body restarted without a validation failure");
+                trace::abort();
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.rollback(heap, t.tid);
                 t.stats.slow_path_restarts += 1;
@@ -74,6 +78,10 @@ pub(crate) fn run_eager<T>(
 /// charging the waiter's cycles.
 pub(crate) fn read_clock_unlocked(heap: &Heap, globals: &Globals, cycles: &mut u64) -> u64 {
     loop {
+        // Yield before each probe (not only when locked): the lock holder
+        // may be descheduled, and under the deterministic scheduler it can
+        // only run again if the spinner passes a yield point.
+        sim_htm::sched::yield_point();
         let v = heap.load(globals.global_clock);
         if !clock::is_locked(v) {
             return v;
@@ -207,6 +215,7 @@ pub(crate) fn run_lazy<T>(
     let interleave = rt.config().interleave_accesses;
     t.stats.slow_path_entries += 1;
     loop {
+        trace::begin(trace::Path::Stm);
         let mut spin = cost::STM_START;
         let tx_version = read_clock_unlocked(heap, &globals, &mut spin);
         let mut ctx = LazyCtx {
@@ -227,16 +236,19 @@ pub(crate) fn run_lazy<T>(
         match outcome {
             Ok(value) => {
                 if ctx.commit().is_ok() {
+                    trace::commit(trace::Path::Stm);
                     t.stats.cycles += ctx.meter.cycles;
                     t.mem.commit(heap, t.tid);
                     t.stats.slow_path_commits += 1;
                     return value;
                 }
+                trace::abort();
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.rollback(heap, t.tid);
                 t.stats.slow_path_restarts += 1;
             }
             Err(_) => {
+                trace::abort();
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.rollback(heap, t.tid);
                 t.stats.slow_path_restarts += 1;

@@ -37,6 +37,7 @@ use crate::error::{TxResult, RESTART};
 use crate::globals::{clock, Globals};
 use crate::runtime::TmThread;
 use crate::stats::TmThreadStats;
+use crate::trace;
 use crate::tx::{Tx, TxMem, TxOps};
 use crate::{PrefixConfig, TxKind};
 
@@ -49,12 +50,15 @@ pub(crate) fn run<T>(
     let retries = t.rt.config().retry.fast_path_retries;
     let mut attempts = 0;
     loop {
+        trace::begin(trace::Path::Fast);
         match try_fast(t, kind, body) {
             Ok(value) => {
+                trace::commit(trace::Path::Fast);
                 t.stats.fast_path_commits += 1;
                 return value;
             }
             Err(code) => {
+                trace::abort();
                 if let Some(code) = code {
                     classify_fast_abort(&mut t.stats, code);
                     attempts += 1;
@@ -64,6 +68,7 @@ pub(crate) fn run<T>(
                         // production elision runtimes do between xbegin
                         // attempts); otherwise retries re-collide and
                         // convoy into the fallback.
+                        sim_htm::sched::yield_point();
                         if t.rt.config().interleave_accesses != 0 {
                             for _ in 0..attempts {
                                 std::thread::yield_now();
@@ -199,6 +204,7 @@ fn mixed_slow_path<T>(
     let mut postfix_deaths = 0u32;
 
     let value = loop {
+        trace::begin(trace::Path::Mixed);
         if restarts > restart_limit && !serial_held {
             acquire_word_lock(heap, globals.serial_lock, &mut t.stats.cycles);
             serial_held = true;
@@ -227,6 +233,8 @@ fn mixed_slow_path<T>(
             died_in_prefix: false,
             died_in_postfix: false,
             death_may_retry: true,
+            #[cfg(feature = "mutant-postfix-clock")]
+            mutant: rt.postfix_clock_mutant(),
         };
         ctx.start(allow_prefix);
         let outcome = body(&mut Tx::new(&mut ctx));
@@ -259,11 +267,13 @@ fn mixed_slow_path<T>(
         }
         match committed {
             Ok(value) => {
+                trace::commit(trace::Path::Mixed);
                 t.mem.commit(heap, t.tid);
                 t.stats.slow_path_commits += 1;
                 break value;
             }
             Err(_) => {
+                trace::abort();
                 t.mem.rollback(heap, t.tid);
                 t.stats.slow_path_restarts += 1;
                 restarts += 1;
@@ -307,6 +317,9 @@ struct RhCtx<'a> {
     died_in_prefix: bool,
     died_in_postfix: bool,
     death_may_retry: bool,
+    /// Run the deliberately broken first-write protocol (mutation test).
+    #[cfg(feature = "mutant-postfix-clock")]
+    mutant: bool,
 }
 
 impl RhCtx<'_> {
@@ -458,19 +471,7 @@ impl RhCtx<'_> {
         debug_assert_eq!(self.mode, Mode::Software);
         debug_assert!(self.counted);
         self.stats.cycles += cost::GLOBAL_RMW;
-        if self
-            .heap
-            .compare_exchange(
-                self.globals.global_clock,
-                self.tx_version,
-                clock::set_lock_bit(self.tx_version),
-            )
-            .is_err()
-        {
-            self.dead = true;
-            return Err(RESTART);
-        }
-        self.tx_version = clock::set_lock_bit(self.tx_version);
+        self.lock_clock()?;
 
         if self.allow_postfix {
             for _ in 0..self.small_retries.max(1) {
@@ -486,6 +487,43 @@ impl RhCtx<'_> {
         self.stats.cycles += cost::GLOBAL_STORE;
         self.heap.store(self.globals.global_htm_lock, 1);
         self.mode = Mode::SoftwareWriter;
+        Ok(())
+    }
+
+    /// Locks the global clock for the write phase: a CAS from our start
+    /// version, so the lock doubles as the final conflict check — it fails
+    /// iff anyone committed a write since we last validated.
+    fn lock_clock(&mut self) -> TxResult<()> {
+        #[cfg(feature = "mutant-postfix-clock")]
+        if self.mutant {
+            // MUTANT (opacity-checker mutation test): re-read the clock at
+            // the start of the write phase and lock whatever it holds now,
+            // instead of CASing from the deferred, per-read-validated
+            // snapshot. Reads taken before an intervening commit survive
+            // into the write phase — a lost update the checker must flag.
+            let now = self.heap.load(self.globals.global_clock);
+            if clock::is_locked(now) {
+                self.dead = true;
+                return Err(RESTART);
+            }
+            self.heap
+                .store(self.globals.global_clock, clock::set_lock_bit(now));
+            self.tx_version = clock::set_lock_bit(now);
+            return Ok(());
+        }
+        if self
+            .heap
+            .compare_exchange(
+                self.globals.global_clock,
+                self.tx_version,
+                clock::set_lock_bit(self.tx_version),
+            )
+            .is_err()
+        {
+            self.dead = true;
+            return Err(RESTART);
+        }
+        self.tx_version = clock::set_lock_bit(self.tx_version);
         Ok(())
     }
 

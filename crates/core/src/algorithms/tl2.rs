@@ -16,6 +16,7 @@ use crate::algorithms::common::Meter;
 use crate::cost;
 use crate::error::{TxResult, RESTART};
 use crate::runtime::TmThread;
+use crate::trace;
 use crate::tx::{Tx, TxMem, TxOps};
 use crate::TxKind;
 
@@ -87,6 +88,7 @@ pub(crate) fn run<T>(
     let interleave = rt.config().interleave_accesses;
     t.stats.slow_path_entries += 1;
     loop {
+        trace::begin(trace::Path::Stm);
         let mut ctx = Tl2Ctx {
             heap,
             meta,
@@ -105,17 +107,20 @@ pub(crate) fn run<T>(
         match outcome {
             Ok(value) => {
                 if ctx.commit().is_ok() {
+                    trace::commit(trace::Path::Stm);
                     t.stats.cycles += ctx.meter.cycles;
                     t.mem.commit(heap, t.tid);
                     t.stats.slow_path_commits += 1;
                     return value;
                 }
+                trace::abort();
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.rollback(heap, t.tid);
                 t.stats.slow_path_restarts += 1;
             }
             Err(_) => {
                 ctx.rollback_writes();
+                trace::abort();
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.rollback(heap, t.tid);
                 t.stats.slow_path_restarts += 1;
@@ -249,6 +254,7 @@ impl TxOps for Tl2Ctx<'_> {
                     self.dead = true;
                     return Err(RESTART);
                 }
+                sim_htm::sched::yield_point();
                 std::thread::yield_now();
                 continue;
             }

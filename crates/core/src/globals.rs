@@ -106,6 +106,45 @@ mod tests {
     }
 
     #[test]
+    fn clock_lock_bit_round_trips_at_extremes() {
+        for v in [0u64, 1, 2, u64::MAX - 1, u64::MAX] {
+            let locked = clock::set_lock_bit(v);
+            assert!(clock::is_locked(locked));
+            assert_eq!(clock::set_lock_bit(locked), locked, "set is idempotent");
+            let unlocked = clock::clear_lock_bit(v);
+            assert!(!clock::is_locked(unlocked));
+            assert_eq!(clock::clear_lock_bit(unlocked), unlocked, "clear is idempotent");
+            assert_eq!(clock::clear_lock_bit(locked), clock::clear_lock_bit(v));
+            assert_eq!(locked | unlocked, v | 1);
+        }
+        assert!(clock::is_locked(u64::MAX));
+        assert!(!clock::is_locked(u64::MAX - 1));
+    }
+
+    #[test]
+    fn next_version_near_u64_max() {
+        // u64::MAX - 1 is the largest unlocked (even) clock value; the
+        // largest value `next_version` accepts without overflowing is
+        // therefore u64::MAX - 3 (and its locked form u64::MAX - 2).
+        assert_eq!(clock::next_version(u64::MAX - 3), u64::MAX - 1);
+        assert_eq!(clock::next_version(u64::MAX - 2), u64::MAX - 1);
+        assert_eq!(clock::next_version(0), 2);
+        assert_eq!(clock::next_version(1), 2);
+    }
+
+    #[test]
+    fn freshly_allocated_globals_read_as_unlocked() {
+        let heap = Heap::new(HeapConfig { words: 1 << 12 });
+        let g = Globals::allocate(&heap);
+        assert!(!clock::is_locked(heap.load(g.global_clock)));
+        // A locked clock round-trips through the heap unharmed.
+        heap.store(g.global_clock, clock::set_lock_bit(heap.load(g.global_clock)));
+        assert!(clock::is_locked(heap.load(g.global_clock)));
+        heap.store(g.global_clock, clock::clear_lock_bit(heap.load(g.global_clock)));
+        assert!(!clock::is_locked(heap.load(g.global_clock)));
+    }
+
+    #[test]
     fn globals_start_zeroed() {
         let heap = Heap::new(HeapConfig { words: 1 << 12 });
         let g = Globals::allocate(&heap);

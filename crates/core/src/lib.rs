@@ -52,6 +52,7 @@ mod error;
 mod globals;
 mod runtime;
 mod stats;
+pub mod trace;
 mod tx;
 
 pub use config::{Algorithm, PrefixConfig, RetryPolicy, TmConfig, TxKind};

@@ -25,6 +25,8 @@ pub struct TmRuntime {
     config: TmConfig,
     globals: Globals,
     tl2: Tl2Meta,
+    #[cfg(feature = "mutant-postfix-clock")]
+    mutant_postfix_clock: std::sync::atomic::AtomicBool,
 }
 
 impl TmRuntime {
@@ -47,7 +49,24 @@ impl TmRuntime {
             config,
             globals,
             tl2: Tl2Meta::new(),
+            #[cfg(feature = "mutant-postfix-clock")]
+            mutant_postfix_clock: std::sync::atomic::AtomicBool::new(false),
         })
+    }
+
+    /// Arms or disarms the deliberately broken RH NOrec first-write
+    /// protocol (the `mutant-postfix-clock` feature's mutation under
+    /// test). Off by default even when the feature is compiled in.
+    #[cfg(feature = "mutant-postfix-clock")]
+    pub fn set_postfix_clock_mutant(&self, on: bool) {
+        self.mutant_postfix_clock
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    #[cfg(feature = "mutant-postfix-clock")]
+    pub(crate) fn postfix_clock_mutant(&self) -> bool {
+        self.mutant_postfix_clock
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The heap transactions operate on.

@@ -1,0 +1,171 @@
+//! Transactional event tracing for the opacity checker (`tm-check`).
+//!
+//! When a sink is installed on a thread, every transactional operation of
+//! that thread is recorded as an [`Event`]: attempt begin, each successful
+//! read (with the value returned to the body), each accepted write,
+//! commit, abort. Under the deterministic scheduler
+//! ([`sim_htm::sched`]) exactly one thread runs at a time and commits are
+//! recorded with no yield point between a commit's publication and its
+//! event, so the global event order *is* the real-time order — which is
+//! what lets `tm-check` verify opacity from the log alone.
+//!
+//! Without an installed sink (every production path) the hooks are one
+//! thread-local read.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use sim_mem::Addr;
+
+/// Which execution path an attempt ran on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Path {
+    /// Uninstrumented hardware transaction.
+    Fast,
+    /// Pure software path (NOrec, TL2).
+    Stm,
+    /// RH NOrec's mixed slow path (prefix/software/postfix).
+    Mixed,
+    /// Lock Elision's serialized lock fallback.
+    Serial,
+}
+
+/// One transactional event, as observed by the body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// An attempt started.
+    Begin {
+        /// The path the attempt starts on.
+        path: Path,
+    },
+    /// A read returned `value` to the transaction body.
+    Read {
+        /// Heap address read (word form).
+        addr: u64,
+        /// Value the body observed.
+        value: u64,
+    },
+    /// A write of `value` was accepted from the body.
+    Write {
+        /// Heap address written (word form).
+        addr: u64,
+        /// Value the body wrote.
+        value: u64,
+    },
+    /// The attempt committed. Recorded at the point the commit became
+    /// visible to other committable transactions (no yield point in
+    /// between), so commit-event order equals serialization order.
+    Commit {
+        /// The path the attempt committed on.
+        path: Path,
+    },
+    /// The attempt aborted; a restart or fallback follows.
+    Abort,
+}
+
+/// One entry of the global history: which virtual thread, what happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual thread id (the caller of [`install`] chooses it).
+    pub vtid: usize,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Receives events from instrumented threads. Implementations must be
+/// cheap: the recording thread holds the virtual CPU while recording.
+pub trait TraceSink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: Event);
+}
+
+thread_local! {
+    static SINK: RefCell<Option<(Arc<dyn TraceSink>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Installs `sink` as this thread's event recorder, tagging every event
+/// with `vtid`. Replaces any previous sink.
+pub fn install(sink: Arc<dyn TraceSink>, vtid: usize) {
+    SINK.with(|s| *s.borrow_mut() = Some((sink, vtid)));
+}
+
+/// Removes this thread's event recorder.
+pub fn uninstall() {
+    SINK.with(|s| *s.borrow_mut() = None);
+}
+
+/// Whether a sink is installed on this thread.
+#[inline]
+pub fn enabled() -> bool {
+    SINK.with(|s| s.borrow().is_some())
+}
+
+#[inline]
+pub(crate) fn emit(kind: EventKind) {
+    SINK.with(|s| {
+        if let Some((sink, vtid)) = &*s.borrow() {
+            sink.record(Event { vtid: *vtid, kind });
+        }
+    });
+}
+
+#[inline]
+pub(crate) fn begin(path: Path) {
+    emit(EventKind::Begin { path });
+}
+
+#[inline]
+pub(crate) fn read(addr: Addr, value: u64) {
+    emit(EventKind::Read { addr: addr.to_word(), value });
+}
+
+#[inline]
+pub(crate) fn write(addr: Addr, value: u64) {
+    emit(EventKind::Write { addr: addr.to_word(), value });
+}
+
+#[inline]
+pub(crate) fn commit(path: Path) {
+    emit(EventKind::Commit { path });
+}
+
+#[inline]
+pub(crate) fn abort() {
+    emit(EventKind::Abort);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct VecSink(Mutex<Vec<Event>>);
+    impl TraceSink for VecSink {
+        fn record(&self, event: Event) {
+            self.0.lock().unwrap().push(event);
+        }
+    }
+
+    #[test]
+    fn events_flow_to_the_installed_sink_and_stop_after_uninstall() {
+        assert!(!enabled());
+        emit(EventKind::Abort); // No sink: dropped silently.
+
+        let sink = Arc::new(VecSink(Mutex::new(Vec::new())));
+        install(Arc::clone(&sink) as Arc<dyn TraceSink>, 7);
+        assert!(enabled());
+        begin(Path::Stm);
+        commit(Path::Stm);
+        uninstall();
+        abort(); // After uninstall: dropped.
+
+        let events = sink.0.lock().unwrap();
+        assert_eq!(
+            *events,
+            vec![
+                Event { vtid: 7, kind: EventKind::Begin { path: Path::Stm } },
+                Event { vtid: 7, kind: EventKind::Commit { path: Path::Stm } },
+            ]
+        );
+    }
+}

@@ -3,6 +3,7 @@
 use sim_mem::{Addr, Heap};
 
 use crate::error::TxResult;
+use crate::trace;
 
 /// Engine-side operations backing a [`Tx`].
 ///
@@ -62,7 +63,10 @@ impl<'a> Tx<'a> {
     /// restart; propagate it with `?`.
     #[inline]
     pub fn read(&mut self, addr: Addr) -> TxResult<u64> {
-        self.ops.read(addr)
+        sim_htm::sched::yield_point();
+        let value = self.ops.read(addr)?;
+        trace::read(addr, value);
+        Ok(value)
     }
 
     /// Transactionally writes `value` to `addr`.
@@ -77,7 +81,10 @@ impl<'a> Tx<'a> {
     /// Panics if the transaction was declared [`TxKind::ReadOnly`](crate::TxKind::ReadOnly).
     #[inline]
     pub fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
-        self.ops.write(addr, value)
+        sim_htm::sched::yield_point();
+        self.ops.write(addr, value)?;
+        trace::write(addr, value);
+        Ok(())
     }
 
     /// Allocates a zeroed block of `words` words, visible to this
@@ -94,6 +101,7 @@ impl<'a> Tx<'a> {
     /// as fatal, as STAMP does).
     #[inline]
     pub fn alloc(&mut self, words: u64) -> TxResult<Addr> {
+        sim_htm::sched::yield_point();
         self.ops.alloc(words)
     }
 
@@ -107,6 +115,7 @@ impl<'a> Tx<'a> {
     /// restart.
     #[inline]
     pub fn free(&mut self, addr: Addr) -> TxResult<()> {
+        sim_htm::sched::yield_point();
         self.ops.free(addr)
     }
 

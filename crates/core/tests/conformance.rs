@@ -431,10 +431,12 @@ fn rh_norec_small_htms_engage_under_fallback() {
         worker.execute(TxKind::ReadWrite, |tx| {
             let mut sum = 0u64;
             for &s in &slots {
-                sum += tx.read(s)?;
+                sum = sum.wrapping_add(tx.read(s)?);
             }
+            // The written value doubles every round; wrap instead of
+            // overflowing once it outgrows u64 (~round 64).
             for &s in &slots[0..2] {
-                tx.write(s, sum + round)?;
+                tx.write(s, sum.wrapping_add(round))?;
             }
             Ok(())
         });

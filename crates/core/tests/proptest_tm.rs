@@ -1,14 +1,48 @@
 //! Property tests for the TM engines: arbitrary transaction scripts give
 //! model-identical results on every algorithm, and concurrent random
 //! increments are never lost.
+//!
+//! The generators run on the in-tree seeded RNG (no registry access
+//! needed). Each case is derived entirely from one `u64` seed; on failure
+//! the harness prints that seed, and seeds recorded in
+//! `proptest-regressions/proptest_tm.txt` are replayed before the sweep.
+//! The concurrent-increment property additionally runs under the
+//! deterministic scheduler (`tm-check`), so a failing seed replays the
+//! exact thread interleaving, not just the same per-thread op streams.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use rh_norec::{Algorithm, TmConfig, TmRuntime, TxKind};
 use sim_htm::{Htm, HtmConfig};
 use sim_mem::{Heap, HeapConfig};
+
+/// Replays committed regression seeds, then sweeps `cases` fresh seeds.
+/// Prints the failing seed so the case can be replayed in isolation.
+fn sweep(name: &str, regressions: &str, cases: u64, case: impl Fn(u64) + std::panic::RefUnwindSafe) {
+    let fresh = (0..cases).map(|i| 0x9e3779b97f4a7c15u64.wrapping_mul(i + 1));
+    for seed in regression_seeds(regressions).into_iter().chain(fresh) {
+        if let Err(payload) = std::panic::catch_unwind(|| case(seed)) {
+            eprintln!("property '{name}' failed; replay with seed {seed:#x}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Parses `seed = 0x...` lines (comments and blanks ignored).
+fn regression_seeds(file: &str) -> Vec<u64> {
+    file.lines()
+        .filter_map(|l| l.trim().strip_prefix("seed = "))
+        .map(|s| {
+            let s = s.trim();
+            u64::from_str_radix(s.trim_start_matches("0x"), 16).expect("bad regression seed")
+        })
+        .collect()
+}
+
+const REGRESSIONS: &str = include_str!("../../../proptest-regressions/proptest_tm.txt");
 
 const SLOTS: u64 = 24;
 
@@ -19,27 +53,27 @@ enum TxOp {
     AllocFreePair(u64),
 }
 
-fn scripts() -> impl Strategy<Value = Vec<Vec<TxOp>>> {
-    prop::collection::vec(
-        prop::collection::vec(
-            prop_oneof![
-                (0..SLOTS).prop_map(TxOp::Read),
-                (0..SLOTS, any::<u64>()).prop_map(|(a, v)| TxOp::Write(a, v)),
-                (1u64..16).prop_map(TxOp::AllocFreePair),
-            ],
-            0..10,
-        ),
-        0..25,
-    )
+fn gen_scripts(rng: &mut SmallRng) -> Vec<Vec<TxOp>> {
+    (0..rng.gen_range(0..25))
+        .map(|_| {
+            (0..rng.gen_range(0..10))
+                .map(|_| match rng.gen_range(0u32..3) {
+                    0 => TxOp::Read(rng.gen_range(0..SLOTS)),
+                    1 => TxOp::Write(rng.gen_range(0..SLOTS), rng.gen()),
+                    _ => TxOp::AllocFreePair(rng.gen_range(1u64..16)),
+                })
+                .collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Single-threaded scripts: every algorithm computes the same final
-    /// memory state and the same read results as a sequential model.
-    #[test]
-    fn all_algorithms_match_the_sequential_model(script in scripts()) {
+/// Single-threaded scripts: every algorithm computes the same final
+/// memory state and the same read results as a sequential model.
+#[test]
+fn all_algorithms_match_the_sequential_model() {
+    sweep("all_algorithms_match_the_sequential_model", REGRESSIONS, 24, |seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let script = gen_scripts(&mut rng);
         for alg in Algorithm::ALL {
             let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 14 }));
             let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
@@ -71,56 +105,59 @@ proptest! {
                     match *op {
                         TxOp::Read(a) => {
                             let got = read_iter.next().unwrap();
-                            prop_assert_eq!(
+                            assert_eq!(
                                 got,
                                 staged.get(&a).copied().unwrap_or(0),
-                                "{} read mismatch", alg.label()
+                                "{} read mismatch",
+                                alg.label()
                             );
                         }
-                        TxOp::Write(a, v) => { staged.insert(a, v); }
+                        TxOp::Write(a, v) => {
+                            staged.insert(a, v);
+                        }
                         TxOp::AllocFreePair(_) => {}
                     }
                 }
                 model = staged;
             }
             for a in 0..SLOTS {
-                prop_assert_eq!(
+                assert_eq!(
                     heap.load(base.offset(a)),
                     model.get(&a).copied().unwrap_or(0),
-                    "{} final state mismatch", alg.label()
+                    "{} final state mismatch",
+                    alg.label()
                 );
             }
         }
-    }
+    });
+}
 
-    /// Concurrent increments over random slot subsets are never lost, on a
-    /// randomly chosen algorithm and HTM configuration.
-    #[test]
-    fn concurrent_random_increments_conserve_totals(
-        seed in any::<u64>(),
-        alg_idx in 0usize..Algorithm::ALL.len(),
-        disable_htm in any::<bool>(),
-    ) {
-        let alg = Algorithm::ALL[alg_idx];
-        let htm_config = if disable_htm { HtmConfig::disabled() } else { HtmConfig::default() };
+/// Concurrent increments over random slot subsets are never lost, on a
+/// randomly chosen algorithm and HTM configuration — driven by the
+/// deterministic scheduler, so the seed fixes the interleaving too.
+#[test]
+fn concurrent_random_increments_conserve_totals() {
+    sweep("concurrent_random_increments_conserve_totals", REGRESSIONS, 24, |seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let alg = Algorithm::ALL[rng.gen_range(0..Algorithm::ALL.len())];
+        let htm_config = if rng.gen_bool(0.5) { HtmConfig::disabled() } else { HtmConfig::default() };
+        let threads = 3usize;
+        let per = 40u64;
+
         let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 14 }));
         let htm = Htm::new(Arc::clone(&heap), htm_config);
         let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(alg));
         let base = heap.allocator().alloc(0, SLOTS).unwrap();
-        let threads = 3usize;
-        let per = 120u64;
-        std::thread::scope(|s| {
-            for tid in 0..threads {
+
+        let bodies: Vec<_> = (0..threads)
+            .map(|tid| {
                 let rt = Arc::clone(&rt);
-                s.spawn(move || {
+                move || {
                     let mut worker = rt.register(tid);
-                    let mut rng = seed ^ (tid as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15) | 1;
+                    let mut rng = SmallRng::seed_from_u64(seed ^ (tid as u64 + 1));
                     for _ in 0..per {
-                        rng ^= rng << 13;
-                        rng ^= rng >> 7;
-                        rng ^= rng << 17;
-                        let a = base.offset(rng % SLOTS);
-                        let b = base.offset((rng >> 13) % SLOTS);
+                        let a = base.offset(rng.gen_range(0..SLOTS));
+                        let b = base.offset(rng.gen_range(0..SLOTS));
                         worker.execute(TxKind::ReadWrite, |tx| {
                             if a == b {
                                 let va = tx.read(a)?;
@@ -133,10 +170,12 @@ proptest! {
                             }
                         });
                     }
-                });
-            }
-        });
+                }
+            })
+            .collect();
+        tm_check::sched::run_threads_seeded(seed, bodies);
+
         let total: u64 = (0..SLOTS).map(|a| heap.load(base.offset(a))).sum();
-        prop_assert_eq!(total, threads as u64 * per * 2, "{} lost increments", alg.label());
-    }
+        assert_eq!(total, threads as u64 * per * 2, "{} lost increments", alg.label());
+    });
 }

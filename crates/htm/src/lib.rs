@@ -64,6 +64,7 @@ mod abort;
 mod config;
 mod htm;
 mod rng;
+pub mod sched;
 mod stats;
 mod thread;
 

@@ -138,6 +138,7 @@ impl HtmThread {
     /// Panics if a transaction is already active (no nesting).
     pub fn begin(&mut self) -> Result<(), HtmAbort> {
         assert!(!self.active, "nested hardware transactions are not supported");
+        crate::sched::yield_point();
         if !self.htm.config().enabled {
             self.stats.unsupported += 1;
             return Err(HtmAbort::new(AbortCode::NotSupported));
@@ -162,6 +163,16 @@ impl HtmThread {
     }
 
     fn maybe_spurious(&mut self) -> Result<(), HtmAbort> {
+        // Under a deterministic schedule the run may direct this access to
+        // abort (seeded fault injection).
+        if let Some(kind) = crate::sched::injected_abort() {
+            let code = match kind {
+                crate::sched::InjectedAbort::Spurious => AbortCode::Spurious,
+                crate::sched::InjectedAbort::Capacity => AbortCode::Capacity { write_set: false },
+                crate::sched::InjectedAbort::Conflict => AbortCode::Conflict,
+            };
+            return Err(self.rollback(code));
+        }
         let p = self.htm.config().spurious_abort_per_access;
         if p > 0.0 && self.rng.bernoulli(p) {
             return Err(self.rollback(AbortCode::Spurious));
@@ -219,6 +230,7 @@ impl HtmThread {
     /// Panics if no transaction is active or `addr` is invalid.
     pub fn read(&mut self, addr: Addr) -> Result<u64, HtmAbort> {
         assert!(self.active, "transactional read outside a transaction");
+        crate::sched::yield_point();
         self.maybe_spurious()?;
         if let Some(&buffered) = self.write_buf.get(&addr) {
             return Ok(buffered);
@@ -266,6 +278,7 @@ impl HtmThread {
     /// Panics if no transaction is active or `addr` is invalid.
     pub fn write(&mut self, addr: Addr, value: u64) -> Result<(), HtmAbort> {
         assert!(self.active, "transactional write outside a transaction");
+        crate::sched::yield_point();
         self.maybe_spurious()?;
         // Bounds-check eagerly so a bad address fails at the write site.
         let _ = self.htm.heap().raw().load_raw(addr);
@@ -302,6 +315,10 @@ impl HtmThread {
     /// Panics if no transaction is active.
     pub fn commit(&mut self) -> Result<(), HtmAbort> {
         assert!(self.active, "commit outside a transaction");
+        // Yield before committing, never inside: the lock/validate/publish
+        // sequence below must be one atomic event under a deterministic
+        // schedule, so commit visibility order equals real-time order.
+        crate::sched::yield_point();
         let heap = Arc::clone(self.htm.heap());
         let raw = heap.raw();
 
@@ -387,6 +404,7 @@ impl HtmThread {
     /// Panics if no transaction is active.
     pub fn abort(&mut self, user_code: u8) -> HtmAbort {
         assert!(self.active, "explicit abort outside a transaction");
+        crate::sched::yield_point();
         self.rollback(AbortCode::Explicit { user_code })
     }
 }

@@ -35,7 +35,7 @@ fn bank_transfers_conserve_total_and_snapshots_agree() {
             let htm = Arc::clone(&htm);
             s.spawn(move || {
                 let mut t = htm.register(w);
-                let mut rng = (w as u64 + 1) * 0x9e3779b97f4a7c15;
+                let mut rng = (w as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
                 let mut done = 0;
                 while done < transfers_per_writer {
                     rng ^= rng << 13;

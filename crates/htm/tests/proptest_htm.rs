@@ -1,13 +1,44 @@
 //! Property tests for the simulated HTM: single-thread transactions agree
 //! with a sequential model, aborts leave no trace, and capacity accounting
 //! is exact.
+//!
+//! The generators run on the in-tree seeded RNG (no registry access
+//! needed). Each case is derived entirely from one `u64` seed; on failure
+//! the harness prints that seed, and seeds recorded in
+//! `proptest-regressions/proptest_htm.txt` are replayed before the sweep.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use sim_htm::{AbortCode, Htm, HtmConfig};
-use sim_mem::{Addr, Heap, HeapConfig, WORDS_PER_LINE};
+use sim_mem::{Heap, HeapConfig, WORDS_PER_LINE};
+
+/// Replays committed regression seeds, then sweeps `cases` fresh seeds.
+/// Prints the failing seed so the case can be replayed in isolation.
+fn sweep(name: &str, regressions: &str, cases: u64, case: impl Fn(u64) + std::panic::RefUnwindSafe) {
+    let fresh = (0..cases).map(|i| 0x9e3779b97f4a7c15u64.wrapping_mul(i + 1));
+    for seed in regression_seeds(regressions).into_iter().chain(fresh) {
+        if let Err(payload) = std::panic::catch_unwind(|| case(seed)) {
+            eprintln!("property '{name}' failed; replay with seed {seed:#x}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Parses `seed = 0x...` lines (comments and blanks ignored).
+fn regression_seeds(file: &str) -> Vec<u64> {
+    file.lines()
+        .filter_map(|l| l.trim().strip_prefix("seed = "))
+        .map(|s| {
+            let s = s.trim();
+            u64::from_str_radix(s.trim_start_matches("0x"), 16).expect("bad regression seed")
+        })
+        .collect()
+}
+
+const REGRESSIONS: &str = include_str!("../../../proptest-regressions/proptest_htm.txt");
 
 #[derive(Clone, Debug)]
 enum TxOp {
@@ -27,35 +58,36 @@ enum Step {
 
 const SLOTS: u64 = 24;
 
-fn ops() -> impl Strategy<Value = Vec<TxOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0..SLOTS).prop_map(TxOp::Read),
-            (0..SLOTS, any::<u64>()).prop_map(|(a, v)| TxOp::Write(a, v)),
-        ],
-        0..12,
-    )
+fn gen_ops(rng: &mut SmallRng) -> Vec<TxOp> {
+    (0..rng.gen_range(0..12))
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                TxOp::Read(rng.gen_range(0..SLOTS))
+            } else {
+                TxOp::Write(rng.gen_range(0..SLOTS), rng.gen())
+            }
+        })
+        .collect()
 }
 
-fn steps() -> impl Strategy<Value = Vec<Step>> {
-    prop::collection::vec(
-        prop_oneof![
-            ops().prop_map(Step::Tx),
-            ops().prop_map(Step::AbortedTx),
-            (0..SLOTS, any::<u64>()).prop_map(|(a, v)| Step::Store(a, v)),
-        ],
-        0..40,
-    )
+fn gen_steps(rng: &mut SmallRng) -> Vec<Step> {
+    (0..rng.gen_range(0..40))
+        .map(|_| match rng.gen_range(0u32..3) {
+            0 => Step::Tx(gen_ops(rng)),
+            1 => Step::AbortedTx(gen_ops(rng)),
+            _ => Step::Store(rng.gen_range(0..SLOTS), rng.gen()),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Sequential execution of transactions, explicit aborts, and coherent
-    /// stores matches a plain map model: committed writes land, aborted
-    /// writes vanish, reads see the model.
-    #[test]
-    fn single_thread_matches_model(script in steps()) {
+/// Sequential execution of transactions, explicit aborts, and coherent
+/// stores matches a plain map model: committed writes land, aborted
+/// writes vanish, reads see the model.
+#[test]
+fn single_thread_matches_model() {
+    sweep("single_thread_matches_model", REGRESSIONS, 64, |seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let script = gen_steps(&mut rng);
         let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 12 }));
         let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
         let base = heap.allocator().alloc(0, SLOTS).unwrap();
@@ -72,7 +104,7 @@ proptest! {
                         match *op {
                             TxOp::Read(a) => {
                                 let got = thread.read(slot(a)).unwrap();
-                                prop_assert_eq!(got, staged.get(&a).copied().unwrap_or(0));
+                                assert_eq!(got, staged.get(&a).copied().unwrap_or(0));
                             }
                             TxOp::Write(a, v) => {
                                 thread.write(slot(a), v).unwrap();
@@ -87,12 +119,16 @@ proptest! {
                     thread.begin().unwrap();
                     for op in &ops {
                         match *op {
-                            TxOp::Read(a) => { thread.read(slot(a)).unwrap(); }
-                            TxOp::Write(a, v) => { thread.write(slot(a), v).unwrap(); }
+                            TxOp::Read(a) => {
+                                thread.read(slot(a)).unwrap();
+                            }
+                            TxOp::Write(a, v) => {
+                                thread.write(slot(a), v).unwrap();
+                            }
                         }
                     }
                     let abort = thread.abort(9);
-                    prop_assert_eq!(abort.code, AbortCode::Explicit { user_code: 9 });
+                    assert_eq!(abort.code, AbortCode::Explicit { user_code: 9 });
                 }
                 Step::Store(a, v) => {
                     heap.store(slot(a), v);
@@ -101,14 +137,16 @@ proptest! {
             }
         }
         for a in 0..SLOTS {
-            prop_assert_eq!(heap.load(slot(a)), model.get(&a).copied().unwrap_or(0));
+            assert_eq!(heap.load(slot(a)), model.get(&a).copied().unwrap_or(0));
         }
-    }
+    });
+}
 
-    /// Write-set capacity counts distinct lines exactly: a transaction
-    /// writing `k` distinct lines commits iff `k <= max_write_lines`.
-    #[test]
-    fn write_capacity_is_exact(lines in 1usize..12) {
+/// Write-set capacity counts distinct lines exactly: a transaction
+/// writing `k` distinct lines commits iff `k <= max_write_lines`.
+#[test]
+fn write_capacity_is_exact() {
+    for lines in 1usize..12 {
         let config = HtmConfig {
             max_write_lines: 6,
             topology: sim_htm::Topology::no_smt(8),
@@ -128,18 +166,21 @@ proptest! {
             }
         }
         if lines <= 6 {
-            prop_assert!(failed.is_none());
+            assert!(failed.is_none());
             thread.commit().unwrap();
         } else {
             let e = failed.expect("overflow must abort");
-            prop_assert_eq!(e.code, AbortCode::Capacity { write_set: true });
+            assert_eq!(e.code, AbortCode::Capacity { write_set: true });
         }
     }
+}
 
-    /// Two words written in one transaction are always observed together
-    /// by coherent loads, no matter where a reader samples.
-    #[test]
-    fn commits_publish_atomically(value in 1u64..1000) {
+/// Two words written in one transaction are always observed together
+/// by coherent loads, no matter where a reader samples.
+#[test]
+fn commits_publish_atomically() {
+    sweep("commits_publish_atomically", "", 32, |seed| {
+        let value = 1 + SmallRng::seed_from_u64(seed).gen_range(0u64..999);
         let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 12 }));
         let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
         let a = heap.allocator().alloc(0, WORDS_PER_LINE).unwrap();
@@ -149,6 +190,6 @@ proptest! {
         thread.write(a, value).unwrap();
         thread.write(b, value).unwrap();
         thread.commit().unwrap();
-        prop_assert_eq!(heap.load(a), heap.load(b));
-    }
+        assert_eq!(heap.load(a), heap.load(b));
+    });
 }

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::heap::Heap;
 use crate::line::WORDS_PER_LINE;
@@ -121,14 +121,14 @@ impl AllocState {
     }
 
     fn alloc_small(&self, tid: usize, class: SizeClass, heap: &Heap) -> Result<Addr, MemError> {
-        let mut pool = self.pools[tid].lock();
+        let mut pool = self.pools[tid].lock().unwrap();
         if let Some(addr) = pool.lists[class.index()].pop() {
             self.allocs.fetch_add(1, Ordering::Relaxed);
             return Ok(addr);
         }
         // Refill from the central pool, then retry locally.
         {
-            let mut global = self.global.lock();
+            let mut global = self.global.lock().unwrap();
             let batch = class.refill_batch();
             let list = &mut global.central[class.index()];
             let take = batch.min(list.len());
@@ -152,7 +152,7 @@ impl AllocState {
     }
 
     fn alloc_large(&self, payload_words: u64, heap: &Heap) -> Result<Addr, MemError> {
-        let mut global = self.global.lock();
+        let mut global = self.global.lock().unwrap();
         if let Some(list) = global.large_free.get_mut(&payload_words) {
             if let Some(addr) = list.pop() {
                 self.large_allocs.fetch_add(1, Ordering::Relaxed);
@@ -195,7 +195,7 @@ impl AllocState {
         self.frees.fetch_add(1, Ordering::Relaxed);
         match SizeClass::for_payload(payload) {
             Some(class) if class.payload_words() == payload => {
-                let mut pool = self.pools[tid].lock();
+                let mut pool = self.pools[tid].lock().unwrap();
                 let list = &mut pool.lists[class.index()];
                 list.push(addr);
                 let limit = 2 * class.refill_batch();
@@ -203,13 +203,13 @@ impl AllocState {
                     let keep = limit / 2;
                     let overflow: Vec<Addr> = list.drain(keep..).collect();
                     drop(pool);
-                    let mut global = self.global.lock();
+                    let mut global = self.global.lock().unwrap();
                     global.central[class.index()].extend(overflow);
                     self.flushes.fetch_add(1, Ordering::Relaxed);
                 }
             }
             _ => {
-                let mut global = self.global.lock();
+                let mut global = self.global.lock().unwrap();
                 global.large_free.entry(payload).or_default().push(addr);
             }
         }
@@ -227,7 +227,7 @@ impl AllocState {
     }
 
     pub(crate) fn stats(&self, _heap: &Heap) -> AllocStats {
-        let bump = self.global.lock().bump;
+        let bump = self.global.lock().unwrap().bump;
         AllocStats {
             allocs: self.allocs.load(Ordering::Relaxed),
             frees: self.frees.load(Ordering::Relaxed),

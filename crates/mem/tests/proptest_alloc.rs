@@ -1,8 +1,39 @@
 //! Property tests for the allocator: no block ever overlaps another live
 //! block, frees recycle, and recycled memory is always scrubbed.
+//!
+//! The generators run on the in-tree seeded RNG (no registry access
+//! needed). Each case is derived entirely from one `u64` seed; on failure
+//! the harness prints that seed, and seeds recorded in
+//! `proptest-regressions/proptest_alloc.txt` are replayed before the sweep.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use sim_mem::{Heap, HeapConfig};
+
+/// Replays committed regression seeds, then sweeps `cases` fresh seeds.
+/// Prints the failing seed so the case can be replayed in isolation.
+fn sweep(name: &str, regressions: &str, cases: u64, case: impl Fn(u64) + std::panic::RefUnwindSafe) {
+    let fresh = (0..cases).map(|i| 0x9e3779b97f4a7c15u64.wrapping_mul(i + 1));
+    for seed in regression_seeds(regressions).into_iter().chain(fresh) {
+        if let Err(payload) = std::panic::catch_unwind(|| case(seed)) {
+            eprintln!("property '{name}' failed; replay with seed {seed:#x}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Parses `seed = 0x...` lines (comments and blanks ignored).
+fn regression_seeds(file: &str) -> Vec<u64> {
+    file.lines()
+        .filter_map(|l| l.trim().strip_prefix("seed = "))
+        .map(|s| {
+            let s = s.trim();
+            u64::from_str_radix(s.trim_start_matches("0x"), 16).expect("bad regression seed")
+        })
+        .collect()
+}
+
+const REGRESSIONS: &str = include_str!("../../../proptest-regressions/proptest_alloc.txt");
 
 #[derive(Clone, Debug)]
 enum AllocOp {
@@ -12,21 +43,23 @@ enum AllocOp {
     Free { tid: usize, pick: usize },
 }
 
-fn ops() -> impl Strategy<Value = Vec<AllocOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0usize..4, 1u64..400).prop_map(|(tid, words)| AllocOp::Alloc { tid, words }),
-            (0usize..4, any::<usize>()).prop_map(|(tid, pick)| AllocOp::Free { tid, pick }),
-        ],
-        1..120,
-    )
+fn gen_script(rng: &mut SmallRng) -> Vec<AllocOp> {
+    (0..rng.gen_range(1..120))
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                AllocOp::Alloc { tid: rng.gen_range(0..4), words: rng.gen_range(1u64..400) }
+            } else {
+                AllocOp::Free { tid: rng.gen_range(0..4), pick: rng.gen_range(0usize..usize::MAX) }
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn blocks_never_overlap_and_recycle_scrubbed(script in ops()) {
+#[test]
+fn blocks_never_overlap_and_recycle_scrubbed() {
+    sweep("blocks_never_overlap_and_recycle_scrubbed", REGRESSIONS, 64, |seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let script = gen_script(&mut rng);
         let heap = Heap::new(HeapConfig { words: 1 << 18 });
         let alloc = heap.allocator();
         let mut live: Vec<(sim_mem::Addr, u64)> = Vec::new();
@@ -36,18 +69,20 @@ proptest! {
                 AllocOp::Alloc { tid, words } => {
                     let addr = alloc.alloc(tid, words).unwrap();
                     let capacity = alloc.block_words(addr);
-                    prop_assert!(capacity >= words);
+                    assert!(capacity >= words);
                     // Fresh or recycled: must be scrubbed.
                     for i in 0..capacity {
-                        prop_assert_eq!(heap.load(addr.offset(i)), 0, "dirty block");
+                        assert_eq!(heap.load(addr.offset(i)), 0, "dirty block");
                     }
                     // Must not overlap any live block (including headers).
                     let new_span = (addr.index() - 1, addr.index() + capacity);
                     for &(other, other_cap) in &live {
                         let span = (other.index() - 1, other.index() + other_cap);
-                        prop_assert!(
+                        assert!(
                             new_span.1 <= span.0 || span.1 <= new_span.0,
-                            "overlap: {:?} vs {:?}", new_span, span
+                            "overlap: {:?} vs {:?}",
+                            new_span,
+                            span
                         );
                     }
                     // Stamp it so scrub-on-free is observable.
@@ -69,10 +104,10 @@ proptest! {
         // handed out twice).
         for &(addr, capacity) in &live {
             for i in 0..capacity {
-                prop_assert_eq!(heap.load(addr.offset(i)), addr.index() ^ i, "block stomped");
+                assert_eq!(heap.load(addr.offset(i)), addr.index() ^ i, "block stomped");
             }
         }
         let stats = alloc.stats();
-        prop_assert!(stats.allocs + stats.large_allocs >= live.len() as u64);
-    }
+        assert!(stats.allocs + stats.large_allocs >= live.len() as u64);
+    });
 }

@@ -44,7 +44,7 @@ fn main() {
             let rt = Arc::clone(&rt);
             s.spawn(move || {
                 let mut w = rt.register(tid);
-                let mut rng = (tid as u64 + 1) * 0x9e3779b97f4a7c15;
+                let mut rng = (tid as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
                 for _ in 0..TRANSFERS {
                     rng ^= rng << 13;
                     rng ^= rng >> 7;

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, and a short deterministic opacity sweep.
+#
+# Run from the repository root:
+#
+#   ./scripts/ci.sh
+#
+# The sweep gives each of the paper's five algorithms a ~1-second budget
+# of seeded deterministic schedules on each HTM configuration, checking
+# every recorded history for opacity. A failure prints the replay seed;
+# reproduce it with
+#
+#   cargo run -p tm-check --release --bin sweep -- \
+#       --algorithm <name> --htm <config> --replay <seed>
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== deterministic opacity sweep (~1 s per algorithm per HTM config) =="
+for htm in default disabled tiny; do
+    cargo run -p tm-check --release --bin sweep -- --htm "$htm" --seconds 1
+done
+
+echo "ci.sh: all green"

@@ -1,15 +1,46 @@
 //! Property tests: the transactional data structures agree with their
 //! `std` model under arbitrary operation sequences, on both an STM and the
 //! full RH NOrec stack (whose fast path exercises the simulated HTM).
+//!
+//! The generators run on the in-tree seeded RNG (no registry access
+//! needed). Each case is derived entirely from one `u64` seed; on failure
+//! the harness prints that seed, and seeds recorded in
+//! `proptest-regressions/proptest_structures.txt` are replayed first.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use rh_norec_repro::htm::{Htm, HtmConfig};
 use rh_norec_repro::mem::{Heap, HeapConfig};
 use rh_norec_repro::tm::{Algorithm, TmConfig, TmRuntime, TxKind};
 use rh_norec_repro::workloads::structures::{HashTable, Queue, RbTree, SortedList};
+
+/// Replays committed regression seeds, then sweeps `cases` fresh seeds.
+/// Prints the failing seed so the case can be replayed in isolation.
+fn sweep(name: &str, regressions: &str, cases: u64, case: impl Fn(u64) + std::panic::RefUnwindSafe) {
+    let fresh = (0..cases).map(|i| 0x9e3779b97f4a7c15u64.wrapping_mul(i + 1));
+    for seed in regression_seeds(regressions).into_iter().chain(fresh) {
+        if let Err(payload) = std::panic::catch_unwind(|| case(seed)) {
+            eprintln!("property '{name}' failed; replay with seed {seed:#x}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Parses `seed = 0x...` lines (comments and blanks ignored).
+fn regression_seeds(file: &str) -> Vec<u64> {
+    file.lines()
+        .filter_map(|l| l.trim().strip_prefix("seed = "))
+        .map(|s| {
+            let s = s.trim();
+            u64::from_str_radix(s.trim_start_matches("0x"), 16).expect("bad regression seed")
+        })
+        .collect()
+}
+
+const REGRESSIONS: &str = include_str!("../proptest-regressions/proptest_structures.txt");
 
 #[derive(Clone, Debug)]
 enum MapOp {
@@ -18,15 +49,14 @@ enum MapOp {
     Get(u64),
 }
 
-fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..64, any::<u64>()).prop_map(|(k, v)| MapOp::Put(k, v)),
-            (0u64..64).prop_map(MapOp::Remove),
-            (0u64..64).prop_map(MapOp::Get),
-        ],
-        0..200,
-    )
+fn gen_map_ops(rng: &mut SmallRng) -> Vec<MapOp> {
+    (0..rng.gen_range(0..200))
+        .map(|_| match rng.gen_range(0u32..3) {
+            0 => MapOp::Put(rng.gen_range(0u64..64), rng.gen()),
+            1 => MapOp::Remove(rng.gen_range(0u64..64)),
+            _ => MapOp::Get(rng.gen_range(0u64..64)),
+        })
+        .collect()
 }
 
 fn runtime(algorithm: Algorithm) -> (Arc<Heap>, Arc<TmRuntime>) {
@@ -36,12 +66,12 @@ fn runtime(algorithm: Algorithm) -> (Arc<Heap>, Arc<TmRuntime>) {
     (heap, rt)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn rbtree_matches_btreemap(ops in map_ops(), rh in any::<bool>()) {
-        let alg = if rh { Algorithm::RhNorec } else { Algorithm::Norec };
+#[test]
+fn rbtree_matches_btreemap() {
+    sweep("rbtree_matches_btreemap", REGRESSIONS, 32, |seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ops = gen_map_ops(&mut rng);
+        let alg = if rng.gen_bool(0.5) { Algorithm::RhNorec } else { Algorithm::Norec };
         let (heap, rt) = runtime(alg);
         let tree = RbTree::create(&heap);
         let mut worker = rt.register(0);
@@ -50,26 +80,30 @@ proptest! {
             match op {
                 MapOp::Put(k, v) => {
                     let got = worker.execute(TxKind::ReadWrite, |tx| tree.put(tx, k, v));
-                    prop_assert_eq!(got, model.insert(k, v));
+                    assert_eq!(got, model.insert(k, v));
                 }
                 MapOp::Remove(k) => {
                     let got = worker.execute(TxKind::ReadWrite, |tx| tree.remove(tx, k));
-                    prop_assert_eq!(got, model.remove(&k));
+                    assert_eq!(got, model.remove(&k));
                 }
                 MapOp::Get(k) => {
                     let got = worker.execute(TxKind::ReadOnly, |tx| tree.get(tx, k));
-                    prop_assert_eq!(got, model.get(&k).copied());
+                    assert_eq!(got, model.get(&k).copied());
                 }
             }
         }
-        prop_assert!(tree.check_invariants(&heap).is_ok());
+        assert!(tree.check_invariants(&heap).is_ok());
         let collected = tree.collect(&heap);
         let expected: Vec<(u64, u64)> = model.into_iter().collect();
-        prop_assert_eq!(collected, expected);
-    }
+        assert_eq!(collected, expected);
+    });
+}
 
-    #[test]
-    fn hashtable_matches_hashmap(ops in map_ops()) {
+#[test]
+fn hashtable_matches_hashmap() {
+    sweep("hashtable_matches_hashmap", REGRESSIONS, 32, |seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ops = gen_map_ops(&mut rng);
         let (heap, rt) = runtime(Algorithm::RhNorec);
         let table = HashTable::create(&heap, 8);
         let mut worker = rt.register(0);
@@ -78,15 +112,15 @@ proptest! {
             match op {
                 MapOp::Put(k, v) => {
                     let got = worker.execute(TxKind::ReadWrite, |tx| table.put(tx, k, v));
-                    prop_assert_eq!(got, model.insert(k, v));
+                    assert_eq!(got, model.insert(k, v));
                 }
                 MapOp::Remove(k) => {
                     let got = worker.execute(TxKind::ReadWrite, |tx| table.remove(tx, k));
-                    prop_assert_eq!(got, model.remove(&k));
+                    assert_eq!(got, model.remove(&k));
                 }
                 MapOp::Get(k) => {
                     let got = worker.execute(TxKind::ReadOnly, |tx| table.get(tx, k));
-                    prop_assert_eq!(got, model.get(&k).copied());
+                    assert_eq!(got, model.get(&k).copied());
                 }
             }
         }
@@ -94,11 +128,15 @@ proptest! {
         got.sort_unstable();
         let mut want: Vec<(u64, u64)> = model.into_iter().collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn sorted_list_matches_btreemap(ops in map_ops()) {
+#[test]
+fn sorted_list_matches_btreemap() {
+    sweep("sorted_list_matches_btreemap", REGRESSIONS, 32, |seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ops = gen_map_ops(&mut rng);
         let (heap, rt) = runtime(Algorithm::RhNorec);
         let list = SortedList::create(&heap);
         let mut worker = rt.register(0);
@@ -108,29 +146,35 @@ proptest! {
                 MapOp::Put(k, v) => {
                     let inserted = worker.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, v));
                     if model.contains_key(&k) {
-                        prop_assert!(!inserted, "duplicate insert accepted");
+                        assert!(!inserted, "duplicate insert accepted");
                     } else {
-                        prop_assert!(inserted);
+                        assert!(inserted);
                         model.insert(k, v);
                     }
                 }
                 MapOp::Remove(k) => {
                     let got = worker.execute(TxKind::ReadWrite, |tx| list.remove(tx, k));
-                    prop_assert_eq!(got, model.remove(&k));
+                    assert_eq!(got, model.remove(&k));
                 }
                 MapOp::Get(k) => {
                     let got = worker.execute(TxKind::ReadOnly, |tx| list.get(tx, k));
-                    prop_assert_eq!(got, model.get(&k).copied());
+                    assert_eq!(got, model.get(&k).copied());
                 }
             }
         }
         let collected = list.collect(&heap);
         let expected: Vec<(u64, u64)> = model.into_iter().collect();
-        prop_assert_eq!(collected, expected);
-    }
+        assert_eq!(collected, expected);
+    });
+}
 
-    #[test]
-    fn queue_matches_vecdeque(ops in prop::collection::vec(prop::option::of(any::<u64>()), 0..200)) {
+#[test]
+fn queue_matches_vecdeque() {
+    sweep("queue_matches_vecdeque", REGRESSIONS, 32, |seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ops: Vec<Option<u64>> = (0..rng.gen_range(0..200))
+            .map(|_| if rng.gen_bool(0.5) { Some(rng.gen()) } else { None })
+            .collect();
         let (heap, rt) = runtime(Algorithm::RhNorec);
         let queue = Queue::create(&heap);
         let mut worker = rt.register(0);
@@ -143,10 +187,10 @@ proptest! {
                 }
                 None => {
                     let got = worker.execute(TxKind::ReadWrite, |tx| queue.pop(tx));
-                    prop_assert_eq!(got, model.pop_front());
+                    assert_eq!(got, model.pop_front());
                 }
             }
         }
-        prop_assert_eq!(queue.collect(&heap), Vec::from(model));
-    }
+        assert_eq!(queue.collect(&heap), Vec::from(model));
+    });
 }
