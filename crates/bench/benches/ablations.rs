@@ -6,10 +6,10 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rh_bench::{run_cell, CellConfig};
-use rh_norec::{Algorithm, TmConfig};
+use rh_norec::{Algorithm, TmConfigBuilder};
 use tm_workloads::rbtree_bench::{RbTreeBench, RbTreeBenchConfig};
 
-fn rbtree_cell(alg: Algorithm, overrides: Option<fn(&mut TmConfig)>) -> u64 {
+fn rbtree_cell(alg: Algorithm, overrides: Option<fn(TmConfigBuilder) -> TmConfigBuilder>) -> u64 {
     let config = CellConfig {
         duration: Duration::from_millis(20),
         heap_words: 1 << 20,
@@ -39,10 +39,10 @@ fn ablations(c: &mut Criterion) {
         b.iter(|| rbtree_cell(Algorithm::RhNorecPostfixOnly, None))
     });
     group.bench_function("rh_fixed_prefix", |b| {
-        b.iter(|| rbtree_cell(Algorithm::RhNorec, Some(|c| c.prefix.adaptive = false)))
+        b.iter(|| rbtree_cell(Algorithm::RhNorec, Some(|b| b.adaptive_prefix(false))))
     });
     group.bench_function("rh_small_htm_retries_4", |b| {
-        b.iter(|| rbtree_cell(Algorithm::RhNorec, Some(|c| c.retry.small_htm_retries = 4)))
+        b.iter(|| rbtree_cell(Algorithm::RhNorec, Some(|b| b.small_htm_retries(4))))
     });
     group.bench_function("norec_eager", |b| b.iter(|| rbtree_cell(Algorithm::Norec, None)));
     group.bench_function("norec_lazy", |b| b.iter(|| rbtree_cell(Algorithm::NorecLazy, None)));

@@ -16,7 +16,8 @@ fn figure6(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
-    let apps: Vec<(&str, Box<dyn Fn(&Heap) -> Box<dyn Workload> + Sync>)> = vec![
+    type AppBuilder = Box<dyn Fn(&Heap) -> Box<dyn Workload> + Sync>;
+    let apps: Vec<(&str, AppBuilder)> = vec![
         (
             "vacation_high",
             Box::new(|heap: &Heap| {

@@ -51,9 +51,9 @@ fn algorithm_transactions(c: &mut Criterion) {
     for alg in Algorithm::ALL {
         let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
         let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
-        let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(alg));
+        let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(alg)).expect("runtime construction cannot fail");
         let addr = heap.allocator().alloc(0, 8).unwrap();
-        let mut worker = rt.register(0);
+        let mut worker = rt.register(0).expect("fresh thread id");
         group.bench_function(alg.label(), |b| {
             b.iter(|| {
                 worker.execute(TxKind::ReadWrite, |tx| {

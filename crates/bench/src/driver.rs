@@ -5,7 +5,7 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use rand::SeedableRng;
-use rh_norec::{Algorithm, TmConfig, TmRuntime, TmThreadStats};
+use rh_norec::{Algorithm, TmConfig, TmConfigBuilder, TmRuntime, TmThreadStats};
 use sim_htm::{Htm, HtmConfig, HtmThreadStats};
 use sim_mem::{Heap, HeapConfig};
 use tm_workloads::{Workload, WorkloadRng};
@@ -27,8 +27,9 @@ pub struct CellConfig {
     pub seed: u64,
     /// Run the workload's invariant check after measurement.
     pub verify: bool,
-    /// Override the runtime configuration (prefix/retry ablations).
-    pub tm_overrides: Option<fn(&mut TmConfig)>,
+    /// Override the runtime configuration (prefix/retry ablations); the
+    /// builder the function returns is validated by `build()`.
+    pub tm_overrides: Option<fn(TmConfigBuilder) -> TmConfigBuilder>,
 }
 
 impl CellConfig {
@@ -110,18 +111,19 @@ fn ratio(num: u64, den: u64) -> f64 {
 pub fn run_cell(build: &dyn Fn(&Heap) -> Box<dyn Workload>, config: &CellConfig) -> CellResult {
     let heap = Arc::new(Heap::new(HeapConfig { words: config.heap_words }));
     let htm = Htm::new(Arc::clone(&heap), config.htm);
-    let mut tm_config = TmConfig::new(config.algorithm);
     // Measurement realism: interleave worker schedules so transactions
     // overlap in time even when the host has fewer cores than workers.
-    tm_config.interleave_accesses = 2;
+    let mut builder = TmConfig::builder(config.algorithm).interleave_accesses(2);
     if let Some(f) = config.tm_overrides {
-        f(&mut tm_config);
+        builder = f(builder);
     }
-    let rt = TmRuntime::new(Arc::clone(&heap), htm, tm_config);
+    let tm_config = builder.build().expect("cell TM configuration rejected");
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, tm_config)
+        .expect("cell runtime construction cannot fail");
     let workload: Box<dyn Workload> = build(&heap);
 
     {
-        let mut setup_worker = rt.register(0);
+        let mut setup_worker = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(config.seed);
         workload.setup(&mut setup_worker, &mut rng);
     }
@@ -139,8 +141,8 @@ pub fn run_cell(build: &dyn Fn(&Heap) -> Box<dyn Workload>, config: &CellConfig)
             let results = &results;
             let seed = config.seed;
             s.spawn(move || {
-                let mut worker = rt.register(tid);
-                let mut rng = WorkloadRng::seed_from_u64(seed ^ (tid as u64 + 1) * 0x9e37);
+                let mut worker = rt.register(tid).expect("fresh thread id");
+                let mut rng = WorkloadRng::seed_from_u64(seed ^ ((tid as u64 + 1) * 0x9e37));
                 barrier.wait();
                 worker.reset_stats();
                 let mut ops = 0u64;
@@ -220,7 +222,7 @@ mod tests {
             &config,
         );
         assert!(result.ops > 0, "no operations completed");
-        assert_eq!(result.tm.commits > 0, true);
+        assert!(result.tm.commits > 0);
         assert!(result.throughput() > 0.0);
     }
 }

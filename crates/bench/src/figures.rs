@@ -75,12 +75,15 @@ impl Overrides {
     }
 }
 
+/// Boxed workload constructor: one fresh instance per cell.
+pub type WorkloadBuilder = Box<dyn Fn(&Heap) -> Box<dyn Workload>>;
+
 /// A workload constructor plus its display name.
 pub struct BenchDef {
     /// Sub-benchmark label as it appears in the paper's figure.
     pub label: String,
     /// Constructor (one fresh instance per cell).
-    pub build: Box<dyn Fn(&Heap) -> Box<dyn Workload> + Sync>,
+    pub build: WorkloadBuilder,
 }
 
 impl std::fmt::Debug for BenchDef {
@@ -201,7 +204,7 @@ pub fn run_ablations(scale: Scale) {
     let threads = 8;
     let duration = scale.duration();
     let size = scale.rbtree_size();
-    let build: Box<dyn Fn(&Heap) -> Box<dyn Workload> + Sync> = Box::new(move |heap| {
+    let build: WorkloadBuilder = Box::new(move |heap| {
         Box::new(RbTreeBench::new(
             heap,
             RbTreeBenchConfig { initial_size: size, mutation_pct: 10 },
@@ -209,18 +212,16 @@ pub fn run_ablations(scale: Scale) {
     });
 
     println!("== Ablations (RBTree {size} nodes, 10% mutations, {threads} threads) ==");
-    let cases: Vec<(&str, Algorithm, Option<fn(&mut rh_norec::TmConfig)>)> = vec![
+    type Override = fn(rh_norec::TmConfigBuilder) -> rh_norec::TmConfigBuilder;
+    let cases: Vec<(&str, Algorithm, Option<Override>)> = vec![
         ("RH-NOrec (prefix+postfix)", Algorithm::RhNorec, None),
         ("RH-NOrec postfix-only (Alg.2)", Algorithm::RhNorecPostfixOnly, None),
-        ("RH-NOrec fixed prefix length", Algorithm::RhNorec, Some(|c| {
-            c.prefix.adaptive = false;
-        })),
-        ("RH-NOrec small-HTM retries=4", Algorithm::RhNorec, Some(|c| {
-            c.retry.small_htm_retries = 4;
-        })),
-        ("RH-NOrec fast-path retries=1", Algorithm::RhNorec, Some(|c| {
-            c.retry.fast_path_retries = 1;
-        })),
+        ("RH-NOrec fixed prefix length", Algorithm::RhNorec,
+            Some(|b| b.adaptive_prefix(false))),
+        ("RH-NOrec small-HTM retries=4", Algorithm::RhNorec,
+            Some(|b| b.small_htm_retries(4))),
+        ("RH-NOrec fast-path retries=1", Algorithm::RhNorec,
+            Some(|b| b.fast_path_retries(1))),
         ("HY-NOrec (eager slow path)", Algorithm::HybridNorec, None),
         ("HY-NOrec (lazy slow path)", Algorithm::HybridNorecLazy, None),
         ("NOrec eager", Algorithm::Norec, None),

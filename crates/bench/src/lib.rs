@@ -26,6 +26,7 @@
 
 pub mod driver;
 pub mod figures;
+pub mod overhead;
 pub mod report;
 
 pub use driver::{run_cell, CellConfig, CellResult};

@@ -65,6 +65,7 @@ fn main() {
             "extras" => figures::run_figure("Extras", &figures::extras(scale), &algorithms, scale, csv, &overrides),
             "ablate" => figures::run_ablations(scale),
             "summary" => figures::run_summary(scale),
+            "overhead" => rh_bench::overhead::run(scale, csv),
             "all" => {
                 figures::run_figure("Figure 4", &figures::figure4(scale), &algorithms, scale, csv, &overrides);
                 figures::run_figure("Figure 5", &figures::figure5(scale), &algorithms, scale, csv, &overrides);
@@ -73,7 +74,9 @@ fn main() {
                 figures::run_summary(scale);
             }
             other => {
-                eprintln!("unknown target `{other}`; use fig4|fig5|fig6|extras|ablate|summary|all");
+                eprintln!(
+                    "unknown target `{other}`; use fig4|fig5|fig6|extras|ablate|summary|overhead|all"
+                );
                 std::process::exit(2);
             }
         }
@@ -82,7 +85,7 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: rh-bench [fig4|fig5|fig6|extras|ablate|summary|all]... \
+    eprintln!("usage: rh-bench [fig4|fig5|fig6|extras|ablate|summary|overhead|all]... \
        [--paper] [--csv] [--threads 1,2,4] [--duration-ms 500]");
     std::process::exit(2);
 }

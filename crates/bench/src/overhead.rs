@@ -1,0 +1,280 @@
+//! `rh-bench overhead`: single-thread per-operation cost of the TM API.
+//!
+//! The RH NOrec fast path is supposed to be *uninstrumented* — the HyTM
+//! lower-bound results (Alistarh et al.; Brown & Ravi) show per-access
+//! instrumentation is exactly what kills hybrid scaling. This benchmark
+//! measures what one transactional access actually costs through the
+//! public `Tx` handle, per algorithm, with no contention at all: one
+//! thread, a private working set, no spurious aborts. Any cycles left
+//! here are pure API and dispatch tax.
+//!
+//! Two scenarios per algorithm:
+//!
+//! * `read` — a `TxKind::ReadOnly` transaction of 16 uncontended reads,
+//! * `read_write` — a `TxKind::ReadWrite` transaction of 8 read/write
+//!   pairs.
+//!
+//! Results go to stdout (table or `--csv`) and to `BENCH_2.json`, which
+//! also embeds the pre-refactor baseline (dynamic dispatch through
+//! `&mut dyn TxOps` with always-on yield points and trace hooks) captured
+//! before the static-dispatch rework, so the before/after comparison
+//! survives in machine-readable form.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rh_norec::{Algorithm, TmConfig, TmRuntime, TxKind};
+use sim_htm::{Htm, HtmConfig};
+use sim_mem::{Addr, Heap, HeapConfig};
+
+use crate::figures::Scale;
+
+/// Transactional accesses per measured transaction (both scenarios).
+pub const ACCESSES_PER_TX: u64 = 16;
+
+/// Per-op numbers captured **before** the static-dispatch refactor, with
+/// the virtual-call `Tx` handle and unconditional `sched::yield_point()`
+/// and trace hooks on every access. Units are nanoseconds, measured on
+/// the CI container with the same scenarios this module runs (quick
+/// scale). Kept as data so `BENCH_2.json` always reports the
+/// before/after pair.
+const BASELINE_PRE_REFACTOR: &[(&str, &str, f64, f64)] = &[
+    // (algorithm label, scenario, ns_per_tx, ns_per_access)
+    ("Lock Elision", "read", 953.53, 59.596),
+    ("Lock Elision", "read_write", 1795.40, 112.213),
+    ("NOrec", "read", 233.56, 14.598),
+    ("NOrec", "read_write", 412.78, 25.799),
+    ("NOrec-Lazy", "read", 319.69, 19.981),
+    ("NOrec-Lazy", "read_write", 533.11, 33.320),
+    ("TL2", "read", 264.52, 16.533),
+    ("TL2", "read_write", 922.22, 57.639),
+    ("HY-NOrec", "read", 999.57, 62.473),
+    ("HY-NOrec", "read_write", 1621.36, 101.335),
+    ("HY-NOrec-Lazy", "read", 1060.68, 66.292),
+    ("HY-NOrec-Lazy", "read_write", 1636.26, 102.266),
+    ("RH-NOrec", "read", 967.56, 60.473),
+    ("RH-NOrec", "read_write", 1684.61, 105.288),
+    ("RH-NOrec-Postfix", "read", 939.85, 58.741),
+    ("RH-NOrec-Postfix", "read_write", 1601.88, 100.117),
+];
+
+/// Dispatch description of the baseline rows above.
+const BASELINE_DISPATCH: &str = "&mut dyn TxOps (vtable per access), yield+trace hooks always on";
+
+/// One measured cell.
+#[derive(Clone, Debug)]
+pub struct OverheadRow {
+    /// Algorithm label (matches figure legends).
+    pub algorithm: &'static str,
+    /// Scenario name: `read` or `read_write`.
+    pub scenario: &'static str,
+    /// Transactions measured (after warmup).
+    pub txs: u64,
+    /// Wall-clock nanoseconds per transaction.
+    pub ns_per_tx: f64,
+    /// Wall-clock nanoseconds per transactional access.
+    pub ns_per_access: f64,
+}
+
+fn measure_budget(scale: Scale) -> Duration {
+    match scale {
+        Scale::Quick => Duration::from_millis(60),
+        Scale::Paper => Duration::from_millis(400),
+    }
+}
+
+/// Runs one `(algorithm, scenario)` cell and returns its row.
+fn run_scenario(algorithm: Algorithm, scenario: &'static str, budget: Duration) -> OverheadRow {
+    let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
+    // Default HTM config: ample capacity, no spurious aborts. Every
+    // transaction here fits the fast path, so we time the fast path.
+    let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(algorithm))
+        .expect("overhead runtime construction cannot fail");
+    let mut worker = rt.register(0).expect("fresh thread id");
+
+    let alloc = heap.allocator();
+    let slots: Vec<Addr> = (0..64)
+        .map(|i| {
+            let a = alloc.alloc(0, 8).expect("overhead heap too small");
+            heap.store(a, i);
+            a
+        })
+        .collect();
+
+    let one_tx = |worker: &mut rh_norec::TmThread| match scenario {
+        "read" => {
+            let sum = worker.execute(TxKind::ReadOnly, |tx| {
+                let mut acc = 0u64;
+                for slot in &slots[..ACCESSES_PER_TX as usize] {
+                    acc = acc.wrapping_add(tx.read(*slot)?);
+                }
+                Ok(acc)
+            });
+            std::hint::black_box(sum);
+        }
+        "read_write" => {
+            worker.execute(TxKind::ReadWrite, |tx| {
+                for i in 0..(ACCESSES_PER_TX as usize / 2) {
+                    let v = tx.read(slots[i])?;
+                    tx.write(slots[32 + i], v.wrapping_add(1))?;
+                }
+                Ok(())
+            });
+        }
+        other => unreachable!("unknown overhead scenario {other}"),
+    };
+
+    // Warmup: fault in the working set, settle adaptive state.
+    for _ in 0..2_000 {
+        one_tx(&mut worker);
+    }
+
+    // Report the fastest batch, not the mean: on a shared CI machine the
+    // mean folds in scheduler preemptions and co-tenant load, while the
+    // minimum converges on the true uncontended cost.
+    let mut txs = 0u64;
+    let mut best_batch = Duration::MAX;
+    let started = Instant::now();
+    loop {
+        let batch_started = Instant::now();
+        for _ in 0..1_024 {
+            one_tx(&mut worker);
+        }
+        best_batch = best_batch.min(batch_started.elapsed());
+        txs += 1_024;
+        if started.elapsed() >= budget {
+            break;
+        }
+    }
+
+    let ns_per_tx = best_batch.as_nanos() as f64 / 1_024.0;
+    OverheadRow {
+        algorithm: algorithm.label(),
+        scenario,
+        txs,
+        ns_per_tx,
+        ns_per_access: ns_per_tx / ACCESSES_PER_TX as f64,
+    }
+}
+
+/// Runs the full overhead matrix: every algorithm × both scenarios.
+pub fn run_matrix(scale: Scale) -> Vec<OverheadRow> {
+    let budget = measure_budget(scale);
+    let mut rows = Vec::new();
+    for &algorithm in &Algorithm::ALL {
+        for scenario in ["read", "read_write"] {
+            rows.push(run_scenario(algorithm, scenario, budget));
+        }
+    }
+    rows
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn rows_json(out: &mut String, rows: &[(&str, &str, f64, f64, Option<u64>)]) {
+    out.push_str("[\n");
+    for (i, (alg, scenario, ns_tx, ns_access, txs)) in rows.iter().enumerate() {
+        out.push_str("      {");
+        out.push_str(&format!(
+            "\"algorithm\": \"{}\", \"scenario\": \"{}\", \"ns_per_tx\": {:.2}, \"ns_per_access\": {:.3}",
+            json_escape(alg),
+            json_escape(scenario),
+            ns_tx,
+            ns_access
+        ));
+        if let Some(txs) = txs {
+            out.push_str(&format!(", \"txs\": {txs}"));
+        }
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("    ]");
+}
+
+/// Serializes the result (plus the embedded pre-refactor baseline) as the
+/// `BENCH_2.json` document.
+pub fn to_json(rows: &[OverheadRow]) -> String {
+    let current: Vec<(&str, &str, f64, f64, Option<u64>)> = rows
+        .iter()
+        .map(|r| (r.algorithm, r.scenario, r.ns_per_tx, r.ns_per_access, Some(r.txs)))
+        .collect();
+    let baseline: Vec<(&str, &str, f64, f64, Option<u64>)> = BASELINE_PRE_REFACTOR
+        .iter()
+        .map(|&(alg, scenario, ns_tx, ns_access)| (alg, scenario, ns_tx, ns_access, None))
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"overhead\",\n");
+    out.push_str(
+        "  \"description\": \"single-thread uncontended per-op cost through the public Tx handle\",\n",
+    );
+    out.push_str(&format!("  \"accesses_per_tx\": {ACCESSES_PER_TX},\n"));
+    out.push_str(&format!(
+        "  \"instrumentation_compiled\": {},\n",
+        rh_norec::INSTRUMENTED
+    ));
+    out.push_str("  \"baseline_pre_refactor\": {\n");
+    out.push_str(&format!("    \"dispatch\": \"{}\",\n", json_escape(BASELINE_DISPATCH)));
+    out.push_str("    \"rows\": ");
+    rows_json(&mut out, &baseline);
+    out.push_str("\n  },\n");
+    out.push_str("  \"current\": {\n");
+    out.push_str(
+        "    \"dispatch\": \"monomorphized TxCtx enum, yield+trace hooks behind the `deterministic` feature\",\n",
+    );
+    out.push_str("    \"rows\": ");
+    rows_json(&mut out, &current);
+    out.push_str("\n  }\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Runs the matrix, prints it (`--csv` for machine-readable rows), and
+/// writes `BENCH_2.json` into the current directory.
+pub fn run(scale: Scale, csv: bool) {
+    let rows = run_matrix(scale);
+
+    if csv {
+        println!("algorithm,scenario,txs,ns_per_tx,ns_per_access");
+        for r in &rows {
+            println!(
+                "{},{},{},{:.2},{:.3}",
+                r.algorithm, r.scenario, r.txs, r.ns_per_tx, r.ns_per_access
+            );
+        }
+    } else {
+        println!(
+            "overhead: single-thread uncontended cost per transactional access \
+             (instrumentation compiled: {})",
+            rh_norec::INSTRUMENTED
+        );
+        println!("{:<18} {:<11} {:>10} {:>12} {:>14}", "algorithm", "scenario", "txs", "ns/tx", "ns/access");
+        for r in &rows {
+            println!(
+                "{:<18} {:<11} {:>10} {:>12.2} {:>14.3}",
+                r.algorithm, r.scenario, r.txs, r.ns_per_tx, r.ns_per_access
+            );
+        }
+        if !BASELINE_PRE_REFACTOR.is_empty() {
+            println!();
+            println!("pre-refactor baseline ({BASELINE_DISPATCH}):");
+            for &(alg, scenario, ns_tx, ns_access) in BASELINE_PRE_REFACTOR {
+                println!("{alg:<18} {scenario:<11} {:>10} {ns_tx:>12.2} {ns_access:>14.3}", "-");
+            }
+        }
+    }
+
+    let json = to_json(&rows);
+    let path = "BENCH_2.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -191,7 +191,8 @@ fn scripts(case: &CaseConfig, seed: u64) -> Vec<Vec<Vec<Op>>> {
 pub fn run_case(case: &CaseConfig, sched_cfg: &SchedConfig) -> Result<CaseReport, CaseFailure> {
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
     let htm = Htm::new(Arc::clone(&heap), case.htm);
-    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(case.algorithm));
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(case.algorithm))
+        .expect("harness runtime construction cannot fail");
     if case.mutant {
         rt.set_postfix_clock_mutant(true);
     }
@@ -214,7 +215,7 @@ pub fn run_case(case: &CaseConfig, sched_cfg: &SchedConfig) -> Result<CaseReport
             let sink: Arc<dyn TraceSink> = Arc::clone(&recorder) as Arc<dyn TraceSink>;
             Box::new(move || {
                 trace::install(sink, tid);
-                let mut worker = rt.register(tid);
+                let mut worker = rt.register(tid).expect("fresh thread id");
                 for ops in &script {
                     let kind = if ops.iter().all(|o| matches!(o, Op::Read(_))) {
                         TxKind::ReadOnly
@@ -294,7 +295,8 @@ pub fn privatization_case(
 ) -> Result<(), CaseFailure> {
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
     let htm_dev = Htm::new(Arc::clone(&heap), htm);
-    let rt = TmRuntime::new(Arc::clone(&heap), htm_dev, TmConfig::new(algorithm));
+    let rt = TmRuntime::new(Arc::clone(&heap), htm_dev, TmConfig::new(algorithm))
+        .expect("harness runtime construction cannot fail");
 
     let alloc = heap.allocator();
     let head = alloc.alloc(0, 8).expect("heap too small");
@@ -307,7 +309,7 @@ pub fn privatization_case(
         let rt = Arc::clone(&rt);
         let done = Arc::clone(&done);
         bodies.push(Box::new(move || {
-            let mut worker = rt.register(tid);
+            let mut worker = rt.register(tid).expect("fresh thread id");
             while !done.load(std::sync::atomic::Ordering::Acquire) {
                 worker.execute(TxKind::ReadWrite, |tx| {
                     let target = tx.read_addr(head)?;
@@ -325,7 +327,7 @@ pub fn privatization_case(
         let heap = Arc::clone(&heap);
         let done = Arc::clone(&done);
         bodies.push(Box::new(move || {
-            let mut worker = rt.register(2);
+            let mut worker = rt.register(2).expect("fresh thread id");
             // Let the writers churn for a few scheduling quanta.
             for _ in 0..32 {
                 sched::yield_point();

@@ -132,8 +132,8 @@ pub fn check(initial: &HashMap<u64, u64>, history: &[Event]) -> Result<Summary, 
             let hi = writers_before(attempt.end_pos);
             let mut last_err = None;
             let mut satisfied = false;
-            for j in lo..=hi {
-                match check_reads_against(attempt, &states[j], j) {
+            for (j, state) in states.iter().enumerate().take(hi + 1).skip(lo) {
+                match check_reads_against(attempt, state, j) {
                     Ok(()) => {
                         satisfied = true;
                         break;

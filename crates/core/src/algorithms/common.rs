@@ -6,10 +6,19 @@ use sim_htm::{AbortCode, HtmThread};
 use sim_mem::{Addr, Heap};
 
 use crate::cost;
-use crate::error::{TxResult, RESTART};
+use crate::error::{TxFault, TxResult, RESTART};
 use crate::stats::TmThreadStats;
 use crate::tx::{TxMem, TxOps};
-use crate::TxKind;
+
+/// Why a fast-path attempt failed to commit.
+pub(crate) enum FastFail {
+    /// The hardware transaction aborted (`None` when the device reported
+    /// no code, e.g. an explicit user abort path that lost it).
+    Htm(Option<AbortCode>),
+    /// The body tripped a non-retryable programming fault; the attempt was
+    /// torn down and must not be retried.
+    Fault(TxFault),
+}
 
 /// Per-attempt cost accounting plus interleave pacing.
 ///
@@ -33,7 +42,7 @@ impl Meter {
     pub(crate) fn tick(&mut self, cycles: u64) {
         self.cycles += cycles;
         self.accesses += 1;
-        if self.every != 0 && self.accesses % self.every as u64 == 0 {
+        if self.every != 0 && self.accesses.is_multiple_of(self.every as u64) {
             std::thread::yield_now();
         }
     }
@@ -52,6 +61,9 @@ pub(crate) mod xabort {
     pub(crate) const LOCK_HELD: u8 = 1;
     /// The NOrec global clock carried the writer lock bit.
     pub(crate) const CLOCK_LOCKED: u8 = 2;
+    /// The body tripped a programming fault; the speculation is discarded
+    /// and the attempt will not be retried.
+    pub(crate) const FAULT: u8 = 3;
 }
 
 /// Transactional context for code running inside a hardware transaction
@@ -67,7 +79,6 @@ pub(crate) struct FastCtx<'a> {
     pub(crate) heap: &'a Heap,
     pub(crate) mem: &'a mut TxMem,
     pub(crate) tid: usize,
-    pub(crate) kind: TxKind,
     pub(crate) wrote: bool,
     pub(crate) dead: Option<AbortCode>,
     pub(crate) meter: Meter,
@@ -79,7 +90,6 @@ impl<'a> FastCtx<'a> {
         heap: &'a Heap,
         mem: &'a mut TxMem,
         tid: usize,
-        kind: TxKind,
         interleave: u32,
     ) -> Self {
         FastCtx {
@@ -87,7 +97,6 @@ impl<'a> FastCtx<'a> {
             heap,
             mem,
             tid,
-            kind,
             wrote: false,
             dead: None,
             meter: Meter::new(interleave),
@@ -108,10 +117,6 @@ impl TxOps for FastCtx<'_> {
     }
 
     fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
-        assert!(
-            self.kind == TxKind::ReadWrite,
-            "write inside a transaction declared read-only"
-        );
         if self.dead.is_some() {
             return Err(RESTART);
         }
@@ -151,7 +156,6 @@ pub(crate) struct DirectCtx<'a> {
     pub(crate) heap: &'a Heap,
     pub(crate) mem: &'a mut TxMem,
     pub(crate) tid: usize,
-    pub(crate) kind: TxKind,
     pub(crate) meter: Meter,
 }
 
@@ -162,10 +166,6 @@ impl TxOps for DirectCtx<'_> {
     }
 
     fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
-        assert!(
-            self.kind == TxKind::ReadWrite,
-            "write inside a transaction declared read-only"
-        );
         self.meter.tick(cost::HTM_ACCESS);
         self.heap.store(addr, value);
         Ok(())

@@ -17,15 +17,15 @@ use sim_htm::AbortCode;
 use sim_mem::Heap;
 
 use crate::algorithms::common::{
-    acquire_word_lock, classify_fast_abort, release_word_lock, xabort, FastCtx, Meter,
+    acquire_word_lock, classify_fast_abort, release_word_lock, xabort, FastCtx, FastFail, Meter,
 };
 use crate::cost;
 use crate::algorithms::norec::{read_clock_unlocked, EagerCtx, LazyCtx};
-use crate::error::TxResult;
+use crate::error::{TxFault, TxResult};
 use crate::globals::clock;
 use crate::runtime::TmThread;
 use crate::trace;
-use crate::tx::Tx;
+use crate::tx::{Tx, TxCtx};
 use crate::TxKind;
 
 pub(crate) fn run<T>(
@@ -33,7 +33,7 @@ pub(crate) fn run<T>(
     kind: TxKind,
     body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
     lazy: bool,
-) -> T {
+) -> Result<T, TxFault> {
     let retries = t.rt.config().retry.fast_path_retries;
     let mut attempts = 0;
     loop {
@@ -42,9 +42,13 @@ pub(crate) fn run<T>(
             Ok(value) => {
                 trace::commit(trace::Path::Fast);
                 t.stats.fast_path_commits += 1;
-                return value;
+                return Ok(value);
             }
-            Err(code) => {
+            Err(FastFail::Fault(fault)) => {
+                trace::abort();
+                return Err(fault);
+            }
+            Err(FastFail::Htm(code)) => {
                 trace::abort();
                 if let Some(code) = code {
                     classify_fast_abort(&mut t.stats, code);
@@ -75,18 +79,19 @@ pub(crate) fn run<T>(
     }
 }
 
-/// One hardware fast-path attempt. `Err(None)` means HTM refused to begin.
+/// One hardware fast-path attempt. `Err(Htm(None))` means HTM refused to
+/// begin.
 fn try_fast<T>(
     t: &mut TmThread,
     kind: TxKind,
     body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
-) -> Result<T, Option<AbortCode>> {
+) -> Result<T, FastFail> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
     let g = rt.globals();
 
     if t.htm_thread.begin().is_err() {
-        return Err(None);
+        return Err(FastFail::Htm(None));
     }
     t.stats.cycles += cost::HTM_BEGIN + 2 * cost::HTM_ACCESS;
     // Subscribe to the HTM lock.
@@ -94,11 +99,11 @@ fn try_fast<T>(
         Ok(0) => {}
         Ok(_) => {
             t.stats.cycles += cost::HTM_ABORT;
-            return Err(Some(t.htm_thread.abort(xabort::LOCK_HELD).code));
+            return Err(FastFail::Htm(Some(t.htm_thread.abort(xabort::LOCK_HELD).code)));
         }
         Err(e) => {
             t.stats.cycles += cost::HTM_ABORT;
-            return Err(Some(e.code));
+            return Err(FastFail::Htm(Some(e.code)));
         }
     }
     // Subscribe to the global clock AT START — Hybrid NOrec's defining
@@ -108,36 +113,49 @@ fn try_fast<T>(
         Ok(v) if !clock::is_locked(v) => {}
         Ok(_) => {
             t.stats.cycles += cost::HTM_ABORT;
-            return Err(Some(t.htm_thread.abort(xabort::CLOCK_LOCKED).code));
+            return Err(FastFail::Htm(Some(t.htm_thread.abort(xabort::CLOCK_LOCKED).code)));
         }
         Err(e) => {
             t.stats.cycles += cost::HTM_ABORT;
-            return Err(Some(e.code));
+            return Err(FastFail::Htm(Some(e.code)));
         }
     }
 
     let interleave = t.rt.config().interleave_accesses;
-    let mut ctx = FastCtx::new(&mut t.htm_thread, heap, &mut t.mem, t.tid, kind, interleave);
-    let outcome = body(&mut Tx::new(&mut ctx));
+    let ctx = FastCtx::new(&mut t.htm_thread, heap, &mut t.mem, t.tid, interleave);
+    let mut tx = Tx::new(TxCtx::Fast(ctx), kind);
+    let outcome = body(&mut tx);
+    let (ctx, fault) = tx.into_parts();
+    let TxCtx::Fast(ctx) = ctx else { unreachable!() };
     let wrote = ctx.wrote;
     let dead = ctx.dead;
     t.stats.cycles += ctx.meter.cycles;
 
+    if let Some(fault) = fault {
+        if dead.is_none() {
+            t.htm_thread.abort(xabort::FAULT);
+        }
+        t.stats.cycles += cost::HTM_ABORT;
+        t.mem.rollback(heap, t.tid);
+        return Err(FastFail::Fault(fault));
+    }
     match outcome {
         Ok(value) => {
             if let Some(code) = dead {
                 t.stats.cycles += cost::HTM_ABORT;
                 t.mem.rollback(heap, t.tid);
-                return Err(Some(code));
+                return Err(FastFail::Htm(Some(code)));
             }
-            // Commit protocol (notify slow paths when they exist).
-            if wrote && kind == TxKind::ReadWrite {
+            // Commit protocol (notify slow paths when they exist). A
+            // write in a read-only body faults before reaching the
+            // device, so `wrote` alone implies a read-write transaction.
+            if wrote {
                 match fast_commit_clock_update(t, &rt) {
                     Ok(()) => {}
                     Err(code) => {
                         t.stats.cycles += cost::HTM_ABORT;
                         t.mem.rollback(heap, t.tid);
-                        return Err(Some(code));
+                        return Err(FastFail::Htm(Some(code)));
                     }
                 }
             }
@@ -150,7 +168,7 @@ fn try_fast<T>(
                 Err(e) => {
                     t.stats.cycles += cost::HTM_ABORT;
                     t.mem.rollback(heap, t.tid);
-                    Err(Some(e.code))
+                    Err(FastFail::Htm(Some(e.code)))
                 }
             }
         }
@@ -158,7 +176,7 @@ fn try_fast<T>(
             let code = dead.expect("fast-path body restarted without an abort");
             t.stats.cycles += cost::HTM_ABORT;
             t.mem.rollback(heap, t.tid);
-            Err(Some(code))
+            Err(FastFail::Htm(Some(code)))
         }
     }
 }
@@ -204,7 +222,7 @@ fn slow_path_lazy<T>(
     t: &mut TmThread,
     kind: TxKind,
     body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
-) -> T {
+) -> Result<T, TxFault> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
     let globals = *rt.globals();
@@ -231,7 +249,6 @@ fn slow_path_lazy<T>(
             globals,
             mem: &mut t.mem,
             tid: t.tid,
-            kind,
             tx_version,
             read_log: Vec::new(),
             write_set: Vec::new(),
@@ -240,7 +257,16 @@ fn slow_path_lazy<T>(
             meter: crate::algorithms::common::Meter::new(interleave),
         };
         ctx.meter.charge(spin);
-        let outcome = body(&mut Tx::new(&mut ctx));
+        let mut tx = Tx::new(TxCtx::Lazy(ctx), kind);
+        let outcome = body(&mut tx);
+        let (ctx, fault) = tx.into_parts();
+        let TxCtx::Lazy(mut ctx) = ctx else { unreachable!() };
+        if let Some(fault) = fault {
+            trace::abort();
+            t.stats.cycles += ctx.meter.cycles;
+            t.mem.rollback(heap, t.tid);
+            break Err(fault);
+        }
         let committed = match outcome {
             Ok(value) => ctx.commit().map(|()| value),
             Err(e) => Err(e),
@@ -251,7 +277,7 @@ fn slow_path_lazy<T>(
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.commit(heap, t.tid);
                 t.stats.slow_path_commits += 1;
-                break value;
+                break Ok(value);
             }
             Err(_) => {
                 trace::abort();
@@ -262,6 +288,8 @@ fn slow_path_lazy<T>(
             }
         }
     };
+    // Shared exit for commits and faults: withdraw the fallback
+    // announcement and release the serial lock if escalation reached it.
     t.stats.cycles += cost::GLOBAL_RMW;
     heap.fetch_update(globals.num_of_fallbacks, |v| v - 1);
     if serial_held {
@@ -276,7 +304,7 @@ fn slow_path<T>(
     t: &mut TmThread,
     kind: TxKind,
     body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
-) -> T {
+) -> Result<T, TxFault> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
     let globals = *rt.globals();
@@ -303,7 +331,6 @@ fn slow_path<T>(
             globals,
             mem: &mut t.mem,
             tid: t.tid,
-            kind,
             tx_version,
             wrote: false,
             dead: false,
@@ -312,7 +339,19 @@ fn slow_path<T>(
             meter: Meter::new(interleave),
         };
         ctx.meter.charge(spin);
-        let outcome = body(&mut Tx::new(&mut ctx));
+        let mut tx = Tx::new(TxCtx::Eager(ctx), kind);
+        let outcome = body(&mut tx);
+        let (ctx, fault) = tx.into_parts();
+        let TxCtx::Eager(mut ctx) = ctx else { unreachable!() };
+        if let Some(fault) = fault {
+            // The fault precedes the first write: the clock is unlocked
+            // and the HTM lock was never raised.
+            debug_assert!(!ctx.wrote);
+            trace::abort();
+            t.stats.cycles += ctx.meter.cycles;
+            t.mem.rollback(heap, t.tid);
+            break Err(fault);
+        }
         match outcome {
             Ok(value) => {
                 ctx.commit();
@@ -320,7 +359,7 @@ fn slow_path<T>(
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.commit(heap, t.tid);
                 t.stats.slow_path_commits += 1;
-                break value;
+                break Ok(value);
             }
             Err(_) => {
                 trace::abort();
@@ -331,6 +370,8 @@ fn slow_path<T>(
             }
         }
     };
+    // Shared exit for commits and faults: withdraw the fallback
+    // announcement and release the serial lock if escalation reached it.
     t.stats.cycles += cost::GLOBAL_RMW;
     heap.fetch_update(globals.num_of_fallbacks, |v| v - 1);
     if serial_held {

@@ -11,20 +11,21 @@
 //! figures show above 8 threads.
 
 use crate::algorithms::common::{
-    acquire_word_lock, classify_fast_abort, release_word_lock, xabort, DirectCtx, FastCtx, Meter,
+    acquire_word_lock, classify_fast_abort, release_word_lock, xabort, DirectCtx, FastCtx,
+    FastFail, Meter,
 };
 use crate::cost;
-use crate::error::TxResult;
+use crate::error::{TxFault, TxResult};
 use crate::runtime::TmThread;
 use crate::trace;
-use crate::tx::Tx;
+use crate::tx::{Tx, TxCtx};
 use crate::TxKind;
 
 pub(crate) fn run<T>(
     t: &mut TmThread,
     kind: TxKind,
     body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
-) -> T {
+) -> Result<T, TxFault> {
     let retries = t.rt.config().retry.fast_path_retries;
     let mut attempts = 0;
     loop {
@@ -33,9 +34,13 @@ pub(crate) fn run<T>(
             Ok(value) => {
                 trace::commit(trace::Path::Fast);
                 t.stats.fast_path_commits += 1;
-                return value;
+                return Ok(value);
             }
-            Err(code) => {
+            Err(FastFail::Fault(fault)) => {
+                trace::abort();
+                return Err(fault);
+            }
+            Err(FastFail::Htm(code)) => {
                 trace::abort();
                 if let Some(code) = code {
                     classify_fast_abort(&mut t.stats, code);
@@ -67,37 +72,48 @@ pub(crate) fn run<T>(
     let lock = rt.globals().serial_lock;
     trace::begin(trace::Path::Serial);
     acquire_word_lock(heap, lock, &mut t.stats.cycles);
-    let mut ctx = DirectCtx {
+    let ctx = DirectCtx {
         heap,
         mem: &mut t.mem,
         tid: t.tid,
-        kind,
         meter: Meter::new(rt.config().interleave_accesses),
     };
-    let value = body(&mut Tx::new(&mut ctx))
-        .unwrap_or_else(|_| unreachable!("direct execution cannot restart"));
+    let mut tx = Tx::new(TxCtx::Direct(ctx), kind);
+    let outcome = body(&mut tx);
+    let (ctx, fault) = tx.into_parts();
+    let TxCtx::Direct(ctx) = ctx else { unreachable!() };
     t.stats.cycles += ctx.meter.cycles + cost::GLOBAL_STORE;
+    if let Some(fault) = fault {
+        // A fault fires on the first write of a read-only body, so this
+        // serial section stored nothing: releasing the lock and undoing
+        // any allocations leaves the heap untouched.
+        release_word_lock(heap, lock);
+        trace::abort();
+        t.mem.rollback(heap, t.tid);
+        return Err(fault);
+    }
+    let value = outcome.unwrap_or_else(|_| unreachable!("direct execution cannot restart"));
     // The release is the publication point to hardware transactions (they
     // subscribe to the lock); no yield point before the commit record.
     release_word_lock(heap, lock);
     trace::commit(trace::Path::Serial);
     t.mem.commit(heap, t.tid);
     t.stats.serial_commits += 1;
-    value
+    Ok(value)
 }
 
-/// One hardware attempt. `Err(None)` means the attempt could not begin.
+/// One hardware attempt. `Err(Htm(None))` means the attempt could not begin.
 fn try_fast<T>(
     t: &mut TmThread,
     kind: TxKind,
     body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
-) -> Result<T, Option<sim_htm::AbortCode>> {
+) -> Result<T, FastFail> {
     let rt = t.rt.clone();
     let heap = rt.heap();
     let lock = rt.globals().serial_lock;
 
     if t.htm_thread.begin().is_err() {
-        return Err(None);
+        return Err(FastFail::Htm(None));
     }
     t.stats.cycles += cost::HTM_BEGIN + cost::HTM_ACCESS;
     // Subscribe to the global lock.
@@ -105,25 +121,39 @@ fn try_fast<T>(
         Ok(0) => {}
         Ok(_) => {
             t.stats.cycles += cost::HTM_ABORT;
-            return Err(Some(t.htm_thread.abort(xabort::LOCK_HELD).code));
+            return Err(FastFail::Htm(Some(t.htm_thread.abort(xabort::LOCK_HELD).code)));
         }
         Err(e) => {
             t.stats.cycles += cost::HTM_ABORT;
-            return Err(Some(e.code));
+            return Err(FastFail::Htm(Some(e.code)));
         }
     }
 
     let interleave = t.rt.config().interleave_accesses;
-    let mut ctx = FastCtx::new(&mut t.htm_thread, heap, &mut t.mem, t.tid, kind, interleave);
-    let outcome = body(&mut Tx::new(&mut ctx));
+    let ctx = FastCtx::new(&mut t.htm_thread, heap, &mut t.mem, t.tid, interleave);
+    let mut tx = Tx::new(TxCtx::Fast(ctx), kind);
+    let outcome = body(&mut tx);
+    let (ctx, fault) = tx.into_parts();
+    let TxCtx::Fast(ctx) = ctx else { unreachable!() };
     let dead = ctx.dead;
     t.stats.cycles += ctx.meter.cycles;
+    if let Some(fault) = fault {
+        // The refused write never reached the device; discard the live
+        // speculation (if the hardware hadn't already aborted) and report
+        // the programming error.
+        if dead.is_none() {
+            t.htm_thread.abort(xabort::FAULT);
+        }
+        t.stats.cycles += cost::HTM_ABORT;
+        t.mem.rollback(heap, t.tid);
+        return Err(FastFail::Fault(fault));
+    }
     match outcome {
         Ok(value) => match dead {
             Some(code) => {
                 t.stats.cycles += cost::HTM_ABORT;
                 t.mem.rollback(heap, t.tid);
-                Err(Some(code))
+                Err(FastFail::Htm(Some(code)))
             }
             None => match t.htm_thread.commit() {
                 Ok(()) => {
@@ -134,7 +164,7 @@ fn try_fast<T>(
                 Err(e) => {
                     t.stats.cycles += cost::HTM_ABORT;
                     t.mem.rollback(heap, t.tid);
-                    Err(Some(e.code))
+                    Err(FastFail::Htm(Some(e.code)))
                 }
             },
         },
@@ -142,7 +172,7 @@ fn try_fast<T>(
             let code = dead.expect("fast-path body restarted without an abort");
             t.stats.cycles += cost::HTM_ABORT;
             t.mem.rollback(heap, t.tid);
-            Err(Some(code))
+            Err(FastFail::Htm(Some(code)))
         }
     }
 }

@@ -18,18 +18,18 @@ use sim_mem::{Addr, Heap};
 
 use crate::algorithms::common::Meter;
 use crate::cost;
-use crate::error::{TxResult, RESTART};
+use crate::error::{TxFault, TxResult, RESTART};
 use crate::globals::{clock, Globals};
 use crate::runtime::TmThread;
 use crate::trace;
-use crate::tx::{Tx, TxMem, TxOps};
+use crate::tx::{Tx, TxCtx, TxMem, TxOps};
 use crate::TxKind;
 
 pub(crate) fn run_eager<T>(
     t: &mut TmThread,
     kind: TxKind,
     body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
-) -> T {
+) -> Result<T, TxFault> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
     let globals = *rt.globals();
@@ -44,7 +44,6 @@ pub(crate) fn run_eager<T>(
             globals,
             mem: &mut t.mem,
             tid: t.tid,
-            kind,
             tx_version,
             wrote: false,
             dead: false,
@@ -53,7 +52,19 @@ pub(crate) fn run_eager<T>(
             meter: Meter::new(interleave),
         };
         ctx.meter.charge(spin);
-        let outcome = body(&mut Tx::new(&mut ctx));
+        let mut tx = Tx::new(TxCtx::Eager(ctx), kind);
+        let outcome = body(&mut tx);
+        let (ctx, fault) = tx.into_parts();
+        let TxCtx::Eager(mut ctx) = ctx else { unreachable!() };
+        if let Some(fault) = fault {
+            // The fault precedes the first write, so the clock is not
+            // locked and no store has landed: nothing to undo but TxMem.
+            debug_assert!(!ctx.wrote);
+            trace::abort();
+            t.stats.cycles += ctx.meter.cycles;
+            t.mem.rollback(heap, t.tid);
+            return Err(fault);
+        }
         match outcome {
             Ok(value) => {
                 ctx.commit();
@@ -61,7 +72,7 @@ pub(crate) fn run_eager<T>(
                 t.stats.cycles += ctx.meter.cycles;
                 t.mem.commit(heap, t.tid);
                 t.stats.slow_path_commits += 1;
-                return value;
+                return Ok(value);
             }
             Err(_) => {
                 debug_assert!(ctx.dead, "body restarted without a validation failure");
@@ -99,7 +110,6 @@ pub(crate) struct EagerCtx<'a> {
     pub(crate) globals: Globals,
     pub(crate) mem: &'a mut TxMem,
     pub(crate) tid: usize,
-    pub(crate) kind: TxKind,
     pub(crate) tx_version: u64,
     pub(crate) wrote: bool,
     pub(crate) dead: bool,
@@ -171,10 +181,6 @@ impl TxOps for EagerCtx<'_> {
     }
 
     fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
-        assert!(
-            self.kind == TxKind::ReadWrite,
-            "write inside a transaction declared read-only"
-        );
         if self.dead {
             return Err(RESTART);
         }
@@ -208,7 +214,7 @@ pub(crate) fn run_lazy<T>(
     t: &mut TmThread,
     kind: TxKind,
     body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
-) -> T {
+) -> Result<T, TxFault> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
     let globals = *rt.globals();
@@ -223,7 +229,6 @@ pub(crate) fn run_lazy<T>(
             globals,
             mem: &mut t.mem,
             tid: t.tid,
-            kind,
             tx_version,
             read_log: Vec::new(),
             write_set: Vec::new(),
@@ -232,7 +237,19 @@ pub(crate) fn run_lazy<T>(
             meter: Meter::new(interleave),
         };
         ctx.meter.charge(spin);
-        let outcome = body(&mut Tx::new(&mut ctx));
+        let mut tx = Tx::new(TxCtx::Lazy(ctx), kind);
+        let outcome = body(&mut tx);
+        let (ctx, fault) = tx.into_parts();
+        let TxCtx::Lazy(mut ctx) = ctx else { unreachable!() };
+        if let Some(fault) = fault {
+            // Writes are buffered and the refused one was never logged;
+            // discarding the context is the whole teardown.
+            debug_assert!(ctx.write_set.is_empty());
+            trace::abort();
+            t.stats.cycles += ctx.meter.cycles;
+            t.mem.rollback(heap, t.tid);
+            return Err(fault);
+        }
         match outcome {
             Ok(value) => {
                 if ctx.commit().is_ok() {
@@ -240,7 +257,7 @@ pub(crate) fn run_lazy<T>(
                     t.stats.cycles += ctx.meter.cycles;
                     t.mem.commit(heap, t.tid);
                     t.stats.slow_path_commits += 1;
-                    return value;
+                    return Ok(value);
                 }
                 trace::abort();
                 t.stats.cycles += ctx.meter.cycles;
@@ -263,7 +280,6 @@ pub(crate) struct LazyCtx<'a> {
     pub(crate) globals: Globals,
     pub(crate) mem: &'a mut TxMem,
     pub(crate) tid: usize,
-    pub(crate) kind: TxKind,
     pub(crate) tx_version: u64,
     pub(crate) read_log: Vec<(Addr, u64)>,
     pub(crate) write_set: Vec<(Addr, u64)>,
@@ -366,10 +382,6 @@ impl TxOps for LazyCtx<'_> {
     }
 
     fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
-        assert!(
-            self.kind == TxKind::ReadWrite,
-            "write inside a transaction declared read-only"
-        );
         if self.dead {
             return Err(RESTART);
         }

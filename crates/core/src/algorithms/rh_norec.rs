@@ -28,17 +28,17 @@ use sim_htm::AbortCode;
 use sim_mem::{Addr, Heap};
 
 use crate::algorithms::common::{
-    acquire_word_lock, classify_fast_abort, release_word_lock, xabort,
+    acquire_word_lock, classify_fast_abort, release_word_lock, xabort, FastFail,
 };
 use crate::algorithms::hybrid_norec::fast_commit_clock_update;
 use crate::cost;
 use crate::algorithms::norec::read_clock_unlocked;
-use crate::error::{TxResult, RESTART};
+use crate::error::{TxFault, TxResult, RESTART};
 use crate::globals::{clock, Globals};
 use crate::runtime::TmThread;
 use crate::stats::TmThreadStats;
 use crate::trace;
-use crate::tx::{Tx, TxMem, TxOps};
+use crate::tx::{Tx, TxCtx, TxMem, TxOps};
 use crate::{PrefixConfig, TxKind};
 
 pub(crate) fn run<T>(
@@ -46,7 +46,7 @@ pub(crate) fn run<T>(
     kind: TxKind,
     body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
     with_prefix: bool,
-) -> T {
+) -> Result<T, TxFault> {
     let retries = t.rt.config().retry.fast_path_retries;
     let mut attempts = 0;
     loop {
@@ -55,9 +55,13 @@ pub(crate) fn run<T>(
             Ok(value) => {
                 trace::commit(trace::Path::Fast);
                 t.stats.fast_path_commits += 1;
-                return value;
+                return Ok(value);
             }
-            Err(code) => {
+            Err(FastFail::Fault(fault)) => {
+                trace::abort();
+                return Err(fault);
+            }
+            Err(FastFail::Htm(code)) => {
                 trace::abort();
                 if let Some(code) = code {
                     classify_fast_abort(&mut t.stats, code);
@@ -90,47 +94,57 @@ fn try_fast<T>(
     t: &mut TmThread,
     kind: TxKind,
     body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
-) -> Result<T, Option<AbortCode>> {
+) -> Result<T, FastFail> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
     let g = rt.globals();
 
     if t.htm_thread.begin().is_err() {
-        return Err(None);
+        return Err(FastFail::Htm(None));
     }
     t.stats.cycles += cost::HTM_BEGIN + cost::HTM_ACCESS;
     match t.htm_thread.read(g.global_htm_lock) {
         Ok(0) => {}
         Ok(_) => {
             t.stats.cycles += cost::HTM_ABORT;
-            return Err(Some(t.htm_thread.abort(xabort::LOCK_HELD).code));
+            return Err(FastFail::Htm(Some(t.htm_thread.abort(xabort::LOCK_HELD).code)));
         }
         Err(e) => {
             t.stats.cycles += cost::HTM_ABORT;
-            return Err(Some(e.code));
+            return Err(FastFail::Htm(Some(e.code)));
         }
     }
 
     let interleave = t.rt.config().interleave_accesses;
-    let mut ctx = crate::algorithms::common::FastCtx::new(
+    let ctx = crate::algorithms::common::FastCtx::new(
         &mut t.htm_thread,
         heap,
         &mut t.mem,
         t.tid,
-        kind,
         interleave,
     );
-    let outcome = body(&mut Tx::new(&mut ctx));
+    let mut tx = Tx::new(TxCtx::Fast(ctx), kind);
+    let outcome = body(&mut tx);
+    let (ctx, fault) = tx.into_parts();
+    let TxCtx::Fast(ctx) = ctx else { unreachable!() };
     let wrote = ctx.wrote;
     let dead = ctx.dead;
     t.stats.cycles += ctx.meter.cycles;
 
+    if let Some(fault) = fault {
+        if dead.is_none() {
+            t.htm_thread.abort(xabort::FAULT);
+        }
+        t.stats.cycles += cost::HTM_ABORT;
+        t.mem.rollback(heap, t.tid);
+        return Err(FastFail::Fault(fault));
+    }
     match outcome {
         Ok(value) => {
             if let Some(code) = dead {
                 t.stats.cycles += cost::HTM_ABORT;
                 t.mem.rollback(heap, t.tid);
-                return Err(Some(code));
+                return Err(FastFail::Htm(Some(code)));
             }
             if wrote {
                 // The scalability win: the clock enters the tracking set
@@ -138,7 +152,7 @@ fn try_fast<T>(
                 if let Err(code) = fast_commit_clock_update(t, &rt) {
                     t.stats.cycles += cost::HTM_ABORT;
                     t.mem.rollback(heap, t.tid);
-                    return Err(Some(code));
+                    return Err(FastFail::Htm(Some(code)));
                 }
             }
             match t.htm_thread.commit() {
@@ -150,7 +164,7 @@ fn try_fast<T>(
                 Err(e) => {
                     t.stats.cycles += cost::HTM_ABORT;
                     t.mem.rollback(heap, t.tid);
-                    Err(Some(e.code))
+                    Err(FastFail::Htm(Some(e.code)))
                 }
             }
         }
@@ -158,7 +172,7 @@ fn try_fast<T>(
             let code = dead.expect("fast-path body restarted without an abort");
             t.stats.cycles += cost::HTM_ABORT;
             t.mem.rollback(heap, t.tid);
-            Err(Some(code))
+            Err(FastFail::Htm(Some(code)))
         }
     }
 }
@@ -182,7 +196,7 @@ fn mixed_slow_path<T>(
     kind: TxKind,
     body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
     with_prefix: bool,
-) -> T {
+) -> Result<T, TxFault> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
     let globals = *rt.globals();
@@ -215,7 +229,6 @@ fn mixed_slow_path<T>(
             globals,
             mem: &mut t.mem,
             tid: t.tid,
-            kind,
             htm: &mut t.htm_thread,
             stats: &mut t.stats,
             prefix_len: &mut t.prefix_len,
@@ -237,7 +250,17 @@ fn mixed_slow_path<T>(
             mutant: rt.postfix_clock_mutant(),
         };
         ctx.start(allow_prefix);
-        let outcome = body(&mut Tx::new(&mut ctx));
+        let mut tx = Tx::new(TxCtx::Rh(ctx), kind);
+        let outcome = body(&mut tx);
+        let (ctx, fault) = tx.into_parts();
+        let TxCtx::Rh(mut ctx) = ctx else { unreachable!() };
+        if let Some(fault) = fault {
+            ctx.fault_teardown();
+            counted = ctx.counted;
+            trace::abort();
+            t.mem.rollback(heap, t.tid);
+            break Err(fault);
+        }
         let committed = match outcome {
             Ok(value) => ctx.commit().map(|()| value),
             Err(_) => {
@@ -270,7 +293,7 @@ fn mixed_slow_path<T>(
                 trace::commit(trace::Path::Mixed);
                 t.mem.commit(heap, t.tid);
                 t.stats.slow_path_commits += 1;
-                break value;
+                break Ok(value);
             }
             Err(_) => {
                 trace::abort();
@@ -289,12 +312,11 @@ fn mixed_slow_path<T>(
 }
 
 /// The mixed slow-path transaction context (Algorithms 2 and 3).
-struct RhCtx<'a> {
+pub(crate) struct RhCtx<'a> {
     heap: &'a Heap,
     globals: Globals,
     mem: &'a mut TxMem,
     tid: usize,
-    kind: TxKind,
     htm: &'a mut sim_htm::HtmThread,
     stats: &'a mut TmThreadStats,
     /// Adaptive expected prefix length, persisted on the thread.
@@ -328,7 +350,7 @@ impl RhCtx<'_> {
     fn tick(&mut self, cycles: u64) {
         self.stats.cycles += cycles;
         self.accesses += 1;
-        if self.interleave != 0 && self.accesses % self.interleave as u64 == 0 {
+        if self.interleave != 0 && self.accesses.is_multiple_of(self.interleave as u64) {
             std::thread::yield_now();
         }
     }
@@ -542,6 +564,27 @@ impl RhCtx<'_> {
         Err(RESTART)
     }
 
+    /// Tears the attempt down after a programming fault. A fault can only
+    /// fire from a read-only body's first write, so the write phase was
+    /// never entered: the clock is not locked, `global_htm_lock` was never
+    /// raised by this transaction, and the only state to undo is a live
+    /// prefix speculation and the fallback announcement.
+    fn fault_teardown(&mut self) {
+        debug_assert!(
+            matches!(self.mode, Mode::Prefix | Mode::Software),
+            "write phase entered by a read-only transaction"
+        );
+        if self.mode == Mode::Prefix && !self.dead {
+            self.stats.cycles += cost::HTM_ABORT;
+            self.htm.abort(xabort::FAULT);
+        }
+        if self.counted {
+            self.stats.cycles += cost::GLOBAL_RMW;
+            self.heap.fetch_update(self.globals.num_of_fallbacks, |v| v - 1);
+            self.counted = false;
+        }
+    }
+
     /// MIXED_SLOW_PATH_COMMIT (Algorithms 2 and 3).
     fn commit(&mut self) -> TxResult<()> {
         if self.dead {
@@ -646,10 +689,6 @@ impl TxOps for RhCtx<'_> {
     }
 
     fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
-        assert!(
-            self.kind == TxKind::ReadWrite,
-            "write inside a transaction declared read-only"
-        );
         if self.dead {
             return Err(RESTART);
         }

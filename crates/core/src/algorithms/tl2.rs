@@ -14,10 +14,10 @@ use sim_mem::{Addr, Heap, LineId};
 
 use crate::algorithms::common::Meter;
 use crate::cost;
-use crate::error::{TxResult, RESTART};
+use crate::error::{TxFault, TxResult, RESTART};
 use crate::runtime::TmThread;
 use crate::trace;
-use crate::tx::{Tx, TxMem, TxOps};
+use crate::tx::{Tx, TxCtx, TxMem, TxOps};
 use crate::TxKind;
 
 /// Number of stripe locks (power of two).
@@ -81,7 +81,7 @@ pub(crate) fn run<T>(
     t: &mut TmThread,
     kind: TxKind,
     body: &mut dyn FnMut(&mut Tx<'_>) -> TxResult<T>,
-) -> T {
+) -> Result<T, TxFault> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
     let meta = rt.tl2();
@@ -94,7 +94,6 @@ pub(crate) fn run<T>(
             meta,
             mem: &mut t.mem,
             tid: t.tid,
-            kind,
             rv: meta.clock.load(Ordering::Acquire),
             read_set: Vec::new(),
             owned: HashMap::new(),
@@ -103,7 +102,21 @@ pub(crate) fn run<T>(
             meter: Meter::new(interleave),
         };
         ctx.meter.charge(cost::STM_START);
-        let outcome = body(&mut Tx::new(&mut ctx));
+        let mut tx = Tx::new(TxCtx::Tl2(ctx), kind);
+        let outcome = body(&mut tx);
+        let (ctx, fault) = tx.into_parts();
+        let TxCtx::Tl2(mut ctx) = ctx else { unreachable!() };
+        if let Some(fault) = fault {
+            // The refused write acquired no stripe and logged no undo
+            // entry (the fault fires first in a read-only body), but
+            // rollback_writes also covers the empty case and keeps the
+            // teardown uniform.
+            ctx.rollback_writes();
+            trace::abort();
+            t.stats.cycles += ctx.meter.cycles;
+            t.mem.rollback(heap, t.tid);
+            return Err(fault);
+        }
         match outcome {
             Ok(value) => {
                 if ctx.commit().is_ok() {
@@ -111,7 +124,7 @@ pub(crate) fn run<T>(
                     t.stats.cycles += ctx.meter.cycles;
                     t.mem.commit(heap, t.tid);
                     t.stats.slow_path_commits += 1;
-                    return value;
+                    return Ok(value);
                 }
                 trace::abort();
                 t.stats.cycles += ctx.meter.cycles;
@@ -129,12 +142,11 @@ pub(crate) fn run<T>(
     }
 }
 
-struct Tl2Ctx<'a> {
+pub(crate) struct Tl2Ctx<'a> {
     heap: &'a Heap,
     meta: &'a Tl2Meta,
     mem: &'a mut TxMem,
     tid: usize,
-    kind: TxKind,
     /// Read version: the clock value sampled at transaction start.
     rv: u64,
     /// Stripes read, with the metadata observed at read time.
@@ -220,7 +232,7 @@ impl Tl2Ctx<'_> {
         // Publish: release stripes at the new write version.
         self.meter
             .charge(self.owned.len() as u64 * cost::TL2_RELEASE_ENTRY);
-        for (&stripe, _) in &self.owned {
+        for &stripe in self.owned.keys() {
             self.meta.stripe(stripe).store(wv << 1, Ordering::Release);
         }
         self.owned.clear();
@@ -274,10 +286,6 @@ impl TxOps for Tl2Ctx<'_> {
     }
 
     fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
-        assert!(
-            self.kind == TxKind::ReadWrite,
-            "write inside a transaction declared read-only"
-        );
         if self.dead {
             return Err(RESTART);
         }

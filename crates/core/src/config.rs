@@ -1,5 +1,7 @@
 //! TM runtime configuration: algorithm selection and retry policies.
 
+use crate::error::TmError;
+
 /// The TM algorithms evaluated in the paper (§3.1), plus the ablation
 /// variants this reproduction adds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -142,31 +144,31 @@ impl Default for RetryPolicy {
 
 /// Full configuration of a TM runtime.
 ///
+/// Construct one with [`TmConfig::new`] (the paper's defaults) or, to
+/// deviate from them, through the validating [`TmConfig::builder`] — a
+/// `TmConfig` that exists is always internally consistent.
+///
 /// # Examples
 ///
 /// ```rust
 /// use rh_norec::{Algorithm, TmConfig};
 ///
 /// let config = TmConfig::new(Algorithm::RhNorec);
-/// assert_eq!(config.retry.fast_path_retries, 10);
+/// assert_eq!(config.retry().fast_path_retries, 10);
+///
+/// let tuned = TmConfig::builder(Algorithm::RhNorec)
+///     .fast_path_retries(4)
+///     .initial_prefix_reads(128)
+///     .build()?;
+/// assert_eq!(tuned.prefix().initial_reads, 128);
+/// # Ok::<(), rh_norec::TmError>(())
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TmConfig {
-    /// Which algorithm to run.
-    pub algorithm: Algorithm,
-    /// Retry policy.
-    pub retry: RetryPolicy,
-    /// HTM-prefix length control (RH NOrec only).
-    pub prefix: PrefixConfig,
-    /// Yield the host thread every N transactional accesses (0 = never,
-    /// the default).
-    ///
-    /// On hosts with fewer cores than workers, threads timeshare and
-    /// transactions barely overlap in time, hiding the contention the
-    /// paper measures. The benchmark harness enables periodic yields to
-    /// restore realistic interleaving density; they do not affect
-    /// correctness, only scheduling.
-    pub interleave_accesses: u32,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) prefix: PrefixConfig,
+    pub(crate) interleave_accesses: u32,
 }
 
 impl TmConfig {
@@ -178,6 +180,143 @@ impl TmConfig {
             prefix: PrefixConfig::default(),
             interleave_accesses: 0,
         }
+    }
+
+    /// Starts a validating builder from the paper's defaults.
+    pub fn builder(algorithm: Algorithm) -> TmConfigBuilder {
+        TmConfigBuilder { config: TmConfig::new(algorithm) }
+    }
+
+    /// Which algorithm runs.
+    #[inline]
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The retry policy.
+    #[inline]
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// HTM-prefix length control (RH NOrec only).
+    #[inline]
+    pub fn prefix(&self) -> PrefixConfig {
+        self.prefix
+    }
+
+    /// Yield the host thread every N transactional accesses (0 = never).
+    #[inline]
+    pub fn interleave_accesses(&self) -> u32 {
+        self.interleave_accesses
+    }
+}
+
+/// Validating builder for [`TmConfig`], obtained from [`TmConfig::builder`].
+///
+/// Setters never fail; [`build`](Self::build) checks the combination and
+/// rejects nonsense with a typed [`TmError::InvalidConfig`], so an invalid
+/// configuration can never reach a runtime.
+#[derive(Clone, Copy, Debug)]
+#[must_use = "a builder does nothing until build() is called"]
+pub struct TmConfigBuilder {
+    config: TmConfig,
+}
+
+impl TmConfigBuilder {
+    /// Replaces the whole retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Replaces the whole HTM-prefix control block.
+    pub fn prefix(mut self, prefix: PrefixConfig) -> Self {
+        self.config.prefix = prefix;
+        self
+    }
+
+    /// Yield the host thread every N transactional accesses (0 = never,
+    /// the default).
+    ///
+    /// On hosts with fewer cores than workers, threads timeshare and
+    /// transactions barely overlap in time, hiding the contention the
+    /// paper measures. The benchmark harness enables periodic yields to
+    /// restore realistic interleaving density; they do not affect
+    /// correctness, only scheduling.
+    pub fn interleave_accesses(mut self, every: u32) -> Self {
+        self.config.interleave_accesses = every;
+        self
+    }
+
+    /// Maximum hardware restarts of the fast path before falling back.
+    pub fn fast_path_retries(mut self, retries: u32) -> Self {
+        self.config.retry.fast_path_retries = retries;
+        self
+    }
+
+    /// Slow-path restarts before grabbing the serial lock.
+    pub fn slow_path_restart_limit(mut self, limit: u32) -> Self {
+        self.config.retry.slow_path_restart_limit = limit;
+        self
+    }
+
+    /// Attempts for each small hardware transaction (prefix/postfix).
+    pub fn small_htm_retries(mut self, retries: u32) -> Self {
+        self.config.retry.small_htm_retries = retries;
+        self
+    }
+
+    /// Enables or disables the §2.4 adaptive prefix-length controller.
+    pub fn adaptive_prefix(mut self, adaptive: bool) -> Self {
+        self.config.prefix.adaptive = adaptive;
+        self
+    }
+
+    /// Initial expected HTM-prefix length, in reads.
+    pub fn initial_prefix_reads(mut self, reads: u64) -> Self {
+        self.config.prefix.initial_reads = reads;
+        self
+    }
+
+    /// Validates the combination and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmError::InvalidConfig`] when:
+    ///
+    /// * the initial prefix length is zero (a zero-length prefix is never
+    ///   attempted, so the mixed slow path would silently lose its prefix
+    ///   forever),
+    /// * the prefix clamp range is inverted (`min_reads > max_reads`),
+    /// * the initial prefix length lies outside the clamp range,
+    /// * `small_htm_retries` is zero (the engines would silently treat it
+    ///   as 1; the builder rejects it instead).
+    pub fn build(self) -> Result<TmConfig, TmError> {
+        let c = &self.config;
+        if c.prefix.initial_reads == 0 {
+            return Err(TmError::InvalidConfig {
+                reason: "initial prefix length must be nonzero (a zero-length prefix is never attempted)",
+            });
+        }
+        if c.prefix.min_reads > c.prefix.max_reads {
+            return Err(TmError::InvalidConfig {
+                reason: "prefix min_reads exceeds max_reads",
+            });
+        }
+        if c.prefix.initial_reads < c.prefix.min_reads
+            || c.prefix.initial_reads > c.prefix.max_reads
+        {
+            return Err(TmError::InvalidConfig {
+                reason: "initial prefix length outside [min_reads, max_reads]",
+            });
+        }
+        if c.retry.small_htm_retries == 0 {
+            return Err(TmError::InvalidConfig {
+                reason: "small_htm_retries must be at least 1",
+            });
+        }
+        Ok(self.config)
     }
 }
 
@@ -193,8 +332,12 @@ pub enum TxKind {
     ReadWrite,
     /// The transaction is statically known never to write.
     ///
-    /// Writing inside a `ReadOnly` transaction is a programming error and
-    /// panics, as miscompiled read-only hints would corrupt the protocol.
+    /// Writing inside a `ReadOnly` transaction is a programming error: the
+    /// engine refuses the write, tears the attempt down, and surfaces
+    /// [`TxFault::WriteInReadOnly`](crate::TxFault::WriteInReadOnly) from
+    /// [`TmThread::try_execute`](crate::TmThread::try_execute) (the
+    /// panicking [`execute`](crate::TmThread::execute) wrapper panics).
+    /// See [`Tx::write`](crate::Tx::write) for the full contract.
     ReadOnly,
 }
 
@@ -224,5 +367,54 @@ mod tests {
         assert_eq!(c.retry.slow_path_restart_limit, 10);
         assert_eq!(c.retry.small_htm_retries, 1);
         assert!(c.prefix.adaptive);
+    }
+
+    #[test]
+    fn builder_defaults_match_new() {
+        let built = TmConfig::builder(Algorithm::RhNorec).build().unwrap();
+        assert_eq!(built, TmConfig::new(Algorithm::RhNorec));
+    }
+
+    #[test]
+    fn builder_applies_overrides() {
+        let c = TmConfig::builder(Algorithm::RhNorec)
+            .fast_path_retries(3)
+            .slow_path_restart_limit(7)
+            .small_htm_retries(4)
+            .adaptive_prefix(false)
+            .initial_prefix_reads(32)
+            .interleave_accesses(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.retry().fast_path_retries, 3);
+        assert_eq!(c.retry().slow_path_restart_limit, 7);
+        assert_eq!(c.retry().small_htm_retries, 4);
+        assert!(!c.prefix().adaptive);
+        assert_eq!(c.prefix().initial_reads, 32);
+        assert_eq!(c.interleave_accesses(), 2);
+        assert_eq!(c.algorithm(), Algorithm::RhNorec);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense() {
+        let zero_prefix = TmConfig::builder(Algorithm::RhNorec)
+            .initial_prefix_reads(0)
+            .build();
+        assert!(matches!(zero_prefix, Err(TmError::InvalidConfig { .. })));
+
+        let inverted = TmConfig::builder(Algorithm::RhNorec)
+            .prefix(PrefixConfig { initial_reads: 64, min_reads: 100, max_reads: 10, adaptive: true })
+            .build();
+        assert!(matches!(inverted, Err(TmError::InvalidConfig { .. })));
+
+        let out_of_range = TmConfig::builder(Algorithm::RhNorec)
+            .prefix(PrefixConfig { initial_reads: 2, min_reads: 4, max_reads: 4096, adaptive: true })
+            .build();
+        assert!(matches!(out_of_range, Err(TmError::InvalidConfig { .. })));
+
+        let zero_small = TmConfig::builder(Algorithm::RhNorec)
+            .small_htm_retries(0)
+            .build();
+        assert!(matches!(zero_small, Err(TmError::InvalidConfig { .. })));
     }
 }

@@ -82,11 +82,11 @@ mod tests {
     fn instrumentation_ratios_match_the_literature() {
         // The whole point of the model: HTM accesses are much cheaper than
         // instrumented STM accesses, and TL2 pays more than NOrec.
-        assert!(NOREC_READ >= 5 * HTM_ACCESS);
-        assert!(TL2_READ > NOREC_READ);
-        assert!(TL2_WRITE > NOREC_WRITE);
+        const { assert!(NOREC_READ >= 5 * HTM_ACCESS) };
+        const { assert!(TL2_READ > NOREC_READ) };
+        const { assert!(TL2_WRITE > NOREC_WRITE) };
         // But HTM transactions pay fixed begin/commit costs, so tiny
         // transactions do not get the full win.
-        assert!(HTM_BEGIN + HTM_COMMIT > NOREC_READ);
+        const { assert!(HTM_BEGIN + HTM_COMMIT > NOREC_READ) };
     }
 }

@@ -25,6 +25,87 @@ pub type TxResult<T> = Result<T, TxRestart>;
 
 pub(crate) const RESTART: TxRestart = TxRestart(());
 
+/// A non-retryable programming error detected inside a transaction.
+///
+/// Unlike [`TxRestart`] — which the engine handles by transparently
+/// re-running the body — a fault means the body itself is wrong and no
+/// amount of retrying can commit it. The engine tears the attempt down
+/// cleanly (discarding speculation, releasing any protocol locks and
+/// fallback announcements) and surfaces the fault from
+/// [`TmThread::try_execute`](crate::TmThread::try_execute).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TxFault {
+    /// The body issued a write inside a transaction declared
+    /// [`TxKind::ReadOnly`](crate::TxKind::ReadOnly). The read-only hint
+    /// stands in for the paper's compiler static analysis; a transaction
+    /// that writes under it would corrupt the commit protocol, so the
+    /// write is refused before it reaches any engine.
+    WriteInReadOnly,
+}
+
+impl fmt::Display for TxFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxFault::WriteInReadOnly => {
+                f.write_str("write inside a transaction declared read-only")
+            }
+        }
+    }
+}
+
+impl Error for TxFault {}
+
+/// Error constructing or registering with a [`TmRuntime`](crate::TmRuntime).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TmError {
+    /// The HTM device passed to [`TmRuntime::new`](crate::TmRuntime::new)
+    /// is not attached to the runtime's heap: hardware and software
+    /// transactions would run against different memories.
+    HeapMismatch,
+    /// The requested thread id exceeds the simulated machine's thread
+    /// capacity.
+    ThreadIdOutOfRange {
+        /// The offending thread id.
+        tid: usize,
+        /// Exclusive upper bound (`sim_mem::MAX_THREADS`).
+        max: usize,
+    },
+    /// The requested thread id already has a live handle.
+    ThreadAlreadyRegistered {
+        /// The offending thread id.
+        tid: usize,
+    },
+    /// A configuration builder rejected a nonsensical combination (see
+    /// [`TmConfigBuilder::build`](crate::TmConfigBuilder::build)).
+    InvalidConfig {
+        /// Human-readable rejection reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmError::HeapMismatch => {
+                f.write_str("the HTM device must be attached to the runtime's heap")
+            }
+            TmError::ThreadIdOutOfRange { tid, max } => {
+                write!(f, "thread id {tid} exceeds MAX_THREADS ({max})")
+            }
+            TmError::ThreadAlreadyRegistered { tid } => {
+                write!(f, "thread id {tid} registered twice")
+            }
+            TmError::InvalidConfig { reason } => {
+                write!(f, "invalid TM configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TmError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -32,5 +113,14 @@ mod tests {
     #[test]
     fn restart_displays() {
         assert!(RESTART.to_string().contains("restart"));
+    }
+
+    #[test]
+    fn fault_and_tm_error_display() {
+        assert!(TxFault::WriteInReadOnly.to_string().contains("read-only"));
+        assert!(TmError::HeapMismatch.to_string().contains("heap"));
+        assert!(TmError::ThreadAlreadyRegistered { tid: 3 }
+            .to_string()
+            .contains("registered twice"));
     }
 }

@@ -28,10 +28,10 @@
 //!
 //! let heap = Arc::new(Heap::new(HeapConfig::default()));
 //! let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
-//! let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+//! let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec))?;
 //!
 //! let account = heap.allocator().alloc(0, 1)?;
-//! let mut worker = rt.register(0);
+//! let mut worker = rt.register(0)?;
 //! let old = worker.execute(TxKind::ReadWrite, |tx| {
 //!     let v = tx.read(account)?;
 //!     tx.write(account, v + 100)?;
@@ -55,8 +55,18 @@ mod stats;
 pub mod trace;
 mod tx;
 
-pub use config::{Algorithm, PrefixConfig, RetryPolicy, TmConfig, TxKind};
-pub use error::{TxResult, TxRestart};
+/// `true` when deterministic-scheduling yield points and trace hooks are
+/// compiled into the transactional hot path.
+///
+/// Instrumented builds (the `deterministic` feature, enabled by
+/// `tm-check` and workspace tests) pay a thread-local lookup per
+/// transactional access; release benchmark builds compile the hooks out
+/// entirely. `rh-bench overhead` records this flag alongside its numbers
+/// so results are never compared across mismatched builds.
+pub const INSTRUMENTED: bool = cfg!(feature = "deterministic");
+
+pub use config::{Algorithm, PrefixConfig, RetryPolicy, TmConfig, TmConfigBuilder, TxKind};
+pub use error::{TmError, TxFault, TxResult, TxRestart};
 pub use globals::{clock, Globals};
 pub use runtime::{TmRuntime, TmThread};
 pub use stats::{ThreadReport, TmThreadStats};

@@ -7,7 +7,7 @@ use sim_htm::{Htm, HtmThread};
 use sim_mem::Heap;
 
 use crate::algorithms::{self, tl2::Tl2Meta};
-use crate::error::TxResult;
+use crate::error::{TmError, TxFault, TxResult};
 use crate::globals::Globals;
 use crate::stats::{ThreadReport, TmThreadStats};
 use crate::tx::{Tx, TxMem};
@@ -34,16 +34,16 @@ impl TmRuntime {
     ///
     /// Allocates the protocol's global variables from the heap.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `htm` is not attached to `heap`.
-    pub fn new(heap: Arc<Heap>, htm: Arc<Htm>, config: TmConfig) -> Arc<Self> {
-        assert!(
-            Arc::ptr_eq(htm.heap(), &heap),
-            "the HTM device must be attached to the runtime's heap"
-        );
+    /// Returns [`TmError::HeapMismatch`] if `htm` is not attached to
+    /// `heap`.
+    pub fn new(heap: Arc<Heap>, htm: Arc<Htm>, config: TmConfig) -> Result<Arc<Self>, TmError> {
+        if !Arc::ptr_eq(htm.heap(), &heap) {
+            return Err(TmError::HeapMismatch);
+        }
         let globals = Globals::allocate(&heap);
-        Arc::new(TmRuntime {
+        Ok(Arc::new(TmRuntime {
             heap,
             htm,
             config,
@@ -51,7 +51,7 @@ impl TmRuntime {
             tl2: Tl2Meta::new(),
             #[cfg(feature = "mutant-postfix-clock")]
             mutant_postfix_clock: std::sync::atomic::AtomicBool::new(false),
-        })
+        }))
     }
 
     /// Arms or disarms the deliberately broken RH NOrec first-write
@@ -100,19 +100,29 @@ impl TmRuntime {
 
     /// Registers worker `tid` and returns its execution handle.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `tid` is out of range or already registered (see
-    /// [`Htm::register`]).
-    pub fn register(self: &Arc<Self>, tid: usize) -> TmThread {
-        TmThread {
-            htm_thread: self.htm.register(tid),
+    /// Returns [`TmError::ThreadIdOutOfRange`] if `tid` is at or above the
+    /// simulated machine's thread capacity, or
+    /// [`TmError::ThreadAlreadyRegistered`] if `tid` already has a live
+    /// handle.
+    pub fn register(self: &Arc<Self>, tid: usize) -> Result<TmThread, TmError> {
+        let htm_thread = self.htm.try_register(tid).map_err(|e| match e {
+            sim_htm::RegisterError::TidOutOfRange { tid, max } => {
+                TmError::ThreadIdOutOfRange { tid, max }
+            }
+            sim_htm::RegisterError::AlreadyRegistered { tid } => {
+                TmError::ThreadAlreadyRegistered { tid }
+            }
+        })?;
+        Ok(TmThread {
+            htm_thread,
             rt: Arc::clone(self),
             tid,
             stats: TmThreadStats::default(),
             mem: TxMem::default(),
             prefix_len: self.config.prefix.initial_reads,
-        }
+        })
     }
 }
 
@@ -141,10 +151,10 @@ impl fmt::Debug for TmRuntime {
 ///
 /// let heap = Arc::new(Heap::new(HeapConfig::default()));
 /// let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
-/// let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+/// let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec))?;
 /// let counter = heap.allocator().alloc(0, 1)?;
 ///
-/// let mut thread = rt.register(0);
+/// let mut thread = rt.register(0)?;
 /// for _ in 0..10 {
 ///     thread.execute(TxKind::ReadWrite, |tx| {
 ///         let v = tx.read(counter)?;
@@ -172,12 +182,39 @@ impl TmThread {
     /// [`Tx`] handle) and must propagate every `Err` from `Tx` operations.
     ///
     /// `kind` is the static read-only hint (the stand-in for GCC's static
-    /// analysis); declaring [`TxKind::ReadOnly`] and then writing panics.
+    /// analysis); see [`Tx::write`] for the contract it enforces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body trips a [`TxFault`] — e.g. writing inside a
+    /// transaction declared read-only. Use [`try_execute`](Self::try_execute)
+    /// to handle faults as values instead.
     pub fn execute<T>(
         &mut self,
         kind: TxKind,
-        mut body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+        body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
     ) -> T {
+        self.try_execute(kind, body)
+            .unwrap_or_else(|fault| panic!("transaction fault: {fault}"))
+    }
+
+    /// Like [`execute`](Self::execute), but surfaces programming faults as
+    /// typed [`TxFault`] values instead of panicking.
+    ///
+    /// On `Err` the attempt has been torn down cleanly: speculative state
+    /// is discarded, protocol locks are released, fallback announcements
+    /// are withdrawn, and no transaction is counted as committed. The heap
+    /// is exactly as if the transaction was never attempted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TxFault`] the body tripped (currently only
+    /// [`TxFault::WriteInReadOnly`]; see [`Tx::write`]).
+    pub fn try_execute<T>(
+        &mut self,
+        kind: TxKind,
+        mut body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> Result<T, TxFault> {
         let value = match self.rt.config.algorithm {
             Algorithm::LockElision => algorithms::lock_elision::run(self, kind, &mut body),
             Algorithm::Norec => algorithms::norec::run_eager(self, kind, &mut body),
@@ -187,9 +224,9 @@ impl TmThread {
             Algorithm::HybridNorecLazy => algorithms::hybrid_norec::run(self, kind, &mut body, true),
             Algorithm::RhNorec => algorithms::rh_norec::run(self, kind, &mut body, true),
             Algorithm::RhNorecPostfixOnly => algorithms::rh_norec::run(self, kind, &mut body, false),
-        };
+        }?;
         self.stats.commits += 1;
-        value
+        Ok(value)
     }
 
     /// This worker's thread id.

@@ -9,10 +9,12 @@
 //! event, so the global event order *is* the real-time order — which is
 //! what lets `tm-check` verify opacity from the log alone.
 //!
-//! Without an installed sink (every production path) the hooks are one
-//! thread-local read.
+//! The sink machinery is gated behind the `deterministic` cargo feature
+//! (enabled by `tm-check` and the workspace test builds): with the
+//! feature on but no sink installed the hooks are one thread-local read;
+//! without the feature they are empty inline functions the optimizer
+//! erases, and [`install`] is inert.
 
-use std::cell::RefCell;
 use std::sync::Arc;
 
 use sim_mem::Addr;
@@ -79,27 +81,41 @@ pub trait TraceSink: Send + Sync {
     fn record(&self, event: Event);
 }
 
+#[cfg(feature = "deterministic")]
 thread_local! {
-    static SINK: RefCell<Option<(Arc<dyn TraceSink>, usize)>> = const { RefCell::new(None) };
+    static SINK: std::cell::RefCell<Option<(Arc<dyn TraceSink>, usize)>> =
+        const { std::cell::RefCell::new(None) };
 }
 
 /// Installs `sink` as this thread's event recorder, tagging every event
 /// with `vtid`. Replaces any previous sink.
+///
+/// Without the `deterministic` feature the hooks are compiled out and
+/// this is a no-op: nothing will ever be recorded.
 pub fn install(sink: Arc<dyn TraceSink>, vtid: usize) {
+    #[cfg(feature = "deterministic")]
     SINK.with(|s| *s.borrow_mut() = Some((sink, vtid)));
+    #[cfg(not(feature = "deterministic"))]
+    let _ = (sink, vtid);
 }
 
 /// Removes this thread's event recorder.
 pub fn uninstall() {
+    #[cfg(feature = "deterministic")]
     SINK.with(|s| *s.borrow_mut() = None);
 }
 
-/// Whether a sink is installed on this thread.
+/// Whether a sink is installed on this thread. Always `false` without
+/// the `deterministic` feature.
 #[inline]
 pub fn enabled() -> bool {
-    SINK.with(|s| s.borrow().is_some())
+    #[cfg(feature = "deterministic")]
+    return SINK.with(|s| s.borrow().is_some());
+    #[cfg(not(feature = "deterministic"))]
+    false
 }
 
+#[cfg(feature = "deterministic")]
 #[inline]
 pub(crate) fn emit(kind: EventKind) {
     SINK.with(|s| {
@@ -107,6 +123,12 @@ pub(crate) fn emit(kind: EventKind) {
             sink.record(Event { vtid: *vtid, kind });
         }
     });
+}
+
+#[cfg(not(feature = "deterministic"))]
+#[inline(always)]
+pub(crate) fn emit(kind: EventKind) {
+    let _ = kind;
 }
 
 #[inline]

@@ -2,20 +2,65 @@
 
 use sim_mem::{Addr, Heap};
 
-use crate::error::TxResult;
+use crate::algorithms::common::{DirectCtx, FastCtx};
+use crate::algorithms::norec::{EagerCtx, LazyCtx};
+use crate::algorithms::rh_norec::RhCtx;
+use crate::algorithms::tl2::Tl2Ctx;
+use crate::error::{TxFault, TxResult, RESTART};
 use crate::trace;
+use crate::TxKind;
 
 /// Engine-side operations backing a [`Tx`].
 ///
 /// Each algorithm path (hardware fast path, software slow path, mixed slow
 /// path, serial section) implements this trait; workload code only ever
-/// sees [`Tx`]. The trait is crate-private by sealing: it is not
-/// implementable outside `rh-norec`.
+/// sees [`Tx`]. The trait is crate-private, and since the dispatch enum
+/// below names every implementor, calls through it are resolved
+/// statically — no vtable is ever built.
 pub(crate) trait TxOps {
     fn read(&mut self, addr: Addr) -> TxResult<u64>;
     fn write(&mut self, addr: Addr, value: u64) -> TxResult<()>;
     fn alloc(&mut self, words: u64) -> TxResult<Addr>;
     fn free(&mut self, addr: Addr) -> TxResult<()>;
+}
+
+/// The closed set of engine execution contexts, one variant per path.
+///
+/// This enum is the dispatch mechanism of the hot path: [`Tx`] owns it by
+/// value and every operation matches on it, so each arm is a direct
+/// (inlinable) call into the engine. Within one attempt the variant never
+/// changes, making the match branch perfectly predictable — unlike the
+/// opaque indirect call of the former `&mut dyn TxOps` handle, which also
+/// blocked inlining of the per-access engine code. See DESIGN.md
+/// ("Dispatch architecture") for why an enum was chosen over a generic
+/// `Tx<O: TxOps>`.
+pub(crate) enum TxCtx<'a> {
+    /// Hardware transaction (fast path of the hybrid algorithms).
+    Fast(FastCtx<'a>),
+    /// Serialized direct execution (Lock Elision's lock fallback).
+    Direct(DirectCtx<'a>),
+    /// Eager NOrec STM (standalone, and Hybrid NOrec's slow path).
+    Eager(EagerCtx<'a>),
+    /// Lazy NOrec STM (standalone, and the lazy hybrid's slow path).
+    Lazy(LazyCtx<'a>),
+    /// TL2 STM.
+    Tl2(Tl2Ctx<'a>),
+    /// RH NOrec's mixed slow path (prefix/software/postfix).
+    Rh(RhCtx<'a>),
+}
+
+/// Statically dispatches `$body` over the context variants.
+macro_rules! dispatch {
+    ($tx:expr, $ctx:ident => $body:expr) => {
+        match &mut $tx.ctx {
+            TxCtx::Fast($ctx) => $body,
+            TxCtx::Direct($ctx) => $body,
+            TxCtx::Eager($ctx) => $body,
+            TxCtx::Lazy($ctx) => $body,
+            TxCtx::Tl2($ctx) => $body,
+            TxCtx::Rh($ctx) => $body,
+        }
+    };
 }
 
 /// A live transaction, passed to the transaction body.
@@ -39,20 +84,21 @@ pub(crate) trait TxOps {
 /// ```
 ///
 /// [`TmThread::execute`]: crate::TmThread::execute
-#[derive(Debug)]
 pub struct Tx<'a> {
-    ops: &'a mut dyn TxOps,
-}
-
-impl std::fmt::Debug for dyn TxOps + '_ {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("TxOps")
-    }
+    ctx: TxCtx<'a>,
+    kind: TxKind,
+    fault: Option<TxFault>,
 }
 
 impl<'a> Tx<'a> {
-    pub(crate) fn new(ops: &'a mut dyn TxOps) -> Self {
-        Tx { ops }
+    pub(crate) fn new(ctx: TxCtx<'a>, kind: TxKind) -> Self {
+        Tx { ctx, kind, fault: None }
+    }
+
+    /// Dismantles the handle after the body returned, giving the engine
+    /// its context back plus any fault the body tripped.
+    pub(crate) fn into_parts(self) -> (TxCtx<'a>, Option<TxFault>) {
+        (self.ctx, self.fault)
     }
 
     /// Transactionally reads the word at `addr`.
@@ -64,25 +110,46 @@ impl<'a> Tx<'a> {
     #[inline]
     pub fn read(&mut self, addr: Addr) -> TxResult<u64> {
         sim_htm::sched::yield_point();
-        let value = self.ops.read(addr)?;
+        if self.fault.is_some() {
+            return Err(RESTART);
+        }
+        let value = dispatch!(self, ctx => ctx.read(addr))?;
         trace::read(addr, value);
         Ok(value)
     }
 
     /// Transactionally writes `value` to `addr`.
     ///
+    /// # Contract
+    ///
+    /// Writing is only legal in a transaction declared
+    /// [`TxKind::ReadWrite`](crate::TxKind::ReadWrite). Inside a
+    /// [`TxKind::ReadOnly`](crate::TxKind::ReadOnly) transaction the write
+    /// is refused before it reaches any engine: this call returns
+    /// [`TxRestart`](crate::TxRestart) (propagate it with `?` as usual),
+    /// the attempt is torn down cleanly, and the enclosing
+    /// [`try_execute`](crate::TmThread::try_execute) returns
+    /// [`TxFault::WriteInReadOnly`] instead of retrying
+    /// ([`execute`](crate::TmThread::execute) panics). The read-only hint
+    /// models compiler static analysis, so a write under it is a
+    /// programming error, never a transient condition.
+    ///
     /// # Errors
     ///
     /// Returns [`TxRestart`](crate::TxRestart) when the attempt must
-    /// restart.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the transaction was declared [`TxKind::ReadOnly`](crate::TxKind::ReadOnly).
+    /// restart, or — inside a read-only transaction — to carry the
+    /// [`TxFault`] out of the body.
     #[inline]
     pub fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
         sim_htm::sched::yield_point();
-        self.ops.write(addr, value)?;
+        if self.fault.is_some() {
+            return Err(RESTART);
+        }
+        if self.kind != TxKind::ReadWrite {
+            self.fault = Some(TxFault::WriteInReadOnly);
+            return Err(RESTART);
+        }
+        dispatch!(self, ctx => ctx.write(addr, value))?;
         trace::write(addr, value);
         Ok(())
     }
@@ -102,7 +169,10 @@ impl<'a> Tx<'a> {
     #[inline]
     pub fn alloc(&mut self, words: u64) -> TxResult<Addr> {
         sim_htm::sched::yield_point();
-        self.ops.alloc(words)
+        if self.fault.is_some() {
+            return Err(RESTART);
+        }
+        dispatch!(self, ctx => ctx.alloc(words))
     }
 
     /// Frees `addr`'s block. The free takes effect only if the transaction
@@ -116,7 +186,10 @@ impl<'a> Tx<'a> {
     #[inline]
     pub fn free(&mut self, addr: Addr) -> TxResult<()> {
         sim_htm::sched::yield_point();
-        self.ops.free(addr)
+        if self.fault.is_some() {
+            return Err(RESTART);
+        }
+        dispatch!(self, ctx => ctx.free(addr))
     }
 
     /// Reads a word and decodes it as a pointer.
@@ -153,6 +226,24 @@ impl<'a> Tx<'a> {
     #[inline]
     pub fn write_f64(&mut self, addr: Addr, value: f64) -> TxResult<()> {
         self.write(addr, value.to_bits())
+    }
+}
+
+impl std::fmt::Debug for Tx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let path = match self.ctx {
+            TxCtx::Fast(_) => "fast",
+            TxCtx::Direct(_) => "direct",
+            TxCtx::Eager(_) => "norec-eager",
+            TxCtx::Lazy(_) => "norec-lazy",
+            TxCtx::Tl2(_) => "tl2",
+            TxCtx::Rh(_) => "rh-mixed",
+        };
+        f.debug_struct("Tx")
+            .field("path", &path)
+            .field("kind", &self.kind)
+            .field("fault", &self.fault)
+            .finish()
     }
 }
 

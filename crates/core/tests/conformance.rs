@@ -13,7 +13,7 @@ use sim_mem::{Addr, Heap, HeapConfig};
 fn runtime(algorithm: Algorithm, htm_config: HtmConfig) -> (Arc<Heap>, Arc<TmRuntime>) {
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 18 }));
     let htm = Htm::new(Arc::clone(&heap), htm_config);
-    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(algorithm));
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(algorithm)).expect("runtime construction cannot fail");
     (heap, rt)
 }
 
@@ -60,7 +60,7 @@ fn counter_increments_are_exact() {
             for tid in 0..threads {
                 let rt = Arc::clone(&rt);
                 s.spawn(move || {
-                    let mut worker = rt.register(tid);
+                    let mut worker = rt.register(tid).expect("fresh thread id");
                     for _ in 0..per {
                         worker.execute(TxKind::ReadWrite, |tx| {
                             let v = tx.read(counter)?;
@@ -96,7 +96,7 @@ fn bank_snapshots_see_conserved_total() {
                 let rt = Arc::clone(&rt);
                 let done = &done;
                 s.spawn(move || {
-                    let mut worker = rt.register(tid);
+                    let mut worker = rt.register(tid).expect("fresh thread id");
                     let mut rng = 0x1234_5678_9abc_def0u64 ^ tid as u64;
                     for _ in 0..800 {
                         rng ^= rng << 13;
@@ -122,7 +122,7 @@ fn bank_snapshots_see_conserved_total() {
                 let rt = Arc::clone(&rt);
                 let done = &done;
                 s.spawn(move || {
-                    let mut worker = rt.register(2);
+                    let mut worker = rt.register(2).expect("fresh thread id");
                     let mut seen = 0;
                     while !done.load(Ordering::Acquire) || seen == 0 {
                         let sum = worker.execute(TxKind::ReadOnly, |tx| {
@@ -161,7 +161,7 @@ fn opacity_holds_mid_transaction() {
                 let rt = Arc::clone(&rt);
                 let done = &done;
                 s.spawn(move || {
-                    let mut worker = rt.register(0);
+                    let mut worker = rt.register(0).expect("fresh thread id");
                     for step in 0..2_000u64 {
                         worker.execute(TxKind::ReadWrite, |tx| {
                             let vx = tx.read(x)?;
@@ -178,7 +178,7 @@ fn opacity_holds_mid_transaction() {
                 let rt = Arc::clone(&rt);
                 let done = &done;
                 s.spawn(move || {
-                    let mut worker = rt.register(tid);
+                    let mut worker = rt.register(tid).expect("fresh thread id");
                     while !done.load(Ordering::Acquire) {
                         worker.execute(TxKind::ReadOnly, |tx| {
                             let vx = tx.read(x)?;
@@ -210,7 +210,7 @@ fn write_skew_is_prevented() {
                 let barrier = &barrier;
                 let heap = Arc::clone(&heap);
                 s.spawn(move || {
-                    let mut worker = rt.register(tid);
+                    let mut worker = rt.register(tid).expect("fresh thread id");
                     for _ in 0..rounds {
                         barrier.wait();
                         worker.execute(TxKind::ReadWrite, |tx| {
@@ -260,7 +260,7 @@ fn privatization_is_safe() {
                 let rt = Arc::clone(&rt);
                 let done = &done;
                 s.spawn(move || {
-                    let mut worker = rt.register(tid);
+                    let mut worker = rt.register(tid).expect("fresh thread id");
                     while !done.load(Ordering::Acquire) {
                         worker.execute(TxKind::ReadWrite, |tx| {
                             let target = tx.read_addr(head)?;
@@ -278,7 +278,7 @@ fn privatization_is_safe() {
                 let heap = Arc::clone(&heap);
                 let done = &done;
                 s.spawn(move || {
-                    let mut worker = rt.register(2);
+                    let mut worker = rt.register(2).expect("fresh thread id");
                     // Let the writers churn, then privatize.
                     for _ in 0..2_000 {
                         std::hint::spin_loop();
@@ -307,7 +307,7 @@ fn privatization_is_safe() {
 fn read_only_hint_is_enforced() {
     let (heap, rt) = runtime(Algorithm::RhNorec, HtmConfig::default());
     let a = heap.allocator().alloc(0, 1).unwrap();
-    let mut worker = rt.register(0);
+    let mut worker = rt.register(0).expect("fresh thread id");
     worker.execute(TxKind::ReadOnly, |tx| tx.write(a, 1));
 }
 
@@ -325,7 +325,7 @@ fn transactional_alloc_and_free() {
             for tid in 0..threads {
                 let rt = Arc::clone(&rt);
                 s.spawn(move || {
-                    let mut worker = rt.register(tid);
+                    let mut worker = rt.register(tid).expect("fresh thread id");
                     // Push `per` nodes: node = [next, value].
                     for i in 0..per {
                         worker.execute(TxKind::ReadWrite, |tx| {
@@ -372,7 +372,7 @@ fn transactional_alloc_and_free() {
 fn stats_account_for_every_commit() {
     let (heap, rt) = runtime(Algorithm::RhNorec, HtmConfig::disabled());
     let a = heap.allocator().alloc(0, 1).unwrap();
-    let mut worker = rt.register(0);
+    let mut worker = rt.register(0).expect("fresh thread id");
     for _ in 0..50 {
         worker.execute(TxKind::ReadWrite, |tx| {
             let v = tx.read(a)?;
@@ -394,7 +394,7 @@ fn uncontended_transactions_stay_on_the_fast_path() {
     for alg in [Algorithm::LockElision, Algorithm::HybridNorec, Algorithm::RhNorec] {
         let (heap, rt) = runtime(alg, HtmConfig::default());
         let a = heap.allocator().alloc(0, 1).unwrap();
-        let mut worker = rt.register(0);
+        let mut worker = rt.register(0).expect("fresh thread id");
         for _ in 0..100 {
             worker.execute(TxKind::ReadWrite, |tx| {
                 let v = tx.read(a)?;
@@ -425,7 +425,7 @@ fn rh_norec_small_htms_engage_under_fallback() {
     let (heap, rt) = runtime(Algorithm::RhNorec, cfg);
     let alloc = heap.allocator();
     let slots: Vec<Addr> = (0..24).map(|_| alloc.alloc(0, 8).unwrap()).collect();
-    let mut worker = rt.register(0);
+    let mut worker = rt.register(0).expect("fresh thread id");
     for round in 0..200u64 {
         let slots = slots.clone();
         worker.execute(TxKind::ReadWrite, |tx| {

@@ -10,7 +10,7 @@ use sim_mem::{Heap, HeapConfig};
 fn runtime(algorithm: Algorithm, htm: HtmConfig) -> (Arc<Heap>, Arc<TmRuntime>) {
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
     let device = Htm::new(Arc::clone(&heap), htm);
-    let rt = TmRuntime::new(Arc::clone(&heap), device, TmConfig::new(algorithm));
+    let rt = TmRuntime::new(Arc::clone(&heap), device, TmConfig::new(algorithm)).expect("runtime construction cannot fail");
     (heap, rt)
 }
 
@@ -19,7 +19,7 @@ fn norec_writer_commits_advance_the_clock_by_one_version() {
     let (heap, rt) = runtime(Algorithm::Norec, HtmConfig::default());
     let g = *rt.globals();
     let a = heap.allocator().alloc(1, 1).unwrap();
-    let mut w = rt.register(0);
+    let mut w = rt.register(0).expect("fresh thread id");
     for i in 0..5u64 {
         w.execute(TxKind::ReadWrite, |tx| tx.write(a, i));
         let v = heap.load(g.global_clock);
@@ -37,7 +37,7 @@ fn hybrid_fast_path_skips_clock_update_without_fallbacks() {
         let (heap, rt) = runtime(alg, HtmConfig::default());
         let g = *rt.globals();
         let a = heap.allocator().alloc(1, 1).unwrap();
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         for i in 0..10u64 {
             w.execute(TxKind::ReadWrite, |tx| tx.write(a, i));
         }
@@ -58,7 +58,7 @@ fn hybrid_fast_path_updates_clock_when_fallbacks_exist() {
         let a = heap.allocator().alloc(1, 1).unwrap();
         // Pretend another thread sits on the slow path.
         heap.store(g.num_of_fallbacks, 1);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let clock_before = heap.load(g.global_clock);
         w.execute(TxKind::ReadWrite, |tx| tx.write(a, 7));
         assert_eq!(w.stats().fast_path_commits, 1);
@@ -81,7 +81,7 @@ fn rh_software_writer_path_raises_and_releases_the_htm_lock() {
     let (heap, rt) = runtime(Algorithm::RhNorec, HtmConfig::disabled());
     let g = *rt.globals();
     let a = heap.allocator().alloc(1, 1).unwrap();
-    let mut w = rt.register(0);
+    let mut w = rt.register(0).expect("fresh thread id");
     w.execute(TxKind::ReadWrite, |tx| tx.write(a, 3));
     let stats = w.stats();
     assert_eq!(stats.slow_path_commits, 1);
@@ -105,7 +105,7 @@ fn rh_postfix_commits_in_hardware_when_available() {
     let g = *rt.globals();
     let alloc = heap.allocator();
     let slots: Vec<_> = (0..4).map(|_| alloc.alloc(1, 8).unwrap()).collect();
-    let mut w = rt.register(0);
+    let mut w = rt.register(0).expect("fresh thread id");
     w.execute(TxKind::ReadWrite, |tx| {
         for (i, &s) in slots.iter().enumerate() {
             tx.write(s, i as u64 + 1)?; // 4 distinct lines > fast-path cap
@@ -141,7 +141,7 @@ fn rh_prefix_absorbs_read_only_transactions() {
     let alloc = heap.allocator();
     let a = alloc.alloc(1, 8).unwrap();
     let b = alloc.alloc(1, 8).unwrap();
-    let mut w = rt.register(0);
+    let mut w = rt.register(0).expect("fresh thread id");
     for i in 0..50u64 {
         // Two write lines -> always falls back; the slow path starts with
         // its HTM prefix.
@@ -168,7 +168,7 @@ fn postfix_only_variant_never_attempts_a_prefix() {
     let alloc = heap.allocator();
     let a = alloc.alloc(1, 8).unwrap();
     let b = alloc.alloc(1, 8).unwrap();
-    let mut w = rt.register(0);
+    let mut w = rt.register(0).expect("fresh thread id");
     for _ in 0..20 {
         w.execute(TxKind::ReadWrite, |tx| {
             tx.write(a, 1)?;
@@ -194,7 +194,7 @@ fn prefix_length_adapts_downward_on_aborts() {
     let alloc = heap.allocator();
     let slots: Vec<_> = (0..32).map(|_| alloc.alloc(1, 8).unwrap()).collect();
     let extra = alloc.alloc(1, 8).unwrap();
-    let mut w = rt.register(0);
+    let mut w = rt.register(0).expect("fresh thread id");
     let initial = w.prefix_len();
     for _ in 0..30 {
         let slots = slots.clone();
@@ -221,7 +221,7 @@ fn lock_elision_serializes_under_fallback_and_releases_the_lock() {
     let (heap, rt) = runtime(Algorithm::LockElision, HtmConfig::disabled());
     let g = *rt.globals();
     let a = heap.allocator().alloc(1, 1).unwrap();
-    let mut w = rt.register(0);
+    let mut w = rt.register(0).expect("fresh thread id");
     for i in 0..5u64 {
         w.execute(TxKind::ReadWrite, |tx| tx.write(a, i));
     }
@@ -236,7 +236,7 @@ fn tl2_commits_do_not_touch_the_norec_clock() {
     let (heap, rt) = runtime(Algorithm::Tl2, HtmConfig::default());
     let g = *rt.globals();
     let a = heap.allocator().alloc(1, 1).unwrap();
-    let mut w = rt.register(0);
+    let mut w = rt.register(0).expect("fresh thread id");
     for i in 0..5u64 {
         w.execute(TxKind::ReadWrite, |tx| tx.write(a, i));
     }

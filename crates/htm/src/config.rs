@@ -106,10 +106,10 @@ pub struct HtmConfig {
     pub associativity: Option<Associativity>,
     /// SMT sibling eviction pressure: when the core's other hardware
     /// thread is active, each transactional access aborts with probability
-    /// `rate × tracked_lines / capacity` — the sibling's memory traffic
+    /// `rate * tracked_lines / capacity` — the sibling's memory traffic
     /// evicting speculative lines. This is the dominant source of the
-    /// >8-thread capacity-abort explosion the paper measures (§3.2); 0
-    /// disables it.
+    /// above-8-thread capacity-abort explosion the paper measures
+    /// (§3.2); 0 disables it.
     pub sibling_evict_per_access: f64,
     /// Probability that any single transactional access aborts the
     /// transaction for an external reason (interrupt, fault). `0.0`

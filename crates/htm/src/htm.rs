@@ -53,13 +53,31 @@ impl Htm {
     ///
     /// # Panics
     ///
-    /// Panics if `tid >= MAX_THREADS` or `tid` is already registered.
+    /// Panics if `tid >= MAX_THREADS` or `tid` is already registered. Use
+    /// [`try_register`](Self::try_register) to handle these as errors.
     pub fn register(self: &Arc<Self>, tid: usize) -> HtmThread {
-        assert!(tid < MAX_THREADS, "thread id {tid} exceeds MAX_THREADS ({MAX_THREADS})");
+        self.try_register(tid).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`register`](Self::register).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterError::TidOutOfRange`] if `tid >= MAX_THREADS`,
+    /// or [`RegisterError::AlreadyRegistered`] if a handle for `tid` is
+    /// already alive.
+    pub fn try_register(self: &Arc<Self>, tid: usize) -> Result<HtmThread, RegisterError> {
+        if tid >= MAX_THREADS {
+            return Err(RegisterError::TidOutOfRange { tid, max: MAX_THREADS });
+        }
         let bit = 1u64 << tid;
         let prev = self.registered.fetch_or(bit, Ordering::AcqRel);
-        assert!(prev & bit == 0, "thread id {tid} registered twice");
-        HtmThread::new(Arc::clone(self), tid)
+        if prev & bit != 0 {
+            // The bit was already set by the live handle; the fetch_or
+            // changed nothing, so there is nothing to undo.
+            return Err(RegisterError::AlreadyRegistered { tid });
+        }
+        Ok(HtmThread::new(Arc::clone(self), tid))
     }
 
     pub(crate) fn unregister(&self, tid: usize) {
@@ -86,6 +104,38 @@ impl Htm {
         self.registered.load(Ordering::Acquire).count_ones() as usize
     }
 }
+
+/// Error from [`Htm::try_register`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The requested thread id exceeds the simulated machine's capacity.
+    TidOutOfRange {
+        /// The offending thread id.
+        tid: usize,
+        /// Exclusive upper bound ([`MAX_THREADS`]).
+        max: usize,
+    },
+    /// A handle for the requested thread id is already alive.
+    AlreadyRegistered {
+        /// The offending thread id.
+        tid: usize,
+    },
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::TidOutOfRange { tid, max } => {
+                write!(f, "thread id {tid} exceeds MAX_THREADS ({max})")
+            }
+            RegisterError::AlreadyRegistered { tid } => {
+                write!(f, "thread id {tid} registered twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
 
 impl fmt::Debug for Htm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -124,6 +174,22 @@ mod tests {
         let htm = device();
         let _a = htm.register(3);
         let _b = htm.register(3);
+    }
+
+    #[test]
+    fn try_register_reports_typed_errors() {
+        let htm = device();
+        let _live = htm.register(2);
+        assert_eq!(
+            htm.try_register(2).unwrap_err(),
+            RegisterError::AlreadyRegistered { tid: 2 }
+        );
+        assert_eq!(
+            htm.try_register(MAX_THREADS).unwrap_err(),
+            RegisterError::TidOutOfRange { tid: MAX_THREADS, max: MAX_THREADS }
+        );
+        // A failed attempt must not clobber the live registration.
+        assert_eq!(htm.registered_threads(), 1);
     }
 
     #[test]

@@ -70,6 +70,6 @@ mod thread;
 
 pub use abort::{AbortCode, HtmAbort};
 pub use config::{Associativity, HtmConfig, Topology};
-pub use htm::Htm;
+pub use htm::{Htm, RegisterError};
 pub use stats::HtmThreadStats;
 pub use thread::HtmThread;

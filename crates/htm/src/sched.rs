@@ -19,26 +19,14 @@
 //! Code under test does not take a scheduler handle; instrumented points
 //! call the free functions [`yield_point`] and [`injected_abort`], which
 //! consult a thread-local set only for threads spawned through
-//! [`run_threads`]. Outside a controlled run both are no-ops, so
-//! production paths pay one thread-local read.
-
-use std::collections::VecDeque;
-use std::panic::AssertUnwindSafe;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-
-use crate::rng::XorShift64;
-
-/// A scheduling decision: which runnable thread was chosen, out of how
-/// many options. Only points with more than one option are recorded, so
-/// the log is exactly the information an explorer needs to enumerate
-/// alternative interleavings.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Decision {
-    /// Index into the sorted list of runnable virtual threads.
-    pub chosen: usize,
-    /// How many virtual threads were runnable at this point.
-    pub options: usize,
-}
+//! `run_threads`. Outside a controlled run both are no-ops, so
+//! instrumented paths pay one thread-local read.
+//!
+//! The whole machinery is gated behind the `deterministic` cargo feature
+//! (enabled by `tm-check` and the workspace test builds). Without the
+//! feature only the hook functions remain, as empty `#[inline(always)]`
+//! bodies the optimizer erases — release benchmark builds pay nothing,
+//! not even the thread-local read.
 
 /// An abort kind forced by the scheduler at a transactional access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,332 +39,384 @@ pub enum InjectedAbort {
     Conflict,
 }
 
-/// Configuration of one controlled run.
-#[derive(Clone, Debug)]
-pub struct SchedConfig {
-    /// Seed determining the interleaving (and the injection stream).
-    pub seed: u64,
-    /// When set, scheduling choices come from this list instead of the
-    /// seeded RNG: entry `i` is the choice at the `i`-th decision point
-    /// (clamped to the number of options); past the end of the list,
-    /// choices fall back to the seeded RNG — a fixed choice there could
-    /// starve a descheduled lock holder behind a spinning thread. This is
-    /// the replay/exploration mode.
-    pub guided: Option<Vec<usize>>,
-    /// Probability (per transactional access) of injecting an abort.
-    pub abort_injection: f64,
-    /// Hard bound on scheduling steps; exceeding it is a bug (livelock)
-    /// and panics with the seed.
-    pub step_cap: u64,
-}
+#[cfg(feature = "deterministic")]
+mod controlled {
+    use super::InjectedAbort;
 
-impl SchedConfig {
-    /// A seeded random-schedule run with no abort injection.
-    pub fn from_seed(seed: u64) -> Self {
-        SchedConfig { seed, guided: None, abort_injection: 0.0, step_cap: 5_000_000 }
-    }
-}
+    use std::collections::VecDeque;
+    use std::panic::AssertUnwindSafe;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// What a controlled run observed.
-#[derive(Clone, Debug)]
-pub struct RunResult {
-    /// Every decision point that had more than one option.
-    pub decisions: Vec<Decision>,
-    /// Total yield points passed (including single-option ones).
-    pub steps: u64,
-}
+    use crate::rng::XorShift64;
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Status {
-    NotAttached,
-    Runnable,
-    Finished,
-}
-
-enum Source {
-    Random(XorShift64),
-    Guided { choices: Vec<usize>, pos: usize, tail: XorShift64 },
-}
-
-struct State {
-    status: Vec<Status>,
-    attached: usize,
-    /// The one virtual thread allowed to run, once all are attached.
-    current: Option<usize>,
-    source: Source,
-    decisions: Vec<Decision>,
-    steps: u64,
-    step_cap: u64,
-    seed: u64,
-    inject_rng: XorShift64,
-    abort_injection: f64,
-    /// Set when a virtual thread panicked: all others unwind at their
-    /// next yield point so the run terminates and reports the panic.
-    poisoned: bool,
-}
-
-struct Inner {
-    state: Mutex<State>,
-    cv: Condvar,
-}
-
-/// Message carried by the unwind of threads killed by [`poison`]; the run
-/// harness recognizes it and reports the original panic instead.
-const POISON_MSG: &str = "deterministic scheduler poisoned by another thread's panic";
-
-impl Inner {
-    fn lock(&self) -> MutexGuard<'_, State> {
-        // Std mutex poisoning is not an error signal here: our own
-        // `poisoned` flag handles panicked virtual threads.
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    /// A scheduling decision: which runnable thread was chosen, out of how
+    /// many options. Only points with more than one option are recorded, so
+    /// the log is exactly the information an explorer needs to enumerate
+    /// alternative interleavings.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Decision {
+        /// Index into the sorted list of runnable virtual threads.
+        pub chosen: usize,
+        /// How many virtual threads were runnable at this point.
+        pub options: usize,
     }
 
-    fn attach(&self, vtid: usize) {
-        let mut st = self.lock();
-        assert_eq!(st.status[vtid], Status::NotAttached);
-        st.status[vtid] = Status::Runnable;
-        st.attached += 1;
-        if st.attached == st.status.len() {
-            let first = Self::pick(&mut st);
-            st.current = first;
-            self.cv.notify_all();
-        }
-        self.wait_for_turn(st, vtid);
+    /// Configuration of one controlled run.
+    #[derive(Clone, Debug)]
+    pub struct SchedConfig {
+        /// Seed determining the interleaving (and the injection stream).
+        pub seed: u64,
+        /// When set, scheduling choices come from this list instead of the
+        /// seeded RNG: entry `i` is the choice at the `i`-th decision point
+        /// (clamped to the number of options); past the end of the list,
+        /// choices fall back to the seeded RNG — a fixed choice there could
+        /// starve a descheduled lock holder behind a spinning thread. This is
+        /// the replay/exploration mode.
+        pub guided: Option<Vec<usize>>,
+        /// Probability (per transactional access) of injecting an abort.
+        pub abort_injection: f64,
+        /// Hard bound on scheduling steps; exceeding it is a bug (livelock)
+        /// and panics with the seed.
+        pub step_cap: u64,
     }
 
-    /// Blocks until `vtid` is the current thread (or unwinds on poison).
-    fn wait_for_turn(&self, mut st: MutexGuard<'_, State>, vtid: usize) {
-        while st.current != Some(vtid) && !st.poisoned {
-            st = self
-                .cv
-                .wait(st)
-                .unwrap_or_else(|e| e.into_inner());
-        }
-        if st.poisoned && st.current != Some(vtid) {
-            drop(st);
-            std::panic::panic_any(POISON_MSG);
+    impl SchedConfig {
+        /// A seeded random-schedule run with no abort injection.
+        pub fn from_seed(seed: u64) -> Self {
+            SchedConfig { seed, guided: None, abort_injection: 0.0, step_cap: 5_000_000 }
         }
     }
 
-    /// Chooses the next runnable thread (None when all finished),
-    /// recording the decision when there was a real choice.
-    fn pick(st: &mut State) -> Option<usize> {
-        let runnable: Vec<usize> = (0..st.status.len())
-            .filter(|&i| st.status[i] == Status::Runnable)
-            .collect();
-        match runnable.len() {
-            0 => None,
-            1 => Some(runnable[0]),
-            n => {
-                let chosen = match &mut st.source {
-                    Source::Random(rng) => (rng.next_u64() % n as u64) as usize,
-                    Source::Guided { choices, pos, tail } => {
-                        let c = match choices.get(*pos) {
-                            Some(&c) => c.min(n - 1),
-                            None => (tail.next_u64() % n as u64) as usize,
-                        };
-                        *pos += 1;
-                        c
-                    }
-                };
-                st.decisions.push(Decision { chosen, options: n });
-                Some(runnable[chosen])
+    /// What a controlled run observed.
+    #[derive(Clone, Debug)]
+    pub struct RunResult {
+        /// Every decision point that had more than one option.
+        pub decisions: Vec<Decision>,
+        /// Total yield points passed (including single-option ones).
+        pub steps: u64,
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Status {
+        NotAttached,
+        Runnable,
+        Finished,
+    }
+
+    enum Source {
+        Random(XorShift64),
+        Guided { choices: Vec<usize>, pos: usize, tail: XorShift64 },
+    }
+
+    struct State {
+        status: Vec<Status>,
+        attached: usize,
+        /// The one virtual thread allowed to run, once all are attached.
+        current: Option<usize>,
+        source: Source,
+        decisions: Vec<Decision>,
+        steps: u64,
+        step_cap: u64,
+        seed: u64,
+        inject_rng: XorShift64,
+        abort_injection: f64,
+        /// Set when a virtual thread panicked: all others unwind at their
+        /// next yield point so the run terminates and reports the panic.
+        poisoned: bool,
+    }
+
+    struct Inner {
+        state: Mutex<State>,
+        cv: Condvar,
+    }
+
+    /// Message carried by the unwind of threads killed by [`poison`]; the run
+    /// harness recognizes it and reports the original panic instead.
+    const POISON_MSG: &str = "deterministic scheduler poisoned by another thread's panic";
+
+    impl Inner {
+        fn lock(&self) -> MutexGuard<'_, State> {
+            // Std mutex poisoning is not an error signal here: our own
+            // `poisoned` flag handles panicked virtual threads.
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        fn attach(&self, vtid: usize) {
+            let mut st = self.lock();
+            assert_eq!(st.status[vtid], Status::NotAttached);
+            st.status[vtid] = Status::Runnable;
+            st.attached += 1;
+            if st.attached == st.status.len() {
+                let first = Self::pick(&mut st);
+                st.current = first;
+                self.cv.notify_all();
             }
-        }
-    }
-
-    fn yield_now(&self, vtid: usize) {
-        let mut st = self.lock();
-        if st.poisoned {
-            drop(st);
-            std::panic::panic_any(POISON_MSG);
-        }
-        st.steps += 1;
-        if st.steps > st.step_cap {
-            let seed = st.seed;
-            let cap = st.step_cap;
-            st.poisoned = true;
-            self.cv.notify_all();
-            drop(st);
-            panic!(
-                "deterministic schedule exceeded {cap} steps (livelock?); replay with seed {seed:#x}"
-            );
-        }
-        let next = Self::pick(&mut st);
-        if next != Some(vtid) {
-            st.current = next;
-            self.cv.notify_all();
             self.wait_for_turn(st, vtid);
         }
-    }
 
-    fn injected_abort(&self, _vtid: usize) -> Option<InjectedAbort> {
-        let mut st = self.lock();
-        let p = st.abort_injection;
-        if p <= 0.0 || !st.inject_rng.bernoulli(p) {
-            return None;
+        /// Blocks until `vtid` is the current thread (or unwinds on poison).
+        fn wait_for_turn(&self, mut st: MutexGuard<'_, State>, vtid: usize) {
+            while st.current != Some(vtid) && !st.poisoned {
+                st = self
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            if st.poisoned && st.current != Some(vtid) {
+                drop(st);
+                std::panic::panic_any(POISON_MSG);
+            }
         }
-        Some(match st.inject_rng.next_u64() % 3 {
-            0 => InjectedAbort::Spurious,
-            1 => InjectedAbort::Capacity,
-            _ => InjectedAbort::Conflict,
-        })
-    }
 
-    fn finish(&self, vtid: usize) {
-        let mut st = self.lock();
-        st.status[vtid] = Status::Finished;
-        if st.current == Some(vtid) {
-            st.current = Self::pick(&mut st);
+        /// Chooses the next runnable thread (None when all finished),
+        /// recording the decision when there was a real choice.
+        fn pick(st: &mut State) -> Option<usize> {
+            let runnable: Vec<usize> = (0..st.status.len())
+                .filter(|&i| st.status[i] == Status::Runnable)
+                .collect();
+            match runnable.len() {
+                0 => None,
+                1 => Some(runnable[0]),
+                n => {
+                    let chosen = match &mut st.source {
+                        Source::Random(rng) => (rng.next_u64() % n as u64) as usize,
+                        Source::Guided { choices, pos, tail } => {
+                            let c = match choices.get(*pos) {
+                                Some(&c) => c.min(n - 1),
+                                None => (tail.next_u64() % n as u64) as usize,
+                            };
+                            *pos += 1;
+                            c
+                        }
+                    };
+                    st.decisions.push(Decision { chosen, options: n });
+                    Some(runnable[chosen])
+                }
+            }
         }
-        self.cv.notify_all();
+
+        fn yield_now(&self, vtid: usize) {
+            let mut st = self.lock();
+            if st.poisoned {
+                drop(st);
+                std::panic::panic_any(POISON_MSG);
+            }
+            st.steps += 1;
+            if st.steps > st.step_cap {
+                let seed = st.seed;
+                let cap = st.step_cap;
+                st.poisoned = true;
+                self.cv.notify_all();
+                drop(st);
+                panic!(
+                    "deterministic schedule exceeded {cap} steps (livelock?); replay with seed {seed:#x}"
+                );
+            }
+            let next = Self::pick(&mut st);
+            if next != Some(vtid) {
+                st.current = next;
+                self.cv.notify_all();
+                self.wait_for_turn(st, vtid);
+            }
+        }
+
+        fn injected_abort(&self, _vtid: usize) -> Option<InjectedAbort> {
+            let mut st = self.lock();
+            let p = st.abort_injection;
+            if p <= 0.0 || !st.inject_rng.bernoulli(p) {
+                return None;
+            }
+            Some(match st.inject_rng.next_u64() % 3 {
+                0 => InjectedAbort::Spurious,
+                1 => InjectedAbort::Capacity,
+                _ => InjectedAbort::Conflict,
+            })
+        }
+
+        fn finish(&self, vtid: usize) {
+            let mut st = self.lock();
+            st.status[vtid] = Status::Finished;
+            if st.current == Some(vtid) {
+                st.current = Self::pick(&mut st);
+            }
+            self.cv.notify_all();
+        }
+
+        fn poison(&self, vtid: usize) {
+            let mut st = self.lock();
+            st.status[vtid] = Status::Finished;
+            st.poisoned = true;
+            st.current = None;
+            self.cv.notify_all();
+        }
     }
 
-    fn poison(&self, vtid: usize) {
-        let mut st = self.lock();
-        st.status[vtid] = Status::Finished;
-        st.poisoned = true;
-        st.current = None;
-        self.cv.notify_all();
+    thread_local! {
+        static CURRENT: std::cell::RefCell<Option<(Arc<Inner>, usize)>> =
+            const { std::cell::RefCell::new(None) };
+    }
+
+    /// A context switch may happen here. No-op outside a controlled run.
+    ///
+    /// Instrumented in every [`HtmThread`](crate::HtmThread) operation and at
+    /// every slow-path global access in the TM algorithms; anything that
+    /// spins must pass a yield point each iteration or a controlled run
+    /// deadlocks (the step cap then reports the seed).
+    #[inline]
+    pub fn yield_point() {
+        let ctx = CURRENT.with(|c| c.borrow().clone());
+        if let Some((inner, vtid)) = ctx {
+            inner.yield_now(vtid);
+        }
+    }
+
+    /// Consults the run's seeded injection stream; `Some` directs the caller
+    /// (the simulated HTM) to abort the current transaction with the given
+    /// kind. Always `None` outside a controlled run.
+    #[inline]
+    pub fn injected_abort() -> Option<InjectedAbort> {
+        let ctx = CURRENT.with(|c| c.borrow().clone());
+        ctx.and_then(|(inner, vtid)| inner.injected_abort(vtid))
+    }
+
+    /// Whether the calling thread is running under a controlled schedule.
+    #[inline]
+    pub fn is_controlled() -> bool {
+        CURRENT.with(|c| c.borrow().is_some())
+    }
+
+    /// Runs `bodies` as virtual threads under a fully deterministic schedule.
+    ///
+    /// Each closure runs on its own OS thread, but the scheduler gates them
+    /// so exactly one makes progress at a time, context-switching only at
+    /// yield points; virtual thread ids follow `bodies` order. The whole
+    /// interleaving is a function of `config` — same config, same
+    /// interleaving, instruction for instruction.
+    ///
+    /// Panics in a body propagate out of this call (other threads are
+    /// unwound at their next yield point first).
+    pub fn run_threads<F>(config: &SchedConfig, bodies: Vec<F>) -> RunResult
+    where
+        F: FnOnce() + Send,
+    {
+        let n = bodies.len();
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                status: vec![Status::NotAttached; n],
+                attached: 0,
+                current: None,
+                source: match &config.guided {
+                    Some(choices) => Source::Guided {
+                        choices: choices.clone(),
+                        pos: 0,
+                        tail: XorShift64::new(config.seed),
+                    },
+                    None => Source::Random(XorShift64::new(config.seed)),
+                },
+                decisions: Vec::new(),
+                steps: 0,
+                step_cap: config.step_cap,
+                seed: config.seed,
+                inject_rng: XorShift64::new(config.seed ^ 0x000a_b047_1e57),
+                abort_injection: config.abort_injection,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        });
+
+        // (vtid, was_poison_unwind, payload) for every panicked body.
+        type PanicRecord = (usize, bool, Box<dyn std::any::Any + Send>);
+        let panics: Mutex<VecDeque<PanicRecord>> = Mutex::new(VecDeque::new());
+
+        std::thread::scope(|s| {
+            for (vtid, body) in bodies.into_iter().enumerate() {
+                let inner = Arc::clone(&inner);
+                let panics = &panics;
+                s.spawn(move || {
+                    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner), vtid)));
+                    inner.attach(vtid);
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(body));
+                    CURRENT.with(|c| *c.borrow_mut() = None);
+                    match result {
+                        Ok(()) => inner.finish(vtid),
+                        Err(payload) => {
+                            let is_poison = payload
+                                .downcast_ref::<&str>()
+                                .is_some_and(|m| *m == POISON_MSG);
+                            panics
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push_back((vtid, is_poison, payload));
+                            inner.poison(vtid);
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut panics = panics.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some(at) = panics.iter().position(|&(_, poison, _)| !poison) {
+            let (vtid, _, payload) = panics.remove(at).unwrap();
+            eprintln!(
+                "virtual thread {vtid} panicked under deterministic schedule; replay with seed {:#x}",
+                config.seed
+            );
+            std::panic::resume_unwind(payload);
+        }
+
+        let st = inner.lock();
+        RunResult { decisions: st.decisions.clone(), steps: st.steps }
+    }
+
+    /// [`run_threads`] with the default configuration for `seed` (random
+    /// schedule, no abort injection).
+    pub fn run_threads_seeded<F>(seed: u64, bodies: Vec<F>) -> RunResult
+    where
+        F: FnOnce() + Send,
+    {
+        run_threads(&SchedConfig::from_seed(seed), bodies)
+    }
+
+    impl std::fmt::Debug for Inner {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("sched::Inner").finish_non_exhaustive()
+        }
     }
 }
 
-thread_local! {
-    static CURRENT: std::cell::RefCell<Option<(Arc<Inner>, usize)>> =
-        const { std::cell::RefCell::new(None) };
-}
+#[cfg(feature = "deterministic")]
+pub use controlled::{
+    injected_abort, is_controlled, run_threads, run_threads_seeded, yield_point, Decision,
+    RunResult, SchedConfig,
+};
 
-/// A context switch may happen here. No-op outside a controlled run.
-///
-/// Instrumented in every [`HtmThread`](crate::HtmThread) operation and at
-/// every slow-path global access in the TM algorithms; anything that
-/// spins must pass a yield point each iteration or a controlled run
-/// deadlocks (the step cap then reports the seed).
-#[inline]
-pub fn yield_point() {
-    let ctx = CURRENT.with(|c| c.borrow().clone());
-    if let Some((inner, vtid)) = ctx {
-        inner.yield_now(vtid);
-    }
-}
+/// A context switch may happen here. Compiled to nothing without the
+/// `deterministic` feature.
+#[cfg(not(feature = "deterministic"))]
+#[inline(always)]
+pub fn yield_point() {}
 
-/// Consults the run's seeded injection stream; `Some` directs the caller
-/// (the simulated HTM) to abort the current transaction with the given
-/// kind. Always `None` outside a controlled run.
-#[inline]
+/// Consults the run's seeded abort-injection stream. Always `None`
+/// without the `deterministic` feature.
+#[cfg(not(feature = "deterministic"))]
+#[inline(always)]
 pub fn injected_abort() -> Option<InjectedAbort> {
-    let ctx = CURRENT.with(|c| c.borrow().clone());
-    ctx.and_then(|(inner, vtid)| inner.injected_abort(vtid))
+    None
 }
 
 /// Whether the calling thread is running under a controlled schedule.
-#[inline]
+/// Always `false` without the `deterministic` feature.
+#[cfg(not(feature = "deterministic"))]
+#[inline(always)]
 pub fn is_controlled() -> bool {
-    CURRENT.with(|c| c.borrow().is_some())
-}
-
-/// Runs `bodies` as virtual threads under a fully deterministic schedule.
-///
-/// Each closure runs on its own OS thread, but the scheduler gates them
-/// so exactly one makes progress at a time, context-switching only at
-/// yield points; virtual thread ids follow `bodies` order. The whole
-/// interleaving is a function of `config` — same config, same
-/// interleaving, instruction for instruction.
-///
-/// Panics in a body propagate out of this call (other threads are
-/// unwound at their next yield point first).
-pub fn run_threads<F>(config: &SchedConfig, bodies: Vec<F>) -> RunResult
-where
-    F: FnOnce() + Send,
-{
-    let n = bodies.len();
-    let inner = Arc::new(Inner {
-        state: Mutex::new(State {
-            status: vec![Status::NotAttached; n],
-            attached: 0,
-            current: None,
-            source: match &config.guided {
-                Some(choices) => Source::Guided {
-                    choices: choices.clone(),
-                    pos: 0,
-                    tail: XorShift64::new(config.seed),
-                },
-                None => Source::Random(XorShift64::new(config.seed)),
-            },
-            decisions: Vec::new(),
-            steps: 0,
-            step_cap: config.step_cap,
-            seed: config.seed,
-            inject_rng: XorShift64::new(config.seed ^ 0xab0_47_1e57),
-            abort_injection: config.abort_injection,
-            poisoned: false,
-        }),
-        cv: Condvar::new(),
-    });
-
-    // (vtid, was_poison_unwind, payload) for every panicked body.
-    let panics: Mutex<VecDeque<(usize, bool, Box<dyn std::any::Any + Send>)>> =
-        Mutex::new(VecDeque::new());
-
-    std::thread::scope(|s| {
-        for (vtid, body) in bodies.into_iter().enumerate() {
-            let inner = Arc::clone(&inner);
-            let panics = &panics;
-            s.spawn(move || {
-                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner), vtid)));
-                inner.attach(vtid);
-                let result = std::panic::catch_unwind(AssertUnwindSafe(body));
-                CURRENT.with(|c| *c.borrow_mut() = None);
-                match result {
-                    Ok(()) => inner.finish(vtid),
-                    Err(payload) => {
-                        let is_poison = payload
-                            .downcast_ref::<&str>()
-                            .is_some_and(|m| *m == POISON_MSG);
-                        panics
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .push_back((vtid, is_poison, payload));
-                        inner.poison(vtid);
-                    }
-                }
-            });
-        }
-    });
-
-    let mut panics = panics.into_inner().unwrap_or_else(|e| e.into_inner());
-    if let Some(at) = panics.iter().position(|&(_, poison, _)| !poison) {
-        let (vtid, _, payload) = panics.remove(at).unwrap();
-        eprintln!(
-            "virtual thread {vtid} panicked under deterministic schedule; replay with seed {:#x}",
-            config.seed
-        );
-        std::panic::resume_unwind(payload);
-    }
-
-    let st = inner.lock();
-    RunResult { decisions: st.decisions.clone(), steps: st.steps }
-}
-
-/// [`run_threads`] with the default configuration for `seed` (random
-/// schedule, no abort injection).
-pub fn run_threads_seeded<F>(seed: u64, bodies: Vec<F>) -> RunResult
-where
-    F: FnOnce() + Send,
-{
-    run_threads(&SchedConfig::from_seed(seed), bodies)
-}
-
-impl std::fmt::Debug for Inner {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("sched::Inner").finish_non_exhaustive()
-    }
+    false
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
 
     /// Threads interleave at yield points; the order is a pure function
     /// of the seed.
@@ -457,7 +497,7 @@ mod tests {
         };
         let results: Vec<u64> = (0..64).map(run).collect();
         assert!(results.iter().any(|&r| r < 8), "no seed lost an update: {results:?}");
-        assert!(results.iter().any(|&r| r == 8), "no seed was loss-free: {results:?}");
+        assert!(results.contains(&8), "no seed was loss-free: {results:?}");
         for (seed, &r) in results.iter().enumerate() {
             assert_eq!(run(seed as u64), r, "seed {seed} not deterministic");
         }

@@ -39,7 +39,7 @@ pub(crate) mod test_support {
     pub(crate) fn single_runtime(algorithm: Algorithm) -> (Arc<Heap>, Arc<TmRuntime>) {
         let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 20 }));
         let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
-        let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(algorithm));
+        let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(algorithm)).expect("runtime construction cannot fail");
         (heap, rt)
     }
 }

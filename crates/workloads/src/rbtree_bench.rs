@@ -129,7 +129,7 @@ mod tests {
             &heap,
             RbTreeBenchConfig { initial_size: 500, mutation_pct: 10 },
         );
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(42);
         bench.setup(&mut w, &mut rng);
         assert_eq!(bench.tree().collect(&heap).len(), 500);
@@ -144,7 +144,7 @@ mod tests {
             RbTreeBenchConfig { initial_size: 300, mutation_pct: 40 },
         ));
         {
-            let mut w = rt.register(0);
+            let mut w = rt.register(0).expect("fresh thread id");
             let mut rng = WorkloadRng::seed_from_u64(1);
             bench.setup(&mut w, &mut rng);
         }
@@ -153,7 +153,7 @@ mod tests {
                 let rt = Arc::clone(&rt);
                 let bench = Arc::clone(&bench);
                 s.spawn(move || {
-                    let mut w = rt.register(tid);
+                    let mut w = rt.register(tid).expect("fresh thread id");
                     let mut rng = WorkloadRng::seed_from_u64(100 + tid as u64);
                     for _ in 0..400 {
                         bench.run_op(&mut w, &mut rng);

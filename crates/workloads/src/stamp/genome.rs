@@ -198,7 +198,7 @@ mod tests {
     fn sequential_processing_builds_valid_links() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let g = Genome::new(&heap, small(), 2);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(0);
         for _ in 0..1000 {
             g.run_op(&mut w, &mut rng);
@@ -217,7 +217,7 @@ mod tests {
                     let rt = Arc::clone(&rt);
                     let g = Arc::clone(&g);
                     s.spawn(move || {
-                        let mut w = rt.register(tid);
+                        let mut w = rt.register(tid).expect("fresh thread id");
                         let mut rng = WorkloadRng::seed_from_u64(tid as u64);
                         for _ in 0..400 {
                             g.run_op(&mut w, &mut rng);

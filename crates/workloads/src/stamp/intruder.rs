@@ -303,7 +303,7 @@ mod tests {
     fn signatures_survive_fragmentation_and_reordering() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let app = Intruder::new(&heap, IntruderConfig { attack_pct: 100, ..Default::default() });
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(2);
         for _ in 0..50 {
             app.generate_flow(&mut w, &mut rng);
@@ -321,7 +321,7 @@ mod tests {
     fn draining_detects_every_attack_exactly_once() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let app = Intruder::new(&heap, IntruderConfig::default());
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(9);
         for _ in 0..100 {
             app.generate_flow(&mut w, &mut rng);
@@ -337,7 +337,7 @@ mod tests {
         let (heap, rt) = single_runtime(Algorithm::RhNorec);
         let app = Arc::new(Intruder::new(&heap, IntruderConfig::default()));
         {
-            let mut w = rt.register(0);
+            let mut w = rt.register(0).expect("fresh thread id");
             let mut rng = WorkloadRng::seed_from_u64(10);
             app.setup(&mut w, &mut rng);
         }
@@ -346,7 +346,7 @@ mod tests {
                 let rt = Arc::clone(&rt);
                 let app = Arc::clone(&app);
                 s.spawn(move || {
-                    let mut w = rt.register(tid);
+                    let mut w = rt.register(tid).expect("fresh thread id");
                     let mut rng = WorkloadRng::seed_from_u64(20 + tid as u64);
                     for _ in 0..300 {
                         app.run_op(&mut w, &mut rng);
@@ -356,7 +356,7 @@ mod tests {
         });
         app.verify(&heap).unwrap();
         // Drain the remainder single-threaded: totals must reconcile.
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         app.drain(&mut w);
         assert_eq!(app.flows_completed(&heap), app.flows_generated());
         assert_eq!(app.attacks_detected(&heap), app.attacks_generated());

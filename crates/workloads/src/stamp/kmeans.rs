@@ -52,7 +52,9 @@ pub struct Kmeans {
     /// Host-side input: integer point coordinates, grouped around
     /// well-separated true centers.
     points: Vec<Vec<u64>>,
-    /// True generating center of each point (for verification).
+    /// True generating center of each point (read by the verification
+    /// tests only).
+    #[cfg_attr(not(test), allow(dead_code))]
     truth: Vec<u64>,
     cursor: AtomicU64,
     recomputes: AtomicU64,
@@ -237,7 +239,7 @@ mod tests {
     fn centers_converge_to_the_true_bands() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let km = Kmeans::new(&heap, small(), 11);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(0);
         // Three full passes.
         for _ in 0..(3 * 256 + 1) {
@@ -265,7 +267,7 @@ mod tests {
                 heap.store(km.cluster(k).offset(C_CENTER + d), k * 1000 + 50);
             }
         }
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         for (idx, point) in km.points.iter().take(64).enumerate() {
             let got = w.execute(TxKind::ReadWrite, |tx| km.assign_and_fold(tx, point));
             assert_eq!(got, km.truth[idx], "point {idx} misassigned");
@@ -282,7 +284,7 @@ mod tests {
                 let rt = Arc::clone(&rt);
                 let km = Arc::clone(&km);
                 s.spawn(move || {
-                    let mut w = rt.register(tid);
+                    let mut w = rt.register(tid).expect("fresh thread id");
                     let mut rng = WorkloadRng::seed_from_u64(tid as u64);
                     for _ in 0..per {
                         km.run_op(&mut w, &mut rng);

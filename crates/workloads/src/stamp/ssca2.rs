@@ -207,7 +207,7 @@ mod tests {
     fn sequential_replay_is_consistent() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let g = Ssca2::new(&heap, small(), 7);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(0);
         for _ in 0..2000 {
             g.run_op(&mut w, &mut rng);
@@ -224,7 +224,7 @@ mod tests {
                 let rt = Arc::clone(&rt);
                 let g = Arc::clone(&g);
                 s.spawn(move || {
-                    let mut w = rt.register(tid);
+                    let mut w = rt.register(tid).expect("fresh thread id");
                     let mut rng = WorkloadRng::seed_from_u64(tid as u64);
                     for _ in 0..800 {
                         g.run_op(&mut w, &mut rng);
@@ -239,7 +239,7 @@ mod tests {
     fn degrees_grow_until_recycled() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let g = Ssca2::new(&heap, Ssca2Config { scale: 1, max_degree: 4, arcs: 16 }, 9);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(0);
         for _ in 0..16 {
             g.run_op(&mut w, &mut rng);

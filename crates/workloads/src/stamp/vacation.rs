@@ -314,7 +314,7 @@ mod tests {
     fn sequential_run_preserves_invariants() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let app = Vacation::new(&heap, small());
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(3);
         app.setup(&mut w, &mut rng);
         app.verify(&heap).unwrap();
@@ -330,7 +330,7 @@ mod tests {
             let (heap, rt) = single_runtime(alg);
             let app = Arc::new(Vacation::new(&heap, small()));
             {
-                let mut w = rt.register(0);
+                let mut w = rt.register(0).expect("fresh thread id");
                 let mut rng = WorkloadRng::seed_from_u64(4);
                 app.setup(&mut w, &mut rng);
             }
@@ -339,7 +339,7 @@ mod tests {
                     let rt = Arc::clone(&rt);
                     let app = Arc::clone(&app);
                     s.spawn(move || {
-                        let mut w = rt.register(tid);
+                        let mut w = rt.register(tid).expect("fresh thread id");
                         let mut rng = WorkloadRng::seed_from_u64(50 + tid as u64);
                         for _ in 0..200 {
                             app.run_op(&mut w, &mut rng);
@@ -355,7 +355,7 @@ mod tests {
     fn deleting_a_customer_releases_their_reservations() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let app = Vacation::new(&heap, small());
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(5);
         app.setup(&mut w, &mut rng);
         // Force one reservation deterministically.

@@ -643,7 +643,7 @@ mod tests {
     fn initial_mesh_is_consistent() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let yada = Yada::new(&heap, YadaConfig { grid: 4, min_angle_deg: 24.0 });
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(1);
         yada.setup(&mut w, &mut rng);
         yada.verify(&heap).unwrap();
@@ -655,7 +655,7 @@ mod tests {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         // 18° terminates (below Ruppert's bound).
         let yada = Yada::new(&heap, YadaConfig { grid: 4, min_angle_deg: 18.0 });
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(2);
         yada.setup(&mut w, &mut rng);
         yada.drain(&mut w);
@@ -691,7 +691,7 @@ mod tests {
     fn random_point_insertion_keeps_the_mesh_consistent() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let yada = Yada::new(&heap, YadaConfig { grid: 4, min_angle_deg: 18.0 });
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(3);
         yada.setup(&mut w, &mut rng);
         for _ in 0..300 {
@@ -707,7 +707,7 @@ mod tests {
             let (heap, rt) = single_runtime(alg);
             let yada = Arc::new(Yada::new(&heap, YadaConfig { grid: 6, min_angle_deg: 24.0 }));
             {
-                let mut w = rt.register(0);
+                let mut w = rt.register(0).expect("fresh thread id");
                 let mut rng = WorkloadRng::seed_from_u64(4);
                 yada.setup(&mut w, &mut rng);
             }
@@ -716,7 +716,7 @@ mod tests {
                     let rt = Arc::clone(&rt);
                     let yada = Arc::clone(&yada);
                     s.spawn(move || {
-                        let mut w = rt.register(tid);
+                        let mut w = rt.register(tid).expect("fresh thread id");
                         let mut rng = WorkloadRng::seed_from_u64(tid as u64);
                         for _ in 0..150 {
                             yada.run_op(&mut w, &mut rng);

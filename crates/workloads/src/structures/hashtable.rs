@@ -178,7 +178,7 @@ mod tests {
     fn insert_get_remove() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let table = HashTable::create(&heap, 16);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         assert!(w.execute(TxKind::ReadWrite, |tx| table.insert(tx, 1, 10)));
         assert!(!w.execute(TxKind::ReadWrite, |tx| table.insert(tx, 1, 11)));
         assert_eq!(w.execute(TxKind::ReadOnly, |tx| table.get(tx, 1)), Some(10));
@@ -190,7 +190,7 @@ mod tests {
     fn put_overwrites() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let table = HashTable::create(&heap, 4);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| table.put(tx, 9, 1)), None);
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| table.put(tx, 9, 2)), Some(1));
         assert_eq!(w.execute(TxKind::ReadOnly, |tx| table.get(tx, 9)), Some(2));
@@ -200,7 +200,7 @@ mod tests {
     fn collisions_chain_correctly() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let table = HashTable::create(&heap, 1); // everything collides
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         for k in 0..50u64 {
             assert!(w.execute(TxKind::ReadWrite, |tx| table.insert(tx, k, k * 2)));
         }
@@ -219,7 +219,7 @@ mod tests {
     fn matches_model_under_random_ops() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let table = HashTable::create(&heap, 8);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut model = std::collections::HashMap::new();
         let mut rng = 7u64;
         for _ in 0..2000 {

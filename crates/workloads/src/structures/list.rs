@@ -199,7 +199,7 @@ mod tests {
     fn stays_sorted_and_deduplicated() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let list = SortedList::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         for k in [5u64, 1, 9, 3, 7, 5, 1] {
             w.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, k * 10).map(|_| ()));
         }
@@ -211,7 +211,7 @@ mod tests {
     fn remove_front_middle_back() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let list = SortedList::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         for k in 1..=5u64 {
             w.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, k).map(|_| ()));
         }
@@ -227,7 +227,7 @@ mod tests {
     fn pop_min_drains_in_order() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let list = SortedList::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         for k in [3u64, 1, 2] {
             w.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, k).map(|_| ()));
         }
@@ -243,7 +243,7 @@ mod tests {
     fn len_tracks_contents() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let list = SortedList::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         assert_eq!(w.execute(TxKind::ReadOnly, |tx| list.len_tx(tx)), 0);
         for k in 0..10u64 {
             w.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, k).map(|_| ()));

@@ -158,7 +158,7 @@ mod tests {
     fn pops_in_key_order() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let pq = PairingHeap::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         for k in [5u64, 3, 8, 1, 9, 2, 7, 4, 6, 0] {
             w.execute(TxKind::ReadWrite, |tx| pq.push(tx, k, k * 100));
         }
@@ -174,7 +174,7 @@ mod tests {
     fn duplicates_and_peek() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let pq = PairingHeap::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         for _ in 0..3 {
             w.execute(TxKind::ReadWrite, |tx| pq.push(tx, 7, 1));
         }
@@ -193,14 +193,14 @@ mod tests {
     fn matches_binary_heap_model() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let pq = PairingHeap::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut model = std::collections::BinaryHeap::new();
         let mut rng = 0xabcdu64;
         for _ in 0..2000 {
             rng ^= rng << 13;
             rng ^= rng >> 7;
             rng ^= rng << 17;
-            if rng % 3 != 0 {
+            if !rng.is_multiple_of(3) {
                 let k = rng % 1000;
                 w.execute(TxKind::ReadWrite, |tx| pq.push(tx, k, 0));
                 model.push(std::cmp::Reverse(k));
@@ -230,7 +230,7 @@ mod tests {
                 let rt = Arc::clone(&rt);
                 let pq = Arc::clone(&pq);
                 s.spawn(move || {
-                    let mut w = rt.register(tid);
+                    let mut w = rt.register(tid).expect("fresh thread id");
                     for i in 0..per {
                         let v = (tid as u64) << 32 | i;
                         w.execute(TxKind::ReadWrite, |tx| pq.push(tx, i, v));
@@ -242,7 +242,7 @@ mod tests {
                 let pq = Arc::clone(&pq);
                 let popped = &popped;
                 s.spawn(move || {
-                    let mut w = rt.register(2);
+                    let mut w = rt.register(2).expect("fresh thread id");
                     let mut got = Vec::new();
                     let mut misses = 0;
                     while misses < 300 {

@@ -103,7 +103,7 @@ mod tests {
     fn fifo_order() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let q = Queue::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         for v in 1..=5u64 {
             w.execute(TxKind::ReadWrite, |tx| q.push(tx, v));
         }
@@ -118,7 +118,7 @@ mod tests {
     fn pop_empty_returns_none() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let q = Queue::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         assert!(w.execute(TxKind::ReadOnly, |tx| q.is_empty_tx(tx)));
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| q.pop(tx)), None);
         w.execute(TxKind::ReadWrite, |tx| q.push(tx, 9));
@@ -138,7 +138,7 @@ mod tests {
             for tid in 0..producers {
                 let rt = Arc::clone(&rt);
                 s.spawn(move || {
-                    let mut w = rt.register(tid);
+                    let mut w = rt.register(tid).expect("fresh thread id");
                     for i in 0..per {
                         let v = (tid as u64) << 32 | i;
                         w.execute(TxKind::ReadWrite, |tx| q.push(tx, v));
@@ -149,7 +149,7 @@ mod tests {
                 let rt = Arc::clone(&rt);
                 let consumed = &consumed;
                 s.spawn(move || {
-                    let mut w = rt.register(producers + tid);
+                    let mut w = rt.register(producers + tid).expect("fresh thread id");
                     let mut got = Vec::new();
                     let mut misses = 0;
                     while misses < 200 {

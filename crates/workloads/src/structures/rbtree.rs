@@ -38,9 +38,9 @@ const BLACK: u64 = 1;
 ///
 /// # let heap = Arc::new(Heap::new(HeapConfig::default()));
 /// # let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
-/// # let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+/// # let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec)).expect("runtime construction cannot fail");
 /// let tree = RbTree::create(&heap);
-/// let mut worker = rt.register(0);
+/// let mut worker = rt.register(0).expect("fresh thread id");
 /// worker.execute(TxKind::ReadWrite, |tx| tree.put(tx, 7, 700));
 /// let got = worker.execute(TxKind::ReadOnly, |tx| tree.get(tx, 7));
 /// assert_eq!(got, Some(700));
@@ -567,7 +567,7 @@ mod tests {
     fn put_get_remove_round_trip() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let tree = RbTree::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.put(tx, 5, 50)), None);
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.put(tx, 5, 55)), Some(50));
         assert_eq!(w.execute(TxKind::ReadOnly, |tx| tree.get(tx, 5)), Some(55));
@@ -581,7 +581,7 @@ mod tests {
     fn sequential_matches_btreemap() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let tree = RbTree::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut model = std::collections::BTreeMap::new();
         let mut rng = 0xdecafbadu64;
         for _ in 0..3000 {
@@ -614,7 +614,7 @@ mod tests {
     fn ascending_and_descending_bulk_loads_stay_balanced() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let tree = RbTree::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         for k in 0..512u64 {
             w.execute(TxKind::ReadWrite, |tx| tree.put(tx, k, k));
         }
@@ -636,7 +636,7 @@ mod tests {
     fn ceiling_finds_the_next_key() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let tree = RbTree::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         for k in [10u64, 20, 30] {
             w.execute(TxKind::ReadWrite, |tx| tree.put(tx, k, k * 2));
         }
@@ -652,7 +652,7 @@ mod tests {
     fn removing_absent_keys_is_a_noop() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let tree = RbTree::create(&heap);
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.remove(tx, 1)), None);
         w.execute(TxKind::ReadWrite, |tx| tree.put(tx, 2, 2));
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.remove(tx, 1)), None);

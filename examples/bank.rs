@@ -24,7 +24,7 @@ const TRANSFERS: u64 = 30_000;
 fn main() {
     let heap = Arc::new(Heap::new(HeapConfig::default()));
     let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
-    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec)).expect("runtime construction cannot fail");
 
     // Account table: [open_flag, balance] pairs.
     let table = heap.allocator().alloc(0, ACCOUNTS * 2).expect("alloc");
@@ -43,7 +43,7 @@ fn main() {
         for tid in 0..2usize {
             let rt = Arc::clone(&rt);
             s.spawn(move || {
-                let mut w = rt.register(tid);
+                let mut w = rt.register(tid).expect("fresh thread id");
                 let mut rng = (tid as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
                 for _ in 0..TRANSFERS {
                     rng ^= rng << 13;
@@ -75,7 +75,7 @@ fn main() {
             let done = &done;
             let audits = &audits;
             s.spawn(move || {
-                let mut w = rt.register(2);
+                let mut w = rt.register(2).expect("fresh thread id");
                 while !done.load(Ordering::Acquire) {
                     let total = w.execute(TxKind::ReadOnly, |tx| {
                         let mut sum = 0u64;
@@ -95,7 +95,7 @@ fn main() {
             let heap = Arc::clone(&heap);
             let done = &done;
             s.spawn(move || {
-                let mut w = rt.register(3);
+                let mut w = rt.register(3).expect("fresh thread id");
                 std::thread::yield_now();
                 let closed_balance = w.execute(TxKind::ReadWrite, |tx| {
                     tx.write(open(0), 0)?;

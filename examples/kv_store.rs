@@ -43,12 +43,12 @@ fn main() {
 fn run(alg: Algorithm) -> (u128, TmThreadStats) {
     let heap = Arc::new(Heap::new(HeapConfig::default()));
     let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
-    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(alg));
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(alg)).expect("runtime construction cannot fail");
     let store = RbTree::create(&heap);
 
     // Preload half the key space.
     {
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         for k in (0..KEYS).step_by(2) {
             w.execute(TxKind::ReadWrite, |tx| store.put(tx, k, k * 10));
         }
@@ -61,7 +61,7 @@ fn run(alg: Algorithm) -> (u128, TmThreadStats) {
             let rt = Arc::clone(&rt);
             let merged = &merged;
             s.spawn(move || {
-                let mut w = rt.register(tid);
+                let mut w = rt.register(tid).expect("fresh thread id");
                 let mut rng = 0x1234_5678u64 ^ (tid as u64) << 32;
                 for _ in 0..OPS_PER_THREAD {
                     rng ^= rng << 13;

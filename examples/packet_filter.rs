@@ -22,11 +22,11 @@ const OPS_PER_ANALYZER: usize = 4_000;
 fn main() {
     let heap = Arc::new(Heap::new(HeapConfig::default()));
     let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
-    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec)).expect("runtime construction cannot fail");
     let analyzer = Arc::new(Intruder::new(&heap, IntruderConfig::default()));
 
     {
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(2026);
         analyzer.setup(&mut w, &mut rng);
     }
@@ -36,7 +36,7 @@ fn main() {
             let rt = Arc::clone(&rt);
             let analyzer = Arc::clone(&analyzer);
             s.spawn(move || {
-                let mut w = rt.register(tid);
+                let mut w = rt.register(tid).expect("fresh thread id");
                 let mut rng = WorkloadRng::seed_from_u64(tid as u64);
                 for _ in 0..OPS_PER_ANALYZER {
                     analyzer.run_op(&mut w, &mut rng);
@@ -46,7 +46,7 @@ fn main() {
     });
 
     // Drain the remaining packets so the books balance exactly.
-    let mut w = rt.register(0);
+    let mut w = rt.register(0).expect("fresh thread id");
     analyzer.drain(&mut w);
 
     let flows = analyzer.flows_generated();

@@ -18,7 +18,7 @@ fn main() {
     let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
 
     // 2. The TM runtime: RH NOrec, the paper's contribution.
-    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec)).expect("runtime construction cannot fail");
 
     // 3. Shared data lives at heap addresses.
     let counter = heap.allocator().alloc(0, 1).expect("allocation");
@@ -28,7 +28,7 @@ fn main() {
         for tid in 0..4 {
             let rt = Arc::clone(&rt);
             s.spawn(move || {
-                let mut worker = rt.register(tid);
+                let mut worker = rt.register(tid).expect("fresh thread id");
                 for _ in 0..10_000 {
                     worker.execute(TxKind::ReadWrite, |tx| {
                         let v = tx.read(counter)?;

@@ -22,11 +22,11 @@ const READ_SLOTS: u64 = 24;
 fn run(label: &str, htm_config: HtmConfig) -> TmThreadStats {
     let heap = Arc::new(Heap::new(HeapConfig::default()));
     let htm = Htm::new(Arc::clone(&heap), htm_config);
-    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec)).expect("runtime construction cannot fail");
     let alloc = heap.allocator();
     // Spread the read set across many cache lines.
     let slots: Vec<Addr> = (0..READ_SLOTS).map(|_| alloc.alloc(0, 8).expect("alloc")).collect();
-    let mut worker = rt.register(0);
+    let mut worker = rt.register(0).expect("fresh thread id");
     for round in 0..OPS {
         let slots = slots.clone();
         worker.execute(TxKind::ReadWrite, |tx| {

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, test, and a short deterministic opacity sweep.
+# Tier-1 gate: lint, build both feature configurations, test, benchmark
+# smoke, and a short deterministic opacity sweep.
 #
 # Run from the repository root:
 #
@@ -16,11 +17,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release) =="
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release, instrumented: workspace pulls the deterministic feature via tm-check) =="
 cargo build --workspace --release
+
+echo "== build (release, uninstrumented: rh-bench alone compiles yield/trace hooks out) =="
+cargo build -p rh-bench --release
 
 echo "== tests =="
 cargo test -q --workspace
+
+echo "== overhead benchmark smoke (writes BENCH_2.json) =="
+cargo run -p rh-bench --release -- overhead --csv
 
 echo "== deterministic opacity sweep (~1 s per algorithm per HTM config) =="
 for htm in default disabled tiny; do

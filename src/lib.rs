@@ -26,10 +26,10 @@
 //!
 //! let heap = Arc::new(Heap::new(HeapConfig::default()));
 //! let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
-//! let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec));
+//! let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec)).expect("runtime construction cannot fail");
 //! let cell = heap.allocator().alloc(0, 1)?;
 //!
-//! let mut worker = rt.register(0);
+//! let mut worker = rt.register(0).expect("fresh thread id");
 //! worker.execute(TxKind::ReadWrite, |tx| tx.write(cell, 42));
 //! assert_eq!(heap.load(cell), 42);
 //! # Ok::<(), Box<dyn std::error::Error>>(())

@@ -18,10 +18,10 @@ use rh_norec_repro::workloads::{Workload, WorkloadRng};
 fn run_workload(build: &dyn Fn(&Heap) -> Box<dyn Workload>, algorithm: Algorithm, htm: HtmConfig) {
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 21 }));
     let device = Htm::new(Arc::clone(&heap), htm);
-    let rt = TmRuntime::new(Arc::clone(&heap), device, TmConfig::new(algorithm));
+    let rt = TmRuntime::new(Arc::clone(&heap), device, TmConfig::new(algorithm)).expect("runtime construction cannot fail");
     let workload = build(&heap);
     {
-        let mut w = rt.register(0);
+        let mut w = rt.register(0).expect("fresh thread id");
         let mut rng = WorkloadRng::seed_from_u64(2026);
         workload.setup(&mut w, &mut rng);
     }
@@ -30,7 +30,7 @@ fn run_workload(build: &dyn Fn(&Heap) -> Box<dyn Workload>, algorithm: Algorithm
             let rt = Arc::clone(&rt);
             let workload = &workload;
             s.spawn(move || {
-                let mut w = rt.register(tid);
+                let mut w = rt.register(tid).expect("fresh thread id");
                 let mut rng = WorkloadRng::seed_from_u64(7 + tid as u64);
                 for _ in 0..150 {
                     workload.run_op(&mut w, &mut rng);
@@ -43,7 +43,9 @@ fn run_workload(build: &dyn Fn(&Heap) -> Box<dyn Workload>, algorithm: Algorithm
         .unwrap_or_else(|e| panic!("{} under {algorithm:?}: {e}", workload.name()));
 }
 
-fn workloads() -> Vec<(&'static str, Box<dyn Fn(&Heap) -> Box<dyn Workload>>)> {
+type WorkloadBuilder = Box<dyn Fn(&Heap) -> Box<dyn Workload>>;
+
+fn workloads() -> Vec<(&'static str, WorkloadBuilder)> {
     vec![
         (
             "rbtree",

@@ -62,7 +62,7 @@ fn gen_map_ops(rng: &mut SmallRng) -> Vec<MapOp> {
 fn runtime(algorithm: Algorithm) -> (Arc<Heap>, Arc<TmRuntime>) {
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 18 }));
     let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
-    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(algorithm));
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(algorithm)).expect("runtime construction cannot fail");
     (heap, rt)
 }
 
@@ -74,7 +74,7 @@ fn rbtree_matches_btreemap() {
         let alg = if rng.gen_bool(0.5) { Algorithm::RhNorec } else { Algorithm::Norec };
         let (heap, rt) = runtime(alg);
         let tree = RbTree::create(&heap);
-        let mut worker = rt.register(0);
+        let mut worker = rt.register(0).expect("fresh thread id");
         let mut model = BTreeMap::new();
         for op in ops {
             match op {
@@ -106,7 +106,7 @@ fn hashtable_matches_hashmap() {
         let ops = gen_map_ops(&mut rng);
         let (heap, rt) = runtime(Algorithm::RhNorec);
         let table = HashTable::create(&heap, 8);
-        let mut worker = rt.register(0);
+        let mut worker = rt.register(0).expect("fresh thread id");
         let mut model = HashMap::new();
         for op in ops {
             match op {
@@ -139,17 +139,20 @@ fn sorted_list_matches_btreemap() {
         let ops = gen_map_ops(&mut rng);
         let (heap, rt) = runtime(Algorithm::RhNorec);
         let list = SortedList::create(&heap);
-        let mut worker = rt.register(0);
+        let mut worker = rt.register(0).expect("fresh thread id");
         let mut model = BTreeMap::new();
         for op in ops {
             match op {
                 MapOp::Put(k, v) => {
                     let inserted = worker.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, v));
-                    if model.contains_key(&k) {
-                        assert!(!inserted, "duplicate insert accepted");
-                    } else {
-                        assert!(inserted);
-                        model.insert(k, v);
+                    match model.entry(k) {
+                        std::collections::btree_map::Entry::Occupied(_) => {
+                            assert!(!inserted, "duplicate insert accepted");
+                        }
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            assert!(inserted);
+                            slot.insert(v);
+                        }
                     }
                 }
                 MapOp::Remove(k) => {
@@ -177,7 +180,7 @@ fn queue_matches_vecdeque() {
             .collect();
         let (heap, rt) = runtime(Algorithm::RhNorec);
         let queue = Queue::create(&heap);
-        let mut worker = rt.register(0);
+        let mut worker = rt.register(0).expect("fresh thread id");
         let mut model = std::collections::VecDeque::new();
         for op in ops {
             match op {
