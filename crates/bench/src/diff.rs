@@ -1,0 +1,360 @@
+//! `rh-bench diff`: compare the `current` sections of two `BENCH_*.json`
+//! documents and flag per-cell regressions.
+//!
+//! The BENCH files are this repo's performance ledger: each PR lands one
+//! with the numbers it measured. This subcommand makes the ledger
+//! enforceable — `rh-bench diff BENCH_2.json BENCH_3.json` joins the two
+//! `current` row sets on `(algorithm, scenario)` and reports the per-cell
+//! delta, marking any cell that got more than [`DEFAULT_THRESHOLD_PCT`]
+//! slower. With `--fail` a flagged regression exits nonzero, so CI can
+//! gate on it.
+//!
+//! The parser is hand-rolled for exactly the shape `overhead::to_json`
+//! emits (the workspace deliberately has no serde): a `current` object
+//! containing a `rows` array of flat objects with string `algorithm` /
+//! `scenario` and numeric `ns_per_tx` fields. Unknown fields are ignored;
+//! structural surprises are reported as errors, not panics.
+
+/// A cell slower by more than this (percent) counts as a regression.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 5.0;
+
+/// One joined `(algorithm, scenario)` cell.
+#[derive(Clone, Debug)]
+pub struct DiffCell {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// `ns_per_tx` in the *before* document.
+    pub before: f64,
+    /// `ns_per_tx` in the *after* document.
+    pub after: f64,
+    /// Percent change, positive = slower.
+    pub delta_pct: f64,
+    /// `delta_pct > threshold`.
+    pub regression: bool,
+}
+
+/// The result of joining two documents.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// Cells present in both documents, in the *after* document's order.
+    pub cells: Vec<DiffCell>,
+    /// `(algorithm, scenario)` pairs present in only one document.
+    pub unmatched: Vec<String>,
+}
+
+impl DiffReport {
+    /// Cells flagged as regressions.
+    pub fn regressions(&self) -> impl Iterator<Item = &DiffCell> {
+        self.cells.iter().filter(|c| c.regression)
+    }
+}
+
+/// Extracts the balanced `{...}` object following the first occurrence of
+/// `"key"`.
+fn object_after<'a>(doc: &'a str, key: &str) -> Result<&'a str, String> {
+    let needle = format!("\"{key}\"");
+    let at = doc
+        .find(&needle)
+        .ok_or_else(|| format!("no \"{key}\" section"))?;
+    let open = doc[at..]
+        .find('{')
+        .map(|i| at + i)
+        .ok_or_else(|| format!("\"{key}\" is not an object"))?;
+    balanced(&doc[open..], '{', '}').ok_or_else(|| format!("unterminated \"{key}\" object"))
+}
+
+/// Extracts the balanced `[...]` array following the first occurrence of
+/// `"key"`.
+fn array_after<'a>(doc: &'a str, key: &str) -> Result<&'a str, String> {
+    let needle = format!("\"{key}\"");
+    let at = doc
+        .find(&needle)
+        .ok_or_else(|| format!("no \"{key}\" array"))?;
+    let open = doc[at..]
+        .find('[')
+        .map(|i| at + i)
+        .ok_or_else(|| format!("\"{key}\" is not an array"))?;
+    balanced(&doc[open..], '[', ']').ok_or_else(|| format!("unterminated \"{key}\" array"))
+}
+
+/// The prefix of `s` (which starts with `open`) up to the matching
+/// `close`, respecting JSON string literals.
+fn balanced(s: &str, open: char, close: char) -> Option<&str> {
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            c if c == open => depth += 1,
+            c if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&s[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits a JSON array body into its top-level `{...}` elements.
+fn objects(array: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let inner = &array[1..array.len() - 1];
+    let mut rest = inner;
+    while let Some(start) = rest.find('{') {
+        match balanced(&rest[start..], '{', '}') {
+            Some(obj) => {
+                out.push(obj);
+                rest = &rest[start + obj.len()..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// The raw text of `"key": <value>` inside a flat object, with the value
+/// ending at the next top-level `,` or the closing `}`.
+fn raw_field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    let needle = format!("\"{key}\"");
+    let at = obj
+        .find(&needle)
+        .ok_or_else(|| format!("row missing \"{key}\": {obj}"))?;
+    let after_key = &obj[at + needle.len()..];
+    let colon = after_key
+        .find(':')
+        .ok_or_else(|| format!("malformed \"{key}\" field"))?;
+    let value = after_key[colon + 1..].trim_start();
+    let end = value
+        .char_indices()
+        .scan(false, |in_string, (i, c)| {
+            match c {
+                '"' => *in_string = !*in_string,
+                ',' | '}' if !*in_string => return Some(Some(i)),
+                _ => {}
+            }
+            Some(None)
+        })
+        .flatten()
+        .next()
+        .unwrap_or(value.len());
+    Ok(value[..end].trim_end())
+}
+
+fn string_field(obj: &str, key: &str) -> Result<String, String> {
+    let raw = raw_field(obj, key)?;
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("\"{key}\" is not a string: {raw}"))?;
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+fn number_field(obj: &str, key: &str) -> Result<f64, String> {
+    let raw = raw_field(obj, key)?;
+    raw.parse::<f64>()
+        .map_err(|_| format!("\"{key}\" is not a number: {raw}"))
+}
+
+/// Parses a BENCH document's `current` rows into
+/// `(algorithm, scenario, ns_per_tx)` triples, in document order.
+///
+/// # Errors
+///
+/// A description of the structural problem when the document does not
+/// contain a well-formed `current.rows` array.
+pub fn current_rows(doc: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let current = object_after(doc, "current")?;
+    let rows = array_after(current, "rows")?;
+    objects(rows)
+        .into_iter()
+        .map(|obj| {
+            Ok((
+                string_field(obj, "algorithm")?,
+                string_field(obj, "scenario")?,
+                number_field(obj, "ns_per_tx")?,
+            ))
+        })
+        .collect()
+}
+
+/// Joins two parsed documents on `(algorithm, scenario)`.
+///
+/// # Errors
+///
+/// Propagates parse failures from either document.
+pub fn compare(before_doc: &str, after_doc: &str, threshold_pct: f64) -> Result<DiffReport, String> {
+    let before = current_rows(before_doc)?;
+    let after = current_rows(after_doc)?;
+    let mut unmatched = Vec::new();
+
+    let lookup = |rows: &[(String, String, f64)], alg: &str, scenario: &str| {
+        rows.iter()
+            .find(|(a, s, _)| a == alg && s == scenario)
+            .map(|&(_, _, ns)| ns)
+    };
+
+    let mut cells = Vec::new();
+    for (alg, scenario, after_ns) in &after {
+        match lookup(&before, alg, scenario) {
+            Some(before_ns) => {
+                let delta_pct = (after_ns - before_ns) / before_ns * 100.0;
+                cells.push(DiffCell {
+                    algorithm: alg.clone(),
+                    scenario: scenario.clone(),
+                    before: before_ns,
+                    after: *after_ns,
+                    delta_pct,
+                    regression: delta_pct > threshold_pct,
+                });
+            }
+            None => unmatched.push(format!("{alg}/{scenario} (after only)")),
+        }
+    }
+    for (alg, scenario, _) in &before {
+        if lookup(&after, alg, scenario).is_none() {
+            unmatched.push(format!("{alg}/{scenario} (before only)"));
+        }
+    }
+    Ok(DiffReport { cells, unmatched })
+}
+
+/// CLI entry: prints the per-cell comparison of two BENCH files and, with
+/// `fail_on_regression`, exits nonzero when any cell regressed past the
+/// threshold.
+pub fn run(before_path: &str, after_path: &str, threshold_pct: f64, fail_on_regression: bool) {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("could not read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let report = match compare(&read(before_path), &read(after_path), threshold_pct) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("diff failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "diff of `current` rows: {before_path} -> {after_path} (regression threshold +{threshold_pct:.0}%)"
+    );
+    println!(
+        "{:<18} {:<17} {:>10} {:>10} {:>8}",
+        "algorithm", "scenario", "before", "after", "delta"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<18} {:<17} {:>10.2} {:>10.2} {:>+7.1}%{}",
+            c.algorithm,
+            c.scenario,
+            c.before,
+            c.after,
+            c.delta_pct,
+            if c.regression { "  << REGRESSION" } else { "" }
+        );
+    }
+    for u in &report.unmatched {
+        println!("unmatched: {u}");
+    }
+    let regressions = report.regressions().count();
+    println!(
+        "{} cells compared, {} regression(s), {} unmatched",
+        report.cells.len(),
+        regressions,
+        report.unmatched.len()
+    );
+    if fail_on_regression && regressions > 0 {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &str) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"overhead\",\n  \"baseline_pre_txlog\": {{\n    \
+             \"rows\": [{{\"algorithm\": \"Decoy\", \"scenario\": \"read\", \
+             \"ns_per_tx\": 1.0, \"ns_per_access\": 1.0}}]\n  }},\n  \
+             \"current\": {{\n    \"engine\": \"e\",\n    \"rows\": [{rows}]\n  }}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn joins_cells_and_computes_deltas() {
+        let before = doc(
+            "{\"algorithm\": \"A\", \"scenario\": \"read\", \"ns_per_tx\": 100.0, \"txs\": 5},\n\
+             {\"algorithm\": \"A\", \"scenario\": \"write\", \"ns_per_tx\": 200.0}",
+        );
+        let after = doc(
+            "{\"algorithm\": \"A\", \"scenario\": \"read\", \"ns_per_tx\": 104.0},\n\
+             {\"algorithm\": \"A\", \"scenario\": \"write\", \"ns_per_tx\": 260.0}",
+        );
+        let report = compare(&before, &after, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        assert!(report.unmatched.is_empty());
+        assert!(!report.cells[0].regression, "+4% is under the 5% threshold");
+        assert!(report.cells[1].regression, "+30% must be flagged");
+        assert_eq!(report.regressions().count(), 1);
+    }
+
+    #[test]
+    fn baseline_section_rows_are_not_compared() {
+        // The decoy row lives in baseline_pre_txlog; only `current` rows
+        // may be joined.
+        let before = doc("{\"algorithm\": \"A\", \"scenario\": \"read\", \"ns_per_tx\": 10.0}");
+        let after = doc("{\"algorithm\": \"A\", \"scenario\": \"read\", \"ns_per_tx\": 10.0}");
+        let report = compare(&before, &after, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].algorithm, "A");
+    }
+
+    #[test]
+    fn missing_cells_are_reported_not_dropped() {
+        let before = doc("{\"algorithm\": \"A\", \"scenario\": \"read\", \"ns_per_tx\": 10.0}");
+        let after = doc("{\"algorithm\": \"B\", \"scenario\": \"read\", \"ns_per_tx\": 10.0}");
+        let report = compare(&before, &after, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(report.cells.is_empty());
+        assert_eq!(report.unmatched.len(), 2);
+    }
+
+    #[test]
+    fn structural_problems_are_errors() {
+        assert!(compare("{}", "{}", 5.0).is_err());
+        let good = doc("{\"algorithm\": \"A\", \"scenario\": \"read\", \"ns_per_tx\": 10.0}");
+        assert!(compare(&good, "{\"current\": 3}", 5.0).is_err());
+        let no_number = doc("{\"algorithm\": \"A\", \"scenario\": \"read\"}");
+        assert!(compare(&good, &no_number, 5.0).is_err());
+    }
+
+    #[test]
+    fn real_bench_3_layout_parses() {
+        // A row in the exact shape overhead::to_json emits.
+        let d = doc(
+            "{\"algorithm\": \"RH-NOrec\", \"scenario\": \"read_after_write\", \
+             \"ns_per_tx\": 719.01, \"ns_per_access\": 22.469, \"txs\": 97280}",
+        );
+        let rows = current_rows(&d).unwrap();
+        assert_eq!(
+            rows,
+            vec![("RH-NOrec".to_string(), "read_after_write".to_string(), 719.01)]
+        );
+    }
+}

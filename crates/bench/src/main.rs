@@ -6,11 +6,13 @@
 //! cargo run -p rh-bench --release -- summary         # headline ratios
 //! cargo run -p rh-bench --release -- ablate          # design ablations
 //! cargo run -p rh-bench --release -- all --paper     # everything, paper scale
+//! cargo run -p rh-bench --release -- diff BENCH_2.json BENCH_3.json
 //! ```
 //!
 //! Flags: `--paper` (full workload sizes; default is a quick scale),
 //! `--csv` (machine-readable output), `--threads 1,4,16` (replace the
-//! sweep), `--duration-ms 500` (per-cell interval).
+//! sweep), `--duration-ms 500` (per-cell interval), `--fail` (with
+//! `diff`: exit nonzero when a cell regressed past the threshold).
 
 use rh_bench::figures::{self, Overrides, Scale};
 use rh_norec::Algorithm;
@@ -47,13 +49,21 @@ fn main() {
                 overrides.duration = Some(std::time::Duration::from_millis(ms));
                 skip_next = true;
             }
-            "--paper" | "--csv" => {}
+            "--paper" | "--csv" | "--fail" => {}
             a if a.starts_with("--") => usage(&format!("unknown flag {a}")),
             a => targets.push(a),
         }
     }
     if targets.is_empty() {
         targets.push("all");
+    }
+    if targets[0] == "diff" {
+        let &[before, after] = &targets[1..] else {
+            usage("diff needs exactly two BENCH_*.json paths");
+        };
+        let fail = args.iter().any(|a| a == "--fail");
+        rh_bench::diff::run(before, after, rh_bench::diff::DEFAULT_THRESHOLD_PCT, fail);
+        return;
     }
     let algorithms = Algorithm::PAPER_SET;
 
@@ -75,7 +85,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown target `{other}`; use fig4|fig5|fig6|extras|ablate|summary|overhead|all"
+                    "unknown target `{other}`; use fig4|fig5|fig6|extras|ablate|summary|overhead|diff|all"
                 );
                 std::process::exit(2);
             }
@@ -86,6 +96,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!("usage: rh-bench [fig4|fig5|fig6|extras|ablate|summary|overhead|all]... \
-       [--paper] [--csv] [--threads 1,2,4] [--duration-ms 500]");
+       [--paper] [--csv] [--threads 1,2,4] [--duration-ms 500]\n       \
+       rh-bench diff <before.json> <after.json> [--fail]");
     std::process::exit(2);
 }

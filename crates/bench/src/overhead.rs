@@ -1,24 +1,35 @@
-//! `rh-bench overhead`: single-thread per-operation cost of the TM API.
+//! `rh-bench overhead`: per-operation cost of the TM API.
 //!
 //! The RH NOrec fast path is supposed to be *uninstrumented* — the HyTM
 //! lower-bound results (Alistarh et al.; Brown & Ravi) show per-access
 //! instrumentation is exactly what kills hybrid scaling. This benchmark
 //! measures what one transactional access actually costs through the
-//! public `Tx` handle, per algorithm, with no contention at all: one
-//! thread, a private working set, no spurious aborts. Any cycles left
-//! here are pure API and dispatch tax.
+//! public `Tx` handle, per algorithm. Any cycles left here are pure API,
+//! dispatch, and log-engine tax.
 //!
-//! Two scenarios per algorithm:
+//! Five scenarios per algorithm:
 //!
-//! * `read` — a `TxKind::ReadOnly` transaction of 16 uncontended reads,
+//! * `read` — a `TxKind::ReadOnly` transaction of 16 uncontended reads
+//!   (HTM on: hybrids run their fast path),
 //! * `read_write` — a `TxKind::ReadWrite` transaction of 8 read/write
-//!   pairs.
+//!   pairs (HTM on),
+//! * `write_heavy` — 16 writes cycling over 4 distinct addresses, **HTM
+//!   disabled** so the hybrids run their software slow paths: exercises
+//!   write-set coalescing (4 live entries, not 16) and write-back,
+//! * `read_after_write` — 16 writes to distinct addresses, then 8 reads
+//!   of written addresses (read-after-write hits) and 8 reads of
+//!   unwritten ones (misses), HTM disabled: exercises the write-set
+//!   lookup path on both sides of the bloom filter,
+//! * `contended` — 4 threads incrementing one shared cell (HTM on):
+//!   exercises the fast-path retry and spin-site backoff under real
+//!   contention. Wall-clock noise makes this cell informative rather
+//!   than gated.
 //!
-//! Results go to stdout (table or `--csv`) and to `BENCH_2.json`, which
-//! also embeds the pre-refactor baseline (dynamic dispatch through
-//! `&mut dyn TxOps` with always-on yield points and trace hooks) captured
-//! before the static-dispatch rework, so the before/after comparison
-//! survives in machine-readable form.
+//! Results go to stdout (table or `--csv`) and to `BENCH_3.json`, which
+//! also embeds the pre-txlog baseline (per-attempt `Vec` allocation,
+//! reverse-scan read-after-write lookup, SipHash TL2 owned map, no
+//! backoff) captured before the log-engine rework, so the before/after
+//! comparison survives in machine-readable form.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -29,44 +40,100 @@ use sim_mem::{Addr, Heap, HeapConfig};
 
 use crate::figures::Scale;
 
-/// Transactional accesses per measured transaction (both scenarios).
+/// Transactional accesses per transaction in the `read` / `read_write` /
+/// `write_heavy` scenarios (kept from BENCH_2 for comparability).
 pub const ACCESSES_PER_TX: u64 = 16;
 
-/// Per-op numbers captured **before** the static-dispatch refactor, with
-/// the virtual-call `Tx` handle and unconditional `sched::yield_point()`
-/// and trace hooks on every access. Units are nanoseconds, measured on
-/// the CI container with the same scenarios this module runs (quick
-/// scale). Kept as data so `BENCH_2.json` always reports the
-/// before/after pair.
-const BASELINE_PRE_REFACTOR: &[(&str, &str, f64, f64)] = &[
-    // (algorithm label, scenario, ns_per_tx, ns_per_access)
-    ("Lock Elision", "read", 953.53, 59.596),
-    ("Lock Elision", "read_write", 1795.40, 112.213),
-    ("NOrec", "read", 233.56, 14.598),
-    ("NOrec", "read_write", 412.78, 25.799),
-    ("NOrec-Lazy", "read", 319.69, 19.981),
-    ("NOrec-Lazy", "read_write", 533.11, 33.320),
-    ("TL2", "read", 264.52, 16.533),
-    ("TL2", "read_write", 922.22, 57.639),
-    ("HY-NOrec", "read", 999.57, 62.473),
-    ("HY-NOrec", "read_write", 1621.36, 101.335),
-    ("HY-NOrec-Lazy", "read", 1060.68, 66.292),
-    ("HY-NOrec-Lazy", "read_write", 1636.26, 102.266),
-    ("RH-NOrec", "read", 967.56, 60.473),
-    ("RH-NOrec", "read_write", 1684.61, 105.288),
-    ("RH-NOrec-Postfix", "read", 939.85, 58.741),
-    ("RH-NOrec-Postfix", "read_write", 1601.88, 100.117),
+/// One benchmark scenario: body shape plus machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioSpec {
+    /// Scenario name (stable across BENCH files).
+    pub name: &'static str,
+    /// Transactional accesses per transaction.
+    pub accesses: u64,
+    /// Whether the simulated HTM is available. Off forces the hybrid
+    /// algorithms onto their software slow paths.
+    pub htm: bool,
+    /// Worker threads (1 = uncontended single-thread cell).
+    pub threads: usize,
+}
+
+/// The full scenario matrix.
+pub const SCENARIOS: &[ScenarioSpec] = &[
+    ScenarioSpec { name: "read", accesses: 16, htm: true, threads: 1 },
+    ScenarioSpec { name: "read_write", accesses: 16, htm: true, threads: 1 },
+    ScenarioSpec { name: "write_heavy", accesses: 16, htm: false, threads: 1 },
+    ScenarioSpec { name: "read_after_write", accesses: 32, htm: false, threads: 1 },
+    ScenarioSpec { name: "contended", accesses: 2, htm: true, threads: 4 },
 ];
 
-/// Dispatch description of the baseline rows above.
-const BASELINE_DISPATCH: &str = "&mut dyn TxOps (vtable per access), yield+trace hooks always on";
+/// Per-op numbers captured **before** the txlog rework: slow paths
+/// allocated fresh `Vec`s per attempt, read-after-write was a reverse
+/// linear scan of the write set, duplicate writes appended (and wrote
+/// back) once per write, TL2 keyed its owned-stripe map with std's
+/// SipHash `HashMap`, and every spin site busy-yielded with no backoff.
+/// Units are nanoseconds, measured on the CI container by this same
+/// harness (quick scale) built against the pre-rework engine; each cell
+/// is the minimum over four interleaved runs alternated with the
+/// post-rework binary, so both sides of the comparison saw the same host
+/// load. Kept as data so `BENCH_3.json` always reports the
+/// before/after pair.
+const BASELINE_PRE_TXLOG: &[(&str, &str, f64, f64)] = &[
+    ("Lock Elision", "read", 828.27, 51.767),
+    ("Lock Elision", "read_write", 1254.82, 78.427),
+    ("Lock Elision", "write_heavy", 483.18, 30.199),
+    ("Lock Elision", "read_after_write", 549.17, 17.161),
+    ("Lock Elision", "contended", 301.68, 150.840),
+    ("NOrec", "read", 179.40, 11.213),
+    ("NOrec", "read_write", 320.12, 20.008),
+    ("NOrec", "write_heavy", 485.42, 30.339),
+    ("NOrec", "read_after_write", 575.96, 17.999),
+    ("NOrec", "contended", 129.64, 64.820),
+    ("NOrec-Lazy", "read", 272.12, 17.007),
+    ("NOrec-Lazy", "read_write", 479.08, 29.943),
+    ("NOrec-Lazy", "write_heavy", 555.68, 34.730),
+    ("NOrec-Lazy", "read_after_write", 864.91, 27.029),
+    ("NOrec-Lazy", "contended", 167.59, 83.796),
+    ("TL2", "read", 232.27, 14.517),
+    ("TL2", "read_write", 838.62, 52.414),
+    ("TL2", "write_heavy", 783.93, 48.996),
+    ("TL2", "read_after_write", 1582.87, 49.465),
+    ("TL2", "contended", 164.33, 82.167),
+    ("HY-NOrec", "read", 848.69, 53.043),
+    ("HY-NOrec", "read_write", 1402.97, 87.685),
+    ("HY-NOrec", "write_heavy", 595.74, 37.234),
+    ("HY-NOrec", "read_after_write", 674.19, 21.068),
+    ("HY-NOrec", "contended", 417.56, 208.782),
+    ("HY-NOrec-Lazy", "read", 895.54, 55.971),
+    ("HY-NOrec-Lazy", "read_write", 1384.77, 86.548),
+    ("HY-NOrec-Lazy", "write_heavy", 661.51, 41.345),
+    ("HY-NOrec-Lazy", "read_after_write", 992.40, 31.013),
+    ("HY-NOrec-Lazy", "contended", 424.02, 212.008),
+    ("RH-NOrec", "read", 845.98, 52.874),
+    ("RH-NOrec", "read_write", 1356.85, 84.803),
+    ("RH-NOrec", "write_heavy", 651.44, 40.715),
+    ("RH-NOrec", "read_after_write", 736.70, 23.022),
+    ("RH-NOrec", "contended", 362.72, 181.359),
+    ("RH-NOrec-Postfix", "read", 841.25, 52.578),
+    ("RH-NOrec-Postfix", "read_write", 1314.00, 82.125),
+    ("RH-NOrec-Postfix", "write_heavy", 630.56, 39.410),
+    ("RH-NOrec-Postfix", "read_after_write", 716.40, 22.387),
+    ("RH-NOrec-Postfix", "contended", 357.98, 178.989),
+];
+
+/// Engine description of the baseline rows above.
+const BASELINE_ENGINE: &str = "per-attempt Vec logs, reverse-scan RAW lookup, SipHash TL2 owned map, no backoff";
+
+/// Engine description of the current rows.
+const CURRENT_ENGINE: &str =
+    "recycled txlog arenas, coalescing indexed write-set + bloom, seeded backoff";
 
 /// One measured cell.
 #[derive(Clone, Debug)]
 pub struct OverheadRow {
     /// Algorithm label (matches figure legends).
     pub algorithm: &'static str,
-    /// Scenario name: `read` or `read_write`.
+    /// Scenario name.
     pub scenario: &'static str,
     /// Transactions measured (after warmup).
     pub txs: u64,
@@ -78,35 +145,46 @@ pub struct OverheadRow {
 
 fn measure_budget(scale: Scale) -> Duration {
     match scale {
-        Scale::Quick => Duration::from_millis(60),
+        Scale::Quick => Duration::from_millis(96),
         Scale::Paper => Duration::from_millis(400),
     }
 }
 
-/// Runs one `(algorithm, scenario)` cell and returns its row.
-fn run_scenario(algorithm: Algorithm, scenario: &'static str, budget: Duration) -> OverheadRow {
+/// Measurement passes per cell. Each cell's budget is split into
+/// `PASSES` slices interleaved with every other cell's, so a
+/// multi-second load burst on a shared host degrades *some batches of
+/// every cell* instead of *every batch of one cell* — the per-cell
+/// minimum then recovers the uncontended cost for all of them.
+const PASSES: u32 = 4;
+
+fn make_runtime(algorithm: Algorithm, htm_on: bool) -> (Arc<Heap>, Arc<TmRuntime>) {
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
-    // Default HTM config: ample capacity, no spurious aborts. Every
-    // transaction here fits the fast path, so we time the fast path.
-    let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+    // Default HTM config: ample capacity, no spurious aborts; disabled
+    // models a machine without RTM so the software slow paths run alone.
+    let htm_cfg = if htm_on { HtmConfig::default() } else { HtmConfig::disabled() };
+    let htm = Htm::new(Arc::clone(&heap), htm_cfg);
     let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(algorithm))
         .expect("overhead runtime construction cannot fail");
-    let mut worker = rt.register(0).expect("fresh thread id");
+    (heap, rt)
+}
 
+fn alloc_slots(heap: &Heap) -> Vec<Addr> {
     let alloc = heap.allocator();
-    let slots: Vec<Addr> = (0..64)
+    (0..64)
         .map(|i| {
             let a = alloc.alloc(0, 8).expect("overhead heap too small");
             heap.store(a, i);
             a
         })
-        .collect();
+        .collect()
+}
 
-    let one_tx = |worker: &mut rh_norec::TmThread| match scenario {
+fn run_body(scenario: &'static str, worker: &mut rh_norec::TmThread, slots: &[Addr]) {
+    match scenario {
         "read" => {
             let sum = worker.execute(TxKind::ReadOnly, |tx| {
                 let mut acc = 0u64;
-                for slot in &slots[..ACCESSES_PER_TX as usize] {
+                for slot in &slots[..16] {
                     acc = acc.wrapping_add(tx.read(*slot)?);
                 }
                 Ok(acc)
@@ -115,56 +193,187 @@ fn run_scenario(algorithm: Algorithm, scenario: &'static str, budget: Duration) 
         }
         "read_write" => {
             worker.execute(TxKind::ReadWrite, |tx| {
-                for i in 0..(ACCESSES_PER_TX as usize / 2) {
+                for i in 0..8 {
                     let v = tx.read(slots[i])?;
                     tx.write(slots[32 + i], v.wrapping_add(1))?;
                 }
                 Ok(())
             });
         }
+        "write_heavy" => {
+            // 16 writes over 4 addresses: a coalescing write-set keeps 4
+            // live entries and writes back 4 words; an append-only one
+            // keeps 16 and writes back 16.
+            worker.execute(TxKind::ReadWrite, |tx| {
+                for i in 0..16u64 {
+                    tx.write(slots[(i & 3) as usize], i)?;
+                }
+                Ok(())
+            });
+        }
+        "read_after_write" => {
+            // 16 distinct writes, then 8 read-after-write hits and 8
+            // misses: hits exercise the write-set lookup, misses the
+            // bloom-filter negative path.
+            let sum = worker.execute(TxKind::ReadWrite, |tx| {
+                for i in 0..16u64 {
+                    tx.write(slots[i as usize], i)?;
+                }
+                let mut acc = 0u64;
+                for slot in &slots[..8] {
+                    acc = acc.wrapping_add(tx.read(*slot)?);
+                }
+                for slot in &slots[32..40] {
+                    acc = acc.wrapping_add(tx.read(*slot)?);
+                }
+                Ok(acc)
+            });
+            std::hint::black_box(sum);
+        }
         other => unreachable!("unknown overhead scenario {other}"),
-    };
-
-    // Warmup: fault in the working set, settle adaptive state.
-    for _ in 0..2_000 {
-        one_tx(&mut worker);
-    }
-
-    // Report the fastest batch, not the mean: on a shared CI machine the
-    // mean folds in scheduler preemptions and co-tenant load, while the
-    // minimum converges on the true uncontended cost.
-    let mut txs = 0u64;
-    let mut best_batch = Duration::MAX;
-    let started = Instant::now();
-    loop {
-        let batch_started = Instant::now();
-        for _ in 0..1_024 {
-            one_tx(&mut worker);
-        }
-        best_batch = best_batch.min(batch_started.elapsed());
-        txs += 1_024;
-        if started.elapsed() >= budget {
-            break;
-        }
-    }
-
-    let ns_per_tx = best_batch.as_nanos() as f64 / 1_024.0;
-    OverheadRow {
-        algorithm: algorithm.label(),
-        scenario,
-        txs,
-        ns_per_tx,
-        ns_per_access: ns_per_tx / ACCESSES_PER_TX as f64,
     }
 }
 
-/// Runs the full overhead matrix: every algorithm × both scenarios.
+/// A warmed-up single-threaded cell with its accumulated measurement
+/// state, kept alive across interleaved passes.
+struct LiveCell {
+    algorithm: Algorithm,
+    spec: &'static ScenarioSpec,
+    worker: rh_norec::TmThread,
+    slots: Vec<Addr>,
+    best_batch: Duration,
+    txs: u64,
+}
+
+impl LiveCell {
+    fn new(algorithm: Algorithm, spec: &'static ScenarioSpec) -> Self {
+        let (heap, rt) = make_runtime(algorithm, spec.htm);
+        let mut worker = rt.register(0).expect("fresh thread id");
+        let slots = alloc_slots(&heap);
+        // Warmup: fault in the working set, settle adaptive state, and
+        // let the recycled log arenas reach their steady-state capacity.
+        for _ in 0..2_000 {
+            run_body(spec.name, &mut worker, &slots);
+        }
+        LiveCell {
+            algorithm,
+            spec,
+            worker,
+            slots,
+            best_batch: Duration::MAX,
+            txs: 0,
+        }
+    }
+
+    /// One timed slice: batches of 1024 transactions until the slice
+    /// budget elapses, keeping the fastest batch. We report the minimum,
+    /// not the mean: on a shared CI machine the mean folds in scheduler
+    /// preemptions and co-tenant load, while the minimum converges on
+    /// the true uncontended cost.
+    fn pass(&mut self, slice: Duration) {
+        let started = Instant::now();
+        loop {
+            let batch_started = Instant::now();
+            for _ in 0..1_024 {
+                run_body(self.spec.name, &mut self.worker, &self.slots);
+            }
+            self.best_batch = self.best_batch.min(batch_started.elapsed());
+            self.txs += 1_024;
+            if started.elapsed() >= slice {
+                break;
+            }
+        }
+    }
+
+    fn into_row(self) -> OverheadRow {
+        let ns_per_tx = self.best_batch.as_nanos() as f64 / 1_024.0;
+        OverheadRow {
+            algorithm: self.algorithm.label(),
+            scenario: self.spec.name,
+            txs: self.txs,
+            ns_per_tx,
+            ns_per_access: ns_per_tx / self.spec.accesses as f64,
+        }
+    }
+}
+
+/// Runs the multi-threaded contended-cell scenario: `threads` workers
+/// each increment one shared word `txs_per_thread` times.
+fn run_contended(algorithm: Algorithm, spec: &ScenarioSpec, scale: Scale) -> OverheadRow {
+    let (heap, rt) = make_runtime(algorithm, spec.htm);
+    let alloc = heap.allocator();
+    let cell = alloc.alloc(0, 8).expect("overhead heap too small");
+
+    let txs_per_thread: u64 = match scale {
+        Scale::Quick => 4_000,
+        Scale::Paper => 25_000,
+    };
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..spec.threads {
+            let rt = Arc::clone(&rt);
+            s.spawn(move || {
+                let mut worker = rt.register(tid).expect("fresh thread id");
+                for _ in 0..txs_per_thread {
+                    worker.execute(TxKind::ReadWrite, |tx| {
+                        let v = tx.read(cell)?;
+                        tx.write(cell, v.wrapping_add(1))
+                    });
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let txs = txs_per_thread * spec.threads as u64;
+    assert_eq!(
+        heap.load(cell),
+        txs,
+        "{algorithm:?} lost updates on the contended cell"
+    );
+    let ns_per_tx = elapsed.as_nanos() as f64 / txs as f64;
+    OverheadRow {
+        algorithm: algorithm.label(),
+        scenario: spec.name,
+        txs,
+        ns_per_tx,
+        ns_per_access: ns_per_tx / spec.accesses as f64,
+    }
+}
+
+/// Runs the full overhead matrix: every algorithm × every scenario.
 pub fn run_matrix(scale: Scale) -> Vec<OverheadRow> {
     let budget = measure_budget(scale);
+
+    // Warm up every single-threaded cell, then interleave their
+    // measurement passes (see [`PASSES`]).
+    let mut singles: Vec<LiveCell> = Algorithm::ALL
+        .iter()
+        .flat_map(|&algorithm| {
+            SCENARIOS
+                .iter()
+                .filter(|spec| spec.threads == 1)
+                .map(move |spec| LiveCell::new(algorithm, spec))
+        })
+        .collect();
+    let slice = budget / PASSES;
+    for _ in 0..PASSES {
+        for cell in &mut singles {
+            cell.pass(slice);
+        }
+    }
+
+    // The multi-threaded cells run once each, after the gated cells, so
+    // their thread churn does not perturb the single-thread minima.
+    let mut single_rows = singles.into_iter().map(LiveCell::into_row);
     let mut rows = Vec::new();
     for &algorithm in &Algorithm::ALL {
-        for scenario in ["read", "read_write"] {
-            rows.push(run_scenario(algorithm, scenario, budget));
+        for spec in SCENARIOS {
+            if spec.threads == 1 {
+                rows.push(single_rows.next().expect("one row per single cell"));
+            } else {
+                rows.push(run_contended(algorithm, spec, scale));
+            }
         }
     }
     rows
@@ -197,14 +406,14 @@ fn rows_json(out: &mut String, rows: &[(&str, &str, f64, f64, Option<u64>)]) {
     out.push_str("    ]");
 }
 
-/// Serializes the result (plus the embedded pre-refactor baseline) as the
-/// `BENCH_2.json` document.
+/// Serializes the result (plus the embedded pre-txlog baseline) as the
+/// `BENCH_3.json` document.
 pub fn to_json(rows: &[OverheadRow]) -> String {
     let current: Vec<(&str, &str, f64, f64, Option<u64>)> = rows
         .iter()
         .map(|r| (r.algorithm, r.scenario, r.ns_per_tx, r.ns_per_access, Some(r.txs)))
         .collect();
-    let baseline: Vec<(&str, &str, f64, f64, Option<u64>)> = BASELINE_PRE_REFACTOR
+    let baseline: Vec<(&str, &str, f64, f64, Option<u64>)> = BASELINE_PRE_TXLOG
         .iter()
         .map(|&(alg, scenario, ns_tx, ns_access)| (alg, scenario, ns_tx, ns_access, None))
         .collect();
@@ -213,22 +422,19 @@ pub fn to_json(rows: &[OverheadRow]) -> String {
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"overhead\",\n");
     out.push_str(
-        "  \"description\": \"single-thread uncontended per-op cost through the public Tx handle\",\n",
+        "  \"description\": \"per-op cost through the public Tx handle; write_heavy and read_after_write run with HTM disabled (software slow paths), contended runs 4 threads on one cell\",\n",
     );
-    out.push_str(&format!("  \"accesses_per_tx\": {ACCESSES_PER_TX},\n"));
     out.push_str(&format!(
         "  \"instrumentation_compiled\": {},\n",
         rh_norec::INSTRUMENTED
     ));
-    out.push_str("  \"baseline_pre_refactor\": {\n");
-    out.push_str(&format!("    \"dispatch\": \"{}\",\n", json_escape(BASELINE_DISPATCH)));
+    out.push_str("  \"baseline_pre_txlog\": {\n");
+    out.push_str(&format!("    \"engine\": \"{}\",\n", json_escape(BASELINE_ENGINE)));
     out.push_str("    \"rows\": ");
     rows_json(&mut out, &baseline);
     out.push_str("\n  },\n");
     out.push_str("  \"current\": {\n");
-    out.push_str(
-        "    \"dispatch\": \"monomorphized TxCtx enum, yield+trace hooks behind the `deterministic` feature\",\n",
-    );
+    out.push_str(&format!("    \"engine\": \"{}\",\n", json_escape(CURRENT_ENGINE)));
     out.push_str("    \"rows\": ");
     rows_json(&mut out, &current);
     out.push_str("\n  }\n");
@@ -237,7 +443,7 @@ pub fn to_json(rows: &[OverheadRow]) -> String {
 }
 
 /// Runs the matrix, prints it (`--csv` for machine-readable rows), and
-/// writes `BENCH_2.json` into the current directory.
+/// writes `BENCH_3.json` into the current directory.
 pub fn run(scale: Scale, csv: bool) {
     let rows = run_matrix(scale);
 
@@ -251,28 +457,30 @@ pub fn run(scale: Scale, csv: bool) {
         }
     } else {
         println!(
-            "overhead: single-thread uncontended cost per transactional access \
-             (instrumentation compiled: {})",
+            "overhead: cost per transactional access (instrumentation compiled: {})",
             rh_norec::INSTRUMENTED
         );
-        println!("{:<18} {:<11} {:>10} {:>12} {:>14}", "algorithm", "scenario", "txs", "ns/tx", "ns/access");
+        println!(
+            "{:<18} {:<17} {:>10} {:>12} {:>14}",
+            "algorithm", "scenario", "txs", "ns/tx", "ns/access"
+        );
         for r in &rows {
             println!(
-                "{:<18} {:<11} {:>10} {:>12.2} {:>14.3}",
+                "{:<18} {:<17} {:>10} {:>12.2} {:>14.3}",
                 r.algorithm, r.scenario, r.txs, r.ns_per_tx, r.ns_per_access
             );
         }
-        if !BASELINE_PRE_REFACTOR.is_empty() {
+        if !BASELINE_PRE_TXLOG.is_empty() {
             println!();
-            println!("pre-refactor baseline ({BASELINE_DISPATCH}):");
-            for &(alg, scenario, ns_tx, ns_access) in BASELINE_PRE_REFACTOR {
-                println!("{alg:<18} {scenario:<11} {:>10} {ns_tx:>12.2} {ns_access:>14.3}", "-");
+            println!("pre-txlog baseline ({BASELINE_ENGINE}):");
+            for &(alg, scenario, ns_tx, ns_access) in BASELINE_PRE_TXLOG {
+                println!("{alg:<18} {scenario:<17} {:>10} {ns_tx:>12.2} {ns_access:>14.3}", "-");
             }
         }
     }
 
     let json = to_json(&rows);
-    let path = "BENCH_2.json";
+    let path = "BENCH_3.json";
     match std::fs::write(path, &json) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

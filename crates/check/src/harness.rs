@@ -39,6 +39,12 @@ pub struct CaseConfig {
     /// Arms the deliberately broken RH NOrec first-write protocol
     /// (`mutant-postfix-clock`), for the checker's mutation test.
     pub mutant: bool,
+    /// Overrides the runtime's contention-backoff configuration
+    /// (`None` keeps [`TmConfig`] defaults). Backoff draws only from its
+    /// seeded PRNG and never paces the deterministic scheduler, so any
+    /// two values here must replay a given schedule seed identically —
+    /// the property `backoff_determinism.rs` pins.
+    pub backoff: Option<rh_norec::BackoffConfig>,
 }
 
 impl CaseConfig {
@@ -53,6 +59,7 @@ impl CaseConfig {
             txs_per_thread: 4,
             ops_per_tx: 3,
             mutant: false,
+            backoff: None,
         }
     }
 }
@@ -191,7 +198,14 @@ fn scripts(case: &CaseConfig, seed: u64) -> Vec<Vec<Vec<Op>>> {
 pub fn run_case(case: &CaseConfig, sched_cfg: &SchedConfig) -> Result<CaseReport, CaseFailure> {
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
     let htm = Htm::new(Arc::clone(&heap), case.htm);
-    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(case.algorithm))
+    let tm_cfg = match case.backoff {
+        Some(backoff) => TmConfig::builder(case.algorithm)
+            .backoff(backoff)
+            .build()
+            .expect("harness backoff override must be valid"),
+        None => TmConfig::new(case.algorithm),
+    };
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, tm_cfg)
         .expect("harness runtime construction cannot fail");
     if case.mutant {
         rt.set_postfix_clock_mutant(true);

@@ -1,0 +1,64 @@
+//! Regression test: contention backoff must not perturb deterministic
+//! replay.
+//!
+//! The backoff primitive draws jitter from a seeded per-thread PRNG and
+//! performs no host pacing under the controlled scheduler, so a seeded
+//! schedule must produce the *identical* event history whatever the
+//! backoff configuration — enabled, disabled, re-seeded, or with a wild
+//! spin cap. If a code change ever routes backoff through wall-clock
+//! time, OS randomness, or an extra yield point, these histories diverge
+//! and this test names the schedule seed that shows it.
+
+use rh_norec::{Algorithm, BackoffConfig};
+use sim_htm::sched::SchedConfig;
+use sim_htm::HtmConfig;
+use tm_check::harness::{run_case, CaseConfig};
+
+/// Algorithms with distinct spin sites: NOrec's clock spin, lazy NOrec's
+/// commit CAS loop, TL2's bounded stripe wait, the hybrids' fast-path
+/// retry and serial word lock.
+const ALGORITHMS: [Algorithm; 6] = [
+    Algorithm::LockElision,
+    Algorithm::Norec,
+    Algorithm::NorecLazy,
+    Algorithm::Tl2,
+    Algorithm::HybridNorecLazy,
+    Algorithm::RhNorec,
+];
+
+/// The backoff configurations that must all be observationally identical
+/// under the deterministic scheduler.
+fn backoff_variants() -> [Option<BackoffConfig>; 4] {
+    [
+        None,
+        Some(BackoffConfig { seed: 0xDEAD_BEEF_0BAD_F00D, ..BackoffConfig::default() }),
+        Some(BackoffConfig { enabled: false, ..BackoffConfig::default() }),
+        Some(BackoffConfig { min_spins: 1, max_spins: 1 << 20, ..BackoffConfig::default() }),
+    ]
+}
+
+#[test]
+fn seeded_schedules_replay_identically_across_backoff_configs() {
+    for alg in ALGORITHMS {
+        for htm in [HtmConfig::default(), HtmConfig::disabled()] {
+            for seed in 0..4u64 {
+                let sched = SchedConfig::from_seed(seed);
+                let mut reference = None;
+                for backoff in backoff_variants() {
+                    let mut case = CaseConfig::contended(alg, htm);
+                    case.backoff = backoff;
+                    let report = run_case(&case, &sched)
+                        .unwrap_or_else(|f| panic!("{alg:?} seed {seed}: {f}"));
+                    match &reference {
+                        None => reference = Some(report.history),
+                        Some(expected) => assert_eq!(
+                            &report.history, expected,
+                            "{alg:?} seed {seed}: backoff config {backoff:?} \
+                             changed the deterministic history"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}

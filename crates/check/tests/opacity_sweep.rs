@@ -151,6 +151,7 @@ fn bounded_exhaustive_exploration_is_opaque() {
         txs_per_thread: 1,
         ops_per_tx: 2,
         mutant: false,
+        backoff: None,
     };
     let base = SchedConfig::from_seed(0);
     let stats = explore_case(&case, &base, 6, 400).unwrap_or_else(|f| panic!("{f}"));
@@ -173,6 +174,7 @@ fn exploration_catches_the_mutant() {
         txs_per_thread: 2,
         ops_per_tx: 2,
         mutant: true,
+        backoff: None,
     };
     let err = match explore_case(&case, &SchedConfig::from_seed(0), 12, 800) {
         Err(failure) => failure,

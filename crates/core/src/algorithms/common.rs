@@ -9,6 +9,7 @@ use crate::cost;
 use crate::error::{TxFault, TxResult, RESTART};
 use crate::stats::TmThreadStats;
 use crate::tx::{TxMem, TxOps};
+use crate::txlog::Backoff;
 
 /// Why a fast-path attempt failed to commit.
 pub(crate) enum FastFail {
@@ -193,7 +194,10 @@ pub(crate) fn classify_fast_abort(stats: &mut TmThreadStats, code: AbortCode) {
 }
 
 /// Spin-acquires a heap-word lock (0 → 1), charging the waiter's cycles.
-pub(crate) fn acquire_word_lock(heap: &Heap, lock: Addr, cycles: &mut u64) {
+/// Contended waits back off with a growing jittered window instead of
+/// hammering the line (and re-colliding on release).
+pub(crate) fn acquire_word_lock(heap: &Heap, lock: Addr, cycles: &mut u64, backoff: &mut Backoff) {
+    let mut attempt = 0;
     loop {
         sim_htm::sched::yield_point();
         *cycles += cost::GLOBAL_RMW;
@@ -203,7 +207,8 @@ pub(crate) fn acquire_word_lock(heap: &Heap, lock: Addr, cycles: &mut u64) {
         while heap.load(lock) != 0 {
             *cycles += cost::SPIN_ITER;
             sim_htm::sched::yield_point();
-            std::thread::yield_now();
+            backoff.pause(attempt, cycles);
+            attempt += 1;
         }
     }
 }

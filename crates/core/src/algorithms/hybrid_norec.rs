@@ -60,11 +60,7 @@ pub(crate) fn run<T>(
                         // attempts); otherwise retries re-collide and
                         // convoy into the fallback.
                         sim_htm::sched::yield_point();
-                        if t.rt.config().interleave_accesses != 0 {
-                            for _ in 0..attempts {
-                                std::thread::yield_now();
-                            }
-                        }
+                        t.backoff.pause(attempts - 1, &mut t.stats.cycles);
                         continue;
                     }
                 }
@@ -237,21 +233,25 @@ fn slow_path_lazy<T>(
 
     let value = loop {
         if restarts > restart_limit && !serial_held {
-            acquire_word_lock(heap, globals.serial_lock, &mut t.stats.cycles);
+            acquire_word_lock(heap, globals.serial_lock, &mut t.stats.cycles, &mut t.backoff);
             serial_held = true;
             t.stats.serial_lock_acquisitions += 1;
         }
         trace::begin(trace::Path::Stm);
         let mut spin = cost::STM_START;
-        let tx_version = read_clock_unlocked(heap, &globals, &mut spin);
+        let tx_version = read_clock_unlocked(heap, &globals, &mut spin, &mut t.backoff);
+        // Recycled arenas: a restart re-logs into warm buffers.
+        t.logs.read_log.clear();
+        t.logs.write_set.clear();
         let mut ctx = LazyCtx {
             heap,
             globals,
             mem: &mut t.mem,
             tid: t.tid,
             tx_version,
-            read_log: Vec::new(),
-            write_set: Vec::new(),
+            read_log: &mut t.logs.read_log,
+            write_set: &mut t.logs.write_set,
+            backoff: &mut t.backoff,
             dead: false,
             set_htm_lock: true,
             meter: crate::algorithms::common::Meter::new(interleave),
@@ -319,13 +319,13 @@ fn slow_path<T>(
 
     let value = loop {
         if restarts > restart_limit && !serial_held {
-            acquire_word_lock(heap, globals.serial_lock, &mut t.stats.cycles);
+            acquire_word_lock(heap, globals.serial_lock, &mut t.stats.cycles, &mut t.backoff);
             serial_held = true;
             t.stats.serial_lock_acquisitions += 1;
         }
         trace::begin(trace::Path::Stm);
         let mut spin = cost::STM_START;
-        let tx_version = read_clock_unlocked(heap, &globals, &mut spin);
+        let tx_version = read_clock_unlocked(heap, &globals, &mut spin, &mut t.backoff);
         let mut ctx = EagerCtx {
             heap,
             globals,

@@ -52,11 +52,7 @@ pub(crate) fn run<T>(
                         // attempts); otherwise retries re-collide and
                         // convoy into the fallback.
                         sim_htm::sched::yield_point();
-                        if t.rt.config().interleave_accesses != 0 {
-                            for _ in 0..attempts {
-                                std::thread::yield_now();
-                            }
-                        }
+                        t.backoff.pause(attempts - 1, &mut t.stats.cycles);
                         continue;
                     }
                 }
@@ -71,7 +67,7 @@ pub(crate) fn run<T>(
     let heap = rt.heap();
     let lock = rt.globals().serial_lock;
     trace::begin(trace::Path::Serial);
-    acquire_word_lock(heap, lock, &mut t.stats.cycles);
+    acquire_word_lock(heap, lock, &mut t.stats.cycles, &mut t.backoff);
     let ctx = DirectCtx {
         heap,
         mem: &mut t.mem,

@@ -23,6 +23,7 @@ use crate::globals::{clock, Globals};
 use crate::runtime::TmThread;
 use crate::trace;
 use crate::tx::{Tx, TxCtx, TxMem, TxOps};
+use crate::txlog::{Backoff, LogVec, WriteSet};
 use crate::TxKind;
 
 pub(crate) fn run_eager<T>(
@@ -38,7 +39,7 @@ pub(crate) fn run_eager<T>(
     loop {
         trace::begin(trace::Path::Stm);
         let mut spin = cost::STM_START;
-        let tx_version = read_clock_unlocked(heap, &globals, &mut spin);
+        let tx_version = read_clock_unlocked(heap, &globals, &mut spin, &mut t.backoff);
         let mut ctx = EagerCtx {
             heap,
             globals,
@@ -86,19 +87,47 @@ pub(crate) fn run_eager<T>(
 }
 
 /// Spins until the global clock is unlocked and returns its value,
-/// charging the waiter's cycles.
-pub(crate) fn read_clock_unlocked(heap: &Heap, globals: &Globals, cycles: &mut u64) -> u64 {
+/// charging the waiter's cycles. Contended waits back off between probes
+/// so the clock holder's release is not met by a thundering herd.
+///
+/// The uncontended probe is the first instruction of every NOrec-family
+/// transaction, so it stays inline; the contended spin is kept out of
+/// line to keep the hot path small.
+#[inline]
+pub(crate) fn read_clock_unlocked(
+    heap: &Heap,
+    globals: &Globals,
+    cycles: &mut u64,
+    backoff: &mut Backoff,
+) -> u64 {
+    // Yield before each probe (not only when locked): the lock holder
+    // may be descheduled, and under the deterministic scheduler it can
+    // only run again if the spinner passes a yield point.
+    sim_htm::sched::yield_point();
+    let v = heap.load(globals.global_clock);
+    if !clock::is_locked(v) {
+        return v;
+    }
+    read_clock_contended(heap, globals, cycles, backoff)
+}
+
+#[cold]
+fn read_clock_contended(
+    heap: &Heap,
+    globals: &Globals,
+    cycles: &mut u64,
+    backoff: &mut Backoff,
+) -> u64 {
+    let mut attempt = 0;
     loop {
-        // Yield before each probe (not only when locked): the lock holder
-        // may be descheduled, and under the deterministic scheduler it can
-        // only run again if the spinner passes a yield point.
+        *cycles += cost::SPIN_ITER;
+        backoff.pause(attempt, cycles);
+        attempt += 1;
         sim_htm::sched::yield_point();
         let v = heap.load(globals.global_clock);
         if !clock::is_locked(v) {
             return v;
         }
-        *cycles += cost::SPIN_ITER;
-        std::thread::yield_now();
     }
 }
 
@@ -223,15 +252,20 @@ pub(crate) fn run_lazy<T>(
     loop {
         trace::begin(trace::Path::Stm);
         let mut spin = cost::STM_START;
-        let tx_version = read_clock_unlocked(heap, &globals, &mut spin);
+        let tx_version = read_clock_unlocked(heap, &globals, &mut spin, &mut t.backoff);
+        // Recycled arenas: clearing keeps their allocations warm, so a
+        // retry (or the next transaction) logs into already-sized buffers.
+        t.logs.read_log.clear();
+        t.logs.write_set.clear();
         let mut ctx = LazyCtx {
             heap,
             globals,
             mem: &mut t.mem,
             tid: t.tid,
             tx_version,
-            read_log: Vec::new(),
-            write_set: Vec::new(),
+            read_log: &mut t.logs.read_log,
+            write_set: &mut t.logs.write_set,
+            backoff: &mut t.backoff,
             dead: false,
             set_htm_lock: false,
             meter: Meter::new(interleave),
@@ -275,14 +309,21 @@ pub(crate) fn run_lazy<T>(
 }
 
 /// The classic lazy NOrec context: value-logged reads, buffered writes.
+///
+/// Both logs are borrowed from the thread's recycled arenas (cleared by
+/// the caller before each attempt), so a retry allocates nothing. The
+/// write-set coalesces repeated writes to one address and answers
+/// read-after-write in O(1); commit writes back one store per distinct
+/// address.
 pub(crate) struct LazyCtx<'a> {
     pub(crate) heap: &'a Heap,
     pub(crate) globals: Globals,
     pub(crate) mem: &'a mut TxMem,
     pub(crate) tid: usize,
     pub(crate) tx_version: u64,
-    pub(crate) read_log: Vec<(Addr, u64)>,
-    pub(crate) write_set: Vec<(Addr, u64)>,
+    pub(crate) read_log: &'a mut LogVec<(Addr, u64)>,
+    pub(crate) write_set: &'a mut WriteSet,
+    pub(crate) backoff: &'a mut Backoff,
     pub(crate) dead: bool,
     /// Raise `global_htm_lock` around the commit write-back (hybrid lazy
     /// slow path): hardware fast paths must never see a partial write-back.
@@ -296,10 +337,10 @@ impl LazyCtx<'_> {
     fn revalidate(&mut self) -> TxResult<()> {
         loop {
             let mut spin = 0;
-            let version = read_clock_unlocked(self.heap, &self.globals, &mut spin);
+            let version = read_clock_unlocked(self.heap, &self.globals, &mut spin, self.backoff);
             self.meter
                 .charge(spin + self.read_log.len() as u64 * cost::NOREC_REVALIDATE_ENTRY);
-            for &(addr, seen) in &self.read_log {
+            for &(addr, seen) in self.read_log.as_slice() {
                 if self.heap.load(addr) != seen {
                     self.dead = true;
                     return Err(RESTART);
@@ -312,19 +353,12 @@ impl LazyCtx<'_> {
         }
     }
 
-    fn lookup_write(&self, addr: Addr) -> Option<u64> {
-        self.write_set
-            .iter()
-            .rev()
-            .find(|&&(a, _)| a == addr)
-            .map(|&(_, v)| v)
-    }
-
     pub(crate) fn commit(&mut self) -> TxResult<()> {
         if self.write_set.is_empty() {
             return Ok(());
         }
         // Lock the clock at our validated version, revalidating as needed.
+        let mut attempt = 0;
         loop {
             self.meter.charge(cost::GLOBAL_RMW);
             if self
@@ -339,6 +373,12 @@ impl LazyCtx<'_> {
                 break;
             }
             self.revalidate()?;
+            // The CAS lost to a competing committer: pause before retrying
+            // so its release is not immediately re-contended.
+            let mut spin = 0;
+            self.backoff.pause(attempt, &mut spin);
+            self.meter.charge(spin);
+            attempt += 1;
         }
         self.meter.charge(
             self.write_set.len() as u64 * cost::NOREC_WRITEBACK_ENTRY + cost::GLOBAL_STORE,
@@ -347,7 +387,7 @@ impl LazyCtx<'_> {
             self.meter.charge(cost::GLOBAL_STORE);
             self.heap.store(self.globals.global_htm_lock, 1);
         }
-        for &(addr, value) in &self.write_set {
+        for (addr, value) in self.write_set.iter() {
             self.heap.store(addr, value);
         }
         if self.set_htm_lock {
@@ -368,7 +408,7 @@ impl TxOps for LazyCtx<'_> {
             return Err(RESTART);
         }
         self.meter.tick(cost::NOREC_LAZY_READ);
-        if let Some(v) = self.lookup_write(addr) {
+        if let Some(v) = self.write_set.lookup(addr) {
             return Ok(v);
         }
         let mut value = self.heap.load(addr);
@@ -386,7 +426,7 @@ impl TxOps for LazyCtx<'_> {
             return Err(RESTART);
         }
         self.meter.tick(cost::NOREC_LAZY_WRITE);
-        self.write_set.push((addr, value));
+        self.write_set.insert(addr, value);
         Ok(())
     }
 

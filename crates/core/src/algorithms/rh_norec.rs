@@ -73,11 +73,7 @@ pub(crate) fn run<T>(
                         // attempts); otherwise retries re-collide and
                         // convoy into the fallback.
                         sim_htm::sched::yield_point();
-                        if t.rt.config().interleave_accesses != 0 {
-                            for _ in 0..attempts {
-                                std::thread::yield_now();
-                            }
-                        }
+                        t.backoff.pause(attempts - 1, &mut t.stats.cycles);
                         continue;
                     }
                 }
@@ -220,7 +216,7 @@ fn mixed_slow_path<T>(
     let value = loop {
         trace::begin(trace::Path::Mixed);
         if restarts > restart_limit && !serial_held {
-            acquire_word_lock(heap, globals.serial_lock, &mut t.stats.cycles);
+            acquire_word_lock(heap, globals.serial_lock, &mut t.stats.cycles, &mut t.backoff);
             serial_held = true;
             t.stats.serial_lock_acquisitions += 1;
         }
@@ -231,6 +227,7 @@ fn mixed_slow_path<T>(
             tid: t.tid,
             htm: &mut t.htm_thread,
             stats: &mut t.stats,
+            backoff: &mut t.backoff,
             prefix_len: &mut t.prefix_len,
             prefix_cfg,
             small_retries,
@@ -319,6 +316,7 @@ pub(crate) struct RhCtx<'a> {
     tid: usize,
     htm: &'a mut sim_htm::HtmThread,
     stats: &'a mut TmThreadStats,
+    backoff: &'a mut crate::txlog::Backoff,
     /// Adaptive expected prefix length, persisted on the thread.
     prefix_len: &'a mut u64,
     prefix_cfg: PrefixConfig,
@@ -371,7 +369,7 @@ impl RhCtx<'_> {
             self.counted = true;
         }
         let mut spin = cost::STM_START;
-        self.tx_version = read_clock_unlocked(self.heap, &self.globals, &mut spin);
+        self.tx_version = read_clock_unlocked(self.heap, &self.globals, &mut spin, self.backoff);
         self.stats.cycles += spin;
         self.mode = Mode::Software;
     }

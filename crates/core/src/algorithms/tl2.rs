@@ -7,7 +7,6 @@
 //! detection is per location instead of one global clock — in the paper's
 //! 40%-mutation RBTree it overtakes Hybrid NOrec.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use sim_mem::{Addr, Heap, LineId};
@@ -18,6 +17,7 @@ use crate::error::{TxFault, TxResult, RESTART};
 use crate::runtime::TmThread;
 use crate::trace;
 use crate::tx::{Tx, TxCtx, TxMem, TxOps};
+use crate::txlog::{Backoff, LogMap, LogVec};
 use crate::TxKind;
 
 /// Number of stripe locks (power of two).
@@ -89,15 +89,21 @@ pub(crate) fn run<T>(
     t.stats.slow_path_entries += 1;
     loop {
         trace::begin(trace::Path::Stm);
+        // Recycled arenas: the owned-stripe table keeps its open-addressed
+        // index allocated across attempts (no SipHash, no rehash churn).
+        t.logs.tl2_read.clear();
+        t.logs.tl2_undo.clear();
+        t.logs.tl2_owned.clear();
         let mut ctx = Tl2Ctx {
             heap,
             meta,
             mem: &mut t.mem,
             tid: t.tid,
             rv: meta.clock.load(Ordering::Acquire),
-            read_set: Vec::new(),
-            owned: HashMap::new(),
-            undo: Vec::new(),
+            read_set: &mut t.logs.tl2_read,
+            owned: &mut t.logs.tl2_owned,
+            undo: &mut t.logs.tl2_undo,
+            backoff: &mut t.backoff,
             dead: false,
             meter: Meter::new(interleave),
         };
@@ -150,11 +156,14 @@ pub(crate) struct Tl2Ctx<'a> {
     /// Read version: the clock value sampled at transaction start.
     rv: u64,
     /// Stripes read, with the metadata observed at read time.
-    read_set: Vec<(usize, u64)>,
+    read_set: &'a mut LogVec<(usize, u64)>,
     /// Stripes this transaction write-locked, with their pre-lock metadata.
-    owned: HashMap<usize, u64>,
+    /// The shared recycled index map: first-lock order preserved for
+    /// release, O(1) ownership checks on every read and write.
+    owned: &'a mut LogMap,
     /// Undo log for eager writes (applied in reverse on abort).
-    undo: Vec<(Addr, u64)>,
+    undo: &'a mut LogVec<(Addr, u64)>,
+    backoff: &'a mut Backoff,
     dead: bool,
     meter: Meter,
 }
@@ -168,18 +177,18 @@ impl Tl2Ctx<'_> {
             self.undo.len() as u64 * cost::NOREC_WRITEBACK_ENTRY
                 + self.owned.len() as u64 * cost::TL2_RELEASE_ENTRY,
         );
-        for &(addr, old) in self.undo.iter().rev() {
+        for &(addr, old) in self.undo.as_slice().iter().rev() {
             self.heap.store(addr, old);
         }
         self.undo.clear();
-        for (&stripe, &pre) in &self.owned {
-            self.meta.stripe(stripe).store(pre, Ordering::Release);
+        for &(stripe, pre) in self.owned.iter() {
+            self.meta.stripe(stripe as usize).store(pre, Ordering::Release);
         }
         self.owned.clear();
     }
 
     fn acquire_stripe(&mut self, stripe: usize) -> TxResult<()> {
-        if self.owned.contains_key(&stripe) {
+        if self.owned.contains(stripe as u64) {
             return Ok(());
         }
         let cur = self.meta.stripe(stripe).load(Ordering::Acquire);
@@ -199,7 +208,7 @@ impl Tl2Ctx<'_> {
             self.dead = true;
             return Err(RESTART);
         }
-        self.owned.insert(stripe, cur);
+        self.owned.insert(stripe as u64, cur);
         Ok(())
     }
 
@@ -215,9 +224,9 @@ impl Tl2Ctx<'_> {
             // Validate the read set.
             self.meter
                 .charge(self.read_set.len() as u64 * cost::TL2_VALIDATE_ENTRY);
-            for &(stripe, seen) in &self.read_set {
+            for &(stripe, seen) in self.read_set.as_slice() {
                 let cur = self.meta.stripe(stripe).load(Ordering::Acquire);
-                let ok = if let Some(&pre) = self.owned.get(&stripe) {
+                let ok = if let Some(pre) = self.owned.get(stripe as u64) {
                     pre == seen
                 } else {
                     cur == seen
@@ -232,8 +241,8 @@ impl Tl2Ctx<'_> {
         // Publish: release stripes at the new write version.
         self.meter
             .charge(self.owned.len() as u64 * cost::TL2_RELEASE_ENTRY);
-        for &stripe in self.owned.keys() {
-            self.meta.stripe(stripe).store(wv << 1, Ordering::Release);
+        for &(stripe, _) in self.owned.iter() {
+            self.meta.stripe(stripe as usize).store(wv << 1, Ordering::Release);
         }
         self.owned.clear();
         self.undo.clear();
@@ -248,7 +257,7 @@ impl TxOps for Tl2Ctx<'_> {
         }
         self.meter.tick(cost::TL2_READ);
         let stripe = self.meta.stripe_of(addr);
-        if self.owned.contains_key(&stripe) {
+        if self.owned.contains(stripe as u64) {
             // We hold the lock: the value is ours or stable.
             return Ok(self.heap.load(addr));
         }
@@ -267,7 +276,9 @@ impl TxOps for Tl2Ctx<'_> {
                     return Err(RESTART);
                 }
                 sim_htm::sched::yield_point();
-                std::thread::yield_now();
+                let mut spin = 0;
+                self.backoff.pause(128 - patience, &mut spin);
+                self.meter.charge(spin);
                 continue;
             }
             let value = self.heap.load(addr);

@@ -119,6 +119,39 @@ impl Default for PrefixConfig {
     }
 }
 
+/// Contention-backoff knobs for the engine's spin sites (word-lock
+/// acquisition, the clock-lock CAS loops, the eager clock spin, and the
+/// hardware fast-path retry loop).
+///
+/// The wait for attempt *n* is a jittered spin window in
+/// `[cap/2, cap]` where `cap = min(min_spins << n, max_spins)`. Jitter is
+/// drawn from a per-thread PRNG seeded from `seed` and the thread id —
+/// never wall-clock time — and under the deterministic scheduler the
+/// backoff performs no host pacing at all, so seeded schedules replay
+/// identically whatever these knobs are set to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Spin window of the first retry (must be at least 1).
+    pub min_spins: u32,
+    /// Upper bound on the spin window (must be at least `min_spins`).
+    pub max_spins: u32,
+    /// Seed for the per-thread jitter PRNG.
+    pub seed: u64,
+    /// When `false`, contended spin sites retry immediately (ablation).
+    pub enabled: bool,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            min_spins: 16,
+            max_spins: 4096,
+            seed: 0x0005_EED0_FBAC_C0FF,
+            enabled: true,
+        }
+    }
+}
+
 /// Retry policy knobs (paper §3.3–3.4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -168,6 +201,7 @@ pub struct TmConfig {
     pub(crate) algorithm: Algorithm,
     pub(crate) retry: RetryPolicy,
     pub(crate) prefix: PrefixConfig,
+    pub(crate) backoff: BackoffConfig,
     pub(crate) interleave_accesses: u32,
 }
 
@@ -178,6 +212,7 @@ impl TmConfig {
             algorithm,
             retry: RetryPolicy::default(),
             prefix: PrefixConfig::default(),
+            backoff: BackoffConfig::default(),
             interleave_accesses: 0,
         }
     }
@@ -203,6 +238,12 @@ impl TmConfig {
     #[inline]
     pub fn prefix(&self) -> PrefixConfig {
         self.prefix
+    }
+
+    /// Contention backoff for the engine's spin sites.
+    #[inline]
+    pub fn backoff(&self) -> BackoffConfig {
+        self.backoff
     }
 
     /// Yield the host thread every N transactional accesses (0 = never).
@@ -233,6 +274,30 @@ impl TmConfigBuilder {
     /// Replaces the whole HTM-prefix control block.
     pub fn prefix(mut self, prefix: PrefixConfig) -> Self {
         self.config.prefix = prefix;
+        self
+    }
+
+    /// Replaces the whole contention-backoff block.
+    pub fn backoff(mut self, backoff: BackoffConfig) -> Self {
+        self.config.backoff = backoff;
+        self
+    }
+
+    /// Enables or disables contention backoff at the spin sites.
+    pub fn backoff_enabled(mut self, enabled: bool) -> Self {
+        self.config.backoff.enabled = enabled;
+        self
+    }
+
+    /// Seed for the per-thread backoff-jitter PRNG.
+    pub fn backoff_seed(mut self, seed: u64) -> Self {
+        self.config.backoff.seed = seed;
+        self
+    }
+
+    /// Upper bound on the backoff spin window.
+    pub fn backoff_max_spins(mut self, max_spins: u32) -> Self {
+        self.config.backoff.max_spins = max_spins;
         self
     }
 
@@ -314,6 +379,16 @@ impl TmConfigBuilder {
         if c.retry.small_htm_retries == 0 {
             return Err(TmError::InvalidConfig {
                 reason: "small_htm_retries must be at least 1",
+            });
+        }
+        if c.backoff.min_spins == 0 {
+            return Err(TmError::InvalidConfig {
+                reason: "backoff min_spins must be at least 1 (use enabled: false to turn backoff off)",
+            });
+        }
+        if c.backoff.min_spins > c.backoff.max_spins {
+            return Err(TmError::InvalidConfig {
+                reason: "backoff min_spins exceeds max_spins",
             });
         }
         Ok(self.config)
@@ -416,5 +491,29 @@ mod tests {
             .small_htm_retries(0)
             .build();
         assert!(matches!(zero_small, Err(TmError::InvalidConfig { .. })));
+
+        let zero_backoff = TmConfig::builder(Algorithm::RhNorec)
+            .backoff(BackoffConfig { min_spins: 0, ..BackoffConfig::default() })
+            .build();
+        assert!(matches!(zero_backoff, Err(TmError::InvalidConfig { .. })));
+
+        let inverted_backoff = TmConfig::builder(Algorithm::RhNorec)
+            .backoff_max_spins(8)
+            .backoff(BackoffConfig { min_spins: 64, max_spins: 8, ..BackoffConfig::default() })
+            .build();
+        assert!(matches!(inverted_backoff, Err(TmError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn builder_applies_backoff_overrides() {
+        let c = TmConfig::builder(Algorithm::RhNorec)
+            .backoff_enabled(false)
+            .backoff_seed(42)
+            .backoff_max_spins(512)
+            .build()
+            .unwrap();
+        assert!(!c.backoff().enabled);
+        assert_eq!(c.backoff().seed, 42);
+        assert_eq!(c.backoff().max_spins, 512);
     }
 }

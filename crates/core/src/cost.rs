@@ -64,6 +64,9 @@ pub const GLOBAL_RMW: u64 = 50;
 pub const GLOBAL_STORE: u64 = 15;
 /// One iteration of a spin-wait on a shared location.
 pub const SPIN_ITER: u64 = 4;
+/// One backoff spin: waiting on a core-local pause, no coherence traffic
+/// (cheaper than probing the contended line).
+pub const BACKOFF_SPIN: u64 = 1;
 
 /// Allocator fast path (per-thread pool hit).
 pub const ALLOC: u64 = 30;

@@ -54,6 +54,7 @@ mod runtime;
 mod stats;
 pub mod trace;
 mod tx;
+mod txlog;
 
 /// `true` when deterministic-scheduling yield points and trace hooks are
 /// compiled into the transactional hot path.
@@ -65,7 +66,7 @@ mod tx;
 /// so results are never compared across mismatched builds.
 pub const INSTRUMENTED: bool = cfg!(feature = "deterministic");
 
-pub use config::{Algorithm, PrefixConfig, RetryPolicy, TmConfig, TmConfigBuilder, TxKind};
+pub use config::{Algorithm, BackoffConfig, PrefixConfig, RetryPolicy, TmConfig, TmConfigBuilder, TxKind};
 pub use error::{TmError, TxFault, TxResult, TxRestart};
 pub use globals::{clock, Globals};
 pub use runtime::{TmRuntime, TmThread};

@@ -11,6 +11,7 @@ use crate::error::{TmError, TxFault, TxResult};
 use crate::globals::Globals;
 use crate::stats::{ThreadReport, TmThreadStats};
 use crate::tx::{Tx, TxMem};
+use crate::txlog::{Backoff, TxLogs};
 use crate::{Algorithm, TmConfig, TxKind};
 
 /// Shared state of one TM instance: the algorithm configuration, the
@@ -121,6 +122,8 @@ impl TmRuntime {
             tid,
             stats: TmThreadStats::default(),
             mem: TxMem::default(),
+            logs: TxLogs::default(),
+            backoff: Backoff::new(&self.config.backoff, tid),
             prefix_len: self.config.prefix.initial_reads,
         })
     }
@@ -170,6 +173,10 @@ pub struct TmThread {
     pub(crate) tid: usize,
     pub(crate) stats: TmThreadStats,
     pub(crate) mem: TxMem,
+    /// Recycled slow-path log arenas (read log, write-set, TL2 logs).
+    pub(crate) logs: TxLogs,
+    /// Seeded contention backoff for this thread's spin sites.
+    pub(crate) backoff: Backoff,
     /// Adaptive expected HTM-prefix length (reads), per §2.4.
     pub(crate) prefix_len: u64,
 }
@@ -265,6 +272,18 @@ impl TmThread {
     #[inline]
     pub fn prefix_len(&self) -> u64 {
         self.prefix_len
+    }
+
+    /// Reallocations of this thread's recycled slow-path log arenas since
+    /// registration, for diagnostics.
+    ///
+    /// The arenas (lazy NOrec read log and write-set, TL2 read-set, undo
+    /// log and owned-stripe table) are cleared but never freed between
+    /// attempts, so in steady state this counter stops moving: a retry
+    /// loop performs no heap allocation. Tests pin that invariant here.
+    #[inline]
+    pub fn log_grow_events(&self) -> u64 {
+        self.logs.grow_events()
     }
 }
 

@@ -29,8 +29,13 @@ cargo build -p rh-bench --release
 echo "== tests =="
 cargo test -q --workspace
 
-echo "== overhead benchmark smoke (writes BENCH_2.json) =="
+echo "== overhead benchmark smoke (writes BENCH_3.json) =="
 cargo run -p rh-bench --release -- overhead --csv
+
+echo "== bench diff smoke (current vs committed ledger, informative) =="
+# No --fail: a fresh overhead run on a loaded CI host can wobble past the
+# threshold; the committed BENCH_3.json is the gated artifact.
+cargo run -p rh-bench --release -- diff BENCH_2.json BENCH_3.json
 
 echo "== deterministic opacity sweep (~1 s per algorithm per HTM config) =="
 for htm in default disabled tiny; do
