@@ -9,11 +9,13 @@
 //! slower. With `--fail` a flagged regression exits nonzero, so CI can
 //! gate on it.
 //!
-//! The parser is hand-rolled for exactly the shape `overhead::to_json`
-//! emits (the workspace deliberately has no serde): a `current` object
+//! Parsing is delegated to the shared [`crate::ledger`] module, which
+//! reads exactly the shape `overhead::to_json` emits: a `current` object
 //! containing a `rows` array of flat objects with string `algorithm` /
 //! `scenario` and numeric `ns_per_tx` fields. Unknown fields are ignored;
 //! structural surprises are reported as errors, not panics.
+
+use crate::ledger::current_rows;
 
 /// A cell slower by more than this (percent) counts as a regression.
 pub const DEFAULT_THRESHOLD_PCT: f64 = 5.0;
@@ -49,147 +51,6 @@ impl DiffReport {
     pub fn regressions(&self) -> impl Iterator<Item = &DiffCell> {
         self.cells.iter().filter(|c| c.regression)
     }
-}
-
-/// Extracts the balanced `{...}` object following the first occurrence of
-/// `"key"`.
-fn object_after<'a>(doc: &'a str, key: &str) -> Result<&'a str, String> {
-    let needle = format!("\"{key}\"");
-    let at = doc
-        .find(&needle)
-        .ok_or_else(|| format!("no \"{key}\" section"))?;
-    let open = doc[at..]
-        .find('{')
-        .map(|i| at + i)
-        .ok_or_else(|| format!("\"{key}\" is not an object"))?;
-    balanced(&doc[open..], '{', '}').ok_or_else(|| format!("unterminated \"{key}\" object"))
-}
-
-/// Extracts the balanced `[...]` array following the first occurrence of
-/// `"key"`.
-fn array_after<'a>(doc: &'a str, key: &str) -> Result<&'a str, String> {
-    let needle = format!("\"{key}\"");
-    let at = doc
-        .find(&needle)
-        .ok_or_else(|| format!("no \"{key}\" array"))?;
-    let open = doc[at..]
-        .find('[')
-        .map(|i| at + i)
-        .ok_or_else(|| format!("\"{key}\" is not an array"))?;
-    balanced(&doc[open..], '[', ']').ok_or_else(|| format!("unterminated \"{key}\" array"))
-}
-
-/// The prefix of `s` (which starts with `open`) up to the matching
-/// `close`, respecting JSON string literals.
-fn balanced(s: &str, open: char, close: char) -> Option<&str> {
-    let mut depth = 0usize;
-    let mut in_string = false;
-    let mut escaped = false;
-    for (i, c) in s.char_indices() {
-        if in_string {
-            match c {
-                _ if escaped => escaped = false,
-                '\\' => escaped = true,
-                '"' => in_string = false,
-                _ => {}
-            }
-            continue;
-        }
-        match c {
-            '"' => in_string = true,
-            c if c == open => depth += 1,
-            c if c == close => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(&s[..=i]);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Splits a JSON array body into its top-level `{...}` elements.
-fn objects(array: &str) -> Vec<&str> {
-    let mut out = Vec::new();
-    let inner = &array[1..array.len() - 1];
-    let mut rest = inner;
-    while let Some(start) = rest.find('{') {
-        match balanced(&rest[start..], '{', '}') {
-            Some(obj) => {
-                out.push(obj);
-                rest = &rest[start + obj.len()..];
-            }
-            None => break,
-        }
-    }
-    out
-}
-
-/// The raw text of `"key": <value>` inside a flat object, with the value
-/// ending at the next top-level `,` or the closing `}`.
-fn raw_field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
-    let needle = format!("\"{key}\"");
-    let at = obj
-        .find(&needle)
-        .ok_or_else(|| format!("row missing \"{key}\": {obj}"))?;
-    let after_key = &obj[at + needle.len()..];
-    let colon = after_key
-        .find(':')
-        .ok_or_else(|| format!("malformed \"{key}\" field"))?;
-    let value = after_key[colon + 1..].trim_start();
-    let end = value
-        .char_indices()
-        .scan(false, |in_string, (i, c)| {
-            match c {
-                '"' => *in_string = !*in_string,
-                ',' | '}' if !*in_string => return Some(Some(i)),
-                _ => {}
-            }
-            Some(None)
-        })
-        .flatten()
-        .next()
-        .unwrap_or(value.len());
-    Ok(value[..end].trim_end())
-}
-
-fn string_field(obj: &str, key: &str) -> Result<String, String> {
-    let raw = raw_field(obj, key)?;
-    let inner = raw
-        .strip_prefix('"')
-        .and_then(|r| r.strip_suffix('"'))
-        .ok_or_else(|| format!("\"{key}\" is not a string: {raw}"))?;
-    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
-}
-
-fn number_field(obj: &str, key: &str) -> Result<f64, String> {
-    let raw = raw_field(obj, key)?;
-    raw.parse::<f64>()
-        .map_err(|_| format!("\"{key}\" is not a number: {raw}"))
-}
-
-/// Parses a BENCH document's `current` rows into
-/// `(algorithm, scenario, ns_per_tx)` triples, in document order.
-///
-/// # Errors
-///
-/// A description of the structural problem when the document does not
-/// contain a well-formed `current.rows` array.
-pub fn current_rows(doc: &str) -> Result<Vec<(String, String, f64)>, String> {
-    let current = object_after(doc, "current")?;
-    let rows = array_after(current, "rows")?;
-    objects(rows)
-        .into_iter()
-        .map(|obj| {
-            Ok((
-                string_field(obj, "algorithm")?,
-                string_field(obj, "scenario")?,
-                number_field(obj, "ns_per_tx")?,
-            ))
-        })
-        .collect()
 }
 
 /// Joins two parsed documents on `(algorithm, scenario)`.
@@ -344,17 +205,4 @@ mod tests {
         assert!(compare(&good, &no_number, 5.0).is_err());
     }
 
-    #[test]
-    fn real_bench_3_layout_parses() {
-        // A row in the exact shape overhead::to_json emits.
-        let d = doc(
-            "{\"algorithm\": \"RH-NOrec\", \"scenario\": \"read_after_write\", \
-             \"ns_per_tx\": 719.01, \"ns_per_access\": 22.469, \"txs\": 97280}",
-        );
-        let rows = current_rows(&d).unwrap();
-        assert_eq!(
-            rows,
-            vec![("RH-NOrec".to_string(), "read_after_write".to_string(), 719.01)]
-        );
-    }
 }

@@ -1,0 +1,316 @@
+//! The shared BENCH-ledger JSON dialect: a tiny hand-rolled emitter and
+//! parser for the `BENCH_*.json` / `ABLATE.json` documents.
+//!
+//! The workspace deliberately has no serde; the ledger documents are flat
+//! enough that a purpose-built reader/writer stays smaller than a
+//! dependency. Three consumers share this module: `diff` parses two
+//! ledgers' `current.rows` to flag regressions, `overhead` emits the
+//! measurement document (current rows plus the embedded previous-engine
+//! baseline), and the `ablate` subcommand emits its single-vs-sharded
+//! clock grid. Structural surprises surface as `Err(String)`, never
+//! panics, so a truncated or hand-edited ledger produces a diagnostic
+//! instead of a backtrace.
+
+/// One emitted JSON value. `Num` carries its printed precision so the
+/// ledger files stay byte-stable across emitters (`ns_per_tx` is always
+/// two decimals, `ns_per_access` three).
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A JSON string (escaped on emission).
+    Str(String),
+    /// A float printed with the given number of decimals.
+    Num(f64, usize),
+    /// An integer, printed exactly.
+    Int(u64),
+    /// A bare boolean.
+    Bool(bool),
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Value::Num(v, prec) => out.push_str(&format!("{v:.prec$}")),
+        Value::Int(v) => out.push_str(&format!("{v}")),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Emits a row set as a JSON array of flat objects, one object per line.
+///
+/// `item_indent` prefixes each row and `close_indent` the closing
+/// bracket, so the array nests at whatever depth the caller's document
+/// puts it (the `BENCH_*.json` sections use six and four spaces).
+pub fn rows_array(rows: &[Vec<(&str, Value)>], item_indent: &str, close_indent: &str) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(item_indent);
+        out.push('{');
+        for (j, (key, value)) in row.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": ", escape(key)));
+            emit_value(&mut out, value);
+        }
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(close_indent);
+    out.push(']');
+    out
+}
+
+/// Extracts the balanced `{...}` object following the first occurrence of
+/// `"key"`.
+///
+/// # Errors
+///
+/// Describes the structural problem when the key is absent or its value
+/// is not a terminated object.
+pub fn object_after<'a>(doc: &'a str, key: &str) -> Result<&'a str, String> {
+    let needle = format!("\"{key}\"");
+    let at = doc
+        .find(&needle)
+        .ok_or_else(|| format!("no \"{key}\" section"))?;
+    let open = doc[at..]
+        .find('{')
+        .map(|i| at + i)
+        .ok_or_else(|| format!("\"{key}\" is not an object"))?;
+    balanced(&doc[open..], '{', '}').ok_or_else(|| format!("unterminated \"{key}\" object"))
+}
+
+/// Extracts the balanced `[...]` array following the first occurrence of
+/// `"key"`.
+///
+/// # Errors
+///
+/// Describes the structural problem when the key is absent or its value
+/// is not a terminated array.
+pub fn array_after<'a>(doc: &'a str, key: &str) -> Result<&'a str, String> {
+    let needle = format!("\"{key}\"");
+    let at = doc
+        .find(&needle)
+        .ok_or_else(|| format!("no \"{key}\" array"))?;
+    let open = doc[at..]
+        .find('[')
+        .map(|i| at + i)
+        .ok_or_else(|| format!("\"{key}\" is not an array"))?;
+    balanced(&doc[open..], '[', ']').ok_or_else(|| format!("unterminated \"{key}\" array"))
+}
+
+/// The prefix of `s` (which starts with `open`) up to the matching
+/// `close`, respecting JSON string literals.
+fn balanced(s: &str, open: char, close: char) -> Option<&str> {
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            c if c == open => depth += 1,
+            c if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&s[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits a JSON array body into its top-level `{...}` elements.
+pub fn objects(array: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let inner = &array[1..array.len() - 1];
+    let mut rest = inner;
+    while let Some(start) = rest.find('{') {
+        match balanced(&rest[start..], '{', '}') {
+            Some(obj) => {
+                out.push(obj);
+                rest = &rest[start + obj.len()..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// The raw text of `"key": <value>` inside a flat object, with the value
+/// ending at the next top-level `,` or the closing `}`.
+fn raw_field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    let needle = format!("\"{key}\"");
+    let at = obj
+        .find(&needle)
+        .ok_or_else(|| format!("row missing \"{key}\": {obj}"))?;
+    let after_key = &obj[at + needle.len()..];
+    let colon = after_key
+        .find(':')
+        .ok_or_else(|| format!("malformed \"{key}\" field"))?;
+    let value = after_key[colon + 1..].trim_start();
+    let end = value
+        .char_indices()
+        .scan(false, |in_string, (i, c)| {
+            match c {
+                '"' => *in_string = !*in_string,
+                ',' | '}' if !*in_string => return Some(Some(i)),
+                _ => {}
+            }
+            Some(None)
+        })
+        .flatten()
+        .next()
+        .unwrap_or(value.len());
+    Ok(value[..end].trim_end())
+}
+
+/// A flat object's `"key"` as an unescaped string.
+///
+/// # Errors
+///
+/// When the key is absent or its value is not a string literal.
+pub fn string_field(obj: &str, key: &str) -> Result<String, String> {
+    let raw = raw_field(obj, key)?;
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("\"{key}\" is not a string: {raw}"))?;
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// A flat object's `"key"` parsed as `f64`.
+///
+/// # Errors
+///
+/// When the key is absent or its value does not parse as a number.
+pub fn number_field(obj: &str, key: &str) -> Result<f64, String> {
+    let raw = raw_field(obj, key)?;
+    raw.parse::<f64>()
+        .map_err(|_| format!("\"{key}\" is not a number: {raw}"))
+}
+
+/// Parses a BENCH document's `current` rows into
+/// `(algorithm, scenario, ns_per_tx)` triples, in document order.
+///
+/// # Errors
+///
+/// A description of the structural problem when the document does not
+/// contain a well-formed `current.rows` array.
+pub fn current_rows(doc: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let current = object_after(doc, "current")?;
+    let rows = array_after(current, "rows")?;
+    objects(rows)
+        .into_iter()
+        .map(|obj| {
+            Ok((
+                string_field(obj, "algorithm")?,
+                string_field(obj, "scenario")?,
+                number_field(obj, "ns_per_tx")?,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_rows_parse_back() {
+        let rows = vec![
+            vec![
+                ("algorithm", Value::Str("RH-NOrec".into())),
+                ("scenario", Value::Str("contended_sharded".into())),
+                ("ns_per_tx", Value::Num(123.456, 2)),
+                ("ns_per_access", Value::Num(61.728, 3)),
+                ("txs", Value::Int(16000)),
+            ],
+            vec![
+                ("algorithm", Value::Str("NOrec".into())),
+                ("scenario", Value::Str("read".into())),
+                ("ns_per_tx", Value::Num(10.0, 2)),
+                ("ns_per_access", Value::Num(0.625, 3)),
+            ],
+        ];
+        let doc = format!(
+            "{{\n  \"current\": {{\n    \"rows\": {}\n  }}\n}}\n",
+            rows_array(&rows, "      ", "    ")
+        );
+        let parsed = current_rows(&doc).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                ("RH-NOrec".to_string(), "contended_sharded".to_string(), 123.46),
+                ("NOrec".to_string(), "read".to_string(), 10.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn escaping_survives_the_round_trip() {
+        let rows = vec![vec![
+            ("algorithm", Value::Str("weird \"name\" with \\slash".into())),
+            ("scenario", Value::Str("read".into())),
+            ("ns_per_tx", Value::Num(1.0, 2)),
+        ]];
+        let doc = format!("{{\"current\": {{\"rows\": {}}}}}", rows_array(&rows, "", ""));
+        let parsed = current_rows(&doc).unwrap();
+        assert_eq!(parsed[0].0, "weird \"name\" with \\slash");
+    }
+
+    #[test]
+    fn real_bench_layout_parses() {
+        // A row in the exact shape `overhead` emits.
+        let d = "{\n  \"current\": {\n    \"rows\": [\n      {\"algorithm\": \"RH-NOrec\", \
+                 \"scenario\": \"read_after_write\", \"ns_per_tx\": 719.01, \
+                 \"ns_per_access\": 22.469, \"txs\": 97280}\n    ]\n  }\n}\n";
+        let rows = current_rows(d).unwrap();
+        assert_eq!(
+            rows,
+            vec![("RH-NOrec".to_string(), "read_after_write".to_string(), 719.01)]
+        );
+    }
+
+    #[test]
+    fn structural_problems_are_reported() {
+        assert!(current_rows("{}").is_err());
+        assert!(current_rows("{\"current\": 3}").is_err());
+        let no_number =
+            "{\"current\": {\"rows\": [{\"algorithm\": \"A\", \"scenario\": \"read\"}]}}";
+        assert!(current_rows(no_number).is_err());
+    }
+
+    #[test]
+    fn booleans_and_integers_emit_bare() {
+        let rows = vec![vec![
+            ("variant", Value::Str("x".into())),
+            ("sharded", Value::Bool(true)),
+            ("threads", Value::Int(8)),
+        ]];
+        let out = rows_array(&rows, "", "");
+        assert!(out.contains("\"sharded\": true"));
+        assert!(out.contains("\"threads\": 8"));
+    }
+}

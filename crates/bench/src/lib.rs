@@ -27,6 +27,7 @@
 pub mod diff;
 pub mod driver;
 pub mod figures;
+pub mod ledger;
 pub mod overhead;
 pub mod report;
 

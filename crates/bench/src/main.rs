@@ -11,7 +11,8 @@
 //!
 //! Flags: `--paper` (full workload sizes; default is a quick scale),
 //! `--csv` (machine-readable output), `--threads 1,4,16` (replace the
-//! sweep), `--duration-ms 500` (per-cell interval), `--fail` (with
+//! sweep), `--duration-ms 500` (per-cell interval), `--best-of N` (with
+//! `overhead`: merge per-cell minima over N runs), `--fail` (with
 //! `diff`: exit nonzero when a cell regressed past the threshold).
 
 use rh_bench::figures::{self, Overrides, Scale};
@@ -25,6 +26,7 @@ fn main() {
         Scale::Quick
     };
     let csv = args.iter().any(|a| a == "--csv");
+    let mut best_of: u32 = 1;
     let mut overrides = Overrides::default();
     let mut skip_next = false;
     let mut targets: Vec<&str> = Vec::new();
@@ -47,6 +49,11 @@ fn main() {
                 let ms = args.get(i + 1).unwrap_or_else(|| usage("--duration-ms needs a value"));
                 let ms: u64 = ms.parse().unwrap_or_else(|_| usage("bad duration"));
                 overrides.duration = Some(std::time::Duration::from_millis(ms));
+                skip_next = true;
+            }
+            "--best-of" => {
+                let n = args.get(i + 1).unwrap_or_else(|| usage("--best-of needs a count"));
+                best_of = n.parse().unwrap_or_else(|_| usage("bad --best-of count"));
                 skip_next = true;
             }
             "--paper" | "--csv" | "--fail" => {}
@@ -75,7 +82,7 @@ fn main() {
             "extras" => figures::run_figure("Extras", &figures::extras(scale), &algorithms, scale, csv, &overrides),
             "ablate" => figures::run_ablations(scale),
             "summary" => figures::run_summary(scale),
-            "overhead" => rh_bench::overhead::run(scale, csv),
+            "overhead" => rh_bench::overhead::run(scale, csv, best_of),
             "all" => {
                 figures::run_figure("Figure 4", &figures::figure4(scale), &algorithms, scale, csv, &overrides);
                 figures::run_figure("Figure 5", &figures::figure5(scale), &algorithms, scale, csv, &overrides);
@@ -96,7 +103,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!("usage: rh-bench [fig4|fig5|fig6|extras|ablate|summary|overhead|all]... \
-       [--paper] [--csv] [--threads 1,2,4] [--duration-ms 500]\n       \
+       [--paper] [--csv] [--threads 1,2,4] [--duration-ms 500] [--best-of N]\n       \
        rh-bench diff <before.json> <after.json> [--fail]");
     std::process::exit(2);
 }

@@ -36,9 +36,17 @@ pub struct CaseConfig {
     pub txs_per_thread: usize,
     /// Operations per transaction.
     pub ops_per_tx: usize,
+    /// Number of commit-clock sequence lanes (`TmConfig::clock_shards`).
+    /// `1` is the classic single-word clock; larger values exercise the
+    /// sharded lane-vector protocol under the same seeded schedules.
+    pub clock_shards: u32,
     /// Arms the deliberately broken RH NOrec first-write protocol
     /// (`mutant-postfix-clock`), for the checker's mutation test.
     pub mutant: bool,
+    /// Arms the deliberately broken sharded-clock validation
+    /// (`mutant-stale-lane`): readers skip revalidating the last lane, so
+    /// commits homed there go unseen. Meaningless at `clock_shards = 1`.
+    pub stale_lane: bool,
     /// Overrides the runtime's contention-backoff configuration
     /// (`None` keeps [`TmConfig`] defaults). Backoff draws only from its
     /// seeded PRNG and never paces the deterministic scheduler, so any
@@ -58,7 +66,9 @@ impl CaseConfig {
             slots: 2,
             txs_per_thread: 4,
             ops_per_tx: 3,
+            clock_shards: 1,
             mutant: false,
+            stale_lane: false,
             backoff: None,
         }
     }
@@ -198,17 +208,18 @@ fn scripts(case: &CaseConfig, seed: u64) -> Vec<Vec<Vec<Op>>> {
 pub fn run_case(case: &CaseConfig, sched_cfg: &SchedConfig) -> Result<CaseReport, CaseFailure> {
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
     let htm = Htm::new(Arc::clone(&heap), case.htm);
-    let tm_cfg = match case.backoff {
-        Some(backoff) => TmConfig::builder(case.algorithm)
-            .backoff(backoff)
-            .build()
-            .expect("harness backoff override must be valid"),
-        None => TmConfig::new(case.algorithm),
-    };
+    let mut builder = TmConfig::builder(case.algorithm).clock_shards(case.clock_shards);
+    if let Some(backoff) = case.backoff {
+        builder = builder.backoff(backoff);
+    }
+    let tm_cfg = builder.build().expect("harness case config must be valid");
     let rt = TmRuntime::new(Arc::clone(&heap), htm, tm_cfg)
         .expect("harness runtime construction cannot fail");
     if case.mutant {
         rt.set_postfix_clock_mutant(true);
+    }
+    if case.stale_lane {
+        rt.set_stale_lane_mutant(true);
     }
 
     let alloc = heap.allocator();
@@ -305,11 +316,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 pub fn privatization_case(
     algorithm: Algorithm,
     htm: HtmConfig,
+    clock_shards: u32,
     seed: u64,
 ) -> Result<(), CaseFailure> {
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
     let htm_dev = Htm::new(Arc::clone(&heap), htm);
-    let rt = TmRuntime::new(Arc::clone(&heap), htm_dev, TmConfig::new(algorithm))
+    let tm_cfg = TmConfig::builder(algorithm)
+        .clock_shards(clock_shards)
+        .build()
+        .expect("harness privatization config must be valid");
+    let rt = TmRuntime::new(Arc::clone(&heap), htm_dev, tm_cfg)
         .expect("harness runtime construction cannot fail");
 
     let alloc = heap.allocator();

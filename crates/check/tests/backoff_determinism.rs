@@ -41,21 +41,25 @@ fn backoff_variants() -> [Option<BackoffConfig>; 4] {
 fn seeded_schedules_replay_identically_across_backoff_configs() {
     for alg in ALGORITHMS {
         for htm in [HtmConfig::default(), HtmConfig::disabled()] {
-            for seed in 0..4u64 {
-                let sched = SchedConfig::from_seed(seed);
-                let mut reference = None;
-                for backoff in backoff_variants() {
-                    let mut case = CaseConfig::contended(alg, htm);
-                    case.backoff = backoff;
-                    let report = run_case(&case, &sched)
-                        .unwrap_or_else(|f| panic!("{alg:?} seed {seed}: {f}"));
-                    match &reference {
-                        None => reference = Some(report.history),
-                        Some(expected) => assert_eq!(
-                            &report.history, expected,
-                            "{alg:?} seed {seed}: backoff config {backoff:?} \
-                             changed the deterministic history"
-                        ),
+            for shards in [1u32, 4] {
+                for seed in 0..4u64 {
+                    let sched = SchedConfig::from_seed(seed);
+                    let mut reference = None;
+                    for backoff in backoff_variants() {
+                        let mut case = CaseConfig::contended(alg, htm);
+                        case.clock_shards = shards;
+                        case.backoff = backoff;
+                        let report = run_case(&case, &sched).unwrap_or_else(|f| {
+                            panic!("{alg:?} shards={shards} seed {seed}: {f}")
+                        });
+                        match &reference {
+                            None => reference = Some(report.history),
+                            Some(expected) => assert_eq!(
+                                &report.history, expected,
+                                "{alg:?} shards={shards} seed {seed}: backoff config \
+                                 {backoff:?} changed the deterministic history"
+                            ),
+                        }
                     }
                 }
             }

@@ -34,10 +34,13 @@ fn machines() -> [(&'static str, HtmConfig); 3] {
 fn seed_sweep_finds_no_opacity_violation() {
     for alg in ALGORITHMS {
         for (name, htm) in machines() {
-            let case = CaseConfig::contended(alg, htm);
-            for seed in 0..6u64 {
-                if let Err(failure) = run_case(&case, &SchedConfig::from_seed(seed)) {
-                    panic!("{alg:?}/{name}: {failure}");
+            for shards in [1u32, 4] {
+                let mut case = CaseConfig::contended(alg, htm);
+                case.clock_shards = shards;
+                for seed in 0..6u64 {
+                    if let Err(failure) = run_case(&case, &SchedConfig::from_seed(seed)) {
+                        panic!("{alg:?}/{name}/shards={shards}: {failure}");
+                    }
                 }
             }
         }
@@ -50,12 +53,15 @@ fn seed_sweep_finds_no_opacity_violation() {
 #[test]
 fn seed_sweep_with_injected_aborts() {
     for alg in [Algorithm::LockElision, Algorithm::HybridNorec, Algorithm::RhNorec] {
-        let case = CaseConfig::contended(alg, HtmConfig::default());
-        for seed in 0..6u64 {
-            let mut cfg = SchedConfig::from_seed(seed);
-            cfg.abort_injection = 0.05;
-            if let Err(failure) = run_case(&case, &cfg) {
-                panic!("{alg:?}/haswell+injection: {failure}");
+        for shards in [1u32, 4] {
+            let mut case = CaseConfig::contended(alg, HtmConfig::default());
+            case.clock_shards = shards;
+            for seed in 0..6u64 {
+                let mut cfg = SchedConfig::from_seed(seed);
+                cfg.abort_injection = 0.05;
+                if let Err(failure) = run_case(&case, &cfg) {
+                    panic!("{alg:?}/haswell+injection/shards={shards}: {failure}");
+                }
             }
         }
     }
@@ -66,17 +72,25 @@ fn seed_sweep_with_injected_aborts() {
 #[test]
 fn same_seed_replays_byte_for_byte() {
     for alg in ALGORITHMS {
-        let case = CaseConfig::contended(alg, HtmConfig::default());
-        let cfg = SchedConfig::from_seed(0xdead_beef);
-        let a = run_case(&case, &cfg).unwrap_or_else(|f| panic!("{alg:?}: {f}"));
-        let b = run_case(&case, &cfg).unwrap_or_else(|f| panic!("{alg:?}: {f}"));
-        assert_eq!(
-            format!("{:?}", a.history),
-            format!("{:?}", b.history),
-            "{alg:?}: same seed, different history"
-        );
-        assert_eq!(a.run.decisions, b.run.decisions, "{alg:?}: same seed, different schedule");
-        assert!(!a.history.is_empty(), "{alg:?}: nothing was recorded");
+        for shards in [1u32, 4] {
+            let mut case = CaseConfig::contended(alg, HtmConfig::default());
+            case.clock_shards = shards;
+            let cfg = SchedConfig::from_seed(0xdead_beef);
+            let a = run_case(&case, &cfg)
+                .unwrap_or_else(|f| panic!("{alg:?}/shards={shards}: {f}"));
+            let b = run_case(&case, &cfg)
+                .unwrap_or_else(|f| panic!("{alg:?}/shards={shards}: {f}"));
+            assert_eq!(
+                format!("{:?}", a.history),
+                format!("{:?}", b.history),
+                "{alg:?}/shards={shards}: same seed, different history"
+            );
+            assert_eq!(
+                a.run.decisions, b.run.decisions,
+                "{alg:?}/shards={shards}: same seed, different schedule"
+            );
+            assert!(!a.history.is_empty(), "{alg:?}/shards={shards}: nothing was recorded");
+        }
     }
 }
 
@@ -138,6 +152,50 @@ fn postfix_clock_mutant_is_caught_and_clean_rh_norec_is_not() {
     assert!(run_case(&mutant, &SchedConfig::from_seed(seed)).is_err());
 }
 
+/// The sharded-clock mutation test: the deliberately broken lane-vector
+/// validation (feature `mutant-stale-lane` — readers skip revalidating
+/// the last sequence lane, so a commit homed there is invisible to
+/// in-flight snapshots) must surface as an opacity violation within the
+/// bounded sweep, while the unmutated sharded configuration passes the
+/// identical sweep. Three threads at `clock_shards = 2` guarantee both
+/// lanes have a resident: tids 0 and 2 home on lane 0, tid 1 homes on
+/// lane 1 — the lane the mutant stops watching.
+#[test]
+fn stale_lane_mutant_is_caught_and_clean_sharded_clock_is_not() {
+    // HTM disabled forces every transaction through the software path,
+    // where reads validate against the (mutilated) lane snapshot.
+    let mut mutant = CaseConfig::contended(Algorithm::RhNorec, HtmConfig::disabled());
+    mutant.clock_shards = 2;
+    mutant.stale_lane = true;
+    let mut clean = CaseConfig::contended(Algorithm::RhNorec, HtmConfig::disabled());
+    clean.clock_shards = 2;
+
+    let mut caught = None;
+    for seed in 0..40u64 {
+        let cfg = SchedConfig::from_seed(seed);
+        run_case(&clean, &cfg)
+            .unwrap_or_else(|f| panic!("unmutated sharded clock failed the mutant sweep: {f}"));
+        if caught.is_none() {
+            if let Err(failure) = run_case(&mutant, &cfg) {
+                assert!(
+                    matches!(failure, CaseFailure::Opacity { .. }),
+                    "mutant failed, but not as an opacity violation: {failure}"
+                );
+                let text = failure.to_string();
+                assert!(
+                    text.contains(&format!("replay with seed {seed:#x}")),
+                    "failure does not print its replay seed: {text}"
+                );
+                caught = Some(seed);
+            }
+        }
+    }
+    let seed = caught.expect("stale-lane mutant survived 40 seeds — the checker is blind to it");
+
+    // The failing seed is stable: replaying it reproduces the violation.
+    assert!(run_case(&mutant, &SchedConfig::from_seed(seed)).is_err());
+}
+
 /// Bounded exhaustive exploration: enumerate every schedule of a tiny
 /// contended case that differs in its first decisions. All must be
 /// opaque, and there must be real branching to enumerate.
@@ -150,7 +208,9 @@ fn bounded_exhaustive_exploration_is_opaque() {
         slots: 1,
         txs_per_thread: 1,
         ops_per_tx: 2,
+        clock_shards: 1,
         mutant: false,
+        stale_lane: false,
         backoff: None,
     };
     let base = SchedConfig::from_seed(0);
@@ -173,7 +233,9 @@ fn exploration_catches_the_mutant() {
         slots: 1,
         txs_per_thread: 2,
         ops_per_tx: 2,
+        clock_shards: 1,
         mutant: true,
+        stale_lane: false,
         backoff: None,
     };
     let err = match explore_case(&case, &SchedConfig::from_seed(0), 12, 800) {
@@ -191,9 +253,11 @@ fn privatization_is_safe_under_controlled_schedules() {
     for alg in ALGORITHMS {
         for (name, htm) in [("haswell", HtmConfig::default()), ("disabled", HtmConfig::disabled())]
         {
-            for seed in 0..3u64 {
-                privatization_case(alg, htm, seed)
-                    .unwrap_or_else(|f| panic!("{alg:?}/{name}: {f}"));
+            for shards in [1u32, 4] {
+                for seed in 0..3u64 {
+                    privatization_case(alg, htm, shards, seed)
+                        .unwrap_or_else(|f| panic!("{alg:?}/{name}/shards={shards}: {f}"));
+                }
             }
         }
     }

@@ -19,10 +19,10 @@ use sim_mem::Heap;
 use crate::algorithms::common::{
     acquire_word_lock, classify_fast_abort, release_word_lock, xabort, FastCtx, FastFail, Meter,
 };
+use crate::clock_shard::ClockSnapshot;
 use crate::cost;
-use crate::algorithms::norec::{read_clock_unlocked, EagerCtx, LazyCtx};
+use crate::algorithms::norec::{EagerCtx, LazyCtx};
 use crate::error::{TxFault, TxResult};
-use crate::globals::clock;
 use crate::runtime::TmThread;
 use crate::trace;
 use crate::tx::{Tx, TxCtx};
@@ -103,18 +103,11 @@ fn try_fast<T>(
         }
     }
     // Subscribe to the global clock AT START — Hybrid NOrec's defining
-    // (and costly) step: the clock stays in the tracking set for the whole
-    // transaction.
-    match t.htm_thread.read(g.global_clock) {
-        Ok(v) if !clock::is_locked(v) => {}
-        Ok(_) => {
-            t.stats.cycles += cost::HTM_ABORT;
-            return Err(FastFail::Htm(Some(t.htm_thread.abort(xabort::CLOCK_LOCKED).code)));
-        }
-        Err(e) => {
-            t.stats.cycles += cost::HTM_ABORT;
-            return Err(FastFail::Htm(Some(e.code)));
-        }
+    // (and costly) step: the clock (every lane, when sharded) stays in the
+    // tracking set for the whole transaction.
+    if let Err(code) = g.clock.htm_subscribe(&mut t.htm_thread) {
+        t.stats.cycles += cost::HTM_ABORT;
+        return Err(FastFail::Htm(Some(code)));
     }
 
     let interleave = t.rt.config().interleave_accesses;
@@ -198,17 +191,18 @@ pub(crate) fn fast_commit_clock_update(
         Ok(_) => return Err(t.htm_thread.abort(xabort::LOCK_HELD).code),
         Err(e) => return Err(e.code),
     }
-    let clk = match t.htm_thread.read(g.global_clock) {
-        Ok(v) => v,
-        Err(e) => return Err(e.code),
-    };
-    if clock::is_locked(clk) {
-        return Err(t.htm_thread.abort(xabort::CLOCK_LOCKED).code);
+    // Sharded, only the committer's home lane enters the tracking set, so
+    // disjoint fast-path writers stop aborting each other here.
+    g.clock.htm_commit_bump(&mut t.htm_thread, t.tid)?;
+    // Interleave pacing (same rationale as `Meter::tick`): on a host with
+    // fewer cores than workers, yield inside the window between the clock
+    // subscription and the hardware commit — on dedicated cores this is
+    // exactly where concurrent commit bumps collide, and without the yield
+    // the window never overlaps another thread's commit at all.
+    if rt.config().interleave_accesses != 0 {
+        std::thread::yield_now();
     }
-    match t.htm_thread.write(g.global_clock, clk + 2) {
-        Ok(()) => Ok(()),
-        Err(e) => Err(e.code),
-    }
+    Ok(())
 }
 
 /// The lazy software slow path (§3.1's "lazy HyTM design"): classic NOrec
@@ -221,7 +215,7 @@ fn slow_path_lazy<T>(
 ) -> Result<T, TxFault> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
-    let globals = *rt.globals();
+    let globals = rt.globals_snapshot();
     let restart_limit = rt.config().retry.slow_path_restart_limit;
     let interleave = rt.config().interleave_accesses;
 
@@ -230,6 +224,8 @@ fn slow_path_lazy<T>(
     heap.fetch_update(globals.num_of_fallbacks, |v| v + 1);
     let mut restarts: u32 = 0;
     let mut serial_held = false;
+    // Out-of-context snapshot slot (see `norec::run_lazy`).
+    let mut snap_slot = ClockSnapshot::single(0);
 
     let value = loop {
         if restarts > restart_limit && !serial_held {
@@ -239,16 +235,21 @@ fn slow_path_lazy<T>(
         }
         trace::begin(trace::Path::Stm);
         let mut spin = cost::STM_START;
-        let tx_version = read_clock_unlocked(heap, &globals, &mut spin, &mut t.backoff);
+        globals
+            .clock
+            .begin_into(heap, &mut spin, &mut t.backoff, &mut snap_slot);
+        let (probe_addr, probe_word) = globals.clock.read_probe(&snap_slot);
         // Recycled arenas: a restart re-logs into warm buffers.
         t.logs.read_log.clear();
         t.logs.write_set.clear();
         let mut ctx = LazyCtx {
             heap,
-            globals,
+            globals: &globals,
             mem: &mut t.mem,
             tid: t.tid,
-            tx_version,
+            snap: &mut snap_slot,
+            probe_addr,
+            probe_word,
             read_log: &mut t.logs.read_log,
             write_set: &mut t.logs.write_set,
             backoff: &mut t.backoff,
@@ -307,7 +308,7 @@ fn slow_path<T>(
 ) -> Result<T, TxFault> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
-    let globals = *rt.globals();
+    let globals = rt.globals_snapshot();
     let restart_limit = rt.config().retry.slow_path_restart_limit;
 
     let interleave = rt.config().interleave_accesses;
@@ -316,6 +317,8 @@ fn slow_path<T>(
     heap.fetch_update(globals.num_of_fallbacks, |v| v + 1);
     let mut restarts: u32 = 0;
     let mut serial_held = false;
+    // Out-of-context snapshot slot (see `norec::run_eager`).
+    let mut snap_slot = ClockSnapshot::single(0);
 
     let value = loop {
         if restarts > restart_limit && !serial_held {
@@ -325,13 +328,18 @@ fn slow_path<T>(
         }
         trace::begin(trace::Path::Stm);
         let mut spin = cost::STM_START;
-        let tx_version = read_clock_unlocked(heap, &globals, &mut spin, &mut t.backoff);
+        globals
+            .clock
+            .begin_into(heap, &mut spin, &mut t.backoff, &mut snap_slot);
+        let (probe_addr, probe_word) = globals.clock.read_probe(&snap_slot);
         let mut ctx = EagerCtx {
             heap,
-            globals,
+            globals: &globals,
             mem: &mut t.mem,
             tid: t.tid,
-            tx_version,
+            snap: &mut snap_slot,
+            probe_addr,
+            probe_word,
             wrote: false,
             dead: false,
             set_htm_lock: true,

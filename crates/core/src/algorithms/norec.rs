@@ -17,9 +17,10 @@
 use sim_mem::{Addr, Heap};
 
 use crate::algorithms::common::Meter;
+use crate::clock_shard::ClockSnapshot;
 use crate::cost;
 use crate::error::{TxFault, TxResult, RESTART};
-use crate::globals::{clock, Globals};
+use crate::globals::Globals;
 use crate::runtime::TmThread;
 use crate::trace;
 use crate::tx::{Tx, TxCtx, TxMem, TxOps};
@@ -33,19 +34,28 @@ pub(crate) fn run_eager<T>(
 ) -> Result<T, TxFault> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
-    let globals = *rt.globals();
+    let globals = rt.globals_snapshot();
     let interleave = rt.config().interleave_accesses;
     t.stats.slow_path_entries += 1;
+    // The snapshot lives outside the per-attempt context so the context
+    // (and with it the `TxCtx` enum moved through `Tx`) stays small, and a
+    // restart refreshes only the live lanes in place.
+    let mut snap_slot = ClockSnapshot::single(0);
     loop {
         trace::begin(trace::Path::Stm);
         let mut spin = cost::STM_START;
-        let tx_version = read_clock_unlocked(heap, &globals, &mut spin, &mut t.backoff);
+        globals
+            .clock
+            .begin_into(heap, &mut spin, &mut t.backoff, &mut snap_slot);
+        let (probe_addr, probe_word) = globals.clock.read_probe(&snap_slot);
         let mut ctx = EagerCtx {
             heap,
-            globals,
+            globals: &globals,
             mem: &mut t.mem,
             tid: t.tid,
-            tx_version,
+            snap: &mut snap_slot,
+            probe_addr,
+            probe_word,
             wrote: false,
             dead: false,
             set_htm_lock: false,
@@ -86,60 +96,24 @@ pub(crate) fn run_eager<T>(
     }
 }
 
-/// Spins until the global clock is unlocked and returns its value,
-/// charging the waiter's cycles. Contended waits back off between probes
-/// so the clock holder's release is not met by a thundering herd.
-///
-/// The uncontended probe is the first instruction of every NOrec-family
-/// transaction, so it stays inline; the contended spin is kept out of
-/// line to keep the hot path small.
-#[inline]
-pub(crate) fn read_clock_unlocked(
-    heap: &Heap,
-    globals: &Globals,
-    cycles: &mut u64,
-    backoff: &mut Backoff,
-) -> u64 {
-    // Yield before each probe (not only when locked): the lock holder
-    // may be descheduled, and under the deterministic scheduler it can
-    // only run again if the spinner passes a yield point.
-    sim_htm::sched::yield_point();
-    let v = heap.load(globals.global_clock);
-    if !clock::is_locked(v) {
-        return v;
-    }
-    read_clock_contended(heap, globals, cycles, backoff)
-}
-
-#[cold]
-fn read_clock_contended(
-    heap: &Heap,
-    globals: &Globals,
-    cycles: &mut u64,
-    backoff: &mut Backoff,
-) -> u64 {
-    let mut attempt = 0;
-    loop {
-        *cycles += cost::SPIN_ITER;
-        backoff.pause(attempt, cycles);
-        attempt += 1;
-        sim_htm::sched::yield_point();
-        let v = heap.load(globals.global_clock);
-        if !clock::is_locked(v) {
-            return v;
-        }
-    }
-}
-
 /// The eager NOrec transaction context. Shared with the hybrid slow paths
 /// via the `set_htm_lock` flag (Hybrid NOrec raises the global HTM lock at
 /// the first write; standalone NOrec has no hardware to notify).
 pub(crate) struct EagerCtx<'a> {
     pub(crate) heap: &'a Heap,
-    pub(crate) globals: Globals,
+    pub(crate) globals: &'a Globals,
     pub(crate) mem: &'a mut TxMem,
     pub(crate) tid: usize,
-    pub(crate) tx_version: u64,
+    /// The transaction's clock snapshot, held by reference so the context
+    /// stays cheap to move (the lane vector is a cache line wide).
+    pub(crate) snap: &'a mut ClockSnapshot,
+    /// Per-read validation probe ([`crate::clock_shard::ClockScheme::read_probe`]):
+    /// one word whose expected value proves `snap` still valid on the
+    /// single clock, and never matches on the sharded clock (forcing the
+    /// full lane compare).
+    pub(crate) probe_addr: Addr,
+    /// The probe word's expected value.
+    pub(crate) probe_word: u64,
     pub(crate) wrote: bool,
     pub(crate) dead: bool,
     /// Raise `global_htm_lock` around the write phase (hybrid slow paths).
@@ -149,24 +123,19 @@ pub(crate) struct EagerCtx<'a> {
 }
 
 impl EagerCtx<'_> {
-    /// First-write protocol: lock the global clock (CAS from our start
-    /// version), optionally raise the global HTM lock.
+    /// First-write protocol: enter the clock's write phase at our start
+    /// snapshot, optionally raise the global HTM lock.
     pub(crate) fn handle_first_write(&mut self) -> TxResult<()> {
         debug_assert!(!self.wrote);
         self.meter.charge(cost::GLOBAL_RMW);
-        if self
-            .heap
-            .compare_exchange(
-                self.globals.global_clock,
-                self.tx_version,
-                clock::set_lock_bit(self.tx_version),
-            )
-            .is_err()
+        if !self
+            .globals
+            .clock
+            .try_enter_write_phase(self.heap, self.snap)
         {
             self.dead = true;
             return Err(RESTART);
         }
-        self.tx_version = clock::set_lock_bit(self.tx_version);
         self.wrote = true;
         if self.set_htm_lock {
             self.meter.charge(cost::GLOBAL_STORE);
@@ -174,6 +143,22 @@ impl EagerCtx<'_> {
             self.htm_lock_set = true;
         }
         Ok(())
+    }
+
+    /// The out-of-line half of per-read validation, reached only when the
+    /// probe misses: on the single clock that means the word moved (or is
+    /// transiently locked) and the attempt is dead, full stop; on the
+    /// sharded clock the probe decides nothing and the full lane compare
+    /// runs for every read.
+    #[cold]
+    fn validate_slow(&mut self) -> TxResult<()> {
+        if !self.globals.clock.probe_conclusive()
+            && self.globals.clock.is_valid(self.heap, self.snap)
+        {
+            return Ok(());
+        }
+        self.dead = true;
+        Err(RESTART)
     }
 
     /// Commit: writers release the HTM lock (if raised) and publish a new
@@ -187,8 +172,7 @@ impl EagerCtx<'_> {
                 self.htm_lock_set = false;
             }
             self.meter.charge(cost::GLOBAL_STORE);
-            self.heap
-                .store(self.globals.global_clock, clock::next_version(self.tx_version));
+            self.globals.clock.publish(self.heap, self.snap, self.tid);
         }
     }
 }
@@ -200,11 +184,11 @@ impl TxOps for EagerCtx<'_> {
         }
         self.meter.tick(cost::NOREC_READ);
         let value = self.heap.load(addr);
-        // After the first write we hold the clock lock, so the check is
-        // trivially true and skipped.
-        if !self.wrote && self.heap.load(self.globals.global_clock) != self.tx_version {
-            self.dead = true;
-            return Err(RESTART);
+        // After the first write we hold the write phase, so the check is
+        // trivially true and skipped. A probe hit proves validity on the
+        // single clock; everything else takes the full check out of line.
+        if !self.wrote && self.heap.load(self.probe_addr) != self.probe_word {
+            self.validate_slow()?;
         }
         Ok(value)
     }
@@ -246,23 +230,32 @@ pub(crate) fn run_lazy<T>(
 ) -> Result<T, TxFault> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
-    let globals = *rt.globals();
+    let globals = rt.globals_snapshot();
     let interleave = rt.config().interleave_accesses;
     t.stats.slow_path_entries += 1;
+    // The snapshot lives outside the per-attempt context so the context
+    // (and with it the `TxCtx` enum moved through `Tx`) stays small, and a
+    // restart refreshes only the live lanes in place.
+    let mut snap_slot = ClockSnapshot::single(0);
     loop {
         trace::begin(trace::Path::Stm);
         let mut spin = cost::STM_START;
-        let tx_version = read_clock_unlocked(heap, &globals, &mut spin, &mut t.backoff);
+        globals
+            .clock
+            .begin_into(heap, &mut spin, &mut t.backoff, &mut snap_slot);
+        let (probe_addr, probe_word) = globals.clock.read_probe(&snap_slot);
         // Recycled arenas: clearing keeps their allocations warm, so a
         // retry (or the next transaction) logs into already-sized buffers.
         t.logs.read_log.clear();
         t.logs.write_set.clear();
         let mut ctx = LazyCtx {
             heap,
-            globals,
+            globals: &globals,
             mem: &mut t.mem,
             tid: t.tid,
-            tx_version,
+            snap: &mut snap_slot,
+            probe_addr,
+            probe_word,
             read_log: &mut t.logs.read_log,
             write_set: &mut t.logs.write_set,
             backoff: &mut t.backoff,
@@ -317,10 +310,15 @@ pub(crate) fn run_lazy<T>(
 /// address.
 pub(crate) struct LazyCtx<'a> {
     pub(crate) heap: &'a Heap,
-    pub(crate) globals: Globals,
+    pub(crate) globals: &'a Globals,
     pub(crate) mem: &'a mut TxMem,
     pub(crate) tid: usize,
-    pub(crate) tx_version: u64,
+    /// The transaction's clock snapshot (by reference; see [`EagerCtx::snap`]).
+    pub(crate) snap: &'a mut ClockSnapshot,
+    /// Per-read validation probe (see [`EagerCtx::probe_addr`]).
+    pub(crate) probe_addr: Addr,
+    /// The probe word's expected value.
+    pub(crate) probe_word: u64,
     pub(crate) read_log: &'a mut LogVec<(Addr, u64)>,
     pub(crate) write_set: &'a mut WriteSet,
     pub(crate) backoff: &'a mut Backoff,
@@ -337,7 +335,11 @@ impl LazyCtx<'_> {
     fn revalidate(&mut self) -> TxResult<()> {
         loop {
             let mut spin = 0;
-            let version = read_clock_unlocked(self.heap, &self.globals, &mut spin, self.backoff);
+            // The old snapshot is dead weight here — validation is
+            // value-based — so the fresh one lands directly in the slot.
+            self.globals
+                .clock
+                .begin_into(self.heap, &mut spin, self.backoff, self.snap);
             self.meter
                 .charge(spin + self.read_log.len() as u64 * cost::NOREC_REVALIDATE_ENTRY);
             for &(addr, seen) in self.read_log.as_slice() {
@@ -346,29 +348,52 @@ impl LazyCtx<'_> {
                     return Err(RESTART);
                 }
             }
-            if self.heap.load(self.globals.global_clock) == version {
-                self.tx_version = version;
+            if self.globals.clock.is_valid(self.heap, self.snap) {
+                let (addr, word) = self.globals.clock.read_probe(self.snap);
+                self.probe_addr = addr;
+                self.probe_word = word;
                 return Ok(());
             }
         }
+    }
+
+    /// The out-of-line half of per-read validation (see
+    /// [`EagerCtx::validate_slow`]): probe misses land here. Single
+    /// clock: the miss already proves the clock moved, so revalidate
+    /// immediately and loop until the refreshed probe holds around the
+    /// re-read. Sharded: the full lane compare either proves the
+    /// snapshot valid on the spot or drives the same revalidation loop.
+    #[cold]
+    fn validate_slow(&mut self, addr: Addr, value: &mut u64) -> TxResult<()> {
+        if self.globals.clock.probe_conclusive() {
+            loop {
+                self.revalidate()?;
+                *value = self.heap.load(addr);
+                if self.heap.load(self.probe_addr) == self.probe_word {
+                    return Ok(());
+                }
+            }
+        }
+        while !self.globals.clock.is_valid(self.heap, self.snap) {
+            self.revalidate()?;
+            *value = self.heap.load(addr);
+        }
+        Ok(())
     }
 
     pub(crate) fn commit(&mut self) -> TxResult<()> {
         if self.write_set.is_empty() {
             return Ok(());
         }
-        // Lock the clock at our validated version, revalidating as needed.
+        // Enter the write phase at our validated snapshot, revalidating as
+        // needed.
         let mut attempt = 0;
         loop {
             self.meter.charge(cost::GLOBAL_RMW);
             if self
-                .heap
-                .compare_exchange(
-                    self.globals.global_clock,
-                    self.tx_version,
-                    clock::set_lock_bit(self.tx_version),
-                )
-                .is_ok()
+                .globals
+                .clock
+                .try_enter_write_phase(self.heap, self.snap)
             {
                 break;
             }
@@ -394,10 +419,7 @@ impl LazyCtx<'_> {
             self.meter.charge(cost::GLOBAL_STORE);
             self.heap.store(self.globals.global_htm_lock, 0);
         }
-        self.heap.store(
-            self.globals.global_clock,
-            clock::next_version(self.tx_version),
-        );
+        self.globals.clock.publish(self.heap, self.snap, self.tid);
         Ok(())
     }
 }
@@ -412,10 +434,11 @@ impl TxOps for LazyCtx<'_> {
             return Ok(v);
         }
         let mut value = self.heap.load(addr);
-        // Re-validate until the clock is quiescent around the read.
-        while self.heap.load(self.globals.global_clock) != self.tx_version {
-            self.revalidate()?;
-            value = self.heap.load(addr);
+        // Re-validate until the clock is quiescent around the read. A
+        // probe hit proves quiescence on the single clock; everything
+        // else takes the full check out of line.
+        if self.heap.load(self.probe_addr) != self.probe_word {
+            self.validate_slow(addr, &mut value)?;
         }
         self.read_log.push((addr, value));
         Ok(value)

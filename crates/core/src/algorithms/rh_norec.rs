@@ -31,10 +31,10 @@ use crate::algorithms::common::{
     acquire_word_lock, classify_fast_abort, release_word_lock, xabort, FastFail,
 };
 use crate::algorithms::hybrid_norec::fast_commit_clock_update;
+use crate::clock_shard::ClockSnapshot;
 use crate::cost;
-use crate::algorithms::norec::read_clock_unlocked;
 use crate::error::{TxFault, TxResult, RESTART};
-use crate::globals::{clock, Globals};
+use crate::globals::Globals;
 use crate::runtime::TmThread;
 use crate::stats::TmThreadStats;
 use crate::trace;
@@ -195,7 +195,7 @@ fn mixed_slow_path<T>(
 ) -> Result<T, TxFault> {
     let rt = t.rt.clone();
     let heap: &Heap = rt.heap();
-    let globals = *rt.globals();
+    let globals = rt.globals_snapshot();
     let restart_limit = rt.config().retry.slow_path_restart_limit;
     let small_retries = rt.config().retry.small_htm_retries;
     let prefix_cfg = rt.config().prefix;
@@ -212,6 +212,9 @@ fn mixed_slow_path<T>(
     let mut allow_postfix = true;
     let mut prefix_deaths = 0u32;
     let mut postfix_deaths = 0u32;
+    // Out-of-context snapshot slot (see `norec::run_eager`): keeps the
+    // cache-line-wide lane vector out of the `TxCtx` enum's moves.
+    let mut snap_slot = ClockSnapshot::single(0);
 
     let value = loop {
         trace::begin(trace::Path::Mixed);
@@ -222,7 +225,7 @@ fn mixed_slow_path<T>(
         }
         let mut ctx = RhCtx {
             heap,
-            globals,
+            globals: &globals,
             mem: &mut t.mem,
             tid: t.tid,
             htm: &mut t.htm_thread,
@@ -235,7 +238,7 @@ fn mixed_slow_path<T>(
             interleave: rt.config().interleave_accesses,
             accesses: 0,
             mode: Mode::Software,
-            tx_version: 0,
+            snap: &mut snap_slot,
             counted,
             prefix_reads: 0,
             prefix_budget: 0,
@@ -311,7 +314,7 @@ fn mixed_slow_path<T>(
 /// The mixed slow-path transaction context (Algorithms 2 and 3).
 pub(crate) struct RhCtx<'a> {
     heap: &'a Heap,
-    globals: Globals,
+    globals: &'a Globals,
     mem: &'a mut TxMem,
     tid: usize,
     htm: &'a mut sim_htm::HtmThread,
@@ -326,8 +329,9 @@ pub(crate) struct RhCtx<'a> {
     interleave: u32,
     accesses: u64,
     mode: Mode,
-    /// Local copy of the global clock (locked value after first write).
-    tx_version: u64,
+    /// The transaction's clock snapshot (locked/write-phase form after the
+    /// first write), held by reference so the context stays cheap to move.
+    snap: &'a mut ClockSnapshot,
     /// Whether this transaction currently holds a `num_of_fallbacks` unit.
     counted: bool,
     prefix_reads: u64,
@@ -369,7 +373,9 @@ impl RhCtx<'_> {
             self.counted = true;
         }
         let mut spin = cost::STM_START;
-        self.tx_version = read_clock_unlocked(self.heap, &self.globals, &mut spin, self.backoff);
+        self.globals
+            .clock
+            .begin_into(self.heap, &mut spin, self.backoff, self.snap);
         self.stats.cycles += spin;
         self.mode = Mode::Software;
     }
@@ -456,19 +462,15 @@ impl RhCtx<'_> {
                 return self.prefix_died(e.code);
             }
         }
-        let tv = match self.htm.read(self.globals.global_clock) {
-            Ok(v) => v,
-            Err(e) => return self.prefix_died(e.code),
+        let tv = match self.globals.clock.htm_snapshot(self.htm) {
+            Ok(snap) => snap,
+            Err(code) => return self.prefix_died(code),
         };
-        if clock::is_locked(tv) {
-            let code = self.htm.abort(xabort::CLOCK_LOCKED).code;
-            return self.prefix_died(code);
-        }
         match self.htm.commit() {
             Ok(()) => {
                 self.note_prefix_commit();
                 self.counted = true;
-                self.tx_version = tv;
+                *self.snap = tv;
                 self.mode = Mode::Software;
                 Ok(())
             }
@@ -510,54 +512,48 @@ impl RhCtx<'_> {
         Ok(())
     }
 
-    /// Locks the global clock for the write phase: a CAS from our start
-    /// version, so the lock doubles as the final conflict check — it fails
-    /// iff anyone committed a write since we last validated.
+    /// Locks the clock's write phase from our start snapshot, so the lock
+    /// doubles as the final conflict check — it fails iff anyone committed
+    /// a write since we last validated.
     fn lock_clock(&mut self) -> TxResult<()> {
         #[cfg(feature = "mutant-postfix-clock")]
         if self.mutant {
             // MUTANT (opacity-checker mutation test): re-read the clock at
             // the start of the write phase and lock whatever it holds now,
-            // instead of CASing from the deferred, per-read-validated
+            // instead of entering from the deferred, per-read-validated
             // snapshot. Reads taken before an intervening commit survive
             // into the write phase — a lost update the checker must flag.
-            let now = self.heap.load(self.globals.global_clock);
-            if clock::is_locked(now) {
+            if !self
+                .globals
+                .clock
+                .force_enter_write_phase(self.heap, self.snap)
+            {
                 self.dead = true;
                 return Err(RESTART);
             }
-            self.heap
-                .store(self.globals.global_clock, clock::set_lock_bit(now));
-            self.tx_version = clock::set_lock_bit(now);
             return Ok(());
         }
-        if self
-            .heap
-            .compare_exchange(
-                self.globals.global_clock,
-                self.tx_version,
-                clock::set_lock_bit(self.tx_version),
-            )
-            .is_err()
+        if !self
+            .globals
+            .clock
+            .try_enter_write_phase(self.heap, self.snap)
         {
             self.dead = true;
             return Err(RESTART);
         }
-        self.tx_version = clock::set_lock_bit(self.tx_version);
         Ok(())
     }
 
-    /// Postfix death: discard speculation, release the clock at its
+    /// Postfix death: discard speculation, close the write phase at its
     /// pre-lock version (nothing was published), kill the attempt.
     fn postfix_died(&mut self, code: AbortCode) -> TxResult<()> {
         self.note_postfix_abort(code);
         self.died_in_postfix = true;
         self.death_may_retry = code.may_retry();
         self.stats.cycles += cost::GLOBAL_STORE;
-        self.heap.store(
-            self.globals.global_clock,
-            clock::clear_lock_bit(self.tx_version),
-        );
+        self.globals
+            .clock
+            .release_without_publish(self.heap, self.snap);
         self.dead = true;
         Err(RESTART)
     }
@@ -614,28 +610,32 @@ impl RhCtx<'_> {
                 }
                 Ok(())
             }
-            Mode::Postfix => match self.htm.commit() {
-                Ok(()) => {
-                    self.stats.cycles +=
-                        cost::HTM_COMMIT + cost::GLOBAL_STORE + cost::GLOBAL_RMW;
-                    self.stats.postfix_commits += 1;
-                    self.heap.store(
-                        self.globals.global_clock,
-                        clock::next_version(self.tx_version),
-                    );
-                    self.heap.fetch_update(self.globals.num_of_fallbacks, |v| v - 1);
-                    self.counted = false;
-                    Ok(())
+            Mode::Postfix => {
+                // Sharded lanes bump *inside* the hardware transaction, so
+                // the version advance commits atomically with the buffered
+                // writes (single clock: a no-op — its bump follows commit).
+                if let Err(code) = self.globals.clock.htm_postfix_bump(self.htm, self.tid) {
+                    return self.postfix_died(code);
                 }
-                Err(e) => self.postfix_died(e.code),
-            },
+                match self.htm.commit() {
+                    Ok(()) => {
+                        self.stats.cycles +=
+                            cost::HTM_COMMIT + cost::GLOBAL_STORE + cost::GLOBAL_RMW;
+                        self.stats.postfix_commits += 1;
+                        self.globals
+                            .clock
+                            .finish_postfix_publish(self.heap, self.snap);
+                        self.heap.fetch_update(self.globals.num_of_fallbacks, |v| v - 1);
+                        self.counted = false;
+                        Ok(())
+                    }
+                    Err(e) => self.postfix_died(e.code),
+                }
+            }
             Mode::SoftwareWriter => {
                 self.stats.cycles += 2 * cost::GLOBAL_STORE + cost::GLOBAL_RMW;
                 self.heap.store(self.globals.global_htm_lock, 0);
-                self.heap.store(
-                    self.globals.global_clock,
-                    clock::next_version(self.tx_version),
-                );
+                self.globals.clock.publish(self.heap, self.snap, self.tid);
                 self.heap.fetch_update(self.globals.num_of_fallbacks, |v| v - 1);
                 self.counted = false;
                 Ok(())
@@ -665,7 +665,7 @@ impl TxOps for RhCtx<'_> {
             Mode::Software => {
                 self.tick(cost::NOREC_READ);
                 let value = self.heap.load(addr);
-                if self.heap.load(self.globals.global_clock) != self.tx_version {
+                if !self.globals.clock.is_valid(self.heap, self.snap) {
                     self.dead = true;
                     return Err(RESTART);
                 }

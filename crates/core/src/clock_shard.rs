@@ -1,0 +1,594 @@
+//! The commit-clock abstraction of the NOrec family: the classic single
+//! clock word, or `C` cache-line-padded per-core sequence lanes plus a
+//! small aggregate epoch (DESIGN.md §11).
+//!
+//! Every software commit in NOrec, Hybrid NOrec and RH NOrec serializes
+//! through one global clock word, so under write pressure that one cache
+//! line ping-pongs between every core — the shared-metadata tax the HyTM
+//! lower-bound papers identify. The sharded scheme splits the version
+//! space across lanes:
+//!
+//! * **Lanes** are monotonic sequence counters (`+2` per commit, no lock
+//!   bit). A writer bumps only its *home lane* (`tid % shards`), so two
+//!   hardware fast paths committing on different cores no longer conflict
+//!   on clock metadata at all.
+//! * **The epoch** is a single-word mutex over the software write phase
+//!   (CAS `0 → 1` to enter, store `0` to leave). NOrec has no per-location
+//!   metadata, so in-place software writes need global exclusivity — the
+//!   epoch provides exactly what the single clock's lock bit provided,
+//!   on its own cache line.
+//! * **Readers** snapshot the full lane vector under a quiescent epoch
+//!   and validate that no lane moved (and the epoch is still clear). Any
+//!   commit anywhere invalidates every in-flight reader, which is also
+//!   the privatization argument: a committed unlink is visible to every
+//!   straggler before its next read or write-phase entry.
+//!
+//! With `shards == 1` every method reduces to exactly the pre-sharding
+//! protocol — same heap operations in the same order, lock bit in the
+//! clock word, no epoch — so the default configuration is bit-for-bit
+//! today's behavior.
+
+use sim_htm::{AbortCode, HtmThread};
+use sim_mem::{Addr, Heap};
+
+use crate::algorithms::common::xabort;
+use crate::cost;
+use crate::globals::clock;
+use crate::txlog::Backoff;
+
+/// Upper bound on the `clock_shards` configuration knob. Lanes live in a
+/// fixed array so [`crate::Globals`] stays `Copy`.
+pub const MAX_CLOCK_SHARDS: usize = 8;
+
+/// Heap layout and protocol of the commit clock: one lock-bit word
+/// (`shards == 1`) or a lane vector plus a write-phase epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct ClockScheme {
+    /// Lane addresses; `lanes[0]` doubles as the single clock word.
+    lanes: [Addr; MAX_CLOCK_SHARDS],
+    shards: u32,
+    /// Write-phase mutex (sharded only; `Addr::NULL` when `shards == 1`).
+    epoch: Addr,
+    /// MUTANT (`mutant-stale-lane`): skip revalidating the last lane.
+    #[cfg(feature = "mutant-stale-lane")]
+    stale_lane: bool,
+}
+
+/// A transaction's begin-time view of the clock: the single word's value,
+/// or the full lane vector. Validation compares the live clock against
+/// this; equality means no one committed since the snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct ClockSnapshot {
+    pub(crate) lanes: [u64; MAX_CLOCK_SHARDS],
+}
+
+impl ClockSnapshot {
+    /// A single-clock snapshot holding `word` in lane 0.
+    pub(crate) fn single(word: u64) -> Self {
+        let mut lanes = [0u64; MAX_CLOCK_SHARDS];
+        lanes[0] = word;
+        ClockSnapshot { lanes }
+    }
+
+    /// The single clock word's value (lane 0).
+    #[cfg(test)]
+    pub(crate) fn word(&self) -> u64 {
+        self.lanes[0]
+    }
+}
+
+impl ClockScheme {
+    pub(crate) fn new(lanes: [Addr; MAX_CLOCK_SHARDS], shards: u32, epoch: Addr) -> Self {
+        debug_assert!(shards >= 1 && shards as usize <= MAX_CLOCK_SHARDS);
+        debug_assert_eq!(shards == 1, epoch.is_null(), "epoch iff sharded");
+        ClockScheme {
+            lanes,
+            shards,
+            epoch,
+            #[cfg(feature = "mutant-stale-lane")]
+            stale_lane: false,
+        }
+    }
+
+    /// Number of sequence lanes (1 = the classic single clock word).
+    #[inline]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Heap address of lane `i`; lane 0 is the single clock word when
+    /// `shards == 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shards`.
+    pub fn lane(&self, i: usize) -> Addr {
+        assert!(i < self.shards as usize, "lane {i} out of range (shards = {})", self.shards);
+        self.lanes[i]
+    }
+
+    /// Heap address of the write-phase epoch, `None` for the single clock
+    /// (whose lock bit plays the epoch's role).
+    pub fn epoch_addr(&self) -> Option<Addr> {
+        if self.shards == 1 {
+            None
+        } else {
+            Some(self.epoch)
+        }
+    }
+
+    /// The lane writer `tid` bumps at commit.
+    #[inline]
+    pub fn home_lane(&self, tid: usize) -> usize {
+        tid % self.shards as usize
+    }
+
+    /// Arms the `mutant-stale-lane` mutation on this copy of the scheme:
+    /// validation skips the last lane, so commits homed there go unseen.
+    #[cfg(feature = "mutant-stale-lane")]
+    pub(crate) fn set_stale_lane(&mut self, on: bool) {
+        self.stale_lane = on;
+    }
+
+    /// The lane index validation skips (out of range = none).
+    #[inline]
+    fn skip_lane(&self) -> usize {
+        #[cfg(feature = "mutant-stale-lane")]
+        if self.stale_lane && self.shards > 1 {
+            // MUTANT: the last lane's bumps are never revalidated.
+            return self.shards as usize - 1;
+        }
+        MAX_CLOCK_SHARDS
+    }
+
+    /// Waits for a quiescent clock and snapshots it, charging the
+    /// waiter's spin cycles. Contended waits back off between probes so
+    /// the write-phase holder's release is not met by a thundering herd.
+    ///
+    /// The uncontended probe is the first instruction of every
+    /// NOrec-family transaction, so it stays inline; the contended spin
+    /// is kept out of line to keep the hot path small.
+    /// [`Self::begin_into`] returning a fresh snapshot (test convenience;
+    /// the engines reuse a slot across attempts).
+    #[cfg(test)]
+    pub(crate) fn begin(&self, heap: &Heap, cycles: &mut u64, backoff: &mut Backoff) -> ClockSnapshot {
+        let mut snap = ClockSnapshot::single(0);
+        self.begin_into(heap, cycles, backoff, &mut snap);
+        snap
+    }
+
+    /// [`Self::begin`] into a caller-owned slot, writing only the live
+    /// lanes. The retry loops keep one snapshot slot alive across
+    /// attempts, so a restart re-reads one word (single clock) or
+    /// `shards` words instead of constructing and copying the full
+    /// cache-line-wide vector — under contention that per-attempt copy
+    /// is measurable on the `contended` benchmark cells.
+    #[inline]
+    pub(crate) fn begin_into(
+        &self,
+        heap: &Heap,
+        cycles: &mut u64,
+        backoff: &mut Backoff,
+        snap: &mut ClockSnapshot,
+    ) {
+        // Yield before each probe (not only when locked): the lock holder
+        // may be descheduled, and under the deterministic scheduler it can
+        // only run again if the spinner passes a yield point.
+        sim_htm::sched::yield_point();
+        if self.shards == 1 {
+            let v = heap.load(self.lanes[0]);
+            if !clock::is_locked(v) {
+                snap.lanes[0] = v;
+                return;
+            }
+        } else if heap.load(self.epoch) == 0 {
+            self.snapshot_lanes(heap, snap);
+            return;
+        }
+        self.begin_contended(heap, cycles, backoff, snap)
+    }
+
+    #[cold]
+    fn begin_contended(
+        &self,
+        heap: &Heap,
+        cycles: &mut u64,
+        backoff: &mut Backoff,
+        snap: &mut ClockSnapshot,
+    ) {
+        let mut attempt = 0;
+        loop {
+            *cycles += cost::SPIN_ITER;
+            backoff.pause(attempt, cycles);
+            attempt += 1;
+            sim_htm::sched::yield_point();
+            if self.shards == 1 {
+                let v = heap.load(self.lanes[0]);
+                if !clock::is_locked(v) {
+                    snap.lanes[0] = v;
+                    return;
+                }
+            } else if heap.load(self.epoch) == 0 {
+                self.snapshot_lanes(heap, snap);
+                return;
+            }
+        }
+    }
+
+    /// Reads every live lane. A snapshot torn by a concurrent write phase
+    /// is safe: the data writes that could make it dangerous land only
+    /// under the epoch, and validation re-checks the epoch *and* every
+    /// lane — any overlap with a write phase, or any completed commit
+    /// after a lane was read, fails the next [`Self::is_valid`].
+    fn snapshot_lanes(&self, heap: &Heap, snap: &mut ClockSnapshot) {
+        for (slot, addr) in snap
+            .lanes
+            .iter_mut()
+            .zip(&self.lanes)
+            .take(self.shards as usize)
+        {
+            *slot = heap.load(*addr);
+        }
+    }
+
+    /// The per-read validation probe: one heap word plus the value that
+    /// proves the snapshot still valid. Single clock: the clock word and
+    /// its snapshot value, so the NOrec per-read check stays the one
+    /// load-and-compare it has always been. Sharded: validity can never
+    /// be proven by one word (a hardware commit moves only its home
+    /// lane), so the probe pairs the epoch with a value it never holds —
+    /// every probe misses and the caller falls through to the full
+    /// [`Self::is_valid`] lane compare.
+    #[inline]
+    pub(crate) fn read_probe(&self, snap: &ClockSnapshot) -> (Addr, u64) {
+        if self.shards == 1 {
+            (self.lanes[0], snap.lanes[0])
+        } else {
+            (self.epoch, u64::MAX)
+        }
+    }
+
+    /// Whether a [`Self::read_probe`] miss alone proves the snapshot
+    /// invalid. True for the single clock — the probe *is* the clock
+    /// word, so re-checking after a miss would repeat the same compare.
+    /// False for the sharded clock, whose probe misses by design and
+    /// decides nothing.
+    #[inline]
+    pub(crate) fn probe_conclusive(&self) -> bool {
+        self.shards == 1
+    }
+
+    /// Whether no commit has published since `snap` (and no write phase
+    /// is in flight). The NOrec per-read validation check.
+    #[inline]
+    pub(crate) fn is_valid(&self, heap: &Heap, snap: &ClockSnapshot) -> bool {
+        if self.shards == 1 {
+            return heap.load(self.lanes[0]) == snap.lanes[0];
+        }
+        if heap.load(self.epoch) != 0 {
+            return false;
+        }
+        self.lanes_match(heap, snap)
+    }
+
+    fn lanes_match(&self, heap: &Heap, snap: &ClockSnapshot) -> bool {
+        let skip = self.skip_lane();
+        for i in 0..self.shards as usize {
+            if i == skip {
+                continue;
+            }
+            if heap.load(self.lanes[i]) != snap.lanes[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Opens the software write phase at the snapshot — the final
+    /// conflict check, failing iff anyone committed since `snap` was
+    /// last validated. On success the single clock holds its locked
+    /// value (mirrored into `snap`) or the epoch is held; the caller
+    /// must [`Self::publish`] or [`Self::release_without_publish`].
+    pub(crate) fn try_enter_write_phase(&self, heap: &Heap, snap: &mut ClockSnapshot) -> bool {
+        if self.shards == 1 {
+            let v = snap.lanes[0];
+            if heap
+                .compare_exchange(self.lanes[0], v, clock::set_lock_bit(v))
+                .is_err()
+            {
+                return false;
+            }
+            snap.lanes[0] = clock::set_lock_bit(v);
+            return true;
+        }
+        if heap.compare_exchange(self.epoch, 0, 1).is_err() {
+            return false;
+        }
+        // The epoch is ours, but a commit that published since the
+        // snapshot still invalidates this attempt.
+        if !self.lanes_match(heap, snap) {
+            heap.store(self.epoch, 0);
+            return false;
+        }
+        true
+    }
+
+    /// MUTANT (`mutant-postfix-clock`): enter the write phase from the
+    /// *current* clock instead of the validated snapshot — reads taken
+    /// before an intervening commit survive into the write phase.
+    #[cfg(feature = "mutant-postfix-clock")]
+    pub(crate) fn force_enter_write_phase(&self, heap: &Heap, snap: &mut ClockSnapshot) -> bool {
+        if self.shards == 1 {
+            let now = heap.load(self.lanes[0]);
+            if clock::is_locked(now) {
+                return false;
+            }
+            heap.store(self.lanes[0], clock::set_lock_bit(now));
+            snap.lanes[0] = clock::set_lock_bit(now);
+            return true;
+        }
+        if heap.compare_exchange(self.epoch, 0, 1).is_err() {
+            return false;
+        }
+        self.snapshot_lanes(heap, snap);
+        true
+    }
+
+    /// Publishes a software writer's commit: bump the version and close
+    /// the write phase. Single clock: one store of the next version (the
+    /// lock release doubles as the bump). Sharded: bump the home lane,
+    /// then release the epoch — in that order, so a reader that sees a
+    /// clear epoch also sees the bumped lane.
+    pub(crate) fn publish(&self, heap: &Heap, snap: &ClockSnapshot, tid: usize) {
+        if self.shards == 1 {
+            heap.store(self.lanes[0], clock::next_version(snap.lanes[0]));
+            return;
+        }
+        let home = self.home_lane(tid);
+        let lane = self.lanes[home];
+        heap.store(lane, heap.load(lane) + 2);
+        heap.store(self.epoch, 0);
+    }
+
+    /// Closes the write phase without publishing (the postfix died, or a
+    /// teardown): nothing landed, so the version must not move.
+    pub(crate) fn release_without_publish(&self, heap: &Heap, snap: &ClockSnapshot) {
+        if self.shards == 1 {
+            heap.store(self.lanes[0], clock::clear_lock_bit(snap.lanes[0]));
+            return;
+        }
+        heap.store(self.epoch, 0);
+    }
+
+    /// Hybrid NOrec's start-time subscription: pull the whole clock into
+    /// the hardware tracking set, aborting if a write phase is in flight.
+    /// Sharded, this subscribes *every* lane — Hybrid NOrec's defining
+    /// false-abort cost is preserved per lane, which is exactly what the
+    /// ablation against RH NOrec measures.
+    pub(crate) fn htm_subscribe(&self, htm: &mut HtmThread) -> Result<(), AbortCode> {
+        if self.shards == 1 {
+            return match htm.read(self.lanes[0]) {
+                Ok(v) if !clock::is_locked(v) => Ok(()),
+                Ok(_) => Err(htm.abort(xabort::CLOCK_LOCKED).code),
+                Err(e) => Err(e.code),
+            };
+        }
+        match htm.read(self.epoch) {
+            Ok(0) => {}
+            Ok(_) => return Err(htm.abort(xabort::CLOCK_LOCKED).code),
+            Err(e) => return Err(e.code),
+        }
+        for lane in &self.lanes[..self.shards as usize] {
+            if let Err(e) = htm.read(*lane) {
+                return Err(e.code);
+            }
+        }
+        Ok(())
+    }
+
+    /// The writer fast path's commit-time bump: read-check-bump inside
+    /// the hardware transaction. Sharded, only the home lane enters the
+    /// tracking set — disjoint fast-path writers no longer conflict on
+    /// clock metadata, the scheme's core win.
+    pub(crate) fn htm_commit_bump(&self, htm: &mut HtmThread, tid: usize) -> Result<(), AbortCode> {
+        if self.shards == 1 {
+            let clk = match htm.read(self.lanes[0]) {
+                Ok(v) => v,
+                Err(e) => return Err(e.code),
+            };
+            if clock::is_locked(clk) {
+                return Err(htm.abort(xabort::CLOCK_LOCKED).code);
+            }
+            return match htm.write(self.lanes[0], clk + 2) {
+                Ok(()) => Ok(()),
+                Err(e) => Err(e.code),
+            };
+        }
+        match htm.read(self.epoch) {
+            Ok(0) => {}
+            Ok(_) => return Err(htm.abort(xabort::CLOCK_LOCKED).code),
+            Err(e) => return Err(e.code),
+        }
+        let lane = self.lanes[self.home_lane(tid)];
+        let v = match htm.read(lane) {
+            Ok(v) => v,
+            Err(e) => return Err(e.code),
+        };
+        match htm.write(lane, v + 2) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(e.code),
+        }
+    }
+
+    /// Snapshots the clock transactionally (the RH NOrec prefix commit):
+    /// the HTM validates the snapshot together with every prefix read,
+    /// aborting if a write phase is in flight.
+    pub(crate) fn htm_snapshot(&self, htm: &mut HtmThread) -> Result<ClockSnapshot, AbortCode> {
+        if self.shards == 1 {
+            let tv = match htm.read(self.lanes[0]) {
+                Ok(v) => v,
+                Err(e) => return Err(e.code),
+            };
+            if clock::is_locked(tv) {
+                return Err(htm.abort(xabort::CLOCK_LOCKED).code);
+            }
+            return Ok(ClockSnapshot::single(tv));
+        }
+        match htm.read(self.epoch) {
+            Ok(0) => {}
+            Ok(_) => return Err(htm.abort(xabort::CLOCK_LOCKED).code),
+            Err(e) => return Err(e.code),
+        }
+        let mut lanes = [0u64; MAX_CLOCK_SHARDS];
+        for (slot, addr) in lanes.iter_mut().zip(&self.lanes).take(self.shards as usize) {
+            *slot = match htm.read(*addr) {
+                Ok(v) => v,
+                Err(e) => return Err(e.code),
+            };
+        }
+        Ok(ClockSnapshot { lanes })
+    }
+
+    /// The postfix writer's version bump, *inside* the short postfix
+    /// hardware transaction (sharded only): the lane store commits
+    /// atomically with the buffered data writes, so the bump and the
+    /// data publication are one event. The single clock is a no-op here —
+    /// its bump happens after `htm.commit` via
+    /// [`Self::finish_postfix_publish`], under the lock taken at first
+    /// write, preserving the pre-sharding order exactly.
+    pub(crate) fn htm_postfix_bump(&self, htm: &mut HtmThread, tid: usize) -> Result<(), AbortCode> {
+        if self.shards == 1 {
+            return Ok(());
+        }
+        let lane = self.lanes[self.home_lane(tid)];
+        let v = match htm.read(lane) {
+            Ok(v) => v,
+            Err(e) => return Err(e.code),
+        };
+        match htm.write(lane, v + 2) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(e.code),
+        }
+    }
+
+    /// Completes a postfix publication after its HTM commit: the single
+    /// clock publishes its next version; sharded lanes only release the
+    /// epoch (the lane already bumped inside the hardware transaction).
+    pub(crate) fn finish_postfix_publish(&self, heap: &Heap, snap: &ClockSnapshot) {
+        if self.shards == 1 {
+            heap.store(self.lanes[0], clock::next_version(snap.lanes[0]));
+            return;
+        }
+        heap.store(self.epoch, 0);
+    }
+
+    /// Total versions published across every lane (white-box tests and
+    /// diagnostics): the sum of unlocked lane values, in version units
+    /// of 2.
+    pub fn total_version(&self, heap: &Heap) -> u64 {
+        (0..self.shards as usize)
+            .map(|i| clock::clear_lock_bit(heap.load(self.lanes[i])))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::globals::Globals;
+    use crate::BackoffConfig;
+    use sim_mem::HeapConfig;
+
+    fn scheme(shards: u32) -> (Heap, Globals) {
+        let heap = Heap::new(HeapConfig { words: 1 << 12 });
+        let g = Globals::allocate(&heap, shards);
+        (heap, g)
+    }
+
+    fn backoff() -> Backoff {
+        Backoff::new(&BackoffConfig::default(), 0)
+    }
+
+    #[test]
+    fn single_clock_round_trip_matches_classic_protocol() {
+        let (heap, g) = scheme(1);
+        let mut cycles = 0;
+        let mut snap = g.clock.begin(&heap, &mut cycles, &mut backoff());
+        assert_eq!(snap.word(), 0);
+        assert!(g.clock.is_valid(&heap, &snap));
+        assert!(g.clock.try_enter_write_phase(&heap, &mut snap));
+        assert!(clock::is_locked(heap.load(g.clock.lane(0))));
+        // A locked clock invalidates every other snapshot.
+        assert!(!g.clock.is_valid(&heap, &ClockSnapshot::single(0)));
+        g.clock.publish(&heap, &snap, 0);
+        assert_eq!(heap.load(g.clock.lane(0)), 2);
+        assert!(!g.clock.is_valid(&heap, &snap));
+    }
+
+    #[test]
+    fn sharded_writer_bumps_only_its_home_lane() {
+        let (heap, g) = scheme(4);
+        let mut cycles = 0;
+        for tid in [0usize, 1, 2, 5] {
+            let mut snap = g.clock.begin(&heap, &mut cycles, &mut backoff());
+            assert!(g.clock.try_enter_write_phase(&heap, &mut snap));
+            assert_eq!(heap.load(g.clock.epoch_addr().unwrap()), 1);
+            g.clock.publish(&heap, &snap, tid);
+            assert_eq!(heap.load(g.clock.epoch_addr().unwrap()), 0);
+        }
+        // tids 0, 1, 2 each bumped their own lane; tid 5 homed on lane 1.
+        assert_eq!(heap.load(g.clock.lane(0)), 2);
+        assert_eq!(heap.load(g.clock.lane(1)), 4);
+        assert_eq!(heap.load(g.clock.lane(2)), 2);
+        assert_eq!(heap.load(g.clock.lane(3)), 0);
+        assert_eq!(g.clock.total_version(&heap), 8);
+    }
+
+    #[test]
+    fn any_lane_movement_invalidates_a_sharded_snapshot() {
+        let (heap, g) = scheme(4);
+        let mut cycles = 0;
+        let snap = g.clock.begin(&heap, &mut cycles, &mut backoff());
+        assert!(g.clock.is_valid(&heap, &snap));
+        // A commit homed on lane 3 (tid 3) must invalidate the snapshot.
+        let mut writer = snap;
+        assert!(g.clock.try_enter_write_phase(&heap, &mut writer));
+        g.clock.publish(&heap, &writer, 3);
+        assert!(!g.clock.is_valid(&heap, &snap));
+        // And a later write-phase entry from the stale snapshot fails.
+        let mut stale = snap;
+        assert!(!g.clock.try_enter_write_phase(&heap, &mut stale));
+        assert_eq!(heap.load(g.clock.epoch_addr().unwrap()), 0, "failed entry releases the epoch");
+    }
+
+    #[test]
+    fn held_epoch_blocks_validation_and_entry() {
+        let (heap, g) = scheme(2);
+        let mut cycles = 0;
+        let mut holder = g.clock.begin(&heap, &mut cycles, &mut backoff());
+        assert!(g.clock.try_enter_write_phase(&heap, &mut holder));
+        let reader = ClockSnapshot { lanes: holder.lanes };
+        assert!(!g.clock.is_valid(&heap, &reader), "held epoch fails every reader");
+        let mut rival = reader;
+        assert!(!g.clock.try_enter_write_phase(&heap, &mut rival));
+        g.clock.release_without_publish(&heap, &holder);
+        assert!(g.clock.is_valid(&heap, &reader), "release without publish moves nothing");
+    }
+
+    #[test]
+    fn single_release_without_publish_restores_the_version() {
+        let (heap, g) = scheme(1);
+        let mut cycles = 0;
+        let mut snap = g.clock.begin(&heap, &mut cycles, &mut backoff());
+        assert!(g.clock.try_enter_write_phase(&heap, &mut snap));
+        g.clock.release_without_publish(&heap, &snap);
+        assert_eq!(heap.load(g.clock.lane(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lane_index_is_bounds_checked() {
+        let (_heap, g) = scheme(2);
+        let _ = g.clock.lane(2);
+    }
+}

@@ -203,6 +203,7 @@ pub struct TmConfig {
     pub(crate) prefix: PrefixConfig,
     pub(crate) backoff: BackoffConfig,
     pub(crate) interleave_accesses: u32,
+    pub(crate) clock_shards: u32,
 }
 
 impl TmConfig {
@@ -214,6 +215,7 @@ impl TmConfig {
             prefix: PrefixConfig::default(),
             backoff: BackoffConfig::default(),
             interleave_accesses: 0,
+            clock_shards: 1,
         }
     }
 
@@ -250,6 +252,13 @@ impl TmConfig {
     #[inline]
     pub fn interleave_accesses(&self) -> u32 {
         self.interleave_accesses
+    }
+
+    /// Number of commit-clock sequence lanes (1 = the classic single
+    /// clock word).
+    #[inline]
+    pub fn clock_shards(&self) -> u32 {
+        self.clock_shards
     }
 }
 
@@ -344,6 +353,16 @@ impl TmConfigBuilder {
         self
     }
 
+    /// Number of commit-clock sequence lanes. The default (1) is the
+    /// classic single clock word; larger values shard the clock so
+    /// writers bump only their home lane (DESIGN.md §11). Validated to
+    /// `1..=`[`MAX_CLOCK_SHARDS`](crate::MAX_CLOCK_SHARDS) by
+    /// [`build`](Self::build).
+    pub fn clock_shards(mut self, shards: u32) -> Self {
+        self.config.clock_shards = shards;
+        self
+    }
+
     /// Validates the combination and produces the configuration.
     ///
     /// # Errors
@@ -389,6 +408,11 @@ impl TmConfigBuilder {
         if c.backoff.min_spins > c.backoff.max_spins {
             return Err(TmError::InvalidConfig {
                 reason: "backoff min_spins exceeds max_spins",
+            });
+        }
+        if c.clock_shards == 0 || c.clock_shards as usize > crate::clock_shard::MAX_CLOCK_SHARDS {
+            return Err(TmError::InvalidConfig {
+                reason: "clock_shards must be in 1..=MAX_CLOCK_SHARDS (8)",
             });
         }
         Ok(self.config)
@@ -502,6 +526,22 @@ mod tests {
             .backoff(BackoffConfig { min_spins: 64, max_spins: 8, ..BackoffConfig::default() })
             .build();
         assert!(matches!(inverted_backoff, Err(TmError::InvalidConfig { .. })));
+
+        let zero_shards = TmConfig::builder(Algorithm::RhNorec).clock_shards(0).build();
+        assert!(matches!(zero_shards, Err(TmError::InvalidConfig { .. })));
+
+        let too_many_shards = TmConfig::builder(Algorithm::RhNorec).clock_shards(9).build();
+        assert!(matches!(too_many_shards, Err(TmError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn builder_applies_clock_shards() {
+        let c = TmConfig::builder(Algorithm::Norec).clock_shards(4).build().unwrap();
+        assert_eq!(c.clock_shards(), 4);
+        assert_eq!(TmConfig::new(Algorithm::Norec).clock_shards(), 1);
+        for shards in 1..=8 {
+            assert!(TmConfig::builder(Algorithm::Norec).clock_shards(shards).build().is_ok());
+        }
     }
 
     #[test]

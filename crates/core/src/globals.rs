@@ -1,12 +1,17 @@
 //! The hybrid protocols' global coordination variables.
 //!
 //! The paper's protocols coordinate through three shared variables (§2.3)
-//! plus the retry policy's serial lock (§3.3). All four live in the
+//! plus the retry policy's serial lock (§3.3). All of them live in the
 //! simulated heap — one per cache line so that subscribing to one never
 //! tracks another — because the hardware fast paths must be able to read
-//! and write them transactionally.
+//! and write them transactionally. The commit clock itself is a
+//! [`ClockScheme`]: the classic single word by default, or per-core
+//! sequence lanes plus a write-phase epoch when `clock_shards > 1`
+//! (DESIGN.md §11).
 
-use sim_mem::{Addr, Heap, WORDS_PER_LINE};
+use sim_mem::{Addr, Heap, LineId, WORDS_PER_LINE};
+
+use crate::clock_shard::{ClockScheme, MAX_CLOCK_SHARDS};
 
 /// Version-clock encoding helpers (lock bit in bit 0, version above it) —
 /// the paper's `is_locked` / `set_lock_bit` / `clear_lock_bit`.
@@ -36,11 +41,23 @@ pub mod clock {
     }
 }
 
+/// Diagnostic labels of the clock lanes, indexed by lane.
+const LANE_NAMES: [&str; MAX_CLOCK_SHARDS] = [
+    "clock_lane_0",
+    "clock_lane_1",
+    "clock_lane_2",
+    "clock_lane_3",
+    "clock_lane_4",
+    "clock_lane_5",
+    "clock_lane_6",
+    "clock_lane_7",
+];
+
 /// Heap addresses of the protocol's global variables.
 #[derive(Clone, Copy, Debug)]
 pub struct Globals {
-    /// The NOrec global clock: version with writer lock bit.
-    pub global_clock: Addr,
+    /// The NOrec commit clock (single word or sharded sequence lanes).
+    pub clock: ClockScheme,
     /// Set to abort all hardware fast paths when a mixed slow path must run
     /// its writes in software.
     pub global_htm_lock: Addr,
@@ -51,31 +68,86 @@ pub struct Globals {
 }
 
 impl Globals {
-    /// Allocates the globals, one per cache line, zero-initialized.
+    /// Allocates the globals, one slot per cache line, zero-initialized.
+    /// `clock_shards == 1` lays out exactly the classic four slots (clock
+    /// word first); `clock_shards > 1` allocates the lane vector first and
+    /// the write-phase epoch last, each on its own line.
     ///
     /// # Panics
     ///
-    /// Panics if the heap cannot satisfy four line-sized allocations.
-    pub fn allocate(heap: &Heap) -> Globals {
+    /// Panics if `clock_shards` is outside `1..=MAX_CLOCK_SHARDS`, or if
+    /// the heap cannot satisfy the line-sized allocations.
+    pub fn allocate(heap: &Heap, clock_shards: u32) -> Globals {
+        assert!(
+            clock_shards >= 1 && clock_shards as usize <= MAX_CLOCK_SHARDS,
+            "clock_shards must be in 1..={MAX_CLOCK_SHARDS}"
+        );
         let alloc = heap.allocator();
         let slot = || {
             alloc
                 .alloc(0, WORDS_PER_LINE)
                 .expect("heap too small for TM globals")
         };
-        Globals {
-            global_clock: slot(),
-            global_htm_lock: slot(),
-            num_of_fallbacks: slot(),
-            serial_lock: slot(),
+        let mut lanes = [Addr::NULL; MAX_CLOCK_SHARDS];
+        for lane in lanes.iter_mut().take(clock_shards as usize) {
+            *lane = slot();
         }
+        let global_htm_lock = slot();
+        let num_of_fallbacks = slot();
+        let serial_lock = slot();
+        let epoch = if clock_shards == 1 { Addr::NULL } else { slot() };
+        let globals = Globals {
+            clock: ClockScheme::new(lanes, clock_shards, epoch),
+            global_htm_lock,
+            num_of_fallbacks,
+            serial_lock,
+        };
+        debug_assert!(
+            globals.false_sharing().is_empty(),
+            "TM globals share a cache line: {:?}",
+            globals.false_sharing()
+        );
+        globals
+    }
+
+    /// Every live protocol slot with a diagnostic label, in allocation
+    /// order.
+    pub fn slots(&self) -> Vec<(&'static str, Addr)> {
+        let mut slots = Vec::with_capacity(self.clock.shards() as usize + 4);
+        for (i, name) in LANE_NAMES.iter().enumerate().take(self.clock.shards() as usize) {
+            slots.push((*name, self.clock.lane(i)));
+        }
+        slots.push(("global_htm_lock", self.global_htm_lock));
+        slots.push(("num_of_fallbacks", self.num_of_fallbacks));
+        slots.push(("serial_lock", self.serial_lock));
+        if let Some(epoch) = self.clock.epoch_addr() {
+            slots.push(("clock_epoch", epoch));
+        }
+        slots
+    }
+
+    /// The false-sharing audit: every pair of protocol slots that lands on
+    /// the same simulated cache line. A well-formed allocation returns an
+    /// empty list — [`Globals::allocate`] asserts it, and the layout test
+    /// checks it for every shard count.
+    pub fn false_sharing(&self) -> Vec<(&'static str, &'static str)> {
+        let slots = self.slots();
+        let mut shared = Vec::new();
+        for i in 0..slots.len() {
+            for j in i + 1..slots.len() {
+                if LineId::containing(slots[i].1) == LineId::containing(slots[j].1) {
+                    shared.push((slots[i].0, slots[j].0));
+                }
+            }
+        }
+        shared
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sim_mem::{HeapConfig, LineId};
+    use sim_mem::HeapConfig;
 
     #[test]
     fn clock_encoding_round_trips() {
@@ -89,20 +161,33 @@ mod tests {
     }
 
     #[test]
-    fn globals_live_on_distinct_lines() {
-        let heap = Heap::new(HeapConfig { words: 1 << 12 });
-        let g = Globals::allocate(&heap);
-        let lines = [
-            LineId::containing(g.global_clock),
-            LineId::containing(g.global_htm_lock),
-            LineId::containing(g.num_of_fallbacks),
-            LineId::containing(g.serial_lock),
-        ];
-        for i in 0..lines.len() {
-            for j in i + 1..lines.len() {
-                assert_ne!(lines[i], lines[j], "globals share a cache line");
-            }
+    fn no_false_sharing_at_any_shard_count() {
+        for shards in 1..=MAX_CLOCK_SHARDS as u32 {
+            let heap = Heap::new(HeapConfig { words: 1 << 12 });
+            let g = Globals::allocate(&heap, shards);
+            assert_eq!(
+                g.false_sharing(),
+                Vec::<(&str, &str)>::new(),
+                "globals share a cache line at clock_shards={shards}"
+            );
+            let expected_slots = shards as usize + if shards == 1 { 3 } else { 4 };
+            assert_eq!(g.slots().len(), expected_slots);
         }
+    }
+
+    #[test]
+    fn single_clock_layout_has_no_epoch() {
+        let heap = Heap::new(HeapConfig { words: 1 << 12 });
+        let g = Globals::allocate(&heap, 1);
+        assert_eq!(g.clock.shards(), 1);
+        assert!(g.clock.epoch_addr().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "clock_shards must be in 1..=")]
+    fn zero_shards_is_rejected() {
+        let heap = Heap::new(HeapConfig { words: 1 << 12 });
+        let _ = Globals::allocate(&heap, 0);
     }
 
     #[test]
@@ -135,22 +220,24 @@ mod tests {
     #[test]
     fn freshly_allocated_globals_read_as_unlocked() {
         let heap = Heap::new(HeapConfig { words: 1 << 12 });
-        let g = Globals::allocate(&heap);
-        assert!(!clock::is_locked(heap.load(g.global_clock)));
+        let g = Globals::allocate(&heap, 1);
+        let word = g.clock.lane(0);
+        assert!(!clock::is_locked(heap.load(word)));
         // A locked clock round-trips through the heap unharmed.
-        heap.store(g.global_clock, clock::set_lock_bit(heap.load(g.global_clock)));
-        assert!(clock::is_locked(heap.load(g.global_clock)));
-        heap.store(g.global_clock, clock::clear_lock_bit(heap.load(g.global_clock)));
-        assert!(!clock::is_locked(heap.load(g.global_clock)));
+        heap.store(word, clock::set_lock_bit(heap.load(word)));
+        assert!(clock::is_locked(heap.load(word)));
+        heap.store(word, clock::clear_lock_bit(heap.load(word)));
+        assert!(!clock::is_locked(heap.load(word)));
     }
 
     #[test]
     fn globals_start_zeroed() {
-        let heap = Heap::new(HeapConfig { words: 1 << 12 });
-        let g = Globals::allocate(&heap);
-        assert_eq!(heap.load(g.global_clock), 0);
-        assert_eq!(heap.load(g.global_htm_lock), 0);
-        assert_eq!(heap.load(g.num_of_fallbacks), 0);
-        assert_eq!(heap.load(g.serial_lock), 0);
+        for shards in [1u32, 4] {
+            let heap = Heap::new(HeapConfig { words: 1 << 12 });
+            let g = Globals::allocate(&heap, shards);
+            for (name, addr) in g.slots() {
+                assert_eq!(heap.load(addr), 0, "{name} not zeroed at clock_shards={shards}");
+            }
+        }
     }
 }

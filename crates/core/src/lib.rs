@@ -46,6 +46,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod algorithms;
+mod clock_shard;
 mod config;
 pub mod cost;
 mod error;
@@ -66,6 +67,7 @@ mod txlog;
 /// so results are never compared across mismatched builds.
 pub const INSTRUMENTED: bool = cfg!(feature = "deterministic");
 
+pub use clock_shard::{ClockScheme, MAX_CLOCK_SHARDS};
 pub use config::{Algorithm, BackoffConfig, PrefixConfig, RetryPolicy, TmConfig, TmConfigBuilder, TxKind};
 pub use error::{TmError, TxFault, TxResult, TxRestart};
 pub use globals::{clock, Globals};

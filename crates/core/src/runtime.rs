@@ -28,6 +28,8 @@ pub struct TmRuntime {
     tl2: Tl2Meta,
     #[cfg(feature = "mutant-postfix-clock")]
     mutant_postfix_clock: std::sync::atomic::AtomicBool,
+    #[cfg(feature = "mutant-stale-lane")]
+    mutant_stale_lane: std::sync::atomic::AtomicBool,
 }
 
 impl TmRuntime {
@@ -43,7 +45,7 @@ impl TmRuntime {
         if !Arc::ptr_eq(htm.heap(), &heap) {
             return Err(TmError::HeapMismatch);
         }
-        let globals = Globals::allocate(&heap);
+        let globals = Globals::allocate(&heap, config.clock_shards);
         Ok(Arc::new(TmRuntime {
             heap,
             htm,
@@ -52,6 +54,8 @@ impl TmRuntime {
             tl2: Tl2Meta::new(),
             #[cfg(feature = "mutant-postfix-clock")]
             mutant_postfix_clock: std::sync::atomic::AtomicBool::new(false),
+            #[cfg(feature = "mutant-stale-lane")]
+            mutant_stale_lane: std::sync::atomic::AtomicBool::new(false),
         }))
     }
 
@@ -68,6 +72,29 @@ impl TmRuntime {
     pub(crate) fn postfix_clock_mutant(&self) -> bool {
         self.mutant_postfix_clock
             .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Arms or disarms the deliberately broken sharded-clock validation
+    /// (the `mutant-stale-lane` feature's mutation under test: the last
+    /// lane's bumps are never revalidated). Off by default even when the
+    /// feature is compiled in; a no-op at `clock_shards == 1`.
+    #[cfg(feature = "mutant-stale-lane")]
+    pub fn set_stale_lane_mutant(&self, on: bool) {
+        self.mutant_stale_lane
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The globals as the software paths should see them this attempt:
+    /// a copy with any armed clock mutations patched in.
+    pub(crate) fn globals_snapshot(&self) -> Globals {
+        #[allow(unused_mut)]
+        let mut globals = self.globals;
+        #[cfg(feature = "mutant-stale-lane")]
+        globals.clock.set_stale_lane(
+            self.mutant_stale_lane
+                .load(std::sync::atomic::Ordering::Relaxed),
+        );
+        globals
     }
 
     /// The heap transactions operate on.

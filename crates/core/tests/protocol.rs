@@ -8,10 +8,21 @@ use sim_htm::{Htm, HtmConfig};
 use sim_mem::{Heap, HeapConfig};
 
 fn runtime(algorithm: Algorithm, htm: HtmConfig) -> (Arc<Heap>, Arc<TmRuntime>) {
+    runtime_with(TmConfig::new(algorithm), htm)
+}
+
+fn runtime_with(config: TmConfig, htm: HtmConfig) -> (Arc<Heap>, Arc<TmRuntime>) {
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
     let device = Htm::new(Arc::clone(&heap), htm);
-    let rt = TmRuntime::new(Arc::clone(&heap), device, TmConfig::new(algorithm)).expect("runtime construction cannot fail");
+    let rt = TmRuntime::new(Arc::clone(&heap), device, config).expect("runtime construction cannot fail");
     (heap, rt)
+}
+
+fn sharded(algorithm: Algorithm, shards: u32) -> TmConfig {
+    TmConfig::builder(algorithm)
+        .clock_shards(shards)
+        .build()
+        .expect("valid shard count")
 }
 
 #[test]
@@ -22,13 +33,13 @@ fn norec_writer_commits_advance_the_clock_by_one_version() {
     let mut w = rt.register(0).expect("fresh thread id");
     for i in 0..5u64 {
         w.execute(TxKind::ReadWrite, |tx| tx.write(a, i));
-        let v = heap.load(g.global_clock);
+        let v = heap.load(g.clock.lane(0));
         assert!(!clock::is_locked(v), "clock left locked");
         assert_eq!(v, (i + 1) * 2, "clock advances by 2 per writer commit");
     }
     // Read-only transactions do not move the clock.
     w.execute(TxKind::ReadOnly, |tx| tx.read(a).map(|_| ()));
-    assert_eq!(heap.load(g.global_clock), 10);
+    assert_eq!(heap.load(g.clock.lane(0)), 10);
 }
 
 #[test]
@@ -43,7 +54,7 @@ fn hybrid_fast_path_skips_clock_update_without_fallbacks() {
         }
         assert_eq!(w.stats().fast_path_commits, 10);
         assert_eq!(
-            heap.load(g.global_clock),
+            heap.load(g.clock.lane(0)),
             0,
             "{alg:?}: no slow path running, so fast-path writers must not touch the clock"
         );
@@ -59,17 +70,17 @@ fn hybrid_fast_path_updates_clock_when_fallbacks_exist() {
         // Pretend another thread sits on the slow path.
         heap.store(g.num_of_fallbacks, 1);
         let mut w = rt.register(0).expect("fresh thread id");
-        let clock_before = heap.load(g.global_clock);
+        let clock_before = heap.load(g.clock.lane(0));
         w.execute(TxKind::ReadWrite, |tx| tx.write(a, 7));
         assert_eq!(w.stats().fast_path_commits, 1);
         assert_eq!(
-            heap.load(g.global_clock),
+            heap.load(g.clock.lane(0)),
             clock_before + 2,
             "{alg:?}: writer fast path must notify slow paths via the clock"
         );
         // Read-only fast paths never do (Algorithm 1 line 25).
         w.execute(TxKind::ReadOnly, |tx| tx.read(a).map(|_| ()));
-        assert_eq!(heap.load(g.global_clock), clock_before + 2);
+        assert_eq!(heap.load(g.clock.lane(0)), clock_before + 2);
     }
 }
 
@@ -88,7 +99,7 @@ fn rh_software_writer_path_raises_and_releases_the_htm_lock() {
     assert!(stats.postfix_attempts >= 1, "postfix must be attempted");
     assert_eq!(stats.postfix_commits, 0, "postfix cannot commit without HTM");
     assert_eq!(heap.load(g.global_htm_lock), 0, "HTM lock leaked");
-    assert!(!clock::is_locked(heap.load(g.global_clock)), "clock lock leaked");
+    assert!(!clock::is_locked(heap.load(g.clock.lane(0))), "clock lock leaked");
     assert_eq!(heap.load(g.num_of_fallbacks), 0, "fallback count leaked");
     assert_eq!(heap.load(a), 3);
 }
@@ -232,6 +243,105 @@ fn lock_elision_serializes_under_fallback_and_releases_the_lock() {
 }
 
 #[test]
+fn sharded_norec_commits_bump_only_the_home_lane() {
+    let (heap, rt) = runtime_with(sharded(Algorithm::Norec, 4), HtmConfig::default());
+    let g = *rt.globals();
+    let a = heap.allocator().alloc(1, 1).unwrap();
+    for tid in 0..3usize {
+        let mut w = rt.register(tid).expect("fresh thread id");
+        w.execute(TxKind::ReadWrite, |tx| tx.write(a, tid as u64));
+        w.execute(TxKind::ReadWrite, |tx| tx.write(a, tid as u64 + 10));
+    }
+    for lane in 0..3 {
+        assert_eq!(heap.load(g.clock.lane(lane)), 4, "two commits per home lane");
+    }
+    assert_eq!(heap.load(g.clock.lane(3)), 0, "unhomed lane untouched");
+    let epoch = g.clock.epoch_addr().expect("sharded clock has an epoch");
+    assert_eq!(heap.load(epoch), 0, "write-phase epoch leaked");
+    // Read-only transactions move nothing.
+    let mut r = rt.register(3).expect("fresh thread id");
+    r.execute(TxKind::ReadOnly, |tx| tx.read(a).map(|_| ()));
+    assert_eq!(g.clock.total_version(&heap), 12);
+}
+
+#[test]
+fn sharded_fast_path_bumps_only_its_home_lane_when_fallbacks_exist() {
+    for alg in [Algorithm::HybridNorec, Algorithm::RhNorec] {
+        let (heap, rt) = runtime_with(sharded(alg, 4), HtmConfig::default());
+        let g = *rt.globals();
+        let a = heap.allocator().alloc(1, 1).unwrap();
+        // Pretend another thread sits on the slow path.
+        heap.store(g.num_of_fallbacks, 1);
+        let mut w = rt.register(1).expect("fresh thread id");
+        w.execute(TxKind::ReadWrite, |tx| tx.write(a, 7));
+        assert_eq!(w.stats().fast_path_commits, 1);
+        assert_eq!(
+            heap.load(g.clock.lane(1)),
+            2,
+            "{alg:?}: writer fast path must bump its home lane"
+        );
+        for lane in [0usize, 2, 3] {
+            assert_eq!(heap.load(g.clock.lane(lane)), 0, "{alg:?}: foreign lane touched");
+        }
+    }
+}
+
+#[test]
+fn sharded_postfix_bumps_its_lane_inside_the_hardware_transaction() {
+    // Pin a fallback announcement AND the serial lock: the writer fast
+    // path reads both at commit and explicitly aborts (LOCK_HELD), while
+    // the postfix — which never reads the serial lock — commits in
+    // hardware. Deterministic: no second thread needed.
+    for shards in [1u32, 4] {
+        let (heap, rt) = runtime_with(
+            sharded(Algorithm::RhNorecPostfixOnly, shards),
+            HtmConfig::default(),
+        );
+        let g = *rt.globals();
+        let alloc = heap.allocator();
+        let a = alloc.alloc(1, 8).unwrap();
+        let b = alloc.alloc(1, 8).unwrap();
+        heap.store(g.num_of_fallbacks, 1);
+        heap.store(g.serial_lock, 1);
+        let mut w = rt.register(0).expect("fresh thread id");
+        w.execute(TxKind::ReadWrite, |tx| {
+            tx.write(a, 5)?;
+            tx.write(b, 6)
+        });
+        let stats = w.stats();
+        assert_eq!(stats.fast_path_commits, 0, "serial lock must divert the fast path");
+        assert_eq!(stats.postfix_commits, 1, "postfix must commit in hardware");
+        assert_eq!(heap.load(g.clock.lane(0)), 2, "postfix bumps tid 0's home lane");
+        if let Some(epoch) = g.clock.epoch_addr() {
+            assert_eq!(heap.load(epoch), 0, "postfix publish leaked the epoch");
+        }
+        assert_eq!(heap.load(g.num_of_fallbacks), 1, "pinned fallback must survive");
+        assert_eq!((heap.load(a), heap.load(b)), (5, 6));
+    }
+}
+
+#[test]
+fn sharded_software_writer_quiesces_all_lanes_via_the_epoch() {
+    // No HTM: the write phase takes the global-HTM-lock route. Sharded,
+    // that path holds the epoch (quiescing every lane) for the whole
+    // write phase, then publishes on the home lane.
+    let (heap, rt) = runtime_with(sharded(Algorithm::RhNorec, 4), HtmConfig::disabled());
+    let g = *rt.globals();
+    let a = heap.allocator().alloc(1, 1).unwrap();
+    let mut w = rt.register(2).expect("fresh thread id");
+    w.execute(TxKind::ReadWrite, |tx| tx.write(a, 3));
+    let stats = w.stats();
+    assert_eq!(stats.slow_path_commits, 1);
+    assert_eq!(stats.postfix_commits, 0, "postfix cannot commit without HTM");
+    assert_eq!(heap.load(g.global_htm_lock), 0, "HTM lock leaked");
+    let epoch = g.clock.epoch_addr().expect("sharded clock has an epoch");
+    assert_eq!(heap.load(epoch), 0, "epoch leaked");
+    assert_eq!(heap.load(g.clock.lane(2)), 2, "home lane published");
+    assert_eq!(heap.load(g.num_of_fallbacks), 0, "fallback count leaked");
+    assert_eq!(heap.load(a), 3);
+}
+
+#[test]
 fn tl2_commits_do_not_touch_the_norec_clock() {
     let (heap, rt) = runtime(Algorithm::Tl2, HtmConfig::default());
     let g = *rt.globals();
@@ -240,6 +350,6 @@ fn tl2_commits_do_not_touch_the_norec_clock() {
     for i in 0..5u64 {
         w.execute(TxKind::ReadWrite, |tx| tx.write(a, i));
     }
-    assert_eq!(heap.load(g.global_clock), 0, "TL2 has per-stripe metadata only");
+    assert_eq!(heap.load(g.clock.lane(0)), 0, "TL2 has per-stripe metadata only");
     assert_eq!(heap.load(a), 4);
 }

@@ -29,13 +29,23 @@ cargo build -p rh-bench --release
 echo "== tests =="
 cargo test -q --workspace
 
-echo "== overhead benchmark smoke (writes BENCH_3.json) =="
+echo "== committed ledger gate (BENCH_3 -> BENCH_4, deterministic) =="
+# Gates on the two *committed* artifacts — byte-stable regardless of CI
+# host load — so a regression in the committed sharded-clock numbers
+# fails the build. Runs before the smoke below, which overwrites the
+# worktree BENCH_4.json with fresh (ungated) numbers.
+cargo run -p rh-bench --release -- diff BENCH_3.json BENCH_4.json --fail
+
+echo "== overhead benchmark smoke (writes BENCH_4.json) =="
 cargo run -p rh-bench --release -- overhead --csv
 
-echo "== bench diff smoke (current vs committed ledger, informative) =="
+echo "== ablation smoke (single vs sharded clock, quick scale) =="
+cargo run -p rh-bench --release -- ablate
+
+echo "== bench diff smoke (fresh run vs committed ledger, informative) =="
 # No --fail: a fresh overhead run on a loaded CI host can wobble past the
-# threshold; the committed BENCH_3.json is the gated artifact.
-cargo run -p rh-bench --release -- diff BENCH_2.json BENCH_3.json
+# threshold; the committed BENCH_4.json (gated above) is the artifact.
+cargo run -p rh-bench --release -- diff BENCH_3.json BENCH_4.json
 
 echo "== deterministic opacity sweep (~1 s per algorithm per HTM config) =="
 for htm in default disabled tiny; do
