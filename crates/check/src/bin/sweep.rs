@@ -3,20 +3,21 @@
 //! ```text
 //! sweep [--algorithm NAME]... [--htm default|disabled|tiny] \
 //!       [--seeds N | --seconds N] [--abort-injection P] \
-//!       [--mutant] [--replay SEED]
+//!       [--mutant NAME] [--replay SEED]
 //! ```
 //!
 //! With no arguments: every algorithm, the default HTM, a one-second
 //! budget per algorithm. Exits nonzero on the first failing schedule,
-//! printing the replay seed.
+//! printing the replay seed and a minimized reproducing schedule.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use rh_norec::mutants::Mutant;
 use rh_norec::Algorithm;
 use sim_htm::sched::SchedConfig;
 use sim_htm::HtmConfig;
-use tm_check::harness::{run_case, CaseConfig};
+use tm_check::harness::{run_case, run_case_minimized, CaseConfig};
 
 const ALGORITHM_NAMES: &[(&str, Algorithm)] = &[
     ("lock_elision", Algorithm::LockElision),
@@ -45,16 +46,20 @@ struct Options {
     seeds: Option<u64>,
     budget: Duration,
     abort_injection: f64,
-    mutant: bool,
+    mutant: Option<Mutant>,
     replay: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--algorithm NAME]... [--htm default|disabled|tiny] \
-         [--seeds N | --seconds N] [--abort-injection P] [--mutant] [--replay SEED]"
+         [--seeds N | --seconds N] [--abort-injection P] [--mutant NAME] [--replay SEED]"
     );
     eprintln!("algorithms: {}", ALGORITHM_NAMES.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", "));
+    eprintln!(
+        "mutants: {}",
+        Mutant::ALL.iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")
+    );
     std::process::exit(2);
 }
 
@@ -74,7 +79,7 @@ fn parse_options() -> Options {
         seeds: None,
         budget: Duration::from_secs(1),
         abort_injection: 0.0,
-        mutant: false,
+        mutant: None,
         replay: None,
     };
     let mut args = std::env::args().skip(1);
@@ -110,7 +115,16 @@ fn parse_options() -> Options {
             "--abort-injection" => {
                 opts.abort_injection = value().parse().unwrap_or_else(|_| usage())
             }
-            "--mutant" => opts.mutant = true,
+            "--mutant" => {
+                let name = value();
+                match Mutant::from_name(&name) {
+                    Some(m) => opts.mutant = Some(m),
+                    None => {
+                        eprintln!("unknown mutant: {name}");
+                        usage();
+                    }
+                }
+            }
             "--replay" => opts.replay = Some(parse_seed(&value()).unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
@@ -136,7 +150,7 @@ fn main() -> ExitCode {
         if let Some(seed) = opts.replay {
             let mut cfg = SchedConfig::from_seed(seed);
             cfg.abort_injection = opts.abort_injection;
-            match run_case(&case, &cfg) {
+            match run_case_minimized(&case, &cfg) {
                 Ok(report) => println!(
                     "{alg:?}/{}: seed {seed:#x} ok ({} events, {} commits, {} decisions)",
                     opts.htm_name,
@@ -166,7 +180,11 @@ fn main() -> ExitCode {
             cfg.abort_injection = opts.abort_injection;
             match run_case(&case, &cfg) {
                 Ok(report) => events += report.history.len(),
-                Err(failure) => break Some(failure),
+                // Re-run minimized: the failure is deterministic, and the
+                // shrink prints a steppable reproducing schedule.
+                Err(failure) => {
+                    break Some(run_case_minimized(&case, &cfg).err().unwrap_or(failure))
+                }
             }
             runs += 1;
             seed += 1;

@@ -1,0 +1,275 @@
+//! `tm-check` — the mutation-score gate over the planted-bug corpus.
+//!
+//! ```text
+//! tm-check list
+//! tm-check mutate [--budget N] [--mutant NAME]...
+//! ```
+//!
+//! `mutate` sweeps every manifest entry (`rh_norec::mutants::MANIFEST`)
+//! through its declared kill recipe: the mutated engine must fail an
+//! oracle (or panic) within the bounded seed budget, and the *same*
+//! engine unmutated must pass every seed of that budget clean. On top of
+//! the per-mutant pairing, all five paper algorithms are swept clean at
+//! clock shards 1 and 4. Any surviving mutant or any clean-engine failure
+//! exits nonzero — the CI gate is a hard 100% kill floor.
+//!
+//! `--budget N` raises the per-mutant seed floor to at least `N` and sets
+//! the clean cross-algorithm sweep to `N` seeds per configuration; each
+//! mutant always gets at least its manifest `seed_budget`.
+
+use std::process::ExitCode;
+
+use rh_norec::mutants::{HtmProfile, Mutant, MutantSpec};
+use rh_norec::Algorithm;
+use sim_htm::sched::SchedConfig;
+use sim_htm::HtmConfig;
+use tm_check::harness::{run_case, run_case_minimized, CaseConfig, CaseFailure};
+
+/// The paper's five algorithms — the clean cross-sweep set.
+const CLEAN_SET: &[Algorithm] = &[
+    Algorithm::LockElision,
+    Algorithm::Norec,
+    Algorithm::Tl2,
+    Algorithm::HybridNorec,
+    Algorithm::RhNorec,
+];
+
+/// Clock shardings the clean cross-sweep covers.
+const CLEAN_SHARDS: &[u32] = &[1, 4];
+
+const DEFAULT_BUDGET: u64 = 40;
+
+fn usage() -> ! {
+    eprintln!("usage: tm-check list");
+    eprintln!("       tm-check mutate [--budget N] [--mutant NAME]...");
+    eprintln!(
+        "mutants: {}",
+        Mutant::ALL.iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn htm_config(profile: HtmProfile) -> HtmConfig {
+    match profile {
+        HtmProfile::Haswell => HtmConfig::default(),
+        HtmProfile::Disabled => HtmConfig::disabled(),
+        HtmProfile::Tiny => HtmConfig::tiny_capacity(),
+    }
+}
+
+fn case_for(spec: &MutantSpec, mutant: Option<Mutant>) -> CaseConfig {
+    CaseConfig {
+        algorithm: spec.algorithm,
+        htm: htm_config(spec.htm),
+        threads: spec.threads,
+        slots: spec.slots,
+        txs_per_thread: spec.txs_per_thread,
+        ops_per_tx: spec.ops_per_tx,
+        clock_shards: spec.clock_shards,
+        mutant,
+        backoff: None,
+    }
+}
+
+fn sched_for(spec: &MutantSpec, seed: u64) -> SchedConfig {
+    let mut cfg = SchedConfig::from_seed(seed);
+    cfg.abort_injection = spec.abort_injection;
+    cfg
+}
+
+/// Outcome of one mutant's kill sweep.
+struct KillRow {
+    spec: &'static MutantSpec,
+    budget: u64,
+    /// `Some` when killed: (killing seed, diagnosis, shrink note).
+    kill: Option<(u64, String, String)>,
+    /// `Some` when the paired clean engine failed: (seed, diagnosis).
+    clean_failure: Option<(u64, String)>,
+}
+
+fn sweep_mutant(spec: &'static MutantSpec, budget: u64) -> KillRow {
+    let mutated = case_for(spec, Some(spec.mutant));
+    let mut kill = None;
+    for seed in 0..budget {
+        let cfg = sched_for(spec, seed);
+        if run_case(&mutated, &cfg).is_err() {
+            // Re-run minimized so the table carries a steppable repro.
+            let failure = run_case_minimized(&mutated, &cfg)
+                .expect_err("deterministic failure must reproduce");
+            let (diagnosis, shrink) = match &failure {
+                CaseFailure::Violation { verdict, shrunk, .. } => (
+                    format!(
+                        "{} @ prefix {}/{}",
+                        verdict.failed_properties(),
+                        verdict.minimal_prefix,
+                        verdict.history_len
+                    ),
+                    match shrunk {
+                        Some(s) => format!("{} decisions -> {} events", s.guided.len(), s.events),
+                        None => "-".to_string(),
+                    },
+                ),
+                CaseFailure::Panicked { message, .. } => {
+                    (format!("panic: {}", first_line(message)), "-".to_string())
+                }
+            };
+            kill = Some((seed, diagnosis, shrink));
+            break;
+        }
+    }
+
+    // The paired clean engine must pass the *entire* budget: a recipe
+    // that also kills the real engine proves nothing about the mutant.
+    let clean = case_for(spec, None);
+    let mut clean_failure = None;
+    for seed in 0..budget {
+        if let Err(failure) = run_case(&clean, &sched_for(spec, seed)) {
+            clean_failure = Some((seed, first_line(&failure.to_string()).to_string()));
+            break;
+        }
+    }
+
+    KillRow { spec, budget, kill, clean_failure }
+}
+
+fn first_line(s: &str) -> &str {
+    s.lines().next().unwrap_or(s)
+}
+
+fn cmd_list() -> ExitCode {
+    println!("{} corpus mutants:", Mutant::ALL.len());
+    for m in Mutant::ALL {
+        let s = m.spec();
+        println!(
+            "  {:<24} {:?} ({:?}, shards {}, inject {}, budget {})",
+            s.name, s.algorithm, s.htm, s.clock_shards, s.abort_injection, s.seed_budget
+        );
+        println!("    bug:   {}", s.summary);
+        println!("    kill:  {}", s.kills_via);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_mutate(budget_floor: u64, selected: Vec<Mutant>) -> ExitCode {
+    let full_corpus = selected.len() == Mutant::ALL.len();
+    let mut rows = Vec::new();
+    for m in selected {
+        let spec = m.spec();
+        let budget = spec.seed_budget.max(budget_floor);
+        let row = sweep_mutant(spec, budget);
+        match &row.kill {
+            Some((seed, diagnosis, _)) => {
+                println!("mutant {:<24} killed @ seed {seed} ({diagnosis})", spec.name)
+            }
+            None => println!("mutant {:<24} SURVIVED {budget} seeds", spec.name),
+        }
+        rows.push(row);
+    }
+
+    println!();
+    println!(
+        "{:<24} {:<18} {:>6} {:>9} {:<34} {:<28} clean pair",
+        "mutant", "algorithm", "budget", "killed@", "diagnosis", "shrunk repro"
+    );
+    let mut killed = 0usize;
+    let mut clean_ok = true;
+    for row in &rows {
+        let (killed_at, diagnosis, shrink) = match &row.kill {
+            Some((seed, d, s)) => {
+                killed += 1;
+                (seed.to_string(), d.clone(), s.clone())
+            }
+            None => ("-".to_string(), "SURVIVED".to_string(), "-".to_string()),
+        };
+        let clean = match &row.clean_failure {
+            None => "pass".to_string(),
+            Some((seed, d)) => {
+                clean_ok = false;
+                format!("FAIL @ seed {seed}: {d}")
+            }
+        };
+        println!(
+            "{:<24} {:<18} {:>6} {:>9} {:<34} {:<28} {}",
+            row.spec.name,
+            format!("{:?}", row.spec.algorithm),
+            row.budget,
+            killed_at,
+            diagnosis,
+            shrink,
+            clean
+        );
+    }
+    println!();
+    println!("mutation score: {killed}/{} killed", rows.len());
+
+    // Cross-algorithm clean gate: every paper algorithm, both clock
+    // shardings, must pass the full seed budget under both oracles.
+    let mut cross_ok = true;
+    if full_corpus {
+        let seeds = budget_floor.max(DEFAULT_BUDGET);
+        for &alg in CLEAN_SET {
+            for &shards in CLEAN_SHARDS {
+                let mut case = CaseConfig::contended(alg, HtmConfig::default());
+                case.clock_shards = shards;
+                let failure = (0..seeds)
+                    .find_map(|seed| run_case(&case, &SchedConfig::from_seed(seed)).err());
+                match failure {
+                    None => println!("clean {alg:?} shards={shards}: {seeds} seeds pass"),
+                    Some(f) => {
+                        println!("clean {alg:?} shards={shards}: FAILED: {f}");
+                        cross_ok = false;
+                    }
+                }
+            }
+        }
+    }
+
+    let all_killed = killed == rows.len();
+    if !all_killed {
+        eprintln!("FAIL: {} mutant(s) survived the budget", rows.len() - killed);
+    }
+    if !clean_ok {
+        eprintln!("FAIL: a clean paired engine failed its mutant's kill recipe");
+    }
+    if !cross_ok {
+        eprintln!("FAIL: a real engine failed the cross-algorithm clean sweep");
+    }
+    if all_killed && clean_ok && cross_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("list") => cmd_list(),
+        Some("mutate") => {
+            let mut budget = DEFAULT_BUDGET;
+            let mut selected: Vec<Mutant> = Vec::new();
+            while let Some(arg) = args.next() {
+                let mut value = || args.next().unwrap_or_else(|| usage());
+                match arg.as_str() {
+                    "--budget" => budget = value().parse().unwrap_or_else(|_| usage()),
+                    "--mutant" => {
+                        let name = value();
+                        match Mutant::from_name(&name) {
+                            Some(m) => selected.push(m),
+                            None => {
+                                eprintln!("unknown mutant: {name}");
+                                usage();
+                            }
+                        }
+                    }
+                    _ => usage(),
+                }
+            }
+            if selected.is_empty() {
+                selected = Mutant::ALL.to_vec();
+            }
+            cmd_mutate(budget, selected)
+        }
+        _ => usage(),
+    }
+}

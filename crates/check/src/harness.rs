@@ -18,7 +18,9 @@ use sim_htm::sched::{self, RunResult, SchedConfig};
 use sim_htm::{Htm, HtmConfig};
 use sim_mem::{Addr, Heap, HeapConfig};
 
-use crate::opacity::{self, Summary};
+use crate::opacity::Summary;
+use crate::shrink::{self, Shrunk};
+use crate::verdict::{self, Verdict};
 use crate::Recorder;
 
 /// One checked workload: algorithm, machine, and workload shape.
@@ -40,13 +42,10 @@ pub struct CaseConfig {
     /// `1` is the classic single-word clock; larger values exercise the
     /// sharded lane-vector protocol under the same seeded schedules.
     pub clock_shards: u32,
-    /// Arms the deliberately broken RH NOrec first-write protocol
-    /// (`mutant-postfix-clock`), for the checker's mutation test.
-    pub mutant: bool,
-    /// Arms the deliberately broken sharded-clock validation
-    /// (`mutant-stale-lane`): readers skip revalidating the last lane, so
-    /// commits homed there go unseen. Meaningless at `clock_shards = 1`.
-    pub stale_lane: bool,
+    /// Arms one deliberately planted protocol bug from the mutation
+    /// corpus (`rh_norec::mutants`); `None` runs the real engine. The
+    /// `tm-check mutate` gate runs every manifest entry through this.
+    pub mutant: Option<rh_norec::mutants::Mutant>,
     /// Overrides the runtime's contention-backoff configuration
     /// (`None` keeps [`TmConfig`] defaults). Backoff draws only from its
     /// seeded PRNG and never paces the deterministic scheduler, so any
@@ -67,38 +66,46 @@ impl CaseConfig {
             txs_per_thread: 4,
             ops_per_tx: 3,
             clock_shards: 1,
-            mutant: false,
-            stale_lane: false,
+            mutant: None,
             backoff: None,
         }
     }
 }
 
 /// A passing run: the full event history, the schedule's decision log
-/// (for exploration), and what the checker verified.
+/// (for exploration), and what both oracles verified.
 #[derive(Debug)]
 pub struct CaseReport {
     /// The recorded global event history.
     pub history: Vec<trace::Event>,
     /// Scheduler decisions and step count of the run.
     pub run: RunResult,
-    /// Checker statistics.
+    /// Opacity-oracle statistics.
     pub summary: Summary,
+    /// Strict-serializability-oracle statistics.
+    pub serializability: Summary,
 }
 
 /// A failing run, carrying everything needed to reproduce it.
 #[derive(Debug)]
 pub enum CaseFailure {
-    /// The history checker rejected the run.
-    Opacity {
+    /// The oracles rejected the run's history.
+    Violation {
         /// The run's schedule seed.
         seed: u64,
         /// Guided choice list, when the schedule came from the explorer.
         guided: Option<Vec<usize>>,
-        /// The checker's diagnosis.
-        violation: opacity::Violation,
+        /// The combined oracles' diagnosis: which properties failed and
+        /// the minimal failing event prefix.
+        verdict: Verdict,
         /// The offending history, for inspection.
         history: Vec<trace::Event>,
+        /// The failing run's full scheduler decision log — the input to
+        /// [`crate::shrink::minimize`].
+        decisions: Vec<sched::Decision>,
+        /// Minimized reproduction, when the caller ran one (see
+        /// [`run_case_minimized`]; [`run_case`] leaves this `None`).
+        shrunk: Option<Shrunk>,
     },
     /// A virtual thread panicked (an assertion inside an algorithm, or a
     /// workload invariant).
@@ -116,7 +123,7 @@ impl CaseFailure {
     /// The schedule seed that reproduces this failure.
     pub fn seed(&self) -> u64 {
         match self {
-            CaseFailure::Opacity { seed, .. } | CaseFailure::Panicked { seed, .. } => *seed,
+            CaseFailure::Violation { seed, .. } | CaseFailure::Panicked { seed, .. } => *seed,
         }
     }
 }
@@ -124,14 +131,22 @@ impl CaseFailure {
 impl fmt::Display for CaseFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CaseFailure::Opacity { seed, guided, violation, history } => {
+            CaseFailure::Violation { seed, guided, verdict, history, shrunk, .. } => {
                 write!(
                     f,
-                    "{violation} (history of {} events); replay with seed {seed:#x}",
+                    "{verdict} (history of {} events); replay with seed {seed:#x}",
                     history.len()
                 )?;
                 if let Some(g) = guided {
                     write!(f, " guided {g:?}")?;
+                }
+                if let Some(s) = shrunk {
+                    write!(
+                        f,
+                        "; shortest reproducing schedule: {} guided decisions -> {} events",
+                        s.guided.len(),
+                        s.events
+                    )?;
                 }
                 Ok(())
             }
@@ -215,11 +230,10 @@ pub fn run_case(case: &CaseConfig, sched_cfg: &SchedConfig) -> Result<CaseReport
     let tm_cfg = builder.build().expect("harness case config must be valid");
     let rt = TmRuntime::new(Arc::clone(&heap), htm, tm_cfg)
         .expect("harness runtime construction cannot fail");
-    if case.mutant {
-        rt.set_postfix_clock_mutant(true);
-    }
-    if case.stale_lane {
-        rt.set_stale_lane_mutant(true);
+    // Arm before any worker registers: some mutants (bloom sabotage) are
+    // sampled at registration time.
+    if let Some(mutant) = case.mutant {
+        rt.set_mutant(mutant, true);
     }
 
     let alloc = heap.allocator();
@@ -282,14 +296,44 @@ pub fn run_case(case: &CaseConfig, sched_cfg: &SchedConfig) -> Result<CaseReport
     };
 
     let history = recorder.take();
-    match opacity::check(&initial, &history) {
-        Ok(summary) => Ok(CaseReport { history, run, summary }),
-        Err(violation) => Err(CaseFailure::Opacity {
+    match verdict::judge(&initial, &history) {
+        Ok(judgement) => Ok(CaseReport {
+            history,
+            run,
+            summary: judgement.opacity,
+            serializability: judgement.serializability,
+        }),
+        Err(verdict) => Err(CaseFailure::Violation {
             seed: sched_cfg.seed,
             guided: sched_cfg.guided.clone(),
-            violation,
+            verdict,
             history,
+            decisions: run.decisions,
+            shrunk: None,
         }),
+    }
+}
+
+/// [`run_case`], plus failure minimization: a [`CaseFailure::Violation`]
+/// comes back with its [`Shrunk`] reproduction attached (when the shrink
+/// reproduces — it replays the run's own decision log, so it practically
+/// always does). Panics carry no decision log to shrink and are returned
+/// unchanged.
+///
+/// # Errors
+///
+/// Same conditions as [`run_case`].
+pub fn run_case_minimized(
+    case: &CaseConfig,
+    sched_cfg: &SchedConfig,
+) -> Result<CaseReport, CaseFailure> {
+    match run_case(case, sched_cfg) {
+        Err(CaseFailure::Violation { seed, guided, verdict, history, decisions, .. }) => {
+            let chosen: Vec<usize> = decisions.iter().map(|d| d.chosen).collect();
+            let shrunk = shrink::minimize(case, sched_cfg, &chosen);
+            Err(CaseFailure::Violation { seed, guided, verdict, history, decisions, shrunk })
+        }
+        other => other,
     }
 }
 

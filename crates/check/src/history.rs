@@ -1,0 +1,341 @@
+//! The shared history-checker core behind both oracles.
+//!
+//! [`crate::opacity`] and [`crate::serializability`] are the same
+//! state-replay engine run under two [`Property`] settings: opacity checks
+//! the reads of **every** attempt (committed or aborted) against the
+//! committed-writer state sequence, while strict serializability constrains
+//! committed transactions only. Keeping one engine means a history that
+//! fails both properties fails them for comparable, diffable reasons, and
+//! [`crate::verdict::judge`] can report exactly which rung of the hierarchy
+//! broke.
+//!
+//! The engine exploits the recorder's guarantee that commit events are
+//! recorded at their publication point with no yield in between: the order
+//! of `Commit` events *is* the serialization order, so no permutation
+//! search is needed (see the module docs of [`crate::opacity`]).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rh_norec::trace::{Event, EventKind, Path};
+
+/// The safety property a checker verdict refers to.
+///
+/// Opacity strictly implies strict serializability, so the pair orders
+/// into a hierarchy: a history failing serializability also fails opacity,
+/// while a zombie read fails opacity alone. Which rung breaks is the
+/// diagnostic — a serializability failure means committed results are
+/// wrong; an opacity-only failure means aborted attempts saw impossible
+/// states (dangerous in unmanaged languages, and exactly what the paper's
+/// §4 safety argument rules out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// Every attempt — committed or aborted — observed consistent states.
+    Opacity,
+    /// Committed transactions form one sequential history consistent with
+    /// real-time order; aborted attempts are unconstrained.
+    Serializability,
+}
+
+impl Property {
+    /// Lower-case name, as printed in verdicts and kill tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Property::Opacity => "opacity",
+            Property::Serializability => "serializability",
+        }
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a history fails a [`Property`].
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The property the history fails.
+    pub property: Property,
+    /// Virtual thread of the offending attempt.
+    pub vtid: usize,
+    /// Position of the attempt's `Begin` in the history.
+    pub begin_pos: usize,
+    /// Whether the offending attempt committed.
+    pub committed: bool,
+    /// Path the attempt ran on.
+    pub path: Path,
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} violation: {} {:?}-path attempt of vthread {} (begin at event {}): {}",
+            self.property,
+            if self.committed { "committed" } else { "aborted" },
+            self.path,
+            self.vtid,
+            self.begin_pos,
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// What a successful check verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Total attempts (committed + aborted) in the history.
+    pub attempts: usize,
+    /// Committed attempts.
+    pub commits: usize,
+    /// Committed attempts that wrote (these advance the state).
+    pub writer_commits: usize,
+    /// Aborted attempts in the history (their reads are checked under
+    /// [`Property::Opacity`], unconstrained under
+    /// [`Property::Serializability`]).
+    pub aborts: usize,
+}
+
+#[derive(Debug)]
+struct Attempt {
+    vtid: usize,
+    path: Path,
+    begin_pos: usize,
+    /// Position of Commit/Abort; `history.len()` if never terminated.
+    end_pos: usize,
+    committed: bool,
+    /// (position, addr, value) of reads, in program order.
+    reads: Vec<(usize, u64, u64)>,
+    /// (position, addr, value) of writes, in program order.
+    writes: Vec<(usize, u64, u64)>,
+}
+
+/// Checks `history` for `property` against `initial` memory contents.
+///
+/// `initial` maps heap addresses (word form) to their contents at the
+/// start of the run; addresses absent from the map are taken to be zero
+/// (the simulated allocator hands out zeroed blocks).
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+pub fn check_history(
+    initial: &HashMap<u64, u64>,
+    history: &[Event],
+    property: Property,
+) -> Result<Summary, Violation> {
+    let attempts = collect_attempts(history, property)?;
+
+    // The committed writers in commit order define the state sequence:
+    // states[j] = initial ⊕ writers[0..j]. Addresses absent everywhere
+    // read as zero.
+    let mut writer_commit_positions: Vec<usize> = Vec::new();
+    let mut states: Vec<HashMap<u64, u64>> = vec![initial.clone()];
+    let mut ordered: Vec<&Attempt> = attempts
+        .iter()
+        .filter(|a| a.committed && !a.writes.is_empty())
+        .collect();
+    ordered.sort_by_key(|a| a.end_pos);
+    for writer in &ordered {
+        let mut next = states.last().expect("states never empty").clone();
+        for &(_, addr, value) in &writer.writes {
+            next.insert(addr, value);
+        }
+        states.push(next);
+        writer_commit_positions.push(writer.end_pos);
+    }
+    let writers_before = |pos: usize| writer_commit_positions.partition_point(|&p| p < pos);
+
+    for attempt in &attempts {
+        if !attempt.committed && property == Property::Serializability {
+            // Serializability says nothing about what aborted attempts
+            // observed; only the committed history must linearize.
+            continue;
+        }
+        if attempt.committed && !attempt.writes.is_empty() {
+            // A committed writer serializes exactly at its commit event.
+            let m = writers_before(attempt.end_pos);
+            check_reads_against(attempt, &states[m], m, property)?;
+        } else {
+            // Committed read-only transactions and aborted attempts may
+            // serialize anywhere inside their real-time window.
+            let lo = writers_before(attempt.begin_pos);
+            let hi = writers_before(attempt.end_pos);
+            let mut last_err = None;
+            let mut satisfied = false;
+            for (j, state) in states.iter().enumerate().take(hi + 1).skip(lo) {
+                match check_reads_against(attempt, state, j, property) {
+                    Ok(()) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if !satisfied {
+                let e = last_err.expect("lo..=hi is never empty");
+                return Err(Violation {
+                    detail: format!(
+                        "no state in its window (after {lo}..={hi} writer commits) \
+                         explains its reads; closest mismatch: {}",
+                        e.detail
+                    ),
+                    ..e
+                });
+            }
+        }
+    }
+
+    Ok(Summary {
+        attempts: attempts.len(),
+        commits: attempts.iter().filter(|a| a.committed).count(),
+        writer_commits: ordered.len(),
+        aborts: attempts.iter().filter(|a| !a.committed).count(),
+    })
+}
+
+/// Verifies every read of `attempt` against `state` (the history state
+/// after `j` writer commits), overlaying the attempt's own earlier
+/// writes in program order.
+fn check_reads_against(
+    attempt: &Attempt,
+    state: &HashMap<u64, u64>,
+    j: usize,
+    property: Property,
+) -> Result<(), Violation> {
+    let mut overlay: HashMap<u64, u64> = HashMap::new();
+    let mut writes = attempt.writes.iter().peekable();
+    for &(pos, addr, value) in &attempt.reads {
+        // Both lists are in program order; fold in every own write that
+        // precedes this read before judging it.
+        while let Some(&&(wpos, waddr, wvalue)) = writes.peek() {
+            if wpos > pos {
+                break;
+            }
+            overlay.insert(waddr, wvalue);
+            writes.next();
+        }
+        if let Some(&own) = overlay.get(&addr) {
+            if value != own {
+                return Err(violation(
+                    attempt,
+                    property,
+                    format!(
+                        "read of {addr:#x} returned {value}, but the attempt itself \
+                         last wrote {own} (read-your-own-writes broken)"
+                    ),
+                ));
+            }
+            continue;
+        }
+        let expected = state.get(&addr).copied().unwrap_or(0);
+        if value != expected {
+            return Err(violation(
+                attempt,
+                property,
+                format!(
+                    "read of {addr:#x} returned {value}, but the state after \
+                     {j} writer commits holds {expected}"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn violation(attempt: &Attempt, property: Property, detail: String) -> Violation {
+    Violation {
+        property,
+        vtid: attempt.vtid,
+        begin_pos: attempt.begin_pos,
+        committed: attempt.committed,
+        path: attempt.path,
+        detail,
+    }
+}
+
+/// Splits the history into per-attempt records, enforcing that each
+/// thread's events form well-nested Begin … Commit/Abort attempts.
+fn collect_attempts(history: &[Event], property: Property) -> Result<Vec<Attempt>, Violation> {
+    let mut open: HashMap<usize, Attempt> = HashMap::new();
+    let mut done: Vec<Attempt> = Vec::new();
+    for (pos, event) in history.iter().enumerate() {
+        match event.kind {
+            EventKind::Begin { path } => {
+                if let Some(prev) = open.remove(&event.vtid) {
+                    return Err(Violation {
+                        property,
+                        vtid: event.vtid,
+                        begin_pos: prev.begin_pos,
+                        committed: false,
+                        path: prev.path,
+                        detail: format!(
+                            "attempt still open when a new attempt began at event {pos} \
+                             (instrumentation bug: missing Commit/Abort)"
+                        ),
+                    });
+                }
+                open.insert(
+                    event.vtid,
+                    Attempt {
+                        vtid: event.vtid,
+                        path,
+                        begin_pos: pos,
+                        end_pos: history.len(),
+                        committed: false,
+                        reads: Vec::new(),
+                        writes: Vec::new(),
+                    },
+                );
+            }
+            EventKind::Read { addr, value } => {
+                if let Some(a) = open.get_mut(&event.vtid) {
+                    a.reads.push((pos, addr, value));
+                }
+            }
+            EventKind::Write { addr, value } => {
+                if let Some(a) = open.get_mut(&event.vtid) {
+                    a.writes.push((pos, addr, value));
+                }
+            }
+            EventKind::Commit { path } => {
+                let Some(mut a) = open.remove(&event.vtid) else {
+                    return Err(stray(event.vtid, pos, "Commit", property));
+                };
+                a.end_pos = pos;
+                a.committed = true;
+                a.path = path;
+                done.push(a);
+            }
+            EventKind::Abort => {
+                let Some(mut a) = open.remove(&event.vtid) else {
+                    return Err(stray(event.vtid, pos, "Abort", property));
+                };
+                a.end_pos = pos;
+                done.push(a);
+            }
+        }
+    }
+    // Attempts cut off by the end of the run (e.g. a panicking thread)
+    // are treated as aborted with a window extending to the history end.
+    done.extend(open.into_values());
+    done.sort_by_key(|a| a.begin_pos);
+    Ok(done)
+}
+
+fn stray(vtid: usize, pos: usize, what: &str, property: Property) -> Violation {
+    Violation {
+        property,
+        vtid,
+        begin_pos: pos,
+        committed: false,
+        path: Path::Stm,
+        detail: format!("{what} at event {pos} without an open attempt (instrumentation bug)"),
+    }
+}

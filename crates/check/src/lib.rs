@@ -12,24 +12,41 @@
 //!   across all paths (hardware fast path, mixed slow path, software,
 //!   serial), lands in one global event log whose order is the real-time
 //!   order;
-//! * the **opacity checker** ([`opacity`]): replays the committed
+//! * the **oracles**: the [`opacity`] checker replays the committed
 //!   transactions in commit order and verifies that a single sequential
 //!   history explains every read — including the reads of aborted
 //!   attempts, which is the part of opacity plain linearizability checks
-//!   miss, and exactly the property §4 of the paper proves for RH NOrec.
+//!   miss, and exactly the property §4 of the paper proves for RH NOrec;
+//!   [`serializability`] is the weaker rung constraining committed
+//!   transactions only, and [`verdict::judge`] runs both, reporting which
+//!   property failed together with a bisected minimal failing prefix.
 //!
-//! [`harness`] glues the three together: seeded workloads over the five
+//! [`harness`] glues the pieces together: seeded workloads over the five
 //! paper algorithms, a one-call [`harness::run_case`], and a bounded
 //! depth-first schedule explorer in [`explore`]. A failing case prints
 //! its replay seed; rerunning with the same seed reproduces the event
-//! history byte for byte.
+//! history byte for byte, and [`shrink::minimize`] binary-searches the
+//! schedule's decision prefix for the shortest reproducing history.
+//!
+//! On top of the oracles sits a mutation corpus (`rh_norec::mutants`,
+//! behind the `mutants` feature): deliberately planted protocol bugs that
+//! the `tm-check mutate` gate must kill within a bounded seed budget.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// `CaseFailure` deliberately carries the whole diagnosis — verdict,
+// history, decision log, shrunk repro — because a failure is terminal
+// diagnostic output, constructed once on the cold path; boxing it would
+// tax every consumer's pattern match for a size nobody pays in the loop.
+#![allow(clippy::result_large_err)]
 
 pub mod explore;
 pub mod harness;
+mod history;
 pub mod opacity;
+pub mod serializability;
+pub mod shrink;
+pub mod verdict;
 
 mod recorder;
 

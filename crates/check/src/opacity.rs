@@ -24,69 +24,17 @@
 //!   inside their real-time window).
 //! * Reads covered by the attempt's own earlier writes must return the
 //!   written value (read-your-own-writes).
+//!
+//! The engine itself lives in [`crate::history`], shared with the weaker
+//! [`crate::serializability`] oracle; [`crate::verdict::judge`] runs both
+//! and reports which property failed.
 
 use std::collections::HashMap;
-use std::fmt;
 
-use rh_norec::trace::{Event, EventKind, Path};
+use rh_norec::trace::Event;
 
-/// Why a history is not opaque.
-#[derive(Debug, Clone)]
-pub struct Violation {
-    /// Virtual thread of the offending attempt.
-    pub vtid: usize,
-    /// Position of the attempt's `Begin` in the history.
-    pub begin_pos: usize,
-    /// Whether the offending attempt committed.
-    pub committed: bool,
-    /// Path the attempt ran on.
-    pub path: Path,
-    /// Human-readable diagnosis.
-    pub detail: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "opacity violation: {} {:?}-path attempt of vthread {} (begin at event {}): {}",
-            if self.committed { "committed" } else { "aborted" },
-            self.path,
-            self.vtid,
-            self.begin_pos,
-            self.detail
-        )
-    }
-}
-
-impl std::error::Error for Violation {}
-
-/// What a successful check verified.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Summary {
-    /// Total attempts (committed + aborted) in the history.
-    pub attempts: usize,
-    /// Committed attempts.
-    pub commits: usize,
-    /// Committed attempts that wrote (these advance the state).
-    pub writer_commits: usize,
-    /// Aborted attempts whose reads were nevertheless checked.
-    pub aborts: usize,
-}
-
-#[derive(Debug)]
-struct Attempt {
-    vtid: usize,
-    path: Path,
-    begin_pos: usize,
-    /// Position of Commit/Abort; `history.len()` if never terminated.
-    end_pos: usize,
-    committed: bool,
-    /// (position, addr, value) of reads, in program order.
-    reads: Vec<(usize, u64, u64)>,
-    /// (position, addr, value) of writes, in program order.
-    writes: Vec<(usize, u64, u64)>,
-}
+use crate::history::{check_history, Property};
+pub use crate::history::{Summary, Violation};
 
 /// Checks `history` for opacity against `initial` memory contents.
 ///
@@ -98,209 +46,13 @@ struct Attempt {
 ///
 /// Returns the first [`Violation`] found.
 pub fn check(initial: &HashMap<u64, u64>, history: &[Event]) -> Result<Summary, Violation> {
-    let attempts = collect_attempts(history)?;
-
-    // The committed writers in commit order define the state sequence:
-    // states[j] = initial ⊕ writers[0..j]. Addresses absent everywhere
-    // read as zero.
-    let mut writer_commit_positions: Vec<usize> = Vec::new();
-    let mut states: Vec<HashMap<u64, u64>> = vec![initial.clone()];
-    let mut ordered: Vec<&Attempt> = attempts
-        .iter()
-        .filter(|a| a.committed && !a.writes.is_empty())
-        .collect();
-    ordered.sort_by_key(|a| a.end_pos);
-    for writer in &ordered {
-        let mut next = states.last().expect("states never empty").clone();
-        for &(_, addr, value) in &writer.writes {
-            next.insert(addr, value);
-        }
-        states.push(next);
-        writer_commit_positions.push(writer.end_pos);
-    }
-    let writers_before = |pos: usize| writer_commit_positions.partition_point(|&p| p < pos);
-
-    for attempt in &attempts {
-        if attempt.committed && !attempt.writes.is_empty() {
-            // A committed writer serializes exactly at its commit event.
-            let m = writers_before(attempt.end_pos);
-            check_reads_against(attempt, &states[m], m)?;
-        } else {
-            // Committed read-only transactions and aborted attempts may
-            // serialize anywhere inside their real-time window.
-            let lo = writers_before(attempt.begin_pos);
-            let hi = writers_before(attempt.end_pos);
-            let mut last_err = None;
-            let mut satisfied = false;
-            for (j, state) in states.iter().enumerate().take(hi + 1).skip(lo) {
-                match check_reads_against(attempt, state, j) {
-                    Ok(()) => {
-                        satisfied = true;
-                        break;
-                    }
-                    Err(e) => last_err = Some(e),
-                }
-            }
-            if !satisfied {
-                let e = last_err.expect("lo..=hi is never empty");
-                return Err(Violation {
-                    detail: format!(
-                        "no state in its window (after {lo}..={hi} writer commits) \
-                         explains its reads; closest mismatch: {}",
-                        e.detail
-                    ),
-                    ..e
-                });
-            }
-        }
-    }
-
-    Ok(Summary {
-        attempts: attempts.len(),
-        commits: attempts.iter().filter(|a| a.committed).count(),
-        writer_commits: ordered.len(),
-        aborts: attempts.iter().filter(|a| !a.committed).count(),
-    })
-}
-
-/// Verifies every read of `attempt` against `state` (the history state
-/// after `j` writer commits), overlaying the attempt's own earlier
-/// writes in program order.
-fn check_reads_against(
-    attempt: &Attempt,
-    state: &HashMap<u64, u64>,
-    j: usize,
-) -> Result<(), Violation> {
-    let mut overlay: HashMap<u64, u64> = HashMap::new();
-    let mut writes = attempt.writes.iter().peekable();
-    for &(pos, addr, value) in &attempt.reads {
-        // Both lists are in program order; fold in every own write that
-        // precedes this read before judging it.
-        while let Some(&&(wpos, waddr, wvalue)) = writes.peek() {
-            if wpos > pos {
-                break;
-            }
-            overlay.insert(waddr, wvalue);
-            writes.next();
-        }
-        if let Some(&own) = overlay.get(&addr) {
-            if value != own {
-                return Err(violation(
-                    attempt,
-                    format!(
-                        "read of {addr:#x} returned {value}, but the attempt itself \
-                         last wrote {own} (read-your-own-writes broken)"
-                    ),
-                ));
-            }
-            continue;
-        }
-        let expected = state.get(&addr).copied().unwrap_or(0);
-        if value != expected {
-            return Err(violation(
-                attempt,
-                format!(
-                    "read of {addr:#x} returned {value}, but the state after \
-                     {j} writer commits holds {expected}"
-                ),
-            ));
-        }
-    }
-    Ok(())
-}
-
-fn violation(attempt: &Attempt, detail: String) -> Violation {
-    Violation {
-        vtid: attempt.vtid,
-        begin_pos: attempt.begin_pos,
-        committed: attempt.committed,
-        path: attempt.path,
-        detail,
-    }
-}
-
-/// Splits the history into per-attempt records, enforcing that each
-/// thread's events form well-nested Begin … Commit/Abort attempts.
-fn collect_attempts(history: &[Event]) -> Result<Vec<Attempt>, Violation> {
-    let mut open: HashMap<usize, Attempt> = HashMap::new();
-    let mut done: Vec<Attempt> = Vec::new();
-    for (pos, event) in history.iter().enumerate() {
-        match event.kind {
-            EventKind::Begin { path } => {
-                if let Some(prev) = open.remove(&event.vtid) {
-                    return Err(Violation {
-                        vtid: event.vtid,
-                        begin_pos: prev.begin_pos,
-                        committed: false,
-                        path: prev.path,
-                        detail: format!(
-                            "attempt still open when a new attempt began at event {pos} \
-                             (instrumentation bug: missing Commit/Abort)"
-                        ),
-                    });
-                }
-                open.insert(
-                    event.vtid,
-                    Attempt {
-                        vtid: event.vtid,
-                        path,
-                        begin_pos: pos,
-                        end_pos: history.len(),
-                        committed: false,
-                        reads: Vec::new(),
-                        writes: Vec::new(),
-                    },
-                );
-            }
-            EventKind::Read { addr, value } => {
-                if let Some(a) = open.get_mut(&event.vtid) {
-                    a.reads.push((pos, addr, value));
-                }
-            }
-            EventKind::Write { addr, value } => {
-                if let Some(a) = open.get_mut(&event.vtid) {
-                    a.writes.push((pos, addr, value));
-                }
-            }
-            EventKind::Commit { path } => {
-                let Some(mut a) = open.remove(&event.vtid) else {
-                    return Err(stray(event.vtid, pos, "Commit"));
-                };
-                a.end_pos = pos;
-                a.committed = true;
-                a.path = path;
-                done.push(a);
-            }
-            EventKind::Abort => {
-                let Some(mut a) = open.remove(&event.vtid) else {
-                    return Err(stray(event.vtid, pos, "Abort"));
-                };
-                a.end_pos = pos;
-                done.push(a);
-            }
-        }
-    }
-    // Attempts cut off by the end of the run (e.g. a panicking thread)
-    // are treated as aborted with a window extending to the history end.
-    done.extend(open.into_values());
-    done.sort_by_key(|a| a.begin_pos);
-    Ok(done)
-}
-
-fn stray(vtid: usize, pos: usize, what: &str) -> Violation {
-    Violation {
-        vtid,
-        begin_pos: pos,
-        committed: false,
-        path: Path::Stm,
-        detail: format!("{what} at event {pos} without an open attempt (instrumentation bug)"),
-    }
+    check_history(initial, history, Property::Opacity)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rh_norec::trace::Path;
+    use rh_norec::trace::{EventKind, Path};
 
     fn ev(vtid: usize, kind: EventKind) -> Event {
         Event { vtid, kind }
@@ -375,6 +127,7 @@ mod tests {
         let err = check(&HashMap::new(), &h).unwrap_err();
         assert!(!err.committed);
         assert_eq!(err.vtid, 0);
+        assert_eq!(err.property, Property::Opacity);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! The strict-serializability history checker — the cross-algorithm rung
+//! below [`crate::opacity`] in the oracle hierarchy.
+//!
+//! Strict serializability (conflict-serializability consistent with
+//! real-time order) constrains only what **committed** transactions did:
+//! they must form one sequential history where each committed writer sees
+//! exactly the state left by the writers serialized before it, and each
+//! committed read-only transaction sees some state from its real-time
+//! window. What aborted attempts observed is irrelevant.
+//!
+//! This is deliberately weaker than opacity, and that weakness is the
+//! point: it applies uniformly to every engine in the repo — TL2 and lock
+//! elision included, whose aborted attempts legitimately observe odd
+//! intermediate states (TL2 readers can spin on locked stripes; elided
+//! hardware attempts are discarded wholesale) — and it splits diagnoses.
+//! An engine bug that corrupts committed results fails here; a bug that
+//! only exposes zombie reads fails opacity alone. [`crate::verdict::judge`]
+//! runs both and reports which rung broke.
+
+use std::collections::HashMap;
+
+use rh_norec::trace::Event;
+
+use crate::history::{check_history, Property};
+pub use crate::history::{Summary, Violation};
+
+/// Checks `history` for strict serializability of its committed
+/// transactions against `initial` memory contents (see
+/// [`crate::opacity::check`] for the `initial` convention).
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+pub fn check(initial: &HashMap<u64, u64>, history: &[Event]) -> Result<Summary, Violation> {
+    check_history(initial, history, Property::Serializability)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_norec::trace::{EventKind, Path};
+
+    fn ev(vtid: usize, kind: EventKind) -> Event {
+        Event { vtid, kind }
+    }
+    fn begin(vtid: usize) -> Event {
+        ev(vtid, EventKind::Begin { path: Path::Stm })
+    }
+    fn read(vtid: usize, addr: u64, value: u64) -> Event {
+        ev(vtid, EventKind::Read { addr, value })
+    }
+    fn write(vtid: usize, addr: u64, value: u64) -> Event {
+        ev(vtid, EventKind::Write { addr, value })
+    }
+    fn commit(vtid: usize) -> Event {
+        ev(vtid, EventKind::Commit { path: Path::Stm })
+    }
+    fn abort(vtid: usize) -> Event {
+        ev(vtid, EventKind::Abort)
+    }
+
+    #[test]
+    fn zombie_reads_pass_serializability_but_fail_opacity() {
+        // The aborted attempt observes a torn snapshot — an opacity
+        // violation that serializability, by design, does not see.
+        let h = vec![
+            begin(0),
+            read(0, 8, 0),
+            begin(1),
+            write(1, 8, 7),
+            write(1, 16, 7),
+            commit(1),
+            read(0, 16, 7),
+            abort(0),
+        ];
+        check(&HashMap::new(), &h).unwrap();
+        assert!(crate::opacity::check(&HashMap::new(), &h).is_err());
+    }
+
+    #[test]
+    fn committed_lost_update_fails_both_properties() {
+        let h = vec![
+            begin(0),
+            read(0, 8, 0),
+            begin(1),
+            read(1, 8, 0),
+            write(0, 8, 1),
+            commit(0),
+            write(1, 8, 1),
+            commit(1),
+        ];
+        let err = check(&HashMap::new(), &h).unwrap_err();
+        assert_eq!(err.property, Property::Serializability);
+        assert!(err.committed);
+        assert!(crate::opacity::check(&HashMap::new(), &h).is_err());
+    }
+
+    #[test]
+    fn committed_read_only_still_floats_in_its_window() {
+        let h = vec![
+            begin(0),
+            read(0, 8, 0),
+            begin(1),
+            write(1, 16, 9),
+            commit(1),
+            read(0, 24, 0),
+            commit(0),
+        ];
+        let s = check(&HashMap::new(), &h).unwrap();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.writer_commits, 1);
+    }
+
+    #[test]
+    fn committed_torn_read_only_snapshot_fails() {
+        // Same torn snapshot as the zombie test, but the reader COMMITS:
+        // now serializability must flag it.
+        let h = vec![
+            begin(0),
+            read(0, 8, 0),
+            begin(1),
+            write(1, 8, 7),
+            write(1, 16, 7),
+            commit(1),
+            read(0, 16, 7),
+            commit(0),
+        ];
+        let err = check(&HashMap::new(), &h).unwrap_err();
+        assert_eq!(err.vtid, 0);
+        assert!(err.committed);
+    }
+}

@@ -1,0 +1,68 @@
+//! Failure minimization: binary-search the schedule's decision prefix for
+//! the shortest guided schedule that still reproduces a failure.
+//!
+//! A failing run hands back its full scheduler decision log. Replaying a
+//! *prefix* of that log (the tail refilled from the seed's tail RNG — see
+//! `SchedConfig::guided`) usually still fails: the offending interleaving
+//! is pinned down by the first few dozen choices and the rest is noise.
+//! [`minimize`] bisects for the shortest failing prefix and reports how
+//! short the reproducing history got, so a sweep failure prints a replay
+//! recipe a human can actually step through.
+//!
+//! Failure here means *any* failure of the same case — a checker
+//! violation or a panic. Minimization never weakens the diagnosis: the
+//! returned prefix is re-verified failing on every probe, so non-monotone
+//! failure regions cannot smuggle in a passing "minimum".
+
+use sim_htm::sched::SchedConfig;
+
+use crate::harness::{run_case, CaseConfig, CaseFailure};
+
+/// A minimized reproduction of a failing case.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The shortest failing guided decision prefix found.
+    pub guided: Vec<usize>,
+    /// Events in the reproducing run's history (0 for a panic before any
+    /// event was recorded).
+    pub events: usize,
+}
+
+/// Bisects `decisions` (the decision log of a failing run of `case` under
+/// `base`) for the shortest prefix that still fails when replayed as a
+/// guided schedule.
+///
+/// Returns `None` when even the full decision list does not reproduce the
+/// failure — possible if `base` does not match the original run's
+/// configuration — so callers never report an unverified shrink.
+pub fn minimize(case: &CaseConfig, base: &SchedConfig, decisions: &[usize]) -> Option<Shrunk> {
+    let fails = |k: usize| -> Option<usize> {
+        let cfg = SchedConfig {
+            guided: Some(decisions[..k].to_vec()),
+            ..base.clone()
+        };
+        match run_case(case, &cfg) {
+            Ok(_) => None,
+            Err(CaseFailure::Violation { history, .. }) => Some(history.len()),
+            Err(CaseFailure::Panicked { .. }) => Some(0),
+        }
+    };
+
+    // The invariant `fails(hi)` must hold before bisection starts.
+    let mut best = fails(decisions.len())?;
+    let (mut lo, mut hi) = (0usize, decisions.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match fails(mid) {
+            Some(events) => {
+                best = events;
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    Some(Shrunk {
+        guided: decisions[..hi].to_vec(),
+        events: best,
+    })
+}

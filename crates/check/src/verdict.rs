@@ -1,0 +1,236 @@
+//! The combined oracle: one judgement over both safety properties, with a
+//! minimal-offending-prefix diagnosis on failure.
+//!
+//! [`judge`] runs the opacity and strict-serializability checkers over one
+//! recorded history. A passing history yields a [`Judgement`] with both
+//! summaries; a failing one yields a [`Verdict`] naming **which properties
+//! failed** (opacity alone ⇒ zombie reads only; both ⇒ committed results
+//! are wrong) and the length of the shortest failing event prefix, found
+//! by bisection — the offending interaction usually sits hundreds of
+//! events before the end of a sweep history, and the prefix length points
+//! straight at it.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rh_norec::trace::Event;
+
+use crate::history::check_history;
+pub use crate::history::{Property, Summary, Violation};
+
+/// Both oracles' statistics for a passing history.
+#[derive(Debug, Clone, Copy)]
+pub struct Judgement {
+    /// What the opacity oracle verified.
+    pub opacity: Summary,
+    /// What the strict-serializability oracle verified.
+    pub serializability: Summary,
+}
+
+/// The diagnosis of a failing history: which properties broke and where.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// One violation per failed property; opacity (the stronger rung)
+    /// first when both failed. Never empty.
+    pub failures: Vec<Violation>,
+    /// Length of the shortest failing prefix of the checked history,
+    /// found by bisection and verified: `history[..minimal_prefix]` fails
+    /// at least one of the failed properties.
+    pub minimal_prefix: usize,
+    /// Total events in the checked history.
+    pub history_len: usize,
+}
+
+impl Verdict {
+    /// The strongest failed property's diagnosis.
+    pub fn primary(&self) -> &Violation {
+        &self.failures[0]
+    }
+
+    /// Whether `property` is among the failed properties.
+    pub fn failed(&self, property: Property) -> bool {
+        self.failures.iter().any(|v| v.property == property)
+    }
+
+    /// `+`-joined names of the failed properties (e.g.
+    /// `opacity+serializability`), for kill tables and sweep reports.
+    pub fn failed_properties(&self) -> String {
+        self.failures
+            .iter()
+            .map(|v| v.property.name())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} violated (minimal failing prefix: {} of {} events): {}",
+            self.failed_properties(),
+            self.minimal_prefix,
+            self.history_len,
+            self.primary()
+        )
+    }
+}
+
+impl std::error::Error for Verdict {}
+
+/// Runs both oracles over `history` (see [`crate::opacity::check`] for the
+/// `initial` convention).
+///
+/// # Errors
+///
+/// Returns a [`Verdict`] if either property fails.
+pub fn judge(initial: &HashMap<u64, u64>, history: &[Event]) -> Result<Judgement, Verdict> {
+    let opacity = check_history(initial, history, Property::Opacity);
+    let serializability = check_history(initial, history, Property::Serializability);
+    match (opacity, serializability) {
+        (Ok(opacity), Ok(serializability)) => Ok(Judgement {
+            opacity,
+            serializability,
+        }),
+        (opacity, serializability) => {
+            let mut failures = Vec::new();
+            if let Err(v) = opacity {
+                failures.push(v);
+            }
+            if let Err(v) = serializability {
+                failures.push(v);
+            }
+            let minimal_prefix = minimal_failing_prefix(initial, history, &failures);
+            Err(Verdict {
+                failures,
+                minimal_prefix,
+                history_len: history.len(),
+            })
+        }
+    }
+}
+
+/// Bisects for the shortest event prefix that still fails one of the
+/// already-failed properties. Checking a prefix is sound because the
+/// collector treats attempts cut off by the truncation as aborted-to-end —
+/// the same rule applied to panicking threads in full histories.
+///
+/// The invariant `fails(hi)` holds throughout (the full history fails by
+/// construction), so the result is always a *verified* failing prefix even
+/// if failure is not monotone in the prefix length.
+fn minimal_failing_prefix(
+    initial: &HashMap<u64, u64>,
+    history: &[Event],
+    failures: &[Violation],
+) -> usize {
+    let fails = |n: usize| {
+        failures
+            .iter()
+            .any(|v| check_history(initial, &history[..n], v.property).is_err())
+    };
+    let (mut lo, mut hi) = (0usize, history.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fails(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_norec::trace::{EventKind, Path};
+
+    fn ev(vtid: usize, kind: EventKind) -> Event {
+        Event { vtid, kind }
+    }
+    fn begin(vtid: usize) -> Event {
+        ev(vtid, EventKind::Begin { path: Path::Stm })
+    }
+    fn read(vtid: usize, addr: u64, value: u64) -> Event {
+        ev(vtid, EventKind::Read { addr, value })
+    }
+    fn write(vtid: usize, addr: u64, value: u64) -> Event {
+        ev(vtid, EventKind::Write { addr, value })
+    }
+    fn commit(vtid: usize) -> Event {
+        ev(vtid, EventKind::Commit { path: Path::Stm })
+    }
+    fn abort(vtid: usize) -> Event {
+        ev(vtid, EventKind::Abort)
+    }
+
+    #[test]
+    fn clean_history_passes_both_oracles() {
+        let h = vec![begin(0), read(0, 8, 0), write(0, 8, 1), commit(0)];
+        let j = judge(&HashMap::new(), &h).unwrap();
+        assert_eq!(j.opacity.writer_commits, 1);
+        assert_eq!(j.serializability.writer_commits, 1);
+    }
+
+    #[test]
+    fn zombie_read_fails_opacity_only() {
+        let h = vec![
+            begin(0),
+            read(0, 8, 0),
+            begin(1),
+            write(1, 8, 7),
+            write(1, 16, 7),
+            commit(1),
+            read(0, 16, 7),
+            abort(0),
+        ];
+        let v = judge(&HashMap::new(), &h).unwrap_err();
+        assert!(v.failed(Property::Opacity));
+        assert!(!v.failed(Property::Serializability));
+        assert_eq!(v.failed_properties(), "opacity");
+        assert_eq!(v.primary().property, Property::Opacity);
+    }
+
+    #[test]
+    fn committed_lost_update_fails_both_with_opacity_first() {
+        let h = vec![
+            begin(0),
+            read(0, 8, 0),
+            begin(1),
+            read(1, 8, 0),
+            write(0, 8, 1),
+            commit(0),
+            write(1, 8, 1),
+            commit(1),
+        ];
+        let v = judge(&HashMap::new(), &h).unwrap_err();
+        assert!(v.failed(Property::Opacity));
+        assert!(v.failed(Property::Serializability));
+        assert_eq!(v.failed_properties(), "opacity+serializability");
+        assert_eq!(v.primary().property, Property::Opacity);
+    }
+
+    #[test]
+    fn minimal_prefix_is_verified_failing_and_cuts_the_tail() {
+        // The violation completes at event 7 (vthread 1's commit); the
+        // trailing unrelated transaction is bisected away.
+        let mut h = vec![
+            begin(0),
+            read(0, 8, 0),
+            begin(1),
+            read(1, 8, 0),
+            write(0, 8, 1),
+            commit(0),
+            write(1, 8, 1),
+            commit(1),
+        ];
+        h.extend([begin(2), read(2, 8, 1), commit(2)]);
+        let v = judge(&HashMap::new(), &h).unwrap_err();
+        assert_eq!(v.history_len, h.len());
+        assert!(v.minimal_prefix < h.len(), "the clean tail must be cut");
+        // Verified failing, as documented.
+        assert!(judge(&HashMap::new(), &h[..v.minimal_prefix]).is_err());
+        // And the step before the prefix boundary does not fail.
+        assert!(judge(&HashMap::new(), &h[..v.minimal_prefix - 1]).is_ok());
+    }
+}

@@ -1,15 +1,18 @@
 //! Tier-1 sweep: deterministic schedules × algorithms × machines, every
-//! history checked for opacity.
+//! history checked under both oracles (opacity + strict serializability).
 //!
 //! A failure here prints the schedule seed (and, for explored schedules,
 //! the guided choice list); `sweep --replay SEED` or a `SchedConfig` with
 //! that seed reproduces the exact run.
 
+use rh_norec::mutants::Mutant;
 use rh_norec::Algorithm;
 use sim_htm::sched::SchedConfig;
 use sim_htm::HtmConfig;
 use tm_check::explore::explore_case;
-use tm_check::harness::{privatization_case, run_case, CaseConfig, CaseFailure};
+use tm_check::harness::{
+    privatization_case, run_case, run_case_minimized, CaseConfig, CaseFailure,
+};
 
 /// The paper's five algorithms (Figure 5's competitors).
 const ALGORITHMS: [Algorithm; 5] = [
@@ -38,9 +41,13 @@ fn seed_sweep_finds_no_opacity_violation() {
                 let mut case = CaseConfig::contended(alg, htm);
                 case.clock_shards = shards;
                 for seed in 0..6u64 {
-                    if let Err(failure) = run_case(&case, &SchedConfig::from_seed(seed)) {
-                        panic!("{alg:?}/{name}/shards={shards}: {failure}");
-                    }
+                    let report = run_case(&case, &SchedConfig::from_seed(seed))
+                        .unwrap_or_else(|f| panic!("{alg:?}/{name}/shards={shards}: {f}"));
+                    // Both oracles ran over the same attempts.
+                    assert_eq!(
+                        report.summary.attempts, report.serializability.attempts,
+                        "{alg:?}/{name}/shards={shards}: oracle attempt counts diverged"
+                    );
                 }
             }
         }
@@ -123,7 +130,7 @@ fn postfix_clock_mutant_is_caught_and_clean_rh_norec_is_not() {
     // HTM disabled forces every transaction through the mixed slow path,
     // where the first software write runs the mutated protocol.
     let mut mutant = CaseConfig::contended(Algorithm::RhNorec, HtmConfig::disabled());
-    mutant.mutant = true;
+    mutant.mutant = Some(Mutant::PostfixClock);
     let clean = CaseConfig::contended(Algorithm::RhNorec, HtmConfig::disabled());
 
     let mut caught = None;
@@ -134,8 +141,8 @@ fn postfix_clock_mutant_is_caught_and_clean_rh_norec_is_not() {
         if caught.is_none() {
             if let Err(failure) = run_case(&mutant, &cfg) {
                 assert!(
-                    matches!(failure, CaseFailure::Opacity { .. }),
-                    "mutant failed, but not as an opacity violation: {failure}"
+                    matches!(failure, CaseFailure::Violation { .. }),
+                    "mutant failed, but not as an oracle violation: {failure}"
                 );
                 let text = failure.to_string();
                 assert!(
@@ -166,7 +173,7 @@ fn stale_lane_mutant_is_caught_and_clean_sharded_clock_is_not() {
     // where reads validate against the (mutilated) lane snapshot.
     let mut mutant = CaseConfig::contended(Algorithm::RhNorec, HtmConfig::disabled());
     mutant.clock_shards = 2;
-    mutant.stale_lane = true;
+    mutant.mutant = Some(Mutant::StaleLane);
     let mut clean = CaseConfig::contended(Algorithm::RhNorec, HtmConfig::disabled());
     clean.clock_shards = 2;
 
@@ -178,8 +185,8 @@ fn stale_lane_mutant_is_caught_and_clean_sharded_clock_is_not() {
         if caught.is_none() {
             if let Err(failure) = run_case(&mutant, &cfg) {
                 assert!(
-                    matches!(failure, CaseFailure::Opacity { .. }),
-                    "mutant failed, but not as an opacity violation: {failure}"
+                    matches!(failure, CaseFailure::Violation { .. }),
+                    "mutant failed, but not as an oracle violation: {failure}"
                 );
                 let text = failure.to_string();
                 assert!(
@@ -209,8 +216,7 @@ fn bounded_exhaustive_exploration_is_opaque() {
         txs_per_thread: 1,
         ops_per_tx: 2,
         clock_shards: 1,
-        mutant: false,
-        stale_lane: false,
+        mutant: None,
         backoff: None,
     };
     let base = SchedConfig::from_seed(0);
@@ -234,15 +240,85 @@ fn exploration_catches_the_mutant() {
         txs_per_thread: 2,
         ops_per_tx: 2,
         clock_shards: 1,
-        mutant: true,
-        stale_lane: false,
+        mutant: Some(Mutant::PostfixClock),
         backoff: None,
     };
     let err = match explore_case(&case, &SchedConfig::from_seed(0), 12, 800) {
         Err(failure) => failure,
         Ok(stats) => panic!("mutant survived exhaustive exploration: {stats:?}"),
     };
-    assert!(matches!(err, CaseFailure::Opacity { guided: Some(_), .. }));
+    assert!(matches!(err, CaseFailure::Violation { guided: Some(_), .. }));
+}
+
+/// Builds the kill-recipe case a manifest entry declares (the same
+/// mapping `tm-check mutate` uses).
+fn case_from_spec(spec: &rh_norec::mutants::MutantSpec) -> CaseConfig {
+    use rh_norec::mutants::HtmProfile;
+    CaseConfig {
+        algorithm: spec.algorithm,
+        htm: match spec.htm {
+            HtmProfile::Haswell => HtmConfig::default(),
+            HtmProfile::Disabled => HtmConfig::disabled(),
+            HtmProfile::Tiny => HtmConfig::tiny_capacity(),
+        },
+        threads: spec.threads,
+        slots: spec.slots,
+        txs_per_thread: spec.txs_per_thread,
+        ops_per_tx: spec.ops_per_tx,
+        clock_shards: spec.clock_shards,
+        mutant: Some(spec.mutant),
+        backoff: None,
+    }
+}
+
+/// Every corpus mutant dies within its manifest-declared seed budget.
+/// (The release-mode `tm-check mutate` gate additionally proves the
+/// paired clean engines pass the same budgets; here we keep debug test
+/// time bounded by stopping at the first kill.)
+#[test]
+fn every_corpus_mutant_is_killed_within_its_budget() {
+    for mutant in Mutant::ALL {
+        let spec = mutant.spec();
+        let case = case_from_spec(spec);
+        let killed = (0..spec.seed_budget).any(|seed| {
+            let mut cfg = SchedConfig::from_seed(seed);
+            cfg.abort_injection = spec.abort_injection;
+            run_case(&case, &cfg).is_err()
+        });
+        assert!(
+            killed,
+            "mutant {} survived its declared budget of {} seeds",
+            spec.name, spec.seed_budget
+        );
+    }
+}
+
+/// The failure path minimizes: a killing schedule shrinks to a guided
+/// decision prefix that is itself verified to reproduce a failure.
+#[test]
+fn failing_schedules_shrink_to_a_reproducing_prefix() {
+    let mut case = CaseConfig::contended(Algorithm::RhNorec, HtmConfig::disabled());
+    case.mutant = Some(Mutant::PostfixClock);
+
+    let seed = (0..40u64)
+        .find(|&s| run_case(&case, &SchedConfig::from_seed(s)).is_err())
+        .expect("postfix_clock mutant survived 40 seeds");
+    let cfg = SchedConfig::from_seed(seed);
+    let failure = run_case_minimized(&case, &cfg).expect_err("failure must reproduce");
+    let CaseFailure::Violation { decisions, shrunk, .. } = failure else {
+        panic!("expected an oracle violation, got: {failure}");
+    };
+    let shrunk = shrunk.expect("a deterministic violation must shrink");
+    assert!(
+        shrunk.guided.len() <= decisions.len(),
+        "shrink grew the schedule: {} > {}",
+        shrunk.guided.len(),
+        decisions.len()
+    );
+    // The minimized prefix is a real reproduction, not a guess.
+    let replay = SchedConfig { guided: Some(shrunk.guided.clone()), ..cfg };
+    let replayed = run_case(&case, &replay).expect_err("shrunk prefix must still fail");
+    assert!(replayed.to_string().contains("violation"), "unexpected shrink failure: {replayed}");
 }
 
 /// The privatization idiom from `conformance.rs`, under controlled

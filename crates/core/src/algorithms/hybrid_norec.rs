@@ -191,6 +191,16 @@ pub(crate) fn fast_commit_clock_update(
         Ok(_) => return Err(t.htm_thread.abort(xabort::LOCK_HELD).code),
         Err(e) => return Err(e.code),
     }
+    // MUTANT (`missing_lane_bump`): writers homed on lane 0 skip the
+    // commit bump entirely — their commits never reach the lane vector, so
+    // software snapshots validate right past them.
+    #[cfg(feature = "mutants")]
+    if rt.mutant_armed(crate::mutants::Mutant::MissingLaneBump)
+        && g.clock.shards() > 1
+        && g.clock.home_lane(t.tid) == 0
+    {
+        return Ok(());
+    }
     // Sharded, only the committer's home lane enters the tracking set, so
     // disjoint fast-path writers stop aborting each other here.
     g.clock.htm_commit_bump(&mut t.htm_thread, t.tid)?;
@@ -255,6 +265,8 @@ fn slow_path_lazy<T>(
             backoff: &mut t.backoff,
             dead: false,
             set_htm_lock: true,
+            #[cfg(feature = "mutants")]
+            skip_reread: rt.mutant_armed(crate::mutants::Mutant::StaleSnapshotReuse),
             meter: crate::algorithms::common::Meter::new(interleave),
         };
         ctx.meter.charge(spin);
@@ -344,6 +356,8 @@ fn slow_path<T>(
             dead: false,
             set_htm_lock: true,
             htm_lock_set: false,
+            #[cfg(feature = "mutants")]
+            skip_validation: rt.mutant_armed(crate::mutants::Mutant::EagerSkipValidation),
             meter: Meter::new(interleave),
         };
         ctx.meter.charge(spin);

@@ -112,16 +112,26 @@ fn try_fast<T>(
         return Err(FastFail::Htm(None));
     }
     t.stats.cycles += cost::HTM_BEGIN + cost::HTM_ACCESS;
-    // Subscribe to the global lock.
-    match t.htm_thread.read(lock) {
-        Ok(0) => {}
-        Ok(_) => {
-            t.stats.cycles += cost::HTM_ABORT;
-            return Err(FastFail::Htm(Some(t.htm_thread.abort(xabort::LOCK_HELD).code)));
-        }
-        Err(e) => {
-            t.stats.cycles += cost::HTM_ABORT;
-            return Err(FastFail::Htm(Some(e.code)));
+    #[cfg(feature = "mutants")]
+    let subscribe = !rt.mutant_armed(crate::mutants::Mutant::ElisionNoSubscription);
+    #[cfg(not(feature = "mutants"))]
+    let subscribe = true;
+    // Subscribe to the global lock. Skipped when the
+    // `elision_no_subscription` corpus mutant is armed: without the lock in
+    // the tracking set, a serial-fallback writer's in-place stores no
+    // longer abort this speculation at its start, and the commit can land
+    // mid-serial-section on a mixed snapshot.
+    if subscribe {
+        match t.htm_thread.read(lock) {
+            Ok(0) => {}
+            Ok(_) => {
+                t.stats.cycles += cost::HTM_ABORT;
+                return Err(FastFail::Htm(Some(t.htm_thread.abort(xabort::LOCK_HELD).code)));
+            }
+            Err(e) => {
+                t.stats.cycles += cost::HTM_ABORT;
+                return Err(FastFail::Htm(Some(e.code)));
+            }
         }
     }
 

@@ -60,6 +60,8 @@ pub(crate) fn run_eager<T>(
             dead: false,
             set_htm_lock: false,
             htm_lock_set: false,
+            #[cfg(feature = "mutants")]
+            skip_validation: rt.mutant_armed(crate::mutants::Mutant::EagerSkipValidation),
             meter: Meter::new(interleave),
         };
         ctx.meter.charge(spin);
@@ -119,10 +121,27 @@ pub(crate) struct EagerCtx<'a> {
     /// Raise `global_htm_lock` around the write phase (hybrid slow paths).
     pub(crate) set_htm_lock: bool,
     pub(crate) htm_lock_set: bool,
+    /// Armed `EagerSkipValidation` corpus mutant: per-read validation is
+    /// elided entirely (the planted bug).
+    #[cfg(feature = "mutants")]
+    pub(crate) skip_validation: bool,
     pub(crate) meter: Meter,
 }
 
 impl EagerCtx<'_> {
+    /// True when the `EagerSkipValidation` corpus mutant is armed.
+    #[inline]
+    fn validation_elided(&self) -> bool {
+        #[cfg(feature = "mutants")]
+        {
+            self.skip_validation
+        }
+        #[cfg(not(feature = "mutants"))]
+        {
+            false
+        }
+    }
+
     /// First-write protocol: enter the clock's write phase at our start
     /// snapshot, optionally raise the global HTM lock.
     pub(crate) fn handle_first_write(&mut self) -> TxResult<()> {
@@ -187,7 +206,10 @@ impl TxOps for EagerCtx<'_> {
         // After the first write we hold the write phase, so the check is
         // trivially true and skipped. A probe hit proves validity on the
         // single clock; everything else takes the full check out of line.
-        if !self.wrote && self.heap.load(self.probe_addr) != self.probe_word {
+        if !self.wrote
+            && !self.validation_elided()
+            && self.heap.load(self.probe_addr) != self.probe_word
+        {
             self.validate_slow()?;
         }
         Ok(value)
@@ -261,6 +283,8 @@ pub(crate) fn run_lazy<T>(
             backoff: &mut t.backoff,
             dead: false,
             set_htm_lock: false,
+            #[cfg(feature = "mutants")]
+            skip_reread: rt.mutant_armed(crate::mutants::Mutant::StaleSnapshotReuse),
             meter: Meter::new(interleave),
         };
         ctx.meter.charge(spin);
@@ -326,10 +350,28 @@ pub(crate) struct LazyCtx<'a> {
     /// Raise `global_htm_lock` around the commit write-back (hybrid lazy
     /// slow path): hardware fast paths must never see a partial write-back.
     pub(crate) set_htm_lock: bool,
+    /// Armed `StaleSnapshotReuse` corpus mutant: revalidation refreshes
+    /// the clock snapshot but skips the value-based read-log re-read (the
+    /// planted bug).
+    #[cfg(feature = "mutants")]
+    pub(crate) skip_reread: bool,
     pub(crate) meter: Meter,
 }
 
 impl LazyCtx<'_> {
+    /// True when the `StaleSnapshotReuse` corpus mutant is armed.
+    #[inline]
+    fn reread_elided(&self) -> bool {
+        #[cfg(feature = "mutants")]
+        {
+            self.skip_reread
+        }
+        #[cfg(not(feature = "mutants"))]
+        {
+            false
+        }
+    }
+
     /// NOrec's value-based revalidation: loop until the clock is stable
     /// around a full re-read of the read log.
     fn revalidate(&mut self) -> TxResult<()> {
@@ -342,10 +384,12 @@ impl LazyCtx<'_> {
                 .begin_into(self.heap, &mut spin, self.backoff, self.snap);
             self.meter
                 .charge(spin + self.read_log.len() as u64 * cost::NOREC_REVALIDATE_ENTRY);
-            for &(addr, seen) in self.read_log.as_slice() {
-                if self.heap.load(addr) != seen {
-                    self.dead = true;
-                    return Err(RESTART);
+            if !self.reread_elided() {
+                for &(addr, seen) in self.read_log.as_slice() {
+                    if self.heap.load(addr) != seen {
+                        self.dead = true;
+                        return Err(RESTART);
+                    }
                 }
             }
             if self.globals.clock.is_valid(self.heap, self.snap) {

@@ -248,6 +248,8 @@ fn mixed_slow_path<T>(
             death_may_retry: true,
             #[cfg(feature = "mutant-postfix-clock")]
             mutant: rt.postfix_clock_mutant(),
+            #[cfg(feature = "mutants")]
+            no_htm_lock: rt.mutant_armed(crate::mutants::Mutant::RhWriterNoHtmLock),
         };
         ctx.start(allow_prefix);
         let mut tx = Tx::new(TxCtx::Rh(ctx), kind);
@@ -344,6 +346,10 @@ pub(crate) struct RhCtx<'a> {
     /// Run the deliberately broken first-write protocol (mutation test).
     #[cfg(feature = "mutant-postfix-clock")]
     mutant: bool,
+    /// Armed `RhWriterNoHtmLock` corpus mutant: the software-writer
+    /// fallback skips raising `global_htm_lock` (the planted bug).
+    #[cfg(feature = "mutants")]
+    no_htm_lock: bool,
 }
 
 impl RhCtx<'_> {
@@ -506,10 +512,29 @@ impl RhCtx<'_> {
             }
         }
         // Postfix refused: abort all fast paths and write in software.
+        // Skipped when the `rh_writer_no_htm_lock` corpus mutant is armed:
+        // fast paths subscribe *only* to this lock, so without the raise a
+        // read-only hardware transaction can commit a mixed snapshot taken
+        // across this writer's in-place stores.
         self.stats.cycles += cost::GLOBAL_STORE;
-        self.heap.store(self.globals.global_htm_lock, 1);
+        if !self.htm_lock_elided() {
+            self.heap.store(self.globals.global_htm_lock, 1);
+        }
         self.mode = Mode::SoftwareWriter;
         Ok(())
+    }
+
+    /// True when the `RhWriterNoHtmLock` corpus mutant is armed.
+    #[inline]
+    fn htm_lock_elided(&self) -> bool {
+        #[cfg(feature = "mutants")]
+        {
+            self.no_htm_lock
+        }
+        #[cfg(not(feature = "mutants"))]
+        {
+            false
+        }
     }
 
     /// Locks the clock's write phase from our start snapshot, so the lock

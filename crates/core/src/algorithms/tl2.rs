@@ -105,6 +105,10 @@ pub(crate) fn run<T>(
             undo: &mut t.logs.tl2_undo,
             backoff: &mut t.backoff,
             dead: false,
+            #[cfg(feature = "mutants")]
+            skip_commit_validation: rt.mutant_armed(crate::mutants::Mutant::Tl2CommitNoValidate),
+            #[cfg(feature = "mutants")]
+            early_lock_release: rt.mutant_armed(crate::mutants::Mutant::Tl2EarlyRelease),
             meter: Meter::new(interleave),
         };
         ctx.meter.charge(cost::STM_START);
@@ -165,10 +169,43 @@ pub(crate) struct Tl2Ctx<'a> {
     undo: &'a mut LogVec<(Addr, u64)>,
     backoff: &'a mut Backoff,
     dead: bool,
+    /// Armed `Tl2CommitNoValidate` corpus mutant: commit skips read-set
+    /// validation when the clock moved (the planted bug).
+    #[cfg(feature = "mutants")]
+    skip_commit_validation: bool,
+    /// Armed `Tl2EarlyRelease` corpus mutant: abort releases stripe locks
+    /// before undoing eager writes (the planted bug).
+    #[cfg(feature = "mutants")]
+    early_lock_release: bool,
     meter: Meter,
 }
 
 impl Tl2Ctx<'_> {
+    /// True when the `Tl2CommitNoValidate` corpus mutant is armed.
+    #[inline]
+    fn commit_validation_elided(&self) -> bool {
+        #[cfg(feature = "mutants")]
+        {
+            self.skip_commit_validation
+        }
+        #[cfg(not(feature = "mutants"))]
+        {
+            false
+        }
+    }
+
+    /// True when the `Tl2EarlyRelease` corpus mutant is armed.
+    #[inline]
+    fn release_before_undo(&self) -> bool {
+        #[cfg(feature = "mutants")]
+        {
+            self.early_lock_release
+        }
+        #[cfg(not(feature = "mutants"))]
+        {
+            false
+        }
+    }
     /// Restores overwritten values and releases stripe locks at their
     /// original versions (values are unchanged after undo, so reader
     /// snapshots stay valid).
@@ -177,6 +214,18 @@ impl Tl2Ctx<'_> {
             self.undo.len() as u64 * cost::NOREC_WRITEBACK_ENTRY
                 + self.owned.len() as u64 * cost::TL2_RELEASE_ENTRY,
         );
+        if self.release_before_undo() {
+            // Lock-release-before-write-back: the stripes go back to their
+            // pre-lock versions while the dirty values are still in place,
+            // and a scheduling point lets a reader in — it sees an aborted
+            // write at an unlocked, valid-looking stripe. (The release loop
+            // below is then a no-op: `owned` is already empty.)
+            for &(stripe, pre) in self.owned.iter() {
+                self.meta.stripe(stripe as usize).store(pre, Ordering::Release);
+            }
+            self.owned.clear();
+            sim_htm::sched::yield_point();
+        }
         for &(addr, old) in self.undo.as_slice().iter().rev() {
             self.heap.store(addr, old);
         }
@@ -220,7 +269,7 @@ impl Tl2Ctx<'_> {
         }
         self.meter.charge(cost::TL2_COMMIT);
         let wv = self.meta.clock.fetch_add(2, Ordering::AcqRel) + 2;
-        if wv != self.rv + 2 {
+        if wv != self.rv + 2 && !self.commit_validation_elided() {
             // Validate the read set.
             self.meter
                 .charge(self.read_set.len() as u64 * cost::TL2_VALIDATE_ENTRY);

@@ -51,6 +51,8 @@ mod config;
 pub mod cost;
 mod error;
 mod globals;
+#[cfg(feature = "mutants")]
+pub mod mutants;
 mod runtime;
 mod stats;
 pub mod trace;

@@ -1,0 +1,355 @@
+//! The mutation corpus: a manifest of deliberately planted protocol bugs
+//! for the `tm-check` mutation-score gate.
+//!
+//! Each [`Mutant`] is a feature-gated hook at exactly the spot the HyTM
+//! lower-bound literature says hybrid designs go wrong — instrumentation
+//! elision (skipped validation, missing subscriptions) and fast/slow-path
+//! synchronization (missing lock raises, reordered release/undo). The
+//! hooks compile in only under the `mutants` cargo feature and stay
+//! **disarmed** until [`TmRuntime::set_mutant`] arms one per runtime, so
+//! a mutated and a clean engine can run side by side in one process.
+//!
+//! [`MANIFEST`] registers every mutant together with the seed/schedule
+//! family expected to kill it — the workload shape, HTM profile, clock
+//! sharding, abort-injection rate, and bounded seed budget that
+//! `tm-check mutate` sweeps. A mutant that survives its budget, or a real
+//! engine that fails the same budget clean, fails CI.
+//!
+//! To add a mutant when landing a new engine: add a variant here, plant
+//! the hook behind `#[cfg(feature = "mutants")]` + a
+//! [`TmRuntime::mutant_armed`] check at the protocol step being broken,
+//! append a [`MutantSpec`] describing the schedule family that exposes
+//! it, and let `tm-check mutate` prove the kill.
+//!
+//! [`TmRuntime::set_mutant`]: crate::TmRuntime::set_mutant
+//! [`TmRuntime::mutant_armed`]: crate::TmRuntime
+
+use crate::Algorithm;
+
+/// One planted protocol bug. See [`MANIFEST`] for where each hook lives
+/// and how it is expected to be killed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutant {
+    /// RH NOrec first write re-reads the clock and locks whatever it
+    /// holds now instead of entering the write phase from the validated
+    /// snapshot (the original `mutant-postfix-clock` mutation).
+    PostfixClock,
+    /// Sharded-clock validation never revalidates the last sequence
+    /// lane, so commits homed there go unseen by in-flight snapshots
+    /// (the original `mutant-stale-lane` mutation).
+    StaleLane,
+    /// Eager NOrec reads skip per-read clock validation entirely — the
+    /// "skipped post-validation re-read" bug.
+    EagerSkipValidation,
+    /// Lazy NOrec revalidation refreshes the clock snapshot but skips the
+    /// value-based re-read of the read log — a stale snapshot survives
+    /// backoff/retry into the commit write-back.
+    StaleSnapshotReuse,
+    /// Hybrid/RH NOrec writer fast paths skip `htm_commit_bump` when the
+    /// committer homes on sequence lane 0, so software snapshots never
+    /// see those commits.
+    MissingLaneBump,
+    /// The lazy write-set's bloom filter tests the wrong bit, producing
+    /// false negatives: read-after-write falls through to the heap.
+    BloomFalseNegative,
+    /// TL2 commit skips read-set validation when the clock moved, so a
+    /// stale read survives into a committed writer.
+    Tl2CommitNoValidate,
+    /// TL2 abort releases stripe locks *before* undoing its eager writes
+    /// (lock-release-before-write-back), exposing dirty values at
+    /// unlocked, valid-looking stripes.
+    Tl2EarlyRelease,
+    /// Lock-elision hardware paths skip the global-lock subscription, so
+    /// a serial-fallback writer's in-place stores can be half-observed.
+    ElisionNoSubscription,
+    /// RH NOrec's software-writer fallback (postfix refused) skips
+    /// raising `global_htm_lock`, letting fast paths — which subscribe
+    /// only to that lock — commit mid-write-phase.
+    RhWriterNoHtmLock,
+}
+
+impl Mutant {
+    /// Every corpus mutant, in [`MANIFEST`] order.
+    pub const ALL: [Mutant; 10] = [
+        Mutant::PostfixClock,
+        Mutant::StaleLane,
+        Mutant::EagerSkipValidation,
+        Mutant::StaleSnapshotReuse,
+        Mutant::MissingLaneBump,
+        Mutant::BloomFalseNegative,
+        Mutant::Tl2CommitNoValidate,
+        Mutant::Tl2EarlyRelease,
+        Mutant::ElisionNoSubscription,
+        Mutant::RhWriterNoHtmLock,
+    ];
+
+    /// The mutant's bit in the runtime's arming mask.
+    #[inline]
+    pub(crate) fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// Stable CLI name (`tm-check mutate --mutant NAME`).
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+
+    /// Parses a CLI name back into the mutant.
+    pub fn from_name(name: &str) -> Option<Mutant> {
+        MANIFEST.iter().find(|s| s.name == name).map(|s| s.mutant)
+    }
+
+    /// The manifest entry for this mutant.
+    pub fn spec(self) -> &'static MutantSpec {
+        &MANIFEST[self as usize]
+    }
+}
+
+/// Simulated-machine profile a kill recipe runs on (`tm-check` maps these
+/// to concrete `HtmConfig`s; naming them here keeps the manifest free of
+/// a `sim-htm` type dependency in its public shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HtmProfile {
+    /// The paper's Haswell-like default machine.
+    Haswell,
+    /// HTM begin always refuses: every transaction runs in software.
+    Disabled,
+    /// Pathologically small HTM capacity: constant fallback pressure.
+    Tiny,
+}
+
+/// One manifest entry: the mutant, where its hook lives, and the
+/// seed/schedule family `tm-check mutate` sweeps to kill it.
+#[derive(Debug, Clone, Copy)]
+pub struct MutantSpec {
+    /// The mutant this entry registers.
+    pub mutant: Mutant,
+    /// Stable CLI name.
+    pub name: &'static str,
+    /// One-line description of the planted bug and its hook site.
+    pub summary: &'static str,
+    /// How the kill is expected to manifest.
+    pub kills_via: &'static str,
+    /// Algorithm whose protocol the hook breaks.
+    pub algorithm: Algorithm,
+    /// Machine profile of the kill recipe.
+    pub htm: HtmProfile,
+    /// Commit-clock lanes of the kill recipe.
+    pub clock_shards: u32,
+    /// Virtual threads of the kill recipe.
+    pub threads: usize,
+    /// Shared heap slots of the kill recipe.
+    pub slots: usize,
+    /// Transactions per thread.
+    pub txs_per_thread: usize,
+    /// Operations per transaction.
+    pub ops_per_tx: usize,
+    /// Injected hardware-abort probability per HTM access (drives hybrid
+    /// fallback paths where the hook lives).
+    pub abort_injection: f64,
+    /// Seeds `tm-check mutate` sweeps before declaring the mutant a
+    /// survivor; the paired clean engine must pass the same seeds.
+    pub seed_budget: u64,
+}
+
+/// The corpus, in [`Mutant::ALL`] order (indexed by `Mutant as usize`).
+pub const MANIFEST: &[MutantSpec] = &[
+    MutantSpec {
+        mutant: Mutant::PostfixClock,
+        name: "postfix_clock",
+        summary: "RH NOrec first write locks the clock at its current value \
+                  instead of the validated snapshot (rh_norec::lock_clock)",
+        kills_via: "lost update: stale reads survive into the write phase",
+        algorithm: Algorithm::RhNorec,
+        htm: HtmProfile::Disabled,
+        clock_shards: 1,
+        threads: 3,
+        slots: 2,
+        txs_per_thread: 4,
+        ops_per_tx: 3,
+        abort_injection: 0.0,
+        seed_budget: 40,
+    },
+    MutantSpec {
+        mutant: Mutant::StaleLane,
+        name: "stale_lane",
+        summary: "sharded-clock validation skips the last sequence lane \
+                  (clock_shard::lanes_match)",
+        kills_via: "zombie reads: commits homed on the skipped lane go unseen",
+        algorithm: Algorithm::RhNorec,
+        htm: HtmProfile::Disabled,
+        clock_shards: 2,
+        threads: 3,
+        slots: 2,
+        txs_per_thread: 4,
+        ops_per_tx: 3,
+        abort_injection: 0.0,
+        seed_budget: 40,
+    },
+    MutantSpec {
+        mutant: Mutant::EagerSkipValidation,
+        name: "eager_skip_validation",
+        summary: "eager NOrec reads never validate against the clock \
+                  (norec::EagerCtx::read)",
+        kills_via: "inconsistent snapshots in committed read-only and aborted attempts",
+        algorithm: Algorithm::Norec,
+        htm: HtmProfile::Haswell,
+        clock_shards: 1,
+        threads: 3,
+        slots: 2,
+        txs_per_thread: 4,
+        ops_per_tx: 3,
+        abort_injection: 0.0,
+        seed_budget: 40,
+    },
+    MutantSpec {
+        mutant: Mutant::StaleSnapshotReuse,
+        name: "stale_snapshot_reuse",
+        summary: "lazy NOrec revalidation refreshes the snapshot but skips \
+                  the value-based read-log re-read (norec::LazyCtx::revalidate)",
+        kills_via: "lost update: a stale read log passes commit revalidation",
+        algorithm: Algorithm::NorecLazy,
+        htm: HtmProfile::Haswell,
+        clock_shards: 1,
+        threads: 3,
+        slots: 2,
+        txs_per_thread: 4,
+        ops_per_tx: 3,
+        abort_injection: 0.0,
+        seed_budget: 40,
+    },
+    MutantSpec {
+        mutant: Mutant::MissingLaneBump,
+        name: "missing_lane_bump",
+        summary: "writer fast paths homed on lane 0 skip htm_commit_bump \
+                  (hybrid_norec::fast_commit_clock_update)",
+        kills_via: "software snapshots never see lane-0 hardware commits",
+        algorithm: Algorithm::HybridNorec,
+        htm: HtmProfile::Haswell,
+        clock_shards: 4,
+        threads: 3,
+        slots: 2,
+        txs_per_thread: 4,
+        ops_per_tx: 3,
+        abort_injection: 0.1,
+        seed_budget: 80,
+    },
+    MutantSpec {
+        mutant: Mutant::BloomFalseNegative,
+        name: "bloom_false_negative",
+        summary: "the write-set bloom filter tests a rotated bit, so present \
+                  keys miss (txlog::LogMap::get)",
+        kills_via: "read-your-own-writes broken on the lazy slow path",
+        algorithm: Algorithm::NorecLazy,
+        htm: HtmProfile::Haswell,
+        clock_shards: 1,
+        threads: 3,
+        slots: 2,
+        txs_per_thread: 4,
+        ops_per_tx: 3,
+        abort_injection: 0.0,
+        seed_budget: 40,
+    },
+    MutantSpec {
+        mutant: Mutant::Tl2CommitNoValidate,
+        name: "tl2_commit_no_validate",
+        summary: "TL2 commit skips read-set validation when the clock moved \
+                  (tl2::Tl2Ctx::commit)",
+        kills_via: "committed writer serializes after a commit it never re-read",
+        algorithm: Algorithm::Tl2,
+        htm: HtmProfile::Haswell,
+        clock_shards: 1,
+        threads: 3,
+        slots: 2,
+        txs_per_thread: 4,
+        ops_per_tx: 3,
+        abort_injection: 0.0,
+        seed_budget: 40,
+    },
+    MutantSpec {
+        mutant: Mutant::Tl2EarlyRelease,
+        name: "tl2_early_release",
+        summary: "TL2 abort releases stripe locks before undoing eager \
+                  writes (tl2::Tl2Ctx::rollback_writes)",
+        kills_via: "readers observe dirty aborted values at unlocked stripes",
+        algorithm: Algorithm::Tl2,
+        htm: HtmProfile::Haswell,
+        clock_shards: 1,
+        threads: 3,
+        slots: 2,
+        txs_per_thread: 4,
+        ops_per_tx: 3,
+        abort_injection: 0.0,
+        seed_budget: 60,
+    },
+    MutantSpec {
+        mutant: Mutant::ElisionNoSubscription,
+        name: "elision_no_subscription",
+        summary: "lock-elision fast paths skip the global-lock subscription \
+                  (lock_elision::try_fast)",
+        kills_via: "hardware commits interleave with a serial writer's stores",
+        algorithm: Algorithm::LockElision,
+        htm: HtmProfile::Haswell,
+        clock_shards: 1,
+        threads: 3,
+        slots: 2,
+        txs_per_thread: 4,
+        ops_per_tx: 3,
+        abort_injection: 0.3,
+        seed_budget: 80,
+    },
+    MutantSpec {
+        mutant: Mutant::RhWriterNoHtmLock,
+        name: "rh_writer_no_htm_lock",
+        summary: "RH NOrec's software-writer fallback skips raising \
+                  global_htm_lock (rh_norec::handle_first_write)",
+        kills_via: "read-only fast paths commit mixed snapshots mid-write-phase",
+        algorithm: Algorithm::RhNorec,
+        htm: HtmProfile::Haswell,
+        clock_shards: 1,
+        threads: 3,
+        slots: 2,
+        txs_per_thread: 4,
+        ops_per_tx: 3,
+        abort_injection: 0.3,
+        seed_budget: 80,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_is_indexed_by_discriminant() {
+        assert_eq!(MANIFEST.len(), Mutant::ALL.len());
+        for (i, m) in Mutant::ALL.into_iter().enumerate() {
+            assert_eq!(m as usize, i);
+            assert_eq!(MANIFEST[i].mutant, m, "MANIFEST order diverged from ALL");
+            assert_eq!(m.spec().mutant, m);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_round_trip() {
+        for m in Mutant::ALL {
+            assert_eq!(Mutant::from_name(m.name()), Some(m));
+            assert_eq!(
+                MANIFEST.iter().filter(|s| s.name == m.name()).count(),
+                1,
+                "duplicate manifest name {}",
+                m.name()
+            );
+        }
+        assert_eq!(Mutant::from_name("no_such_mutant"), None);
+    }
+
+    #[test]
+    fn arming_bits_do_not_collide() {
+        let mut seen = 0u32;
+        for m in Mutant::ALL {
+            assert_eq!(seen & m.bit(), 0, "bit collision for {m:?}");
+            seen |= m.bit();
+        }
+    }
+}

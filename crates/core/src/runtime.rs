@@ -30,6 +30,10 @@ pub struct TmRuntime {
     mutant_postfix_clock: std::sync::atomic::AtomicBool,
     #[cfg(feature = "mutant-stale-lane")]
     mutant_stale_lane: std::sync::atomic::AtomicBool,
+    /// Armed corpus mutants, one bit per [`crate::mutants::Mutant`] (the
+    /// two legacy mutants keep their dedicated flags above).
+    #[cfg(feature = "mutants")]
+    mutant_mask: std::sync::atomic::AtomicU32,
 }
 
 impl TmRuntime {
@@ -56,6 +60,8 @@ impl TmRuntime {
             mutant_postfix_clock: std::sync::atomic::AtomicBool::new(false),
             #[cfg(feature = "mutant-stale-lane")]
             mutant_stale_lane: std::sync::atomic::AtomicBool::new(false),
+            #[cfg(feature = "mutants")]
+            mutant_mask: std::sync::atomic::AtomicU32::new(0),
         }))
     }
 
@@ -82,6 +88,41 @@ impl TmRuntime {
     pub fn set_stale_lane_mutant(&self, on: bool) {
         self.mutant_stale_lane
             .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Arms or disarms one planted protocol bug from the mutation corpus
+    /// (see [`crate::mutants`]). Off by default even when the feature is
+    /// compiled in; arming is per-runtime, so a clean engine in the same
+    /// process stays untouched.
+    ///
+    /// [`crate::mutants::Mutant::BloomFalseNegative`] is sampled once per
+    /// thread at [`register`](Self::register); arm it before registering
+    /// workers. Every other mutant takes effect on the next attempt.
+    #[cfg(feature = "mutants")]
+    pub fn set_mutant(&self, mutant: crate::mutants::Mutant, on: bool) {
+        use crate::mutants::Mutant;
+        use std::sync::atomic::Ordering;
+        match mutant {
+            Mutant::PostfixClock => self.set_postfix_clock_mutant(on),
+            Mutant::StaleLane => self.set_stale_lane_mutant(on),
+            _ if on => {
+                self.mutant_mask.fetch_or(mutant.bit(), Ordering::Relaxed);
+            }
+            _ => {
+                self.mutant_mask.fetch_and(!mutant.bit(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[cfg(feature = "mutants")]
+    pub(crate) fn mutant_armed(&self, mutant: crate::mutants::Mutant) -> bool {
+        use crate::mutants::Mutant;
+        use std::sync::atomic::Ordering;
+        match mutant {
+            Mutant::PostfixClock => self.postfix_clock_mutant(),
+            Mutant::StaleLane => self.mutant_stale_lane.load(Ordering::Relaxed),
+            _ => self.mutant_mask.load(Ordering::Relaxed) & mutant.bit() != 0,
+        }
     }
 
     /// The globals as the software paths should see them this attempt:
@@ -143,13 +184,17 @@ impl TmRuntime {
                 TmError::ThreadAlreadyRegistered { tid }
             }
         })?;
+        #[allow(unused_mut)]
+        let mut logs = TxLogs::default();
+        #[cfg(feature = "mutants")]
+        logs.set_bloom_sabotage(self.mutant_armed(crate::mutants::Mutant::BloomFalseNegative));
         Ok(TmThread {
             htm_thread,
             rt: Arc::clone(self),
             tid,
             stats: TmThreadStats::default(),
             mem: TxMem::default(),
-            logs: TxLogs::default(),
+            logs,
             backoff: Backoff::new(&self.config.backoff, tid),
             prefix_len: self.config.prefix.initial_reads,
         })

@@ -112,6 +112,11 @@ pub(crate) struct LogMap {
     bloom: u64,
     indexed: bool,
     grows: u64,
+    /// Armed `BloomFalseNegative` corpus mutant: lookups test a rotated
+    /// bloom bit, so present keys can miss. Survives `clear` — the bug
+    /// under test is permanent filter corruption, not a one-attempt blip.
+    #[cfg(feature = "mutants")]
+    sabotage_bloom: bool,
 }
 
 impl LogMap {
@@ -131,10 +136,27 @@ impl LogMap {
         self.entries.iter()
     }
 
+    /// The bloom bit lookups test for `key` — the correct one, unless the
+    /// `BloomFalseNegative` corpus mutant is armed.
+    #[inline]
+    fn lookup_bloom_bit(&self, key: u64) -> u64 {
+        #[cfg(feature = "mutants")]
+        if self.sabotage_bloom {
+            return bloom_bit(key).rotate_left(1);
+        }
+        bloom_bit(key)
+    }
+
+    /// Arms the `BloomFalseNegative` corpus mutant on this map.
+    #[cfg(feature = "mutants")]
+    pub(crate) fn set_bloom_sabotage(&mut self, on: bool) {
+        self.sabotage_bloom = on;
+    }
+
     /// Current value for `key`, if present.
     #[inline]
     pub(crate) fn get(&self, key: u64) -> Option<u64> {
-        if self.bloom & bloom_bit(key) == 0 {
+        if self.bloom & self.lookup_bloom_bit(key) == 0 {
             return None;
         }
         if !self.indexed {
@@ -305,6 +327,12 @@ impl WriteSet {
     pub(crate) fn grow_events(&self) -> u64 {
         self.map.grow_events()
     }
+
+    /// Arms the `BloomFalseNegative` corpus mutant on the backing map.
+    #[cfg(feature = "mutants")]
+    pub(crate) fn set_bloom_sabotage(&mut self, on: bool) {
+        self.map.set_bloom_sabotage(on);
+    }
 }
 
 /// The per-thread log arenas, owned by `TmThread` alongside `TxMem` and
@@ -324,6 +352,17 @@ pub(crate) struct TxLogs {
 }
 
 impl TxLogs {
+    /// Arms the `BloomFalseNegative` corpus mutant on the lazy write-set.
+    ///
+    /// Deliberately leaves `tl2_owned` alone: a false negative on the
+    /// owned-stripe table would make TL2 re-acquire a stripe it already
+    /// holds and self-deadlock — a liveness failure, not the safety bug
+    /// this mutant plants.
+    #[cfg(feature = "mutants")]
+    pub(crate) fn set_bloom_sabotage(&mut self, on: bool) {
+        self.write_set.set_bloom_sabotage(on);
+    }
+
     /// Total reallocations across all arenas since thread registration.
     pub(crate) fn grow_events(&self) -> u64 {
         self.read_log.grow_events()
@@ -455,6 +494,82 @@ mod tests {
             }
             assert_eq!(m.get(key + 1), None);
         }
+    }
+
+    #[test]
+    fn small_regime_holds_at_exactly_small_max() {
+        let mut m = LogMap::default();
+        for i in 0..SMALL_MAX as u64 {
+            assert!(m.insert(i.wrapping_mul(FIB) + 1, i));
+        }
+        assert_eq!(m.len(), SMALL_MAX);
+        assert!(!m.indexed, "the index must not build until len > SMALL_MAX");
+        for i in 0..SMALL_MAX as u64 {
+            assert_eq!(m.get(i.wrapping_mul(FIB) + 1), Some(i));
+        }
+        // Updates at the boundary stay on the small path...
+        assert!(!m.insert(FIB + 1, 777));
+        assert!(!m.indexed);
+        assert_eq!(m.get(FIB + 1), Some(777));
+        // ...and the very next new key tips it over.
+        assert!(m.insert(u64::MAX, 999));
+        assert!(m.indexed, "entry SMALL_MAX + 1 must build the index");
+        assert_eq!(m.get(u64::MAX), Some(999));
+        assert_eq!(m.get(FIB + 1), Some(777));
+    }
+
+    /// A key colliding with `base` in the bloom filter (same filter bit)
+    /// but distinct, so a lookup passes the bloom and must be rejected by
+    /// the probe.
+    fn bloom_colliding_key(base: u64) -> u64 {
+        (1..)
+            .map(|i| base + i)
+            .find(|&k| bloom_bit(k) == bloom_bit(base))
+            .unwrap()
+    }
+
+    #[test]
+    fn bloom_collision_forces_slow_probe_in_both_regimes() {
+        // Small regime: one entry, a colliding absent key scans the arena.
+        let base = 0xDEAD_BEEF;
+        let collider = bloom_colliding_key(base);
+        assert_ne!(base, collider);
+        let mut m = LogMap::default();
+        m.insert(base, 1);
+        assert_eq!(m.get(collider), None, "collision must fall through to the probe");
+        assert_eq!(m.get(base), Some(1));
+
+        // Indexed regime: the collider now also has to walk the
+        // open-addressed table to its EMPTY slot.
+        for i in 0..SMALL_MAX as u64 + 4 {
+            m.insert(base + (i + 1) * 0x10_0000, i);
+        }
+        assert!(m.indexed);
+        assert_eq!(m.get(collider), None);
+        assert_eq!(m.get(base), Some(1));
+    }
+
+    #[test]
+    fn clear_then_reuse_across_attempts() {
+        let mut m = LogMap::default();
+        // Attempt 1 grows past the threshold, saturating bloom and index.
+        for i in 0..SMALL_MAX as u64 * 3 {
+            m.insert(i + 1, i);
+        }
+        assert!(m.indexed);
+        m.clear();
+        assert_eq!(m.len(), 0);
+        assert!(!m.indexed, "clear must drop back to the small regime");
+        // Stale keys from the previous attempt must miss — both through
+        // the reset bloom and, once entries return, through the probe.
+        assert_eq!(m.get(5), None);
+        for i in 0..4u64 {
+            assert!(m.insert(i * 2 + 100, i), "reused map must treat keys as new");
+        }
+        assert_eq!(m.get(5), None);
+        assert_eq!(m.get(102), Some(1));
+        let order: Vec<_> = m.iter().map(|&(k, _)| k).collect();
+        assert_eq!(order, vec![100, 102, 104, 106], "insertion order resets with clear");
     }
 
     #[test]
