@@ -123,7 +123,7 @@ pub fn run_cell(build: &dyn Fn(&Heap) -> Box<dyn Workload>, config: &CellConfig)
     let workload: Box<dyn Workload> = build(&heap);
 
     {
-        let mut setup_worker = rt.register(0).expect("fresh thread id");
+        let mut setup_worker = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(config.seed);
         workload.setup(&mut setup_worker, &mut rng);
     }
@@ -141,7 +141,7 @@ pub fn run_cell(build: &dyn Fn(&Heap) -> Box<dyn Workload>, config: &CellConfig)
             let results = &results;
             let seed = config.seed;
             s.spawn(move || {
-                let mut worker = rt.register(tid).expect("fresh thread id");
+                let mut worker = rt.open_session().expect("free worker slot");
                 let mut rng = WorkloadRng::seed_from_u64(seed ^ ((tid as u64 + 1) * 0x9e37));
                 barrier.wait();
                 worker.reset_stats();

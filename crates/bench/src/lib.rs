@@ -30,5 +30,6 @@ pub mod figures;
 pub mod ledger;
 pub mod overhead;
 pub mod report;
+pub mod service;
 
 pub use driver::{run_cell, CellConfig, CellResult};

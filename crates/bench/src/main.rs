@@ -16,6 +16,7 @@
 //! `diff`: exit nonzero when a cell regressed past the threshold).
 
 use rh_bench::figures::{self, Overrides, Scale};
+use rh_bench::service::{self, ServiceArgs};
 use rh_norec::Algorithm;
 
 fn main() {
@@ -28,6 +29,7 @@ fn main() {
     let csv = args.iter().any(|a| a == "--csv");
     let mut best_of: u32 = 1;
     let mut overrides = Overrides::default();
+    let mut service_args = ServiceArgs { csv, ..ServiceArgs::default() };
     let mut skip_next = false;
     let mut targets: Vec<&str> = Vec::new();
     for (i, arg) in args.iter().enumerate() {
@@ -36,6 +38,23 @@ fn main() {
             continue;
         }
         match arg.as_str() {
+            "--engine" => {
+                let name = args.get(i + 1).unwrap_or_else(|| usage("--engine needs a name"));
+                service_args.engine = Some(service::parse_engine(name).unwrap_or_else(|| {
+                    usage(&format!("unknown engine `{name}` (try rh-norec, hy-norec, norec, tl2, lock-elision)"))
+                }));
+                skip_next = true;
+            }
+            "--requests" => {
+                let n = args.get(i + 1).unwrap_or_else(|| usage("--requests needs a count"));
+                service_args.requests = n.parse().unwrap_or_else(|_| usage("bad request count"));
+                skip_next = true;
+            }
+            "--seed" => {
+                let s = args.get(i + 1).unwrap_or_else(|| usage("--seed needs a value"));
+                service_args.seed = s.parse().unwrap_or_else(|_| usage("bad seed"));
+                skip_next = true;
+            }
             "--threads" => {
                 let list = args.get(i + 1).unwrap_or_else(|| usage("--threads needs a list"));
                 overrides.threads = Some(
@@ -56,6 +75,7 @@ fn main() {
                 best_of = n.parse().unwrap_or_else(|_| usage("bad --best-of count"));
                 skip_next = true;
             }
+            "--smoke" => service_args.smoke = true,
             "--paper" | "--csv" | "--fail" => {}
             a if a.starts_with("--") => usage(&format!("unknown flag {a}")),
             a => targets.push(a),
@@ -73,6 +93,12 @@ fn main() {
         return;
     }
     let algorithms = Algorithm::PAPER_SET;
+    // The service pool reuses the global --threads list (first entry).
+    if let Some(list) = &overrides.threads {
+        if let Some(&first) = list.first() {
+            service_args.threads = first;
+        }
+    }
 
     for target in targets {
         match target {
@@ -83,6 +109,7 @@ fn main() {
             "ablate" => figures::run_ablations(scale),
             "summary" => figures::run_summary(scale),
             "overhead" => rh_bench::overhead::run(scale, csv, best_of),
+            "service" => service::run(&service_args),
             "all" => {
                 figures::run_figure("Figure 4", &figures::figure4(scale), &algorithms, scale, csv, &overrides);
                 figures::run_figure("Figure 5", &figures::figure5(scale), &algorithms, scale, csv, &overrides);
@@ -92,7 +119,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown target `{other}`; use fig4|fig5|fig6|extras|ablate|summary|overhead|diff|all"
+                    "unknown target `{other}`; use fig4|fig5|fig6|extras|ablate|summary|overhead|service|diff|all"
                 );
                 std::process::exit(2);
             }
@@ -102,8 +129,9 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: rh-bench [fig4|fig5|fig6|extras|ablate|summary|overhead|all]... \
+    eprintln!("usage: rh-bench [fig4|fig5|fig6|extras|ablate|summary|overhead|service|all]... \
        [--paper] [--csv] [--threads 1,2,4] [--duration-ms 500] [--best-of N]\n       \
+       rh-bench service [--engine NAME] [--threads N] [--requests N] [--seed S] [--smoke]\n       \
        rh-bench diff <before.json> <after.json> [--fail]");
     std::process::exit(2);
 }

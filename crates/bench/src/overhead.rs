@@ -292,7 +292,7 @@ fn alloc_slots(heap: &Heap) -> Vec<Addr> {
         .collect()
 }
 
-fn run_body(scenario: &'static str, worker: &mut rh_norec::TmThread, slots: &[Addr]) {
+fn run_body(scenario: &'static str, worker: &mut rh_norec::Session, slots: &[Addr]) {
     match scenario {
         "read" => {
             let sum = worker.execute(TxKind::ReadOnly, |tx| {
@@ -352,7 +352,7 @@ fn run_body(scenario: &'static str, worker: &mut rh_norec::TmThread, slots: &[Ad
 struct LiveCell {
     algorithm: Algorithm,
     spec: &'static ScenarioSpec,
-    worker: rh_norec::TmThread,
+    worker: rh_norec::Session,
     slots: Vec<Addr>,
     best_batch: Duration,
     txs: u64,
@@ -361,7 +361,7 @@ struct LiveCell {
 impl LiveCell {
     fn new(algorithm: Algorithm, spec: &'static ScenarioSpec) -> Self {
         let (heap, rt) = make_runtime(algorithm, spec);
-        let mut worker = rt.register(0).expect("fresh thread id");
+        let mut worker = rt.open_session().expect("free worker slot");
         let slots = alloc_slots(&heap);
         // Warmup: fault in the working set, settle adaptive state, and
         // let the recycled log arenas reach their steady-state capacity.
@@ -445,7 +445,7 @@ fn run_contended(algorithm: Algorithm, spec: &ScenarioSpec, scale: Scale) -> Ove
                 let rt = Arc::clone(&rt);
                 let cell = cells[tid % cells.len()];
                 s.spawn(move || {
-                    let mut worker = rt.register(tid).expect("fresh thread id");
+                    let mut worker = rt.open_session().expect("free worker slot");
                     for _ in 0..txs_per_thread {
                         worker.execute(TxKind::ReadWrite, |tx| {
                             let v = tx.read(cell)?;

@@ -23,7 +23,8 @@ use rh_norec::mutants::{HtmProfile, Mutant, MutantSpec};
 use rh_norec::Algorithm;
 use sim_htm::sched::SchedConfig;
 use sim_htm::HtmConfig;
-use tm_check::harness::{run_case, run_case_minimized, CaseConfig, CaseFailure};
+use rh_norec::mutants::WorkloadShape;
+use tm_check::harness::{run_case, run_case_minimized, CaseConfig, CaseFailure, CaseWorkload};
 
 /// The paper's five algorithms — the clean cross-sweep set.
 const CLEAN_SET: &[Algorithm] = &[
@@ -68,6 +69,11 @@ fn case_for(spec: &MutantSpec, mutant: Option<Mutant>) -> CaseConfig {
         clock_shards: spec.clock_shards,
         mutant,
         backoff: None,
+        workload: match spec.workload {
+            WorkloadShape::Scripted => CaseWorkload::Scripted,
+            // One shard maximizes key collisions in the transfer path.
+            WorkloadShape::KvTransfer => CaseWorkload::KvTransfer { kv_shards: 1 },
+        },
     }
 }
 

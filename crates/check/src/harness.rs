@@ -23,6 +23,24 @@ use crate::shrink::{self, Shrunk};
 use crate::verdict::{self, Verdict};
 use crate::Recorder;
 
+/// Which workload shape a case replays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaseWorkload {
+    /// Seed-derived read/increment/blind-write scripts over raw heap
+    /// slots (the original harness workload).
+    Scripted,
+    /// Seed-derived KV request streams (transfers and gets over
+    /// `slots` keys) against an [`rh_kv::KvStore`] with `kv_shards`
+    /// hash shards, every operation one transaction on the session
+    /// API. On top of the history oracles, the run must conserve the
+    /// sum of all balances — the app-level invariant that kills
+    /// value-stale bugs the heap-level oracles cannot see.
+    KvTransfer {
+        /// Hash shards of the store under test.
+        kv_shards: usize,
+    },
+}
+
 /// One checked workload: algorithm, machine, and workload shape.
 #[derive(Clone, Debug)]
 pub struct CaseConfig {
@@ -52,6 +70,11 @@ pub struct CaseConfig {
     /// two values here must replay a given schedule seed identically —
     /// the property `backoff_determinism.rs` pins.
     pub backoff: Option<rh_norec::BackoffConfig>,
+    /// Workload shape (scripted heap slots, or KV request streams). For
+    /// [`CaseWorkload::KvTransfer`], `slots` is the key-space size and
+    /// `txs_per_thread` the requests per thread (`ops_per_tx` is
+    /// unused).
+    pub workload: CaseWorkload,
 }
 
 impl CaseConfig {
@@ -68,6 +91,20 @@ impl CaseConfig {
             clock_shards: 1,
             mutant: None,
             backoff: None,
+            workload: CaseWorkload::Scripted,
+        }
+    }
+
+    /// A contended KV case: transfers and gets over a handful of keys in
+    /// a `kv_shards`-way store.
+    pub fn kv_transfer(algorithm: Algorithm, htm: HtmConfig, kv_shards: usize) -> Self {
+        CaseConfig {
+            threads: 3,
+            slots: 4,
+            txs_per_thread: 6,
+            ops_per_tx: 1,
+            workload: CaseWorkload::KvTransfer { kv_shards },
+            ..CaseConfig::contended(algorithm, htm)
         }
     }
 }
@@ -221,6 +258,9 @@ fn scripts(case: &CaseConfig, seed: u64) -> Vec<Vec<Vec<Op>>> {
 /// [`CaseFailure::Opacity`] when the checker rejects the history,
 /// [`CaseFailure::Panicked`] when a virtual thread panicked.
 pub fn run_case(case: &CaseConfig, sched_cfg: &SchedConfig) -> Result<CaseReport, CaseFailure> {
+    if let CaseWorkload::KvTransfer { kv_shards } = case.workload {
+        return run_kv_case(case, sched_cfg, kv_shards);
+    }
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
     let htm = Htm::new(Arc::clone(&heap), case.htm);
     let mut builder = TmConfig::builder(case.algorithm).clock_shards(case.clock_shards);
@@ -294,6 +334,153 @@ pub fn run_case(case: &CaseConfig, sched_cfg: &SchedConfig) -> Result<CaseReport
             })
         }
     };
+
+    let history = recorder.take();
+    match verdict::judge(&initial, &history) {
+        Ok(judgement) => Ok(CaseReport {
+            history,
+            run,
+            summary: judgement.opacity,
+            serializability: judgement.serializability,
+        }),
+        Err(verdict) => Err(CaseFailure::Violation {
+            seed: sched_cfg.seed,
+            guided: sched_cfg.guided.clone(),
+            verdict,
+            history,
+            decisions: run.decisions,
+            shrunk: None,
+        }),
+    }
+}
+
+/// Initial balance under every key of a KV case.
+const KV_BALANCE: u64 = 100;
+
+/// One request of a generated KV stream.
+#[derive(Clone, Copy, Debug)]
+enum KvOp {
+    /// Point read of a key.
+    Get(u64),
+    /// `transfer(src, dst, amount)`.
+    Transfer(u64, u64, u64),
+}
+
+/// Seed-derived per-thread KV request streams: three transfers to one
+/// get, sources and destinations drawn from the case's `slots` keys.
+fn kv_scripts(case: &CaseConfig, seed: u64) -> Vec<Vec<KvOp>> {
+    let keys = case.slots as u64;
+    assert!(keys >= 2, "KV transfer cases need at least two keys");
+    (0..case.threads)
+        .map(|tid| {
+            let mut rng = seed ^ (tid as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+            (0..case.txs_per_thread)
+                .map(|_| {
+                    let r = splitmix(&mut rng);
+                    let src = 1 + (r >> 8) % keys;
+                    if r.is_multiple_of(4) {
+                        KvOp::Get(src)
+                    } else {
+                        let mut dst = 1 + (r >> 24) % keys;
+                        if dst == src {
+                            dst = 1 + dst % keys;
+                        }
+                        KvOp::Transfer(src, dst, 1 + (r >> 48) % 3)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The [`CaseWorkload::KvTransfer`] body of [`run_case`]: replays KV
+/// request streams against a sharded [`rh_kv::KvStore`] on the session
+/// API, judges the recorded history with both oracles, and additionally
+/// checks conservation of the balance sum — the app-level invariant
+/// that catches stale-value bugs (e.g. `Mutant::KvStaleTransferCredit`)
+/// whose histories are serializable word by word.
+fn run_kv_case(
+    case: &CaseConfig,
+    sched_cfg: &SchedConfig,
+    kv_shards: usize,
+) -> Result<CaseReport, CaseFailure> {
+    let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
+    let htm = Htm::new(Arc::clone(&heap), case.htm);
+    let mut builder = TmConfig::builder(case.algorithm).clock_shards(case.clock_shards);
+    if let Some(backoff) = case.backoff {
+        builder = builder.backoff(backoff);
+    }
+    let tm_cfg = builder.build().expect("harness case config must be valid");
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, tm_cfg)
+        .expect("harness runtime construction cannot fail");
+    if let Some(mutant) = case.mutant {
+        rt.set_mutant(mutant, true);
+    }
+
+    let store = Arc::new(
+        rh_kv::KvStore::create(&heap, rh_kv::KvConfig::tiny(kv_shards))
+            .expect("heap too small for the case store"),
+    );
+    for key in 1..=case.slots as u64 {
+        store.load(&heap, key, KV_BALANCE).expect("tiny store cannot hold the case keys");
+    }
+    let initial_sum = store.sum_direct(&heap);
+    let initial: HashMap<u64, u64> = store.snapshot_words(&heap);
+
+    let recorder = Recorder::new();
+    let bodies: Vec<Box<dyn FnOnce() + Send>> = kv_scripts(case, sched_cfg.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(tid, requests)| {
+            let rt = Arc::clone(&rt);
+            let store = Arc::clone(&store);
+            let sink: Arc<dyn TraceSink> = Arc::clone(&recorder) as Arc<dyn TraceSink>;
+            Box::new(move || {
+                trace::install(sink, tid);
+                let mut session = rt.open_session().expect("free worker slot");
+                for request in &requests {
+                    match *request {
+                        KvOp::Get(key) => {
+                            store.get(&mut session, key).expect("get cannot fault");
+                        }
+                        KvOp::Transfer(src, dst, amount) => {
+                            store
+                                .transfer(&mut session, src, dst, amount)
+                                .expect("transfer cannot fault");
+                        }
+                    }
+                }
+                drop(session);
+                trace::uninstall();
+            }) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
+
+    let run = match catch_unwind(AssertUnwindSafe(|| sched::run_threads(sched_cfg, bodies))) {
+        Ok(run) => run,
+        Err(payload) => {
+            return Err(CaseFailure::Panicked {
+                seed: sched_cfg.seed,
+                guided: sched_cfg.guided.clone(),
+                message: panic_message(&payload),
+            })
+        }
+    };
+
+    // The app-level invariant first: a stale-credit transfer produces a
+    // perfectly serializable history of blind writes, so only the
+    // balance sum betrays it.
+    let final_sum = store.sum_direct(&heap);
+    if final_sum != initial_sum {
+        return Err(CaseFailure::Panicked {
+            seed: sched_cfg.seed,
+            guided: sched_cfg.guided.clone(),
+            message: format!(
+                "workload invariant: KV balance sum drifted {initial_sum} -> {final_sum} \
+                 (transfers and gets conserve it)"
+            ),
+        });
+    }
 
     let history = recorder.take();
     match verdict::judge(&initial, &history) {

@@ -1,0 +1,109 @@
+//! The KV service-tier sweep: seed-derived request traces (gets and
+//! transfers over a handful of hot keys) replayed against the sharded
+//! `rh_kv::KvStore` on the session API, under the deterministic
+//! scheduler and both history oracles, plus the balance-conservation
+//! invariant.
+//!
+//! Complements `opacity_sweep.rs`: those cases exercise raw heap slots;
+//! these exercise the full application stack — session registration
+//! inside virtual threads, bucket probes, and multi-key transfers.
+
+use rh_norec::Algorithm;
+use sim_htm::sched::SchedConfig;
+use sim_htm::HtmConfig;
+use tm_check::harness::{run_case, CaseConfig, CaseFailure, CaseWorkload};
+
+const ALGORITHMS: [Algorithm; 5] = [
+    Algorithm::LockElision,
+    Algorithm::Norec,
+    Algorithm::Tl2,
+    Algorithm::HybridNorec,
+    Algorithm::RhNorec,
+];
+
+/// KV store shard counts the sweep covers: a single shard (every key
+/// collides into one bucket region) and four shards.
+const KV_SHARDS: [usize; 2] = [1, 4];
+
+const SEEDS: u64 = 12;
+
+/// Every engine serves contended KV transfer traces with serializable,
+/// opaque histories and a conserved balance sum, at both shard counts.
+#[test]
+fn kv_transfer_traces_are_clean_on_every_engine() {
+    for algorithm in ALGORITHMS {
+        for kv_shards in KV_SHARDS {
+            let case = CaseConfig::kv_transfer(algorithm, HtmConfig::default(), kv_shards);
+            for seed in 0..SEEDS {
+                run_case(&case, &SchedConfig::from_seed(seed)).unwrap_or_else(|f| {
+                    panic!("{algorithm:?} kv_shards={kv_shards} seed {seed}: {f}")
+                });
+            }
+        }
+    }
+}
+
+/// The same traces with the HTM disabled: every request runs the
+/// software slow path, where NOrec-family validation carries the load.
+#[test]
+fn kv_transfer_traces_are_clean_without_htm() {
+    for algorithm in ALGORITHMS {
+        let case = CaseConfig::kv_transfer(algorithm, HtmConfig::disabled(), 1);
+        for seed in 0..SEEDS {
+            run_case(&case, &SchedConfig::from_seed(seed))
+                .unwrap_or_else(|f| panic!("{algorithm:?} no-HTM seed {seed}: {f}"));
+        }
+    }
+}
+
+/// Sharded commit clocks compose with the KV tier: the lane-vector
+/// protocol serves the same traces clean.
+#[test]
+fn kv_traces_are_clean_under_sharded_clocks() {
+    let mut case = CaseConfig::kv_transfer(Algorithm::RhNorec, HtmConfig::default(), 4);
+    case.clock_shards = 4;
+    for seed in 0..SEEDS {
+        run_case(&case, &SchedConfig::from_seed(seed))
+            .unwrap_or_else(|f| panic!("clock_shards=4 seed {seed}: {f}"));
+    }
+}
+
+/// The planted KV mutant (stale-transfer-credit) dies within its
+/// manifest budget, and dies the way the manifest declares: as a
+/// conservation panic, not an oracle violation — the bug's histories
+/// are serializable word by word, which is exactly why the KV tier
+/// carries its own invariant.
+#[test]
+fn stale_transfer_credit_mutant_is_killed_by_conservation() {
+    let spec = rh_norec::mutants::Mutant::KvStaleTransferCredit.spec();
+    let mut case = CaseConfig::kv_transfer(spec.algorithm, HtmConfig::default(), 1);
+    case.threads = spec.threads;
+    case.slots = spec.slots;
+    case.txs_per_thread = spec.txs_per_thread;
+    case.mutant = Some(spec.mutant);
+
+    let mut kill = None;
+    for seed in 0..spec.seed_budget {
+        if let Err(failure) = run_case(&case, &SchedConfig::from_seed(seed)) {
+            kill = Some((seed, failure));
+            break;
+        }
+    }
+    let (seed, failure) = kill.unwrap_or_else(|| {
+        panic!("stale-transfer-credit mutant survived {} seeds", spec.seed_budget)
+    });
+    match &failure {
+        CaseFailure::Panicked { message, .. } => assert!(
+            message.contains("balance sum drifted"),
+            "killed, but not by the conservation invariant: {message}"
+        ),
+        other => panic!("expected a conservation kill, got: {other}"),
+    }
+
+    // The killing seed is stable, and the clean engine passes it.
+    assert!(run_case(&case, &SchedConfig::from_seed(seed)).is_err());
+    let clean = CaseConfig { mutant: None, ..case };
+    run_case(&clean, &SchedConfig::from_seed(seed))
+        .unwrap_or_else(|f| panic!("clean engine fails the kill seed: {f}"));
+    assert!(matches!(case.workload, CaseWorkload::KvTransfer { kv_shards: 1 }));
+}

@@ -11,7 +11,7 @@ use sim_htm::sched::SchedConfig;
 use sim_htm::HtmConfig;
 use tm_check::explore::explore_case;
 use tm_check::harness::{
-    privatization_case, run_case, run_case_minimized, CaseConfig, CaseFailure,
+    privatization_case, run_case, run_case_minimized, CaseConfig, CaseFailure, CaseWorkload,
 };
 
 /// The paper's five algorithms (Figure 5's competitors).
@@ -218,6 +218,7 @@ fn bounded_exhaustive_exploration_is_opaque() {
         clock_shards: 1,
         mutant: None,
         backoff: None,
+        workload: CaseWorkload::Scripted,
     };
     let base = SchedConfig::from_seed(0);
     let stats = explore_case(&case, &base, 6, 400).unwrap_or_else(|f| panic!("{f}"));
@@ -242,6 +243,7 @@ fn exploration_catches_the_mutant() {
         clock_shards: 1,
         mutant: Some(Mutant::PostfixClock),
         backoff: None,
+        workload: CaseWorkload::Scripted,
     };
     let err = match explore_case(&case, &SchedConfig::from_seed(0), 12, 800) {
         Err(failure) => failure,
@@ -268,6 +270,12 @@ fn case_from_spec(spec: &rh_norec::mutants::MutantSpec) -> CaseConfig {
         clock_shards: spec.clock_shards,
         mutant: Some(spec.mutant),
         backoff: None,
+        workload: match spec.workload {
+            rh_norec::mutants::WorkloadShape::Scripted => CaseWorkload::Scripted,
+            rh_norec::mutants::WorkloadShape::KvTransfer => {
+                CaseWorkload::KvTransfer { kv_shards: 1 }
+            }
+        },
     }
 }
 

@@ -246,8 +246,8 @@ fn mixed_slow_path<T>(
             died_in_prefix: false,
             died_in_postfix: false,
             death_may_retry: true,
-            #[cfg(feature = "mutant-postfix-clock")]
-            mutant: rt.postfix_clock_mutant(),
+            #[cfg(feature = "mutants")]
+            mutant: rt.mutant_armed(crate::mutants::Mutant::PostfixClock),
             #[cfg(feature = "mutants")]
             no_htm_lock: rt.mutant_armed(crate::mutants::Mutant::RhWriterNoHtmLock),
         };
@@ -344,7 +344,7 @@ pub(crate) struct RhCtx<'a> {
     died_in_postfix: bool,
     death_may_retry: bool,
     /// Run the deliberately broken first-write protocol (mutation test).
-    #[cfg(feature = "mutant-postfix-clock")]
+    #[cfg(feature = "mutants")]
     mutant: bool,
     /// Armed `RhWriterNoHtmLock` corpus mutant: the software-writer
     /// fallback skips raising `global_htm_lock` (the planted bug).
@@ -541,7 +541,7 @@ impl RhCtx<'_> {
     /// doubles as the final conflict check — it fails iff anyone committed
     /// a write since we last validated.
     fn lock_clock(&mut self) -> TxResult<()> {
-        #[cfg(feature = "mutant-postfix-clock")]
+        #[cfg(feature = "mutants")]
         if self.mutant {
             // MUTANT (opacity-checker mutation test): re-read the clock at
             // the start of the write phase and lock whatever it holds now,

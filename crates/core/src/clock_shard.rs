@@ -49,8 +49,8 @@ pub struct ClockScheme {
     shards: u32,
     /// Write-phase mutex (sharded only; `Addr::NULL` when `shards == 1`).
     epoch: Addr,
-    /// MUTANT (`mutant-stale-lane`): skip revalidating the last lane.
-    #[cfg(feature = "mutant-stale-lane")]
+    /// MUTANT (`Mutant::StaleLane`): skip revalidating the last lane.
+    #[cfg(feature = "mutants")]
     stale_lane: bool,
 }
 
@@ -85,7 +85,7 @@ impl ClockScheme {
             lanes,
             shards,
             epoch,
-            #[cfg(feature = "mutant-stale-lane")]
+            #[cfg(feature = "mutants")]
             stale_lane: false,
         }
     }
@@ -123,9 +123,9 @@ impl ClockScheme {
         tid % self.shards as usize
     }
 
-    /// Arms the `mutant-stale-lane` mutation on this copy of the scheme:
+    /// Arms the `Mutant::StaleLane` mutation on this copy of the scheme:
     /// validation skips the last lane, so commits homed there go unseen.
-    #[cfg(feature = "mutant-stale-lane")]
+    #[cfg(feature = "mutants")]
     pub(crate) fn set_stale_lane(&mut self, on: bool) {
         self.stale_lane = on;
     }
@@ -133,7 +133,7 @@ impl ClockScheme {
     /// The lane index validation skips (out of range = none).
     #[inline]
     fn skip_lane(&self) -> usize {
-        #[cfg(feature = "mutant-stale-lane")]
+        #[cfg(feature = "mutants")]
         if self.stale_lane && self.shards > 1 {
             // MUTANT: the last lane's bumps are never revalidated.
             return self.shards as usize - 1;
@@ -313,10 +313,10 @@ impl ClockScheme {
         true
     }
 
-    /// MUTANT (`mutant-postfix-clock`): enter the write phase from the
+    /// MUTANT (`Mutant::PostfixClock`): enter the write phase from the
     /// *current* clock instead of the validated snapshot — reads taken
     /// before an intervening commit survive into the write phase.
-    #[cfg(feature = "mutant-postfix-clock")]
+    #[cfg(feature = "mutants")]
     pub(crate) fn force_enter_write_phase(&self, heap: &Heap, snap: &mut ClockSnapshot) -> bool {
         if self.shards == 1 {
             let now = heap.load(self.lanes[0]);

@@ -53,7 +53,9 @@ mod error;
 mod globals;
 #[cfg(feature = "mutants")]
 pub mod mutants;
+pub mod prelude;
 mod runtime;
+mod session;
 mod stats;
 pub mod trace;
 mod tx;
@@ -74,5 +76,6 @@ pub use config::{Algorithm, BackoffConfig, PrefixConfig, RetryPolicy, TmConfig, 
 pub use error::{TmError, TxFault, TxResult, TxRestart};
 pub use globals::{clock, Globals};
 pub use runtime::{TmRuntime, TmThread};
+pub use session::Session;
 pub use stats::{ThreadReport, TmThreadStats};
 pub use tx::Tx;

@@ -32,11 +32,12 @@ use crate::Algorithm;
 pub enum Mutant {
     /// RH NOrec first write re-reads the clock and locks whatever it
     /// holds now instead of entering the write phase from the validated
-    /// snapshot (the original `mutant-postfix-clock` mutation).
+    /// snapshot (the corpus's original mutation, once a dedicated
+    /// `mutant-postfix-clock` cargo feature).
     PostfixClock,
     /// Sharded-clock validation never revalidates the last sequence
     /// lane, so commits homed there go unseen by in-flight snapshots
-    /// (the original `mutant-stale-lane` mutation).
+    /// (once a dedicated `mutant-stale-lane` cargo feature).
     StaleLane,
     /// Eager NOrec reads skip per-read clock validation entirely — the
     /// "skipped post-validation re-read" bug.
@@ -66,11 +67,19 @@ pub enum Mutant {
     /// raising `global_htm_lock`, letting fast paths — which subscribe
     /// only to that lock — commit mid-write-phase.
     RhWriterNoHtmLock,
+    /// The KV service tier's `transfer` computes the credit from a
+    /// destination balance probed in a *separate, earlier* read-only
+    /// transaction instead of reading it inside the transfer — a stale
+    /// base that silently drops concurrent credits to the same key. The
+    /// hook lives out-of-crate in `rh_kv::KvStore::transfer` and
+    /// consults this runtime's arming mask through
+    /// [`TmRuntime::mutant_armed`](crate::TmRuntime::mutant_armed).
+    KvStaleTransferCredit,
 }
 
 impl Mutant {
     /// Every corpus mutant, in [`MANIFEST`] order.
-    pub const ALL: [Mutant; 10] = [
+    pub const ALL: [Mutant; 11] = [
         Mutant::PostfixClock,
         Mutant::StaleLane,
         Mutant::EagerSkipValidation,
@@ -81,6 +90,7 @@ impl Mutant {
         Mutant::Tl2EarlyRelease,
         Mutant::ElisionNoSubscription,
         Mutant::RhWriterNoHtmLock,
+        Mutant::KvStaleTransferCredit,
     ];
 
     /// The mutant's bit in the runtime's arming mask.
@@ -118,6 +128,20 @@ pub enum HtmProfile {
     Tiny,
 }
 
+/// Workload family a kill recipe drives. `tm-check` maps these to its
+/// harness workloads; naming them here keeps the manifest authoritative
+/// about *how* each bug is expected to die without the core crate
+/// depending on the workload code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadShape {
+    /// The seeded per-thread read/incr/blind-write slot scripts.
+    Scripted,
+    /// The sharded transactional KV store's seeded get/transfer request
+    /// traces (`rh-kv`), checked for strict serializability plus
+    /// conservation of the total transferred balance.
+    KvTransfer,
+}
+
 /// One manifest entry: the mutant, where its hook lives, and the
 /// seed/schedule family `tm-check mutate` sweeps to kill it.
 #[derive(Debug, Clone, Copy)]
@@ -150,6 +174,10 @@ pub struct MutantSpec {
     /// Seeds `tm-check mutate` sweeps before declaring the mutant a
     /// survivor; the paired clean engine must pass the same seeds.
     pub seed_budget: u64,
+    /// Workload family the kill recipe drives. For
+    /// [`WorkloadShape::KvTransfer`], `slots` is the key-space size and
+    /// `txs_per_thread` the requests per thread; `ops_per_tx` is unused.
+    pub workload: WorkloadShape,
 }
 
 /// The corpus, in [`Mutant::ALL`] order (indexed by `Mutant as usize`).
@@ -169,6 +197,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         ops_per_tx: 3,
         abort_injection: 0.0,
         seed_budget: 40,
+        workload: WorkloadShape::Scripted,
     },
     MutantSpec {
         mutant: Mutant::StaleLane,
@@ -185,6 +214,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         ops_per_tx: 3,
         abort_injection: 0.0,
         seed_budget: 40,
+        workload: WorkloadShape::Scripted,
     },
     MutantSpec {
         mutant: Mutant::EagerSkipValidation,
@@ -201,6 +231,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         ops_per_tx: 3,
         abort_injection: 0.0,
         seed_budget: 40,
+        workload: WorkloadShape::Scripted,
     },
     MutantSpec {
         mutant: Mutant::StaleSnapshotReuse,
@@ -217,6 +248,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         ops_per_tx: 3,
         abort_injection: 0.0,
         seed_budget: 40,
+        workload: WorkloadShape::Scripted,
     },
     MutantSpec {
         mutant: Mutant::MissingLaneBump,
@@ -233,6 +265,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         ops_per_tx: 3,
         abort_injection: 0.1,
         seed_budget: 80,
+        workload: WorkloadShape::Scripted,
     },
     MutantSpec {
         mutant: Mutant::BloomFalseNegative,
@@ -249,6 +282,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         ops_per_tx: 3,
         abort_injection: 0.0,
         seed_budget: 40,
+        workload: WorkloadShape::Scripted,
     },
     MutantSpec {
         mutant: Mutant::Tl2CommitNoValidate,
@@ -265,6 +299,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         ops_per_tx: 3,
         abort_injection: 0.0,
         seed_budget: 40,
+        workload: WorkloadShape::Scripted,
     },
     MutantSpec {
         mutant: Mutant::Tl2EarlyRelease,
@@ -281,6 +316,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         ops_per_tx: 3,
         abort_injection: 0.0,
         seed_budget: 60,
+        workload: WorkloadShape::Scripted,
     },
     MutantSpec {
         mutant: Mutant::ElisionNoSubscription,
@@ -297,6 +333,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         ops_per_tx: 3,
         abort_injection: 0.3,
         seed_budget: 80,
+        workload: WorkloadShape::Scripted,
     },
     MutantSpec {
         mutant: Mutant::RhWriterNoHtmLock,
@@ -313,6 +350,25 @@ pub const MANIFEST: &[MutantSpec] = &[
         ops_per_tx: 3,
         abort_injection: 0.3,
         seed_budget: 80,
+        workload: WorkloadShape::Scripted,
+    },
+    MutantSpec {
+        mutant: Mutant::KvStaleTransferCredit,
+        name: "kv_stale_transfer_credit",
+        summary: "KV transfer credits the destination from a balance probed \
+                  in an earlier separate transaction (rh_kv::KvStore::transfer)",
+        kills_via: "lost credit: conservation of the transferred balance breaks \
+                    when a concurrent transfer lands between probe and commit",
+        algorithm: Algorithm::RhNorec,
+        htm: HtmProfile::Haswell,
+        clock_shards: 1,
+        threads: 3,
+        slots: 4,
+        txs_per_thread: 6,
+        ops_per_tx: 1,
+        abort_injection: 0.0,
+        seed_budget: 60,
+        workload: WorkloadShape::KvTransfer,
     },
 ];
 

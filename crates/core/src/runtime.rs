@@ -26,12 +26,7 @@ pub struct TmRuntime {
     config: TmConfig,
     globals: Globals,
     tl2: Tl2Meta,
-    #[cfg(feature = "mutant-postfix-clock")]
-    mutant_postfix_clock: std::sync::atomic::AtomicBool,
-    #[cfg(feature = "mutant-stale-lane")]
-    mutant_stale_lane: std::sync::atomic::AtomicBool,
-    /// Armed corpus mutants, one bit per [`crate::mutants::Mutant`] (the
-    /// two legacy mutants keep their dedicated flags above).
+    /// Armed corpus mutants, one bit per [`crate::mutants::Mutant`].
     #[cfg(feature = "mutants")]
     mutant_mask: std::sync::atomic::AtomicU32,
 }
@@ -56,38 +51,9 @@ impl TmRuntime {
             config,
             globals,
             tl2: Tl2Meta::new(),
-            #[cfg(feature = "mutant-postfix-clock")]
-            mutant_postfix_clock: std::sync::atomic::AtomicBool::new(false),
-            #[cfg(feature = "mutant-stale-lane")]
-            mutant_stale_lane: std::sync::atomic::AtomicBool::new(false),
             #[cfg(feature = "mutants")]
             mutant_mask: std::sync::atomic::AtomicU32::new(0),
         }))
-    }
-
-    /// Arms or disarms the deliberately broken RH NOrec first-write
-    /// protocol (the `mutant-postfix-clock` feature's mutation under
-    /// test). Off by default even when the feature is compiled in.
-    #[cfg(feature = "mutant-postfix-clock")]
-    pub fn set_postfix_clock_mutant(&self, on: bool) {
-        self.mutant_postfix_clock
-            .store(on, std::sync::atomic::Ordering::Relaxed);
-    }
-
-    #[cfg(feature = "mutant-postfix-clock")]
-    pub(crate) fn postfix_clock_mutant(&self) -> bool {
-        self.mutant_postfix_clock
-            .load(std::sync::atomic::Ordering::Relaxed)
-    }
-
-    /// Arms or disarms the deliberately broken sharded-clock validation
-    /// (the `mutant-stale-lane` feature's mutation under test: the last
-    /// lane's bumps are never revalidated). Off by default even when the
-    /// feature is compiled in; a no-op at `clock_shards == 1`.
-    #[cfg(feature = "mutant-stale-lane")]
-    pub fn set_stale_lane_mutant(&self, on: bool) {
-        self.mutant_stale_lane
-            .store(on, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Arms or disarms one planted protocol bug from the mutation corpus
@@ -100,29 +66,22 @@ impl TmRuntime {
     /// workers. Every other mutant takes effect on the next attempt.
     #[cfg(feature = "mutants")]
     pub fn set_mutant(&self, mutant: crate::mutants::Mutant, on: bool) {
-        use crate::mutants::Mutant;
         use std::sync::atomic::Ordering;
-        match mutant {
-            Mutant::PostfixClock => self.set_postfix_clock_mutant(on),
-            Mutant::StaleLane => self.set_stale_lane_mutant(on),
-            _ if on => {
-                self.mutant_mask.fetch_or(mutant.bit(), Ordering::Relaxed);
-            }
-            _ => {
-                self.mutant_mask.fetch_and(!mutant.bit(), Ordering::Relaxed);
-            }
+        if on {
+            self.mutant_mask.fetch_or(mutant.bit(), Ordering::Relaxed);
+        } else {
+            self.mutant_mask.fetch_and(!mutant.bit(), Ordering::Relaxed);
         }
     }
 
+    /// Whether `mutant` is currently armed on this runtime.
+    ///
+    /// Public so out-of-crate hooks (the KV tier's transfer-path mutant)
+    /// can consult the same per-runtime arming mask the in-crate
+    /// protocol hooks use.
     #[cfg(feature = "mutants")]
-    pub(crate) fn mutant_armed(&self, mutant: crate::mutants::Mutant) -> bool {
-        use crate::mutants::Mutant;
-        use std::sync::atomic::Ordering;
-        match mutant {
-            Mutant::PostfixClock => self.postfix_clock_mutant(),
-            Mutant::StaleLane => self.mutant_stale_lane.load(Ordering::Relaxed),
-            _ => self.mutant_mask.load(Ordering::Relaxed) & mutant.bit() != 0,
-        }
+    pub fn mutant_armed(&self, mutant: crate::mutants::Mutant) -> bool {
+        self.mutant_mask.load(std::sync::atomic::Ordering::Relaxed) & mutant.bit() != 0
     }
 
     /// The globals as the software paths should see them this attempt:
@@ -130,11 +89,10 @@ impl TmRuntime {
     pub(crate) fn globals_snapshot(&self) -> Globals {
         #[allow(unused_mut)]
         let mut globals = self.globals;
-        #[cfg(feature = "mutant-stale-lane")]
-        globals.clock.set_stale_lane(
-            self.mutant_stale_lane
-                .load(std::sync::atomic::Ordering::Relaxed),
-        );
+        #[cfg(feature = "mutants")]
+        globals
+            .clock
+            .set_stale_lane(self.mutant_armed(crate::mutants::Mutant::StaleLane));
         globals
     }
 

@@ -1,0 +1,320 @@
+//! The service-grade session layer over [`TmRuntime`]/[`TmThread`].
+//!
+//! [`TmRuntime::register`] is the white-box interface: the caller owns
+//! thread-id bookkeeping, must keep ids unique, and gets the low-level
+//! execution handle back. Every application-shaped consumer in this
+//! workspace (the KV service tier, the evaluation workloads, the
+//! examples) wants the same three things instead:
+//!
+//! 1. **scoped registration** — "give me a worker slot, free it when I'm
+//!    done", with no `tid` threading through application code,
+//! 2. **typed outcomes** — transaction faults as values
+//!    ([`Session::run`]), with the panicking convenience
+//!    ([`Session::execute`]) still available for bodies that are known
+//!    fault-free,
+//! 3. **the same statistics surface** as the raw handle, so harnesses
+//!    migrate without losing their reporting.
+//!
+//! A [`Session`] owns a [`TmThread`] whose id was picked from the
+//! runtime's free slots; dropping the session returns the slot. Open one
+//! per OS (or virtual) thread — the handle is deliberately not `Sync`,
+//! exactly like [`TmThread`].
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use rh_norec::prelude::*;
+//! use sim_htm::{Htm, HtmConfig};
+//! use sim_mem::{Heap, HeapConfig};
+//!
+//! let heap = Arc::new(Heap::new(HeapConfig::default()));
+//! let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+//! let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec))?;
+//! let counter = heap.allocator().alloc(0, 1)?;
+//!
+//! let mut session = Session::open(&rt)?;
+//! let old = session.run(|tx| {
+//!     let v = tx.read(counter)?;
+//!     tx.write(counter, v + 1)?;
+//!     Ok(v)
+//! })?;
+//! assert_eq!(old, 0);
+//! drop(session); // slot is free again
+//! let _reopened = Session::open(&rt)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{TmError, TxFault, TxResult};
+use crate::runtime::{TmRuntime, TmThread};
+use crate::stats::{ThreadReport, TmThreadStats};
+use crate::tx::Tx;
+use crate::TxKind;
+
+/// A scoped worker registration: a [`TmThread`] with automatic thread-id
+/// assignment and release.
+///
+/// Obtain one with [`Session::open`] (or
+/// [`TmRuntime::open_session`]); the runtime hands out the lowest free
+/// thread id and reclaims it when the session drops. All transaction
+/// execution goes through [`run`](Session::run) /
+/// [`run_read`](Session::run_read) (typed fault results) or the
+/// panicking [`execute`](Session::execute) mirror of the raw handle.
+pub struct Session {
+    thread: TmThread,
+}
+
+impl Session {
+    /// Opens a session on `runtime`, registering the lowest free thread
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmError::ThreadIdOutOfRange`] when every thread slot of
+    /// the simulated machine is taken (the error carries the capacity).
+    pub fn open(runtime: &Arc<TmRuntime>) -> Result<Session, TmError> {
+        let max = sim_mem::MAX_THREADS;
+        for tid in 0..max {
+            match runtime.register(tid) {
+                Ok(thread) => return Ok(Session { thread }),
+                Err(TmError::ThreadAlreadyRegistered { .. }) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        Err(TmError::ThreadIdOutOfRange { tid: max, max })
+    }
+
+    /// Runs `body` as one read-write transaction, surfacing programming
+    /// faults as typed values.
+    ///
+    /// The engine retries the body transparently until it commits: the
+    /// body must be safe to re-execute (no side effects other than
+    /// through the [`Tx`] handle) and must propagate every `Err` from
+    /// `Tx` operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TxFault`] the body tripped; the attempt has been
+    /// torn down cleanly and the heap is as if it never ran.
+    #[inline]
+    pub fn run<T>(
+        &mut self,
+        body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> Result<T, TxFault> {
+        self.thread.try_execute(TxKind::ReadWrite, body)
+    }
+
+    /// Runs `body` as one transaction statically declared read-only
+    /// (engines skip the commit-time clock update; a write inside the
+    /// body is refused as [`TxFault::WriteInReadOnly`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TxFault`] the body tripped.
+    #[inline]
+    pub fn run_read<T>(
+        &mut self,
+        body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> Result<T, TxFault> {
+        self.thread.try_execute(TxKind::ReadOnly, body)
+    }
+
+    /// Runs `body` as one atomic transaction of the given kind and
+    /// returns its result — the panicking mirror of
+    /// [`TmThread::execute`], for bodies known not to fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body trips a [`TxFault`]; use [`run`](Session::run)
+    /// / [`run_read`](Session::run_read) to handle faults as values.
+    #[inline]
+    pub fn execute<T>(
+        &mut self,
+        kind: TxKind,
+        body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> T {
+        self.thread.execute(kind, body)
+    }
+
+    /// Like [`execute`](Session::execute) with an explicit kind, but
+    /// surfacing faults as values (the [`TmThread::try_execute`] mirror).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TxFault`] the body tripped.
+    #[inline]
+    pub fn try_execute<T>(
+        &mut self,
+        kind: TxKind,
+        body: impl FnMut(&mut Tx<'_>) -> TxResult<T>,
+    ) -> Result<T, TxFault> {
+        self.thread.try_execute(kind, body)
+    }
+
+    /// The thread id this session registered (diagnostics; application
+    /// code never needs it).
+    #[inline]
+    pub fn tid(&self) -> usize {
+        self.thread.tid()
+    }
+
+    /// The runtime this session belongs to.
+    #[inline]
+    pub fn runtime(&self) -> &Arc<TmRuntime> {
+        self.thread.runtime()
+    }
+
+    /// Engine-level statistics for this session's worker.
+    #[inline]
+    pub fn stats(&self) -> TmThreadStats {
+        self.thread.stats()
+    }
+
+    /// Combined engine + raw HTM statistics.
+    #[inline]
+    pub fn report(&self) -> ThreadReport {
+        self.thread.report()
+    }
+
+    /// Resets both engine and HTM statistics.
+    #[inline]
+    pub fn reset_stats(&mut self) {
+        self.thread.reset_stats();
+    }
+
+    /// Current adaptive HTM-prefix length (reads), for diagnostics.
+    #[inline]
+    pub fn prefix_len(&self) -> u64 {
+        self.thread.prefix_len()
+    }
+
+    /// Reallocations of the recycled slow-path log arenas since the
+    /// session opened (see [`TmThread::log_grow_events`]).
+    #[inline]
+    pub fn log_grow_events(&self) -> u64 {
+        self.thread.log_grow_events()
+    }
+
+    /// Borrows the underlying low-level handle, for white-box callers
+    /// that need the raw surface while keeping scoped registration.
+    #[inline]
+    pub fn thread_mut(&mut self) -> &mut TmThread {
+        &mut self.thread
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("tid", &self.thread.tid())
+            .field("stats", &self.thread.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TmRuntime {
+    /// Opens a [`Session`] on this runtime — scoped registration with the
+    /// lowest free thread id (see [`Session::open`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmError::ThreadIdOutOfRange`] when the machine's thread
+    /// capacity is exhausted.
+    pub fn open_session(self: &Arc<Self>) -> Result<Session, TmError> {
+        Session::open(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, TmConfig};
+    use sim_htm::{Htm, HtmConfig};
+    use sim_mem::{Heap, HeapConfig};
+
+    fn runtime(algorithm: Algorithm) -> (Arc<Heap>, Arc<TmRuntime>) {
+        let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 20 }));
+        let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+        let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(algorithm))
+            .expect("runtime construction cannot fail");
+        (heap, rt)
+    }
+
+    #[test]
+    fn sessions_assign_lowest_free_tids_and_recycle_on_drop() {
+        let (_heap, rt) = runtime(Algorithm::RhNorec);
+        let s0 = rt.open_session().unwrap();
+        let s1 = rt.open_session().unwrap();
+        let s2 = rt.open_session().unwrap();
+        assert_eq!((s0.tid(), s1.tid(), s2.tid()), (0, 1, 2));
+        drop(s1);
+        let s1_again = rt.open_session().unwrap();
+        assert_eq!(s1_again.tid(), 1, "dropped slot is reused first");
+        drop(s0);
+        drop(s2);
+        assert_eq!(rt.open_session().unwrap().tid(), 0);
+    }
+
+    #[test]
+    fn sessions_coexist_with_raw_registration() {
+        let (_heap, rt) = runtime(Algorithm::Norec);
+        let raw = rt.register(0).unwrap();
+        let session = rt.open_session().unwrap();
+        assert_eq!(session.tid(), 1, "session skips the raw handle's id");
+        drop(raw);
+        let next = rt.open_session().unwrap();
+        assert_eq!(next.tid(), 0);
+    }
+
+    #[test]
+    fn run_commits_and_counts() {
+        let (heap, rt) = runtime(Algorithm::RhNorec);
+        let cell = heap.allocator().alloc(0, 1).unwrap();
+        let mut session = rt.open_session().unwrap();
+        for i in 0..10u64 {
+            let prev = session
+                .run(|tx| {
+                    let v = tx.read(cell)?;
+                    tx.write(cell, v + 1)?;
+                    Ok(v)
+                })
+                .unwrap();
+            assert_eq!(prev, i);
+        }
+        assert_eq!(heap.load(cell), 10);
+        assert_eq!(session.stats().commits, 10);
+    }
+
+    #[test]
+    fn run_read_refuses_writes_as_typed_fault() {
+        let (heap, rt) = runtime(Algorithm::Norec);
+        let cell = heap.allocator().alloc(0, 1).unwrap();
+        heap.store(cell, 7);
+        let mut session = rt.open_session().unwrap();
+        let read = session.run_read(|tx| tx.read(cell)).unwrap();
+        assert_eq!(read, 7);
+        let fault = session.run_read(|tx| tx.write(cell, 1)).unwrap_err();
+        assert_eq!(fault, TxFault::WriteInReadOnly);
+        assert_eq!(heap.load(cell), 7, "faulted attempt left the heap untouched");
+        let after = session.run(|tx| tx.write(cell, 8));
+        assert!(after.is_ok(), "session survives a faulted attempt");
+    }
+
+    #[test]
+    fn exhausting_the_machine_is_a_typed_error() {
+        let (_heap, rt) = runtime(Algorithm::Norec);
+        let mut held = Vec::new();
+        for _ in 0..sim_mem::MAX_THREADS {
+            held.push(rt.open_session().unwrap());
+        }
+        match Session::open(&rt) {
+            Err(TmError::ThreadIdOutOfRange { max, .. }) => {
+                assert_eq!(max, sim_mem::MAX_THREADS)
+            }
+            other => panic!("expected exhaustion error, got {other:?}"),
+        }
+        held.pop();
+        assert!(Session::open(&rt).is_ok());
+    }
+}

@@ -1,0 +1,352 @@
+//! Seeded open-loop request generator: zipfian keys, a configurable
+//! operation mix, and bursty Poisson arrivals.
+//!
+//! The whole trace is materialized up front from one seed, so every
+//! engine in a comparison replays *exactly* the same requests at the
+//! same arrival times — the engines differ only in how fast they drain
+//! the queue.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Request classes the service distinguishes in its latency ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Point read of one key.
+    Get,
+    /// Insert-or-overwrite of one key.
+    Put,
+    /// Removal of one key.
+    Delete,
+    /// Atomic balance move between two keys.
+    Transfer,
+    /// Atomic count+sum over a key interval (full-store read set).
+    Range,
+}
+
+impl OpClass {
+    /// All classes, in ledger order.
+    pub const ALL: [OpClass; 5] =
+        [OpClass::Get, OpClass::Put, OpClass::Delete, OpClass::Transfer, OpClass::Range];
+
+    /// Lower-case label used in ledger scenario names.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Get => "get",
+            OpClass::Put => "put",
+            OpClass::Delete => "delete",
+            OpClass::Transfer => "transfer",
+            OpClass::Range => "range",
+        }
+    }
+}
+
+/// Relative operation weights (need not sum to anything particular).
+#[derive(Clone, Copy, Debug)]
+pub struct Mix {
+    /// Weight of [`OpClass::Get`].
+    pub get: u32,
+    /// Weight of [`OpClass::Put`].
+    pub put: u32,
+    /// Weight of [`OpClass::Delete`].
+    pub delete: u32,
+    /// Weight of [`OpClass::Transfer`].
+    pub transfer: u32,
+    /// Weight of [`OpClass::Range`].
+    pub range: u32,
+}
+
+impl Mix {
+    /// The service default: read-dominated with a write tail and the
+    /// occasional full scan.
+    pub fn read_heavy() -> Self {
+        Mix { get: 55, put: 20, delete: 5, transfer: 15, range: 5 }
+    }
+
+    /// Gets and transfers only — the sum of all balances is invariant
+    /// under this mix, so a run can assert conservation afterwards.
+    pub fn transfer_heavy() -> Self {
+        Mix { get: 40, put: 0, delete: 0, transfer: 60, range: 0 }
+    }
+
+    /// `true` when no operation can change the sum of stored values
+    /// (no puts, no deletes): the conservation invariant is checkable.
+    pub fn conserves_sum(&self) -> bool {
+        self.put == 0 && self.delete == 0
+    }
+
+    fn total(&self) -> u32 {
+        self.get + self.put + self.delete + self.transfer + self.range
+    }
+}
+
+/// One generated request.
+#[derive(Clone, Copy, Debug)]
+pub struct Request {
+    /// Arrival time, nanoseconds from trace start (non-decreasing).
+    pub at_ns: u64,
+    /// Operation class.
+    pub class: OpClass,
+    /// Primary key (transfer source; range lower bound).
+    pub key: u64,
+    /// Secondary key (transfer destination; range upper bound; unused
+    /// otherwise).
+    pub key2: u64,
+    /// Transfer amount / put value.
+    pub amount: u64,
+}
+
+/// Trace shape: how many requests, over which keys, at what rate.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Requests to generate.
+    pub requests: usize,
+    /// Keys are `1..=keyspace`.
+    pub keyspace: u64,
+    /// Zipf exponent (`0.0` = uniform; the YCSB-style default is 0.99).
+    pub zipf_theta: f64,
+    /// Operation weights.
+    pub mix: Mix,
+    /// Mean interarrival time in calm periods, nanoseconds.
+    pub mean_interarrival_ns: u64,
+    /// Arrival-rate multiplier during bursts (1 disables burstiness).
+    pub burst_factor: u64,
+    /// Mean requests per burst/calm period (geometric switching).
+    pub burst_len: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            requests: 10_000,
+            keyspace: 1024,
+            zipf_theta: 0.99,
+            mix: Mix::read_heavy(),
+            mean_interarrival_ns: 2_000,
+            burst_factor: 8,
+            burst_len: 64,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Zipfian sampler over ranks `1..=n` via a precomputed CDF (fine for
+/// service-sized keyspaces; the table is built once per trace).
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: u64, theta: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `1..=n`; rank 1 is the hottest key.
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite")) {
+            Ok(i) | Err(i) => (i as u64 + 1).min(self.cdf.len() as u64),
+        }
+    }
+}
+
+/// Walks the mix's weight table with a uniform draw in `0..total`.
+fn pick_class(mix: &Mix, mut pick: u32) -> OpClass {
+    let table = [
+        (mix.get, OpClass::Get),
+        (mix.put, OpClass::Put),
+        (mix.delete, OpClass::Delete),
+        (mix.transfer, OpClass::Transfer),
+        (mix.range, OpClass::Range),
+    ];
+    for (weight, class) in table {
+        if pick < weight {
+            return class;
+        }
+        pick -= weight;
+    }
+    OpClass::Range
+}
+
+/// Generates the full trace for `config`. Deterministic in the seed.
+///
+/// # Panics
+///
+/// Panics if the mix has zero total weight, the keyspace is empty, or
+/// `requests` is zero-keyed by a transfer with `keyspace < 2`.
+pub fn generate(config: &TraceConfig) -> Vec<Request> {
+    assert!(config.keyspace >= 1, "keyspace must be nonempty");
+    assert!(config.mix.total() > 0, "operation mix must have positive total weight");
+    assert!(
+        config.mix.transfer == 0 || config.keyspace >= 2,
+        "transfers need at least two keys"
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(config.keyspace, config.zipf_theta);
+    let mix = config.mix;
+    let total = mix.total();
+
+    let mut out = Vec::with_capacity(config.requests);
+    let mut now_ns = 0u64;
+    // Two-state modulated Poisson process: calm periods at the mean
+    // rate, bursts `burst_factor`x faster, geometric switching with mean
+    // period `burst_len` requests.
+    let mut bursting = false;
+    for _ in 0..config.requests {
+        if config.burst_factor > 1 && config.burst_len > 0 {
+            let flip = 1.0 / config.burst_len as f64;
+            if rng.gen_bool(flip) {
+                bursting = !bursting;
+            }
+        }
+        let mean = if bursting {
+            (config.mean_interarrival_ns / config.burst_factor).max(1)
+        } else {
+            config.mean_interarrival_ns.max(1)
+        };
+        // Exponential interarrival: -ln(1 - U) * mean.
+        let u: f64 = rng.gen();
+        let gap = (-(1.0 - u).ln() * mean as f64) as u64;
+        now_ns = now_ns.saturating_add(gap);
+
+        let class = pick_class(&mix, rng.gen_range(0..total));
+
+        let key = zipf.sample(&mut rng);
+        let request = match class {
+            OpClass::Get | OpClass::Delete => {
+                Request { at_ns: now_ns, class, key, key2: 0, amount: 0 }
+            }
+            OpClass::Put => Request {
+                at_ns: now_ns,
+                class,
+                key,
+                key2: 0,
+                amount: rng.gen_range(1..1_000u64),
+            },
+            OpClass::Transfer => {
+                // Distinct destination, also zipfian — hot keys contend.
+                let mut dst = zipf.sample(&mut rng);
+                while dst == key {
+                    dst = zipf.sample(&mut rng);
+                }
+                Request {
+                    at_ns: now_ns,
+                    class,
+                    key,
+                    key2: dst,
+                    amount: rng.gen_range(1..4u64),
+                }
+            }
+            OpClass::Range => {
+                // An interval of ~1/16th of the keyspace starting at key.
+                let span = (config.keyspace / 16).max(1);
+                Request {
+                    at_ns: now_ns,
+                    class,
+                    key,
+                    key2: (key + span).min(config.keyspace),
+                    amount: 0,
+                }
+            }
+        };
+        out.push(request);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_in_the_seed() {
+        let config = TraceConfig { requests: 500, ..TraceConfig::default() };
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!((x.at_ns, x.class, x.key, x.key2, x.amount), (y.at_ns, y.class, y.key, y.key2, y.amount));
+        }
+        let c = generate(&TraceConfig { seed: config.seed ^ 1, ..config });
+        assert!(
+            a.iter().zip(c.iter()).any(|(x, y)| x.key != y.key || x.at_ns != y.at_ns),
+            "different seeds must give different traces"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing_and_keys_in_range() {
+        let config = TraceConfig { requests: 2_000, keyspace: 64, ..TraceConfig::default() };
+        let trace = generate(&config);
+        let mut last = 0;
+        for r in &trace {
+            assert!(r.at_ns >= last);
+            last = r.at_ns;
+            assert!((1..=config.keyspace).contains(&r.key));
+            if r.class == OpClass::Transfer {
+                assert!((1..=config.keyspace).contains(&r.key2));
+                assert_ne!(r.key, r.key2);
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_sampling_skews_toward_low_ranks() {
+        let config = TraceConfig {
+            requests: 20_000,
+            keyspace: 256,
+            zipf_theta: 0.99,
+            ..TraceConfig::default()
+        };
+        let trace = generate(&config);
+        let hot = trace.iter().filter(|r| r.key <= 16).count();
+        // Under uniform sampling the hottest 1/16th would get ~6% of
+        // draws; zipf(0.99) concentrates far more.
+        assert!(
+            hot as f64 / trace.len() as f64 > 0.30,
+            "zipf skew missing: hot fraction {}",
+            hot as f64 / trace.len() as f64
+        );
+    }
+
+    #[test]
+    fn mix_weights_are_respected() {
+        let config = TraceConfig {
+            requests: 10_000,
+            mix: Mix { get: 50, put: 50, delete: 0, transfer: 0, range: 0 },
+            ..TraceConfig::default()
+        };
+        let trace = generate(&config);
+        assert!(trace.iter().all(|r| matches!(r.class, OpClass::Get | OpClass::Put)));
+        let gets = trace.iter().filter(|r| r.class == OpClass::Get).count();
+        let frac = gets as f64 / trace.len() as f64;
+        assert!((0.45..0.55).contains(&frac), "get fraction {frac}");
+    }
+
+    #[test]
+    fn bursty_arrivals_compress_interarrival_gaps() {
+        let calm = TraceConfig {
+            requests: 5_000,
+            burst_factor: 1,
+            ..TraceConfig::default()
+        };
+        let bursty = TraceConfig { burst_factor: 16, burst_len: 32, ..calm };
+        let span = |cfg: &TraceConfig| generate(cfg).last().unwrap().at_ns;
+        assert!(
+            span(&bursty) < span(&calm),
+            "bursts must shorten the trace's total span"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! HDR-style fixed-bucket latency histogram: no allocation on the record
+//! path, bounded relative error on percentiles.
+//!
+//! Values are bucketed into log2 groups of `SUB` linear sub-buckets
+//! each, i.e. ~3% worst-case relative error with `SUB = 32`. The whole
+//! histogram is one flat `Box<[u64]>` built at construction; `record` is
+//! two integer ops and an increment.
+
+/// Sub-buckets per power-of-two group.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// Power-of-two groups covered (values up to `2^(GROUPS + SUB_BITS - 1)`
+/// nanoseconds land in a finite bucket; larger clamp into the last).
+const GROUPS: u32 = 44;
+
+/// Fixed-bucket histogram of `u64` samples (nanoseconds, by convention).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Box<[u64]>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Flat bucket index of `value` — shared by `record` and the decoder.
+fn index_of(value: u64) -> usize {
+    let v = value | 1;
+    let msb = 63 - v.leading_zeros();
+    if msb < SUB_BITS {
+        value as usize
+    } else {
+        let group = (msb - SUB_BITS + 1).min(GROUPS - 1);
+        let sub = (v >> (msb - SUB_BITS)) & (SUB - 1);
+        (group as u64 * SUB + sub) as usize
+    }
+}
+
+/// Upper bound of bucket `idx` — the value a percentile query reports.
+fn value_of(idx: usize) -> u64 {
+    let group = idx as u64 / SUB;
+    let sub = idx as u64 % SUB;
+    if group == 0 {
+        sub
+    } else {
+        // Buckets of group g >= 1 cover [2^(g+SUB_BITS-1), 2^(g+SUB_BITS));
+        // each spans 2^(g-1) values, and we report the bucket's top.
+        let unit = 1u64 << (group - 1);
+        (SUB + sub + 1) * unit - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0u64; (GROUPS as u64 * SUB) as usize].into_boxed_slice(),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. No allocation; values beyond the last bucket
+    /// clamp into it (the exact maximum is tracked separately).
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[index_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the upper bound of the
+    /// first bucket whose cumulative count reaches `ceil(q * count)`
+    /// (0 when empty). The exact max is reported for `q = 1`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return value_of(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one (same fixed geometry).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB);
+        assert_eq!(h.max(), SUB - 1);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), SUB - 1);
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for &(q, exact) in &[(0.5, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
+            let got = h.quantile(q) as f64;
+            let rel = (got - exact).abs() / exact;
+            assert!(rel < 0.04, "q={q}: got {got}, exact {exact}, rel err {rel}");
+        }
+        assert_eq!(h.quantile(1.0), 100_000);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in [3u64, 900, 77, 1 << 20, 42, 5_000_000] {
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.max(), combined.max());
+        assert_eq!(a.quantile(0.5), combined.quantile(0.5));
+        assert_eq!(a.quantile(0.99), combined.quantile(0.99));
+    }
+
+    #[test]
+    fn huge_values_clamp_but_keep_exact_max() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

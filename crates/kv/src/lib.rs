@@ -1,0 +1,155 @@
+//! # rh-kv: the transactional key-value service tier
+//!
+//! A 16-way hash-sharded in-memory KV store whose every operation —
+//! [`KvStore::get`], [`KvStore::put`], [`KvStore::delete`],
+//! [`KvStore::range_sum`], [`KvStore::transfer`] — runs as **one
+//! transaction** on the typed [`rh_norec::prelude`] session API, plus
+//! the service harness around it:
+//!
+//! * [`gen`] — a seeded open-loop request generator (zipfian keys,
+//!   configurable operation mix, bursty Poisson arrivals);
+//! * [`hist`] — allocation-free fixed-bucket latency histograms;
+//! * [`service`] — the worker pool that replays a trace and reports
+//!   per-request-class sojourn percentiles (p50/p95/p99/max).
+//!
+//! `rh-bench service` drives [`service::run_service`] across every paper
+//! engine with the identical trace and writes the percentile ledger that
+//! CI's tail-latency gate diffs.
+//!
+//! With the `mutants` feature, [`KvStore::transfer`] carries the
+//! `Mutant::KvStaleTransferCredit` entry of the mutation corpus: armed,
+//! it credits the destination from a balance probed in an earlier,
+//! separate transaction — an app-level atomicity bug the heap-level
+//! oracles cannot see, killed by the harness's conservation check.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod gen;
+pub mod hist;
+pub mod service;
+mod store;
+
+pub use store::{KvConfig, KvError, KvResult, KvStore, TransferOutcome};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_norec::prelude::*;
+    use sim_htm::{Htm, HtmConfig};
+    use sim_mem::{Heap, HeapConfig};
+    use std::sync::Arc;
+
+    fn machine(algorithm: Algorithm) -> (Arc<Heap>, Arc<TmRuntime>) {
+        let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 20 }));
+        let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
+        let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(algorithm))
+            .expect("runtime construction cannot fail");
+        (heap, rt)
+    }
+
+    #[test]
+    fn get_put_delete_roundtrip() {
+        let (heap, rt) = machine(Algorithm::RhNorec);
+        let store = KvStore::create(&heap, KvConfig::default()).unwrap();
+        let mut s = rt.open_session().unwrap();
+
+        assert_eq!(store.get(&mut s, 7).unwrap(), None);
+        assert_eq!(store.put(&mut s, 7, 700).unwrap(), None);
+        assert_eq!(store.get(&mut s, 7).unwrap(), Some(700));
+        assert_eq!(store.put(&mut s, 7, 701).unwrap(), Some(700));
+        assert_eq!(store.delete(&mut s, 7).unwrap(), Some(701));
+        assert_eq!(store.get(&mut s, 7).unwrap(), None);
+        assert_eq!(store.delete(&mut s, 7).unwrap(), None);
+    }
+
+    #[test]
+    fn deletes_punch_holes_that_reinserts_refill() {
+        let (heap, rt) = machine(Algorithm::Norec);
+        // One bucket total: every key collides.
+        let store = KvStore::create(
+            &heap,
+            KvConfig { shards: 1, buckets_per_shard: 1, slots_per_bucket: 4 },
+        )
+        .unwrap();
+        let mut s = rt.open_session().unwrap();
+        for key in 1..=4u64 {
+            store.put(&mut s, key, key * 10).unwrap();
+        }
+        assert_eq!(store.put(&mut s, 5, 50), Err(KvError::BucketFull { key: 5 }));
+        store.delete(&mut s, 2).unwrap();
+        assert_eq!(store.put(&mut s, 5, 50).unwrap(), None, "hole is reusable");
+        assert_eq!(store.get(&mut s, 5).unwrap(), Some(50));
+        assert_eq!(store.get(&mut s, 4).unwrap(), Some(40), "keys past the hole still found");
+    }
+
+    #[test]
+    fn transfer_moves_exactly_the_amount() {
+        let (heap, rt) = machine(Algorithm::RhNorec);
+        let store = KvStore::create(&heap, KvConfig::default()).unwrap();
+        store.load(&heap, 1, 100).unwrap();
+        store.load(&heap, 2, 100).unwrap();
+        let mut s = rt.open_session().unwrap();
+
+        assert_eq!(store.transfer(&mut s, 1, 2, 30).unwrap(), TransferOutcome::Done);
+        assert_eq!(store.get(&mut s, 1).unwrap(), Some(70));
+        assert_eq!(store.get(&mut s, 2).unwrap(), Some(130));
+        assert_eq!(
+            store.transfer(&mut s, 1, 2, 1_000).unwrap(),
+            TransferOutcome::InsufficientFunds
+        );
+        assert_eq!(store.transfer(&mut s, 1, 9, 1).unwrap(), TransferOutcome::MissingKey);
+        assert_eq!(store.sum_direct(&heap), 200);
+    }
+
+    #[test]
+    fn range_sum_is_atomic_count_and_sum() {
+        let (heap, rt) = machine(Algorithm::Tl2);
+        let store = KvStore::create(&heap, KvConfig::default()).unwrap();
+        for key in 1..=20u64 {
+            store.load(&heap, key, key).unwrap();
+        }
+        let mut s = rt.open_session().unwrap();
+        let (count, sum) = store.range_sum(&mut s, 5, 14).unwrap();
+        assert_eq!(count, 10);
+        assert_eq!(sum, (5..=14).sum::<u64>());
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_on_every_engine() {
+        for algorithm in Algorithm::PAPER_SET {
+            let (heap, rt) = machine(algorithm);
+            let store = KvStore::create(&heap, KvConfig::tiny(4)).unwrap();
+            for key in 1..=8u64 {
+                store.load(&heap, key, 100).unwrap();
+            }
+            std::thread::scope(|scope| {
+                for t in 0..4u64 {
+                    let rt = Arc::clone(&rt);
+                    let store = &store;
+                    scope.spawn(move || {
+                        let mut s = rt.open_session().unwrap();
+                        for i in 0..200u64 {
+                            let src = 1 + (i.wrapping_mul(7) + t) % 8;
+                            let dst = 1 + (i.wrapping_mul(13) + t * 3) % 8;
+                            store.transfer(&mut s, src, dst, 1 + i % 3).unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(store.sum_direct(&heap), 800, "{algorithm:?} lost or minted balance");
+            assert_eq!(store.len_direct(&heap), 8);
+        }
+    }
+
+    #[test]
+    fn snapshot_words_covers_every_store_word() {
+        let (heap, _rt) = machine(Algorithm::Norec);
+        let config = KvConfig::tiny(2);
+        let store = KvStore::create(&heap, config).unwrap();
+        store.load(&heap, 3, 33).unwrap();
+        let snapshot = store.snapshot_words(&heap);
+        assert_eq!(snapshot.len(), 2 * config.capacity());
+        assert!(snapshot.values().any(|v| *v == 33));
+    }
+}

@@ -1,0 +1,318 @@
+//! The worker pool: replays a generated trace against a [`KvStore`] and
+//! records per-request-class sojourn-time histograms.
+//!
+//! ## Latency model
+//!
+//! Wall-clock latencies on a shared CI host are noise; the service tier
+//! instead reports **modeled sojourn time**, built from the engine's own
+//! cycle accounting (see [`rh_norec::cost`]):
+//!
+//! * each worker owns a virtual clock `busy_until`;
+//! * a request assigned to the worker *starts* at
+//!   `max(arrival, busy_until)` — open-loop arrivals queue behind a busy
+//!   worker instead of pacing themselves;
+//! * its *service time* is the worker's modeled cycle delta across the
+//!   operation, converted at [`rh_norec::cost::MODEL_HZ`];
+//! * its recorded sojourn is `start + service − arrival`, i.e. queueing
+//!   delay plus service, exactly the tail a latency SLO sees.
+//!
+//! Requests are partitioned round-robin by index, so every engine
+//! processes the identical per-worker request sequence; engines differ
+//! only in their service times (and in abort-driven retries, which the
+//! cycle accounting charges faithfully).
+
+use std::sync::Arc;
+
+use rh_norec::prelude::{Algorithm, TmConfig, TmConfigBuilder, TmRuntime};
+use sim_htm::{Htm, HtmConfig};
+use sim_mem::{Heap, HeapConfig};
+
+use crate::gen::{self, OpClass, Request, TraceConfig};
+use crate::hist::Histogram;
+use crate::store::{KvConfig, KvStore};
+
+/// Initial balance loaded under every key at service start.
+pub const INITIAL_BALANCE: u64 = 1_000;
+
+/// One service run: engine, pool size, and the trace to replay.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// TM algorithm backing the store.
+    pub algorithm: Algorithm,
+    /// Worker threads draining the request queue.
+    pub threads: usize,
+    /// Store geometry.
+    pub kv: KvConfig,
+    /// Trace shape (requests, keyspace, mix, arrivals, seed).
+    pub trace: TraceConfig,
+    /// Simulated machine.
+    pub htm: HtmConfig,
+    /// Heap size in words.
+    pub heap_words: u64,
+    /// Override the runtime configuration (ablations).
+    pub tm_overrides: Option<fn(TmConfigBuilder) -> TmConfigBuilder>,
+}
+
+impl ServiceConfig {
+    /// A service cell on the paper's machine model.
+    pub fn new(algorithm: Algorithm, threads: usize, trace: TraceConfig) -> Self {
+        ServiceConfig {
+            algorithm,
+            threads,
+            kv: KvConfig::for_keyspace(trace.keyspace),
+            trace,
+            htm: HtmConfig { spurious_abort_per_access: 1e-4, ..HtmConfig::default() },
+            heap_words: 1 << 20,
+            tm_overrides: None,
+        }
+    }
+}
+
+/// Latency summary (sojourn times, nanoseconds).
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyStats {
+    /// Requests summarized.
+    pub count: u64,
+    /// Median sojourn.
+    pub p50_ns: u64,
+    /// 95th-percentile sojourn.
+    pub p95_ns: u64,
+    /// 99th-percentile sojourn.
+    pub p99_ns: u64,
+    /// Worst sojourn.
+    pub max_ns: u64,
+    /// Mean sojourn.
+    pub mean_ns: f64,
+}
+
+/// Latency summary of one request class.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassStats {
+    /// The class.
+    pub class: OpClass,
+    /// Its latency summary.
+    pub latency: LatencyStats,
+}
+
+/// Result of one service run.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Engine that served the trace.
+    pub algorithm: Algorithm,
+    /// Per-class latency summaries (only classes present in the trace).
+    pub classes: Vec<ClassStats>,
+    /// All-classes summary.
+    pub overall: LatencyStats,
+    /// Total requests served.
+    pub requests: u64,
+    /// Engine commits across the pool.
+    pub commits: u64,
+    /// Engine aborts across the pool.
+    pub aborts: u64,
+    /// `Some(ok)` when the trace mix conserves the balance sum and the
+    /// run checked it; `None` when the mix makes the check inapplicable.
+    pub conserved: Option<bool>,
+}
+
+/// Per-worker accumulation: one histogram per class plus the overall.
+struct WorkerHists {
+    per_class: [Histogram; 5],
+    overall: Histogram,
+}
+
+impl WorkerHists {
+    fn new() -> Self {
+        WorkerHists { per_class: std::array::from_fn(|_| Histogram::new()), overall: Histogram::new() }
+    }
+
+    fn record(&mut self, class: OpClass, sojourn_ns: u64) {
+        let idx = OpClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        self.per_class[idx].record(sojourn_ns);
+        self.overall.record(sojourn_ns);
+    }
+}
+
+fn summarize(h: &Histogram) -> LatencyStats {
+    LatencyStats {
+        count: h.count(),
+        p50_ns: h.quantile(0.50),
+        p95_ns: h.quantile(0.95),
+        p99_ns: h.quantile(0.99),
+        max_ns: h.max(),
+        mean_ns: h.mean(),
+    }
+}
+
+/// Runs one service cell: builds the machine, loads the store, replays
+/// the trace through the worker pool, and summarizes latencies.
+///
+/// # Panics
+///
+/// Panics when the store cannot hold the keyspace (misconfigured
+/// geometry), when a worker hits an engine fault, or when the
+/// conservation check applies and fails.
+pub fn run_service(config: &ServiceConfig) -> ServiceReport {
+    assert!(config.threads > 0, "service pool needs at least one worker");
+    let heap = Arc::new(Heap::new(HeapConfig { words: config.heap_words }));
+    let htm = Htm::new(Arc::clone(&heap), config.htm);
+    let mut builder = TmConfig::builder(config.algorithm).interleave_accesses(2);
+    if let Some(f) = config.tm_overrides {
+        builder = f(builder);
+    }
+    let tm_config = builder.build().expect("service TM configuration rejected");
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, tm_config)
+        .expect("service runtime construction cannot fail");
+
+    let store = KvStore::create(&heap, config.kv).expect("service heap too small for the store");
+    for key in 1..=config.trace.keyspace {
+        store
+            .load(&heap, key, INITIAL_BALANCE)
+            .expect("store geometry cannot hold the keyspace; grow buckets or shards");
+    }
+    let initial_sum = store.sum_direct(&heap);
+
+    let trace = gen::generate(&config.trace);
+
+    let ns_per_cycle = 1.0e9 / rh_norec::cost::MODEL_HZ;
+    let worker_results: Vec<(WorkerHists, rh_norec::TmThreadStats)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.threads)
+            .map(|worker_idx| {
+                let rt = Arc::clone(&rt);
+                let store = &store;
+                let trace = &trace;
+                s.spawn(move || {
+                    let mut session = rt.open_session().expect("free worker slot");
+                    let mut hists = WorkerHists::new();
+                    let mut busy_until_ns = 0u64;
+                    for request in trace.iter().skip(worker_idx).step_by(config.threads) {
+                        let start_ns = busy_until_ns.max(request.at_ns);
+                        let cycles_before = session.stats().cycles;
+                        serve(store, &mut session, request);
+                        let cycles_after = session.stats().cycles;
+                        let service_ns =
+                            ((cycles_after - cycles_before) as f64 * ns_per_cycle) as u64;
+                        busy_until_ns = start_ns + service_ns;
+                        hists.record(request.class, busy_until_ns - request.at_ns);
+                    }
+                    (hists, session.stats())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("service worker panicked")).collect()
+    });
+
+    let mut per_class: [Histogram; 5] = std::array::from_fn(|_| Histogram::new());
+    let mut overall = Histogram::new();
+    let mut tm = rh_norec::TmThreadStats::default();
+    for (hists, stats) in &worker_results {
+        for (acc, h) in per_class.iter_mut().zip(hists.per_class.iter()) {
+            acc.merge(h);
+        }
+        overall.merge(&hists.overall);
+        tm = tm.merge(stats);
+    }
+
+    let conserved = if config.trace.mix.conserves_sum() {
+        let now = store.sum_direct(&heap);
+        assert_eq!(
+            now, initial_sum,
+            "KV conservation violated: balance sum drifted {initial_sum} -> {now} \
+             under a transfer-only mix ({:?})",
+            config.algorithm
+        );
+        Some(true)
+    } else {
+        None
+    };
+
+    ServiceReport {
+        algorithm: config.algorithm,
+        classes: OpClass::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| per_class[*i].count() > 0)
+            .map(|(i, c)| ClassStats { class: *c, latency: summarize(&per_class[i]) })
+            .collect(),
+        overall: summarize(&overall),
+        requests: overall.count(),
+        commits: tm.commits,
+        aborts: tm.htm_conflict_aborts()
+            + tm.htm_capacity_aborts()
+            + tm.fast_other_aborts
+            + tm.slow_path_restarts,
+        conserved,
+    }
+}
+
+/// Dispatches one request to the store. Engine faults are programming
+/// errors here (the service never writes in a read-only body), so they
+/// panic.
+fn serve(store: &KvStore, session: &mut rh_norec::Session, request: &Request) {
+    match request.class {
+        OpClass::Get => {
+            store.get(session, request.key).expect("get cannot fault");
+        }
+        OpClass::Put => {
+            store
+                .put(session, request.key, request.amount)
+                .expect("put cannot fault on a store sized for the keyspace");
+        }
+        OpClass::Delete => {
+            store.delete(session, request.key).expect("delete cannot fault");
+        }
+        OpClass::Transfer => {
+            store
+                .transfer(session, request.key, request.key2, request.amount)
+                .expect("transfer cannot fault");
+        }
+        OpClass::Range => {
+            store
+                .range_sum(session, request.key, request.key2)
+                .expect("range cannot fault");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Mix;
+
+    fn smoke_trace(mix: Mix) -> TraceConfig {
+        TraceConfig { requests: 2_000, keyspace: 128, mix, ..TraceConfig::default() }
+    }
+
+    #[test]
+    fn a_service_cell_runs_and_reports() {
+        let config = ServiceConfig::new(Algorithm::RhNorec, 3, smoke_trace(Mix::read_heavy()));
+        let report = run_service(&config);
+        assert_eq!(report.requests, 2_000);
+        assert!(report.commits >= 2_000, "every request commits at least one tx");
+        assert!(report.overall.p50_ns > 0);
+        assert!(report.overall.p50_ns <= report.overall.p95_ns);
+        assert!(report.overall.p95_ns <= report.overall.p99_ns);
+        assert!(report.overall.p99_ns <= report.overall.max_ns);
+        assert!(report.conserved.is_none(), "read_heavy mix has puts: check inapplicable");
+    }
+
+    #[test]
+    fn transfer_mix_conserves_the_balance_sum_on_every_engine() {
+        for algorithm in Algorithm::PAPER_SET {
+            let config = ServiceConfig::new(algorithm, 4, smoke_trace(Mix::transfer_heavy()));
+            let report = run_service(&config);
+            assert_eq!(report.conserved, Some(true), "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_request_streams() {
+        let config = ServiceConfig::new(Algorithm::Norec, 2, smoke_trace(Mix::transfer_heavy()));
+        let a = run_service(&config);
+        let b = run_service(&config);
+        assert_eq!(a.requests, b.requests);
+        let counts = |r: &ServiceReport| {
+            r.classes.iter().map(|c| (c.class, c.latency.count)).collect::<Vec<_>>()
+        };
+        assert_eq!(counts(&a), counts(&b), "class partition must be trace-determined");
+    }
+}

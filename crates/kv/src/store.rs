@@ -1,0 +1,443 @@
+//! The sharded transactional key-value store.
+//!
+//! Layout: `shards` hash shards, each an array of `buckets_per_shard`
+//! fixed-capacity buckets, each bucket `slots_per_bucket` slots of two
+//! simulated-heap words — `[key, value]`, with key word `0` meaning
+//! empty. Keys are therefore nonzero `u64`s and values are `u64`s; the
+//! bucket for a key is fixed by its hash, so a store that held the full
+//! working set once can never overflow under churn on that same key set
+//! (deletes punch holes, re-inserts refill them).
+//!
+//! Every operation runs as **one transaction** on the typed
+//! [`Session`] API — the store never touches the heap outside a
+//! transaction except in the explicitly single-threaded
+//! [`KvStore::load`] initializer and the quiesced-state inspection
+//! helpers ([`KvStore::sum_direct`], [`KvStore::snapshot_words`]).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rh_norec::prelude::{Session, TxFault};
+use rh_norec::{Tx, TxResult};
+use sim_mem::{Addr, Heap, MemError};
+
+/// Shape of a [`KvStore`]: shard count and per-shard bucket geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct KvConfig {
+    /// Hash shards (the service tier default is 16).
+    pub shards: usize,
+    /// Buckets per shard.
+    pub buckets_per_shard: usize,
+    /// Slots per bucket (the fixed bucket capacity).
+    pub slots_per_bucket: usize,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig { shards: 16, buckets_per_shard: 16, slots_per_bucket: 8 }
+    }
+}
+
+impl KvConfig {
+    /// A tiny geometry for checker workloads: few slots, maximum
+    /// collision pressure.
+    pub fn tiny(shards: usize) -> Self {
+        KvConfig { shards, buckets_per_shard: 2, slots_per_bucket: 4 }
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.shards * self.buckets_per_shard * self.slots_per_bucket
+    }
+
+    /// Geometry guaranteed to hold keys `1..=keyspace` regardless of
+    /// hash skew: slots per bucket is the *actual* maximum bucket load
+    /// of that key set under the store's own hash, plus one spare.
+    /// Buckets are fixed per key, so a store loaded with the full key
+    /// set once can never overflow under churn on the same keys.
+    pub fn for_keyspace(keyspace: u64) -> Self {
+        let mut config = KvConfig::default();
+        let mut loads = vec![0u64; config.shards * config.buckets_per_shard];
+        for key in 1..=keyspace {
+            let h = mix(key);
+            let shard = (h % config.shards as u64) as usize;
+            let bucket = ((h >> 32) % config.buckets_per_shard as u64) as usize;
+            loads[shard * config.buckets_per_shard + bucket] += 1;
+        }
+        let max_load = loads.iter().copied().max().unwrap_or(0).max(1) as usize;
+        config.slots_per_bucket = max_load + 1;
+        config
+    }
+}
+
+/// Failures surfaced by store operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvError {
+    /// The transaction tripped an engine-level fault.
+    Tx(TxFault),
+    /// Insert found the key's fixed bucket full.
+    BucketFull {
+        /// The key whose bucket had no free slot.
+        key: u64,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::Tx(fault) => write!(f, "transaction fault: {fault}"),
+            KvError::BucketFull { key } => write!(f, "bucket full inserting key {key}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<TxFault> for KvError {
+    fn from(fault: TxFault) -> Self {
+        KvError::Tx(fault)
+    }
+}
+
+/// Result type of store operations.
+pub type KvResult<T> = Result<T, KvError>;
+
+/// Outcome of a [`KvStore::transfer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// The full amount moved from source to destination.
+    Done,
+    /// The source balance was below the amount; nothing moved.
+    InsufficientFunds,
+    /// Source or destination key was absent; nothing moved.
+    MissingKey,
+}
+
+/// The sharded store handle. Cheap host-side metadata (the bucket base
+/// addresses); all key/value state lives in the simulated heap, so one
+/// handle can be shared by reference across worker threads.
+pub struct KvStore {
+    config: KvConfig,
+    /// `buckets[shard * buckets_per_shard + bucket]` — payload base of
+    /// that bucket's slot array.
+    buckets: Vec<Addr>,
+}
+
+/// SplitMix64 finalizer — scatters keys across shards and buckets.
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl KvStore {
+    /// Allocates the store's bucket arrays on `heap`. Each bucket is its
+    /// own allocation so distinct buckets land on distinct cache lines —
+    /// the simulated HTM detects conflicts at line granularity, and a
+    /// single flat array would manufacture false conflicts between
+    /// unrelated keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocator's [`MemError`] when the heap is too small.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `config` dimension is zero.
+    pub fn create(heap: &Heap, config: KvConfig) -> Result<KvStore, MemError> {
+        assert!(
+            config.shards > 0 && config.buckets_per_shard > 0 && config.slots_per_bucket > 0,
+            "KvConfig dimensions must be nonzero"
+        );
+        let alloc = heap.allocator();
+        let total = config.shards * config.buckets_per_shard;
+        let words = 2 * config.slots_per_bucket as u64;
+        let buckets = (0..total).map(|_| alloc.alloc(0, words)).collect::<Result<_, _>>()?;
+        Ok(KvStore { config, buckets })
+    }
+
+    /// The store's geometry.
+    pub fn config(&self) -> &KvConfig {
+        &self.config
+    }
+
+    /// Base address of `key`'s fixed bucket.
+    fn bucket_of(&self, key: u64) -> Addr {
+        debug_assert_ne!(key, 0, "key 0 is the empty-slot sentinel");
+        let h = mix(key);
+        let shard = (h as usize) % self.config.shards;
+        let bucket = ((h >> 32) as usize) % self.config.buckets_per_shard;
+        self.buckets[shard * self.config.buckets_per_shard + bucket]
+    }
+
+    /// Key/value word addresses of slot `i` in the bucket at `base`.
+    fn slot(base: Addr, i: usize) -> (Addr, Addr) {
+        let k = base.offset(2 * i as u64);
+        (k, k.offset(1))
+    }
+
+    /// Transactionally scans `key`'s bucket: returns the *key-word*
+    /// address of the occupied slot when present (value word is one
+    /// word up), else the key-word address of the first free slot.
+    /// Deletes punch holes, so the scan never stops early.
+    fn probe(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Result<Addr, Option<Addr>>> {
+        let base = self.bucket_of(key);
+        let mut free = None;
+        for i in 0..self.config.slots_per_bucket {
+            let (k_addr, _) = Self::slot(base, i);
+            let k = tx.read(k_addr)?;
+            if k == key {
+                return Ok(Ok(k_addr));
+            }
+            if k == 0 && free.is_none() {
+                free = Some(k_addr);
+            }
+        }
+        Ok(Err(free))
+    }
+
+    /// Reads `key` in one read-only transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Tx`] on an engine fault.
+    pub fn get(&self, session: &mut Session, key: u64) -> KvResult<Option<u64>> {
+        let value = session.run_read(|tx| match self.probe(tx, key)? {
+            Ok(k_addr) => Ok(Some(tx.read(k_addr.offset(1))?)),
+            Err(_) => Ok(None),
+        })?;
+        Ok(value)
+    }
+
+    /// Inserts or overwrites `key` in one transaction; returns the
+    /// previous value.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::BucketFull`] when the key is absent and its fixed
+    /// bucket has no free slot; [`KvError::Tx`] on an engine fault.
+    pub fn put(&self, session: &mut Session, key: u64, value: u64) -> KvResult<Option<u64>> {
+        let outcome = session.run(|tx| match self.probe(tx, key)? {
+            Ok(k_addr) => {
+                let v_addr = k_addr.offset(1);
+                let old = tx.read(v_addr)?;
+                tx.write(v_addr, value)?;
+                Ok(Some(Some(old)))
+            }
+            Err(Some(k_addr)) => {
+                tx.write(k_addr, key)?;
+                tx.write(k_addr.offset(1), value)?;
+                Ok(Some(None))
+            }
+            Err(None) => Ok(None),
+        })?;
+        outcome.ok_or(KvError::BucketFull { key })
+    }
+
+    /// Removes `key` in one transaction; returns the removed value.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Tx`] on an engine fault.
+    pub fn delete(&self, session: &mut Session, key: u64) -> KvResult<Option<u64>> {
+        let removed = session.run(|tx| match self.probe(tx, key)? {
+            Ok(k_addr) => {
+                let old = tx.read(k_addr.offset(1))?;
+                // Clearing the key word is what frees the slot; the stale
+                // value word is unreachable until a fresh insert
+                // overwrites both.
+                tx.write(k_addr, 0)?;
+                Ok(Some(old))
+            }
+            Err(_) => Ok(None),
+        })?;
+        Ok(removed)
+    }
+
+    /// Counts and sums all live keys in `lo..=hi`, atomically, in one
+    /// read-only transaction. The store is hash-ordered, so this scans
+    /// every slot — deliberately the large-read-set operation of the
+    /// service mix (it is what pushes an HTM prefix past capacity and
+    /// into the slow path).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Tx`] on an engine fault.
+    pub fn range_sum(&self, session: &mut Session, lo: u64, hi: u64) -> KvResult<(u64, u64)> {
+        let result = session.run_read(|tx| {
+            let mut count = 0u64;
+            let mut sum = 0u64;
+            for base in &self.buckets {
+                for i in 0..self.config.slots_per_bucket {
+                    let (k_addr, v_addr) = Self::slot(*base, i);
+                    let k = tx.read(k_addr)?;
+                    if k != 0 && lo <= k && k <= hi {
+                        count += 1;
+                        sum = sum.wrapping_add(tx.read(v_addr)?);
+                    }
+                }
+            }
+            Ok((count, sum))
+        })?;
+        Ok(result)
+    }
+
+    /// Moves `amount` from `src` to `dst` in one transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Tx`] on an engine fault.
+    pub fn transfer(
+        &self,
+        session: &mut Session,
+        src: u64,
+        dst: u64,
+        amount: u64,
+    ) -> KvResult<TransferOutcome> {
+        if src == dst {
+            return Ok(TransferOutcome::Done);
+        }
+        // MUTANT (`Mutant::KvStaleTransferCredit`): probe the destination
+        // balance in a separate earlier read-only transaction, then
+        // blind-write `probed + amount` inside the transfer transaction.
+        // A concurrent credit or debit of `dst` landing between the probe
+        // and the commit is silently lost — conservation of the
+        // transferred balance breaks, which the harness's post-run sum
+        // check turns into a panic.
+        #[cfg(feature = "mutants")]
+        if session
+            .runtime()
+            .mutant_armed(rh_norec::mutants::Mutant::KvStaleTransferCredit)
+        {
+            return self.transfer_stale_credit(session, src, dst, amount);
+        }
+        let outcome = session.run(|tx| {
+            let src_val = match self.probe(tx, src)? {
+                Ok(k_addr) => k_addr.offset(1),
+                Err(_) => return Ok(TransferOutcome::MissingKey),
+            };
+            let dst_val = match self.probe(tx, dst)? {
+                Ok(k_addr) => k_addr.offset(1),
+                Err(_) => return Ok(TransferOutcome::MissingKey),
+            };
+            let balance = tx.read(src_val)?;
+            if balance < amount {
+                return Ok(TransferOutcome::InsufficientFunds);
+            }
+            tx.write(src_val, balance - amount)?;
+            let dst_balance = tx.read(dst_val)?;
+            tx.write(dst_val, dst_balance + amount)?;
+            Ok(TransferOutcome::Done)
+        })?;
+        Ok(outcome)
+    }
+
+    /// The planted bug behind `Mutant::KvStaleTransferCredit`: the credit
+    /// value comes from a probe transaction that already committed, so
+    /// the transfer's write set is consistent but its *value* is stale.
+    #[cfg(feature = "mutants")]
+    fn transfer_stale_credit(
+        &self,
+        session: &mut Session,
+        src: u64,
+        dst: u64,
+        amount: u64,
+    ) -> KvResult<TransferOutcome> {
+        let probed = session.run_read(|tx| match self.probe(tx, dst)? {
+            Ok(k_addr) => Ok(Some((k_addr.offset(1), tx.read(k_addr.offset(1))?))),
+            Err(_) => Ok(None),
+        })?;
+        let Some((dst_val, stale_balance)) = probed else {
+            return Ok(TransferOutcome::MissingKey);
+        };
+        let outcome = session.run(|tx| {
+            let src_val = match self.probe(tx, src)? {
+                Ok(k_addr) => k_addr.offset(1),
+                Err(_) => return Ok(TransferOutcome::MissingKey),
+            };
+            let balance = tx.read(src_val)?;
+            if balance < amount {
+                return Ok(TransferOutcome::InsufficientFunds);
+            }
+            tx.write(src_val, balance - amount)?;
+            // BUG: blind write from the stale probe instead of
+            // read-modify-write inside this transaction.
+            tx.write(dst_val, stale_balance + amount)?;
+            Ok(TransferOutcome::Done)
+        })?;
+        Ok(outcome)
+    }
+
+    /// Single-threaded initializer: inserts `key -> value` with plain
+    /// heap stores, bypassing the TM. Only valid before any concurrent
+    /// worker starts (service setup, harness seeding).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::BucketFull`] when the key's bucket is full.
+    pub fn load(&self, heap: &Heap, key: u64, value: u64) -> KvResult<()> {
+        let base = self.bucket_of(key);
+        for i in 0..self.config.slots_per_bucket {
+            let (k_addr, v_addr) = Self::slot(base, i);
+            let k = heap.load(k_addr);
+            if k == key || k == 0 {
+                heap.store(k_addr, key);
+                heap.store(v_addr, value);
+                return Ok(());
+            }
+        }
+        Err(KvError::BucketFull { key })
+    }
+
+    /// Non-transactional sum of every live value — quiesced-state
+    /// inspection for conservation checks (no concurrent workers).
+    pub fn sum_direct(&self, heap: &Heap) -> u64 {
+        let mut sum = 0u64;
+        for base in &self.buckets {
+            for i in 0..self.config.slots_per_bucket {
+                let (k_addr, v_addr) = Self::slot(*base, i);
+                if heap.load(k_addr) != 0 {
+                    sum = sum.wrapping_add(heap.load(v_addr));
+                }
+            }
+        }
+        sum
+    }
+
+    /// Non-transactional count of live keys.
+    pub fn len_direct(&self, heap: &Heap) -> usize {
+        let mut n = 0;
+        for base in &self.buckets {
+            for i in 0..self.config.slots_per_bucket {
+                if heap.load(Self::slot(*base, i).0) != 0 {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Every heap word the store owns, as `word-address -> value` — the
+    /// initial map the checker's oracles replay histories against.
+    pub fn snapshot_words(&self, heap: &Heap) -> HashMap<u64, u64> {
+        let mut map = HashMap::new();
+        for base in &self.buckets {
+            for i in 0..self.config.slots_per_bucket {
+                let (k_addr, v_addr) = Self::slot(*base, i);
+                map.insert(k_addr.to_word(), heap.load(k_addr));
+                map.insert(v_addr.to_word(), heap.load(v_addr));
+            }
+        }
+        map
+    }
+}
+
+impl fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KvStore")
+            .field("config", &self.config)
+            .field("buckets", &self.buckets.len())
+            .finish()
+    }
+}

@@ -31,7 +31,7 @@ pub use workload::{Workload, WorkloadRng};
 pub(crate) mod test_support {
     use std::sync::Arc;
 
-    use rh_norec::{Algorithm, TmConfig, TmRuntime};
+    use rh_norec::prelude::{Algorithm, TmConfig, TmRuntime};
     use sim_htm::{Htm, HtmConfig};
     use sim_mem::{Heap, HeapConfig};
 

@@ -7,7 +7,7 @@
 //! Figure 4 uses a 10,000-node tree with 4%, 10% and 40% mutation ratios.
 
 use rand::Rng;
-use rh_norec::{TmThread, TxKind};
+use rh_norec::prelude::{Session, TxKind};
 use sim_mem::Heap;
 
 use crate::structures::RbTree;
@@ -73,7 +73,7 @@ impl Workload for RbTreeBench {
         )
     }
 
-    fn setup(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+    fn setup(&self, worker: &mut Session, rng: &mut WorkloadRng) {
         let mut inserted = 0;
         while inserted < self.config.initial_size {
             let key = rng.gen_range(0..self.key_range);
@@ -86,7 +86,7 @@ impl Workload for RbTreeBench {
         }
     }
 
-    fn run_op(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+    fn run_op(&self, worker: &mut Session, rng: &mut WorkloadRng) {
         let key = rng.gen_range(0..self.key_range);
         let roll = rng.gen_range(0..100);
         if roll < self.config.mutation_pct {
@@ -129,7 +129,7 @@ mod tests {
             &heap,
             RbTreeBenchConfig { initial_size: 500, mutation_pct: 10 },
         );
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(42);
         bench.setup(&mut w, &mut rng);
         assert_eq!(bench.tree().collect(&heap).len(), 500);
@@ -144,7 +144,7 @@ mod tests {
             RbTreeBenchConfig { initial_size: 300, mutation_pct: 40 },
         ));
         {
-            let mut w = rt.register(0).expect("fresh thread id");
+            let mut w = rt.open_session().expect("free worker slot");
             let mut rng = WorkloadRng::seed_from_u64(1);
             bench.setup(&mut w, &mut rng);
         }
@@ -153,7 +153,7 @@ mod tests {
                 let rt = Arc::clone(&rt);
                 let bench = Arc::clone(&bench);
                 s.spawn(move || {
-                    let mut w = rt.register(tid).expect("fresh thread id");
+                    let mut w = rt.open_session().expect("free worker slot");
                     let mut rng = WorkloadRng::seed_from_u64(100 + tid as u64);
                     for _ in 0..400 {
                         bench.run_op(&mut w, &mut rng);

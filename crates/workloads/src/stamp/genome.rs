@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::Rng;
-use rh_norec::{TmThread, TxKind};
+use rh_norec::prelude::{Session, TxKind};
 use sim_mem::Heap;
 
 use crate::structures::HashTable;
@@ -100,7 +100,7 @@ impl Genome {
 
     /// Processes a batch of sampled segments in one transaction: dedup,
     /// then overlap-link (the shape of STAMP's chunked phase loops).
-    fn process_batch(&self, worker: &mut TmThread, positions: &[u64]) {
+    fn process_batch(&self, worker: &mut Session, positions: &[u64]) {
         worker.execute(TxKind::ReadWrite, |tx| {
             for &pos in positions {
                 let seg = self.pack(pos, self.config.segment_bases);
@@ -132,11 +132,11 @@ impl Workload for Genome {
         )
     }
 
-    fn setup(&self, _worker: &mut TmThread, _rng: &mut WorkloadRng) {
+    fn setup(&self, _worker: &mut Session, _rng: &mut WorkloadRng) {
         // Inputs are host-side; shared tables start empty.
     }
 
-    fn run_op(&self, worker: &mut TmThread, _rng: &mut WorkloadRng) {
+    fn run_op(&self, worker: &mut Session, _rng: &mut WorkloadRng) {
         let batch = self.config.batch.max(1) as u64;
         let start = self.cursor.fetch_add(batch, Ordering::Relaxed);
         let positions: Vec<u64> = (0..batch)
@@ -198,7 +198,7 @@ mod tests {
     fn sequential_processing_builds_valid_links() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let g = Genome::new(&heap, small(), 2);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(0);
         for _ in 0..1000 {
             g.run_op(&mut w, &mut rng);
@@ -217,7 +217,7 @@ mod tests {
                     let rt = Arc::clone(&rt);
                     let g = Arc::clone(&g);
                     s.spawn(move || {
-                        let mut w = rt.register(tid).expect("fresh thread id");
+                        let mut w = rt.open_session().expect("free worker slot");
                         let mut rng = WorkloadRng::seed_from_u64(tid as u64);
                         for _ in 0..400 {
                             g.run_op(&mut w, &mut rng);

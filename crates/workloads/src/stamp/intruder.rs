@@ -15,7 +15,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::Rng;
-use rh_norec::{TmThread, Tx, TxKind, TxResult};
+use rh_norec::prelude::{Session, Tx, TxKind, TxResult};
 use sim_mem::{Addr, Heap};
 
 use crate::structures::{HashTable, Queue, SortedList};
@@ -108,7 +108,7 @@ impl Intruder {
     }
 
     /// Generates one flow and enqueues its fragments in shuffled order.
-    fn generate_flow(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+    fn generate_flow(&self, worker: &mut Session, rng: &mut WorkloadRng) {
         let flow = self.next_flow.fetch_add(1, Ordering::Relaxed);
         let (bytes, attack) = self.make_flow_bytes(rng);
         if attack {
@@ -154,7 +154,7 @@ impl Intruder {
 
     /// Capture + decode: pop a packet, file its fragment, and reassemble
     /// the flow if this completed it (one transaction, as in STAMP).
-    fn process_packet(&self, worker: &mut TmThread) -> Option<Vec<u8>> {
+    fn process_packet(&self, worker: &mut Session) -> Option<Vec<u8>> {
         worker.execute(TxKind::ReadWrite, |tx| {
             let Some(frag_word) = self.packets.pop(tx)? else {
                 return Ok(None);
@@ -192,7 +192,7 @@ impl Intruder {
     }
 
     /// The detector: scans a reassembled flow for any known signature.
-    fn detect(&self, worker: &mut TmThread, flow: &[u8]) {
+    fn detect(&self, worker: &mut Session, flow: &[u8]) {
         let hit = SIGNATURES
             .iter()
             .any(|sig| flow.windows(sig.len()).any(|w| w == *sig));
@@ -205,7 +205,7 @@ impl Intruder {
     }
 
     /// Processes packets until the queue is empty (test helper).
-    pub fn drain(&self, worker: &mut TmThread) {
+    pub fn drain(&self, worker: &mut Session) {
         loop {
             let empty = worker.execute(TxKind::ReadOnly, |tx| self.packets.is_empty_tx(tx));
             if empty {
@@ -243,13 +243,13 @@ impl Workload for Intruder {
         "Intruder".into()
     }
 
-    fn setup(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+    fn setup(&self, worker: &mut Session, rng: &mut WorkloadRng) {
         for _ in 0..64 {
             self.generate_flow(worker, rng);
         }
     }
 
-    fn run_op(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+    fn run_op(&self, worker: &mut Session, rng: &mut WorkloadRng) {
         // Mostly consume; produce occasionally to keep the stream alive.
         if rng.gen_range(0..100) < 15 {
             self.generate_flow(worker, rng);
@@ -303,7 +303,7 @@ mod tests {
     fn signatures_survive_fragmentation_and_reordering() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let app = Intruder::new(&heap, IntruderConfig { attack_pct: 100, ..Default::default() });
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(2);
         for _ in 0..50 {
             app.generate_flow(&mut w, &mut rng);
@@ -321,7 +321,7 @@ mod tests {
     fn draining_detects_every_attack_exactly_once() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let app = Intruder::new(&heap, IntruderConfig::default());
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(9);
         for _ in 0..100 {
             app.generate_flow(&mut w, &mut rng);
@@ -337,7 +337,7 @@ mod tests {
         let (heap, rt) = single_runtime(Algorithm::RhNorec);
         let app = Arc::new(Intruder::new(&heap, IntruderConfig::default()));
         {
-            let mut w = rt.register(0).expect("fresh thread id");
+            let mut w = rt.open_session().expect("free worker slot");
             let mut rng = WorkloadRng::seed_from_u64(10);
             app.setup(&mut w, &mut rng);
         }
@@ -346,7 +346,7 @@ mod tests {
                 let rt = Arc::clone(&rt);
                 let app = Arc::clone(&app);
                 s.spawn(move || {
-                    let mut w = rt.register(tid).expect("fresh thread id");
+                    let mut w = rt.open_session().expect("free worker slot");
                     let mut rng = WorkloadRng::seed_from_u64(20 + tid as u64);
                     for _ in 0..300 {
                         app.run_op(&mut w, &mut rng);
@@ -356,7 +356,7 @@ mod tests {
         });
         app.verify(&heap).unwrap();
         // Drain the remainder single-threaded: totals must reconcile.
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         app.drain(&mut w);
         assert_eq!(app.flows_completed(&heap), app.flows_generated());
         assert_eq!(app.attacks_detected(&heap), app.attacks_generated());

@@ -11,7 +11,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use rh_norec::{TmThread, Tx, TxKind, TxResult};
+use rh_norec::prelude::{Session, Tx, TxKind, TxResult};
 use sim_mem::{Addr, Heap};
 
 use crate::{Workload, WorkloadRng};
@@ -172,9 +172,9 @@ impl Workload for Kmeans {
         format!("Kmeans (c={}, d={})", self.config.clusters, self.config.dims)
     }
 
-    fn setup(&self, _worker: &mut TmThread, _rng: &mut WorkloadRng) {}
+    fn setup(&self, _worker: &mut Session, _rng: &mut WorkloadRng) {}
 
-    fn run_op(&self, worker: &mut TmThread, _rng: &mut WorkloadRng) {
+    fn run_op(&self, worker: &mut Session, _rng: &mut WorkloadRng) {
         let i = self.cursor.fetch_add(1, Ordering::Relaxed);
         let idx = (i % self.points.len() as u64) as usize;
         // End of each pass over the input: recompute centers.
@@ -239,7 +239,7 @@ mod tests {
     fn centers_converge_to_the_true_bands() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let km = Kmeans::new(&heap, small(), 11);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(0);
         // Three full passes.
         for _ in 0..(3 * 256 + 1) {
@@ -267,7 +267,7 @@ mod tests {
                 heap.store(km.cluster(k).offset(C_CENTER + d), k * 1000 + 50);
             }
         }
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         for (idx, point) in km.points.iter().take(64).enumerate() {
             let got = w.execute(TxKind::ReadWrite, |tx| km.assign_and_fold(tx, point));
             assert_eq!(got, km.truth[idx], "point {idx} misassigned");
@@ -284,7 +284,7 @@ mod tests {
                 let rt = Arc::clone(&rt);
                 let km = Arc::clone(&km);
                 s.spawn(move || {
-                    let mut w = rt.register(tid).expect("fresh thread id");
+                    let mut w = rt.open_session().expect("free worker slot");
                     let mut rng = WorkloadRng::seed_from_u64(tid as u64);
                     for _ in 0..per {
                         km.run_op(&mut w, &mut rng);

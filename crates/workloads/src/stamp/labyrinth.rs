@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::Rng;
-use rh_norec::{TmThread, Tx, TxKind, TxResult};
+use rh_norec::prelude::{Session, Tx, TxKind, TxResult};
 use sim_mem::{Addr, Heap};
 
 use crate::structures::Queue;
@@ -213,9 +213,9 @@ impl Workload for Labyrinth {
         )
     }
 
-    fn setup(&self, _worker: &mut TmThread, _rng: &mut WorkloadRng) {}
+    fn setup(&self, _worker: &mut Session, _rng: &mut WorkloadRng) {}
 
-    fn run_op(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+    fn run_op(&self, worker: &mut Session, rng: &mut WorkloadRng) {
         if rng.gen_bool(0.4) {
             worker.execute(TxKind::ReadWrite, |tx| self.rip_up(tx).map(|_| ()));
             return;
@@ -298,7 +298,7 @@ mod tests {
     fn routes_connect_endpoints_on_an_empty_grid() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let lab = Labyrinth::new(&heap, small());
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let src = lab.index(0, 0, 0);
         let dst = lab.index(7, 7, 1);
         let ok = w.execute(TxKind::ReadWrite, |tx| lab.route(tx, src, dst, 1));
@@ -312,7 +312,7 @@ mod tests {
     fn blocked_routes_leave_no_trace() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let lab = Labyrinth::new(&heap, LabyrinthConfig { width: 4, height: 4, layers: 1 });
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         // Wall off the middle columns on the single layer.
         for y in 0..4 {
             heap.store(lab.cell(lab.index(1, y, 0)), 99);
@@ -331,7 +331,7 @@ mod tests {
     fn routing_and_ripup_keep_grid_consistent() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let lab = Labyrinth::new(&heap, small());
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(13);
         for _ in 0..300 {
             lab.run_op(&mut w, &mut rng);
@@ -349,7 +349,7 @@ mod tests {
                 let rt = Arc::clone(&rt);
                 let lab = Arc::clone(&lab);
                 s.spawn(move || {
-                    let mut w = rt.register(tid).expect("fresh thread id");
+                    let mut w = rt.open_session().expect("free worker slot");
                     let mut rng = WorkloadRng::seed_from_u64(tid as u64);
                     for _ in 0..150 {
                         lab.run_op(&mut w, &mut rng);

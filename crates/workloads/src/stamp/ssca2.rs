@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::Rng;
-use rh_norec::{TmThread, TxKind};
+use rh_norec::prelude::{Session, TxKind};
 use sim_mem::{Addr, Heap};
 
 use crate::{Workload, WorkloadRng};
@@ -137,11 +137,11 @@ impl Workload for Ssca2 {
         format!("SSCA2 (scale={}, arcs={})", self.config.scale, self.config.arcs)
     }
 
-    fn setup(&self, _worker: &mut TmThread, _rng: &mut WorkloadRng) {
+    fn setup(&self, _worker: &mut Session, _rng: &mut WorkloadRng) {
         // The node table starts zeroed (degree 0 everywhere).
     }
 
-    fn run_op(&self, worker: &mut TmThread, _rng: &mut WorkloadRng) {
+    fn run_op(&self, worker: &mut Session, _rng: &mut WorkloadRng) {
         let i = self.cursor.fetch_add(1, Ordering::Relaxed) % self.arc_list.len() as u64;
         let (src, packed) = self.arc_list[i as usize];
         let node = self.node(src);
@@ -207,7 +207,7 @@ mod tests {
     fn sequential_replay_is_consistent() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let g = Ssca2::new(&heap, small(), 7);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(0);
         for _ in 0..2000 {
             g.run_op(&mut w, &mut rng);
@@ -224,7 +224,7 @@ mod tests {
                 let rt = Arc::clone(&rt);
                 let g = Arc::clone(&g);
                 s.spawn(move || {
-                    let mut w = rt.register(tid).expect("fresh thread id");
+                    let mut w = rt.open_session().expect("free worker slot");
                     let mut rng = WorkloadRng::seed_from_u64(tid as u64);
                     for _ in 0..800 {
                         g.run_op(&mut w, &mut rng);
@@ -239,7 +239,7 @@ mod tests {
     fn degrees_grow_until_recycled() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let g = Ssca2::new(&heap, Ssca2Config { scale: 1, max_degree: 4, arcs: 16 }, 9);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(0);
         for _ in 0..16 {
             g.run_op(&mut w, &mut rng);

@@ -9,7 +9,7 @@
 //! customers (billing them), or update the relations.
 
 use rand::Rng;
-use rh_norec::{TmThread, Tx, TxKind, TxResult};
+use rh_norec::prelude::{Session, Tx, TxKind, TxResult};
 use sim_mem::{Addr, Heap};
 
 use crate::structures::{RbTree, SortedList};
@@ -198,7 +198,7 @@ impl Workload for Vacation {
         format!("Vacation-{flavor} (r={})", self.config.relations)
     }
 
-    fn setup(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+    fn setup(&self, worker: &mut Session, rng: &mut WorkloadRng) {
         for kind in 0..RESOURCE_KINDS {
             for id in 0..self.config.relations {
                 let price = 100 + rng.gen_range(0..400);
@@ -214,7 +214,7 @@ impl Workload for Vacation {
         }
     }
 
-    fn run_op(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+    fn run_op(&self, worker: &mut Session, rng: &mut WorkloadRng) {
         let roll = rng.gen_range(0..100);
         let range = self.query_range();
         if roll < self.config.user_pct {
@@ -314,7 +314,7 @@ mod tests {
     fn sequential_run_preserves_invariants() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let app = Vacation::new(&heap, small());
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(3);
         app.setup(&mut w, &mut rng);
         app.verify(&heap).unwrap();
@@ -330,7 +330,7 @@ mod tests {
             let (heap, rt) = single_runtime(alg);
             let app = Arc::new(Vacation::new(&heap, small()));
             {
-                let mut w = rt.register(0).expect("fresh thread id");
+                let mut w = rt.open_session().expect("free worker slot");
                 let mut rng = WorkloadRng::seed_from_u64(4);
                 app.setup(&mut w, &mut rng);
             }
@@ -339,7 +339,7 @@ mod tests {
                     let rt = Arc::clone(&rt);
                     let app = Arc::clone(&app);
                     s.spawn(move || {
-                        let mut w = rt.register(tid).expect("fresh thread id");
+                        let mut w = rt.open_session().expect("free worker slot");
                         let mut rng = WorkloadRng::seed_from_u64(50 + tid as u64);
                         for _ in 0..200 {
                             app.run_op(&mut w, &mut rng);
@@ -355,7 +355,7 @@ mod tests {
     fn deleting_a_customer_releases_their_reservations() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let app = Vacation::new(&heap, small());
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(5);
         app.setup(&mut w, &mut rng);
         // Force one reservation deterministically.

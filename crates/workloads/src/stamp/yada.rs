@@ -16,7 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::Rng;
-use rh_norec::{TmThread, Tx, TxKind, TxResult};
+use rh_norec::prelude::{Session, Tx, TxKind, TxResult};
 use sim_mem::{Addr, Heap};
 
 use crate::structures::{PairingHeap, RbTree};
@@ -468,7 +468,7 @@ impl Yada {
 
     /// Drains the work heap (test helper; terminates for angle bounds
     /// below Ruppert's 20.7°).
-    pub fn drain(&self, worker: &mut TmThread) {
+    pub fn drain(&self, worker: &mut Session) {
         while worker.execute(TxKind::ReadWrite, |tx| self.refine_one(tx)) {}
     }
 
@@ -513,7 +513,7 @@ impl Workload for Yada {
         )
     }
 
-    fn setup(&self, worker: &mut TmThread, _rng: &mut WorkloadRng) {
+    fn setup(&self, worker: &mut Session, _rng: &mut WorkloadRng) {
         // Register the staged triangles through the TM API: BFS over the
         // adjacency links from the stashed root (the mesh is connected).
         let heap = std::sync::Arc::clone(worker.runtime().heap());
@@ -530,7 +530,7 @@ impl Workload for Yada {
         }
     }
 
-    fn run_op(&self, worker: &mut TmThread, rng: &mut WorkloadRng) {
+    fn run_op(&self, worker: &mut Session, rng: &mut WorkloadRng) {
         let did = worker.execute(TxKind::ReadWrite, |tx| self.refine_one(tx));
         if did {
             self.refined.fetch_add(1, Ordering::Relaxed);
@@ -643,7 +643,7 @@ mod tests {
     fn initial_mesh_is_consistent() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let yada = Yada::new(&heap, YadaConfig { grid: 4, min_angle_deg: 24.0 });
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(1);
         yada.setup(&mut w, &mut rng);
         yada.verify(&heap).unwrap();
@@ -655,7 +655,7 @@ mod tests {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         // 18° terminates (below Ruppert's bound).
         let yada = Yada::new(&heap, YadaConfig { grid: 4, min_angle_deg: 18.0 });
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(2);
         yada.setup(&mut w, &mut rng);
         yada.drain(&mut w);
@@ -691,7 +691,7 @@ mod tests {
     fn random_point_insertion_keeps_the_mesh_consistent() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let yada = Yada::new(&heap, YadaConfig { grid: 4, min_angle_deg: 18.0 });
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(3);
         yada.setup(&mut w, &mut rng);
         for _ in 0..300 {
@@ -707,7 +707,7 @@ mod tests {
             let (heap, rt) = single_runtime(alg);
             let yada = Arc::new(Yada::new(&heap, YadaConfig { grid: 6, min_angle_deg: 24.0 }));
             {
-                let mut w = rt.register(0).expect("fresh thread id");
+                let mut w = rt.open_session().expect("free worker slot");
                 let mut rng = WorkloadRng::seed_from_u64(4);
                 yada.setup(&mut w, &mut rng);
             }
@@ -716,7 +716,7 @@ mod tests {
                     let rt = Arc::clone(&rt);
                     let yada = Arc::clone(&yada);
                     s.spawn(move || {
-                        let mut w = rt.register(tid).expect("fresh thread id");
+                        let mut w = rt.open_session().expect("free worker slot");
                         let mut rng = WorkloadRng::seed_from_u64(tid as u64);
                         for _ in 0..150 {
                             yada.run_op(&mut w, &mut rng);

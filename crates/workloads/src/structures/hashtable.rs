@@ -4,7 +4,7 @@
 //! Fixed bucket count, separate chaining. Bucket array is allocated at
 //! setup; chain node layout: `[next, key, value]`.
 
-use rh_norec::{Tx, TxResult};
+use rh_norec::prelude::{Tx, TxResult};
 use sim_mem::{Addr, Heap};
 
 const NEXT: u64 = 0;
@@ -172,13 +172,13 @@ impl HashTable {
 mod tests {
     use super::*;
     use crate::test_support::single_runtime;
-    use rh_norec::{Algorithm, TxKind};
+    use rh_norec::prelude::{Algorithm, TxKind};
 
     #[test]
     fn insert_get_remove() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let table = HashTable::create(&heap, 16);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         assert!(w.execute(TxKind::ReadWrite, |tx| table.insert(tx, 1, 10)));
         assert!(!w.execute(TxKind::ReadWrite, |tx| table.insert(tx, 1, 11)));
         assert_eq!(w.execute(TxKind::ReadOnly, |tx| table.get(tx, 1)), Some(10));
@@ -190,7 +190,7 @@ mod tests {
     fn put_overwrites() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let table = HashTable::create(&heap, 4);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| table.put(tx, 9, 1)), None);
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| table.put(tx, 9, 2)), Some(1));
         assert_eq!(w.execute(TxKind::ReadOnly, |tx| table.get(tx, 9)), Some(2));
@@ -200,7 +200,7 @@ mod tests {
     fn collisions_chain_correctly() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let table = HashTable::create(&heap, 1); // everything collides
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         for k in 0..50u64 {
             assert!(w.execute(TxKind::ReadWrite, |tx| table.insert(tx, k, k * 2)));
         }
@@ -219,7 +219,7 @@ mod tests {
     fn matches_model_under_random_ops() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let table = HashTable::create(&heap, 8);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut model = std::collections::HashMap::new();
         let mut rng = 7u64;
         for _ in 0..2000 {

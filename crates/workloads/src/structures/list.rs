@@ -4,7 +4,7 @@
 //! Node layout: `[next, key, value]`, kept sorted by key, duplicates
 //! rejected.
 
-use rh_norec::{Tx, TxResult};
+use rh_norec::prelude::{Tx, TxResult};
 use sim_mem::{Addr, Heap};
 
 const NEXT: u64 = 0;
@@ -193,13 +193,13 @@ impl SortedList {
 mod tests {
     use super::*;
     use crate::test_support::single_runtime;
-    use rh_norec::{Algorithm, TxKind};
+    use rh_norec::prelude::{Algorithm, TxKind};
 
     #[test]
     fn stays_sorted_and_deduplicated() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let list = SortedList::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         for k in [5u64, 1, 9, 3, 7, 5, 1] {
             w.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, k * 10).map(|_| ()));
         }
@@ -211,7 +211,7 @@ mod tests {
     fn remove_front_middle_back() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let list = SortedList::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         for k in 1..=5u64 {
             w.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, k).map(|_| ()));
         }
@@ -227,7 +227,7 @@ mod tests {
     fn pop_min_drains_in_order() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let list = SortedList::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         for k in [3u64, 1, 2] {
             w.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, k).map(|_| ()));
         }
@@ -243,7 +243,7 @@ mod tests {
     fn len_tracks_contents() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let list = SortedList::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         assert_eq!(w.execute(TxKind::ReadOnly, |tx| list.len_tx(tx)), 0);
         for k in 0..10u64 {
             w.execute(TxKind::ReadWrite, |tx| list.insert(tx, k, k).map(|_| ()));

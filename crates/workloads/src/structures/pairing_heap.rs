@@ -5,7 +5,7 @@
 //! (left-child/right-sibling representation). All operations run through
 //! [`Tx`], with the classic two-pass merge on extraction.
 
-use rh_norec::{Tx, TxResult};
+use rh_norec::prelude::{Tx, TxResult};
 use sim_mem::{Addr, Heap};
 
 const KEY: u64 = 0;
@@ -151,14 +151,14 @@ impl PairingHeap {
 mod tests {
     use super::*;
     use crate::test_support::single_runtime;
-    use rh_norec::{Algorithm, TxKind};
+    use rh_norec::prelude::{Algorithm, TxKind};
     use std::sync::Arc;
 
     #[test]
     fn pops_in_key_order() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let pq = PairingHeap::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         for k in [5u64, 3, 8, 1, 9, 2, 7, 4, 6, 0] {
             w.execute(TxKind::ReadWrite, |tx| pq.push(tx, k, k * 100));
         }
@@ -174,7 +174,7 @@ mod tests {
     fn duplicates_and_peek() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let pq = PairingHeap::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         for _ in 0..3 {
             w.execute(TxKind::ReadWrite, |tx| pq.push(tx, 7, 1));
         }
@@ -193,7 +193,7 @@ mod tests {
     fn matches_binary_heap_model() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let pq = PairingHeap::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut model = std::collections::BinaryHeap::new();
         let mut rng = 0xabcdu64;
         for _ in 0..2000 {
@@ -230,7 +230,7 @@ mod tests {
                 let rt = Arc::clone(&rt);
                 let pq = Arc::clone(&pq);
                 s.spawn(move || {
-                    let mut w = rt.register(tid).expect("fresh thread id");
+                    let mut w = rt.open_session().expect("free worker slot");
                     for i in 0..per {
                         let v = (tid as u64) << 32 | i;
                         w.execute(TxKind::ReadWrite, |tx| pq.push(tx, i, v));
@@ -242,7 +242,7 @@ mod tests {
                 let pq = Arc::clone(&pq);
                 let popped = &popped;
                 s.spawn(move || {
-                    let mut w = rt.register(2).expect("fresh thread id");
+                    let mut w = rt.open_session().expect("free worker slot");
                     let mut got = Vec::new();
                     let mut misses = 0;
                     while misses < 300 {

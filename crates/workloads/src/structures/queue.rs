@@ -4,7 +4,7 @@
 //! Singly-linked with head/tail pointers; node layout: `[next, value]`.
 //! A dummy node keeps enqueue and dequeue footprints small.
 
-use rh_norec::{Tx, TxResult};
+use rh_norec::prelude::{Tx, TxResult};
 use sim_mem::{Addr, Heap};
 
 const NEXT: u64 = 0;
@@ -96,14 +96,14 @@ impl Queue {
 mod tests {
     use super::*;
     use crate::test_support::single_runtime;
-    use rh_norec::{Algorithm, TxKind};
+    use rh_norec::prelude::{Algorithm, TxKind};
     use std::sync::Arc;
 
     #[test]
     fn fifo_order() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let q = Queue::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         for v in 1..=5u64 {
             w.execute(TxKind::ReadWrite, |tx| q.push(tx, v));
         }
@@ -118,7 +118,7 @@ mod tests {
     fn pop_empty_returns_none() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let q = Queue::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         assert!(w.execute(TxKind::ReadOnly, |tx| q.is_empty_tx(tx)));
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| q.pop(tx)), None);
         w.execute(TxKind::ReadWrite, |tx| q.push(tx, 9));
@@ -138,7 +138,7 @@ mod tests {
             for tid in 0..producers {
                 let rt = Arc::clone(&rt);
                 s.spawn(move || {
-                    let mut w = rt.register(tid).expect("fresh thread id");
+                    let mut w = rt.open_session().expect("free worker slot");
                     for i in 0..per {
                         let v = (tid as u64) << 32 | i;
                         w.execute(TxKind::ReadWrite, |tx| q.push(tx, v));

@@ -8,7 +8,7 @@
 //!
 //! Node layout (6 words): `[key, value, left, right, parent, color]`.
 
-use rh_norec::{Tx, TxResult};
+use rh_norec::prelude::{Tx, TxResult};
 use sim_mem::{Addr, Heap};
 
 const KEY: u64 = 0;
@@ -33,14 +33,14 @@ const BLACK: u64 = 1;
 /// # use std::sync::Arc;
 /// # use sim_mem::{Heap, HeapConfig};
 /// # use sim_htm::{Htm, HtmConfig};
-/// # use rh_norec::{Algorithm, TmConfig, TmRuntime, TxKind};
+/// # use rh_norec::prelude::{Algorithm, TmConfig, TmRuntime, TxKind};
 /// use tm_workloads::structures::RbTree;
 ///
 /// # let heap = Arc::new(Heap::new(HeapConfig::default()));
 /// # let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
 /// # let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec)).expect("runtime construction cannot fail");
 /// let tree = RbTree::create(&heap);
-/// let mut worker = rt.register(0).expect("fresh thread id");
+/// let mut worker = rt.open_session().expect("free worker slot");
 /// worker.execute(TxKind::ReadWrite, |tx| tree.put(tx, 7, 700));
 /// let got = worker.execute(TxKind::ReadOnly, |tx| tree.get(tx, 7));
 /// assert_eq!(got, Some(700));
@@ -561,13 +561,13 @@ fn check_rec(
 mod tests {
     use super::*;
     use crate::test_support::single_runtime;
-    use rh_norec::{Algorithm, TxKind};
+    use rh_norec::prelude::{Algorithm, TxKind};
 
     #[test]
     fn put_get_remove_round_trip() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let tree = RbTree::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.put(tx, 5, 50)), None);
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.put(tx, 5, 55)), Some(50));
         assert_eq!(w.execute(TxKind::ReadOnly, |tx| tree.get(tx, 5)), Some(55));
@@ -581,7 +581,7 @@ mod tests {
     fn sequential_matches_btreemap() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let tree = RbTree::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut model = std::collections::BTreeMap::new();
         let mut rng = 0xdecafbadu64;
         for _ in 0..3000 {
@@ -614,7 +614,7 @@ mod tests {
     fn ascending_and_descending_bulk_loads_stay_balanced() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let tree = RbTree::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         for k in 0..512u64 {
             w.execute(TxKind::ReadWrite, |tx| tree.put(tx, k, k));
         }
@@ -636,7 +636,7 @@ mod tests {
     fn ceiling_finds_the_next_key() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let tree = RbTree::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         for k in [10u64, 20, 30] {
             w.execute(TxKind::ReadWrite, |tx| tree.put(tx, k, k * 2));
         }
@@ -652,7 +652,7 @@ mod tests {
     fn removing_absent_keys_is_a_noop() {
         let (heap, rt) = single_runtime(Algorithm::Norec);
         let tree = RbTree::create(&heap);
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.remove(tx, 1)), None);
         w.execute(TxKind::ReadWrite, |tx| tree.put(tx, 2, 2));
         assert_eq!(w.execute(TxKind::ReadWrite, |tx| tree.remove(tx, 1)), None);

@@ -2,7 +2,7 @@
 //! harness.
 
 use rand::rngs::SmallRng;
-use rh_norec::TmThread;
+use rh_norec::prelude::Session;
 use sim_mem::Heap;
 
 /// The deterministic per-thread RNG workloads draw from.
@@ -21,10 +21,10 @@ pub trait Workload: Send + Sync {
 
     /// Populates initial state. Runs single-threaded before measurement,
     /// using ordinary transactions on `worker`.
-    fn setup(&self, worker: &mut TmThread, rng: &mut WorkloadRng);
+    fn setup(&self, worker: &mut Session, rng: &mut WorkloadRng);
 
     /// Executes one application operation (one or more transactions).
-    fn run_op(&self, worker: &mut TmThread, rng: &mut WorkloadRng);
+    fn run_op(&self, worker: &mut Session, rng: &mut WorkloadRng);
 
     /// Checks application invariants on a quiescent heap after a run.
     ///

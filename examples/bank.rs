@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use rh_norec_repro::htm::{Htm, HtmConfig};
 use rh_norec_repro::mem::{Heap, HeapConfig};
-use rh_norec_repro::tm::{Algorithm, TmConfig, TmRuntime, TxKind};
+use rh_norec_repro::tm::prelude::*;
 
 const ACCOUNTS: u64 = 64;
 const INITIAL: u64 = 1_000;
@@ -43,7 +43,7 @@ fn main() {
         for tid in 0..2usize {
             let rt = Arc::clone(&rt);
             s.spawn(move || {
-                let mut w = rt.register(tid).expect("fresh thread id");
+                let mut w = rt.open_session().expect("free worker slot");
                 let mut rng = (tid as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
                 for _ in 0..TRANSFERS {
                     rng ^= rng << 13;
@@ -54,7 +54,7 @@ fn main() {
                     if from == to {
                         continue;
                     }
-                    w.execute(TxKind::ReadWrite, |tx| {
+                    w.run(|tx| {
                         // Closed accounts are private: transactions must
                         // leave them alone.
                         if tx.read(open(from))? == 0 || tx.read(open(to))? == 0 {
@@ -65,7 +65,8 @@ fn main() {
                         let amount = f.min(7);
                         tx.write(balance(from), f - amount)?;
                         tx.write(balance(to), t + amount)
-                    });
+                    })
+                    .expect("transfer cannot fault");
                 }
             });
         }
@@ -75,15 +76,17 @@ fn main() {
             let done = &done;
             let audits = &audits;
             s.spawn(move || {
-                let mut w = rt.register(2).expect("fresh thread id");
+                let mut w = rt.open_session().expect("free worker slot");
                 while !done.load(Ordering::Acquire) {
-                    let total = w.execute(TxKind::ReadOnly, |tx| {
-                        let mut sum = 0u64;
-                        for i in 0..ACCOUNTS {
-                            sum += tx.read(balance(i))?;
-                        }
-                        Ok(sum)
-                    });
+                    let total = w
+                        .run_read(|tx| {
+                            let mut sum = 0u64;
+                            for i in 0..ACCOUNTS {
+                                sum += tx.read(balance(i))?;
+                            }
+                            Ok(sum)
+                        })
+                        .expect("audit cannot fault");
                     assert_eq!(total, ACCOUNTS * INITIAL, "torn audit snapshot!");
                     audits.fetch_add(1, Ordering::Relaxed);
                 }
@@ -95,12 +98,14 @@ fn main() {
             let heap = Arc::clone(&heap);
             let done = &done;
             s.spawn(move || {
-                let mut w = rt.register(3).expect("fresh thread id");
+                let mut w = rt.open_session().expect("free worker slot");
                 std::thread::yield_now();
-                let closed_balance = w.execute(TxKind::ReadWrite, |tx| {
-                    tx.write(open(0), 0)?;
-                    tx.read(balance(0))
-                });
+                let closed_balance = w
+                    .run(|tx| {
+                        tx.write(open(0), 0)?;
+                        tx.read(balance(0))
+                    })
+                    .expect("privatization cannot fault");
                 // The account is now private: plain loads and stores are
                 // safe, exactly as after a privatizing commit on real HTM.
                 heap.store(balance(0), closed_balance);
@@ -112,7 +117,7 @@ fn main() {
                     );
                 }
                 // Reopen so the audit total stays exact.
-                w.execute(TxKind::ReadWrite, |tx| tx.write(open(0), 1));
+                w.run(|tx| tx.write(open(0), 1)).expect("reopen cannot fault");
                 done.store(true, Ordering::Release);
             });
         }

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use rh_norec_repro::htm::{Htm, HtmConfig};
 use rh_norec_repro::mem::{Heap, HeapConfig};
-use rh_norec_repro::tm::{Algorithm, TmConfig, TmRuntime, TmThreadStats, TxKind};
+use rh_norec_repro::tm::prelude::*;
 use rh_norec_repro::workloads::structures::RbTree;
 
 const THREADS: usize = 4;
@@ -48,9 +48,9 @@ fn run(alg: Algorithm) -> (u128, TmThreadStats) {
 
     // Preload half the key space.
     {
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         for k in (0..KEYS).step_by(2) {
-            w.execute(TxKind::ReadWrite, |tx| store.put(tx, k, k * 10));
+            w.run(|tx| store.put(tx, k, k * 10)).expect("preload cannot fault");
         }
     }
 
@@ -61,7 +61,7 @@ fn run(alg: Algorithm) -> (u128, TmThreadStats) {
             let rt = Arc::clone(&rt);
             let merged = &merged;
             s.spawn(move || {
-                let mut w = rt.register(tid).expect("fresh thread id");
+                let mut w = rt.open_session().expect("free worker slot");
                 let mut rng = 0x1234_5678u64 ^ (tid as u64) << 32;
                 for _ in 0..OPS_PER_THREAD {
                     rng ^= rng << 13;
@@ -70,12 +70,12 @@ fn run(alg: Algorithm) -> (u128, TmThreadStats) {
                     let key = rng % KEYS;
                     if rng % 100 < MUTATION_PCT {
                         if rng & 1 == 0 {
-                            w.execute(TxKind::ReadWrite, |tx| store.put(tx, key, rng));
+                            w.run(|tx| store.put(tx, key, rng)).expect("put cannot fault");
                         } else {
-                            w.execute(TxKind::ReadWrite, |tx| store.remove(tx, key));
+                            w.run(|tx| store.remove(tx, key)).expect("remove cannot fault");
                         }
                     } else {
-                        w.execute(TxKind::ReadOnly, |tx| store.get(tx, key));
+                        w.run_read(|tx| store.get(tx, key)).expect("get cannot fault");
                     }
                 }
                 let stats = w.stats();

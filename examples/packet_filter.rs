@@ -12,7 +12,7 @@ use std::sync::Arc;
 use rand::SeedableRng;
 use rh_norec_repro::htm::{Htm, HtmConfig};
 use rh_norec_repro::mem::{Heap, HeapConfig};
-use rh_norec_repro::tm::{Algorithm, TmConfig, TmRuntime};
+use rh_norec_repro::tm::prelude::*;
 use rh_norec_repro::workloads::stamp::{Intruder, IntruderConfig};
 use rh_norec_repro::workloads::{Workload, WorkloadRng};
 
@@ -26,7 +26,7 @@ fn main() {
     let analyzer = Arc::new(Intruder::new(&heap, IntruderConfig::default()));
 
     {
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(2026);
         analyzer.setup(&mut w, &mut rng);
     }
@@ -36,7 +36,7 @@ fn main() {
             let rt = Arc::clone(&rt);
             let analyzer = Arc::clone(&analyzer);
             s.spawn(move || {
-                let mut w = rt.register(tid).expect("fresh thread id");
+                let mut w = rt.open_session().expect("free worker slot");
                 let mut rng = WorkloadRng::seed_from_u64(tid as u64);
                 for _ in 0..OPS_PER_ANALYZER {
                     analyzer.run_op(&mut w, &mut rng);
@@ -46,7 +46,7 @@ fn main() {
     });
 
     // Drain the remaining packets so the books balance exactly.
-    let mut w = rt.register(0).expect("fresh thread id");
+    let mut w = rt.open_session().expect("free worker slot");
     analyzer.drain(&mut w);
 
     let flows = analyzer.flows_generated();

@@ -1,5 +1,5 @@
 //! Quickstart: build a simulated machine, pick a TM algorithm, and run
-//! transactions.
+//! transactions through a [`Session`].
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use rh_norec_repro::htm::{Htm, HtmConfig};
 use rh_norec_repro::mem::{Heap, HeapConfig};
-use rh_norec_repro::tm::{Algorithm, TmConfig, TmRuntime, TxKind};
+use rh_norec_repro::tm::prelude::*;
 
 fn main() {
     // 1. The simulated machine: a shared heap and a best-effort HTM
@@ -23,19 +23,21 @@ fn main() {
     // 3. Shared data lives at heap addresses.
     let counter = heap.allocator().alloc(0, 1).expect("allocation");
 
-    // 4. Threads register once, then run closures as transactions.
+    // 4. Each thread opens a session, then runs closures as transactions.
     std::thread::scope(|s| {
         for tid in 0..4 {
             let rt = Arc::clone(&rt);
             s.spawn(move || {
-                let mut worker = rt.register(tid).expect("fresh thread id");
+                let mut session = rt.open_session().expect("free worker slot");
                 for _ in 0..10_000 {
-                    worker.execute(TxKind::ReadWrite, |tx| {
-                        let v = tx.read(counter)?;
-                        tx.write(counter, v + 1)
-                    });
+                    session
+                        .run(|tx| {
+                            let v = tx.read(counter)?;
+                            tx.write(counter, v + 1)
+                        })
+                        .expect("increment cannot fault");
                 }
-                let stats = worker.stats();
+                let stats = session.stats();
                 println!(
                     "thread {tid}: {} commits, {} on the fast path, {} slow-path entries",
                     stats.commits, stats.fast_path_commits, stats.slow_path_entries

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use rh_norec_repro::htm::{Htm, HtmConfig};
 use rh_norec_repro::mem::{Addr, Heap, HeapConfig};
-use rh_norec_repro::tm::{Algorithm, TmConfig, TmRuntime, TmThreadStats, TxKind};
+use rh_norec_repro::tm::prelude::*;
 
 const OPS: u64 = 5_000;
 const READ_SLOTS: u64 = 24;
@@ -26,16 +26,18 @@ fn run(label: &str, htm_config: HtmConfig) -> TmThreadStats {
     let alloc = heap.allocator();
     // Spread the read set across many cache lines.
     let slots: Vec<Addr> = (0..READ_SLOTS).map(|_| alloc.alloc(0, 8).expect("alloc")).collect();
-    let mut worker = rt.register(0).expect("fresh thread id");
+    let mut worker = rt.open_session().expect("free worker slot");
     for round in 0..OPS {
         let slots = slots.clone();
-        worker.execute(TxKind::ReadWrite, |tx| {
-            let mut sum = 0u64;
-            for &s in &slots {
-                sum = sum.wrapping_add(tx.read(s)?);
-            }
-            tx.write(slots[(round % READ_SLOTS) as usize], sum | 1)
-        });
+        worker
+            .run(|tx| {
+                let mut sum = 0u64;
+                for &s in &slots {
+                    sum = sum.wrapping_add(tx.read(s)?);
+                }
+                tx.write(slots[(round % READ_SLOTS) as usize], sum | 1)
+            })
+            .expect("scan cannot fault");
     }
     let stats = worker.stats();
     println!(

@@ -44,6 +44,13 @@ cargo run -p rh-bench --release -- overhead --csv
 echo "== ablation smoke (single vs sharded clock, quick scale) =="
 cargo run -p rh-bench --release -- ablate
 
+echo "== service-tier smoke (KV worker pool, all engines, conservation-asserted) =="
+# Deterministic trace (fixed seed); the run itself asserts per-engine
+# balance conservation under the transfer mix and writes a fresh
+# (ungated) BENCH_7.json. The committed BENCH_7.json is the baseline;
+# cross-commit diffs are informative (EXPERIMENTS.md, service section).
+cargo run -p rh-bench --release -- service --smoke --threads 2 --requests 2000
+
 echo "== bench diff smoke (fresh run vs committed ledger, informative) =="
 # No --fail: a fresh overhead run on a loaded CI host can wobble past the
 # threshold; the committed BENCH_4.json (gated above) is the artifact.
@@ -60,5 +67,13 @@ echo "== mutation-score gate (hard 100% kill floor over the planted-bug corpus) 
 # must sweep clean at clock shards {1,4} under both oracles. Prints the
 # per-mutant kill table; any survivor or clean failure exits nonzero.
 cargo run -p tm-check --release --bin tm-check -- mutate --budget 40
+
+echo "== KV serializability sweep (request traces, strict-serializability + conservation) =="
+# Replays seeded KV transfer traces through the full application stack
+# (sessions, bucket probes, multi-key transfers) under the deterministic
+# scheduler at kv shards {1,4}, judged by both history oracles plus the
+# balance-conservation invariant, and proves the planted KV mutant dies
+# within its manifest budget.
+cargo test -q -p tm-check --release --test kv_sweep
 
 echo "ci.sh: all green"

@@ -22,15 +22,15 @@
 //! use std::sync::Arc;
 //! use rh_norec_repro::htm::{Htm, HtmConfig};
 //! use rh_norec_repro::mem::{Heap, HeapConfig};
-//! use rh_norec_repro::tm::{Algorithm, TmConfig, TmRuntime, TxKind};
+//! use rh_norec_repro::tm::prelude::*;
 //!
 //! let heap = Arc::new(Heap::new(HeapConfig::default()));
 //! let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
 //! let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec)).expect("runtime construction cannot fail");
 //! let cell = heap.allocator().alloc(0, 1)?;
 //!
-//! let mut worker = rt.register(0).expect("fresh thread id");
-//! worker.execute(TxKind::ReadWrite, |tx| tx.write(cell, 42));
+//! let mut session = rt.open_session().expect("free worker slot");
+//! session.run(|tx| tx.write(cell, 42)).expect("write cannot fault");
 //! assert_eq!(heap.load(cell), 42);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

@@ -21,7 +21,7 @@ fn run_workload(build: &dyn Fn(&Heap) -> Box<dyn Workload>, algorithm: Algorithm
     let rt = TmRuntime::new(Arc::clone(&heap), device, TmConfig::new(algorithm)).expect("runtime construction cannot fail");
     let workload = build(&heap);
     {
-        let mut w = rt.register(0).expect("fresh thread id");
+        let mut w = rt.open_session().expect("free worker slot");
         let mut rng = WorkloadRng::seed_from_u64(2026);
         workload.setup(&mut w, &mut rng);
     }
@@ -30,7 +30,7 @@ fn run_workload(build: &dyn Fn(&Heap) -> Box<dyn Workload>, algorithm: Algorithm
             let rt = Arc::clone(&rt);
             let workload = &workload;
             s.spawn(move || {
-                let mut w = rt.register(tid).expect("fresh thread id");
+                let mut w = rt.open_session().expect("free worker slot");
                 let mut rng = WorkloadRng::seed_from_u64(7 + tid as u64);
                 for _ in 0..150 {
                     workload.run_op(&mut w, &mut rng);
