@@ -29,6 +29,7 @@ pub mod driver;
 pub mod figures;
 pub mod ledger;
 pub mod overhead;
+pub mod policy_grid;
 pub mod report;
 pub mod service;
 

@@ -16,6 +16,7 @@
 //! `diff`: exit nonzero when a cell regressed past the threshold).
 
 use rh_bench::figures::{self, Overrides, Scale};
+use rh_bench::policy_grid::{self, PolicyChoice};
 use rh_bench::service::{self, ServiceArgs};
 use rh_norec::Algorithm;
 
@@ -30,6 +31,9 @@ fn main() {
     let mut best_of: u32 = 1;
     let mut overrides = Overrides::default();
     let mut service_args = ServiceArgs { csv, ..ServiceArgs::default() };
+    let mut policy: Option<PolicyChoice> = None;
+    let mut threshold = rh_bench::diff::DEFAULT_THRESHOLD_PCT;
+    let mut cell_thresholds: Vec<(String, f64)> = Vec::new();
     let mut skip_next = false;
     let mut targets: Vec<&str> = Vec::new();
     for (i, arg) in args.iter().enumerate() {
@@ -75,6 +79,29 @@ fn main() {
                 best_of = n.parse().unwrap_or_else(|_| usage("bad --best-of count"));
                 skip_next = true;
             }
+            "--policy" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage("--policy needs adaptive|static|all"));
+                policy = Some(PolicyChoice::parse(v).unwrap_or_else(|| {
+                    usage(&format!("bad --policy value `{v}` (adaptive|static|all)"))
+                }));
+                skip_next = true;
+            }
+            "--threshold" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage("--threshold needs a percent"));
+                threshold = v.parse().unwrap_or_else(|_| usage("bad --threshold percent"));
+                skip_next = true;
+            }
+            "--cell-threshold" => {
+                let v = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| usage("--cell-threshold needs scenario=pct"));
+                let (scenario, pct) = v
+                    .split_once('=')
+                    .unwrap_or_else(|| usage("--cell-threshold needs scenario=pct"));
+                let pct: f64 = pct.parse().unwrap_or_else(|_| usage("bad --cell-threshold percent"));
+                cell_thresholds.push((scenario.to_string(), pct));
+                skip_next = true;
+            }
             "--smoke" => service_args.smoke = true,
             "--paper" | "--csv" | "--fail" => {}
             a if a.starts_with("--") => usage(&format!("unknown flag {a}")),
@@ -89,9 +116,12 @@ fn main() {
             usage("diff needs exactly two BENCH_*.json paths");
         };
         let fail = args.iter().any(|a| a == "--fail");
-        rh_bench::diff::run(before, after, rh_bench::diff::DEFAULT_THRESHOLD_PCT, fail);
+        rh_bench::diff::run(before, after, threshold, fail, &cell_thresholds);
         return;
     }
+    // `service --policy adaptive` runs the engines under the adaptive
+    // layer (print-only; the adaptive cell is ledgered by BENCH_8).
+    service_args.policy = matches!(policy, Some(PolicyChoice::Adaptive | PolicyChoice::All));
     let algorithms = Algorithm::PAPER_SET;
     // The service pool reuses the global --threads list (first entry).
     if let Some(list) = &overrides.threads {
@@ -106,7 +136,10 @@ fn main() {
             "fig5" => figures::run_figure("Figure 5", &figures::figure5(scale), &algorithms, scale, csv, &overrides),
             "fig6" => figures::run_figure("Figure 6", &figures::figure6(scale), &algorithms, scale, csv, &overrides),
             "extras" => figures::run_figure("Extras", &figures::extras(scale), &algorithms, scale, csv, &overrides),
-            "ablate" => figures::run_ablations(scale),
+            "ablate" => match policy {
+                None => figures::run_ablations(scale),
+                Some(choice) => policy_grid::run(scale, choice, csv, &service_args),
+            },
             "summary" => figures::run_summary(scale),
             "overhead" => rh_bench::overhead::run(scale, csv, best_of),
             "service" => service::run(&service_args),
@@ -131,7 +164,10 @@ fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!("usage: rh-bench [fig4|fig5|fig6|extras|ablate|summary|overhead|service|all]... \
        [--paper] [--csv] [--threads 1,2,4] [--duration-ms 500] [--best-of N]\n       \
-       rh-bench service [--engine NAME] [--threads N] [--requests N] [--seed S] [--smoke]\n       \
-       rh-bench diff <before.json> <after.json> [--fail]");
+       rh-bench ablate --policy adaptive|static|all   (all: writes BENCH_8.json)\n       \
+       rh-bench service [--engine NAME] [--threads N] [--requests N] [--seed S] [--smoke] \
+       [--policy adaptive]\n       \
+       rh-bench diff <before.json> <after.json> [--fail] [--threshold PCT] \
+       [--cell-threshold key=pct]...   (key: alg/scenario | scenario | *suffix)");
     std::process::exit(2);
 }

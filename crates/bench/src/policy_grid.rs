@@ -1,0 +1,404 @@
+//! `rh-bench ablate --policy`: the adaptive-vs-static policy grid.
+//!
+//! BENCH_4 showed that no single static clock setting wins everywhere:
+//! `clock_shards = 4` removes the commit-clock metadata conflicts that
+//! dominate the disjoint contended cells (~66% on `contended_disjoint`)
+//! but taxes every software validation with extra lane reads. The
+//! adaptive policy layer (`rh_norec::PolicyConfig`) is supposed to
+//! resolve that tension at runtime — this grid measures whether it does.
+//!
+//! Four sentinel cells, all on RH NOrec (the paper's engine), all
+//! reporting *modeled* ns/tx (summed cycle budget over
+//! [`rh_norec::cost::MODEL_HZ`]) so the grid is a property of the
+//! protocol, not of CI host load:
+//!
+//! * `contended` — 4 threads incrementing one shared word, HTM
+//!   disabled: the software slow path under real data contention, where
+//!   extra clock lanes are pure tax and the backoff window matters,
+//! * `contended_disjoint` — 4 threads on private line-padded words with
+//!   the fallback counter pinned (HTM on): no data is shared, so every
+//!   conflict is commit-clock metadata — the cell sharding exists for,
+//! * `contended_sharded` — the same disjoint workload at 8 threads:
+//!   more lanes wanted, stronger version of the same signal,
+//! * `write_heavy` — one thread, 16 writes over 4 addresses, HTM
+//!   disabled: the uncontended software baseline; any adaptive overhead
+//!   shows up here undiluted.
+//!
+//! Three configurations per cell: `static1` (`clock_shards = 1`, policy
+//! off), `static4` (`clock_shards = 4`, policy off), and `adaptive`
+//! (`clock_shards = 4` with every controller on). `static1` wins
+//! `contended`, `static4` wins `contended_disjoint` — the acceptance
+//! question is whether `adaptive` tracks the winner on both.
+
+use std::sync::Arc;
+
+use rh_norec::{Algorithm, PolicyConfig, TmConfig, TmRuntime, TxKind};
+use sim_htm::{Htm, HtmConfig};
+use sim_mem::{Addr, Heap, HeapConfig, WORDS_PER_LINE};
+
+use crate::figures::Scale;
+use crate::ledger;
+use crate::service::{self, ServiceArgs};
+
+/// Which side(s) of the grid `ablate --policy` runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Only the two static configurations.
+    Static,
+    /// Only the adaptive configuration.
+    Adaptive,
+    /// The full grid plus the BENCH_8 ledger write.
+    All,
+}
+
+impl PolicyChoice {
+    /// Parses the `--policy` flag value.
+    pub fn parse(s: &str) -> Option<PolicyChoice> {
+        match s {
+            "static" => Some(PolicyChoice::Static),
+            "adaptive" => Some(PolicyChoice::Adaptive),
+            "all" => Some(PolicyChoice::All),
+            _ => None,
+        }
+    }
+}
+
+/// Transaction body shape of one sentinel cell.
+#[derive(Clone, Copy, Debug)]
+enum Body {
+    /// Read-modify-write increment of one word.
+    Incr,
+    /// 16 blind writes cycling over 4 addresses.
+    WriteHeavy,
+}
+
+/// One sentinel cell of the grid.
+struct GridCell {
+    name: &'static str,
+    threads: usize,
+    htm: bool,
+    /// Private line-padded word per thread instead of one shared word.
+    disjoint: bool,
+    /// Pin `num_of_fallbacks` so hardware commits run their clock bump.
+    pin_fallback: bool,
+    body: Body,
+}
+
+const CELLS: &[GridCell] = &[
+    GridCell {
+        name: "contended",
+        threads: 4,
+        htm: false,
+        disjoint: false,
+        pin_fallback: false,
+        body: Body::Incr,
+    },
+    GridCell {
+        name: "contended_disjoint",
+        threads: 4,
+        htm: true,
+        disjoint: true,
+        pin_fallback: true,
+        body: Body::Incr,
+    },
+    GridCell {
+        name: "contended_sharded",
+        threads: 8,
+        htm: true,
+        disjoint: true,
+        pin_fallback: true,
+        body: Body::Incr,
+    },
+    GridCell {
+        name: "write_heavy",
+        threads: 1,
+        htm: false,
+        disjoint: false,
+        pin_fallback: false,
+        body: Body::WriteHeavy,
+    },
+];
+
+/// One engine configuration of the grid.
+#[derive(Clone, Copy, Debug)]
+pub struct GridConfig {
+    /// Configuration label (`static1` / `static4` / `adaptive`).
+    pub name: &'static str,
+    /// `TmConfig::clock_shards`.
+    pub shards: u32,
+    /// Arms [`PolicyConfig::adaptive`].
+    pub adaptive: bool,
+}
+
+/// The three configurations the grid compares.
+pub const CONFIGS: &[GridConfig] = &[
+    GridConfig { name: "static1", shards: 1, adaptive: false },
+    GridConfig { name: "static4", shards: 4, adaptive: false },
+    GridConfig { name: "adaptive", shards: 4, adaptive: true },
+];
+
+/// One measured grid cell.
+#[derive(Clone, Debug)]
+pub struct GridRow {
+    /// Sentinel cell name.
+    pub cell: &'static str,
+    /// Configuration label.
+    pub config: &'static str,
+    /// Transactions measured.
+    pub txs: u64,
+    /// Modeled nanoseconds per transaction.
+    pub ns_per_tx: f64,
+}
+
+fn txs_per_thread(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 4_000,
+        Scale::Paper => 25_000,
+    }
+}
+
+fn run_grid_cell(cell: &GridCell, config: &GridConfig, scale: Scale) -> GridRow {
+    let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
+    let htm_cfg = if cell.htm { HtmConfig::default() } else { HtmConfig::disabled() };
+    let htm = Htm::new(Arc::clone(&heap), htm_cfg);
+    let mut builder = TmConfig::builder(Algorithm::RhNorec)
+        .clock_shards(config.shards)
+        .interleave_accesses(u32::from(cell.threads > 1));
+    if config.adaptive {
+        builder = builder.policy(PolicyConfig::adaptive());
+    }
+    let tm_cfg = builder.build().expect("policy grid TM configuration rejected");
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, tm_cfg)
+        .expect("policy grid runtime construction cannot fail");
+
+    let alloc = heap.allocator();
+    // Line-padded cells: the simulated HTM conflicts at line granularity,
+    // and data false sharing would mask the clock-metadata effect.
+    let cells: Vec<Addr> = if cell.disjoint {
+        (0..cell.threads)
+            .map(|_| alloc.alloc(0, WORDS_PER_LINE).expect("policy grid heap too small"))
+            .collect()
+    } else {
+        vec![alloc.alloc(0, WORDS_PER_LINE).expect("policy grid heap too small")]
+    };
+    if cell.pin_fallback {
+        // With the counter at 0 hardware commits skip the clock bump
+        // entirely and the cell would measure nothing (see BENCH_4).
+        heap.store(rt.globals().num_of_fallbacks, 1);
+    }
+
+    let per_thread = txs_per_thread(scale);
+    let body = cell.body;
+    let reports: Vec<rh_norec::ThreadReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cell.threads)
+            .map(|tid| {
+                let rt = Arc::clone(&rt);
+                let target = cells[tid % cells.len()];
+                s.spawn(move || {
+                    let mut worker = rt.open_session().expect("free worker slot");
+                    for _ in 0..per_thread {
+                        match body {
+                            Body::Incr => {
+                                worker.execute(TxKind::ReadWrite, |tx| {
+                                    let v = tx.read(target)?;
+                                    tx.write(target, v.wrapping_add(1))
+                                });
+                            }
+                            Body::WriteHeavy => {
+                                worker.execute(TxKind::ReadWrite, |tx| {
+                                    for i in 0..16u64 {
+                                        tx.write(target.offset(i & 3), i)?;
+                                    }
+                                    Ok(())
+                                });
+                            }
+                        }
+                    }
+                    worker.report()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("policy grid worker panicked"))
+            .collect()
+    });
+
+    let txs = per_thread * cell.threads as u64;
+    if matches!(cell.body, Body::Incr) {
+        for target in &cells {
+            let expected = if cell.disjoint { per_thread } else { txs };
+            assert_eq!(
+                heap.load(*target),
+                expected,
+                "{}/{}: lost updates",
+                cell.name,
+                config.name
+            );
+        }
+    }
+    // Modeled cost: every attempt's body, abort penalty, retry, backoff
+    // spin, and lane validation at the simulator's published costs.
+    let cycles: u64 = reports.iter().map(|r| r.tm.cycles).sum();
+    let ns_per_tx = cycles as f64 / txs as f64 / rh_norec::cost::MODEL_HZ * 1e9;
+    GridRow { cell: cell.name, config: config.name, txs, ns_per_tx }
+}
+
+/// Runs the grid (filtered by `choice`) and returns its rows in
+/// cell-major order.
+pub fn run_grid(scale: Scale, choice: PolicyChoice) -> Vec<GridRow> {
+    let configs: Vec<&GridConfig> = CONFIGS
+        .iter()
+        .filter(|c| match choice {
+            PolicyChoice::Static => !c.adaptive,
+            PolicyChoice::Adaptive => c.adaptive,
+            PolicyChoice::All => true,
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for cell in CELLS {
+        for config in &configs {
+            rows.push(run_grid_cell(cell, config, scale));
+        }
+    }
+    rows
+}
+
+/// Prints the grid and, when both sides ran, the adaptive-vs-static
+/// verdict per cell.
+pub fn print_grid(rows: &[GridRow], csv: bool) {
+    if csv {
+        println!("cell,config,txs,ns_per_tx");
+        for r in rows {
+            println!("{},{},{},{:.2}", r.cell, r.config, r.txs, r.ns_per_tx);
+        }
+        return;
+    }
+    println!("policy grid: RH NOrec, modeled ns/tx (cycle budget at MODEL_HZ)");
+    println!("{:<20} {:<10} {:>10} {:>12}", "cell", "config", "txs", "ns/tx");
+    for r in rows {
+        println!("{:<20} {:<10} {:>10} {:>12.2}", r.cell, r.config, r.txs, r.ns_per_tx);
+    }
+    // The verdict only makes sense when the full grid ran.
+    for cell in CELLS {
+        let find = |config: &str| {
+            rows.iter()
+                .find(|r| r.cell == cell.name && r.config == config)
+                .map(|r| r.ns_per_tx)
+        };
+        let (Some(s1), Some(s4), Some(ad)) =
+            (find("static1"), find("static4"), find("adaptive"))
+        else {
+            continue;
+        };
+        let best = s1.min(s4);
+        println!(
+            "{:<20} adaptive vs best-static {:+.1}%  vs static1 {:+.1}%  vs static4 {:+.1}%",
+            cell.name,
+            (ad - best) / best * 100.0,
+            (ad - s1) / s1 * 100.0,
+            (ad - s4) / s4 * 100.0,
+        );
+    }
+}
+
+/// Grid rows in the shared ledger's emission shape: `algorithm` is the
+/// engine label, `scenario` is `cell@config` so the policy rows never
+/// collide with the overhead matrix's plain cell names.
+pub fn ledger_rows(rows: &[GridRow]) -> Vec<(String, String, f64, Option<u64>)> {
+    rows.iter()
+        .map(|r| {
+            (
+                Algorithm::RhNorec.label().to_string(),
+                format!("{}@{}", r.cell, r.config),
+                r.ns_per_tx,
+                Some(r.txs),
+            )
+        })
+        .collect()
+}
+
+/// CLI entry for `ablate --policy`: runs the grid (filtered by
+/// `choice`) and prints it; with [`PolicyChoice::All`], additionally
+/// re-measures the overhead matrix and the service tier (static and
+/// adaptive) and writes the assembled `BENCH_8.json`.
+pub fn run(scale: Scale, choice: PolicyChoice, csv: bool, service_args: &ServiceArgs) {
+    let grid = run_grid(scale, choice);
+    print_grid(&grid, csv);
+    if choice != PolicyChoice::All {
+        return;
+    }
+
+    eprintln!("bench8: re-measuring the overhead matrix (BENCH_4 keys)...");
+    let overhead_rows = crate::overhead::run_matrix_best_of(scale, 1);
+    eprintln!("bench8: re-measuring the service tier (BENCH_7 keys)...");
+    let static_service = service::collect(&ServiceArgs { policy: false, ..*service_args });
+    eprintln!("bench8: measuring the adaptive service cell...");
+    let adaptive_service = service::collect(&ServiceArgs {
+        policy: true,
+        engine: Some(Algorithm::RhNorec),
+        ..*service_args
+    });
+
+    let mut rows: Vec<(String, String, f64, Option<u64>)> = Vec::new();
+    for r in &overhead_rows {
+        rows.push((r.algorithm.to_string(), r.scenario.to_string(), r.ns_per_tx, Some(r.txs)));
+    }
+    for (alg, scenario, ns) in static_service.iter().chain(&adaptive_service) {
+        rows.push((alg.clone(), scenario.clone(), *ns, None));
+    }
+    rows.extend(ledger_rows(&grid));
+
+    let json = bench8_json(&rows);
+    let path = "BENCH_8.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Serializes the complete BENCH_8 document: the policy grid, a fresh
+/// overhead matrix (same `(algorithm, scenario)` keys as BENCH_4's
+/// `current` rows, so `rh-bench diff BENCH_4.json BENCH_8.json` joins
+/// every overhead cell), and the service-tier rows (same keys as
+/// BENCH_7, plus the `@adaptive` cell).
+pub fn bench8_json(rows: &[(String, String, f64, Option<u64>)]) -> String {
+    let ledger_rows: Vec<Vec<(&str, ledger::Value)>> = rows
+        .iter()
+        .map(|(alg, scenario, ns, txs)| {
+            let mut row = vec![
+                ("algorithm", ledger::Value::Str(alg.clone())),
+                ("scenario", ledger::Value::Str(scenario.clone())),
+                ("ns_per_tx", ledger::Value::Num(*ns, 2)),
+            ];
+            if let Some(txs) = txs {
+                row.push(("txs", ledger::Value::Int(*txs)));
+            }
+            row
+        })
+        .collect();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"policy\",\n");
+    out.push_str(
+        "  \"description\": \"adaptive policy layer ledger: the overhead matrix rows \
+         (keys shared with BENCH_4) and the service-tier percentile rows (keys shared \
+         with BENCH_7) re-measured on the policy-capable engine with the policy off, \
+         plus the RH NOrec policy grid (scenario cell@config, modeled ns/tx, configs \
+         static1 / static4 / adaptive) and the service @adaptive cell\",\n",
+    );
+    out.push_str(&format!(
+        "  \"instrumentation_compiled\": {},\n",
+        rh_norec::INSTRUMENTED
+    ));
+    out.push_str("  \"current\": {\n");
+    out.push_str(
+        "    \"engine\": \"sharded commit clock + adaptive policy layer (default off; \
+         policy rows label their configuration)\",\n",
+    );
+    out.push_str("    \"rows\": ");
+    out.push_str(&ledger::rows_array(&ledger_rows, "      ", "    "));
+    out.push_str("\n  }\n");
+    out.push_str("}\n");
+    out
+}

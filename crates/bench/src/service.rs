@@ -36,6 +36,11 @@ pub struct ServiceArgs {
     pub smoke: bool,
     /// Machine-readable output.
     pub csv: bool,
+    /// Run the engines with the adaptive policy layer on
+    /// (`clock_shards = 4`, every controller enabled) instead of the
+    /// static defaults; row scenarios are suffixed `@adaptive` and the
+    /// BENCH_7 ledger is left untouched.
+    pub policy: bool,
 }
 
 impl Default for ServiceArgs {
@@ -47,8 +52,16 @@ impl Default for ServiceArgs {
             seed: 0x5eed_cafe,
             smoke: false,
             csv: false,
+            policy: false,
         }
     }
+}
+
+/// The `--policy` TM override: the sharded clock with every adaptive
+/// controller on (the same configuration the policy grid's `adaptive`
+/// column runs).
+fn adaptive_overrides(b: rh_norec::TmConfigBuilder) -> rh_norec::TmConfigBuilder {
+    b.clock_shards(4).policy(rh_norec::PolicyConfig::adaptive())
 }
 
 /// Parses an engine name as the CLI accepts it (`rh-norec`,
@@ -156,8 +169,37 @@ pub fn to_json(args: &ServiceArgs, trace: &TraceConfig, rows: &[Row]) -> String 
     out
 }
 
+/// Runs the service cells (silently) and returns their ledger rows;
+/// with `args.policy`, the engines run under [`adaptive_overrides`] and
+/// scenarios carry the `@adaptive` suffix. The BENCH_8 assembly uses
+/// this to join the static and adaptive row sets into one document.
+pub fn collect(args: &ServiceArgs) -> Vec<Row> {
+    let trace = trace_for(args);
+    let engines: Vec<Algorithm> = match args.engine {
+        Some(a) => vec![a],
+        None => Algorithm::PAPER_SET.to_vec(),
+    };
+    let mut all_rows: Vec<Row> = Vec::new();
+    for algorithm in engines {
+        let mut config = ServiceConfig::new(algorithm, args.threads, trace);
+        if args.policy {
+            config.tm_overrides = Some(adaptive_overrides);
+        }
+        let report = run_service(&config);
+        let mut rows = rows_of(&report);
+        if args.policy {
+            for (_, scenario, _) in &mut rows {
+                scenario.push_str("@adaptive");
+            }
+        }
+        all_rows.extend(rows);
+    }
+    all_rows
+}
+
 /// Runs the service cells, prints the percentile table, and writes
-/// `BENCH_7.json` into the current directory.
+/// `BENCH_7.json` into the current directory (`--policy` runs print
+/// only: the adaptive cell belongs to BENCH_8, not the BENCH_7 ledger).
 pub fn run(args: &ServiceArgs) {
     let trace = trace_for(args);
     let engines: Vec<Algorithm> = match args.engine {
@@ -169,12 +211,13 @@ pub fn run(args: &ServiceArgs) {
         println!("algorithm,scenario,latency_ns");
     } else {
         println!(
-            "service: {} requests over {} keys, {} workers/cell, seed {:#x}{}",
+            "service: {} requests over {} keys, {} workers/cell, seed {:#x}{}{}",
             trace.requests,
             trace.keyspace,
             args.threads,
             trace.seed,
-            if args.smoke { " (smoke: transfer mix, conservation-checked)" } else { "" }
+            if args.smoke { " (smoke: transfer mix, conservation-checked)" } else { "" },
+            if args.policy { " (adaptive policy on)" } else { "" }
         );
         println!(
             "{:<14} {:<10} {:>8} {:>12} {:>12} {:>12} {:>12}",
@@ -184,7 +227,10 @@ pub fn run(args: &ServiceArgs) {
 
     let mut all_rows: Vec<Row> = Vec::new();
     for algorithm in engines {
-        let config = ServiceConfig::new(algorithm, args.threads, trace);
+        let mut config = ServiceConfig::new(algorithm, args.threads, trace);
+        if args.policy {
+            config.tm_overrides = Some(adaptive_overrides);
+        }
         let report = run_service(&config);
         if args.smoke {
             assert_eq!(
@@ -227,6 +273,9 @@ pub fn run(args: &ServiceArgs) {
         all_rows.extend(rows_of(&report));
     }
 
+    if args.policy {
+        return;
+    }
     let json = to_json(args, &trace, &all_rows);
     let path = "BENCH_7.json";
     match std::fs::write(path, &json) {

@@ -75,6 +75,13 @@ pub struct CaseConfig {
     /// `txs_per_thread` the requests per thread (`ops_per_tx` is
     /// unused).
     pub workload: CaseWorkload,
+    /// Policy-layer configuration handed to the builder (`None` keeps
+    /// the [`TmConfig`] default — policy off). Mutation recipes arm
+    /// [`adaptive_policy`] (every controller on, an epoch tick offered
+    /// after every commit) so short seeded scripts actually cross
+    /// controller epochs; the policy-parity suite pins that `None` and
+    /// an explicitly disabled config replay bit-for-bit identically.
+    pub policy: Option<rh_norec::PolicyConfig>,
 }
 
 impl CaseConfig {
@@ -92,6 +99,7 @@ impl CaseConfig {
             mutant: None,
             backoff: None,
             workload: CaseWorkload::Scripted,
+            policy: None,
         }
     }
 
@@ -211,6 +219,20 @@ enum Op {
     Write(usize, u64),
 }
 
+/// The policy configuration mutation recipes arm via
+/// [`CaseConfig::policy`]: every controller on, with an epoch tick
+/// offered after every commit so the short seeded scripts actually
+/// cross controller epochs.
+pub fn adaptive_policy() -> rh_norec::PolicyConfig {
+    rh_norec::PolicyConfig {
+        enabled: true,
+        epoch_commits: 1,
+        adapt_backoff: true,
+        adapt_lanes: true,
+        adapt_prefix: true,
+    }
+}
+
 /// SplitMix64 — independent of the scheduler's XorShift stream, so the
 /// workload and the interleaving don't correlate.
 fn splitmix(state: &mut u64) -> u64 {
@@ -266,6 +288,9 @@ pub fn run_case(case: &CaseConfig, sched_cfg: &SchedConfig) -> Result<CaseReport
     let mut builder = TmConfig::builder(case.algorithm).clock_shards(case.clock_shards);
     if let Some(backoff) = case.backoff {
         builder = builder.backoff(backoff);
+    }
+    if let Some(policy) = case.policy {
+        builder = builder.policy(policy);
     }
     let tm_cfg = builder.build().expect("harness case config must be valid");
     let rt = TmRuntime::new(Arc::clone(&heap), htm, tm_cfg)
@@ -409,6 +434,9 @@ fn run_kv_case(
     let mut builder = TmConfig::builder(case.algorithm).clock_shards(case.clock_shards);
     if let Some(backoff) = case.backoff {
         builder = builder.backoff(backoff);
+    }
+    if let Some(policy) = case.policy {
+        builder = builder.policy(policy);
     }
     let tm_cfg = builder.build().expect("harness case config must be valid");
     let rt = TmRuntime::new(Arc::clone(&heap), htm, tm_cfg)

@@ -219,6 +219,7 @@ fn bounded_exhaustive_exploration_is_opaque() {
         mutant: None,
         backoff: None,
         workload: CaseWorkload::Scripted,
+        policy: None,
     };
     let base = SchedConfig::from_seed(0);
     let stats = explore_case(&case, &base, 6, 400).unwrap_or_else(|f| panic!("{f}"));
@@ -244,6 +245,7 @@ fn exploration_catches_the_mutant() {
         mutant: Some(Mutant::PostfixClock),
         backoff: None,
         workload: CaseWorkload::Scripted,
+        policy: None,
     };
     let err = match explore_case(&case, &SchedConfig::from_seed(0), 12, 800) {
         Err(failure) => failure,
@@ -276,6 +278,7 @@ fn case_from_spec(spec: &rh_norec::mutants::MutantSpec) -> CaseConfig {
                 CaseWorkload::KvTransfer { kv_shards: 1 }
             }
         },
+        policy: spec.policy.then(tm_check::harness::adaptive_policy),
     }
 }
 

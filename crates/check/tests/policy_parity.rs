@@ -1,0 +1,154 @@
+//! Parity pins for the adaptive policy layer.
+//!
+//! The layer is default-off, and off must mean *off*: a builder that
+//! never mentions the policy and a builder handed an explicitly
+//! disabled [`PolicyConfig`] must replay any seeded schedule
+//! bit-for-bit identically — same event history, same scheduler
+//! decision count. If a code change ever lets a disabled controller
+//! leak a yield, a counter round-trip through the shared heap, or an
+//! extra clock read into the transactional path, these histories
+//! diverge and this test names the seed.
+//!
+//! With the layer *on*, runs stay a pure function of the schedule
+//! seed: the controllers draw only on deterministic per-thread
+//! counters and the seeded scheduler, never wall-clock time or OS
+//! randomness, so the same seed replays the same history twice.
+
+use rh_norec::{Algorithm, PolicyConfig};
+use sim_htm::sched::SchedConfig;
+use sim_htm::HtmConfig;
+use tm_check::harness::{adaptive_policy, run_case, CaseConfig};
+
+/// Algorithms covering every controller surface: NOrec's software
+/// validation loop, the lazy variant's commit CAS, TL2's stripes, and
+/// both hybrids' HTM prefix machinery.
+const ALGORITHMS: [Algorithm; 5] = [
+    Algorithm::Norec,
+    Algorithm::NorecLazy,
+    Algorithm::Tl2,
+    Algorithm::HybridNorec,
+    Algorithm::RhNorec,
+];
+
+/// An explicitly disabled policy: every sub-controller requested, the
+/// tightest epoch — and the master switch off. `enabled: false` must
+/// gate everything.
+fn disabled_policy() -> PolicyConfig {
+    PolicyConfig { enabled: false, ..adaptive_policy() }
+}
+
+#[test]
+fn explicitly_disabled_policy_replays_bit_for_bit_as_default() {
+    for alg in ALGORITHMS {
+        for htm in [HtmConfig::default(), HtmConfig::disabled()] {
+            for shards in [1u32, 4] {
+                for seed in 0..4u64 {
+                    let sched = SchedConfig::from_seed(seed);
+                    let mut case = CaseConfig::contended(alg, htm);
+                    case.clock_shards = shards;
+
+                    case.policy = None;
+                    let baseline = run_case(&case, &sched).unwrap_or_else(|f| {
+                        panic!("{alg:?} shards={shards} seed {seed} (policy off): {f}")
+                    });
+
+                    case.policy = Some(disabled_policy());
+                    let explicit = run_case(&case, &sched).unwrap_or_else(|f| {
+                        panic!("{alg:?} shards={shards} seed {seed} (explicit off): {f}")
+                    });
+
+                    assert_eq!(
+                        explicit.history, baseline.history,
+                        "{alg:?} shards={shards} seed {seed}: an explicitly disabled \
+                         policy changed the deterministic history"
+                    );
+                    assert_eq!(
+                        explicit.run.steps, baseline.run.steps,
+                        "{alg:?} shards={shards} seed {seed}: an explicitly disabled \
+                         policy changed the scheduler step count"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_policy_replay_is_a_pure_function_of_the_seed() {
+    for alg in ALGORITHMS {
+        for shards in [1u32, 4, 8] {
+            for seed in 0..4u64 {
+                let sched = SchedConfig::from_seed(seed);
+                let mut case = CaseConfig::contended(alg, HtmConfig::default());
+                case.clock_shards = shards;
+                case.policy = Some(adaptive_policy());
+
+                let first = run_case(&case, &sched).unwrap_or_else(|f| {
+                    panic!("{alg:?} shards={shards} seed {seed} (adaptive): {f}")
+                });
+                let second = run_case(&case, &sched).unwrap_or_else(|f| {
+                    panic!("{alg:?} shards={shards} seed {seed} (adaptive replay): {f}")
+                });
+
+                assert_eq!(
+                    first.history, second.history,
+                    "{alg:?} shards={shards} seed {seed}: the adaptive policy made \
+                     the same schedule seed replay two different histories"
+                );
+            }
+        }
+    }
+}
+
+/// The parity tests above would pass vacuously if the adaptive layer
+/// never engaged. Pin that it does: under a sharded clock the lane
+/// controller's shrink decisions change spin counts and snapshot
+/// contents, so at least one seeded contended run must diverge from
+/// its policy-off twin.
+#[test]
+fn adaptive_policy_actually_engages_under_sharded_contention() {
+    let mut diverged = false;
+    for seed in 0..8u64 {
+        let sched = SchedConfig::from_seed(seed);
+        let mut case = CaseConfig::contended(Algorithm::Norec, HtmConfig::disabled());
+        case.clock_shards = 8;
+
+        case.policy = None;
+        let off = run_case(&case, &sched)
+            .unwrap_or_else(|f| panic!("seed {seed} (policy off): {f}"));
+        case.policy = Some(adaptive_policy());
+        let on = run_case(&case, &sched)
+            .unwrap_or_else(|f| panic!("seed {seed} (adaptive): {f}"));
+
+        if on.history != off.history || on.run.steps != off.run.steps {
+            diverged = true;
+            break;
+        }
+    }
+    assert!(
+        diverged,
+        "8 contended seeds at clock_shards=8 produced identical histories with \
+         the adaptive policy on and off — the controllers never engaged"
+    );
+}
+
+/// Both oracles over a seeded sweep with every controller running —
+/// the policy layer must never trade opacity for throughput.
+#[test]
+fn adaptive_policy_sweep_stays_opaque() {
+    for alg in ALGORITHMS {
+        for htm in [HtmConfig::default(), HtmConfig::disabled()] {
+            for shards in [1u32, 4, 8] {
+                for seed in 0..12u64 {
+                    let sched = SchedConfig::from_seed(seed);
+                    let mut case = CaseConfig::contended(alg, htm);
+                    case.clock_shards = shards;
+                    case.policy = Some(adaptive_policy());
+                    run_case(&case, &sched).unwrap_or_else(|f| {
+                        panic!("{alg:?} {htm:?} shards={shards} seed {seed}: {f}")
+                    });
+                }
+            }
+        }
+    }
+}

@@ -171,6 +171,7 @@ impl EagerCtx<'_> {
     /// runs for every read.
     #[cold]
     fn validate_slow(&mut self) -> TxResult<()> {
+        self.meter.charge(self.globals.clock.validate_cost(self.snap));
         if !self.globals.clock.probe_conclusive()
             && self.globals.clock.is_valid(self.heap, self.snap)
         {
@@ -382,8 +383,11 @@ impl LazyCtx<'_> {
             self.globals
                 .clock
                 .begin_into(self.heap, &mut spin, self.backoff, self.snap);
-            self.meter
-                .charge(spin + self.read_log.len() as u64 * cost::NOREC_REVALIDATE_ENTRY);
+            self.meter.charge(
+                spin
+                    + self.read_log.len() as u64 * cost::NOREC_REVALIDATE_ENTRY
+                    + self.globals.clock.validate_cost(self.snap),
+            );
             if !self.reread_elided() {
                 for &(addr, seen) in self.read_log.as_slice() {
                     if self.heap.load(addr) != seen {
@@ -418,11 +422,14 @@ impl LazyCtx<'_> {
                 }
             }
         }
-        while !self.globals.clock.is_valid(self.heap, self.snap) {
+        loop {
+            self.meter.charge(self.globals.clock.validate_cost(self.snap));
+            if self.globals.clock.is_valid(self.heap, self.snap) {
+                return Ok(());
+            }
             self.revalidate()?;
             *value = self.heap.load(addr);
         }
-        Ok(())
     }
 
     pub(crate) fn commit(&mut self) -> TxResult<()> {
@@ -441,6 +448,7 @@ impl LazyCtx<'_> {
             {
                 break;
             }
+            self.backoff.note_lane_cas_failure();
             self.revalidate()?;
             // The CAS lost to a competing committer: pause before retrying
             // so its release is not immediately re-contended.

@@ -563,6 +563,7 @@ impl RhCtx<'_> {
             .clock
             .try_enter_write_phase(self.heap, self.snap)
         {
+            self.backoff.note_lane_cas_failure();
             self.dead = true;
             return Err(RESTART);
         }
@@ -639,7 +640,7 @@ impl RhCtx<'_> {
                 // Sharded lanes bump *inside* the hardware transaction, so
                 // the version advance commits atomically with the buffered
                 // writes (single clock: a no-op — its bump follows commit).
-                if let Err(code) = self.globals.clock.htm_postfix_bump(self.htm, self.tid) {
+                if let Err(code) = self.globals.clock.htm_postfix_bump(self.htm, self.tid, self.snap) {
                     return self.postfix_died(code);
                 }
                 match self.htm.commit() {
@@ -689,6 +690,7 @@ impl TxOps for RhCtx<'_> {
         match self.mode {
             Mode::Software => {
                 self.tick(cost::NOREC_READ);
+                self.stats.cycles += self.globals.clock.validate_cost(self.snap);
                 let value = self.heap.load(addr);
                 if !self.globals.clock.is_valid(self.heap, self.snap) {
                     self.dead = true;

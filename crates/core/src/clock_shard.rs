@@ -27,6 +27,23 @@
 //! protocol — same heap operations in the same order, lock bit in the
 //! clock word, no epoch — so the default configuration is bit-for-bit
 //! today's behavior.
+//!
+//! ## Adaptive active-lane count (DESIGN.md §14)
+//!
+//! When the policy layer's lane controller is on, an extra padded heap
+//! word `lane_ctl` holds the number of *active* lanes (`1..=shards`).
+//! Writers home on `tid % active` and validation compares only the
+//! active prefix, so shrinking to one lane recovers the single clock's
+//! per-read cost while keeping the sharded layout. Re-homing is
+//! published only through [`ClockScheme::publish_active_lanes`], which
+//! runs under the write-phase epoch and bumps lane 0 before releasing —
+//! the **epoch fence**. Readers load the lane vector *before* `lane_ctl`
+//! (and the fence stores `lane_ctl` before bumping lane 0), so a
+//! snapshot that ever validates after the fence must have seen the fresh
+//! lane 0, hence the fresh `lane_ctl`; every torn interleaving
+//! self-invalidates on the bumped lane 0 or the held epoch. Without the
+//! controller `lane_ctl` is `Addr::NULL`, no path touches it, and
+//! behavior is bit-for-bit the static scheme.
 
 use sim_htm::{AbortCode, HtmThread};
 use sim_mem::{Addr, Heap};
@@ -49,6 +66,10 @@ pub struct ClockScheme {
     shards: u32,
     /// Write-phase mutex (sharded only; `Addr::NULL` when `shards == 1`).
     epoch: Addr,
+    /// Active-lane count word (policy lane adaptation only, `Addr::NULL`
+    /// otherwise). Writers home on `tid % active`; changes go through
+    /// the epoch fence of [`Self::publish_active_lanes`].
+    lane_ctl: Addr,
     /// MUTANT (`Mutant::StaleLane`): skip revalidating the last lane.
     #[cfg(feature = "mutants")]
     stale_lane: bool,
@@ -60,6 +81,10 @@ pub struct ClockScheme {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct ClockSnapshot {
     pub(crate) lanes: [u64; MAX_CLOCK_SHARDS],
+    /// Active-lane count observed at begin time; validation covers
+    /// `lanes[..active]` and writers home on `tid % active`. Equal to
+    /// `shards` whenever lane adaptation is off.
+    pub(crate) active: u32,
 }
 
 impl ClockSnapshot {
@@ -67,7 +92,7 @@ impl ClockSnapshot {
     pub(crate) fn single(word: u64) -> Self {
         let mut lanes = [0u64; MAX_CLOCK_SHARDS];
         lanes[0] = word;
-        ClockSnapshot { lanes }
+        ClockSnapshot { lanes, active: 1 }
     }
 
     /// The single clock word's value (lane 0).
@@ -78,13 +103,20 @@ impl ClockSnapshot {
 }
 
 impl ClockScheme {
-    pub(crate) fn new(lanes: [Addr; MAX_CLOCK_SHARDS], shards: u32, epoch: Addr) -> Self {
+    pub(crate) fn new(
+        lanes: [Addr; MAX_CLOCK_SHARDS],
+        shards: u32,
+        epoch: Addr,
+        lane_ctl: Addr,
+    ) -> Self {
         debug_assert!(shards >= 1 && shards as usize <= MAX_CLOCK_SHARDS);
         debug_assert_eq!(shards == 1, epoch.is_null(), "epoch iff sharded");
+        debug_assert!(lane_ctl.is_null() || shards > 1, "lane_ctl iff sharded");
         ClockScheme {
             lanes,
             shards,
             epoch,
+            lane_ctl,
             #[cfg(feature = "mutants")]
             stale_lane: false,
         }
@@ -117,10 +149,92 @@ impl ClockScheme {
         }
     }
 
-    /// The lane writer `tid` bumps at commit.
+    /// The lane writer `tid` bumps at commit (ignoring lane adaptation;
+    /// the adaptive paths home on `tid % snapshot.active` instead).
     #[inline]
     pub fn home_lane(&self, tid: usize) -> usize {
         tid % self.shards as usize
+    }
+
+    /// Whether the policy lane controller allocated an active-lane word.
+    #[inline]
+    pub(crate) fn has_lane_ctl(&self) -> bool {
+        !self.lane_ctl.is_null()
+    }
+
+    /// Heap address of the active-lane count word, `None` when lane
+    /// adaptation is off (diagnostics and the globals layout audit).
+    pub fn lane_ctl_addr(&self) -> Option<Addr> {
+        if self.lane_ctl.is_null() {
+            None
+        } else {
+            Some(self.lane_ctl)
+        }
+    }
+
+    /// The number of lanes `snap` covers, clamped to a sane range even
+    /// if the snapshot predates construction (test convenience).
+    #[inline]
+    fn live_lanes(&self, snap: &ClockSnapshot) -> usize {
+        (snap.active.clamp(1, self.shards)) as usize
+    }
+
+    /// The current active-lane count (diagnostics and the controller;
+    /// `shards` when lane adaptation is off).
+    pub fn active_lanes(&self, heap: &Heap) -> u32 {
+        if self.lane_ctl.is_null() {
+            self.shards
+        } else {
+            heap.load(self.lane_ctl) as u32
+        }
+    }
+
+    /// Modeled cycles of one full software validation against `snap`:
+    /// each active lane past the first costs one
+    /// [`cost::LANE_VALIDATE`] compare. Zero for the single clock (and
+    /// for one active lane), whose probe *is* the validation.
+    #[inline]
+    pub(crate) fn validate_cost(&self, snap: &ClockSnapshot) -> u64 {
+        if self.shards == 1 {
+            return 0;
+        }
+        u64::from(snap.active.saturating_sub(1)) * cost::LANE_VALIDATE
+    }
+
+    /// Publishes a new active-lane count through the **epoch fence**
+    /// (policy lane controller only): acquire the write-phase epoch,
+    /// store the new count, bump lane 0, release. The order is the
+    /// safety argument — `lane_ctl` before the lane-0 bump, paired with
+    /// readers loading lanes before `lane_ctl` — so fresh lanes imply a
+    /// fresh active count and every stale snapshot fails validation on
+    /// the bumped lane 0 (lane 0 is in every snapshot's active prefix).
+    ///
+    /// `fenced: false` is the `policy_stale_epoch` mutant: a raw store
+    /// with no fence, leaving stale-homed writers invisible to fresh
+    /// readers — the opacity checker's job to catch.
+    pub(crate) fn publish_active_lanes(&self, heap: &Heap, new_active: u32, fenced: bool) {
+        debug_assert!(self.has_lane_ctl());
+        debug_assert!(new_active >= 1 && new_active <= self.shards);
+        if !fenced {
+            // MUTANT (`Mutant::PolicyStaleEpoch`): no epoch, no bump — a
+            // raw racy store. The yield models the store landing at an
+            // arbitrary scheduler point (the fenced path's CAS loop
+            // yields the same way), so in-flight snapshots taken under
+            // the old lane count can legitimately interleave around it.
+            sim_htm::sched::yield_point();
+            heap.store(self.lane_ctl, u64::from(new_active));
+            return;
+        }
+        loop {
+            sim_htm::sched::yield_point();
+            if heap.compare_exchange(self.epoch, 0, 1).is_ok() {
+                break;
+            }
+        }
+        heap.store(self.lane_ctl, u64::from(new_active));
+        let lane0 = self.lanes[0];
+        heap.store(lane0, heap.load(lane0) + 2);
+        heap.store(self.epoch, 0);
     }
 
     /// Arms the `Mutant::StaleLane` mutation on this copy of the scheme:
@@ -220,6 +334,11 @@ impl ClockScheme {
     /// under the epoch, and validation re-checks the epoch *and* every
     /// lane — any overlap with a write phase, or any completed commit
     /// after a lane was read, fails the next [`Self::is_valid`].
+    ///
+    /// `lane_ctl` is loaded **after** the lane vector, pairing with the
+    /// fence's ctl-store-then-lane-0-bump: a snapshot whose lane 0 is
+    /// fresh carries a fresh active count, and one whose active count is
+    /// stale can never validate past the fence (lane 0 moved).
     fn snapshot_lanes(&self, heap: &Heap, snap: &mut ClockSnapshot) {
         for (slot, addr) in snap
             .lanes
@@ -229,6 +348,11 @@ impl ClockScheme {
         {
             *slot = heap.load(*addr);
         }
+        snap.active = if self.lane_ctl.is_null() {
+            self.shards
+        } else {
+            heap.load(self.lane_ctl) as u32
+        };
     }
 
     /// The per-read validation probe: one heap word plus the value that
@@ -273,7 +397,11 @@ impl ClockScheme {
 
     fn lanes_match(&self, heap: &Heap, snap: &ClockSnapshot) -> bool {
         let skip = self.skip_lane();
-        for i in 0..self.shards as usize {
+        // Only the active prefix is compared. Safe because lane counts
+        // change only through the epoch fence: any snapshot that
+        // validates after a fence saw the fence's lane-0 bump, hence the
+        // current active count, and no writer publishes outside it.
+        for i in 0..self.live_lanes(snap) {
             if i == skip {
                 continue;
             }
@@ -344,7 +472,7 @@ impl ClockScheme {
             heap.store(self.lanes[0], clock::next_version(snap.lanes[0]));
             return;
         }
-        let home = self.home_lane(tid);
+        let home = tid % self.live_lanes(snap);
         let lane = self.lanes[home];
         heap.store(lane, heap.load(lane) + 2);
         heap.store(self.epoch, 0);
@@ -409,7 +537,18 @@ impl ClockScheme {
             Ok(_) => return Err(htm.abort(xabort::CLOCK_LOCKED).code),
             Err(e) => return Err(e.code),
         }
-        let lane = self.lanes[self.home_lane(tid)];
+        // Under lane adaptation the active count joins the tracking set,
+        // so a concurrent fence (which rewrites `lane_ctl` under the
+        // epoch) conflict-aborts this commit — the HTM is its own fence.
+        let active = if self.lane_ctl.is_null() {
+            u64::from(self.shards)
+        } else {
+            match htm.read(self.lane_ctl) {
+                Ok(v) => v.clamp(1, u64::from(self.shards)),
+                Err(e) => return Err(e.code),
+            }
+        };
+        let lane = self.lanes[tid % active as usize];
         let v = match htm.read(lane) {
             Ok(v) => v,
             Err(e) => return Err(e.code),
@@ -446,7 +585,17 @@ impl ClockScheme {
                 Err(e) => return Err(e.code),
             };
         }
-        Ok(ClockSnapshot { lanes })
+        let active = if self.lane_ctl.is_null() {
+            self.shards
+        } else {
+            // Transactional read: atomic with the lane reads above, and
+            // keeps the count in the tracking set against a racing fence.
+            match htm.read(self.lane_ctl) {
+                Ok(v) => (v as u32).clamp(1, self.shards),
+                Err(e) => return Err(e.code),
+            }
+        };
+        Ok(ClockSnapshot { lanes, active })
     }
 
     /// The postfix writer's version bump, *inside* the short postfix
@@ -456,11 +605,18 @@ impl ClockScheme {
     /// its bump happens after `htm.commit` via
     /// [`Self::finish_postfix_publish`], under the lock taken at first
     /// write, preserving the pre-sharding order exactly.
-    pub(crate) fn htm_postfix_bump(&self, htm: &mut HtmThread, tid: usize) -> Result<(), AbortCode> {
+    /// The postfix writer homes on `snap.active` (stable here: the
+    /// caller holds the write-phase epoch, which blocks any fence).
+    pub(crate) fn htm_postfix_bump(
+        &self,
+        htm: &mut HtmThread,
+        tid: usize,
+        snap: &ClockSnapshot,
+    ) -> Result<(), AbortCode> {
         if self.shards == 1 {
             return Ok(());
         }
-        let lane = self.lanes[self.home_lane(tid)];
+        let lane = self.lanes[tid % self.live_lanes(snap)];
         let v = match htm.read(lane) {
             Ok(v) => v,
             Err(e) => return Err(e.code),
@@ -567,7 +723,7 @@ mod tests {
         let mut cycles = 0;
         let mut holder = g.clock.begin(&heap, &mut cycles, &mut backoff());
         assert!(g.clock.try_enter_write_phase(&heap, &mut holder));
-        let reader = ClockSnapshot { lanes: holder.lanes };
+        let reader = ClockSnapshot { lanes: holder.lanes, active: holder.active };
         assert!(!g.clock.is_valid(&heap, &reader), "held epoch fails every reader");
         let mut rival = reader;
         assert!(!g.clock.try_enter_write_phase(&heap, &mut rival));
@@ -590,5 +746,95 @@ mod tests {
     fn lane_index_is_bounds_checked() {
         let (_heap, g) = scheme(2);
         let _ = g.clock.lane(2);
+    }
+
+    fn adaptive_scheme(shards: u32) -> (Heap, Globals) {
+        let heap = Heap::new(HeapConfig { words: 1 << 12 });
+        let g = Globals::allocate_adaptive(&heap, shards, true);
+        (heap, g)
+    }
+
+    #[test]
+    fn snapshots_without_lane_ctl_cover_every_shard() {
+        let (heap, g) = scheme(4);
+        let mut cycles = 0;
+        let snap = g.clock.begin(&heap, &mut cycles, &mut backoff());
+        assert_eq!(snap.active, 4);
+        assert!(!g.clock.has_lane_ctl());
+        assert_eq!(g.clock.active_lanes(&heap), 4);
+    }
+
+    #[test]
+    fn fenced_lane_shrink_invalidates_every_old_snapshot() {
+        let (heap, g) = adaptive_scheme(4);
+        let mut cycles = 0;
+        let old = g.clock.begin(&heap, &mut cycles, &mut backoff());
+        assert_eq!(old.active, 4);
+        g.clock.publish_active_lanes(&heap, 1, true);
+        // The fence bumped lane 0, so the pre-fence snapshot can neither
+        // validate nor enter the write phase — no writer ever homes on a
+        // lane fresh readers stopped watching.
+        assert!(!g.clock.is_valid(&heap, &old));
+        let mut stale = old;
+        assert!(!g.clock.try_enter_write_phase(&heap, &mut stale));
+        assert_eq!(heap.load(g.clock.epoch_addr().unwrap()), 0);
+        // Fresh snapshots carry the new count and all agree.
+        let fresh = g.clock.begin(&heap, &mut cycles, &mut backoff());
+        assert_eq!(fresh.active, 1);
+        assert!(g.clock.is_valid(&heap, &fresh));
+    }
+
+    #[test]
+    fn shrunk_clock_homes_every_writer_on_the_active_prefix() {
+        let (heap, g) = adaptive_scheme(4);
+        g.clock.publish_active_lanes(&heap, 2, true);
+        let mut cycles = 0;
+        for tid in [0usize, 1, 2, 3, 5] {
+            let mut snap = g.clock.begin(&heap, &mut cycles, &mut backoff());
+            assert_eq!(snap.active, 2);
+            assert!(g.clock.try_enter_write_phase(&heap, &mut snap));
+            g.clock.publish(&heap, &snap, tid);
+        }
+        // tids 0/2 homed on lane 0 (plus the fence bump), 1/3/5 on lane 1;
+        // lanes 2 and 3 never move while inactive.
+        assert_eq!(heap.load(g.clock.lane(0)), 2 + 4);
+        assert_eq!(heap.load(g.clock.lane(1)), 6);
+        assert_eq!(heap.load(g.clock.lane(2)), 0);
+        assert_eq!(heap.load(g.clock.lane(3)), 0);
+    }
+
+    #[test]
+    fn unfenced_lane_publish_leaves_old_snapshots_valid() {
+        // The planted policy_stale_epoch bug in miniature: after a raw
+        // store, a stale-active snapshot still validates, so a writer it
+        // carries may home outside the fresh readers' watch set.
+        let (heap, g) = adaptive_scheme(2);
+        let mut cycles = 0;
+        let old = g.clock.begin(&heap, &mut cycles, &mut backoff());
+        assert_eq!(old.active, 2);
+        g.clock.publish_active_lanes(&heap, 1, false);
+        assert!(g.clock.is_valid(&heap, &old), "nothing invalidated the stale view");
+        let fresh = g.clock.begin(&heap, &mut cycles, &mut backoff());
+        assert_eq!(fresh.active, 1);
+        // The stale writer (tid 1, active 2) publishes on lane 1...
+        let mut stale_writer = old;
+        assert!(g.clock.try_enter_write_phase(&heap, &mut stale_writer));
+        g.clock.publish(&heap, &stale_writer, 1);
+        // ...and the fresh reader, watching only lane 0, never notices.
+        assert!(g.clock.is_valid(&heap, &fresh), "the hole the checker must catch end to end");
+    }
+
+    #[test]
+    fn validate_cost_scales_with_active_lanes() {
+        let (heap, g) = adaptive_scheme(4);
+        let mut cycles = 0;
+        let snap = g.clock.begin(&heap, &mut cycles, &mut backoff());
+        assert_eq!(g.clock.validate_cost(&snap), 3 * cost::LANE_VALIDATE);
+        g.clock.publish_active_lanes(&heap, 1, true);
+        let snap = g.clock.begin(&heap, &mut cycles, &mut backoff());
+        assert_eq!(g.clock.validate_cost(&snap), 0, "one active lane costs like the single clock");
+        let (heap1, g1) = scheme(1);
+        let snap1 = g1.clock.begin(&heap1, &mut cycles, &mut backoff());
+        assert_eq!(g1.clock.validate_cost(&snap1), 0);
     }
 }

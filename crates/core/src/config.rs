@@ -1,6 +1,7 @@
 //! TM runtime configuration: algorithm selection and retry policies.
 
 use crate::error::TmError;
+use crate::policy::PolicyConfig;
 
 /// The TM algorithms evaluated in the paper (§3.1), plus the ablation
 /// variants this reproduction adds.
@@ -204,6 +205,7 @@ pub struct TmConfig {
     pub(crate) backoff: BackoffConfig,
     pub(crate) interleave_accesses: u32,
     pub(crate) clock_shards: u32,
+    pub(crate) policy: PolicyConfig,
 }
 
 impl TmConfig {
@@ -216,6 +218,7 @@ impl TmConfig {
             backoff: BackoffConfig::default(),
             interleave_accesses: 0,
             clock_shards: 1,
+            policy: PolicyConfig::default(),
         }
     }
 
@@ -259,6 +262,12 @@ impl TmConfig {
     #[inline]
     pub fn clock_shards(&self) -> u32 {
         self.clock_shards
+    }
+
+    /// The adaptive policy layer (DESIGN.md §14). Disabled by default.
+    #[inline]
+    pub fn policy(&self) -> PolicyConfig {
+        self.policy
     }
 }
 
@@ -363,6 +372,22 @@ impl TmConfigBuilder {
         self
     }
 
+    /// Replaces the whole adaptive-policy block (DESIGN.md §14). The
+    /// default is [`PolicyConfig::default`] — disabled, bit-for-bit the
+    /// static engine; [`PolicyConfig::adaptive`] turns all three
+    /// controllers on.
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Enables or disables the adaptive policy layer, keeping the rest
+    /// of the policy block at its current values.
+    pub fn adaptive_policy(mut self, enabled: bool) -> Self {
+        self.config.policy.enabled = enabled;
+        self
+    }
+
     /// Validates the combination and produces the configuration.
     ///
     /// # Errors
@@ -413,6 +438,11 @@ impl TmConfigBuilder {
         if c.clock_shards == 0 || c.clock_shards as usize > crate::clock_shard::MAX_CLOCK_SHARDS {
             return Err(TmError::InvalidConfig {
                 reason: "clock_shards must be in 1..=MAX_CLOCK_SHARDS (8)",
+            });
+        }
+        if c.policy.enabled && c.policy.epoch_commits == 0 {
+            return Err(TmError::InvalidConfig {
+                reason: "policy epoch_commits must be nonzero when the policy layer is enabled",
             });
         }
         Ok(self.config)
@@ -532,6 +562,11 @@ mod tests {
 
         let too_many_shards = TmConfig::builder(Algorithm::RhNorec).clock_shards(9).build();
         assert!(matches!(too_many_shards, Err(TmError::InvalidConfig { .. })));
+
+        let zero_epoch = TmConfig::builder(Algorithm::RhNorec)
+            .policy(PolicyConfig { epoch_commits: 0, ..PolicyConfig::adaptive() })
+            .build();
+        assert!(matches!(zero_epoch, Err(TmError::InvalidConfig { .. })));
     }
 
     #[test]
@@ -555,5 +590,21 @@ mod tests {
         assert!(!c.backoff().enabled);
         assert_eq!(c.backoff().seed, 42);
         assert_eq!(c.backoff().max_spins, 512);
+    }
+
+    #[test]
+    fn policy_is_off_by_default_and_builder_applies_it() {
+        assert!(!TmConfig::new(Algorithm::RhNorec).policy().enabled);
+        let c = TmConfig::builder(Algorithm::RhNorec)
+            .policy(PolicyConfig::adaptive())
+            .build()
+            .unwrap();
+        assert!(c.policy().enabled);
+        assert!(c.policy().adapt_backoff && c.policy().adapt_lanes && c.policy().adapt_prefix);
+        let toggled = TmConfig::builder(Algorithm::RhNorec)
+            .adaptive_policy(true)
+            .build()
+            .unwrap();
+        assert!(toggled.policy().enabled);
     }
 }

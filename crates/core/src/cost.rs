@@ -64,6 +64,10 @@ pub const GLOBAL_RMW: u64 = 50;
 pub const GLOBAL_STORE: u64 = 15;
 /// One iteration of a spin-wait on a shared location.
 pub const SPIN_ITER: u64 = 4;
+/// One extra clock-lane compare in sharded software validation: each
+/// active lane past the first adds a (usually shared, possibly
+/// ping-ponging) load plus the compare to every per-read check.
+pub const LANE_VALIDATE: u64 = 4;
 /// One backoff spin: waiting on a core-local pause, no coherence traffic
 /// (cheaper than probing the contended line).
 pub const BACKOFF_SPIN: u64 = 1;

@@ -78,6 +78,15 @@ impl Globals {
     /// Panics if `clock_shards` is outside `1..=MAX_CLOCK_SHARDS`, or if
     /// the heap cannot satisfy the line-sized allocations.
     pub fn allocate(heap: &Heap, clock_shards: u32) -> Globals {
+        Globals::allocate_adaptive(heap, clock_shards, false)
+    }
+
+    /// [`Globals::allocate`] with the policy lane controller's
+    /// `clock_lane_ctl` word (its own cache line, initialized to
+    /// `clock_shards` so adaptation starts from the full sharding).
+    /// `lane_adaptation` is ignored for the single clock, which has
+    /// nothing to adapt.
+    pub fn allocate_adaptive(heap: &Heap, clock_shards: u32, lane_adaptation: bool) -> Globals {
         assert!(
             clock_shards >= 1 && clock_shards as usize <= MAX_CLOCK_SHARDS,
             "clock_shards must be in 1..={MAX_CLOCK_SHARDS}"
@@ -96,8 +105,15 @@ impl Globals {
         let num_of_fallbacks = slot();
         let serial_lock = slot();
         let epoch = if clock_shards == 1 { Addr::NULL } else { slot() };
+        let lane_ctl = if lane_adaptation && clock_shards > 1 {
+            let ctl = slot();
+            heap.store(ctl, u64::from(clock_shards));
+            ctl
+        } else {
+            Addr::NULL
+        };
         let globals = Globals {
-            clock: ClockScheme::new(lanes, clock_shards, epoch),
+            clock: ClockScheme::new(lanes, clock_shards, epoch, lane_ctl),
             global_htm_lock,
             num_of_fallbacks,
             serial_lock,
@@ -122,6 +138,9 @@ impl Globals {
         slots.push(("serial_lock", self.serial_lock));
         if let Some(epoch) = self.clock.epoch_addr() {
             slots.push(("clock_epoch", epoch));
+        }
+        if let Some(ctl) = self.clock.lane_ctl_addr() {
+            slots.push(("clock_lane_ctl", ctl));
         }
         slots
     }
@@ -162,17 +181,31 @@ mod tests {
 
     #[test]
     fn no_false_sharing_at_any_shard_count() {
-        for shards in 1..=MAX_CLOCK_SHARDS as u32 {
-            let heap = Heap::new(HeapConfig { words: 1 << 12 });
-            let g = Globals::allocate(&heap, shards);
-            assert_eq!(
-                g.false_sharing(),
-                Vec::<(&str, &str)>::new(),
-                "globals share a cache line at clock_shards={shards}"
-            );
-            let expected_slots = shards as usize + if shards == 1 { 3 } else { 4 };
-            assert_eq!(g.slots().len(), expected_slots);
+        for lane_adaptation in [false, true] {
+            for shards in 1..=MAX_CLOCK_SHARDS as u32 {
+                let heap = Heap::new(HeapConfig { words: 1 << 12 });
+                let g = Globals::allocate_adaptive(&heap, shards, lane_adaptation);
+                assert_eq!(
+                    g.false_sharing(),
+                    Vec::<(&str, &str)>::new(),
+                    "globals share a cache line at clock_shards={shards}"
+                );
+                let ctl_slots = usize::from(lane_adaptation && shards > 1);
+                let expected_slots = shards as usize + if shards == 1 { 3 } else { 4 } + ctl_slots;
+                assert_eq!(g.slots().len(), expected_slots);
+            }
         }
+    }
+
+    #[test]
+    fn lane_ctl_is_allocated_only_for_adaptive_sharded_clocks() {
+        let heap = Heap::new(HeapConfig { words: 1 << 12 });
+        assert!(Globals::allocate(&heap, 4).clock.lane_ctl_addr().is_none());
+        assert!(Globals::allocate_adaptive(&heap, 1, true).clock.lane_ctl_addr().is_none());
+        let g = Globals::allocate_adaptive(&heap, 4, true);
+        let ctl = g.clock.lane_ctl_addr().expect("adaptive sharded clock allocates lane_ctl");
+        assert_eq!(heap.load(ctl), 4, "starts at the full sharding");
+        assert_eq!(g.clock.active_lanes(&heap), 4);
     }
 
     #[test]

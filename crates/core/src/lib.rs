@@ -53,6 +53,7 @@ mod error;
 mod globals;
 #[cfg(feature = "mutants")]
 pub mod mutants;
+mod policy;
 pub mod prelude;
 mod runtime;
 mod session;
@@ -75,6 +76,7 @@ pub use clock_shard::{ClockScheme, MAX_CLOCK_SHARDS};
 pub use config::{Algorithm, BackoffConfig, PrefixConfig, RetryPolicy, TmConfig, TmConfigBuilder, TxKind};
 pub use error::{TmError, TxFault, TxResult, TxRestart};
 pub use globals::{clock, Globals};
+pub use policy::PolicyConfig;
 pub use runtime::{TmRuntime, TmThread};
 pub use session::Session;
 pub use stats::{ThreadReport, TmThreadStats};

@@ -75,11 +75,17 @@ pub enum Mutant {
     /// consults this runtime's arming mask through
     /// [`TmRuntime::mutant_armed`](crate::TmRuntime::mutant_armed).
     KvStaleTransferCredit,
+    /// The adaptive policy controller publishes a lane-count change with a
+    /// raw store instead of the write-phase epoch fence
+    /// (`clock_shard::publish_active_lanes` with `fenced == false`), so a
+    /// writer holding a pre-change snapshot can home its commit on a lane
+    /// the shrunken active prefix no longer validates.
+    PolicyStaleEpoch,
 }
 
 impl Mutant {
     /// Every corpus mutant, in [`MANIFEST`] order.
-    pub const ALL: [Mutant; 11] = [
+    pub const ALL: [Mutant; 12] = [
         Mutant::PostfixClock,
         Mutant::StaleLane,
         Mutant::EagerSkipValidation,
@@ -91,6 +97,7 @@ impl Mutant {
         Mutant::ElisionNoSubscription,
         Mutant::RhWriterNoHtmLock,
         Mutant::KvStaleTransferCredit,
+        Mutant::PolicyStaleEpoch,
     ];
 
     /// The mutant's bit in the runtime's arming mask.
@@ -178,6 +185,11 @@ pub struct MutantSpec {
     /// [`WorkloadShape::KvTransfer`], `slots` is the key-space size and
     /// `txs_per_thread` the requests per thread; `ops_per_tx` is unused.
     pub workload: WorkloadShape,
+    /// Whether the kill recipe runs with the adaptive policy layer on
+    /// (every controller enabled, an epoch tick per commit). Required by
+    /// hooks planted in the policy/controller code path, which is never
+    /// exercised otherwise.
+    pub policy: bool,
 }
 
 /// The corpus, in [`Mutant::ALL`] order (indexed by `Mutant as usize`).
@@ -198,6 +210,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         abort_injection: 0.0,
         seed_budget: 40,
         workload: WorkloadShape::Scripted,
+        policy: false,
     },
     MutantSpec {
         mutant: Mutant::StaleLane,
@@ -215,6 +228,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         abort_injection: 0.0,
         seed_budget: 40,
         workload: WorkloadShape::Scripted,
+        policy: false,
     },
     MutantSpec {
         mutant: Mutant::EagerSkipValidation,
@@ -232,6 +246,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         abort_injection: 0.0,
         seed_budget: 40,
         workload: WorkloadShape::Scripted,
+        policy: false,
     },
     MutantSpec {
         mutant: Mutant::StaleSnapshotReuse,
@@ -249,6 +264,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         abort_injection: 0.0,
         seed_budget: 40,
         workload: WorkloadShape::Scripted,
+        policy: false,
     },
     MutantSpec {
         mutant: Mutant::MissingLaneBump,
@@ -266,6 +282,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         abort_injection: 0.1,
         seed_budget: 80,
         workload: WorkloadShape::Scripted,
+        policy: false,
     },
     MutantSpec {
         mutant: Mutant::BloomFalseNegative,
@@ -283,6 +300,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         abort_injection: 0.0,
         seed_budget: 40,
         workload: WorkloadShape::Scripted,
+        policy: false,
     },
     MutantSpec {
         mutant: Mutant::Tl2CommitNoValidate,
@@ -300,6 +318,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         abort_injection: 0.0,
         seed_budget: 40,
         workload: WorkloadShape::Scripted,
+        policy: false,
     },
     MutantSpec {
         mutant: Mutant::Tl2EarlyRelease,
@@ -317,6 +336,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         abort_injection: 0.0,
         seed_budget: 60,
         workload: WorkloadShape::Scripted,
+        policy: false,
     },
     MutantSpec {
         mutant: Mutant::ElisionNoSubscription,
@@ -334,6 +354,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         abort_injection: 0.3,
         seed_budget: 80,
         workload: WorkloadShape::Scripted,
+        policy: false,
     },
     MutantSpec {
         mutant: Mutant::RhWriterNoHtmLock,
@@ -351,6 +372,7 @@ pub const MANIFEST: &[MutantSpec] = &[
         abort_injection: 0.3,
         seed_budget: 80,
         workload: WorkloadShape::Scripted,
+        policy: false,
     },
     MutantSpec {
         mutant: Mutant::KvStaleTransferCredit,
@@ -369,6 +391,31 @@ pub const MANIFEST: &[MutantSpec] = &[
         abort_injection: 0.0,
         seed_budget: 60,
         workload: WorkloadShape::KvTransfer,
+        policy: false,
+    },
+    MutantSpec {
+        mutant: Mutant::PolicyStaleEpoch,
+        name: "policy_stale_epoch",
+        summary: "the lane controller publishes a lane-count change with a \
+                  raw store instead of the write-phase epoch fence \
+                  (clock_shard::publish_active_lanes)",
+        kills_via: "zombie reads: across an unfenced lane-count shrink, a \
+                    committer homes on a lane outside another side's active \
+                    prefix, so its commit goes unseen by in-flight snapshots. \
+                    Pure-software NOrec (HTM disabled) keeps every reader \
+                    validating per read, and shards=8 gives the controller \
+                    three shrink windows (8->4->2->1) early in the run",
+        algorithm: Algorithm::Norec,
+        htm: HtmProfile::Disabled,
+        clock_shards: 8,
+        threads: 8,
+        slots: 2,
+        txs_per_thread: 4,
+        ops_per_tx: 3,
+        abort_injection: 0.0,
+        seed_budget: 60,
+        workload: WorkloadShape::Scripted,
+        policy: true,
     },
 ];
 

@@ -1,0 +1,484 @@
+//! The self-tuning runtime policy controller (DESIGN.md §14).
+//!
+//! The paper adapts exactly one knob online — §2.4 grows and shrinks the
+//! RH NOrec HTM prefix from abort feedback — while every other
+//! performance-critical knob ([`BackoffConfig`] window, `clock_shards`)
+//! is frozen at configuration time. The HyTM lower-bound results show the
+//! instrumentation tax is workload-dependent, so no static setting is
+//! right everywhere. This module closes the loop on all three knobs with
+//! one shared epoch clock:
+//!
+//! * **(a) backoff window** — multiplicative-increase/decrease of the
+//!   effective `max_spins` cap from the observed conflict-abort rate,
+//! * **(b) active clock lanes** — shrinks or grows the number of lanes
+//!   writers home on between 1 and `clock_shards`, published through the
+//!   epoch-fenced `lane_ctl` word so re-homing preserves the PR 4 safety
+//!   argument (see [`crate::ClockScheme`]),
+//! * **(c) prefix length** — an epoch-rate target that re-centers the
+//!   §2.4 per-attempt controller, giving it a second (slower) timescale.
+//!
+//! The feedback path is deliberately asymmetric: threads *record* into
+//! their own cache-line-padded [`PolicySlot`] with relaxed stores (no
+//! shared-line traffic, no read-modify-write on the commit path), and the
+//! controller *aggregates* only at epoch boundaries, behind a `try_lock`
+//! gate so at most one thread pays the aggregation and nobody ever waits.
+//! Everything is preallocated at runtime construction; recording and
+//! ticking allocate nothing.
+//!
+//! With [`PolicyConfig::enabled`] `false` (the default) none of this
+//! state exists on the runtime and behavior is bit-for-bit the static
+//! engine. Under the deterministic scheduler the controller remains a
+//! pure function of the schedule: ticks trigger on per-thread commit
+//! counts, the gate is uncontended (one runnable thread at a time), and
+//! no wall-clock or OS randomness is consulted anywhere.
+//!
+//! [`BackoffConfig`]: crate::BackoffConfig
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sim_mem::Heap;
+
+use crate::clock_shard::ClockScheme;
+use crate::config::TmConfig;
+
+/// Configuration of the adaptive policy layer, carried by the validated
+/// [`TmConfig`] builder. Disabled by default: a runtime built without it
+/// allocates no policy state and executes bit-for-bit the static engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PolicyConfig {
+    /// Master switch; `false` (default) compiles the whole layer down to
+    /// one never-taken branch per commit.
+    pub enabled: bool,
+    /// Per-thread commits between controller epochs: a thread whose
+    /// commit count crosses a multiple of this offers to tick the
+    /// controller. Must be nonzero when `enabled` (builder-validated).
+    pub epoch_commits: u64,
+    /// Adapt the backoff spin-window cap from observed abort rates.
+    pub adapt_backoff: bool,
+    /// Adapt the number of active clock lanes from commit-lane
+    /// contention (sharded clock only).
+    pub adapt_lanes: bool,
+    /// Re-center the §2.4 prefix-length controller from epoch-rate
+    /// success statistics.
+    pub adapt_prefix: bool,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            enabled: false,
+            epoch_commits: 64,
+            adapt_backoff: true,
+            adapt_lanes: true,
+            adapt_prefix: true,
+        }
+    }
+}
+
+impl PolicyConfig {
+    /// The full adaptive configuration: all three controllers on, epoch
+    /// every 64 commits per thread.
+    pub fn adaptive() -> Self {
+        PolicyConfig { enabled: true, ..PolicyConfig::default() }
+    }
+}
+
+/// One thread's padded telemetry block. Each field is a *running total*
+/// the owner refreshes with relaxed stores after every commit; the
+/// controller reads whole slots only at epoch boundaries and computes
+/// window deltas itself, so the commit path performs no shared
+/// read-modify-write at all.
+///
+/// `align(128)` keeps each slot on its own pair of 64-byte lines
+/// (adjacent-line prefetchers pull two), so two threads recording
+/// concurrently never touch the same cache line — the same false-sharing
+/// discipline as the clock lanes, asserted by the layout test below.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+pub(crate) struct PolicySlot {
+    commits: AtomicU64,
+    hw_commits: AtomicU64,
+    conflict_aborts: AtomicU64,
+    fallbacks: AtomicU64,
+    backoff_spins: AtomicU64,
+    lane_cas_failures: AtomicU64,
+    prefix_attempts: AtomicU64,
+    prefix_commits: AtomicU64,
+}
+
+/// A snapshot of one thread's running totals, written by the owner after
+/// each commit (see [`PolicyShared::record`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SlotSample {
+    /// Transactions committed (any path).
+    pub(crate) commits: u64,
+    /// Commits that finished in hardware (fast path, prefix, postfix).
+    pub(crate) hw_commits: u64,
+    /// Conflict-flavored failures: HTM conflict aborts plus software
+    /// slow-path restarts — the controller's contention signal.
+    pub(crate) conflict_aborts: u64,
+    /// Slow-path entries (fallback pressure).
+    pub(crate) fallbacks: u64,
+    /// Backoff spins waited.
+    pub(crate) backoff_spins: u64,
+    /// Clock write-phase CAS losses noted by the engines.
+    pub(crate) lane_cas_failures: u64,
+    /// §2.4 prefix attempts.
+    pub(crate) prefix_attempts: u64,
+    /// §2.4 prefix commits.
+    pub(crate) prefix_commits: u64,
+}
+
+/// Aggregated totals across every slot, and the per-epoch deltas between
+/// them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Totals {
+    commits: u64,
+    hw_commits: u64,
+    conflict_aborts: u64,
+    fallbacks: u64,
+    backoff_spins: u64,
+    lane_cas_failures: u64,
+    prefix_attempts: u64,
+    prefix_commits: u64,
+}
+
+impl Totals {
+    fn add_slot(&mut self, slot: &PolicySlot) {
+        self.commits += slot.commits.load(Ordering::Relaxed);
+        self.hw_commits += slot.hw_commits.load(Ordering::Relaxed);
+        self.conflict_aborts += slot.conflict_aborts.load(Ordering::Relaxed);
+        self.fallbacks += slot.fallbacks.load(Ordering::Relaxed);
+        self.backoff_spins += slot.backoff_spins.load(Ordering::Relaxed);
+        self.lane_cas_failures += slot.lane_cas_failures.load(Ordering::Relaxed);
+        self.prefix_attempts += slot.prefix_attempts.load(Ordering::Relaxed);
+        self.prefix_commits += slot.prefix_commits.load(Ordering::Relaxed);
+    }
+
+    /// Saturating per-window delta. Saturation (rather than wrap) makes a
+    /// `reset_stats` between epochs a one-window blind spot instead of a
+    /// garbage rate.
+    fn delta(&self, prev: &Totals) -> Totals {
+        Totals {
+            commits: self.commits.saturating_sub(prev.commits),
+            hw_commits: self.hw_commits.saturating_sub(prev.hw_commits),
+            conflict_aborts: self.conflict_aborts.saturating_sub(prev.conflict_aborts),
+            fallbacks: self.fallbacks.saturating_sub(prev.fallbacks),
+            backoff_spins: self.backoff_spins.saturating_sub(prev.backoff_spins),
+            lane_cas_failures: self.lane_cas_failures.saturating_sub(prev.lane_cas_failures),
+            prefix_attempts: self.prefix_attempts.saturating_sub(prev.prefix_attempts),
+            prefix_commits: self.prefix_commits.saturating_sub(prev.prefix_commits),
+        }
+    }
+}
+
+/// Controller-private state behind the tick gate: the aggregate totals of
+/// the previous epoch boundary.
+#[derive(Debug, Default)]
+struct ControllerState {
+    prev: Totals,
+}
+
+/// The shared policy state of one runtime: per-thread telemetry slots,
+/// the epoch counter, the published knob values, and the tick gate.
+#[derive(Debug)]
+pub(crate) struct PolicyShared {
+    /// One padded slot per possible thread id, preallocated.
+    slots: Vec<PolicySlot>,
+    /// Controller epochs completed; threads watch it to notice published
+    /// knob changes.
+    epoch: AtomicU64,
+    /// Published backoff spin-window cap (effective `max_spins`).
+    backoff_cap: AtomicU32,
+    /// Published prefix-length target the §2.4 controller re-centers on.
+    prefix_target: AtomicU64,
+    /// Tick mutual exclusion. `try_lock` only: a thread that loses the
+    /// race simply skips the tick — nobody ever blocks on the commit
+    /// path. Under the cooperative scheduler exactly one thread runs at
+    /// a time, so the gate is deterministically uncontended.
+    gate: Mutex<ControllerState>,
+}
+
+impl PolicyShared {
+    pub(crate) fn new(config: &TmConfig) -> PolicyShared {
+        PolicyShared {
+            slots: (0..sim_mem::MAX_THREADS).map(|_| PolicySlot::default()).collect(),
+            epoch: AtomicU64::new(0),
+            backoff_cap: AtomicU32::new(config.backoff.max_spins),
+            prefix_target: AtomicU64::new(config.prefix.initial_reads),
+            gate: Mutex::new(ControllerState::default()),
+        }
+    }
+
+    /// Refreshes thread `tid`'s running totals — eight relaxed stores
+    /// into the owner's own padded line, nothing shared touched.
+    #[inline]
+    pub(crate) fn record(&self, tid: usize, s: SlotSample) {
+        let slot = &self.slots[tid];
+        slot.commits.store(s.commits, Ordering::Relaxed);
+        slot.hw_commits.store(s.hw_commits, Ordering::Relaxed);
+        slot.conflict_aborts.store(s.conflict_aborts, Ordering::Relaxed);
+        slot.fallbacks.store(s.fallbacks, Ordering::Relaxed);
+        slot.backoff_spins.store(s.backoff_spins, Ordering::Relaxed);
+        slot.lane_cas_failures.store(s.lane_cas_failures, Ordering::Relaxed);
+        slot.prefix_attempts.store(s.prefix_attempts, Ordering::Relaxed);
+        slot.prefix_commits.store(s.prefix_commits, Ordering::Relaxed);
+    }
+
+    /// Controller epochs completed so far.
+    #[inline]
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// The published backoff spin-window cap.
+    #[inline]
+    pub(crate) fn backoff_cap(&self) -> u32 {
+        self.backoff_cap.load(Ordering::Relaxed)
+    }
+
+    /// The published prefix-length target.
+    #[inline]
+    pub(crate) fn prefix_target(&self) -> u64 {
+        self.prefix_target.load(Ordering::Relaxed)
+    }
+
+    /// One controller epoch: aggregate every slot, compute window rates,
+    /// apply the three adaptation rules, publish, advance the epoch.
+    /// Returns without doing anything if another thread holds the gate
+    /// or the window saw no commits.
+    ///
+    /// `unfenced_lane_publish` arms the `policy_stale_epoch` corpus
+    /// mutant: a lane-count change published as a raw store, skipping the
+    /// epoch fence (the planted bug; see [`crate::mutants`]).
+    pub(crate) fn maybe_tick(
+        &self,
+        heap: &Heap,
+        clock: &ClockScheme,
+        cfg: &TmConfig,
+        unfenced_lane_publish: bool,
+    ) {
+        let Ok(mut st) = self.gate.try_lock() else { return };
+        let mut totals = Totals::default();
+        for slot in &self.slots {
+            totals.add_slot(slot);
+        }
+        let d = totals.delta(&st.prev);
+        if d.commits == 0 {
+            return;
+        }
+        st.prev = totals;
+        let attempts = d.commits + d.conflict_aborts;
+
+        // (a) Backoff window: multiplicative increase under heavy
+        // conflict rates (waiting is cheaper than re-colliding),
+        // multiplicative decrease when conflicts are rare (long windows
+        // are pure latency). Clamped to the configured static range, so
+        // adaptation can only ever tighten the static window.
+        if cfg.policy.adapt_backoff {
+            let cap = self.backoff_cap.load(Ordering::Relaxed);
+            let new_cap = if d.conflict_aborts * 4 >= attempts {
+                cap.saturating_mul(2).min(cfg.backoff.max_spins)
+            } else if d.conflict_aborts * 16 <= attempts {
+                (cap / 2).max(cfg.backoff.min_spins)
+            } else {
+                cap
+            };
+            self.backoff_cap.store(new_cap, Ordering::Relaxed);
+        }
+
+        // (b) Active clock lanes. Lanes pay off exactly when hardware
+        // writers commit disjointly (each bump stays on its home lane);
+        // when commits are software-dominated every extra lane is pure
+        // per-read validation tax. Shrink when the hardware-commit share
+        // of the window is low; grow back when hardware dominates *and*
+        // the contention signals (write-phase CAS losses, conflict
+        // aborts) say commit metadata is actually being fought over.
+        // Publication goes through the epoch fence so re-homing keeps
+        // the PR 4 safety argument (DESIGN.md §14).
+        if cfg.policy.adapt_lanes && clock.has_lane_ctl() {
+            let active = clock.active_lanes(heap);
+            let hw_dominated = d.hw_commits * 2 >= d.commits;
+            let sw_dominated = d.hw_commits * 4 < d.commits;
+            let contended = d.lane_cas_failures > 0 || d.conflict_aborts * 8 >= attempts;
+            let new_active = if sw_dominated {
+                (active / 2).max(1)
+            } else if hw_dominated && contended {
+                (active * 2).min(clock.shards())
+            } else {
+                active
+            };
+            if new_active != active {
+                clock.publish_active_lanes(heap, new_active, !unfenced_lane_publish);
+            }
+        }
+
+        // (c) Prefix target: the epoch-rate complement of the §2.4
+        // per-attempt controller. High window success grows the target
+        // (attempt longer prefixes), low success shrinks it; threads
+        // blend their live length toward the target when they notice the
+        // epoch moved, keeping the fast per-attempt reflex intact.
+        if cfg.policy.adapt_prefix && d.prefix_attempts > 0 {
+            let target = self.prefix_target.load(Ordering::Relaxed);
+            let new_target = if d.prefix_commits * 4 >= d.prefix_attempts * 3 {
+                target.saturating_mul(2).min(cfg.prefix.max_reads)
+            } else if d.prefix_commits * 2 <= d.prefix_attempts {
+                (target / 2).max(cfg.prefix.min_reads)
+            } else {
+                target
+            };
+            self.prefix_target.store(new_target, Ordering::Relaxed);
+        }
+
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::globals::Globals;
+    use crate::{Algorithm, TmConfig};
+    use sim_mem::HeapConfig;
+
+    fn adaptive_config(epoch_commits: u64) -> TmConfig {
+        TmConfig::builder(Algorithm::RhNorec)
+            .clock_shards(4)
+            .policy(PolicyConfig { epoch_commits, ..PolicyConfig::adaptive() })
+            .build()
+            .unwrap()
+    }
+
+    fn fixture() -> (Heap, Globals, TmConfig, PolicyShared) {
+        let heap = Heap::new(HeapConfig { words: 1 << 12 });
+        let g = Globals::allocate_adaptive(&heap, 4, true);
+        let cfg = adaptive_config(1);
+        let shared = PolicyShared::new(&cfg);
+        (heap, g, cfg, shared)
+    }
+
+    #[test]
+    fn slots_are_padded_against_false_sharing() {
+        // One slot spans exactly one 128-byte block (the adjacent-line
+        // prefetch unit), so two owners' relaxed stores can never share
+        // a cache line — the PolicySlot analogue of the Globals
+        // false-sharing audit.
+        assert_eq!(std::mem::align_of::<PolicySlot>(), 128);
+        assert_eq!(std::mem::size_of::<PolicySlot>(), 128);
+        let shared = PolicyShared::new(&adaptive_config(64));
+        for pair in shared.slots.windows(2) {
+            let a = &pair[0] as *const PolicySlot as usize;
+            let b = &pair[1] as *const PolicySlot as usize;
+            assert!(b - a >= 128, "adjacent slots closer than a prefetch block");
+        }
+    }
+
+    #[test]
+    fn software_dominated_windows_shrink_the_active_lanes() {
+        let (heap, g, cfg, shared) = fixture();
+        assert_eq!(g.clock.active_lanes(&heap), 4);
+        // All commits in software, zero hardware share.
+        shared.record(0, SlotSample { commits: 64, ..SlotSample::default() });
+        shared.maybe_tick(&heap, &g.clock, &cfg, false);
+        assert_eq!(g.clock.active_lanes(&heap), 2, "halved on a software-only window");
+        assert_eq!(shared.epoch(), 1);
+        shared.record(0, SlotSample { commits: 128, ..SlotSample::default() });
+        shared.maybe_tick(&heap, &g.clock, &cfg, false);
+        assert_eq!(g.clock.active_lanes(&heap), 1, "and again, floored at one lane");
+        shared.record(0, SlotSample { commits: 192, ..SlotSample::default() });
+        shared.maybe_tick(&heap, &g.clock, &cfg, false);
+        assert_eq!(g.clock.active_lanes(&heap), 1, "never below one");
+    }
+
+    #[test]
+    fn contended_hardware_windows_grow_the_lanes_back() {
+        let (heap, g, cfg, shared) = fixture();
+        g.clock.publish_active_lanes(&heap, 1, true);
+        shared.record(
+            0,
+            SlotSample {
+                commits: 64,
+                hw_commits: 60,
+                conflict_aborts: 40,
+                lane_cas_failures: 5,
+                ..SlotSample::default()
+            },
+        );
+        shared.maybe_tick(&heap, &g.clock, &cfg, false);
+        assert_eq!(g.clock.active_lanes(&heap), 2, "hardware-dominated + contended doubles");
+        // Quiet hardware-dominated window: no growth without contention.
+        shared.record(
+            1,
+            SlotSample { commits: 64, hw_commits: 64, ..SlotSample::default() },
+        );
+        shared.maybe_tick(&heap, &g.clock, &cfg, false);
+        assert_eq!(g.clock.active_lanes(&heap), 2, "uncontended window leaves lanes alone");
+    }
+
+    #[test]
+    fn backoff_cap_rises_under_aborts_and_falls_when_quiet() {
+        let (heap, g, cfg, shared) = fixture();
+        let max = cfg.backoff.max_spins;
+        assert_eq!(shared.backoff_cap(), max, "starts at the static cap");
+        // Quiet windows halve the cap (down to min_spins)...
+        shared.record(0, SlotSample { commits: 64, hw_commits: 64, ..SlotSample::default() });
+        shared.maybe_tick(&heap, &g.clock, &cfg, false);
+        assert_eq!(shared.backoff_cap(), max / 2);
+        // ...and a conflict-heavy window doubles it back, clamped at max.
+        shared.record(
+            0,
+            SlotSample { commits: 128, hw_commits: 128, conflict_aborts: 64, ..SlotSample::default() },
+        );
+        shared.maybe_tick(&heap, &g.clock, &cfg, false);
+        assert_eq!(shared.backoff_cap(), max);
+        shared.record(
+            0,
+            SlotSample { commits: 192, hw_commits: 192, conflict_aborts: 128, ..SlotSample::default() },
+        );
+        shared.maybe_tick(&heap, &g.clock, &cfg, false);
+        assert_eq!(shared.backoff_cap(), max, "never grows past the static max");
+    }
+
+    #[test]
+    fn prefix_target_tracks_window_success() {
+        let (heap, g, cfg, shared) = fixture();
+        let start = cfg.prefix.initial_reads;
+        shared.record(
+            0,
+            SlotSample { commits: 64, prefix_attempts: 32, prefix_commits: 31, ..SlotSample::default() },
+        );
+        shared.maybe_tick(&heap, &g.clock, &cfg, false);
+        assert_eq!(shared.prefix_target(), start * 2, "winning prefixes double the target");
+        shared.record(
+            0,
+            SlotSample { commits: 128, prefix_attempts: 96, prefix_commits: 41, ..SlotSample::default() },
+        );
+        shared.maybe_tick(&heap, &g.clock, &cfg, false);
+        assert_eq!(shared.prefix_target(), start, "losing prefixes halve it back");
+    }
+
+    #[test]
+    fn empty_windows_do_not_advance_the_epoch() {
+        let (heap, g, cfg, shared) = fixture();
+        shared.maybe_tick(&heap, &g.clock, &cfg, false);
+        assert_eq!(shared.epoch(), 0);
+        assert_eq!(g.clock.active_lanes(&heap), 4);
+    }
+
+    #[test]
+    fn unfenced_publish_skips_the_epoch_fence() {
+        // The policy_stale_epoch mutant's hook: the lane-count store
+        // lands, but lane 0 does not move — exactly the missing
+        // invalidation the opacity checker must catch end to end.
+        let (heap, g, cfg, shared) = fixture();
+        let lane0_before = heap.load(g.clock.lane(0));
+        shared.record(0, SlotSample { commits: 64, ..SlotSample::default() });
+        shared.maybe_tick(&heap, &g.clock, &cfg, true);
+        assert_eq!(g.clock.active_lanes(&heap), 2);
+        assert_eq!(heap.load(g.clock.lane(0)), lane0_before, "no fence bump");
+        // The fenced path does bump lane 0.
+        g.clock.publish_active_lanes(&heap, 4, true);
+        assert_eq!(heap.load(g.clock.lane(0)), lane0_before + 2);
+    }
+}

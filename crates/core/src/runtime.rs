@@ -9,6 +9,7 @@ use sim_mem::Heap;
 use crate::algorithms::{self, tl2::Tl2Meta};
 use crate::error::{TmError, TxFault, TxResult};
 use crate::globals::Globals;
+use crate::policy::{PolicyShared, SlotSample};
 use crate::stats::{ThreadReport, TmThreadStats};
 use crate::tx::{Tx, TxMem};
 use crate::txlog::{Backoff, TxLogs};
@@ -26,6 +27,10 @@ pub struct TmRuntime {
     config: TmConfig,
     globals: Globals,
     tl2: Tl2Meta,
+    /// The adaptive policy controller's shared state (DESIGN.md §14);
+    /// `None` unless [`crate::PolicyConfig::enabled`] — the disabled
+    /// layer is one never-taken branch per commit.
+    policy: Option<PolicyShared>,
     /// Armed corpus mutants, one bit per [`crate::mutants::Mutant`].
     #[cfg(feature = "mutants")]
     mutant_mask: std::sync::atomic::AtomicU32,
@@ -44,13 +49,17 @@ impl TmRuntime {
         if !Arc::ptr_eq(htm.heap(), &heap) {
             return Err(TmError::HeapMismatch);
         }
-        let globals = Globals::allocate(&heap, config.clock_shards);
+        let lane_adaptation =
+            config.policy.enabled && config.policy.adapt_lanes && config.clock_shards > 1;
+        let globals = Globals::allocate_adaptive(&heap, config.clock_shards, lane_adaptation);
+        let policy = config.policy.enabled.then(|| PolicyShared::new(&config));
         Ok(Arc::new(TmRuntime {
             heap,
             htm,
             config,
             globals,
             tl2: Tl2Meta::new(),
+            policy,
             #[cfg(feature = "mutants")]
             mutant_mask: std::sync::atomic::AtomicU32::new(0),
         }))
@@ -155,7 +164,15 @@ impl TmRuntime {
             logs,
             backoff: Backoff::new(&self.config.backoff, tid),
             prefix_len: self.config.prefix.initial_reads,
+            policy_commits: 0,
+            policy_epoch_seen: 0,
         })
+    }
+
+    /// The policy controller's shared state, when the layer is enabled.
+    #[inline]
+    pub(crate) fn policy(&self) -> Option<&PolicyShared> {
+        self.policy.as_ref()
     }
 }
 
@@ -209,6 +226,12 @@ pub struct TmThread {
     pub(crate) backoff: Backoff,
     /// Adaptive expected HTM-prefix length (reads), per §2.4.
     pub(crate) prefix_len: u64,
+    /// Commits since registration (policy epoch cadence; deliberately
+    /// not reset by [`reset_stats`](Self::reset_stats) so the tick
+    /// rhythm survives benchmark warmup resets).
+    policy_commits: u64,
+    /// Last controller epoch this thread blended its prefix length on.
+    policy_epoch_seen: u64,
 }
 
 impl TmThread {
@@ -263,7 +286,56 @@ impl TmThread {
             Algorithm::RhNorecPostfixOnly => algorithms::rh_norec::run(self, kind, &mut body, false),
         }?;
         self.stats.commits += 1;
+        if self.rt.policy.is_some() {
+            self.policy_after_commit();
+        }
         Ok(value)
+    }
+
+    /// Post-commit policy work: refresh this thread's telemetry slot
+    /// (relaxed stores into its own padded line), offer a controller tick
+    /// at the epoch cadence, and pick up published knobs. Never runs when
+    /// the policy layer is off.
+    fn policy_after_commit(&mut self) {
+        let rt = Arc::clone(&self.rt);
+        let Some(shared) = rt.policy() else { return };
+        let cfg = &rt.config;
+        self.policy_commits += 1;
+        shared.record(
+            self.tid,
+            SlotSample {
+                commits: self.policy_commits,
+                hw_commits: self.stats.fast_path_commits + self.stats.postfix_commits,
+                conflict_aborts: self.stats.htm_conflict_aborts() + self.stats.slow_path_restarts,
+                fallbacks: self.stats.slow_path_entries,
+                backoff_spins: self.backoff.spins_waited(),
+                lane_cas_failures: self.backoff.lane_cas_failures(),
+                prefix_attempts: self.stats.prefix_attempts,
+                prefix_commits: self.stats.prefix_commits,
+            },
+        );
+        if self.policy_commits.is_multiple_of(cfg.policy.epoch_commits) {
+            #[cfg(feature = "mutants")]
+            let unfenced = rt.mutant_armed(crate::mutants::Mutant::PolicyStaleEpoch);
+            #[cfg(not(feature = "mutants"))]
+            let unfenced = false;
+            shared.maybe_tick(&rt.heap, &rt.globals.clock, cfg, unfenced);
+        }
+        if cfg.policy.adapt_backoff {
+            self.backoff.set_max_spins(shared.backoff_cap());
+        }
+        let epoch = shared.epoch();
+        if epoch != self.policy_epoch_seen {
+            if cfg.policy.adapt_prefix && cfg.prefix.adaptive {
+                // Blend toward the controller's target rather than jump:
+                // the §2.4 per-attempt reflex keeps working between
+                // epochs; this is its slow timescale.
+                let target = shared.prefix_target();
+                self.prefix_len = ((self.prefix_len + target) / 2)
+                    .clamp(cfg.prefix.min_reads.max(1), cfg.prefix.max_reads);
+            }
+            self.policy_epoch_seen = epoch;
+        }
     }
 
     /// This worker's thread id.
@@ -302,6 +374,18 @@ impl TmThread {
     #[inline]
     pub fn prefix_len(&self) -> u64 {
         self.prefix_len
+    }
+
+    /// Controller epochs completed by the policy layer (0 when the
+    /// layer is off), for diagnostics.
+    pub fn policy_epoch(&self) -> u64 {
+        self.rt.policy().map_or(0, |p| p.epoch())
+    }
+
+    /// The clock's current active-lane count (equals `clock_shards`
+    /// whenever lane adaptation is off), for diagnostics.
+    pub fn active_clock_lanes(&self) -> u32 {
+        self.rt.globals.clock.active_lanes(&self.rt.heap)
     }
 
     /// Reallocations of this thread's recycled slow-path log arenas since

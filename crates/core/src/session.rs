@@ -189,6 +189,20 @@ impl Session {
         self.thread.prefix_len()
     }
 
+    /// Controller epochs completed by the adaptive policy layer
+    /// (0 when the layer is off), for diagnostics.
+    #[inline]
+    pub fn policy_epoch(&self) -> u64 {
+        self.thread.policy_epoch()
+    }
+
+    /// The commit clock's current active-lane count (equals
+    /// `clock_shards` whenever lane adaptation is off), for diagnostics.
+    #[inline]
+    pub fn active_clock_lanes(&self) -> u32 {
+        self.thread.active_clock_lanes()
+    }
+
     /// Reallocations of the recycled slow-path log arenas since the
     /// session opened (see [`TmThread::log_grow_events`]).
     #[inline]

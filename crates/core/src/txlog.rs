@@ -390,6 +390,12 @@ pub(crate) struct Backoff {
     min_spins: u32,
     max_spins: u32,
     enabled: bool,
+    /// Spins waited since registration (policy telemetry; plain local
+    /// counter, read only by the owner at record time).
+    spins_waited: u64,
+    /// Clock write-phase CAS losses noted by the engines (policy
+    /// telemetry).
+    lane_cas_failures: u64,
 }
 
 impl Backoff {
@@ -406,7 +412,42 @@ impl Backoff {
             min_spins: cfg.min_spins,
             max_spins: cfg.max_spins,
             enabled: cfg.enabled,
+            spins_waited: 0,
+            lane_cas_failures: 0,
         }
+    }
+
+    /// Total spins waited since registration.
+    pub(crate) fn spins_waited(&self) -> u64 {
+        self.spins_waited
+    }
+
+    /// Clock write-phase CAS losses noted so far.
+    pub(crate) fn lane_cas_failures(&self) -> u64 {
+        self.lane_cas_failures
+    }
+
+    /// Notes one lost CAS on the commit clock's write phase (the lazy
+    /// commit loop and RH NOrec's `lock_clock`) — the policy
+    /// controller's commit-lane contention signal.
+    #[inline]
+    pub(crate) fn note_lane_cas_failure(&mut self) {
+        self.lane_cas_failures += 1;
+    }
+
+    /// The current spin-window cap.
+    #[cfg(test)]
+    pub(crate) fn max_spins(&self) -> u32 {
+        self.max_spins
+    }
+
+    /// Re-caps the spin window (the policy controller's published
+    /// backoff knob). Clamped below by `min_spins` so the window never
+    /// inverts; the jitter PRNG is untouched, so under the deterministic
+    /// scheduler the draw sequence — and therefore every replay — is
+    /// unchanged.
+    pub(crate) fn set_max_spins(&mut self, cap: u32) {
+        self.max_spins = cap.max(self.min_spins);
     }
 
     #[inline]
@@ -436,6 +477,7 @@ impl Backoff {
         // the same conflict without collapsing the window.
         let spins = cap / 2 + self.next() % (cap / 2 + 1);
         *cycles += spins * cost::BACKOFF_SPIN;
+        self.spins_waited += spins;
         if sim_htm::sched::is_controlled() {
             return;
         }
@@ -641,6 +683,38 @@ mod tests {
             b.pause(attempt, &mut cycles);
         }
         assert_eq!(cycles, 0);
+        assert_eq!(b.spins_waited(), 0);
+    }
+
+    #[test]
+    fn backoff_telemetry_tracks_waits_and_recapping_preserves_the_draw_sequence() {
+        let cfg = BackoffConfig::default();
+        let mut capped = Backoff::new(&cfg, 7);
+        let mut reference = Backoff::new(&cfg, 7);
+        let (mut cc, mut cr) = (0u64, 0u64);
+        capped.set_max_spins(cfg.min_spins); // tightest window the policy can publish
+        assert_eq!(capped.max_spins(), cfg.min_spins);
+        capped.set_max_spins(0);
+        assert_eq!(capped.max_spins(), cfg.min_spins, "cap never drops below min_spins");
+        for attempt in 0..12 {
+            capped.pause(attempt, &mut cc);
+            reference.pause(attempt, &mut cr);
+            assert!(cc <= cr, "a tighter cap never waits longer");
+        }
+        assert_eq!(capped.spins_waited() * cost::BACKOFF_SPIN, cc);
+        assert!(cc < cr, "the tight cap actually bit");
+        // Re-capping only clamps the window; the PRNG state advances
+        // identically, so widening back re-synchronizes future draws.
+        capped.set_max_spins(cfg.max_spins);
+        let (mut tail_c, mut tail_r) = (0u64, 0u64);
+        for attempt in 0..4 {
+            capped.pause(attempt, &mut tail_c);
+            reference.pause(attempt, &mut tail_r);
+        }
+        assert_eq!(tail_c, tail_r);
+        capped.note_lane_cas_failure();
+        capped.note_lane_cas_failure();
+        assert_eq!(capped.lane_cas_failures(), 2);
     }
 
     // ---- property: LogMap ≡ naive Vec reference model -------------------

@@ -38,11 +38,42 @@ echo "== committed ledger diff (BENCH_3 -> BENCH_4, deterministic, informative) 
 # with fresh (ungated) numbers.
 cargo run -p rh-bench --release -- diff BENCH_3.json BENCH_4.json
 
+echo "== committed ledger gates (BENCH_4/BENCH_7 -> BENCH_8, deterministic, GATING) =="
+# PR 8 re-arms the `--fail` gate the PR 6 demotion left informative:
+# BENCH_8.json re-measures the overhead matrix (BENCH_4 keys) and the
+# service percentiles (BENCH_7 keys) on the policy-capable engine, so
+# these committed-vs-committed joins are byte-stable in CI and fail the
+# build if a future BENCH_8 commit regresses a cell past its threshold.
+# Thresholds are per-cell (DESIGN.md §14): the sharded-clock headline
+# cells are pinned tight for the RH engines only (observed deltas are
+# <3%; HY NOrec — the structural negative control — legitimately
+# wobbles ±30% there as its abort storms reshuffle), tail percentiles
+# of the software engines get a wide `*_p99` berth (p99 of a
+# 175-cycle cell is pure scheduling noise), and everything else sits
+# under a default chosen ~2x above the largest benign re-measurement
+# delta on record.
+cargo run -p rh-bench --release -- diff BENCH_4.json BENCH_8.json --fail \
+    --threshold 60 \
+    --cell-threshold RH-NOrec/contended_disjoint=10 \
+    --cell-threshold RH-NOrec/contended_sharded=10 \
+    --cell-threshold RH-NOrec-Postfix/contended_disjoint=10 \
+    --cell-threshold RH-NOrec-Postfix/contended_sharded=10
+cargo run -p rh-bench --release -- diff BENCH_7.json BENCH_8.json --fail \
+    --threshold 50 \
+    --cell-threshold '*_p99=700'
+
 echo "== overhead benchmark smoke (writes BENCH_4.json) =="
 cargo run -p rh-bench --release -- overhead --csv
 
 echo "== ablation smoke (single vs sharded clock, quick scale) =="
 cargo run -p rh-bench --release -- ablate
+
+echo "== policy ablate smoke (adaptive vs static grid + BENCH_8 assembly, quick scale) =="
+# The uninstrumented-config exercise of the adaptive policy layer: the
+# full grid (static1/static4/adaptive on the four sentinels) plus the
+# BENCH_8 assembly path with a small service cell. Writes a fresh
+# (ungated) worktree BENCH_8.json — the committed one was gated above.
+cargo run -p rh-bench --release -- ablate --policy all --smoke --requests 2000 --threads 2
 
 echo "== service-tier smoke (KV worker pool, all engines, conservation-asserted) =="
 # Deterministic trace (fixed seed); the run itself asserts per-engine
@@ -67,6 +98,15 @@ echo "== mutation-score gate (hard 100% kill floor over the planted-bug corpus) 
 # must sweep clean at clock shards {1,4} under both oracles. Prints the
 # per-mutant kill table; any survivor or clean failure exits nonzero.
 cargo run -p tm-check --release --bin tm-check -- mutate --budget 40
+
+echo "== policy parity (bit-for-bit off, seed-pure on, instrumented oracle config) =="
+# The workspace test pass above already runs this suite once; this
+# explicit release-mode invocation is the named gate for the policy
+# layer's parity contract: an explicitly disabled PolicyConfig replays
+# bit-for-bit as the default, adaptive replays are a pure function of
+# the seed, the controllers provably engage, and a seeded sweep with
+# every controller on stays opaque under both oracles.
+cargo test -q -p tm-check --release --test policy_parity
 
 echo "== KV serializability sweep (request traces, strict-serializability + conservation) =="
 # Replays seeded KV transfer traces through the full application stack
