@@ -15,6 +15,7 @@
 //! `overhead`: merge per-cell minima over N runs), `--fail` (with
 //! `diff`: exit nonzero when a cell regressed past the threshold).
 
+use rh_bench::batch::BatchArgs;
 use rh_bench::figures::{self, Overrides, Scale};
 use rh_bench::policy_grid::{self, PolicyChoice};
 use rh_bench::service::{self, ServiceArgs};
@@ -32,6 +33,10 @@ fn main() {
     let mut overrides = Overrides::default();
     let mut service_args = ServiceArgs { csv, ..ServiceArgs::default() };
     let mut policy: Option<PolicyChoice> = None;
+    let mut requests_flag: Option<usize> = None;
+    let mut seed_flag: Option<u64> = None;
+    let mut accounts_flag: Option<u64> = None;
+    let mut zipf_flag: Option<f64> = None;
     let mut threshold = rh_bench::diff::DEFAULT_THRESHOLD_PCT;
     let mut cell_thresholds: Vec<(String, f64)> = Vec::new();
     let mut skip_next = false;
@@ -52,11 +57,13 @@ fn main() {
             "--requests" => {
                 let n = args.get(i + 1).unwrap_or_else(|| usage("--requests needs a count"));
                 service_args.requests = n.parse().unwrap_or_else(|_| usage("bad request count"));
+                requests_flag = Some(service_args.requests);
                 skip_next = true;
             }
             "--seed" => {
                 let s = args.get(i + 1).unwrap_or_else(|| usage("--seed needs a value"));
                 service_args.seed = s.parse().unwrap_or_else(|_| usage("bad seed"));
+                seed_flag = Some(service_args.seed);
                 skip_next = true;
             }
             "--threads" => {
@@ -102,6 +109,16 @@ fn main() {
                 cell_thresholds.push((scenario.to_string(), pct));
                 skip_next = true;
             }
+            "--accounts" => {
+                let n = args.get(i + 1).unwrap_or_else(|| usage("--accounts needs a count"));
+                accounts_flag = Some(n.parse().unwrap_or_else(|_| usage("bad account count")));
+                skip_next = true;
+            }
+            "--zipf" => {
+                let t = args.get(i + 1).unwrap_or_else(|| usage("--zipf needs an exponent"));
+                zipf_flag = Some(t.parse().unwrap_or_else(|_| usage("bad zipf exponent")));
+                skip_next = true;
+            }
             "--smoke" => service_args.smoke = true,
             "--paper" | "--csv" | "--fail" => {}
             a if a.starts_with("--") => usage(&format!("unknown flag {a}")),
@@ -143,6 +160,18 @@ fn main() {
             "summary" => figures::run_summary(scale),
             "overhead" => rh_bench::overhead::run(scale, csv, best_of),
             "service" => service::run(&service_args),
+            "batch" => {
+                let defaults = BatchArgs::default();
+                rh_bench::batch::run(&BatchArgs {
+                    threads: overrides.threads.clone().unwrap_or(defaults.threads),
+                    transfers: requests_flag.unwrap_or(defaults.transfers),
+                    accounts: accounts_flag.unwrap_or(defaults.accounts),
+                    zipf_theta: zipf_flag.unwrap_or(defaults.zipf_theta),
+                    seed: seed_flag.unwrap_or(defaults.seed),
+                    smoke: service_args.smoke,
+                    csv,
+                });
+            }
             "all" => {
                 figures::run_figure("Figure 4", &figures::figure4(scale), &algorithms, scale, csv, &overrides);
                 figures::run_figure("Figure 5", &figures::figure5(scale), &algorithms, scale, csv, &overrides);
@@ -152,7 +181,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown target `{other}`; use fig4|fig5|fig6|extras|ablate|summary|overhead|service|diff|all"
+                    "unknown target `{other}`; use fig4|fig5|fig6|extras|ablate|summary|overhead|service|batch|diff|all"
                 );
                 std::process::exit(2);
             }
@@ -162,11 +191,13 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: rh-bench [fig4|fig5|fig6|extras|ablate|summary|overhead|service|all]... \
+    eprintln!("usage: rh-bench [fig4|fig5|fig6|extras|ablate|summary|overhead|service|batch|all]... \
        [--paper] [--csv] [--threads 1,2,4] [--duration-ms 500] [--best-of N]\n       \
        rh-bench ablate --policy adaptive|static|all   (all: writes BENCH_8.json)\n       \
        rh-bench service [--engine NAME] [--threads N] [--requests N] [--seed S] [--smoke] \
        [--policy adaptive]\n       \
+       rh-bench batch [--threads 1,2,4,8,16] [--requests N] [--accounts N] [--zipf THETA] \
+       [--seed S] [--smoke]   (full runs write BENCH_9.json)\n       \
        rh-bench diff <before.json> <after.json> [--fail] [--threshold PCT] \
        [--cell-threshold key=pct]...   (key: alg/scenario | scenario | *suffix)");
     std::process::exit(2);

@@ -39,6 +39,17 @@ pub enum CaseWorkload {
         /// Hash shards of the store under test.
         kv_shards: usize,
     },
+    /// A seed-derived pre-formed transfer batch (gets and transfers over
+    /// `slots` keys, `threads * txs_per_thread` ranks) driven through the
+    /// batch engine (`rh_norec::batch::ParallelExecutor`) with `threads`
+    /// workers on the controlled scheduler. The committed per-rank
+    /// records are replayed through both history oracles in rank order —
+    /// the batch's claimed serialization — on top of the balance
+    /// conservation invariant.
+    Batch {
+        /// Hash shards of the store under test.
+        kv_shards: usize,
+    },
 }
 
 /// One checked workload: algorithm, machine, and workload shape.
@@ -112,6 +123,21 @@ impl CaseConfig {
             txs_per_thread: 6,
             ops_per_tx: 1,
             workload: CaseWorkload::KvTransfer { kv_shards },
+            ..CaseConfig::contended(algorithm, htm)
+        }
+    }
+
+    /// A contended batch case: a pre-formed transfer batch over a
+    /// handful of hot keys, executed by `threads` batch workers. The
+    /// `algorithm` is carried for reporting symmetry but unused — the
+    /// batch engine is its own (sixth) execution mode.
+    pub fn batch(algorithm: Algorithm, htm: HtmConfig, kv_shards: usize) -> Self {
+        CaseConfig {
+            threads: 3,
+            slots: 4,
+            txs_per_thread: 8,
+            ops_per_tx: 1,
+            workload: CaseWorkload::Batch { kv_shards },
             ..CaseConfig::contended(algorithm, htm)
         }
     }
@@ -282,6 +308,9 @@ fn scripts(case: &CaseConfig, seed: u64) -> Vec<Vec<Vec<Op>>> {
 pub fn run_case(case: &CaseConfig, sched_cfg: &SchedConfig) -> Result<CaseReport, CaseFailure> {
     if let CaseWorkload::KvTransfer { kv_shards } = case.workload {
         return run_kv_case(case, sched_cfg, kv_shards);
+    }
+    if let CaseWorkload::Batch { kv_shards } = case.workload {
+        return run_batch_case(case, sched_cfg, kv_shards);
     }
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
     let htm = Htm::new(Arc::clone(&heap), case.htm);
@@ -511,6 +540,145 @@ fn run_kv_case(
     }
 
     let history = recorder.take();
+    match verdict::judge(&initial, &history) {
+        Ok(judgement) => Ok(CaseReport {
+            history,
+            run,
+            summary: judgement.opacity,
+            serializability: judgement.serializability,
+        }),
+        Err(verdict) => Err(CaseFailure::Violation {
+            seed: sched_cfg.seed,
+            guided: sched_cfg.guided.clone(),
+            verdict,
+            history,
+            decisions: run.decisions,
+            shrunk: None,
+        }),
+    }
+}
+
+/// Seed-derived flat transfer batch for a [`CaseWorkload::Batch`] case:
+/// `threads * txs_per_thread` requests over `slots` hot keys, heavy on
+/// transfers (seven in eight) so speculative rank chains actually form.
+/// The vector index *is* the rank, and rank order is the serialization
+/// the batch engine must realize. A distinct xor constant keeps the
+/// stream independent of the per-thread script streams.
+fn batch_ops(case: &CaseConfig, seed: u64) -> Vec<KvOp> {
+    let keys = case.slots as u64;
+    assert!(keys >= 2, "batch cases need at least two keys");
+    let mut rng = seed ^ 0xD1B5_4A32_D192_ED03;
+    (0..case.threads * case.txs_per_thread)
+        .map(|_| {
+            let r = splitmix(&mut rng);
+            let src = 1 + (r >> 8) % keys;
+            if r.is_multiple_of(8) {
+                KvOp::Get(src)
+            } else {
+                let mut dst = 1 + (r >> 24) % keys;
+                if dst == src {
+                    dst = 1 + dst % keys;
+                }
+                KvOp::Transfer(src, dst, 1 + (r >> 48) % 3)
+            }
+        })
+        .collect()
+}
+
+/// The [`CaseWorkload::Batch`] body of [`run_case`]: drives a seed-derived
+/// transfer batch through [`rh_norec::batch::ParallelExecutor`] with
+/// `threads` workers as virtual threads of the controlled scheduler, then
+/// replays the committed per-rank records through both history oracles
+/// **in rank order** — the serialization the batch engine claims. Each
+/// rank appears as its own virtual thread committing one Stm transaction,
+/// so any rank whose surviving read set is inconsistent with the ranks
+/// below it (e.g. under `Mutant::BatchStaleEstimate`) breaks the oracle's
+/// sequential replay. The balance-conservation invariant is checked
+/// first, exactly as in the interactive KV cases.
+fn run_batch_case(
+    case: &CaseConfig,
+    sched_cfg: &SchedConfig,
+    kv_shards: usize,
+) -> Result<CaseReport, CaseFailure> {
+    let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
+    let store = rh_kv::KvStore::create(&heap, rh_kv::KvConfig::tiny(kv_shards))
+        .expect("heap too small for the case store");
+    for key in 1..=case.slots as u64 {
+        store.load(&heap, key, KV_BALANCE).expect("tiny store cannot hold the case keys");
+    }
+    let initial_sum = store.sum_direct(&heap);
+    let initial: HashMap<u64, u64> = store.snapshot_words(&heap);
+
+    let ops = batch_ops(case, sched_cfg.seed);
+    let batch: Vec<rh_kv::batch::KvBatchTxn<'_>> = ops
+        .iter()
+        .map(|op| {
+            let op = match *op {
+                KvOp::Get(key) => rh_kv::batch::BatchOp::Get { key },
+                KvOp::Transfer(src, dst, amount) => {
+                    rh_kv::batch::BatchOp::Transfer { src, dst, amount }
+                }
+            };
+            rh_kv::batch::KvBatchTxn::new(&store, op)
+        })
+        .collect();
+
+    let exec = rh_norec::batch::ParallelExecutor::new(
+        Arc::clone(&heap),
+        rh_norec::batch::BatchConfig::with_workers(case.threads),
+    )
+    .expect("harness batch config must be valid");
+    if let Some(mutant) = case.mutant {
+        exec.set_mutant(mutant, true);
+    }
+
+    let (report, run) =
+        match catch_unwind(AssertUnwindSafe(|| exec.execute_controlled(&batch, sched_cfg))) {
+            Ok(pair) => pair,
+            Err(payload) => {
+                return Err(CaseFailure::Panicked {
+                    seed: sched_cfg.seed,
+                    guided: sched_cfg.guided.clone(),
+                    message: panic_message(&payload),
+                })
+            }
+        };
+
+    // The app-level invariant first, as in the interactive KV cases.
+    let final_sum = store.sum_direct(&heap);
+    if final_sum != initial_sum {
+        return Err(CaseFailure::Panicked {
+            seed: sched_cfg.seed,
+            guided: sched_cfg.guided.clone(),
+            message: format!(
+                "workload invariant: KV balance sum drifted {initial_sum} -> {final_sum} \
+                 (batched transfers and gets conserve it)"
+            ),
+        });
+    }
+
+    // Synthesize the rank-order history the engine claims: rank r is
+    // virtual thread r, committing one Stm transaction whose reads and
+    // writes are the final incarnation's captured sets.
+    let mut history = Vec::with_capacity(report.committed().len() * 4);
+    for (rank, record) in report.committed().iter().enumerate() {
+        history.push(trace::Event {
+            vtid: rank,
+            kind: trace::EventKind::Begin { path: trace::Path::Stm },
+        });
+        for &(addr, value) in &record.reads {
+            history.push(trace::Event { vtid: rank, kind: trace::EventKind::Read { addr, value } });
+        }
+        for &(addr, value) in &record.writes {
+            history
+                .push(trace::Event { vtid: rank, kind: trace::EventKind::Write { addr, value } });
+        }
+        history.push(trace::Event {
+            vtid: rank,
+            kind: trace::EventKind::Commit { path: trace::Path::Stm },
+        });
+    }
+
     match verdict::judge(&initial, &history) {
         Ok(judgement) => Ok(CaseReport {
             history,

@@ -277,6 +277,7 @@ fn case_from_spec(spec: &rh_norec::mutants::MutantSpec) -> CaseConfig {
             rh_norec::mutants::WorkloadShape::KvTransfer => {
                 CaseWorkload::KvTransfer { kv_shards: 1 }
             }
+            rh_norec::mutants::WorkloadShape::Batch => CaseWorkload::Batch { kv_shards: 1 },
         },
         policy: spec.policy.then(tm_check::harness::adaptive_policy),
     }

@@ -1,0 +1,215 @@
+//! The multi-version map: speculative write versions keyed on
+//! simulated-heap word addresses, one cell per writing rank.
+//!
+//! Every cell is tagged with the incarnation of the execution that
+//! published it. When a transaction aborts, its cells are not removed —
+//! they are flipped to ESTIMATE markers, a tombstone that tells readers
+//! "a lower-rank write to this address is coming, but its value is
+//! unknown until the re-execution publishes". Readers that hit an
+//! ESTIMATE abandon their attempt instead of speculating past it, which
+//! is what keeps abort cascades short (Block-STM's central trick).
+//!
+//! The map never touches the heap: base storage stays frozen for the
+//! whole speculative phase and is only written by the rank-ordered
+//! commit sweep after every rank has validated.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// What a speculative read at some rank resolved to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Resolve {
+    /// No lower-rank writer: the value comes from base storage (the
+    /// heap), which cannot change before commit.
+    Storage,
+    /// The highest lower-rank speculative write.
+    Version {
+        /// Rank of the writer.
+        rank: u32,
+        /// Incarnation of the writer's execution that published the cell.
+        incarnation: u32,
+        /// The written value.
+        value: u64,
+    },
+    /// The highest lower-rank writer aborted and has not republished:
+    /// the reader must not speculate past it.
+    Estimate {
+        /// Rank of the aborted writer.
+        rank: u32,
+    },
+}
+
+/// One published (or estimated) version of one address.
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    rank: u32,
+    incarnation: u32,
+    value: u64,
+    estimate: bool,
+}
+
+/// The sharded multi-version map. Shard count is a power of two fixed at
+/// construction; each shard guards `word address -> versions sorted by
+/// rank` behind its own mutex. Lock discipline: a shard lock is held
+/// only for the duration of one probe or upsert and never across a
+/// scheduler yield point, so the cooperative scheduler can never park a
+/// thread that holds one.
+#[derive(Debug)]
+pub(crate) struct MvMap {
+    mask: u64,
+    shards: Vec<Mutex<HashMap<u64, Vec<Cell>>>>,
+}
+
+/// SplitMix64 finalizer: scatters word addresses across shards.
+fn mix(addr: u64) -> u64 {
+    let mut z = addr.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl MvMap {
+    /// An empty map with `shards` shards (must be a power of two).
+    pub(crate) fn new(shards: usize) -> MvMap {
+        debug_assert!(shards.is_power_of_two());
+        MvMap {
+            mask: shards as u64 - 1,
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, addr: u64) -> std::sync::MutexGuard<'_, HashMap<u64, Vec<Cell>>> {
+        let i = (mix(addr) & self.mask) as usize;
+        self.shards[i].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Resolves a read of `addr` by `reader_rank`: the highest version
+    /// with rank strictly below the reader, or [`Resolve::Storage`].
+    pub(crate) fn read(&self, addr: u64, reader_rank: u32) -> Resolve {
+        let shard = self.shard(addr);
+        let Some(cells) = shard.get(&addr) else { return Resolve::Storage };
+        let below = cells.partition_point(|c| c.rank < reader_rank);
+        match below.checked_sub(1).map(|i| cells[i]) {
+            None => Resolve::Storage,
+            Some(c) if c.estimate => Resolve::Estimate { rank: c.rank },
+            Some(c) => Resolve::Version { rank: c.rank, incarnation: c.incarnation, value: c.value },
+        }
+    }
+
+    /// Publishes `rank`'s write set for `incarnation`, replacing any
+    /// previous cell for that rank (including its ESTIMATE tombstone).
+    pub(crate) fn publish<'a>(
+        &self,
+        rank: u32,
+        incarnation: u32,
+        writes: impl Iterator<Item = (u64, u64)> + 'a,
+    ) {
+        for (addr, value) in writes {
+            let cell = Cell { rank, incarnation, value, estimate: false };
+            let mut shard = self.shard(addr);
+            let cells = shard.entry(addr).or_default();
+            match cells.binary_search_by_key(&rank, |c| c.rank) {
+                Ok(i) => cells[i] = cell,
+                Err(i) => cells.insert(i, cell),
+            }
+        }
+    }
+
+    /// Removes `rank`'s cells at `addrs` — addresses the previous
+    /// incarnation wrote but the new one does not.
+    pub(crate) fn retract(&self, rank: u32, addrs: &[u64]) {
+        for &addr in addrs {
+            let mut shard = self.shard(addr);
+            if let Some(cells) = shard.get_mut(&addr) {
+                if let Ok(i) = cells.binary_search_by_key(&rank, |c| c.rank) {
+                    cells.remove(i);
+                }
+            }
+        }
+    }
+
+    /// Flips `rank`'s cells at `addrs` to ESTIMATE markers — called
+    /// under the batch scheduler's lock when a validation failure aborts
+    /// the rank, so no re-execution can republish concurrently.
+    pub(crate) fn mark_estimates(&self, rank: u32, addrs: &[u64]) {
+        for &addr in addrs {
+            let mut shard = self.shard(addr);
+            if let Some(cells) = shard.get_mut(&addr) {
+                if let Ok(i) = cells.binary_search_by_key(&rank, |c| c.rank) {
+                    cells[i].estimate = true;
+                }
+            }
+        }
+    }
+
+    /// The final (highest-rank) version of every written address — the
+    /// batch's committed state delta. The version lists are rank-sorted,
+    /// so the last cell of each list is exactly the value the
+    /// rank-ordered sequential execution would leave behind: the lazy
+    /// commit sweep flushes one store per distinct written address, not
+    /// one per write-set entry.
+    pub(crate) fn final_versions(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (&addr, cells) in shard.iter() {
+                if let Some(c) = cells.last() {
+                    debug_assert!(!c.estimate, "estimate survived to commit");
+                    out.push((addr, c.value));
+                }
+            }
+        }
+        out
+    }
+
+    /// Debug invariant: after the speculative phase quiesces, every
+    /// surviving cell must be a real version — an ESTIMATE here means an
+    /// aborted rank never re-executed.
+    pub(crate) fn assert_no_estimates(&self) {
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for cells in shard.values() {
+                debug_assert!(cells.iter().all(|c| !c.estimate), "estimate survived quiescence");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_resolves_highest_rank_below() {
+        let map = MvMap::new(4);
+        map.publish(2, 0, [(100, 22)].into_iter());
+        map.publish(5, 1, [(100, 55)].into_iter());
+        assert_eq!(map.read(100, 1), Resolve::Storage);
+        assert_eq!(map.read(100, 3), Resolve::Version { rank: 2, incarnation: 0, value: 22 });
+        assert_eq!(map.read(100, 5), Resolve::Version { rank: 2, incarnation: 0, value: 22 });
+        assert_eq!(map.read(100, 9), Resolve::Version { rank: 5, incarnation: 1, value: 55 });
+        assert_eq!(map.read(101, 9), Resolve::Storage);
+    }
+
+    #[test]
+    fn estimates_block_and_republish_clears() {
+        let map = MvMap::new(1);
+        map.publish(2, 0, [(7, 1)].into_iter());
+        map.mark_estimates(2, &[7]);
+        assert_eq!(map.read(7, 4), Resolve::Estimate { rank: 2 });
+        // The aborted rank itself still reads around its own cell.
+        assert_eq!(map.read(7, 2), Resolve::Storage);
+        map.publish(2, 1, [(7, 9)].into_iter());
+        assert_eq!(map.read(7, 4), Resolve::Version { rank: 2, incarnation: 1, value: 9 });
+        map.assert_no_estimates();
+    }
+
+    #[test]
+    fn retract_unwrites_dropped_addresses() {
+        let map = MvMap::new(2);
+        map.publish(3, 0, [(1, 10), (2, 20)].into_iter());
+        map.retract(3, &[2]);
+        assert_eq!(map.read(2, 8), Resolve::Storage);
+        assert_eq!(map.read(1, 8), Resolve::Version { rank: 3, incarnation: 0, value: 10 });
+    }
+}

@@ -153,6 +153,90 @@ impl Default for BackoffConfig {
     }
 }
 
+/// Configuration of the batch execution mode
+/// ([`ParallelExecutor`](crate::batch::ParallelExecutor), DESIGN.md §15).
+///
+/// `workers` is the number of OS (or, under the deterministic scheduler,
+/// virtual) threads pulling execution/validation tasks; 1 selects the
+/// no-speculation sequential fast path. `mvmap_shards` is the lock-shard
+/// count of the multi-version map (power of two).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchConfig {
+    pub(crate) workers: usize,
+    pub(crate) mvmap_shards: usize,
+    pub(crate) interleave_accesses: u32,
+}
+
+/// Most workers a batch executor accepts.
+pub const MAX_BATCH_WORKERS: usize = 64;
+
+/// Most (and largest power-of-two) multi-version-map shards.
+pub const MAX_MVMAP_SHARDS: usize = 64;
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { workers: 1, mvmap_shards: 8, interleave_accesses: 0 }
+    }
+}
+
+impl BatchConfig {
+    /// The default configuration with `workers` worker threads.
+    pub fn with_workers(workers: usize) -> Self {
+        BatchConfig { workers, ..BatchConfig::default() }
+    }
+
+    /// Worker threads (1 = the sequential fast path).
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Lock shards of the multi-version map.
+    #[inline]
+    pub fn mvmap_shards(&self) -> usize {
+        self.mvmap_shards
+    }
+
+    /// Yield the host thread every `every` speculative accesses (0 = off).
+    /// Same role as [`TmConfigBuilder::interleave_accesses`]: on a
+    /// timesharing host, OS threads otherwise run whole timeslices back to
+    /// back — one worker drains the entire task queue alone and the
+    /// speculation the model is supposed to measure never overlaps.
+    #[must_use]
+    pub fn with_interleave(mut self, every: u32) -> Self {
+        self.interleave_accesses = every;
+        self
+    }
+
+    /// Speculative-access interleave period (0 = off).
+    #[inline]
+    pub fn interleave_accesses(&self) -> u32 {
+        self.interleave_accesses
+    }
+
+    /// Checks the knobs — shared by [`TmConfigBuilder::build`] and
+    /// [`ParallelExecutor::new`](crate::batch::ParallelExecutor::new).
+    ///
+    /// # Errors
+    ///
+    /// [`TmError::InvalidConfig`] when `workers` is outside
+    /// `1..=`[`MAX_BATCH_WORKERS`] or `mvmap_shards` is not a power of
+    /// two in `1..=`[`MAX_MVMAP_SHARDS`].
+    pub fn validate(&self) -> Result<(), TmError> {
+        if self.workers == 0 || self.workers > MAX_BATCH_WORKERS {
+            return Err(TmError::InvalidConfig {
+                reason: "batch workers must be in 1..=MAX_BATCH_WORKERS (64)",
+            });
+        }
+        if !self.mvmap_shards.is_power_of_two() || self.mvmap_shards > MAX_MVMAP_SHARDS {
+            return Err(TmError::InvalidConfig {
+                reason: "batch mvmap_shards must be a power of two in 1..=MAX_MVMAP_SHARDS (64)",
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Retry policy knobs (paper §3.3–3.4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -206,6 +290,7 @@ pub struct TmConfig {
     pub(crate) interleave_accesses: u32,
     pub(crate) clock_shards: u32,
     pub(crate) policy: PolicyConfig,
+    pub(crate) batch: BatchConfig,
 }
 
 impl TmConfig {
@@ -219,6 +304,7 @@ impl TmConfig {
             interleave_accesses: 0,
             clock_shards: 1,
             policy: PolicyConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 
@@ -268,6 +354,13 @@ impl TmConfig {
     #[inline]
     pub fn policy(&self) -> PolicyConfig {
         self.policy
+    }
+
+    /// The batch execution mode (DESIGN.md §15). Defaults to one worker
+    /// (the sequential fast path).
+    #[inline]
+    pub fn batch(&self) -> BatchConfig {
+        self.batch
     }
 }
 
@@ -388,6 +481,21 @@ impl TmConfigBuilder {
         self
     }
 
+    /// Replaces the whole batch-mode block (DESIGN.md §15). Validated by
+    /// [`build`](Self::build) via [`BatchConfig::validate`].
+    pub fn batch(mut self, batch: BatchConfig) -> Self {
+        self.config.batch = batch;
+        self
+    }
+
+    /// Worker threads of the batch execution mode (1 = the sequential
+    /// fast path), keeping the rest of the batch block at its current
+    /// values.
+    pub fn batch_workers(mut self, workers: usize) -> Self {
+        self.config.batch.workers = workers;
+        self
+    }
+
     /// Validates the combination and produces the configuration.
     ///
     /// # Errors
@@ -445,6 +553,7 @@ impl TmConfigBuilder {
                 reason: "policy epoch_commits must be nonzero when the policy layer is enabled",
             });
         }
+        c.batch.validate()?;
         Ok(self.config)
     }
 }
@@ -590,6 +699,39 @@ mod tests {
         assert!(!c.backoff().enabled);
         assert_eq!(c.backoff().seed, 42);
         assert_eq!(c.backoff().max_spins, 512);
+    }
+
+    #[test]
+    fn batch_defaults_and_builder_knob() {
+        let c = TmConfig::new(Algorithm::RhNorec);
+        assert_eq!(c.batch(), BatchConfig::default());
+        assert_eq!(c.batch().workers(), 1);
+        assert_eq!(c.batch().mvmap_shards(), 8);
+
+        let tuned = TmConfig::builder(Algorithm::RhNorec).batch_workers(8).build().unwrap();
+        assert_eq!(tuned.batch().workers(), 8);
+        assert_eq!(tuned.batch().mvmap_shards(), 8);
+        assert_eq!(BatchConfig::with_workers(8), tuned.batch());
+    }
+
+    #[test]
+    fn batch_knobs_are_validated() {
+        let zero = TmConfig::builder(Algorithm::RhNorec).batch_workers(0).build();
+        assert!(matches!(zero, Err(TmError::InvalidConfig { .. })));
+
+        let too_many = TmConfig::builder(Algorithm::RhNorec)
+            .batch_workers(MAX_BATCH_WORKERS + 1)
+            .build();
+        assert!(matches!(too_many, Err(TmError::InvalidConfig { .. })));
+
+        let odd_shards = TmConfig::builder(Algorithm::RhNorec)
+            .batch(BatchConfig { workers: 2, mvmap_shards: 3, interleave_accesses: 0 })
+            .build();
+        assert!(matches!(odd_shards, Err(TmError::InvalidConfig { .. })));
+
+        let shard_flood = BatchConfig { workers: 2, mvmap_shards: 128, interleave_accesses: 0 };
+        assert!(shard_flood.validate().is_err());
+        assert!(BatchConfig::with_workers(16).validate().is_ok());
     }
 
     #[test]

@@ -72,6 +72,37 @@ pub const LANE_VALIDATE: u64 = 4;
 /// (cheaper than probing the contended line).
 pub const BACKOFF_SPIN: u64 = 1;
 
+/// Batch-mode (DESIGN.md §15) task handout: one pass through the batch
+/// scheduler's critical section.
+pub const BATCH_TASK: u64 = 12;
+/// A speculative batch read that misses the write set: multi-version-map
+/// probe (shard lock + version scan) plus the read-set log append.
+pub const BATCH_READ: u64 = 12;
+/// A batch read served by the transaction's own write set (no map probe,
+/// no logging).
+pub const BATCH_RAW: u64 = 3;
+/// A speculative batch write: write-set append only — publication is
+/// deferred to the end of the attempt.
+pub const BATCH_WRITE: u64 = 6;
+/// Publishing one write-set entry into the multi-version map after a
+/// successful execution.
+pub const BATCH_PUBLISH_ENTRY: u64 = 8;
+/// Revalidating one captured read against the map.
+pub const BATCH_VALIDATE_ENTRY: u64 = 4;
+/// Aborting a batch transaction: tombstoning its versions and requeueing
+/// the re-execution.
+pub const BATCH_ABORT: u64 = 40;
+/// One store of the rank-ordered lazy commit sweep (per distinct
+/// written address: the sweep flushes the multi-version map's highest
+/// version of each address, not every write-set entry).
+pub const BATCH_COMMIT_ENTRY: u64 = 5;
+/// A plain load or store on the batch engine's sequential fast path —
+/// uninstrumented except for the bounds check, like [`HTM_ACCESS`] but
+/// with no speculation hardware underneath.
+pub const BATCH_SEQ_ACCESS: u64 = 2;
+/// Per-transaction dispatch overhead on the sequential fast path.
+pub const BATCH_SEQ_TX: u64 = 6;
+
 /// Allocator fast path (per-thread pool hit).
 pub const ALLOC: u64 = 30;
 /// Deferred free executed at commit.
@@ -95,5 +126,20 @@ mod tests {
         // But HTM transactions pay fixed begin/commit costs, so tiny
         // transactions do not get the full win.
         const { assert!(HTM_BEGIN + HTM_COMMIT > NOREC_READ) };
+    }
+
+    #[test]
+    fn batch_ratios_are_coherent() {
+        // A speculative batch access is instrumented like an STM access,
+        // but the sequential fast path and RAW hits are nearly free.
+        const { assert!(BATCH_READ >= NOREC_READ) };
+        const { assert!(BATCH_RAW < BATCH_READ) };
+        const { assert!(BATCH_SEQ_ACCESS < BATCH_RAW + BATCH_WRITE) };
+        // An abort wastes about as much as an HTM abort round-trip; both
+        // dwarf a single validated entry.
+        const { assert!(BATCH_ABORT >= 8 * BATCH_VALIDATE_ENTRY) };
+        // Batch mode has no per-transaction clock RMW: its fixed costs
+        // (task handout) undercut even one contended global RMW.
+        const { assert!(2 * BATCH_TASK < GLOBAL_RMW) };
     }
 }

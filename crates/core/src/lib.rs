@@ -46,6 +46,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod algorithms;
+pub mod batch;
 mod clock_shard;
 mod config;
 pub mod cost;
@@ -72,8 +73,12 @@ mod txlog;
 /// so results are never compared across mismatched builds.
 pub const INSTRUMENTED: bool = cfg!(feature = "deterministic");
 
+pub use batch::{BatchReport, BatchTxn, Blocked, ParallelExecutor, TxView};
 pub use clock_shard::{ClockScheme, MAX_CLOCK_SHARDS};
-pub use config::{Algorithm, BackoffConfig, PrefixConfig, RetryPolicy, TmConfig, TmConfigBuilder, TxKind};
+pub use config::{
+    Algorithm, BackoffConfig, BatchConfig, PrefixConfig, RetryPolicy, TmConfig, TmConfigBuilder,
+    TxKind, MAX_BATCH_WORKERS, MAX_MVMAP_SHARDS,
+};
 pub use error::{TmError, TxFault, TxResult, TxRestart};
 pub use globals::{clock, Globals};
 pub use policy::PolicyConfig;

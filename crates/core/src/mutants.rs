@@ -81,11 +81,20 @@ pub enum Mutant {
     /// writer holding a pre-change snapshot can home its commit on a lane
     /// the shrunken active prefix no longer validates.
     PolicyStaleEpoch,
+    /// Batch-mode validation treats a read that now resolves to an
+    /// ESTIMATE tombstone as still valid whenever the tombstone belongs
+    /// to the rank it originally read (incarnation unchecked), instead of
+    /// failing and re-executing. A stale read of an aborted writer then
+    /// survives the writer's re-execution: the classic Block-STM
+    /// lost-update. The hook lives in the batch engine's validation loop
+    /// and is armed per executor through
+    /// [`ParallelExecutor::set_mutant`](crate::batch::ParallelExecutor::set_mutant).
+    BatchStaleEstimate,
 }
 
 impl Mutant {
     /// Every corpus mutant, in [`MANIFEST`] order.
-    pub const ALL: [Mutant; 12] = [
+    pub const ALL: [Mutant; 13] = [
         Mutant::PostfixClock,
         Mutant::StaleLane,
         Mutant::EagerSkipValidation,
@@ -98,6 +107,7 @@ impl Mutant {
         Mutant::RhWriterNoHtmLock,
         Mutant::KvStaleTransferCredit,
         Mutant::PolicyStaleEpoch,
+        Mutant::BatchStaleEstimate,
     ];
 
     /// The mutant's bit in the runtime's arming mask.
@@ -147,6 +157,13 @@ pub enum WorkloadShape {
     /// traces (`rh-kv`), checked for strict serializability plus
     /// conservation of the total transferred balance.
     KvTransfer,
+    /// A pre-formed KV transfer batch driven through the batch engine
+    /// (`rh_norec::batch::ParallelExecutor`): `threads` is the worker
+    /// count, `slots` the key-space size, and the batch holds
+    /// `threads * txs_per_thread` transfers; the committed history is
+    /// checked for serializability in rank order plus conservation of
+    /// the total balance.
+    Batch,
 }
 
 /// One manifest entry: the mutant, where its hook lives, and the
@@ -416,6 +433,33 @@ pub const MANIFEST: &[MutantSpec] = &[
         seed_budget: 60,
         workload: WorkloadShape::Scripted,
         policy: true,
+    },
+    MutantSpec {
+        mutant: Mutant::BatchStaleEstimate,
+        name: "batch_stale_estimate",
+        summary: "batch validation accepts a read resolving to an ESTIMATE \
+                  tombstone as long as the tombstone's rank matches the rank \
+                  originally read, incarnation unchecked \
+                  (rh_norec::batch validation loop)",
+        kills_via: "lost update: with three ranks chained on one hot key, a \
+                    low rank's late first execution aborts the middle rank; \
+                    the top rank's read of the dead middle incarnation hits \
+                    the ESTIMATE during its one-off revalidation, the mutant \
+                    calls it valid, and the middle rank's same-address \
+                    republish (which revalidates only itself) never reruns \
+                    the top rank — its commit carries the pre-abort balance, \
+                    breaking conservation and rank-order serializability",
+        algorithm: Algorithm::RhNorec,
+        htm: HtmProfile::Disabled,
+        clock_shards: 1,
+        threads: 3,
+        slots: 4,
+        txs_per_thread: 8,
+        ops_per_tx: 1,
+        abort_injection: 0.0,
+        seed_budget: 40,
+        workload: WorkloadShape::Batch,
+        policy: false,
     },
 ];
 

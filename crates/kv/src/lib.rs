@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod batch;
 pub mod gen;
 pub mod hist;
 pub mod service;

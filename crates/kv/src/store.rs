@@ -163,7 +163,7 @@ impl KvStore {
     }
 
     /// Base address of `key`'s fixed bucket.
-    fn bucket_of(&self, key: u64) -> Addr {
+    pub(crate) fn bucket_of(&self, key: u64) -> Addr {
         debug_assert_ne!(key, 0, "key 0 is the empty-slot sentinel");
         let h = mix(key);
         let shard = (h as usize) % self.config.shards;
@@ -172,7 +172,7 @@ impl KvStore {
     }
 
     /// Key/value word addresses of slot `i` in the bucket at `base`.
-    fn slot(base: Addr, i: usize) -> (Addr, Addr) {
+    pub(crate) fn slot(base: Addr, i: usize) -> (Addr, Addr) {
         let k = base.offset(2 * i as u64);
         (k, k.offset(1))
     }

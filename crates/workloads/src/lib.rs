@@ -10,6 +10,11 @@
 //!   paper summarizes as behaving like SSCA2).
 //! * [`rbtree_bench`] — the paper's red-black tree microbenchmark
 //!   (10,000 nodes; 4%, 10%, 40% mutation ratios).
+//! * [`batch`] — the shared account-table transfer batch: one generated
+//!   workload expressible both as a pre-formed batch for
+//!   `rh_norec::batch::ParallelExecutor` and as the equivalent
+//!   interactive transaction stream, so `rh-bench batch` races the
+//!   execution modes on identical work.
 //! * [`Workload`] — the common driver interface the benchmark harness and
 //!   the integration tests use.
 //!
@@ -20,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod batch;
 pub mod rbtree_bench;
 pub mod stamp;
 pub mod structures;

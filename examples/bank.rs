@@ -1,10 +1,14 @@
 //! A transactional bank demonstrating the safety properties the paper
 //! insists on — opacity and privatization — under concurrent transfers.
 //!
-//! Auditors take whole-bank snapshots inside read-only transactions (they
-//! must always see the exact total); one thread *privatizes* an account by
-//! transactionally closing it, after which it may access the balance
-//! without any synchronization at all.
+//! The account table and the transfer loop live in
+//! `tm_workloads::batch` (shared with `rh-bench batch`, where the same
+//! transfers race the batch engine against the interactive engines);
+//! this example is a thin caller that adds the two demonstration
+//! threads: auditors taking whole-bank snapshots inside read-only
+//! transactions (they must always see the exact total), and a thread
+//! that *privatizes* an account by transactionally closing it, after
+//! which it may access the balance without any synchronization at all.
 //!
 //! ```text
 //! cargo run --release --example bank
@@ -16,63 +20,40 @@ use std::sync::Arc;
 use rh_norec_repro::htm::{Htm, HtmConfig};
 use rh_norec_repro::mem::{Heap, HeapConfig};
 use rh_norec_repro::tm::prelude::*;
+use tm_workloads::batch::{transfer_batch, transfer_interactive, AccountTable};
 
 const ACCOUNTS: u64 = 64;
 const INITIAL: u64 = 1_000;
-const TRANSFERS: u64 = 30_000;
+const TRANSFERS: usize = 30_000;
 
 fn main() {
     let heap = Arc::new(Heap::new(HeapConfig::default()));
     let htm = Htm::new(Arc::clone(&heap), HtmConfig::default());
-    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec)).expect("runtime construction cannot fail");
+    let rt = TmRuntime::new(Arc::clone(&heap), htm, TmConfig::new(Algorithm::RhNorec))
+        .expect("runtime construction cannot fail");
 
-    // Account table: [open_flag, balance] pairs.
-    let table = heap.allocator().alloc(0, ACCOUNTS * 2).expect("alloc");
-    let open = |i: u64| table.offset(i * 2);
-    let balance = |i: u64| table.offset(i * 2 + 1);
-    for i in 0..ACCOUNTS {
-        heap.store(open(i), 1);
-        heap.store(balance(i), INITIAL);
-    }
+    let table = AccountTable::create(&heap, ACCOUNTS, INITIAL);
 
     let done = AtomicBool::new(false);
     let audits = std::sync::atomic::AtomicU64::new(0);
 
     std::thread::scope(|s| {
-        // Transfer threads.
-        for tid in 0..2usize {
+        // Transfer threads: the shared workload's zipfian transfer
+        // stream, each thread on its own seed.
+        for tid in 0..2u64 {
             let rt = Arc::clone(&rt);
+            let table = &table;
             s.spawn(move || {
                 let mut w = rt.open_session().expect("free worker slot");
-                let mut rng = (tid as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
-                for _ in 0..TRANSFERS {
-                    rng ^= rng << 13;
-                    rng ^= rng >> 7;
-                    rng ^= rng << 17;
-                    let from = rng % ACCOUNTS;
-                    let to = (rng >> 17) % ACCOUNTS;
-                    if from == to {
-                        continue;
-                    }
-                    w.run(|tx| {
-                        // Closed accounts are private: transactions must
-                        // leave them alone.
-                        if tx.read(open(from))? == 0 || tx.read(open(to))? == 0 {
-                            return Ok(());
-                        }
-                        let f = tx.read(balance(from))?;
-                        let t = tx.read(balance(to))?;
-                        let amount = f.min(7);
-                        tx.write(balance(from), f - amount)?;
-                        tx.write(balance(to), t + amount)
-                    })
-                    .expect("transfer cannot fault");
+                for t in transfer_batch(ACCOUNTS, TRANSFERS, 0.99, tid + 1) {
+                    transfer_interactive(&mut w, table, &t);
                 }
             });
         }
         // Auditor thread: snapshot consistency (opacity at work).
         {
             let rt = Arc::clone(&rt);
+            let table = &table;
             let done = &done;
             let audits = &audits;
             s.spawn(move || {
@@ -82,7 +63,7 @@ fn main() {
                         .run_read(|tx| {
                             let mut sum = 0u64;
                             for i in 0..ACCOUNTS {
-                                sum += tx.read(balance(i))?;
+                                sum += tx.read(table.balance(i))?;
                             }
                             Ok(sum)
                         })
@@ -96,34 +77,35 @@ fn main() {
         {
             let rt = Arc::clone(&rt);
             let heap = Arc::clone(&heap);
+            let table = &table;
             let done = &done;
             s.spawn(move || {
                 let mut w = rt.open_session().expect("free worker slot");
                 std::thread::yield_now();
                 let closed_balance = w
                     .run(|tx| {
-                        tx.write(open(0), 0)?;
-                        tx.read(balance(0))
+                        tx.write(table.open(0), 0)?;
+                        tx.read(table.balance(0))
                     })
                     .expect("privatization cannot fault");
                 // The account is now private: plain loads and stores are
                 // safe, exactly as after a privatizing commit on real HTM.
-                heap.store(balance(0), closed_balance);
+                heap.store(table.balance(0), closed_balance);
                 for _ in 0..100_000 {
                     assert_eq!(
-                        heap.load(balance(0)),
+                        heap.load(table.balance(0)),
                         closed_balance,
                         "privatization violated"
                     );
                 }
                 // Reopen so the audit total stays exact.
-                w.run(|tx| tx.write(open(0), 1)).expect("reopen cannot fault");
+                w.run(|tx| tx.write(table.open(0), 1)).expect("reopen cannot fault");
                 done.store(true, Ordering::Release);
             });
         }
     });
 
-    let final_total: u64 = (0..ACCOUNTS).map(|i| heap.load(balance(i))).sum();
+    let final_total = table.total(&heap);
     println!("final total : {final_total} (expected {})", ACCOUNTS * INITIAL);
     println!("audits run  : {}", audits.load(Ordering::Relaxed));
     assert_eq!(final_total, ACCOUNTS * INITIAL);

@@ -62,6 +62,24 @@ cargo run -p rh-bench --release -- diff BENCH_7.json BENCH_8.json --fail \
     --threshold 50 \
     --cell-threshold '*_p99=700'
 
+echo "== committed ledger gate (BENCH_8 -> BENCH_9, deterministic, GATING) =="
+# BENCH_9.json carries every BENCH_8 row verbatim (byte-stable 0-delta
+# joins, so this --fail gate holds every pre-existing cell to the same
+# thresholds as above) and appends the new batch/* race cells. The batch
+# rows join nothing in BENCH_8 and therefore land in `unmatched` —
+# informative-first by the diff tool's own semantics. Their teeth live in
+# the batch smoke below: `rh-bench batch` asserts the pinned sentinel
+# (1-worker cell within 10% of sequential; the batch engine strictly
+# beats the best interactive engine at every swept thread count >= 4) on
+# every run, smoke included, and panics the build otherwise.
+cargo run -p rh-bench --release -- diff BENCH_8.json BENCH_9.json --fail \
+    --threshold 60 \
+    --cell-threshold RH-NOrec/contended_disjoint=10 \
+    --cell-threshold RH-NOrec/contended_sharded=10 \
+    --cell-threshold RH-NOrec-Postfix/contended_disjoint=10 \
+    --cell-threshold RH-NOrec-Postfix/contended_sharded=10 \
+    --cell-threshold '*_p99=700'
+
 echo "== overhead benchmark smoke (writes BENCH_4.json) =="
 cargo run -p rh-bench --release -- overhead --csv
 
@@ -74,6 +92,14 @@ echo "== policy ablate smoke (adaptive vs static grid + BENCH_8 assembly, quick 
 # BENCH_8 assembly path with a small service cell. Writes a fresh
 # (ungated) worktree BENCH_8.json — the committed one was gated above.
 cargo run -p rh-bench --release -- ablate --policy all --smoke --requests 2000 --threads 2
+
+echo "== batch executor smoke (Block-STM race vs the interactive engines, sentinel-asserted) =="
+# Runs the batch engine against all five interactive engines on the same
+# transfer batch at 1 and 4 threads. The run itself asserts balance
+# conservation per cell and the pinned batch-vs-best-interactive
+# sentinel; no ledger write in smoke mode (the committed BENCH_9.json
+# was gated above).
+cargo run -p rh-bench --release -- batch --smoke
 
 echo "== service-tier smoke (KV worker pool, all engines, conservation-asserted) =="
 # Deterministic trace (fixed seed); the run itself asserts per-engine
@@ -107,6 +133,15 @@ echo "== policy parity (bit-for-bit off, seed-pure on, instrumented oracle confi
 # the seed, the controllers provably engage, and a seeded sweep with
 # every controller on stays opaque under both oracles.
 cargo test -q -p tm-check --release --test policy_parity
+
+echo "== batch parity (bit-for-bit vs sequential rank order, 1-worker fast path) =="
+# The workspace pass above runs this suite once; this release-mode
+# invocation is the named gate for the batch engine's core contract:
+# speculative execution at any worker count commits exactly the state
+# sequential rank-order execution produces (kv shards {1,4}, batch sizes
+# {1,64,1024}, seed sweep), controlled interleavings preserve parity,
+# and a 1-worker executor provably takes the no-speculation fast path.
+cargo test -q -p tm-check --release --test batch_parity
 
 echo "== KV serializability sweep (request traces, strict-serializability + conservation) =="
 # Replays seeded KV transfer traces through the full application stack
