@@ -18,7 +18,7 @@
 use rh_bench::batch::BatchArgs;
 use rh_bench::figures::{self, Overrides, Scale};
 use rh_bench::policy_grid::{self, PolicyChoice};
-use rh_bench::service::{self, ServiceArgs};
+use rh_bench::service::{self, ModeChoice, SchedChoice, ServiceArgs};
 use rh_norec::Algorithm;
 
 fn main() {
@@ -119,6 +119,24 @@ fn main() {
                 zipf_flag = Some(t.parse().unwrap_or_else(|_| usage("bad zipf exponent")));
                 skip_next = true;
             }
+            "--sched" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage("--sched needs static|steal"));
+                service_args.sched = Some(match v.as_str() {
+                    "static" => SchedChoice::Static,
+                    "steal" => SchedChoice::Steal,
+                    _ => usage(&format!("bad --sched value `{v}` (static|steal)")),
+                });
+                skip_next = true;
+            }
+            "--mode" => {
+                let v = args.get(i + 1).unwrap_or_else(|| usage("--mode needs session|batch"));
+                service_args.mode = Some(match v.as_str() {
+                    "session" => ModeChoice::Session,
+                    "batch" => ModeChoice::Batch,
+                    _ => usage(&format!("bad --mode value `{v}` (session|batch)")),
+                });
+                skip_next = true;
+            }
             "--smoke" => service_args.smoke = true,
             "--paper" | "--csv" | "--fail" => {}
             a if a.starts_with("--") => usage(&format!("unknown flag {a}")),
@@ -195,7 +213,8 @@ fn usage(msg: &str) -> ! {
        [--paper] [--csv] [--threads 1,2,4] [--duration-ms 500] [--best-of N]\n       \
        rh-bench ablate --policy adaptive|static|all   (all: writes BENCH_8.json)\n       \
        rh-bench service [--engine NAME] [--threads N] [--requests N] [--seed S] [--smoke] \
-       [--policy adaptive]\n       \
+       [--sched static|steal] [--mode session|batch] [--policy adaptive]   \
+       (full default runs write BENCH_10.json)\n       \
        rh-bench batch [--threads 1,2,4,8,16] [--requests N] [--accounts N] [--zipf THETA] \
        [--seed S] [--smoke]   (full runs write BENCH_9.json)\n       \
        rh-bench diff <before.json> <after.json> [--fail] [--threshold PCT] \

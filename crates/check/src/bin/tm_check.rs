@@ -74,6 +74,7 @@ fn case_for(spec: &MutantSpec, mutant: Option<Mutant>) -> CaseConfig {
             // One shard maximizes key collisions in the transfer path.
             WorkloadShape::KvTransfer => CaseWorkload::KvTransfer { kv_shards: 1 },
             WorkloadShape::Batch => CaseWorkload::Batch { kv_shards: 1 },
+            WorkloadShape::StealService => CaseWorkload::StealService { kv_shards: 1 },
         },
         policy: spec.policy.then(tm_check::harness::adaptive_policy),
     }

@@ -50,6 +50,19 @@ pub enum CaseWorkload {
         /// Hash shards of the store under test.
         kv_shards: usize,
     },
+    /// The KV service tier's work-stealing runner
+    /// ([`rh_kv::service::run_service_controlled`] with stealing
+    /// enabled): `threads` pool workers drain a seeded bursty
+    /// transfer-heavy trace of `threads * txs_per_thread` requests over
+    /// `slots` keys through per-worker deques, as virtual threads of the
+    /// controlled scheduler. On top of the history oracles, the runner's
+    /// own exactly-once and conservation invariants must hold — a broken
+    /// steal claim (e.g. `Mutant::StealBottomRace`) double-serves a
+    /// request and trips them.
+    StealService {
+        /// Hash shards of the store under test.
+        kv_shards: usize,
+    },
 }
 
 /// One checked workload: algorithm, machine, and workload shape.
@@ -138,6 +151,20 @@ impl CaseConfig {
             txs_per_thread: 8,
             ops_per_tx: 1,
             workload: CaseWorkload::Batch { kv_shards },
+            ..CaseConfig::contended(algorithm, htm)
+        }
+    }
+
+    /// A contended work-stealing service case: a small pool over a
+    /// bursty transfer trace, sized so end-of-partition steals (the
+    /// one-element owner/thief race window) are the common case.
+    pub fn steal_service(algorithm: Algorithm, htm: HtmConfig, kv_shards: usize) -> Self {
+        CaseConfig {
+            threads: 3,
+            slots: 4,
+            txs_per_thread: 8,
+            ops_per_tx: 1,
+            workload: CaseWorkload::StealService { kv_shards },
             ..CaseConfig::contended(algorithm, htm)
         }
     }
@@ -311,6 +338,9 @@ pub fn run_case(case: &CaseConfig, sched_cfg: &SchedConfig) -> Result<CaseReport
     }
     if let CaseWorkload::Batch { kv_shards } = case.workload {
         return run_batch_case(case, sched_cfg, kv_shards);
+    }
+    if let CaseWorkload::StealService { kv_shards } = case.workload {
+        return run_steal_case(case, sched_cfg, kv_shards);
     }
     let heap = Arc::new(Heap::new(HeapConfig { words: 1 << 16 }));
     let htm = Htm::new(Arc::clone(&heap), case.htm);
@@ -679,6 +709,96 @@ fn run_batch_case(
         });
     }
 
+    match verdict::judge(&initial, &history) {
+        Ok(judgement) => Ok(CaseReport {
+            history,
+            run,
+            summary: judgement.opacity,
+            serializability: judgement.serializability,
+        }),
+        Err(verdict) => Err(CaseFailure::Violation {
+            seed: sched_cfg.seed,
+            guided: sched_cfg.guided.clone(),
+            verdict,
+            history,
+            decisions: run.decisions,
+            shrunk: None,
+        }),
+    }
+}
+
+/// The [`CaseWorkload::StealService`] body of [`run_case`]: drives the
+/// KV service tier's work-stealing pool under the controlled scheduler
+/// ([`rh_kv::service::run_service_controlled`]) over a seed-derived
+/// bursty transfer trace, records every worker session's history, and
+/// judges it with both oracles. The runner's own invariants — every
+/// request served exactly once, balance sum conserved — panic inside
+/// the driver and surface as [`CaseFailure::Panicked`]. The
+/// exactly-once trip is the declared kill signal of
+/// `Mutant::StealBottomRace`: its double-served transfer still
+/// conserves the balance sum, so only the served count betrays it.
+///
+/// The case's `clock_shards`, `backoff`, and `policy` fields are unused
+/// here — the service tier builds its own runtime configuration (all
+/// steal-service corpus recipes pin their defaults).
+fn run_steal_case(
+    case: &CaseConfig,
+    sched_cfg: &SchedConfig,
+    kv_shards: usize,
+) -> Result<CaseReport, CaseFailure> {
+    let trace_cfg = rh_kv::gen::TraceConfig {
+        requests: case.threads * case.txs_per_thread,
+        keyspace: case.slots as u64,
+        // Uniform keys over the tiny keyspace: transfers contend anyway.
+        zipf_theta: 0.0,
+        mix: rh_kv::gen::Mix::transfer_heavy(),
+        // Bursty arrivals: bursts pile backlog onto some deques while
+        // calm gaps leave other workers modeled-idle — the shape that
+        // makes steals (and the one-element owner/thief race) common.
+        mean_interarrival_ns: 300,
+        burst_factor: 16,
+        burst_len: 5,
+        seed: sched_cfg.seed,
+    };
+    let mut service_cfg =
+        rh_kv::service::ServiceConfig::new(case.algorithm, case.threads, trace_cfg);
+    service_cfg.htm = case.htm;
+    service_cfg.kv = rh_kv::KvConfig::tiny(kv_shards);
+    service_cfg.sched = rh_kv::service::SchedPolicy::Steal { enabled: true };
+    service_cfg.armed_mutants = case.mutant.into_iter().collect();
+
+    let recorder = Recorder::new();
+    let initial: std::sync::Mutex<HashMap<u64, u64>> = std::sync::Mutex::new(HashMap::new());
+    let on_ready = |heap: &Heap, store: &rh_kv::KvStore| {
+        *initial.lock().expect("snapshot lock cannot be poisoned") = store.snapshot_words(heap);
+    };
+    let sink_source = Arc::clone(&recorder);
+    let on_start = move |tid: usize| {
+        trace::install(Arc::clone(&sink_source) as Arc<dyn TraceSink>, tid);
+    };
+    let on_done = |_tid: usize| trace::uninstall();
+
+    let run = match catch_unwind(AssertUnwindSafe(|| {
+        rh_kv::service::run_service_controlled(
+            &service_cfg,
+            sched_cfg,
+            &on_ready,
+            &on_start,
+            &on_done,
+        )
+    })) {
+        Ok((_report, run)) => run,
+        Err(payload) => {
+            return Err(CaseFailure::Panicked {
+                seed: sched_cfg.seed,
+                guided: sched_cfg.guided.clone(),
+                message: panic_message(&payload),
+            })
+        }
+    };
+
+    let initial = initial.into_inner().expect("snapshot lock cannot be poisoned");
+    let history = recorder.take();
     match verdict::judge(&initial, &history) {
         Ok(judgement) => Ok(CaseReport {
             history,

@@ -278,6 +278,9 @@ fn case_from_spec(spec: &rh_norec::mutants::MutantSpec) -> CaseConfig {
                 CaseWorkload::KvTransfer { kv_shards: 1 }
             }
             rh_norec::mutants::WorkloadShape::Batch => CaseWorkload::Batch { kv_shards: 1 },
+            rh_norec::mutants::WorkloadShape::StealService => {
+                CaseWorkload::StealService { kv_shards: 1 }
+            }
         },
         policy: spec.policy.then(tm_check::harness::adaptive_policy),
     }

@@ -270,6 +270,11 @@ impl BatchReport {
         self.worker_cycles.iter().copied().max().unwrap_or(0) + self.commit_cycles
     }
 
+    /// Modeled cycles of the rank-ordered commit sweep alone.
+    pub fn commit_cycles(&self) -> u64 {
+        self.commit_cycles
+    }
+
     /// Total modeled cycles across all workers (work, not latency).
     pub fn total_cycles(&self) -> u64 {
         self.worker_cycles.iter().sum::<u64>() + self.commit_cycles
@@ -395,10 +400,36 @@ impl ParallelExecutor {
     /// worker this takes the no-speculation fast path; otherwise workers
     /// run on scoped OS threads.
     pub fn execute<T: BatchTxn>(&self, batch: &[T]) -> BatchReport {
+        self.execute_chained(batch, &[batch.len()]).0
+    }
+
+    /// Executes a *chain* of blocks sharing one rank space: `boundaries`
+    /// are ascending end-exclusive rank ends (the last equal to
+    /// `batch.len()`). All blocks run under one scheduler and one
+    /// speculation window, so block `N + 1`'s speculation starts while
+    /// block `N`'s validation wave is still draining — the cross-block
+    /// handoff the dynamic batch former relies on.
+    ///
+    /// Besides the report, returns each block's modeled *elapsed* cycles
+    /// from chain start to that block's completion (monotone): the
+    /// retired-cycle stamp of the block's last validation pass,
+    /// prefix-maxed and normalized by the worker count. The commit sweep
+    /// ([`BatchReport::commit_cycles`]) runs once after the last block
+    /// and is not included.
+    pub fn execute_chained<T: BatchTxn>(
+        &self,
+        batch: &[T],
+        boundaries: &[usize],
+    ) -> (BatchReport, Vec<u64>) {
+        assert_eq!(
+            boundaries.last().copied(),
+            Some(batch.len()),
+            "chain boundaries must cover the batch"
+        );
         if self.config.workers() == 1 {
-            return execute_sequential(&self.heap, batch);
+            return execute_sequential_chained(&self.heap, batch, boundaries);
         }
-        self.run_speculative(batch, |shared, workers| {
+        self.run_speculative(batch, boundaries, |shared, workers| {
             std::thread::scope(|scope| {
                 for wid in 0..workers {
                     scope.spawn(move || worker_loop(shared, wid));
@@ -423,19 +454,41 @@ impl ParallelExecutor {
         batch: &[T],
         sched_config: &sim_htm::sched::SchedConfig,
     ) -> (BatchReport, sim_htm::sched::RunResult) {
+        let (report, _elapsed, run) =
+            self.execute_chained_controlled(batch, &[batch.len()], sched_config);
+        (report, run)
+    }
+
+    /// [`ParallelExecutor::execute_chained`] under the deterministic
+    /// cooperative scheduler: the cross-block interleaving — which ranks
+    /// of block `N + 1` speculate while block `N` validates, and every
+    /// abort that crosses a boundary — is a pure function of
+    /// `sched_config`.
+    #[cfg(feature = "deterministic")]
+    pub fn execute_chained_controlled<T: BatchTxn>(
+        &self,
+        batch: &[T],
+        boundaries: &[usize],
+        sched_config: &sim_htm::sched::SchedConfig,
+    ) -> (BatchReport, Vec<u64>, sim_htm::sched::RunResult) {
         use sim_htm::sched::RunResult;
+        assert_eq!(
+            boundaries.last().copied(),
+            Some(batch.len()),
+            "chain boundaries must cover the batch"
+        );
         if self.config.workers() == 1 {
-            let report = execute_sequential(&self.heap, batch);
-            return (report, RunResult { decisions: Vec::new(), steps: 0 });
+            let (report, elapsed) = execute_sequential_chained(&self.heap, batch, boundaries);
+            return (report, elapsed, RunResult { decisions: Vec::new(), steps: 0 });
         }
         let mut run = None;
-        let report = self.run_speculative(batch, |shared, workers| {
+        let (report, elapsed) = self.run_speculative(batch, boundaries, |shared, workers| {
             let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..workers)
                 .map(|wid| Box::new(move || worker_loop(shared, wid)) as Box<dyn FnOnce() + Send>)
                 .collect();
             run = Some(sim_htm::sched::run_threads(sched_config, bodies));
         });
-        (report, run.expect("spawn closure always runs"))
+        (report, elapsed, run.expect("spawn closure always runs"))
     }
 
     /// Shared speculative-phase driver: `spawn` must run `workers`
@@ -443,8 +496,9 @@ impl ParallelExecutor {
     fn run_speculative<T: BatchTxn>(
         &self,
         batch: &[T],
+        boundaries: &[usize],
         spawn: impl for<'s> FnOnce(&'s Shared<'s, T>, usize),
-    ) -> BatchReport {
+    ) -> (BatchReport, Vec<u64>) {
         let workers = self.config.workers();
         let shared = Shared {
             heap: &self.heap,
@@ -453,8 +507,9 @@ impl ParallelExecutor {
             // Fresh speculation stays within a few tasks per worker of
             // the validation wave: deep enough to keep every worker fed,
             // shallow enough that an abort's re-validation sweep stays
-            // O(workers), not O(batch).
-            sched: BatchSched::new(batch.len(), 8 * workers),
+            // O(workers), not O(batch). The window is shared across the
+            // whole chain, so it is also the cross-block handoff depth.
+            sched: BatchSched::chained(batch.len(), 8 * workers, boundaries),
             outputs: (0..batch.len()).map(|_| Mutex::new(TxnOutput::default())).collect(),
             stats: (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect(),
             interleave: self.config.interleave_accesses(),
@@ -462,6 +517,15 @@ impl ParallelExecutor {
         };
         spawn(&shared, workers);
         shared.mvmap.assert_no_estimates();
+        // Per-block completion: the retired-cycle stamps of each block's
+        // last validation pass, prefix-maxed (a block cannot complete
+        // before its predecessor) and spread across the workers.
+        let mut elapsed = shared.sched.marks();
+        let mut peak = 0u64;
+        for mark in &mut elapsed {
+            peak = peak.max(*mark);
+            *mark = peak / workers as u64;
+        }
 
         // Rank-ordered lazy commit, folded per address: the map's
         // version lists are rank-sorted, so the highest version of each
@@ -503,7 +567,7 @@ impl ParallelExecutor {
             report.aborts += s.aborts;
             report.validations += s.validations;
         }
-        report
+        (report, elapsed)
     }
 }
 
@@ -511,15 +575,34 @@ impl ParallelExecutor {
 /// the single-worker fast path. Plain heap accesses, no speculation, no
 /// capture.
 pub fn execute_sequential<T: BatchTxn>(heap: &Heap, batch: &[T]) -> BatchReport {
+    execute_sequential_chained(heap, batch, &[batch.len()]).0
+}
+
+/// [`execute_sequential`] over a block chain: the per-block elapsed
+/// cycles are the running total at each boundary (sequential execution
+/// has no overlap to model).
+fn execute_sequential_chained<T: BatchTxn>(
+    heap: &Heap,
+    batch: &[T],
+    boundaries: &[usize],
+) -> (BatchReport, Vec<u64>) {
     let mut cycles = 0u64;
-    for txn in batch {
+    let mut elapsed = Vec::with_capacity(boundaries.len());
+    for (rank, txn) in batch.iter().enumerate() {
         cycles += cost::BATCH_SEQ_TX;
         let mut view =
             TxView { inner: ViewInner::Direct { heap }, cycles: 0, accesses: 0, every: 0 };
         txn.execute(&mut view).expect("direct-mode reads never block");
         cycles += view.cycles;
+        if boundaries.get(elapsed.len()) == Some(&(rank + 1)) {
+            elapsed.push(cycles);
+        }
     }
-    BatchReport {
+    // Trailing (or empty-batch) boundaries complete at the current total.
+    while elapsed.len() < boundaries.len() {
+        elapsed.push(cycles);
+    }
+    let report = BatchReport {
         txs: batch.len() as u64,
         speculative: false,
         worker_cycles: vec![cycles],
@@ -530,7 +613,8 @@ pub fn execute_sequential<T: BatchTxn>(heap: &Heap, batch: &[T]) -> BatchReport 
         validations: 0,
         max_incarnation: 0,
         committed: Vec::new(),
-    }
+    };
+    (report, elapsed)
 }
 
 /// One worker: pull tasks until the batch quiesces.
@@ -556,11 +640,9 @@ fn worker_loop<T: BatchTxn>(shared: &Shared<'_, T>, wid: usize) {
                 }
             }
             Poll::Run(Task::Execute { rank, incarnation }) => {
-                st.cycles += cost::BATCH_TASK;
                 run_execution(shared, &mut arena, &mut st, rank, incarnation);
             }
             Poll::Run(Task::Validate { rank, incarnation }) => {
-                st.cycles += cost::BATCH_TASK;
                 run_validation(shared, &mut arena, &mut st, rank, incarnation);
             }
         }
@@ -575,6 +657,9 @@ fn run_execution<T: BatchTxn>(
     rank: usize,
     incarnation: u32,
 ) {
+    // `spent` is this task's modeled cost: it lands both in the worker's
+    // cycle count and in the scheduler's retired clock (the wave marks).
+    let mut spent = cost::BATCH_TASK;
     arena.writes.clear();
     arena.reads.clear();
     let mut view = TxView {
@@ -590,11 +675,12 @@ fn run_execution<T: BatchTxn>(
         every: shared.interleave,
     };
     let result = shared.batch[rank].execute(&mut view);
-    st.cycles += view.cycles;
+    spent += view.cycles;
     match result {
         Err(Blocked { on }) => {
             st.blocked += 1;
-            shared.sched.block_execution(rank, on as usize);
+            st.cycles += spent;
+            shared.sched.block_execution(rank, on as usize, spent);
         }
         Ok(()) => {
             st.executions += 1;
@@ -626,9 +712,10 @@ fn run_execution<T: BatchTxn>(
                 incarnation,
                 arena.writes.iter().map(|(a, v)| (a.to_word(), v)),
             );
-            st.cycles += entries * cost::BATCH_PUBLISH_ENTRY;
+            spent += entries * cost::BATCH_PUBLISH_ENTRY;
+            st.cycles += spent;
             shared.mvmap.retract(rank as u32, &arena.addr_scratch);
-            shared.sched.finish_execution(rank, incarnation, wrote_new);
+            shared.sched.finish_execution(rank, incarnation, wrote_new, spent);
         }
     }
 }
@@ -641,13 +728,15 @@ fn run_validation<T: BatchTxn>(
     incarnation: u32,
 ) {
     st.validations += 1;
+    let mut spent = cost::BATCH_TASK;
     // Copy the captured read set out under the slot lock (no yields while
     // holding it), then resolve each read against the map.
     {
         let out = shared.outputs[rank].lock().unwrap_or_else(|e| e.into_inner());
         if out.incarnation != incarnation {
             drop(out);
-            shared.sched.pass_validation();
+            st.cycles += spent;
+            shared.sched.pass_validation(rank, spent);
             return;
         }
         arena.read_scratch.clear();
@@ -655,7 +744,7 @@ fn run_validation<T: BatchTxn>(
     }
     let mut ok = true;
     for (i, record) in arena.read_scratch.iter().enumerate() {
-        st.cycles += cost::BATCH_VALIDATE_ENTRY;
+        spent += cost::BATCH_VALIDATE_ENTRY;
         sim_htm::sched::yield_point();
         // Validation probes interleave on the same period as execution
         // accesses — a validation-only worker must not monopolize the core.
@@ -686,7 +775,8 @@ fn run_validation<T: BatchTxn>(
         }
     }
     if ok {
-        shared.sched.pass_validation();
+        st.cycles += spent;
+        shared.sched.pass_validation(rank, spent);
         return;
     }
     // Collect the write addresses to tombstone, then abort under the
@@ -696,7 +786,8 @@ fn run_validation<T: BatchTxn>(
         let out = shared.outputs[rank].lock().unwrap_or_else(|e| e.into_inner());
         arena.addr_scratch.extend(out.writes.iter().map(|&(addr, _)| addr));
     }
-    if shared.sched.fail_validation(rank, incarnation, &shared.mvmap, &arena.addr_scratch) {
+    st.cycles += spent;
+    if shared.sched.fail_validation(rank, incarnation, &shared.mvmap, &arena.addr_scratch, spent) {
         st.aborts += 1;
         st.cycles += cost::BATCH_ABORT;
     }
@@ -784,6 +875,49 @@ mod tests {
         assert_eq!(report.executions(), 32);
         for i in 0..32 {
             assert_eq!(heap.load(slots.offset(i)), 41);
+        }
+    }
+
+    #[test]
+    fn chained_blocks_commit_like_one_batch_and_complete_in_order() {
+        for workers in [1usize, 4] {
+            let heap = Arc::new(Heap::new(HeapConfig::default()));
+            let (slot, batch) = hot_batch(&heap, 24);
+            let exec =
+                ParallelExecutor::new(Arc::clone(&heap), BatchConfig::with_workers(workers))
+                    .unwrap();
+            let (report, elapsed) = exec.execute_chained(&batch, &[8, 16, 24]);
+            assert_eq!(report.txs(), 24);
+            assert_eq!(heap.load(slot), 24, "workers {workers}");
+            for (rank, tx) in batch.iter().enumerate() {
+                assert_eq!(heap.load(tx.mirror), rank as u64);
+            }
+            assert_eq!(elapsed.len(), 3);
+            assert!(elapsed[0] > 0);
+            assert!(elapsed.windows(2).all(|w| w[0] <= w[1]), "elapsed {elapsed:?}");
+        }
+    }
+
+    #[cfg(feature = "deterministic")]
+    #[test]
+    fn chained_controlled_replay_is_a_pure_function_of_the_seed() {
+        use sim_htm::sched::SchedConfig;
+        let run = |seed: u64| {
+            let heap = Arc::new(Heap::new(HeapConfig::default()));
+            let (slot, batch) = hot_batch(&heap, 18);
+            let exec =
+                ParallelExecutor::new(Arc::clone(&heap), BatchConfig::with_workers(3)).unwrap();
+            let (report, elapsed, _run) = exec.execute_chained_controlled(
+                &batch,
+                &[6, 12, 18],
+                &SchedConfig::from_seed(seed),
+            );
+            assert_eq!(heap.load(slot), 18);
+            assert!(elapsed.windows(2).all(|w| w[0] <= w[1]));
+            (report.executions(), report.aborts(), elapsed)
+        };
+        for seed in 0..8 {
+            assert_eq!(run(seed), run(seed), "seed {seed} not reproducible");
         }
     }
 

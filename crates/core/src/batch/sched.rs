@@ -103,6 +103,18 @@ struct Inner {
     active: usize,
     done: bool,
     max_incarnation: u32,
+    /// Modeled worker cycles retired across the whole run: every task
+    /// completion adds the cycles that task cost. Monotone under the
+    /// lock, so it doubles as a logical clock for the wave marks below.
+    retired: u64,
+    /// Per-block wave marks for chained (multi-block) runs: the value
+    /// of `retired` at the most recent validation *pass* of any rank in
+    /// the block. Overwritten at every pass, so once the run quiesces,
+    /// `marks[b]` is the retired-cycle instant block `b`'s last
+    /// validation cleared — its modeled completion (a wave drop back
+    /// into the block re-stamps it later, which is exactly the delay a
+    /// cross-block abort should charge).
+    marks: Vec<u64>,
 }
 
 /// The shared scheduler handle.
@@ -113,11 +125,28 @@ pub(crate) struct BatchSched {
     /// Most ranks the fresh-execution cursor may run ahead of the
     /// validation wave.
     window: usize,
+    /// End-exclusive rank boundaries of the chained blocks; `[n]` for
+    /// an unchained batch.
+    boundaries: Vec<usize>,
 }
 
 impl BatchSched {
+    /// An unchained scheduler: one block spanning every rank.
+    #[cfg(test)]
     pub(crate) fn new(n: usize, window: usize) -> BatchSched {
+        BatchSched::chained(n, window, &[n])
+    }
+
+    /// A scheduler over `n` ranks partitioned into blocks at the given
+    /// end-exclusive `boundaries` (ascending, last equal to `n`). All
+    /// blocks share one rank space and one speculation window, so block
+    /// `b + 1`'s speculation starts while block `b`'s validation wave
+    /// is still draining; the per-block wave marks recover each block's
+    /// completion instant afterwards.
+    pub(crate) fn chained(n: usize, window: usize, boundaries: &[usize]) -> BatchSched {
         debug_assert!(window >= 1);
+        debug_assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(boundaries.last().copied(), Some(n));
         BatchSched {
             inner: Mutex::new(Inner {
                 status: vec![TxStatus { incarnation: 0, state: State::Ready }; n],
@@ -129,10 +158,18 @@ impl BatchSched {
                 active: 0,
                 done: n == 0,
                 max_incarnation: 0,
+                retired: 0,
+                marks: vec![0; boundaries.len()],
             }),
             n,
             window,
+            boundaries: boundaries.to_vec(),
         }
+    }
+
+    /// The block containing `rank`.
+    fn block_of(&self, rank: usize) -> usize {
+        self.boundaries.partition_point(|&end| end <= rank)
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -199,12 +236,14 @@ impl BatchSched {
     }
 
     /// The rank published `incarnation`. `wrote_new` is whether the new
-    /// write set covers an address the previous incarnation did not.
-    pub(crate) fn finish_execution(&self, rank: usize, incarnation: u32, wrote_new: bool) {
+    /// write set covers an address the previous incarnation did not;
+    /// `cycles` is the modeled cost of the attempt.
+    pub(crate) fn finish_execution(&self, rank: usize, incarnation: u32, wrote_new: bool, cycles: u64) {
         let mut s = self.lock();
         debug_assert_eq!(s.status[rank].state, State::Executing);
         debug_assert_eq!(s.status[rank].incarnation, incarnation);
         s.status[rank].state = State::Executed;
+        s.retired += cycles;
         s.active -= 1;
         if wrote_new && s.wave > rank + 1 {
             s.wave = rank + 1;
@@ -227,7 +266,7 @@ impl BatchSched {
     /// attempt; same incarnation, suspended until `on` republishes (or
     /// requeued immediately when `on` republished while this report was
     /// in flight).
-    pub(crate) fn block_execution(&self, rank: usize, on: usize) {
+    pub(crate) fn block_execution(&self, rank: usize, on: usize, cycles: u64) {
         let mut s = self.lock();
         debug_assert_eq!(s.status[rank].state, State::Executing);
         debug_assert!(on < rank, "a rank can only block on a lower rank's estimate");
@@ -237,6 +276,7 @@ impl BatchSched {
         } else {
             s.deps[on].push(rank);
         }
+        s.retired += cycles;
         s.active -= 1;
     }
 
@@ -252,8 +292,10 @@ impl BatchSched {
         incarnation: u32,
         mvmap: &MvMap,
         write_addrs: &[u64],
+        cycles: u64,
     ) -> bool {
         let mut s = self.lock();
+        s.retired += cycles;
         s.active -= 1;
         if s.status[rank].state != State::Executed || s.status[rank].incarnation != incarnation {
             return false;
@@ -269,15 +311,29 @@ impl BatchSched {
         true
     }
 
-    /// A validation passed (or was stale): just release the task slot.
-    pub(crate) fn pass_validation(&self) {
+    /// A validation of `rank` passed (or was stale): release the task
+    /// slot and re-stamp the rank's block wave mark with the retired
+    /// clock — the last stamp a block receives is its completion.
+    pub(crate) fn pass_validation(&self, rank: usize, cycles: u64) {
         let mut s = self.lock();
+        s.retired += cycles;
+        let retired = s.retired;
+        let block = self.block_of(rank);
+        s.marks[block] = retired;
         s.active -= 1;
     }
 
     /// Highest incarnation any rank reached (0 = no aborts).
     pub(crate) fn max_incarnation(&self) -> u32 {
         self.lock().max_incarnation
+    }
+
+    /// The per-block wave marks (retired-cycle completion stamps).
+    /// Meaningful once the run is done; callers prefix-max them (a
+    /// block cannot complete before its predecessor) and normalize by
+    /// the worker count to recover per-block elapsed time.
+    pub(crate) fn marks(&self) -> Vec<u64> {
+        self.lock().marks.clone()
     }
 }
 
@@ -297,10 +353,11 @@ mod tests {
         let sched = BatchSched::new(1, 8);
         assert_eq!(run_one(&sched), Task::Execute { rank: 0, incarnation: 0 });
         let mvmap = MvMap::new(1);
-        sched.finish_execution(0, 0, true);
+        sched.finish_execution(0, 0, true, 10);
         assert_eq!(run_one(&sched), Task::Validate { rank: 0, incarnation: 0 });
-        sched.pass_validation();
+        sched.pass_validation(0, 5);
         assert_eq!(sched.next_task(), Poll::Done);
+        assert_eq!(sched.marks(), vec![15]);
         drop(mvmap);
     }
 
@@ -315,25 +372,25 @@ mod tests {
             assert_eq!(run_one(&sched), Task::Execute { rank, incarnation: 0 });
         }
         for rank in 0..3 {
-            sched.finish_execution(rank, 0, true);
+            sched.finish_execution(rank, 0, true, 1);
         }
         // Wave validates ranks 0..3 in order.
         assert_eq!(run_one(&sched), Task::Validate { rank: 0, incarnation: 0 });
-        sched.pass_validation();
+        sched.pass_validation(0, 1);
         assert_eq!(run_one(&sched), Task::Validate { rank: 1, incarnation: 0 });
         // Rank 1 fails: requeued at incarnation 1. The wave (already at
         // 2) validates rank 2 against rank 1's fresh tombstones before
         // any execution work — a reader of the dead incarnation aborts
         // right here.
-        assert!(sched.fail_validation(1, 0, &mvmap, &[]));
+        assert!(sched.fail_validation(1, 0, &mvmap, &[], 1));
         assert_eq!(run_one(&sched), Task::Validate { rank: 2, incarnation: 0 });
-        sched.pass_validation();
+        sched.pass_validation(2, 1);
         assert_eq!(run_one(&sched), Task::Execute { rank: 1, incarnation: 1 });
-        sched.finish_execution(1, 1, false);
+        sched.finish_execution(1, 1, false, 1);
         // Same-address republish with the wave past it: a one-off
         // validation of rank 1 only, nothing else reruns.
         assert_eq!(run_one(&sched), Task::Validate { rank: 1, incarnation: 1 });
-        sched.pass_validation();
+        sched.pass_validation(1, 1);
         assert_eq!(sched.next_task(), Poll::Done);
         assert_eq!(sched.max_incarnation(), 1);
     }
@@ -343,20 +400,65 @@ mod tests {
         let sched = BatchSched::new(1, 8);
         let mvmap = MvMap::new(1);
         assert_eq!(run_one(&sched), Task::Execute { rank: 0, incarnation: 0 });
-        sched.finish_execution(0, 0, true);
+        sched.finish_execution(0, 0, true, 1);
         assert_eq!(run_one(&sched), Task::Validate { rank: 0, incarnation: 0 });
-        assert!(sched.fail_validation(0, 0, &mvmap, &[]));
+        assert!(sched.fail_validation(0, 0, &mvmap, &[], 1));
         // A second failure report for the dead incarnation must not
         // double-abort.
         let _ = run_one(&sched); // the re-execution task
-        sched.finish_execution(0, 1, false);
+        sched.finish_execution(0, 1, false, 1);
         let _ = run_one(&sched); // its one-off validation
-        assert!(!sched.fail_validation(0, 0, &mvmap, &[]));
+        assert!(!sched.fail_validation(0, 0, &mvmap, &[], 1));
     }
 
     #[test]
     fn empty_batch_is_done_immediately() {
         let sched = BatchSched::new(0, 8);
         assert_eq!(sched.next_task(), Poll::Done);
+    }
+
+    #[test]
+    fn chained_blocks_share_one_rank_space_and_stamp_per_block_marks() {
+        // Two blocks of two ranks; window wide enough that block 1's
+        // executions hand out while block 0 is still unvalidated.
+        let sched = BatchSched::chained(4, 8, &[2, 4]);
+        for rank in 0..4 {
+            assert_eq!(run_one(&sched), Task::Execute { rank, incarnation: 0 });
+        }
+        for rank in 0..4 {
+            sched.finish_execution(rank, 0, true, 10);
+        }
+        for rank in 0..4 {
+            assert_eq!(run_one(&sched), Task::Validate { rank, incarnation: 0 });
+            sched.pass_validation(rank, 10);
+        }
+        assert_eq!(sched.next_task(), Poll::Done);
+        // retired: 40 after executions; block 0's last pass is rank 1
+        // (retired 60), block 1's is rank 3 (retired 80).
+        assert_eq!(sched.marks(), vec![60, 80]);
+    }
+
+    #[test]
+    fn a_wave_drop_into_an_earlier_block_restamps_its_completion() {
+        let sched = BatchSched::chained(2, 8, &[1, 2]);
+        let mvmap = MvMap::new(1);
+        for rank in 0..2 {
+            assert_eq!(run_one(&sched), Task::Execute { rank, incarnation: 0 });
+        }
+        for rank in 0..2 {
+            sched.finish_execution(rank, 0, true, 1);
+        }
+        assert_eq!(run_one(&sched), Task::Validate { rank: 0, incarnation: 0 });
+        sched.pass_validation(0, 1); // block 0 stamped at retired = 3
+        assert_eq!(run_one(&sched), Task::Validate { rank: 1, incarnation: 0 });
+        assert!(sched.fail_validation(1, 0, &mvmap, &[], 1));
+        assert_eq!(run_one(&sched), Task::Execute { rank: 1, incarnation: 1 });
+        sched.finish_execution(1, 1, false, 1);
+        assert_eq!(run_one(&sched), Task::Validate { rank: 1, incarnation: 1 });
+        sched.pass_validation(1, 1);
+        assert_eq!(sched.next_task(), Poll::Done);
+        // Block 1 completes three retired units after block 0 (failed
+        // validation + re-execution + the final pass).
+        assert_eq!(sched.marks(), vec![3, 6]);
     }
 }

@@ -90,11 +90,22 @@ pub enum Mutant {
     /// and is armed per executor through
     /// [`ParallelExecutor::set_mutant`](crate::batch::ParallelExecutor::set_mutant).
     BatchStaleEstimate,
+    /// The service tier's work-stealing queue publishes a consumer's
+    /// claim on the head slot with a plain store instead of the CAS
+    /// arbitration, so the claim can race a rival consumer (the owner's
+    /// own front take, or another thief) and both parties walk away
+    /// holding the same request — it is served twice. The hook lives
+    /// out-of-crate in
+    /// `rh_kv::steal::StealDeque::steal_top` and consults this runtime's
+    /// arming mask through
+    /// [`TmRuntime::mutant_armed`](crate::TmRuntime::mutant_armed) at
+    /// pool construction.
+    StealBottomRace,
 }
 
 impl Mutant {
     /// Every corpus mutant, in [`MANIFEST`] order.
-    pub const ALL: [Mutant; 13] = [
+    pub const ALL: [Mutant; 14] = [
         Mutant::PostfixClock,
         Mutant::StaleLane,
         Mutant::EagerSkipValidation,
@@ -108,6 +119,7 @@ impl Mutant {
         Mutant::KvStaleTransferCredit,
         Mutant::PolicyStaleEpoch,
         Mutant::BatchStaleEstimate,
+        Mutant::StealBottomRace,
     ];
 
     /// The mutant's bit in the runtime's arming mask.
@@ -164,6 +176,15 @@ pub enum WorkloadShape {
     /// checked for serializability in rank order plus conservation of
     /// the total balance.
     Batch,
+    /// The KV service tier's work-stealing runner
+    /// (`rh_kv::service::run_service_controlled` with
+    /// `SchedPolicy::Steal { enabled: true }`): `threads` workers drain
+    /// a seeded transfer-heavy trace of `threads * txs_per_thread`
+    /// requests over `slots` keys through per-worker deques under the
+    /// controlled scheduler. Checked for strict serializability of the
+    /// recorded histories, conservation of the balance sum, and the
+    /// runner's exactly-once service invariant.
+    StealService,
 }
 
 /// One manifest entry: the mutant, where its hook lives, and the
@@ -459,6 +480,34 @@ pub const MANIFEST: &[MutantSpec] = &[
         abort_injection: 0.0,
         seed_budget: 40,
         workload: WorkloadShape::Batch,
+        policy: false,
+    },
+    MutantSpec {
+        mutant: Mutant::StealBottomRace,
+        name: "steal_bottom_race",
+        summary: "the work-stealing queue claims its head slot with a plain \
+                  store instead of the CAS arbitration \
+                  (rh_kv::steal::StealDeque::steal_top)",
+        kills_via: "double service: when two consumers (the owner's front \
+                    take and a thief, or two thieves) race for the same head \
+                    slot, the unarbitrated claim lets both return the same \
+                    request, so the runner's exactly-once invariant trips \
+                    (trace length vs served count) — and a doubled transfer \
+                    corrupts the serialized history. The controlled scheduler \
+                    drives the consumer interleaving through the yield point \
+                    between the slot read and the claim; a 3-worker pool over \
+                    a short bursty transfer trace makes contended head races \
+                    the common case",
+        algorithm: Algorithm::RhNorec,
+        htm: HtmProfile::Disabled,
+        clock_shards: 1,
+        threads: 3,
+        slots: 4,
+        txs_per_thread: 8,
+        ops_per_tx: 1,
+        abort_injection: 0.0,
+        seed_budget: 60,
+        workload: WorkloadShape::StealService,
         policy: false,
     },
 ];

@@ -69,6 +69,15 @@ impl Mix {
         Mix { get: 40, put: 0, delete: 0, transfer: 60, range: 0 }
     }
 
+    /// The scheduler-grid mix: conserving (no puts or deletes, so every
+    /// cell can assert the balance-sum invariant) but heterogeneous —
+    /// the occasional range scan is an order of magnitude slower than a
+    /// get, which is exactly what unbalances a static partition and
+    /// gives work stealing something to level.
+    pub fn service_bursty() -> Self {
+        Mix { get: 50, put: 0, delete: 0, transfer: 42, range: 8 }
+    }
+
     /// `true` when no operation can change the sum of stored values
     /// (no puts, no deletes): the conservation invariant is checkable.
     pub fn conserves_sum(&self) -> bool {

@@ -9,8 +9,14 @@
 //! * [`gen`] — a seeded open-loop request generator (zipfian keys,
 //!   configurable operation mix, bursty Poisson arrivals);
 //! * [`hist`] — allocation-free fixed-bucket latency histograms;
+//! * [`steal`] — per-worker work-stealing deques (Chase–Lev-style over
+//!   the preloaded trace partition, seeded victim selection);
+//! * [`former`] — dynamic batch formation: drains the stream into
+//!   rank-ordered blocks under a latency budget, with hysteretic
+//!   session fallback below minimum occupancy;
 //! * [`service`] — the worker pool that replays a trace and reports
-//!   per-request-class sojourn percentiles (p50/p95/p99/max).
+//!   per-request-class sojourn percentiles (p50/p95/p99/p999/max),
+//!   under either scheduling policy and either execution mode.
 //!
 //! `rh-bench service` drives [`service::run_service`] across every paper
 //! engine with the identical trace and writes the percentile ledger that
@@ -26,9 +32,11 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod batch;
+pub mod former;
 pub mod gen;
 pub mod hist;
 pub mod service;
+pub mod steal;
 mod store;
 
 pub use store::{KvConfig, KvError, KvResult, KvStore, TransferOutcome};

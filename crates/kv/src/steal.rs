@@ -1,0 +1,228 @@
+//! Work-stealing queues for the service tier's request scheduler.
+//!
+//! Each worker owns one [`StealDeque`] preloaded with the indices of its
+//! partition of the request trace, in arrival order. Because the trace
+//! is fully known at pool start, the structure never grows after
+//! construction, which collapses the classical Chase–Lev deque to its
+//! essential half: a fixed buffer and one consumption index (`head`)
+//! that only ever moves forward. Everyone — the owner draining its own
+//! partition and any thief — consumes from the *front*, so the owner
+//! serves its requests in arrival order and a thief takes the victim's
+//! **oldest waiting** request: the head of its backlog, the request
+//! whose sojourn is growing fastest. (Stealing from the opposite end,
+//! as a task-parallel Chase–Lev deque would, takes the victim's
+//! *latest* arrival — future work whose migration relieves no queue;
+//! worse, a drained thief then walks the victim's trace tail backwards,
+//! serving ever-older arrivals on an ever-later clock, which inflates
+//! exactly the tail percentiles stealing is meant to cut.)
+//!
+//! The no-push-after-init discipline is what lets the queue stay inside
+//! `#![forbid(unsafe_code)]`: there is no circular buffer to grow, no
+//! reclamation, and no ABA hazard — `head` is monotone and slot values
+//! never change. The one real race, two consumers reaching for the same
+//! slot, is arbitrated by a compare-and-swap on `head`.
+//!
+//! Determinism: the single scheduler-visible decision point is the
+//! [`yield_point`] between a consumer reading the head slot and
+//! publishing its claim. Under the controlled scheduler (the
+//! `deterministic` feature) every interleaving of that window is a pure
+//! function of the schedule seed; free-running, the CAS arbitration
+//! keeps the outcome linearizable either way. When the queue is built
+//! *uncontended* (stealing disabled), the owner takes a plain-load fast
+//! path with no CAS and no extra yield points, so a steal-disabled pool
+//! replays bit-for-bit the same history as the static-partition runner.
+//!
+//! [`yield_point`]: sim_htm::sched::yield_point
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A fixed-capacity front-consumption steal queue of `u32` trace
+/// indices.
+///
+/// See the module docs for the preload discipline and memory model.
+#[derive(Debug)]
+pub struct StealDeque {
+    /// Slot `buf[0]` holds the owner's earliest-arriving request, in
+    /// arrival order. Slots are atomics only so rival consumers may
+    /// read them without `unsafe`; a slot's value never changes after
+    /// construction.
+    buf: Box<[AtomicU32]>,
+    /// Next unconsumed slot; consumers advance it (CAS when contended).
+    head: AtomicU64,
+    /// Whether thieves may touch this queue. When `false` the owner
+    /// advances `head` through a plain-load path with no CAS
+    /// arbitration (there is nobody to arbitrate with), which keeps
+    /// steal-disabled pools bit-identical to the static partition.
+    contended: bool,
+    /// `steal_bottom_race` mutant arm: the consumer publishes its claim
+    /// with a plain store instead of the CAS, so its claim can race a
+    /// rival consumer and the same request is served twice.
+    #[cfg(feature = "mutants")]
+    race_armed: bool,
+}
+
+impl StealDeque {
+    /// Builds a queue over `indices` given in **arrival order**.
+    /// `contended` must be true iff thieves will touch it.
+    pub fn preload(indices: impl ExactSizeIterator<Item = u32>, contended: bool) -> Self {
+        let buf: Vec<AtomicU32> = indices.map(AtomicU32::new).collect();
+        StealDeque {
+            buf: buf.into_boxed_slice(),
+            head: AtomicU64::new(0),
+            contended,
+            #[cfg(feature = "mutants")]
+            race_armed: false,
+        }
+    }
+
+    /// Arms the `steal_bottom_race` mutant on this queue.
+    #[cfg(feature = "mutants")]
+    pub fn arm_race_mutant(&mut self) {
+        self.race_armed = true;
+    }
+
+    /// The owner's next request (its earliest remaining arrival), or
+    /// `None` if the queue looks empty. Advisory under contention: a
+    /// thief may take the slot between peek and take.
+    pub fn peek_next(&self) -> Option<u32> {
+        let h = self.head.load(Ordering::Acquire);
+        if h >= self.buf.len() as u64 {
+            return None;
+        }
+        Some(self.buf[h as usize].load(Ordering::Relaxed))
+    }
+
+    /// Owner-side take of its next request in arrival order. Only the
+    /// owning worker may call this.
+    pub fn take_next(&self) -> Option<u32> {
+        if !self.contended {
+            // Nobody steals from an uncontended queue: plain index
+            // walk, no CAS, no extra scheduler decision points.
+            let h = self.head.load(Ordering::Relaxed);
+            if h >= self.buf.len() as u64 {
+                return None;
+            }
+            self.head.store(h + 1, Ordering::Relaxed);
+            return Some(self.buf[h as usize].load(Ordering::Relaxed));
+        }
+        self.steal_top(|_| true)
+    }
+
+    /// Consumes from the front under contention (the victim's oldest
+    /// waiting request when called by a thief). `accept` sees the
+    /// candidate index before the claim is published; returning `false`
+    /// rejects this queue without disturbing it. Retries internally on
+    /// a lost CAS race (some other party took the slot; the next slot
+    /// is re-offered to `accept`) and returns `None` once the queue is
+    /// empty or the candidate is rejected.
+    pub fn steal_top(&self, accept: impl Fn(u32) -> bool) -> Option<u32> {
+        debug_assert!(self.contended, "steal from an owner-only queue");
+        loop {
+            let h = self.head.load(Ordering::SeqCst);
+            if h >= self.buf.len() as u64 {
+                return None;
+            }
+            let candidate = self.buf[h as usize].load(Ordering::Relaxed);
+            if !accept(candidate) {
+                return None;
+            }
+            // The race window: between reading the slot and claiming
+            // it, a rival consumer may claim it. The controlled
+            // scheduler exercises every interleaving of this window.
+            sim_htm::sched::yield_point();
+            #[cfg(feature = "mutants")]
+            if self.race_armed {
+                // MUTANT steal_bottom_race: publish the claim with a
+                // plain store. If a rival consumer already advanced
+                // `head`, both parties walk away holding the same
+                // request.
+                self.head.store(h + 1, Ordering::SeqCst);
+                return Some(candidate);
+            }
+            if self
+                .head
+                .compare_exchange(h, h + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Some(candidate);
+            }
+            // Lost the race; loop and look at the new head.
+        }
+    }
+
+    /// Whether the queue currently looks empty (advisory under
+    /// contention, exact once all workers are in their drain loops:
+    /// indices are never pushed back, so empty is terminal).
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire) >= self.buf.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_takes_in_arrival_order() {
+        let d = StealDeque::preload((0..5u32).map(|i| i * 10), false);
+        let taken: Vec<u32> = std::iter::from_fn(|| d.take_next()).collect();
+        assert_eq!(taken, vec![0, 10, 20, 30, 40]);
+        assert!(d.is_empty());
+        assert_eq!(d.take_next(), None);
+    }
+
+    #[test]
+    fn thief_steals_the_oldest_waiting_request() {
+        let d = StealDeque::preload((0..4u32).map(|i| i + 1), true);
+        assert_eq!(d.steal_top(|_| true), Some(1));
+        assert_eq!(d.steal_top(|_| true), Some(2));
+        // The owner continues from where the thieves left off, still in
+        // arrival order.
+        assert_eq!(d.take_next(), Some(3));
+        assert_eq!(d.peek_next(), Some(4));
+        assert_eq!(d.take_next(), Some(4));
+        assert_eq!(d.take_next(), None);
+        assert_eq!(d.steal_top(|_| true), None);
+    }
+
+    #[test]
+    fn rejected_candidates_are_left_in_place() {
+        let d = StealDeque::preload([7u32, 8].into_iter(), true);
+        assert_eq!(d.steal_top(|c| c != 7), None);
+        assert_eq!(d.take_next(), Some(7));
+        assert_eq!(d.take_next(), Some(8));
+    }
+
+    #[test]
+    fn last_element_goes_to_exactly_one_party() {
+        // Free-running two-thread hammer on the last-element race: over
+        // many rounds, the single element must be taken exactly once.
+        use std::sync::atomic::AtomicUsize;
+        for round in 0..200 {
+            let d = StealDeque::preload([round as u32].into_iter(), true);
+            let takes = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    if d.take_next().is_some() {
+                        takes.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+                s.spawn(|| {
+                    if d.steal_top(|_| true).is_some() {
+                        takes.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            });
+            assert_eq!(takes.load(Ordering::SeqCst), 1, "round {round}");
+        }
+    }
+
+    #[test]
+    fn empty_preload_is_empty() {
+        let d = StealDeque::preload(std::iter::empty(), true);
+        assert!(d.is_empty());
+        assert_eq!(d.take_next(), None);
+        assert_eq!(d.steal_top(|_| true), None);
+        assert_eq!(d.peek_next(), None);
+    }
+}

@@ -80,6 +80,23 @@ cargo run -p rh-bench --release -- diff BENCH_8.json BENCH_9.json --fail \
     --cell-threshold RH-NOrec-Postfix/contended_sharded=10 \
     --cell-threshold '*_p99=700'
 
+echo "== committed ledger gate (BENCH_9 -> BENCH_10, deterministic, GATING) =="
+# BENCH_10.json carries every BENCH_9 row verbatim (0-delta joins held to
+# the same thresholds) and appends the scheduler grid's
+# <class>_<stat>@static|@steal|@batch rows. The grid rows join nothing in
+# BENCH_9 and land in `unmatched` — informative-first; their teeth are
+# the run-time scheduler sentinel `rh-bench service` asserts on every
+# invocation (smoke included, below), which panics the build on a p99
+# regression of the saturating engines or a p50 regression of the
+# absorbing ones (DESIGN.md §16).
+cargo run -p rh-bench --release -- diff BENCH_9.json BENCH_10.json --fail \
+    --threshold 60 \
+    --cell-threshold RH-NOrec/contended_disjoint=10 \
+    --cell-threshold RH-NOrec/contended_sharded=10 \
+    --cell-threshold RH-NOrec-Postfix/contended_disjoint=10 \
+    --cell-threshold RH-NOrec-Postfix/contended_sharded=10 \
+    --cell-threshold '*_p99=700'
+
 echo "== overhead benchmark smoke (writes BENCH_4.json) =="
 cargo run -p rh-bench --release -- overhead --csv
 
@@ -101,12 +118,15 @@ echo "== batch executor smoke (Block-STM race vs the interactive engines, sentin
 # was gated above).
 cargo run -p rh-bench --release -- batch --smoke
 
-echo "== service-tier smoke (KV worker pool, all engines, conservation-asserted) =="
-# Deterministic trace (fixed seed); the run itself asserts per-engine
-# balance conservation under the transfer mix and writes a fresh
-# (ungated) BENCH_7.json. The committed BENCH_7.json is the baseline;
-# cross-commit diffs are informative (EXPERIMENTS.md, service section).
-cargo run -p rh-bench --release -- service --smoke --threads 2 --requests 2000
+echo "== service scheduler-grid smoke (static/steal/batch, sentinel-asserted) =="
+# One engine keeps the controlled-replay cells CI-sized: each cell is a
+# pure function of the trace seed (identical to the same cell of a full
+# grid run — cells are independent), the run asserts per-cell balance
+# conservation and the pinned scheduler sentinel, and smoke writes no
+# ledger (the committed BENCH_10.json was gated above). This is also the
+# named CI exercise of the steal pool and the batch former: the cell set
+# is static baseline, work-stealing pool, and dynamic batch formation.
+cargo run -p rh-bench --release -- service --engine rh-norec --smoke
 
 echo "== bench diff smoke (fresh run vs committed ledger, informative) =="
 # No --fail: a fresh overhead run on a loaded CI host can wobble past the
